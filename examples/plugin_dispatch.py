@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Function-pointer signature checking on a plugin dispatch table.
+
+Programs with plugin architectures store handlers in tables of function
+pointers and cast them to a common "generic handler" type.  When a
+handler's real signature disagrees with the table's — a pointer argument
+where the dispatcher passes an integer — plain SoftBound only notices if
+the handler happens to dereference (and then deep inside the callee);
+if it doesn't, the call silently computes garbage.
+
+The paper acknowledges the problem and sketches the fix without
+implementing it (Section 5.2): "the ultimate solution is to encode the
+pointer/non-pointer signature of the function's arguments, allowing a
+dynamic check".  This repository implements that extension:
+``SoftBoundConfig(encode_fnptr_signature=True)``.
+
+Run:  python examples/plugin_dispatch.py
+"""
+
+from repro import SoftBoundConfig, compile_and_run
+
+PROGRAM = r'''
+/* The dispatcher's idea of a handler: two integer arguments. */
+typedef int (*handler_t)(int, int);
+
+int add_handler(int a, int b) { return a + b; }
+int mul_handler(int a, int b) { return a * b; }
+
+/* A mis-registered plugin: expects a POINTER first argument. */
+int sum_handler(int *values, int n) {
+    int t = 0;
+    for (int i = 0; i < n; i++) t += values[i];
+    return t;
+}
+
+handler_t table[3];
+
+int main(void) {
+    table[0] = add_handler;
+    table[1] = mul_handler;
+    table[2] = (handler_t)sum_handler;   /* the wild cast */
+
+    int result = 0;
+    result += table[0](40, 2);           /* fine */
+    result += table[1](6, 7);            /* fine */
+    result += table[2](1000, 4);         /* 1000 is not a pointer! */
+    printf("dispatched total: %d\n", result);
+    return result & 0xff;
+}
+'''
+
+
+def main():
+    print("=== 1. Plain SoftBound (the paper's prototype) ===")
+    plain = compile_and_run(PROGRAM, softbound=SoftBoundConfig())
+    print(f"trap: {plain.trap}")
+    print("the mismatch surfaces only when sum_handler dereferences its "
+          "forged pointer — as a generic spatial violation deep inside "
+          "the callee.\n")
+    assert plain.detected_violation
+
+    print("=== 2. With signature encoding (the Section 5.2 extension) ===")
+    checked = compile_and_run(
+        PROGRAM, softbound=SoftBoundConfig(encode_fnptr_signature=True))
+    print(f"trap: {checked.trap}")
+    assert checked.trap is not None
+    assert "signature mismatch" in checked.trap.detail
+    print("the violation is reported eagerly at the indirect call, named "
+          "as a signature mismatch, before control ever enters the "
+          "mis-registered handler.\n")
+
+    print("=== 3. Well-matched tables run unimpeded ===")
+    clean = PROGRAM.replace(
+        'result += table[2](1000, 4);         /* 1000 is not a pointer! */',
+        '')
+    result = compile_and_run(
+        clean, softbound=SoftBoundConfig(encode_fnptr_signature=True))
+    print(result.output.rstrip())
+    assert result.trap is None
+    print("signature checking costs two comparisons per indirect call and "
+          "never fires on compatible dispatch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""SoftBound reproduction.
+
+A from-scratch Python reimplementation of *SoftBound: Highly Compatible
+and Complete Spatial Memory Safety for C* (Nagarakatte, Zhao, Martin,
+Zdancewic — UPenn TR MS-CIS-09-01 / PLDI 2009), including every substrate
+the paper depends on: a C-subset compiler frontend, a typed register IR
+with an optimizer, an interpreting virtual machine over simulated
+byte-addressable memory, the SoftBound transformation itself with both
+metadata facilities (hash table and shadow space), the baseline checkers
+the paper compares against, and an executable version of the paper's
+formal semantics.
+
+Quickstart::
+
+    from repro import compile_and_run, SoftBoundConfig
+
+    result = compile_and_run(C_SOURCE)                    # unprotected
+    result = compile_and_run(C_SOURCE, SoftBoundConfig()) # protected
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "compile_program",
+    "compile_and_run",
+    "run_program",
+    "compile_and_link",
+    "CheckMode",
+    "MetadataScheme",
+    "SoftBoundConfig",
+]
+
+_DRIVER_NAMES = {"CompiledProgram", "compile_program", "compile_and_run", "run_program"}
+_CONFIG_NAMES = {"CheckMode", "MetadataScheme", "SoftBoundConfig"}
+_LINKER_NAMES = {"compile_and_link"}
+
+
+def __getattr__(name):
+    # Lazy re-exports keep `import repro.frontend` usable even when only
+    # part of the package is needed, and avoid import cycles.
+    if name in _DRIVER_NAMES:
+        from .harness import driver
+
+        return getattr(driver, name)
+    if name in _CONFIG_NAMES:
+        from .softbound import config
+
+        return getattr(config, name)
+    if name in _LINKER_NAMES:
+        from .harness import linker
+
+        return getattr(linker, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,11 @@
+"""Baseline checkers the paper compares against (Sections 2, 6.2, 6.5)."""
+
+from .jones_kelly import JonesKellyChecker
+from .mscc import MSCC_CONFIG, MsccMetadata, compile_with_mscc, find_wild_casts
+from .mudflap_sim import MudflapChecker
+from .splay import RangeSplayTree
+from .valgrind_sim import ValgrindChecker
+
+__all__ = ["JonesKellyChecker", "MudflapChecker", "ValgrindChecker",
+           "RangeSplayTree", "MsccMetadata", "MSCC_CONFIG",
+           "compile_with_mscc", "find_wild_casts"]

@@ -1,0 +1,36 @@
+"""Jones-Kelly / JKRLDA-style object-based checker (paper Section 2.1).
+
+Tracks every object in a splay tree and validates that each access lands
+inside a live object.  Faithful in its two signature properties:
+
+* **Compatible**: no change to pointer representation or memory layout —
+  it is a pure observer over the unmodified program.
+* **Incomplete**: sub-object overflows (array inside a struct) stay
+  inside the registered object and are missed — the weakness Table 1
+  records and the ``go`` BugBench analogue exercises.
+
+Costs are charged per lookup plus per splay level traversed, modelling
+the splay-tree bottleneck the paper attributes 5x overheads to.
+"""
+
+from .objecttable import ObjectTableChecker
+
+
+class JonesKellyChecker(ObjectTableChecker):
+    source_name = "jones_kelly"
+
+    def charge_lookup(self):
+        stats = self.machine.stats
+        stats.charge("jk.check")
+        stats.charge("jk.splay.per_level", max(self.tree.last_depth, 1))
+        stats.checks += 1
+
+    def _check(self, addr, size, is_write):
+        stats = self.machine.stats
+        stats.charge("jk.check")
+        stats.checks += 1
+        node = self.tree.find(addr)
+        stats.charge("jk.splay.per_level", max(self.tree.last_depth, 1))
+        if node is None or addr + size > node.end:
+            self.violations += 1
+            self._report(addr, size, is_write)

@@ -1,0 +1,125 @@
+"""MSCC baseline (Xu, DuVarney & Sekar, FSE 2004; paper Sections 2.2 & 6.5).
+
+MSCC is the pointer-based scheme closest to SoftBound: it also eschews
+whole-program analysis and also splits metadata away from the pointer.
+Its differences, each modelled here:
+
+* metadata lives in *linked shadow structures* that mirror program data,
+  costing more per access than SoftBound's flat tables
+  (:class:`MsccMetadata`, ~8-9 instructions plus pointer chasing);
+* its best-performing configuration cannot express sub-object bounds
+  (``MSCC_CONFIG`` disables bound shrinking), so struct-internal
+  overflows are missed — the Table 1 "Complete (subfield access): No";
+* it "does not handle arbitrary casts" — :func:`find_wild_casts` is the
+  static detector the capability matrix uses to decide whether a program
+  would require source changes under MSCC/CCured.
+"""
+
+from ..frontend import ast_nodes as ast
+from ..frontend.typecheck import parse_and_check
+from ..softbound.config import CheckMode, MetadataScheme, SoftBoundConfig
+from ..softbound.metadata import MetadataFacility
+
+MSCC_CONFIG = SoftBoundConfig(
+    mode=CheckMode.FULL,
+    scheme=MetadataScheme.SHADOW_SPACE,  # ignored; variant picks facility
+    shrink_bounds=False,
+    variant="mscc",
+)
+
+
+class MsccMetadata(MetadataFacility):
+    """Linked shadow structures mirroring program data (Section 2.2:
+    "such techniques can increase overhead by introducing linked shadow
+    structures that mirror entire existing data structures")."""
+
+    name = "mscc_linked_shadow"
+    ENTRY_BYTES = 32  # shadow node: link + base + bound + key
+
+    # Linked shadow nodes are heap-allocated; the cache model scatters
+    # them through their own arena.
+    SHADOW_NODE_BASE = 0x2000_0000_0000
+
+    def __init__(self):
+        super().__init__()
+        self.table = {}
+        self.peak_live = 0
+
+    def _trace_entry(self, key):
+        if self._trace is not None:
+            slot = ((key * 0x9E3779B1) >> 4) & 0x3FFFFF
+            self._trace(self.SHADOW_NODE_BASE + slot * self.ENTRY_BYTES,
+                        self.ENTRY_BYTES)
+
+    def load(self, addr, stats):
+        stats.charge("mscc.meta.load")
+        self._trace_entry(addr >> 3)
+        return self.table.get(addr >> 3, (0, 0))
+
+    def store(self, addr, base, bound, stats):
+        stats.charge("mscc.meta.store")
+        self._trace_entry(addr >> 3)
+        self.table[addr >> 3] = (base, bound)
+        if len(self.table) > self.peak_live:
+            self.peak_live = len(self.table)
+
+    def clear_range(self, addr, size, stats):
+        start = addr >> 3
+        end = (addr + size + 7) >> 3
+        for key in range(start, end):
+            self.table.pop(key, None)
+        stats.charge_units(max(end - start, 1) * 2)
+
+    def metadata_bytes(self):
+        return self.peak_live * self.ENTRY_BYTES
+
+    def entry_count(self):
+        return len(self.table)
+
+
+def compile_with_mscc(source, optimize=True):
+    """Compile a program under the MSCC model."""
+    from ..harness.driver import compile_program
+
+    return compile_program(source, softbound=MSCC_CONFIG, optimize=optimize)
+
+
+def find_wild_casts(source):
+    """Statically find the casts MSCC (and CCured without WILD pointers)
+    cannot handle: non-NULL integer-to-pointer casts and pointer casts
+    that reinterpret incompatible object shapes which are then usable
+    for dereference.  Returns a list of (line, description)."""
+    program = parse_and_check(source)
+    findings = []
+
+    def is_null_constant(node):
+        return isinstance(node, ast.IntLiteral) and node.value == 0
+
+    def walk(node):
+        if node is None or not hasattr(node, "__dict__"):
+            return
+        if isinstance(node, ast.Cast):
+            target = node.target_type
+            source_t = node.operand.ctype if node.operand is not None else None
+            if target is not None and target.is_pointer and source_t is not None:
+                if source_t.is_integer and not is_null_constant(node.operand):
+                    findings.append((node.line, "integer-to-pointer cast"))
+                elif source_t.is_pointer and not target.pointee.is_void \
+                        and not source_t.pointee.is_void:
+                    a, b = source_t.pointee, target.pointee
+                    # Down-casting to a *larger* pointee shape means a
+                    # dereference reads/writes beyond what the source
+                    # type accounts for — the classic wild cast.
+                    if a.size and b.size and b.size > a.size:
+                        findings.append(
+                            (node.line, f"cast reinterprets {a} as {b}"))
+        for value in vars(node).values():
+            if isinstance(value, list):
+                for item in value:
+                    walk(item)
+            elif isinstance(value, ast.Node):
+                walk(value)
+
+    for decl in program.unit.decls:
+        walk(decl)
+    return findings

@@ -1,0 +1,74 @@
+"""Shared object-table core for the object-based baseline checkers.
+
+Jones-Kelly-style systems (JKRLDA, Mudflap) track every allocation —
+global, stack and heap — in a lookup structure and check that each
+memory access falls entirely inside *some* live object.  Their defining
+incompleteness (paper Section 2.1): an overflow from one field of a
+struct into the next stays inside the object and is invisible, because
+"pointers to node and node.str are indistinguishable as they have the
+same address".
+"""
+
+from ..vm.errors import Trap, TrapKind
+from ..vm.machine import Observer
+from .splay import RangeSplayTree
+
+
+class ObjectTableChecker(Observer):
+    """Base observer: registers objects, checks accesses against them."""
+
+    source_name = "object_table"
+    check_reads = True
+    check_writes = True
+
+    def __init__(self):
+        self.tree = RangeSplayTree()
+        self.violations = 0
+
+    # -- allocation tracking ------------------------------------------------
+
+    def on_global(self, addr, size, name, ctype):
+        self.tree.insert(addr, size, ("global", name))
+
+    def on_heap_alloc(self, addr, size):
+        self.tree.insert(addr, size, ("heap", None))
+
+    def on_heap_free(self, addr, size):
+        self.tree.remove(addr)
+
+    def on_stack_alloc(self, addr, size, name, ctype):
+        # Frames are reused at identical addresses; replace stale entries.
+        self.tree.remove(addr)
+        self.tree.insert(addr, size, ("stack", name))
+
+    def on_stack_free(self, addr, size):
+        self.tree.remove(addr)
+
+    # -- access checking -------------------------------------------------------
+
+    def charge_lookup(self):
+        raise NotImplementedError
+
+    def _check(self, addr, size, is_write):
+        self.charge_lookup()
+        node = self.tree.find(addr)
+        if node is None or addr + size > node.end:
+            self.violations += 1
+            self._report(addr, size, is_write)
+
+    def _report(self, addr, size, is_write):
+        kind = "write" if is_write else "read"
+        raise Trap(
+            TrapKind.SPATIAL_VIOLATION,
+            f"{kind} of {size} bytes outside every live object",
+            address=addr,
+            source=self.source_name,
+        )
+
+    def on_load(self, addr, size):
+        if self.check_reads:
+            self._check(addr, size, is_write=False)
+
+    def on_store(self, addr, size):
+        if self.check_writes:
+            self._check(addr, size, is_write=True)

@@ -1,0 +1,185 @@
+"""A from-scratch top-down splay tree over address ranges.
+
+The substrate for the Jones-Kelly object-table baseline: object-based
+bounds checkers keep every live object in "a splay tree, which can be a
+performance bottleneck" (paper Section 2.1).  The tree keys are range
+start addresses; lookups find the range containing an address and splay
+it to the root, so repeated lookups of hot objects are cheap while cold
+lookups pay the tree depth — the access pattern that drives the 5x
+overheads the paper cites for early object-table systems.
+
+``last_depth`` exposes the number of links traversed by the most recent
+operation so callers can charge a realistic per-level cost.
+"""
+
+
+class _Node:
+    __slots__ = ("start", "size", "tag", "left", "right")
+
+    def __init__(self, start, size, tag=None):
+        self.start = start
+        self.size = size
+        self.tag = tag
+        self.left = None
+        self.right = None
+
+    @property
+    def end(self):
+        return self.start + self.size
+
+    def contains(self, addr):
+        return self.start <= addr < self.end
+
+
+class RangeSplayTree:
+    """Maps disjoint [start, start+size) ranges to tags."""
+
+    def __init__(self):
+        self.root = None
+        self.count = 0
+        self.last_depth = 0
+
+    # -- core splay ----------------------------------------------------
+
+    def _splay(self, key):
+        """Top-down splay: bring the node whose range is nearest ``key``
+        to the root.  Counts traversed links in ``last_depth``."""
+        root = self.root
+        if root is None:
+            self.last_depth = 0
+            return
+        header = _Node(0, 0)
+        left = right = header
+        depth = 0
+        while True:
+            if key < root.start:
+                if root.left is None:
+                    break
+                if key < root.left.start:  # zig-zig: rotate right
+                    child = root.left
+                    root.left = child.right
+                    child.right = root
+                    root = child
+                    depth += 1
+                    if root.left is None:
+                        break
+                right.left = root
+                right = root
+                root = root.left
+                depth += 1
+            elif key >= root.end:
+                if root.right is None:
+                    break
+                if key >= root.right.end and root.right.right is not None:
+                    child = root.right
+                    root.right = child.left
+                    child.left = root
+                    root = child
+                    depth += 1
+                right_child = root.right
+                if right_child is None:
+                    break
+                left.right = root
+                left = root
+                root = right_child
+                depth += 1
+            else:
+                break
+        left.right = root.left
+        right.left = root.right
+        root.left = header.right
+        root.right = header.left
+        self.root = root
+        self.last_depth = depth
+
+    # -- operations -------------------------------------------------------
+
+    def insert(self, start, size, tag=None):
+        """Insert a range (must not overlap an existing one)."""
+        node = _Node(start, size, tag)
+        if self.root is None:
+            self.root = node
+            self.count += 1
+            self.last_depth = 0
+            return
+        self._splay(start)
+        root = self.root
+        if root.contains(start) or node.end > root.start and start < root.end:
+            # Overlap: replace in place (stack slot reuse produces this).
+            if root.start == start and root.size == size:
+                root.tag = tag
+                return
+        if start < root.start:
+            node.left = root.left
+            node.right = root
+            root.left = None
+        else:
+            node.right = root.right
+            node.left = root
+            root.right = None
+        self.root = node
+        self.count += 1
+
+    def remove(self, start):
+        """Remove the range starting at ``start``; returns its tag."""
+        if self.root is None:
+            return None
+        self._splay(start)
+        root = self.root
+        if root.start != start:
+            return None
+        tag = root.tag
+        if root.left is None:
+            self.root = root.right
+        else:
+            right = root.right
+            self.root = root.left
+            self._splay(start)
+            self.root.right = right
+        self.count -= 1
+        return tag
+
+    def find(self, addr):
+        """The node whose range contains ``addr``, or None (splays)."""
+        if self.root is None:
+            self.last_depth = 0
+            return None
+        self._splay(addr)
+        return self.root if self.root.contains(addr) else None
+
+    def find_range(self, addr):
+        """(start, size, tag) for the range containing addr, or None."""
+        node = self.find(addr)
+        if node is None:
+            return None
+        return (node.start, node.size, node.tag)
+
+    def __len__(self):
+        return self.count
+
+    def __contains__(self, addr):
+        return self.find(addr) is not None
+
+    def items(self):
+        """All (start, size, tag) in key order (for tests/debugging)."""
+        out = []
+
+        def walk(node):
+            if node is None:
+                return
+            walk(node.left)
+            out.append((node.start, node.size, node.tag))
+            walk(node.right)
+
+        walk(self.root)
+        return out
+
+    def depth(self):
+        """Current tree height (for invariant tests)."""
+
+        def height(node):
+            if node is None:
+                return 0
+            return 1 + max(height(node.left), height(node.right))
+
+        return height(self.root)

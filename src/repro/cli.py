@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run FILE
+    Compile and execute a C file on the VM, optionally under SoftBound.
+check FILE
+    Shorthand for ``run FILE --softbound``, exiting non-zero on a
+    violation — the "drop-in checker" workflow.
+tables [NAME]
+    Regenerate the paper's tables/figures (all of them, or one by name).
+workloads
+    List the built-in benchmark analogues.
+
+Exit status: the program's own exit code for clean runs; 70 when a
+checker stopped the program; 71 for a VM-level trap (segfault etc.);
+64 for usage errors; 65 for compile errors.
+"""
+
+import argparse
+import sys
+
+EX_VIOLATION = 70
+EX_TRAP = 71
+EX_USAGE = 64
+EX_COMPILE = 65
+
+_TABLE_NAMES = ("table1", "table3", "table4", "figure1", "figure2",
+                "sec64", "sec65", "metadata")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SoftBound reproduction: compile, run and check C "
+                    "programs on the simulated machine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="compile and execute a C file")
+    run_parser.add_argument("file", nargs="+",
+                            help="C source file(s); multiple files are "
+                                 "compiled separately and linked")
+    run_parser.add_argument("--softbound", action="store_true",
+                            help="apply the SoftBound transformation")
+    run_parser.add_argument("--store-only", action="store_true",
+                            help="check stores only (implies --softbound)")
+    run_parser.add_argument("--hash-table", action="store_true",
+                            help="use the hash-table metadata facility "
+                                 "(default: shadow space; implies --softbound)")
+    run_parser.add_argument("--fnptr-signatures", action="store_true",
+                            help="enable function-pointer signature "
+                                 "encoding (implies --softbound)")
+    run_parser.add_argument("--no-shrink-bounds", action="store_true",
+                            help="disable sub-object bound shrinking")
+    run_parser.add_argument("--no-optimize", action="store_true",
+                            help="skip the optimizer pipelines")
+    run_parser.add_argument("--stats", action="store_true",
+                            help="print cost-model statistics after the run")
+    run_parser.add_argument("--stdin-file", metavar="PATH",
+                            help="file whose contents become the program's stdin")
+
+    check_parser = sub.add_parser(
+        "check", help="run a file under full SoftBound checking")
+    check_parser.add_argument("file", nargs="+")
+    check_parser.add_argument("--stats", action="store_true")
+    check_parser.add_argument("--stdin-file", metavar="PATH")
+
+    tables_parser = sub.add_parser(
+        "tables", help="regenerate the paper's tables and figures")
+    tables_parser.add_argument("name", nargs="?", choices=_TABLE_NAMES,
+                               help="one artifact (default: all)")
+
+    sub.add_parser("workloads", help="list the built-in workloads")
+    return parser
+
+
+def _build_config(args):
+    from .softbound.config import CheckMode, MetadataScheme, SoftBoundConfig
+
+    wants_softbound = (args.softbound or args.store_only or args.hash_table
+                       or args.fnptr_signatures or args.no_shrink_bounds)
+    if not wants_softbound:
+        return None
+    return SoftBoundConfig(
+        mode=CheckMode.STORE_ONLY if args.store_only else CheckMode.FULL,
+        scheme=(MetadataScheme.HASH_TABLE if args.hash_table
+                else MetadataScheme.SHADOW_SPACE),
+        shrink_bounds=not args.no_shrink_bounds,
+        encode_fnptr_signature=args.fnptr_signatures,
+    )
+
+
+def _read_source(path, stderr):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=stderr)
+        return None
+
+
+def _execute(sources, config, args, stdout, stderr):
+    from .frontend.errors import FrontendError
+    from .harness.linker import LinkError, compile_and_link
+
+    input_data = b""
+    if getattr(args, "stdin_file", None):
+        with open(args.stdin_file, "rb") as handle:
+            input_data = handle.read()
+    optimize = not getattr(args, "no_optimize", False)
+    try:
+        compiled = compile_and_link(sources, softbound=config,
+                                    optimize=optimize)
+        result = compiled.run(input_data=input_data)
+    except FrontendError as error:
+        print(f"compile error: {error}", file=stderr)
+        return EX_COMPILE
+    except LinkError as error:
+        print(f"link error: {error}", file=stderr)
+        return EX_COMPILE
+    if result.output:
+        stdout.write(result.output)
+        if not result.output.endswith("\n"):
+            stdout.write("\n")
+    if getattr(args, "stats", False):
+        _print_stats(result, stdout)
+    if result.trap is not None:
+        print(f"trap: {result.trap}", file=stderr)
+        return EX_VIOLATION if result.trap.source == "softbound" else EX_TRAP
+    return result.exit_code
+
+
+def _print_stats(result, stdout):
+    stats = result.stats
+    lines = [
+        "--- stats ---",
+        f"cost units:        {stats.cost}",
+        f"instructions:      {stats.instructions}",
+        f"memory ops:        {stats.memory_ops}",
+        f"pointer mem ops:   {stats.pointer_memory_ops} "
+        f"({stats.pointer_memory_op_fraction:.1%})",
+        f"bounds checks:     {stats.checks}",
+        f"metadata loads:    {stats.metadata_loads}",
+        f"metadata stores:   {stats.metadata_stores}",
+        f"peak heap bytes:   {stats.peak_heap}",
+        f"metadata bytes:    {stats.metadata_bytes}",
+    ]
+    stdout.write("\n".join(lines) + "\n")
+
+
+def _render_tables(name, stdout):
+    from .harness import tables
+
+    renderers = {
+        "table1": tables.render_table1,
+        "table3": tables.render_table3,
+        "table4": tables.render_table4,
+        "figure1": tables.render_figure1,
+        "figure2": tables.render_figure2,
+        "sec64": tables.render_sec64,
+        "sec65": tables.render_sec65,
+        "metadata": tables.render_metadata_ablation,
+    }
+    if name:
+        stdout.write(renderers[name]() + "\n")
+    else:
+        stdout.write(tables.render_all() + "\n")
+    return 0
+
+
+def _list_workloads(stdout):
+    from .workloads.programs import WORKLOADS
+
+    width = max(len(name) for name in WORKLOADS)
+    for name, workload in WORKLOADS.items():
+        stdout.write(f"{name:<{width}}  [{workload.suite:<5}] "
+                     f"{workload.description}\n")
+    return 0
+
+
+def main(argv=None, stdout=None, stderr=None):
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_error:
+        return EX_USAGE if exit_error.code not in (0, None) else 0
+
+    if args.command == "workloads":
+        return _list_workloads(stdout)
+    if args.command == "tables":
+        return _render_tables(args.name, stdout)
+
+    sources = []
+    for path in args.file:
+        source = _read_source(path, stderr)
+        if source is None:
+            return EX_USAGE
+        sources.append(source)
+    if args.command == "check":
+        from .softbound.config import SoftBoundConfig
+
+        return _execute(sources, SoftBoundConfig(), args, stdout, stderr)
+    return _execute(sources, _build_config(args), args, stdout, stderr)

@@ -1,0 +1,11 @@
+"""Executable formal semantics of the paper's Section 4 fragment."""
+
+from . import syntax
+from .machine_axioms import FormalMemory
+from .semantics import Environment, Evaluator, Outcome, run
+from .wellformed import (command_welltyped, datum_wellformed, env_wellformed,
+                         memory_wellformed, stack_wellformed)
+
+__all__ = ["syntax", "FormalMemory", "Environment", "Evaluator", "Outcome",
+           "run", "datum_wellformed", "memory_wellformed", "stack_wellformed",
+           "env_wellformed", "command_welltyped"]

@@ -1,0 +1,135 @@
+"""Random well-typed program generation for the soundness properties.
+
+Hypothesis strategies producing (environment-setup, command) pairs in
+the Section 4 fragment.  Generation is type-directed over a fixed
+variable pool that covers every interesting construct: plain ints,
+pointers to ints, pointers to a recursive named struct, address-of
+(including sub-object address-of through fields), malloc, pointer
+arithmetic and *wild casts* (int literals cast to pointers) — the
+programs are well-typed but by no means safe, which is the point: the
+theorems quantify over all well-typed programs, including aborting ones.
+"""
+
+from hypothesis import strategies as st
+
+from . import syntax as syn
+from .semantics import Environment
+
+NODE = syn.TStruct((("v", syn.TInt()), ("next", syn.TPtr(syn.TNamed("node")))))
+STRUCTS = {"node": NODE}
+
+INT = syn.TInt()
+INT_PTR = syn.TPtr(syn.TInt())
+NODE_PTR = syn.TPtr(syn.TNamed("node"))
+
+#: The variable pool every generated program draws from.
+VARIABLES = {
+    "i1": INT,
+    "i2": INT,
+    "p1": INT_PTR,
+    "p2": INT_PTR,
+    "q1": NODE_PTR,
+    "q2": NODE_PTR,
+}
+
+
+def make_environment(capacity=512):
+    """A fresh environment with the standard pool declared."""
+    env = Environment(structs=STRUCTS, capacity=capacity)
+    for name, ftype in VARIABLES.items():
+        env.declare(name, ftype)
+    return env
+
+
+# -- lvalue strategies ------------------------------------------------------
+
+def int_lvalues():
+    return st.one_of(
+        st.sampled_from([syn.Var("i1"), syn.Var("i2")]),
+        st.sampled_from([syn.Deref(syn.Var("p1")), syn.Deref(syn.Var("p2"))]),
+        st.sampled_from([syn.FieldArrow(syn.Var("q1"), "v"),
+                         syn.FieldArrow(syn.Var("q2"), "v")]),
+    )
+
+
+def int_ptr_lvalues():
+    return st.sampled_from([syn.Var("p1"), syn.Var("p2")])
+
+
+def node_ptr_lvalues():
+    return st.one_of(
+        st.sampled_from([syn.Var("q1"), syn.Var("q2")]),
+        st.sampled_from([syn.FieldArrow(syn.Var("q1"), "next"),
+                         syn.FieldArrow(syn.Var("q2"), "next")]),
+    )
+
+
+# -- rhs strategies ------------------------------------------------------------
+
+def int_rhs(depth=2):
+    base = st.one_of(
+        st.integers(min_value=-8, max_value=64).map(syn.IntLit),
+        st.builds(syn.SizeOf, st.sampled_from([INT, NODE, syn.TNamed("node")])),
+        int_lvalues().map(syn.Read),
+    )
+    if depth <= 0:
+        return base
+    recur = int_rhs(depth - 1)
+    return st.one_of(base, st.builds(syn.Add, recur, recur))
+
+
+def int_ptr_rhs(depth=2):
+    base = st.one_of(
+        int_ptr_lvalues().map(syn.Read),
+        int_lvalues().map(syn.AddrOf),           # incl. &(q->v): shrunk bounds
+        st.builds(lambda n: syn.CastTo(INT_PTR, syn.Malloc(syn.IntLit(n))),
+                  st.integers(min_value=0, max_value=8)),
+        # Wild cast: integer forged into a pointer (gets null bounds).
+        st.builds(lambda n: syn.CastTo(INT_PTR, syn.IntLit(n)),
+                  st.integers(min_value=0, max_value=600)),
+    )
+    if depth <= 0:
+        return base
+    return st.one_of(
+        base,
+        st.builds(syn.Add, int_ptr_rhs(depth - 1), int_rhs(0)),  # pointer arith
+        st.builds(lambda r: syn.CastTo(INT_PTR, r), node_ptr_rhs(depth - 1)),
+    )
+
+
+def node_ptr_rhs(depth=2):
+    base = st.one_of(
+        node_ptr_lvalues().map(syn.Read),
+        st.builds(lambda n: syn.CastTo(NODE_PTR, syn.Malloc(syn.IntLit(n))),
+                  st.integers(min_value=0, max_value=6)),
+        st.builds(lambda n: syn.CastTo(NODE_PTR, syn.IntLit(n)),
+                  st.integers(min_value=0, max_value=600)),
+    )
+    if depth <= 0:
+        return base
+    return st.one_of(
+        base,
+        st.builds(lambda r: syn.CastTo(NODE_PTR, r), int_ptr_rhs(depth - 1)),
+    )
+
+
+# -- command strategies -------------------------------------------------------------
+
+def assignments():
+    return st.one_of(
+        st.builds(syn.Assign, int_lvalues(), int_rhs()),
+        st.builds(syn.Assign, int_ptr_lvalues(), int_ptr_rhs()),
+        st.builds(syn.Assign, node_ptr_lvalues(), node_ptr_rhs()),
+    )
+
+
+def commands(max_length=12):
+    """A straight-line command: 1..max_length assignments."""
+
+    def fold(assigns):
+        command = assigns[0]
+        for item in assigns[1:]:
+            command = syn.Seq(command, item)
+        return command
+
+    return st.lists(assignments(), min_size=1, max_size=max_length).map(fold)

@@ -1,0 +1,78 @@
+"""The axiomatized memory primitives (paper Table 2 / Section 4.2).
+
+The paper does not commit to a memory implementation; it axiomatizes
+``read``, ``write`` and ``malloc``.  :class:`FormalMemory` is one
+reasonable implementation; the axioms themselves are runtime-checkable
+predicates exercised by hypothesis tests in
+``tests/formal/test_axioms.py``:
+
+* reading a location after storing to it returns the stored value;
+* storing to ℓ doesn't affect any other location;
+* malloc returns a pointer to previously-unallocated memory;
+* malloc doesn't alter the contents of already-allocated locations;
+* read and write fail (return none) on unallocated memory;
+* malloc fails when there is not enough space.
+"""
+
+
+class FormalMemory:
+    """Word-addressed partial memory with an allocation set.
+
+    Values stored are opaque to the memory (the semantics stores
+    metadata-carrying triples).  Addresses start at ``min_addr`` > 0 so
+    that 0 is never a valid location (NULL).
+    """
+
+    def __init__(self, capacity=4096, min_addr=16):
+        self.capacity = capacity
+        self.min_addr = min_addr
+        self.next_free = min_addr
+        self.allocated = set()
+        self.contents = {}
+
+    @property
+    def max_addr(self):
+        return self.min_addr + self.capacity
+
+    # -- Table 2 operations ------------------------------------------------
+
+    def read(self, loc):
+        """``read M l``: some data if l is accessible, none otherwise."""
+        if loc not in self.allocated:
+            return None
+        return self.contents.get(loc, (0, 0, 0))
+
+    def write(self, loc, data):
+        """``write M l d``: True on success, None (failure) otherwise."""
+        if loc not in self.allocated:
+            return None
+        self.contents[loc] = data
+        return True
+
+    def malloc(self, size):
+        """``malloc M i``: base of a fresh block, or None when exhausted.
+
+        Fresh means: no address in the block was previously allocated —
+        this implementation never reuses addresses, which trivially
+        satisfies the freshness axiom (the paper's axioms permit this).
+        """
+        if size <= 0:
+            return None
+        if self.next_free + size > self.max_addr:
+            return None
+        base = self.next_free
+        self.next_free += size
+        for offset in range(size):
+            self.allocated.add(base + offset)
+            self.contents[base + offset] = (0, 0, 0)
+        return base
+
+    # -- predicates used by well-formedness ------------------------------------
+
+    def val(self, loc):
+        """``val M i``: location i is allocated."""
+        return loc in self.allocated
+
+    def snapshot(self):
+        """Immutable view of current contents (for frame axioms)."""
+        return dict(self.contents), set(self.allocated)

@@ -1,0 +1,209 @@
+"""Big-step operational semantics of the Section 4 fragment.
+
+Two modes, mirroring the paper's development:
+
+* **plain** — the non-standard *partial* semantics of C: it is undefined
+  (result ``STUCK``) whenever a bad program would cause a spatial-safety
+  violation; "for programs without spatial memory errors, this semantics
+  agrees with C".
+* **instrumented** — the semantics augmented with metadata propagation
+  and bounds-check assertions, "abort[ing] the program upon assertion
+  failure".  This abstractly models SoftBound instrumentation.
+
+Values are triples ``(v, b, e)`` — the paper's ``v_(b,e)`` notation:
+the underlying word plus its base and bound metadata.  The evaluation
+judgments follow the paper's three forms:
+
+* ``(E, lhs)  ⇒l  r : a``   (addresses; no environment effects)
+* ``(E, rhs)  ⇒r  (r : a, E')``
+* ``(E, c)    ⇒c  (r, E')`` with r ∈ {OK, Abort, OutOfMem}
+
+The two dereference rules shown in the paper (check success → value,
+check failure → Abort) appear verbatim in :meth:`_lhs_Deref`.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from . import syntax as syn
+from .machine_axioms import FormalMemory
+
+
+class Outcome(enum.Enum):
+    OK = "ok"
+    ABORT = "abort"          # instrumented check failed
+    OUT_OF_MEM = "out_of_mem"
+    STUCK = "stuck"          # plain semantics undefined (memory violation)
+
+
+@dataclass
+class _Signal(Exception):
+    outcome: Outcome
+
+
+class Environment:
+    """E = (S, M): stack frame and memory, plus the named-struct table."""
+
+    def __init__(self, structs=None, capacity=4096):
+        self.structs = dict(structs or {})
+        self.memory = FormalMemory(capacity=capacity)
+        self.stack = {}  # name -> (address, atomic FType)
+
+    def declare(self, name, ftype):
+        """Allocate a stack slot for a variable (models frame setup)."""
+        assert syn.is_atomic(ftype), f"variables hold atomic types, not {ftype}"
+        addr = self.memory.malloc(ftype.sizeof(self.structs))
+        if addr is None:
+            raise _Signal(Outcome.OUT_OF_MEM)
+        self.stack[name] = (addr, ftype)
+        return addr
+
+    def resolve_struct(self, ftype):
+        if isinstance(ftype, syn.TNamed):
+            return ftype.resolve(self.structs)
+        return ftype
+
+
+class Evaluator:
+    """Executes commands under one of the two semantics."""
+
+    def __init__(self, env, instrumented=True, fuel=100_000):
+        self.env = env
+        self.instrumented = instrumented
+        self.fuel = fuel
+
+    # -- public API ----------------------------------------------------------
+
+    def run_command(self, command):
+        """(E, c) ⇒c (r, E'): returns an Outcome; E is updated in place."""
+        try:
+            for assign in syn.commands_of(command):
+                self._exec_assign(assign)
+        except _Signal as signal:
+            return signal.outcome
+        return Outcome.OK
+
+    # -- commands ----------------------------------------------------------------
+
+    def _exec_assign(self, assign):
+        self._burn()
+        loc, ltype = self._eval_lhs(assign.lhs)
+        value = self._eval_rhs(assign.rhs)
+        if self.env.memory.write(loc, value) is None:
+            # lhs evaluation yielded an unallocated address: the plain
+            # semantics is undefined; the instrumented semantics cannot
+            # reach here from a well-formed state (progress), but a raw
+            # unchecked write in plain mode gets stuck.
+            raise _Signal(Outcome.STUCK)
+
+    # -- lhs: (E, lhs) ⇒l l : a ----------------------------------------------------
+
+    def _eval_lhs(self, lhs):
+        self._burn()
+        if isinstance(lhs, syn.Var):
+            entry = self.env.stack.get(lhs.name)
+            if entry is None:
+                raise _Signal(Outcome.STUCK)
+            return entry  # (address, atomic type)
+        if isinstance(lhs, syn.Deref):
+            return self._lhs_Deref(lhs)
+        if isinstance(lhs, syn.FieldDot):
+            loc, ftype = self._eval_lhs(lhs.inner)
+            return self._field(loc, ftype, lhs.field)
+        if isinstance(lhs, syn.FieldArrow):
+            loc, ftype = self._lhs_Deref(syn.Deref(lhs.inner))
+            return self._field(loc, ftype, lhs.field)
+        raise TypeError(f"not an lhs: {lhs!r}")
+
+    def _lhs_Deref(self, lhs):
+        """The paper's two displayed rules.
+
+        (E, lhs) ⇒l l : a*          (E, lhs) ⇒l l : a*
+        read (E.M) l = some v(b,e)   read (E.M) l = some v(b,e)
+        b ≤ v ∧ v + sizeof(a) ≤ e    ¬(b ≤ v ∧ v + sizeof(a) ≤ e)
+        --------------------------   ---------------------------
+        (E, *lhs) ⇒l v : a           (E, *lhs) ⇒l Abort : a
+        """
+        loc, ftype = self._eval_lhs(lhs.inner)
+        if not isinstance(ftype, syn.TPtr):
+            raise _Signal(Outcome.STUCK)
+        data = self.env.memory.read(loc)
+        if data is None:
+            raise _Signal(Outcome.STUCK)
+        value, base, bound = data
+        pointee = self.env.resolve_struct(ftype.pointee)
+        size = pointee.sizeof(self.env.structs)
+        if self.instrumented:
+            if not (base <= value and value + size <= bound):
+                raise _Signal(Outcome.ABORT)
+        else:
+            # Partial semantics: undefined unless the whole access range
+            # is allocated memory.
+            if size == 0 or not all(self.env.memory.val(value + i) for i in range(size)):
+                raise _Signal(Outcome.STUCK)
+        return value, pointee
+
+    def _field(self, loc, ftype, field_name):
+        struct = self.env.resolve_struct(ftype)
+        if not isinstance(struct, syn.TStruct):
+            raise _Signal(Outcome.STUCK)
+        entry = struct.field_offset(field_name, self.env.structs)
+        if entry is None:
+            raise _Signal(Outcome.STUCK)
+        offset, field_type = entry
+        return loc + offset, field_type
+
+    # -- rhs: (E, rhs) ⇒r (v(b,e) : a, E') ---------------------------------------------
+
+    def _eval_rhs(self, rhs):
+        self._burn()
+        if isinstance(rhs, syn.IntLit):
+            return (rhs.value, 0, 0)
+        if isinstance(rhs, syn.Add):
+            lv, lb, le = self._eval_rhs(rhs.left)
+            rv, rb, re_ = self._eval_rhs(rhs.right)
+            # Pointer arithmetic inherits the pointer's metadata
+            # (Section 3.1); int+int has null metadata.
+            if (lb, le) != (0, 0):
+                return (lv + rv, lb, le)
+            if (rb, re_) != (0, 0):
+                return (lv + rv, rb, re_)
+            return (lv + rv, 0, 0)
+        if isinstance(rhs, syn.Read):
+            loc, ftype = self._eval_lhs(rhs.lhs)
+            data = self.env.memory.read(loc)
+            if data is None:
+                raise _Signal(Outcome.STUCK)
+            return data
+        if isinstance(rhs, syn.AddrOf):
+            loc, ftype = self._eval_lhs(rhs.lhs)
+            size = self.env.resolve_struct(ftype).sizeof(self.env.structs)
+            # &lhs gets the bounds of the object it names — including
+            # *shrunk* bounds for &(lhs.field) (Section 3.1).
+            return (loc, loc, loc + size)
+        if isinstance(rhs, syn.CastTo):
+            value, base, bound = self._eval_rhs(rhs.rhs)
+            # Casts preserve the value and the (incorruptible) metadata;
+            # this is what makes arbitrary casts safe (Section 5.2).
+            return (value, base, bound)
+        if isinstance(rhs, syn.SizeOf):
+            return (self.env.resolve_struct(rhs.ftype).sizeof(self.env.structs), 0, 0)
+        if isinstance(rhs, syn.Malloc):
+            size_value, _, _ = self._eval_rhs(rhs.size)
+            if size_value <= 0:
+                return (0, 0, 0)
+            base = self.env.memory.malloc(size_value)
+            if base is None:
+                raise _Signal(Outcome.OUT_OF_MEM)
+            return (base, base, base + size_value)
+        raise TypeError(f"not an rhs: {rhs!r}")
+
+    def _burn(self):
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise _Signal(Outcome.OUT_OF_MEM)
+
+
+def run(env, command, instrumented=True):
+    """Convenience: execute ``command`` in ``env``; returns an Outcome."""
+    return Evaluator(env, instrumented=instrumented).run_command(command)

@@ -1,0 +1,209 @@
+"""Abstract syntax of the paper's formal C fragment (Section 4.1).
+
+The grammar, verbatim from the paper:
+
+.. code-block:: text
+
+    Atomic Types  a   ::= int | p*
+    Pointer Types p   ::= a | s | n | void
+    Struct Types  s   ::= struct { ...; id_i : a_i; ... }
+    LHS           lhs ::= x | *lhs | lhs.id | lhs->id
+    RHS           rhs ::= i | rhs + rhs | lhs | &lhs | (a) rhs
+                        | sizeof(a) | malloc(rhs)
+    Commands      c   ::= c ; c | lhs = rhs
+
+Named structs (``n``) permit recursive data structures; the environment
+carries a named-struct table resolving them.
+"""
+
+from dataclasses import dataclass
+
+# -- types -----------------------------------------------------------------
+
+
+class FType:
+    """Base class for the fragment's types."""
+
+    def sizeof(self, structs):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TInt(FType):
+    def sizeof(self, structs):
+        return 1  # sizes are in words: the fragment needs no sub-word layout
+
+    def __str__(self):
+        return "int"
+
+
+@dataclass(frozen=True)
+class TPtr(FType):
+    """Pointer to a pointer-type (atomic, struct, named or void)."""
+
+    pointee: object
+
+    def sizeof(self, structs):
+        return 1
+
+    def __str__(self):
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class TVoid(FType):
+    def sizeof(self, structs):
+        return 0
+
+    def __str__(self):
+        return "void"
+
+
+@dataclass(frozen=True)
+class TStruct(FType):
+    """Anonymous struct: ordered (field-name, atomic-type) pairs."""
+
+    fields: tuple  # tuple of (name, FType)
+
+    def sizeof(self, structs):
+        return sum(t.sizeof(structs) for _, t in self.fields)
+
+    def field_offset(self, name, structs):
+        offset = 0
+        for fname, ftype in self.fields:
+            if fname == name:
+                return offset, ftype
+            offset += ftype.sizeof(structs)
+        return None
+
+    def __str__(self):
+        inner = "; ".join(f"{n}:{t}" for n, t in self.fields)
+        return f"struct{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class TNamed(FType):
+    """A named struct reference, resolved through the struct table."""
+
+    name: str
+
+    def sizeof(self, structs):
+        return structs[self.name].sizeof(structs)
+
+    def resolve(self, structs):
+        return structs[self.name]
+
+    def __str__(self):
+        return self.name
+
+
+def is_atomic(ftype):
+    """Atomic types a ::= int | p* (what variables and fields hold)."""
+    return isinstance(ftype, (TInt, TPtr))
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """lhs: a variable x."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Deref:
+    """lhs: *lhs."""
+
+    inner: object
+
+
+@dataclass(frozen=True)
+class FieldDot:
+    """lhs: lhs.id."""
+
+    inner: object
+    field: str
+
+
+@dataclass(frozen=True)
+class FieldArrow:
+    """lhs: lhs->id (sugar for (*lhs).id, kept distinct as in the paper)."""
+
+    inner: object
+    field: str
+
+
+@dataclass(frozen=True)
+class IntLit:
+    """rhs: integer constant i."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Add:
+    """rhs: rhs + rhs (also expresses pointer arithmetic after a cast)."""
+
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Read:
+    """rhs: an lhs in value position."""
+
+    lhs: object
+
+
+@dataclass(frozen=True)
+class AddrOf:
+    """rhs: &lhs."""
+
+    lhs: object
+
+
+@dataclass(frozen=True)
+class CastTo:
+    """rhs: (a) rhs — casts to an atomic type, including wild ones."""
+
+    ftype: object
+    rhs: object
+
+
+@dataclass(frozen=True)
+class SizeOf:
+    """rhs: sizeof(a)."""
+
+    ftype: object
+
+
+@dataclass(frozen=True)
+class Malloc:
+    """rhs: malloc(rhs)."""
+
+    size: object
+
+
+@dataclass(frozen=True)
+class Assign:
+    """c: lhs = rhs."""
+
+    lhs: object
+    rhs: object
+
+
+@dataclass(frozen=True)
+class Seq:
+    """c: c ; c."""
+
+    first: object
+    second: object
+
+
+def commands_of(command):
+    """Flatten a command tree into assignment order."""
+    if isinstance(command, Seq):
+        return commands_of(command.first) + commands_of(command.second)
+    return [command]

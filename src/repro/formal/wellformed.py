@@ -1,0 +1,145 @@
+"""Well-formedness predicates (paper Section 4.3).
+
+* ``⊢D d(b,e)`` — datum well-formedness: either ``b = 0`` (null-bounded;
+  any dereference aborts) or ``b ≠ 0`` and every location in ``[b, e)``
+  is allocated and ``minAddr ≤ b ≤ e < maxAddr``.
+* ``⊢M M`` — memory well-formedness: every readable location's datum is
+  well formed.
+* ``⊢E E`` — environment well-formedness: well-formed stack frame (every
+  variable maps to an allocated slot with an atomic type) plus ⊢M.
+
+These are executable predicates: the soundness tests check Preservation
+(⊢E is invariant under instrumented execution) and Progress (from ⊢E the
+instrumented semantics never gets STUCK) over randomly generated
+programs — the executable counterpart of the paper's Coq theorems.
+"""
+
+from . import syntax as syn
+
+
+def datum_wellformed(memory, datum):
+    """⊢D d(b,e) (paper Section 4.3, displayed definition)."""
+    value, base, bound = datum
+    if base == 0:
+        return True
+    if not (memory.min_addr <= base <= bound < memory.max_addr + 1):
+        return False
+    return all(memory.val(loc) for loc in range(base, bound))
+
+
+def memory_wellformed(memory):
+    """⊢M M: every accessible location holds a well-formed datum."""
+    for loc in memory.allocated:
+        datum = memory.read(loc)
+        if datum is None:
+            return False
+        if not datum_wellformed(memory, datum):
+            return False
+    return True
+
+
+def stack_wellformed(env):
+    """Every variable is bound to an allocated address of atomic type."""
+    for name, (addr, ftype) in env.stack.items():
+        if not syn.is_atomic(ftype):
+            return False
+        size = ftype.sizeof(env.structs)
+        if not all(env.memory.val(addr + i) for i in range(size)):
+            return False
+    return True
+
+
+def env_wellformed(env):
+    """⊢E E: well-formed stack frame and well-formed memory."""
+    return stack_wellformed(env) and memory_wellformed(env.memory)
+
+
+def command_welltyped(env, command):
+    """S ⊢c c: the command typechecks under the stack frame's types.
+
+    Standard C typing, specialized to the fragment: assignments require
+    the lhs and rhs types to agree up to pointer/integer conflation
+    introduced by casts (the rhs type is computed syntactically).
+    """
+    try:
+        for assign in syn.commands_of(command):
+            lhs_type = _type_lhs(env, assign.lhs)
+            if lhs_type is None or not syn.is_atomic(lhs_type):
+                return False
+            rhs_type = _type_rhs(env, assign.rhs)
+            if rhs_type is None:
+                return False
+            if not _compatible(lhs_type, rhs_type):
+                return False
+    except (KeyError, AttributeError):
+        return False
+    return True
+
+
+def _compatible(a, b):
+    if isinstance(a, syn.TInt) and isinstance(b, syn.TInt):
+        return True
+    if isinstance(a, syn.TPtr) and isinstance(b, syn.TPtr):
+        return True  # pointer casts are free in the fragment
+    return False
+
+
+def _type_lhs(env, lhs):
+    if isinstance(lhs, syn.Var):
+        entry = env.stack.get(lhs.name)
+        return entry[1] if entry else None
+    if isinstance(lhs, syn.Deref):
+        inner = _type_lhs(env, lhs.inner)
+        if not isinstance(inner, syn.TPtr):
+            return None
+        return env.resolve_struct(inner.pointee)
+    if isinstance(lhs, syn.FieldDot):
+        inner = _type_lhs(env, lhs.inner)
+        return _field_type(env, inner, lhs.field)
+    if isinstance(lhs, syn.FieldArrow):
+        inner = _type_lhs(env, lhs.inner)
+        if not isinstance(inner, syn.TPtr):
+            return None
+        return _field_type(env, env.resolve_struct(inner.pointee), lhs.field)
+    return None
+
+
+def _field_type(env, struct_type, name):
+    struct = env.resolve_struct(struct_type) if struct_type else None
+    if not isinstance(struct, syn.TStruct):
+        return None
+    entry = struct.field_offset(name, env.structs)
+    return entry[1] if entry else None
+
+
+def _type_rhs(env, rhs):
+    if isinstance(rhs, syn.IntLit):
+        return syn.TInt()
+    if isinstance(rhs, syn.Add):
+        left = _type_rhs(env, rhs.left)
+        right = _type_rhs(env, rhs.right)
+        if left is None or right is None:
+            return None
+        if isinstance(left, syn.TPtr) and isinstance(right, syn.TInt):
+            return left
+        if isinstance(left, syn.TInt) and isinstance(right, syn.TPtr):
+            return right
+        if isinstance(left, syn.TInt) and isinstance(right, syn.TInt):
+            return syn.TInt()
+        return None
+    if isinstance(rhs, syn.Read):
+        return _type_lhs(env, rhs.lhs)
+    if isinstance(rhs, syn.AddrOf):
+        inner = _type_lhs(env, rhs.lhs)
+        return syn.TPtr(inner) if inner is not None else None
+    if isinstance(rhs, syn.CastTo):
+        if _type_rhs(env, rhs.rhs) is None:
+            return None
+        return rhs.ftype
+    if isinstance(rhs, syn.SizeOf):
+        return syn.TInt()
+    if isinstance(rhs, syn.Malloc):
+        if not isinstance(_type_rhs(env, rhs.size), syn.TInt):
+            return None
+        return syn.TPtr(syn.TVoid())
+    return None

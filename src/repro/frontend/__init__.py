@@ -1,0 +1,20 @@
+"""C-subset frontend: lexer, parser, type system, type checker."""
+
+from . import ast_nodes, ctypes_
+from .errors import FrontendError, LexError, ParseError, TypeError_
+from .lexer import tokenize
+from .parser import parse
+from .typecheck import check, parse_and_check
+
+__all__ = [
+    "ast_nodes",
+    "ctypes_",
+    "tokenize",
+    "parse",
+    "check",
+    "parse_and_check",
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "TypeError_",
+]

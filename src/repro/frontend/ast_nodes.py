@@ -1,0 +1,254 @@
+"""AST node definitions.
+
+Nodes are plain dataclasses.  The parser produces an untyped AST; the
+type checker annotates expression nodes in place by filling their
+``ctype`` attribute (and inserting implicit conversions), producing the
+typed AST that lowering consumes.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+    col: int = 0
+
+
+# -- expressions -------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    ctype: object = None  # filled by the type checker
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: bytes = b""
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+    # Filled by the type checker: one of "local", "param", "global",
+    # "function", "enum_const".
+    binding: str = ""
+    enum_value: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # -  !  ~  *  &  ++pre  --pre  post++  post--
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # + - * / % << >> < <= > >= == != & | ^ && ||
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # = += -= *= /= %= &= |= ^= <<= >>=
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    target_type: object = None  # CType after checking; TypeSpec before
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: object = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    func: Optional[Expr] = None
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    base: Optional[Expr] = None
+    name: str = ""
+    arrow: bool = False  # True for ->, False for .
+    # Filled by the checker:
+    field_offset: int = 0
+    field_size: int = 0
+
+
+@dataclass
+class ImplicitConvert(Expr):
+    """Inserted by the type checker for arithmetic conversions and
+    array/function decay."""
+
+    kind: str = ""  # "arith", "decay", "ptr", "bool"
+    operand: Optional[Expr] = None
+
+
+# -- statements --------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    items: list = field(default_factory=list)  # Decl or Stmt
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: object = None  # Decl, Expr or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Case(Stmt):
+    value: Optional[Expr] = None  # None for default
+    stmts: list = field(default_factory=list)
+
+
+@dataclass
+class Goto(Stmt):
+    label: str = ""
+
+
+@dataclass
+class Label(Stmt):
+    name: str = ""
+    stmt: Optional[Stmt] = None
+
+
+# -- declarations ------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    """A single variable declaration (one declarator)."""
+
+    name: str = ""
+    type: object = None  # CType after parsing (parser resolves types)
+    init: object = None  # Expr, InitList or None
+    storage: str = ""  # "", "static", "extern", "typedef"
+
+
+@dataclass
+class InitList(Node):
+    """Brace initializer ``{a, b, ...}`` for arrays/structs."""
+
+    items: list = field(default_factory=list)
+    ctype: object = None
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str = ""
+    type: object = None
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: object = None
+    params: list = field(default_factory=list)  # ParamDecl
+    varargs: bool = False
+    body: Optional[Block] = None
+    storage: str = ""
+
+
+@dataclass
+class TranslationUnit(Node):
+    """Top level: ordered declarations and function definitions."""
+
+    decls: list = field(default_factory=list)

@@ -1,0 +1,77 @@
+"""Builtin function signatures shared by the type checker and the VM.
+
+These model the slice of libc the paper's workloads need, plus the two
+SoftBound-specific entry points the paper describes: ``setbound()``
+(Section 5.2, the programmer escape hatch for custom allocators and
+integer-to-pointer casts) and ``abort()``.
+
+Every builtin is ultimately implemented over *simulated* memory in
+:mod:`repro.vm.libc`, so that (a) buffer overflows inside e.g. ``strcpy``
+genuinely corrupt simulated memory and (b) SoftBound wrappers can check
+them (Section 5.2's library-wrapper discussion).
+"""
+
+from . import ctypes_ as ct
+
+_JMP_BUF = ct.ArrayType(ct.LONG, 8)
+
+# name -> FunctionType
+BUILTIN_SIGNATURES = {
+    "malloc": ct.FunctionType(ct.VOID_PTR, (ct.LONG,)),
+    "calloc": ct.FunctionType(ct.VOID_PTR, (ct.LONG, ct.LONG)),
+    "realloc": ct.FunctionType(ct.VOID_PTR, (ct.VOID_PTR, ct.LONG)),
+    "free": ct.FunctionType(ct.VOID, (ct.VOID_PTR,)),
+    "memcpy": ct.FunctionType(ct.VOID_PTR, (ct.VOID_PTR, ct.VOID_PTR, ct.LONG)),
+    "memmove": ct.FunctionType(ct.VOID_PTR, (ct.VOID_PTR, ct.VOID_PTR, ct.LONG)),
+    "memset": ct.FunctionType(ct.VOID_PTR, (ct.VOID_PTR, ct.INT, ct.LONG)),
+    "memcmp": ct.FunctionType(ct.INT, (ct.VOID_PTR, ct.VOID_PTR, ct.LONG)),
+    "strcpy": ct.FunctionType(ct.CHAR_PTR, (ct.CHAR_PTR, ct.CHAR_PTR)),
+    "strncpy": ct.FunctionType(ct.CHAR_PTR, (ct.CHAR_PTR, ct.CHAR_PTR, ct.LONG)),
+    "strcat": ct.FunctionType(ct.CHAR_PTR, (ct.CHAR_PTR, ct.CHAR_PTR)),
+    "strlen": ct.FunctionType(ct.LONG, (ct.CHAR_PTR,)),
+    "strcmp": ct.FunctionType(ct.INT, (ct.CHAR_PTR, ct.CHAR_PTR)),
+    "strncmp": ct.FunctionType(ct.INT, (ct.CHAR_PTR, ct.CHAR_PTR, ct.LONG)),
+    "strchr": ct.FunctionType(ct.CHAR_PTR, (ct.CHAR_PTR, ct.INT)),
+    "gets": ct.FunctionType(ct.CHAR_PTR, (ct.CHAR_PTR,)),
+    "atoi": ct.FunctionType(ct.INT, (ct.CHAR_PTR,)),
+    "printf": ct.FunctionType(ct.INT, (ct.CHAR_PTR,), varargs=True),
+    "sprintf": ct.FunctionType(ct.INT, (ct.CHAR_PTR, ct.CHAR_PTR), varargs=True),
+    "snprintf": ct.FunctionType(ct.INT, (ct.CHAR_PTR, ct.LONG, ct.CHAR_PTR), varargs=True),
+    "puts": ct.FunctionType(ct.INT, (ct.CHAR_PTR,)),
+    "putchar": ct.FunctionType(ct.INT, (ct.INT,)),
+    "getchar": ct.FunctionType(ct.INT, ()),
+    "abs": ct.FunctionType(ct.INT, (ct.INT,)),
+    "labs": ct.FunctionType(ct.LONG, (ct.LONG,)),
+    "rand": ct.FunctionType(ct.INT, ()),
+    "srand": ct.FunctionType(ct.VOID, (ct.INT,)),
+    "exit": ct.FunctionType(ct.VOID, (ct.INT,)),
+    "abort": ct.FunctionType(ct.VOID, ()),
+    "sqrt": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "fabs": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "floor": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "ceil": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "pow": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE, ct.DOUBLE)),
+    "sin": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "cos": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "exp": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "log": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
+    "setjmp": ct.FunctionType(ct.INT, (ct.PointerType(ct.LONG),)),
+    "longjmp": ct.FunctionType(ct.VOID, (ct.PointerType(ct.LONG), ct.INT)),
+    # SoftBound programmer interface (paper Section 5.2).
+    "setbound": ct.FunctionType(ct.VOID, (ct.VOID_PTR, ct.LONG)),
+    # va_list support (paper Section 5.2, variable argument functions).
+    "va_start": ct.FunctionType(ct.VOID, (ct.PointerType(ct.VOID_PTR),)),
+    "va_arg_long": ct.FunctionType(ct.LONG, (ct.PointerType(ct.VOID_PTR),)),
+    "va_arg_ptr": ct.FunctionType(ct.VOID_PTR, (ct.PointerType(ct.VOID_PTR),)),
+    "va_end": ct.FunctionType(ct.VOID, (ct.PointerType(ct.VOID_PTR),)),
+}
+
+BUILTIN_TYPEDEFS = {
+    "jmp_buf": _JMP_BUF,
+    "size_t": ct.ULONG,
+    "va_list": ct.VOID_PTR,
+}
+
+
+def is_builtin(name):
+    return name in BUILTIN_SIGNATURES

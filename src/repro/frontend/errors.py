@@ -1,0 +1,28 @@
+"""Frontend diagnostics.
+
+All frontend failures raise :class:`FrontendError` subclasses carrying a
+source location, so callers (tests, the driver, examples) can report
+"file:line:col: message" style diagnostics.
+"""
+
+
+class FrontendError(Exception):
+    """Base class for lexing, parsing and type-checking errors."""
+
+    def __init__(self, message, line=0, col=0):
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.message = message
+        self.line = line
+        self.col = col
+
+
+class LexError(FrontendError):
+    """Raised on malformed input characters, literals or comments."""
+
+
+class ParseError(FrontendError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class TypeError_(FrontendError):
+    """Raised by the type checker (named to avoid shadowing builtins)."""

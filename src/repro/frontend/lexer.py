@@ -1,0 +1,216 @@
+"""Hand-written lexer for the C subset.
+
+Supports decimal/hex/octal integer constants (with ``u``/``l`` suffixes),
+floating constants, character constants with the usual escapes, string
+literals (adjacent literals are concatenated by the parser), ``//`` and
+``/* */`` comments, and the full punctuator set in
+:mod:`repro.frontend.tokens`.
+"""
+
+from .errors import LexError
+from .tokens import (
+    KEYWORDS,
+    KIND_CHAR,
+    KIND_EOF,
+    KIND_FLOAT,
+    KIND_IDENT,
+    KIND_INT,
+    KIND_KEYWORD,
+    KIND_PUNCT,
+    KIND_STRING,
+    PUNCTUATORS,
+    Token,
+)
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+    "a": 7,
+    "b": 8,
+    "f": 12,
+    "v": 11,
+}
+
+
+class Lexer:
+    """Converts C source text into a list of tokens ending with EOF."""
+
+    def __init__(self, source):
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self):
+        tokens = []
+        while True:
+            tok = self._next_token()
+            tokens.append(tok)
+            if tok.kind == KIND_EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------
+
+    def _peek(self, offset=0):
+        i = self.pos + offset
+        return self.src[i] if i < len(self.src) else ""
+
+    def _advance(self, n=1):
+        for _ in range(n):
+            if self.pos < len(self.src):
+                if self.src[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_ws_and_comments(self):
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.src):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated comment", start_line, start_col)
+            elif ch == "#":
+                # Preprocessor lines (e.g. #include) are skipped: the
+                # subset has no preprocessor, but workloads keep the
+                # directives for documentation.
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_ws_and_comments()
+        line, col = self.line, self.col
+        if self.pos >= len(self.src):
+            return Token(KIND_EOF, "", line, col)
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+        if ch == "'":
+            return self._lex_char(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+        for punct in PUNCTUATORS:
+            if self.src.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(KIND_PUNCT, punct, line, col)
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_ident(self, line, col):
+        start = self.pos
+        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = KIND_KEYWORD if text in KEYWORDS else KIND_IDENT
+        return Token(kind, text, line, col)
+
+    def _lex_number(self, line, col):
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            value = int(self.src[start : self.pos], 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1) != ".":
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            text = self.src[start : self.pos]
+            value = float(text) if is_float else int(text, 0 if text.startswith("0") else 10)
+        # Suffixes: u/U/l/L in any combination; f/F forces float.
+        # (guard: "" is a substring of any string, so test non-empty first)
+        while self._peek() and self._peek() in "uUlLfF":
+            if self._peek() in "fF" and is_float:
+                pass
+            self._advance()
+        if is_float:
+            return Token(KIND_FLOAT, float(value), line, col)
+        return Token(KIND_INT, int(value), line, col)
+
+    def _read_escape(self, line, col):
+        self._advance()  # backslash
+        ch = self._peek()
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._peek()
+                self._advance()
+            if not digits:
+                raise LexError("bad hex escape", line, col)
+            return int(digits, 16) & 0xFF
+        if ch in _ESCAPES:
+            self._advance()
+            return _ESCAPES[ch]
+        raise LexError(f"unknown escape \\{ch}", line, col)
+
+    def _lex_char(self, line, col):
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            value = self._read_escape(line, col)
+        else:
+            if not self._peek():
+                raise LexError("unterminated character constant", line, col)
+            value = ord(self._peek())
+            self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character constant", line, col)
+        self._advance()
+        return Token(KIND_CHAR, value, line, col)
+
+    def _lex_string(self, line, col):
+        self._advance()  # opening quote
+        data = bytearray()
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError("unterminated string literal", line, col)
+            if ch == '"':
+                self._advance()
+                return Token(KIND_STRING, bytes(data), line, col)
+            if ch == "\\":
+                data.append(self._read_escape(line, col))
+            else:
+                data.append(ord(ch))
+                self._advance()
+
+
+def tokenize(source):
+    """Convenience wrapper: lex ``source`` and return the token list."""
+    return Lexer(source).tokenize()

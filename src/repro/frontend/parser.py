@@ -1,0 +1,811 @@
+"""Recursive-descent parser for the C subset.
+
+The parser resolves type names eagerly (typedefs, struct/union tags and
+enums live in parser-level symbol tables), so the AST it produces already
+carries :mod:`repro.frontend.ctypes_` types on declarations.  Expression
+types are assigned later by the type checker.
+
+Grammar coverage: declarations with pointer/array/function declarators,
+struct/union/enum definitions, typedefs, initializer lists, the full C
+expression grammar (assignment, conditional, binary precedence ladder,
+casts, unary, postfix), statements including ``switch``/``goto``, and
+variadic function declarations.
+"""
+
+from . import ast_nodes as ast
+from . import ctypes_ as ct
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import (
+    KIND_CHAR,
+    KIND_EOF,
+    KIND_FLOAT,
+    KIND_IDENT,
+    KIND_INT,
+    KIND_KEYWORD,
+    KIND_PUNCT,
+    KIND_STRING,
+)
+
+_TYPE_KEYWORDS = frozenset(
+    ["void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "struct", "union", "enum", "const"]
+)
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+# Binary operator precedence, loosest first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.typedefs = {}
+        self.struct_tags = {}
+        self.enum_consts = {}
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self, offset=0):
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _at(self, kind, value=None):
+        tok = self._peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def _at_punct(self, value):
+        return self._at(KIND_PUNCT, value)
+
+    def _at_keyword(self, value):
+        return self._at(KIND_KEYWORD, value)
+
+    def _advance(self):
+        tok = self._peek()
+        if tok.kind != KIND_EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind, value=None):
+        tok = self._peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.value!r}", tok.line, tok.col)
+        return self._advance()
+
+    def _expect_punct(self, value):
+        return self._expect(KIND_PUNCT, value)
+
+    def _error(self, message):
+        tok = self._peek()
+        raise ParseError(message, tok.line, tok.col)
+
+    # -- entry point ---------------------------------------------------
+
+    def parse(self):
+        unit = ast.TranslationUnit(decls=[])
+        while not self._at(KIND_EOF):
+            unit.decls.extend(self._parse_external_declaration())
+        return unit
+
+    # -- declarations ----------------------------------------------------
+
+    def _starts_type(self):
+        tok = self._peek()
+        if tok.kind == KIND_KEYWORD and tok.value in _TYPE_KEYWORDS:
+            return True
+        if tok.kind == KIND_KEYWORD and tok.value in ("static", "extern", "typedef"):
+            return True
+        if tok.kind == KIND_IDENT and tok.value in self.typedefs:
+            return True
+        return False
+
+    def _parse_external_declaration(self):
+        """Returns a list of top-level Decl / FunctionDef nodes."""
+        line, col = self._peek().line, self._peek().col
+        storage = ""
+        while self._peek().kind == KIND_KEYWORD and self._peek().value in ("static", "extern", "typedef"):
+            storage = self._advance().value
+
+        base = self._parse_type_specifier()
+
+        # Bare "struct foo { ... };" style declaration.
+        if self._at_punct(";"):
+            self._advance()
+            return []
+
+        decls = []
+        while True:
+            name, ctype, params, varargs = self._parse_declarator(base)
+            if isinstance(ctype, ct.FunctionType) and self._at_punct("{"):
+                # Function definition.
+                body = self._parse_block()
+                func = ast.FunctionDef(
+                    line=line,
+                    col=col,
+                    name=name,
+                    return_type=ctype.return_type,
+                    params=params,
+                    varargs=varargs,
+                    body=body,
+                    storage=storage,
+                )
+                return decls + [func]
+            if storage == "typedef":
+                self.typedefs[name] = ctype
+                decl = None
+            else:
+                init = None
+                if self._at_punct("="):
+                    self._advance()
+                    init = self._parse_initializer()
+                decl = ast.Decl(line=line, col=col, name=name, type=ctype, init=init, storage=storage)
+            if decl is not None:
+                decls.append(decl)
+            if self._at_punct(","):
+                self._advance()
+                continue
+            self._expect_punct(";")
+            return decls
+
+    def _parse_type_specifier(self):
+        """Parse a type-specifier sequence and return a CType."""
+        tok = self._peek()
+        while self._at_keyword("const"):
+            self._advance()
+            tok = self._peek()
+        if tok.kind == KIND_IDENT and tok.value in self.typedefs:
+            self._advance()
+            return self.typedefs[tok.value]
+        if self._at_keyword("struct") or self._at_keyword("union"):
+            return self._parse_struct_specifier()
+        if self._at_keyword("enum"):
+            return self._parse_enum_specifier()
+
+        signed = None
+        base = None
+        long_count = 0
+        saw_any = False
+        while self._peek().kind == KIND_KEYWORD and self._peek().value in _TYPE_KEYWORDS:
+            word = self._advance().value
+            saw_any = True
+            if word == "const":
+                continue
+            elif word == "signed":
+                signed = True
+            elif word == "unsigned":
+                signed = False
+            elif word == "long":
+                long_count += 1
+            elif word in ("void", "char", "short", "int", "float", "double"):
+                base = word
+        if not saw_any:
+            self._error(f"expected type, found {tok.value!r}")
+        if base == "void":
+            return ct.VOID
+        if base in ("float", "double"):
+            return ct.DOUBLE if base == "double" else ct.FLOAT
+        signed = True if signed is None else signed
+        if base == "char":
+            return ct.CHAR if signed else ct.UCHAR
+        if base == "short":
+            return ct.SHORT if signed else ct.USHORT
+        if long_count:
+            return ct.LONG if signed else ct.ULONG
+        return ct.INT if signed else ct.UINT
+
+    def _parse_struct_specifier(self):
+        kw = self._advance()  # struct or union
+        is_union = kw.value == "union"
+        tag = ""
+        if self._peek().kind == KIND_IDENT:
+            tag = self._advance().value
+        if self._at_punct("{"):
+            self._advance()
+            members = []
+            while not self._at_punct("}"):
+                base = self._parse_type_specifier()
+                while True:
+                    name, ctype, _params, _va = self._parse_declarator(base)
+                    members.append((name, ctype))
+                    if self._at_punct(","):
+                        self._advance()
+                        continue
+                    break
+                self._expect_punct(";")
+            self._expect_punct("}")
+            stype = self._lookup_or_create_struct(tag)
+            if is_union:
+                self._seal_union(stype, members)
+            else:
+                stype.seal(members)
+            return stype
+        if not tag:
+            self._error("anonymous struct requires a body")
+        return self._lookup_or_create_struct(tag)
+
+    def _lookup_or_create_struct(self, tag):
+        if tag and tag in self.struct_tags:
+            return self.struct_tags[tag]
+        stype = ct.StructType(tag=tag)
+        if tag:
+            self.struct_tags[tag] = stype
+        return stype
+
+    def _seal_union(self, stype, members):
+        """Union layout: all fields at offset 0, size = max field size."""
+        fields = []
+        size = 0
+        align = 1
+        for name, ctype in members:
+            fields.append(ct.Field(name, ctype, 0))
+            size = max(size, ctype.size)
+            align = max(align, ctype.align)
+        stype.fields = tuple(fields)
+        stype._size = ct.align_up(size, align)
+        stype._align = align
+        stype.complete = True
+
+    def _parse_enum_specifier(self):
+        self._advance()  # enum
+        if self._peek().kind == KIND_IDENT:
+            self._advance()  # tag, ignored: enums are just ints here
+        if self._at_punct("{"):
+            self._advance()
+            next_value = 0
+            while not self._at_punct("}"):
+                name = self._expect(KIND_IDENT).value
+                if self._at_punct("="):
+                    self._advance()
+                    next_value = self._parse_constant_int()
+                self.enum_consts[name] = next_value
+                next_value += 1
+                if self._at_punct(","):
+                    self._advance()
+            self._expect_punct("}")
+        return ct.INT
+
+    def _parse_constant_int(self):
+        """Constant expression evaluated at parse time (array sizes,
+        enum values, case labels go through the checker instead)."""
+        expr = self._parse_conditional()
+        value = _eval_const(expr, self.enum_consts)
+        if value is None:
+            self._error("expected integer constant expression")
+        return value
+
+    def _parse_declarator(self, base):
+        """Parse a declarator over ``base``.
+
+        Returns ``(name, ctype, params, varargs)`` where ``params`` is a
+        list of :class:`ast.ParamDecl` when ``ctype`` is a function type.
+        """
+        ctype = base
+        while self._at_punct("*"):
+            self._advance()
+            while self._at_keyword("const"):
+                self._advance()
+            ctype = ct.PointerType(ctype)
+
+        # Parenthesized declarator, e.g. int (*fp)(int).
+        if self._at_punct("("):
+            save = self.pos
+            self._advance()
+            if self._at_punct("*") or self._peek().kind == KIND_IDENT:
+                inner_start = self.pos
+                depth = 1
+                while depth:
+                    tok = self._advance()
+                    if tok.kind == KIND_EOF:
+                        self._error("unterminated declarator")
+                    if tok.kind == KIND_PUNCT and tok.value == "(":
+                        depth += 1
+                    elif tok.kind == KIND_PUNCT and tok.value == ")":
+                        depth -= 1
+                inner_end = self.pos - 1
+                ctype2, params, varargs = self._parse_declarator_suffix(ctype)
+                saved_pos = self.pos
+                self.pos = inner_start
+                name, final_type, params2, va2 = self._parse_declarator_inner(ctype2)
+                if self.pos != inner_end:
+                    # Not actually a nested declarator; rewind.
+                    self.pos = save
+                else:
+                    self.pos = saved_pos
+                    return name, final_type, params2 or params, va2 or varargs
+            else:
+                self.pos = save
+
+        name = ""
+        if self._peek().kind == KIND_IDENT:
+            name = self._advance().value
+        ctype, params, varargs = self._parse_declarator_suffix(ctype)
+        return name, ctype, params, varargs
+
+    def _parse_declarator_inner(self, base):
+        ctype = base
+        while self._at_punct("*"):
+            self._advance()
+            ctype = ct.PointerType(ctype)
+        name = ""
+        if self._peek().kind == KIND_IDENT:
+            name = self._advance().value
+        ctype, params, varargs = self._parse_declarator_suffix(ctype)
+        return name, ctype, params, varargs
+
+    def _parse_declarator_suffix(self, ctype):
+        params = []
+        varargs = False
+        if self._at_punct("("):
+            self._advance()
+            params, varargs, param_types = self._parse_param_list()
+            self._expect_punct(")")
+            ctype = ct.FunctionType(ctype, tuple(param_types), varargs)
+            return ctype, params, varargs
+        dims = []
+        while self._at_punct("["):
+            self._advance()
+            if self._at_punct("]"):
+                dims.append(None)  # incomplete array (param decay)
+            else:
+                dims.append(self._parse_constant_int())
+            self._expect_punct("]")
+        for dim in reversed(dims):
+            length = dim if dim is not None else 0
+            ctype = ct.ArrayType(ctype, length)
+        return ctype, params, varargs
+
+    def _parse_param_list(self):
+        params = []
+        types = []
+        varargs = False
+        if self._at_punct(")"):
+            return params, varargs, types
+        if self._at_keyword("void") and self._peek(1).kind == KIND_PUNCT and self._peek(1).value == ")":
+            self._advance()
+            return params, varargs, types
+        while True:
+            if self._at_punct("..."):
+                self._advance()
+                varargs = True
+                break
+            line, col = self._peek().line, self._peek().col
+            base = self._parse_type_specifier()
+            name, ctype, _p, _v = self._parse_declarator(base)
+            # Array parameters decay to pointers; function params to fn ptrs.
+            if ctype.is_array:
+                ctype = ct.PointerType(ctype.element)
+            elif ctype.is_function:
+                ctype = ct.PointerType(ctype)
+            params.append(ast.ParamDecl(line=line, col=col, name=name, type=ctype))
+            types.append(ctype)
+            if self._at_punct(","):
+                self._advance()
+                continue
+            break
+        return params, varargs, types
+
+    def _parse_initializer(self):
+        if self._at_punct("{"):
+            line, col = self._peek().line, self._peek().col
+            self._advance()
+            items = []
+            while not self._at_punct("}"):
+                items.append(self._parse_initializer())
+                if self._at_punct(","):
+                    self._advance()
+                else:
+                    break
+            self._expect_punct("}")
+            return ast.InitList(line=line, col=col, items=items)
+        return self._parse_assignment()
+
+    # -- statements ------------------------------------------------------
+
+    def _parse_block(self):
+        line, col = self._peek().line, self._peek().col
+        self._expect_punct("{")
+        items = []
+        while not self._at_punct("}"):
+            if self._starts_type():
+                items.extend(self._parse_local_declaration())
+            else:
+                items.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(line=line, col=col, items=items)
+
+    def _parse_local_declaration(self):
+        line, col = self._peek().line, self._peek().col
+        storage = ""
+        while self._peek().kind == KIND_KEYWORD and self._peek().value in ("static", "extern", "typedef"):
+            storage = self._advance().value
+        base = self._parse_type_specifier()
+        decls = []
+        if self._at_punct(";"):  # bare struct declaration in a block
+            self._advance()
+            return decls
+        while True:
+            name, ctype, _params, _va = self._parse_declarator(base)
+            if storage == "typedef":
+                self.typedefs[name] = ctype
+            else:
+                init = None
+                if self._at_punct("="):
+                    self._advance()
+                    init = self._parse_initializer()
+                decls.append(ast.Decl(line=line, col=col, name=name, type=ctype, init=init, storage=storage))
+            if self._at_punct(","):
+                self._advance()
+                continue
+            self._expect_punct(";")
+            return decls
+
+    def _parse_statement(self):
+        tok = self._peek()
+        line, col = tok.line, tok.col
+        if self._at_punct("{"):
+            return self._parse_block()
+        if self._at_punct(";"):
+            self._advance()
+            return ast.ExprStmt(line=line, col=col, expr=None)
+        if tok.kind == KIND_KEYWORD:
+            handler = {
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "do": self._parse_do,
+                "for": self._parse_for,
+                "return": self._parse_return,
+                "switch": self._parse_switch,
+                "goto": self._parse_goto,
+            }.get(tok.value)
+            if handler:
+                return handler()
+            if tok.value == "break":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Break(line=line, col=col)
+            if tok.value == "continue":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Continue(line=line, col=col)
+        if tok.kind == KIND_IDENT and self._peek(1).kind == KIND_PUNCT and self._peek(1).value == ":":
+            name = self._advance().value
+            self._advance()  # colon
+            stmt = self._parse_statement()
+            return ast.Label(line=line, col=col, name=name, stmt=stmt)
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(line=line, col=col, expr=expr)
+
+    def _parse_if(self):
+        line, col = self._peek().line, self._peek().col
+        self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._at_keyword("else"):
+            self._advance()
+            otherwise = self._parse_statement()
+        return ast.If(line=line, col=col, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self):
+        line, col = self._peek().line, self._peek().col
+        self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(line=line, col=col, cond=cond, body=body)
+
+    def _parse_do(self):
+        line, col = self._peek().line, self._peek().col
+        self._advance()
+        body = self._parse_statement()
+        self._expect(KIND_KEYWORD, "while")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(line=line, col=col, body=body, cond=cond)
+
+    def _parse_for(self):
+        line, col = self._peek().line, self._peek().col
+        self._advance()
+        self._expect_punct("(")
+        init = None
+        if self._starts_type():
+            decls = self._parse_local_declaration()  # consumes ';'
+            init = decls
+        elif not self._at_punct(";"):
+            init = self._parse_expression()
+            self._expect_punct(";")
+        else:
+            self._advance()
+        cond = None
+        if not self._at_punct(";"):
+            cond = self._parse_expression()
+        self._expect_punct(";")
+        step = None
+        if not self._at_punct(")"):
+            step = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(line=line, col=col, init=init, cond=cond, step=step, body=body)
+
+    def _parse_return(self):
+        line, col = self._peek().line, self._peek().col
+        self._advance()
+        value = None
+        if not self._at_punct(";"):
+            value = self._parse_expression()
+        self._expect_punct(";")
+        return ast.Return(line=line, col=col, value=value)
+
+    def _parse_switch(self):
+        line, col = self._peek().line, self._peek().col
+        self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases = []
+        while not self._at_punct("}"):
+            cline, ccol = self._peek().line, self._peek().col
+            if self._at_keyword("case"):
+                self._advance()
+                value = self._parse_conditional()
+                self._expect_punct(":")
+                case = ast.Case(line=cline, col=ccol, value=value, stmts=[])
+            elif self._at_keyword("default"):
+                self._advance()
+                self._expect_punct(":")
+                case = ast.Case(line=cline, col=ccol, value=None, stmts=[])
+            else:
+                if not cases:
+                    self._error("statement before first case label")
+                cases[-1].stmts.append(self._parse_statement())
+                continue
+            cases.append(case)
+        self._expect_punct("}")
+        body = ast.Block(line=line, col=col, items=cases)
+        return ast.Switch(line=line, col=col, cond=cond, body=body)
+
+    def _parse_goto(self):
+        line, col = self._peek().line, self._peek().col
+        self._advance()
+        label = self._expect(KIND_IDENT).value
+        self._expect_punct(";")
+        return ast.Goto(line=line, col=col, label=label)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expression(self):
+        expr = self._parse_assignment()
+        while self._at_punct(","):
+            line, col = self._peek().line, self._peek().col
+            self._advance()
+            right = self._parse_assignment()
+            expr = ast.Binary(line=line, col=col, op=",", left=expr, right=right)
+        return expr
+
+    def _parse_assignment(self):
+        left = self._parse_conditional()
+        tok = self._peek()
+        if tok.kind == KIND_PUNCT and tok.value in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(line=tok.line, col=tok.col, op=tok.value, target=left, value=value)
+        return left
+
+    def _parse_conditional(self):
+        cond = self._parse_binary(0)
+        if self._at_punct("?"):
+            line, col = self._peek().line, self._peek().col
+            self._advance()
+            then = self._parse_expression()
+            self._expect_punct(":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(line=line, col=col, cond=cond, then=then, otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_cast()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self._peek().kind == KIND_PUNCT and self._peek().value in ops:
+            tok = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(line=tok.line, col=tok.col, op=tok.value, left=left, right=right)
+        return left
+
+    def _parse_cast(self):
+        if self._at_punct("(") and self._type_follows(1):
+            line, col = self._peek().line, self._peek().col
+            self._advance()
+            ctype = self._parse_type_name()
+            self._expect_punct(")")
+            operand = self._parse_cast()
+            return ast.Cast(line=line, col=col, target_type=ctype, operand=operand)
+        return self._parse_unary()
+
+    def _type_follows(self, offset):
+        tok = self._peek(offset)
+        if tok.kind == KIND_KEYWORD and tok.value in _TYPE_KEYWORDS:
+            return True
+        return tok.kind == KIND_IDENT and tok.value in self.typedefs
+
+    def _parse_type_name(self):
+        base = self._parse_type_specifier()
+        ctype = base
+        while self._at_punct("*"):
+            self._advance()
+            ctype = ct.PointerType(ctype)
+        # Abstract array/function suffixes in casts are rare; support [N].
+        while self._at_punct("["):
+            self._advance()
+            length = self._parse_constant_int()
+            self._expect_punct("]")
+            ctype = ct.ArrayType(ctype, length)
+        if self._at_punct("(") and self._peek(1).kind == KIND_PUNCT and self._peek(1).value == "*":
+            # function-pointer type name like void (*)(int)
+            self._advance()
+            self._expect_punct("*")
+            self._expect_punct(")")
+            self._expect_punct("(")
+            _params, varargs, types = self._parse_param_list()
+            self._expect_punct(")")
+            ctype = ct.PointerType(ct.FunctionType(ctype, tuple(types), varargs))
+        return ctype
+
+    def _parse_unary(self):
+        tok = self._peek()
+        line, col = tok.line, tok.col
+        if tok.kind == KIND_PUNCT and tok.value in ("-", "+", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._parse_cast()
+            if tok.value == "+":
+                return operand
+            return ast.Unary(line=line, col=col, op=tok.value, operand=operand)
+        if tok.kind == KIND_PUNCT and tok.value in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=line, col=col, op=tok.value + "pre", operand=operand)
+        if self._at_keyword("sizeof"):
+            self._advance()
+            if self._at_punct("(") and self._type_follows(1):
+                self._advance()
+                ctype = self._parse_type_name()
+                self._expect_punct(")")
+                return ast.SizeofType(line=line, col=col, target_type=ctype)
+            operand = self._parse_unary()
+            return ast.SizeofExpr(line=line, col=col, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if self._at_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(line=tok.line, col=tok.col, base=expr, index=index)
+            elif self._at_punct("("):
+                self._advance()
+                args = []
+                if not self._at_punct(")"):
+                    args.append(self._parse_assignment())
+                    while self._at_punct(","):
+                        self._advance()
+                        args.append(self._parse_assignment())
+                self._expect_punct(")")
+                expr = ast.Call(line=tok.line, col=tok.col, func=expr, args=args)
+            elif self._at_punct("."):
+                self._advance()
+                name = self._expect(KIND_IDENT).value
+                expr = ast.Member(line=tok.line, col=tok.col, base=expr, name=name, arrow=False)
+            elif self._at_punct("->"):
+                self._advance()
+                name = self._expect(KIND_IDENT).value
+                expr = ast.Member(line=tok.line, col=tok.col, base=expr, name=name, arrow=True)
+            elif self._at_punct("++") or self._at_punct("--"):
+                self._advance()
+                expr = ast.Unary(line=tok.line, col=tok.col, op="post" + tok.value, operand=expr)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        tok = self._peek()
+        line, col = tok.line, tok.col
+        if tok.kind == KIND_INT:
+            self._advance()
+            return ast.IntLiteral(line=line, col=col, value=tok.value)
+        if tok.kind == KIND_FLOAT:
+            self._advance()
+            return ast.FloatLiteral(line=line, col=col, value=tok.value)
+        if tok.kind == KIND_CHAR:
+            self._advance()
+            return ast.CharLiteral(line=line, col=col, value=tok.value)
+        if tok.kind == KIND_STRING:
+            self._advance()
+            data = tok.value
+            # Adjacent string literals concatenate.
+            while self._peek().kind == KIND_STRING:
+                data += self._advance().value
+            return ast.StringLiteral(line=line, col=col, value=data)
+        if tok.kind == KIND_KEYWORD and tok.value == "NULL":
+            self._advance()
+            lit = ast.IntLiteral(line=line, col=col, value=0)
+            return ast.Cast(line=line, col=col, target_type=ct.VOID_PTR, operand=lit)
+        if tok.kind == KIND_IDENT:
+            self._advance()
+            if tok.value in self.enum_consts:
+                ident = ast.Identifier(line=line, col=col, name=tok.value, binding="enum_const")
+                ident.enum_value = self.enum_consts[tok.value]
+                return ident
+            return ast.Identifier(line=line, col=col, name=tok.value)
+        if self._at_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        self._error(f"unexpected token {tok.value!r}")
+
+
+def _eval_const(expr, enum_consts):
+    """Best-effort constant folding for parse-time constants."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.CharLiteral):
+        return expr.value
+    if isinstance(expr, ast.SizeofType):
+        return expr.target_type.size
+    if isinstance(expr, ast.Identifier) and expr.binding == "enum_const":
+        return expr.enum_value
+    if isinstance(expr, ast.Identifier) and expr.name in enum_consts:
+        return enum_consts[expr.name]
+    if isinstance(expr, ast.Unary):
+        val = _eval_const(expr.operand, enum_consts)
+        if val is None:
+            return None
+        return {"-": lambda v: -v, "~": lambda v: ~v, "!": lambda v: int(not v)}.get(expr.op, lambda v: None)(val)
+    if isinstance(expr, ast.Binary):
+        left = _eval_const(expr.left, enum_consts)
+        right = _eval_const(expr.right, enum_consts)
+        if left is None or right is None:
+            return None
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b if b else None,
+            "%": lambda a, b: a % b if b else None,
+            "<<": lambda a, b: a << b,
+            ">>": lambda a, b: a >> b,
+            "|": lambda a, b: a | b,
+            "&": lambda a, b: a & b,
+            "^": lambda a, b: a ^ b,
+        }
+        fn = ops.get(expr.op)
+        return fn(left, right) if fn else None
+    return None
+
+
+def parse(source):
+    """Parse C source text into an untyped :class:`ast.TranslationUnit`."""
+    return Parser(source).parse()

@@ -1,0 +1,125 @@
+"""Token definitions for the C-subset lexer.
+
+The lexer produces a flat stream of :class:`Token` objects.  Token kinds
+are plain strings (one of the ``KIND_*`` constants below) rather than an
+enum so that parser match code stays terse and readable.
+"""
+
+from dataclasses import dataclass
+
+KIND_IDENT = "ident"
+KIND_KEYWORD = "keyword"
+KIND_INT = "int_const"
+KIND_FLOAT = "float_const"
+KIND_CHAR = "char_const"
+KIND_STRING = "string"
+KIND_PUNCT = "punct"
+KIND_EOF = "eof"
+
+KEYWORDS = frozenset(
+    [
+        "void",
+        "char",
+        "short",
+        "int",
+        "long",
+        "float",
+        "double",
+        "signed",
+        "unsigned",
+        "struct",
+        "union",
+        "typedef",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "static",
+        "extern",
+        "const",
+        "goto",
+        "switch",
+        "case",
+        "default",
+        "enum",
+        "NULL",
+    ]
+)
+
+# Punctuators, longest first so the lexer can greedily match.
+PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded payload: an ``int`` for integer and
+    character constants, a ``float`` for floating constants, a ``bytes``
+    for string literals (NUL terminator *not* included), and the raw text
+    for identifiers, keywords and punctuators.
+    """
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    @property
+    def text(self):
+        return str(self.value)
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"

@@ -1,0 +1,576 @@
+"""Type checker / semantic analysis.
+
+Annotates every expression node with its :class:`~repro.frontend.ctypes_`
+type (the ``ctype`` attribute), resolves identifier bindings, computes
+struct member offsets (including the sub-object extents SoftBound's
+bound-shrinking uses), inserts array/function decay markers, and applies
+the usual arithmetic conversions.
+
+The checker is deliberately permissive where C is permissive — arbitrary
+pointer casts, pointer/integer mixing and implicitly declared functions
+are all accepted, because tolerating such code without source changes is
+precisely the compatibility property the paper claims (Sections 1, 5.2).
+It still rejects genuinely malformed programs (unknown variables, calling
+non-functions, member access on non-structs, arity underflow on
+prototyped calls).
+"""
+
+from . import ast_nodes as ast
+from . import ctypes_ as ct
+from .builtins import BUILTIN_SIGNATURES, BUILTIN_TYPEDEFS
+from .errors import TypeError_
+
+
+class Scope:
+    """A lexical scope mapping names to (CType, binding-kind)."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def define(self, name, ctype, kind):
+        self.names[name] = (ctype, kind)
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class TypedProgram:
+    """Result of checking: the annotated AST plus symbol information."""
+
+    def __init__(self, unit, globals_, functions):
+        self.unit = unit
+        self.globals = globals_  # name -> Decl
+        self.functions = functions  # name -> FunctionDef
+
+
+class TypeChecker:
+    def __init__(self, unit):
+        self.unit = unit
+        self.global_scope = Scope()
+        self.functions = {}
+        self.globals = {}
+        self.current_return_type = None
+        for name, sig in BUILTIN_SIGNATURES.items():
+            self.global_scope.define(name, sig, "function")
+
+    def check(self):
+        # Pass 1: collect global declarations and function signatures so
+        # forward references work.
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.FunctionDef):
+                ftype = ct.FunctionType(
+                    decl.return_type, tuple(p.type for p in decl.params), decl.varargs
+                )
+                self.global_scope.define(decl.name, ftype, "function")
+                self.functions[decl.name] = decl
+            elif isinstance(decl, ast.Decl):
+                if isinstance(decl.type, ct.FunctionType):
+                    self.global_scope.define(decl.name, decl.type, "function")
+                else:
+                    self.global_scope.define(decl.name, decl.type, "global")
+                    if decl.storage != "extern":
+                        self.globals[decl.name] = decl
+        # Pass 2: check bodies and global initializers.
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.FunctionDef):
+                self._check_function(decl)
+            elif isinstance(decl, ast.Decl) and decl.init is not None:
+                decl.init = self._check_initializer(decl.init, decl.type)
+        return TypedProgram(self.unit, self.globals, self.functions)
+
+    # -- declarations ---------------------------------------------------
+
+    def _check_function(self, func):
+        scope = Scope(self.global_scope)
+        seen_params = set()
+        for param in func.params:
+            if not param.name:
+                raise TypeError_(f"unnamed parameter in {func.name}", func.line, func.col)
+            if param.name in seen_params:
+                raise TypeError_(
+                    f"duplicate parameter name '{param.name}' in {func.name}",
+                    func.line, func.col)
+            seen_params.add(param.name)
+            scope.define(param.name, param.type, "param")
+        self.current_return_type = func.return_type
+        self._loop_depth = 0
+        self._breakable_depth = 0
+        self._check_block(func.body, scope)
+        self.current_return_type = None
+
+    def _check_loop_body(self, body, scope):
+        self._loop_depth += 1
+        self._breakable_depth += 1
+        try:
+            self._check_stmt(body, scope)
+        finally:
+            self._loop_depth -= 1
+            self._breakable_depth -= 1
+
+    def _check_block(self, block, scope):
+        inner = Scope(scope)
+        for item in block.items:
+            if isinstance(item, ast.Decl):
+                self._check_local_decl(item, inner)
+            else:
+                self._check_stmt(item, inner)
+
+    def _check_local_decl(self, decl, scope):
+        if decl.type.is_void:
+            raise TypeError_(f"variable {decl.name!r} has void type", decl.line, decl.col)
+        scope.define(decl.name, decl.type, "local")
+        if decl.init is not None:
+            decl.init = self._check_initializer(decl.init, decl.type, scope)
+
+    def _check_initializer(self, init, target_type, scope=None):
+        scope = scope or self.global_scope
+        if isinstance(init, ast.InitList):
+            init.ctype = target_type
+            if target_type.is_array:
+                if target_type.length and len(init.items) > target_type.length:
+                    raise TypeError_("too many initializers", init.line, init.col)
+                init.items = [
+                    self._check_initializer(item, target_type.element, scope)
+                    for item in init.items
+                ]
+            elif target_type.is_struct:
+                if len(init.items) > len(target_type.fields):
+                    raise TypeError_("too many initializers", init.line, init.col)
+                init.items = [
+                    self._check_initializer(item, fld.type, scope)
+                    for item, fld in zip(init.items, target_type.fields)
+                ]
+            else:
+                if len(init.items) != 1:
+                    raise TypeError_("scalar initializer list", init.line, init.col)
+                init.items = [self._check_initializer(init.items[0], target_type, scope)]
+            return init
+        # char arr[] = "..." / char arr[N] = "..."
+        if isinstance(init, ast.StringLiteral) and target_type.is_array:
+            init.ctype = ct.ArrayType(ct.CHAR, len(init.value) + 1)
+            return init
+        self._check_expr(init, scope)
+        converted = self._decay(init, scope)
+        if not ct.types_compatible(target_type, converted.ctype):
+            raise TypeError_(
+                f"cannot initialize {target_type} from {converted.ctype}", init.line, init.col
+            )
+        return converted
+
+    # -- statements -------------------------------------------------------
+
+    def _check_stmt(self, stmt, scope):
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._check_expr(stmt.expr, scope)
+                stmt.expr = self._decay(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_cond(stmt, "cond", scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_cond(stmt, "cond", scope)
+            self._check_loop_body(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._check_loop_body(stmt.body, scope)
+            self._check_cond(stmt, "cond", scope)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if isinstance(stmt.init, list):
+                for decl in stmt.init:
+                    self._check_local_decl(decl, inner)
+            elif stmt.init is not None:
+                self._check_expr(stmt.init, inner)
+                stmt.init = self._decay(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_cond(stmt, "cond", inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+                stmt.step = self._decay(stmt.step, inner)
+            self._check_loop_body(stmt.body, inner)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+                stmt.value = self._decay(stmt.value, scope)
+                if self.current_return_type.is_void:
+                    raise TypeError_("return with value in void function", stmt.line, stmt.col)
+                if not ct.types_compatible(self.current_return_type, stmt.value.ctype):
+                    raise TypeError_(
+                        f"cannot return {stmt.value.ctype} as {self.current_return_type}",
+                        stmt.line,
+                        stmt.col,
+                    )
+            elif not self.current_return_type.is_void:
+                raise TypeError_("return without value in non-void function", stmt.line, stmt.col)
+        elif isinstance(stmt, ast.Break):
+            if self._breakable_depth == 0:
+                raise TypeError_("'break' outside of loop or switch",
+                                 stmt.line, stmt.col)
+        elif isinstance(stmt, ast.Continue):
+            if self._loop_depth == 0:
+                raise TypeError_("'continue' outside of loop", stmt.line, stmt.col)
+        elif isinstance(stmt, ast.Goto):
+            pass
+        elif isinstance(stmt, ast.Label):
+            self._check_stmt(stmt.stmt, scope)
+        elif isinstance(stmt, ast.Switch):
+            self._check_expr(stmt.cond, scope)
+            stmt.cond = self._decay(stmt.cond, scope)
+            if not stmt.cond.ctype.is_integer:
+                raise TypeError_("switch condition must be integer", stmt.line, stmt.col)
+            self._breakable_depth += 1
+            try:
+                for case in stmt.body.items:
+                    if case.value is not None:
+                        self._check_expr(case.value, scope)
+                    for sub in case.stmts:
+                        self._check_stmt(sub, scope)
+            finally:
+                self._breakable_depth -= 1
+        else:
+            raise TypeError_(f"unhandled statement {type(stmt).__name__}", stmt.line, stmt.col)
+
+    def _check_cond(self, node, attr, scope):
+        expr = getattr(node, attr)
+        self._check_expr(expr, scope)
+        expr = self._decay(expr, scope)
+        if not (expr.ctype.is_scalar):
+            raise TypeError_("condition must be scalar", expr.line, expr.col)
+        setattr(node, attr, expr)
+
+    # -- expressions ------------------------------------------------------
+
+    def _decay(self, expr, scope):
+        """Apply array-to-pointer and function-to-pointer decay."""
+        if expr.ctype is None:
+            self._check_expr(expr, scope)
+        if expr.ctype.is_array:
+            conv = ast.ImplicitConvert(
+                line=expr.line, col=expr.col, kind="decay", operand=expr
+            )
+            conv.ctype = ct.PointerType(expr.ctype.element)
+            return conv
+        if expr.ctype.is_function:
+            conv = ast.ImplicitConvert(
+                line=expr.line, col=expr.col, kind="fndecay", operand=expr
+            )
+            conv.ctype = ct.PointerType(expr.ctype)
+            return conv
+        return expr
+
+    def _check_expr(self, expr, scope):
+        method = getattr(self, "_check_" + type(expr).__name__, None)
+        if method is None:
+            raise TypeError_(f"unhandled expression {type(expr).__name__}", expr.line, expr.col)
+        ctype = method(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _check_IntLiteral(self, expr, scope):
+        return ct.LONG if expr.value > ct.INT.max_value or expr.value < ct.INT.min_value else ct.INT
+
+    def _check_FloatLiteral(self, expr, scope):
+        return ct.DOUBLE
+
+    def _check_CharLiteral(self, expr, scope):
+        return ct.INT
+
+    def _check_StringLiteral(self, expr, scope):
+        return ct.ArrayType(ct.CHAR, len(expr.value) + 1)
+
+    def _check_Identifier(self, expr, scope):
+        if expr.binding == "enum_const":
+            return ct.INT
+        entry = scope.lookup(expr.name)
+        if entry is None:
+            raise TypeError_(f"undeclared identifier {expr.name!r}", expr.line, expr.col)
+        ctype, kind = entry
+        expr.binding = kind
+        return ctype
+
+    def _check_ImplicitConvert(self, expr, scope):
+        self._check_expr(expr.operand, scope)
+        return expr.ctype
+
+    def _check_Unary(self, expr, scope):
+        op = expr.op
+        if op == "&":
+            operand_type = self._check_expr(expr.operand, scope)
+            if not self._is_lvalue(expr.operand):
+                raise TypeError_("cannot take address of rvalue", expr.line, expr.col)
+            if operand_type.is_array:
+                # &array: treat as pointer to the whole array's elements
+                # (base/bound span the array, matching the paper's example).
+                return ct.PointerType(operand_type.element)
+            return ct.PointerType(operand_type)
+        if op == "*":
+            self._check_expr(expr.operand, scope)
+            operand = self._decay(expr.operand, scope)
+            expr.operand = operand
+            if not operand.ctype.is_pointer:
+                raise TypeError_(f"cannot dereference {operand.ctype}", expr.line, expr.col)
+            pointee = operand.ctype.pointee
+            if pointee.is_void:
+                raise TypeError_("cannot dereference void*", expr.line, expr.col)
+            if pointee.is_function:
+                return pointee  # *fp is the function itself
+            return pointee
+        operand_type = self._check_expr(expr.operand, scope)
+        if op in ("++pre", "--pre", "post++", "post--"):
+            if not self._is_lvalue(expr.operand):
+                raise TypeError_(f"{op} requires an lvalue", expr.line, expr.col)
+            if not (operand_type.is_arith or operand_type.is_pointer):
+                raise TypeError_(f"{op} on {operand_type}", expr.line, expr.col)
+            return operand_type
+        operand = self._decay(expr.operand, scope)
+        expr.operand = operand
+        operand_type = operand.ctype
+        if op == "!":
+            if not operand_type.is_scalar:
+                raise TypeError_("! requires scalar", expr.line, expr.col)
+            return ct.INT
+        if op == "~":
+            if not operand_type.is_integer:
+                raise TypeError_("~ requires integer", expr.line, expr.col)
+            return self._promote(operand_type)
+        if op == "-":
+            if not operand_type.is_arith:
+                raise TypeError_("unary - requires arithmetic type", expr.line, expr.col)
+            return self._promote(operand_type) if operand_type.is_integer else operand_type
+        raise TypeError_(f"unhandled unary {op}", expr.line, expr.col)
+
+    def _promote(self, int_type):
+        if int_type.is_integer and int_type.width < 4:
+            return ct.INT
+        return int_type
+
+    def _check_Binary(self, expr, scope):
+        op = expr.op
+        if op == ",":
+            self._check_expr(expr.left, scope)
+            expr.left = self._decay(expr.left, scope)
+            self._check_expr(expr.right, scope)
+            expr.right = self._decay(expr.right, scope)
+            return expr.right.ctype
+        self._check_expr(expr.left, scope)
+        self._check_expr(expr.right, scope)
+        expr.left = self._decay(expr.left, scope)
+        expr.right = self._decay(expr.right, scope)
+        lt, rt = expr.left.ctype, expr.right.ctype
+        if op in ("&&", "||"):
+            if not (lt.is_scalar and rt.is_scalar):
+                raise TypeError_(f"{op} requires scalar operands", expr.line, expr.col)
+            return ct.INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_arith and rt.is_arith:
+                return ct.INT
+            if lt.is_pointer or rt.is_pointer:
+                return ct.INT
+            raise TypeError_(f"cannot compare {lt} and {rt}", expr.line, expr.col)
+        if op in ("+", "-"):
+            if lt.is_pointer and rt.is_integer:
+                return lt
+            if op == "+" and lt.is_integer and rt.is_pointer:
+                return rt
+            if op == "-" and lt.is_pointer and rt.is_pointer:
+                return ct.LONG
+            if lt.is_arith and rt.is_arith:
+                return ct.common_arith_type(lt, rt)
+            raise TypeError_(f"invalid operands to {op}: {lt}, {rt}", expr.line, expr.col)
+        if op in ("*", "/"):
+            if lt.is_arith and rt.is_arith:
+                return ct.common_arith_type(lt, rt)
+            raise TypeError_(f"invalid operands to {op}", expr.line, expr.col)
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if lt.is_integer and rt.is_integer:
+                return ct.common_arith_type(lt, rt)
+            raise TypeError_(f"{op} requires integer operands", expr.line, expr.col)
+        raise TypeError_(f"unhandled binary {op}", expr.line, expr.col)
+
+    def _check_Assign(self, expr, scope):
+        target_type = self._check_expr(expr.target, scope)
+        if not self._is_lvalue(expr.target):
+            raise TypeError_("assignment target is not an lvalue", expr.line, expr.col)
+        if target_type.is_array:
+            raise TypeError_("cannot assign to array", expr.line, expr.col)
+        self._check_expr(expr.value, scope)
+        expr.value = self._decay(expr.value, scope)
+        vtype = expr.value.ctype
+        if expr.op == "=":
+            if target_type.is_struct:
+                if vtype is not target_type:
+                    raise TypeError_("struct assignment type mismatch", expr.line, expr.col)
+                return target_type
+            if not ct.types_compatible(target_type, vtype):
+                raise TypeError_(f"cannot assign {vtype} to {target_type}", expr.line, expr.col)
+            return target_type
+        base_op = expr.op[:-1]
+        if target_type.is_pointer and base_op in ("+", "-") and vtype.is_integer:
+            return target_type
+        if not (target_type.is_arith and vtype.is_arith):
+            raise TypeError_(f"invalid compound assignment {expr.op}", expr.line, expr.col)
+        return target_type
+
+    def _check_Conditional(self, expr, scope):
+        self._check_expr(expr.cond, scope)
+        expr.cond = self._decay(expr.cond, scope)
+        self._check_expr(expr.then, scope)
+        expr.then = self._decay(expr.then, scope)
+        self._check_expr(expr.otherwise, scope)
+        expr.otherwise = self._decay(expr.otherwise, scope)
+        tt, ot = expr.then.ctype, expr.otherwise.ctype
+        if tt.is_arith and ot.is_arith:
+            return ct.common_arith_type(tt, ot)
+        if tt.is_pointer:
+            return tt
+        if ot.is_pointer:
+            return ot
+        if tt is ot:
+            return tt
+        raise TypeError_(f"incompatible conditional arms {tt}, {ot}", expr.line, expr.col)
+
+    def _check_Cast(self, expr, scope):
+        self._check_expr(expr.operand, scope)
+        expr.operand = self._decay(expr.operand, scope)
+        target = expr.target_type
+        source = expr.operand.ctype
+        if target.is_void:
+            return target
+        if not (target.is_scalar and (source.is_scalar or source.is_struct)):
+            if not (target.is_scalar and source.is_scalar):
+                raise TypeError_(f"invalid cast {source} -> {target}", expr.line, expr.col)
+        return target
+
+    def _check_SizeofType(self, expr, scope):
+        return ct.ULONG
+
+    def _check_SizeofExpr(self, expr, scope):
+        self._check_expr(expr.operand, scope)
+        return ct.ULONG
+
+    def _check_Call(self, expr, scope):
+        func = expr.func
+        ftype = None
+        if isinstance(func, ast.Identifier):
+            entry = scope.lookup(func.name)
+            if entry is None:
+                # Implicit declaration (common in legacy C, and
+                # explicitly tolerated by the paper's call-site-driven
+                # transformation): int f(...).
+                ftype = ct.FunctionType(ct.INT, (), varargs=True)
+                func.binding = "function"
+                func.ctype = ftype
+            else:
+                ctype, kind = entry
+                func.binding = kind
+                func.ctype = ctype
+                if ctype.is_function:
+                    ftype = ctype
+                elif ctype.is_pointer and ctype.pointee.is_function:
+                    ftype = ctype.pointee
+                else:
+                    raise TypeError_(f"{func.name!r} is not a function", expr.line, expr.col)
+        else:
+            self._check_expr(func, scope)
+            expr.func = func = self._decay(func, scope)
+            ctype = func.ctype
+            if ctype.is_pointer and ctype.pointee.is_function:
+                ftype = ctype.pointee
+            elif ctype.is_function:
+                ftype = ctype
+            else:
+                raise TypeError_("called object is not a function", expr.line, expr.col)
+        # Check arguments.
+        checked = []
+        for arg in expr.args:
+            self._check_expr(arg, scope)
+            checked.append(self._decay(arg, scope))
+        expr.args = checked
+        nparams = len(ftype.params)
+        if len(expr.args) < nparams:
+            raise TypeError_(
+                f"too few arguments ({len(expr.args)} for {nparams})", expr.line, expr.col
+            )
+        if len(expr.args) > nparams and not ftype.varargs:
+            raise TypeError_(
+                f"too many arguments ({len(expr.args)} for {nparams})", expr.line, expr.col
+            )
+        for arg, ptype in zip(expr.args, ftype.params):
+            if not ct.types_compatible(ptype, arg.ctype):
+                raise TypeError_(
+                    f"argument type {arg.ctype} incompatible with {ptype}", arg.line, arg.col
+                )
+        return ftype.return_type
+
+    def _check_Index(self, expr, scope):
+        self._check_expr(expr.base, scope)
+        expr.base = self._decay(expr.base, scope)
+        self._check_expr(expr.index, scope)
+        expr.index = self._decay(expr.index, scope)
+        base_t, index_t = expr.base.ctype, expr.index.ctype
+        if base_t.is_integer and index_t.is_pointer:  # i[p] form
+            expr.base, expr.index = expr.index, expr.base
+            base_t, index_t = index_t, base_t
+        if not base_t.is_pointer:
+            raise TypeError_(f"cannot index {base_t}", expr.line, expr.col)
+        if not index_t.is_integer:
+            raise TypeError_("array index must be integer", expr.line, expr.col)
+        return base_t.pointee
+
+    def _check_Member(self, expr, scope):
+        base_t = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            expr.base = self._decay(expr.base, scope)
+            base_t = expr.base.ctype
+            if not (base_t.is_pointer and base_t.pointee.is_struct):
+                raise TypeError_(f"-> on non-struct-pointer {base_t}", expr.line, expr.col)
+            stype = base_t.pointee
+        else:
+            if not base_t.is_struct:
+                raise TypeError_(f". on non-struct {base_t}", expr.line, expr.col)
+            stype = base_t
+        if not stype.complete:
+            raise TypeError_(f"incomplete struct {stype}", expr.line, expr.col)
+        fld = stype.field(expr.name)
+        if fld is None:
+            raise TypeError_(f"no member {expr.name!r} in {stype}", expr.line, expr.col)
+        expr.field_offset = fld.offset
+        expr.field_size = fld.type.size
+        return fld.type
+
+    # -- helpers ----------------------------------------------------------
+
+    def _is_lvalue(self, expr):
+        if isinstance(expr, ast.Identifier):
+            return expr.binding in ("local", "param", "global")
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return True
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return True
+        if isinstance(expr, ast.StringLiteral):
+            return True
+        return False
+
+
+def check(unit):
+    """Type-check a parsed translation unit, returning a TypedProgram."""
+    return TypeChecker(unit).check()
+
+
+def parse_and_check(source):
+    """Convenience: parse then check."""
+    from .parser import Parser
+
+    parser = Parser(source)
+    parser.typedefs.update(BUILTIN_TYPEDEFS)
+    unit = parser.parse()
+    return check(unit)

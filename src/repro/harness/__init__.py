@@ -1,0 +1,1 @@
+"""Experiment harness: pipeline driver, statistics, table/figure generators."""

@@ -1,0 +1,81 @@
+"""End-to-end pipeline driver — the library's primary public API.
+
+``compile_program`` runs source → tokens → AST → typed AST → IR →
+optimizer → (optional SoftBound transform + post-opt), and returns a
+:class:`CompiledProgram` that can be executed any number of times.
+``compile_and_run`` is the one-call convenience used throughout the
+examples and benchmarks.
+"""
+
+from dataclasses import dataclass, field
+
+from ..frontend.typecheck import parse_and_check
+from ..ir.verifier import verify_module
+from ..lower.lowering import lower
+from ..opt.pipeline import optimize_after_instrumentation, optimize_module
+from ..vm.machine import Machine
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled module plus the configuration it was built with."""
+
+    module: object
+    softbound_config: object = None
+    pass_stats: object = None
+
+    @property
+    def is_protected(self):
+        return self.softbound_config is not None
+
+    def instantiate(self, input_data=b"", heap_size=None, stack_size=None,
+                    max_instructions=200_000_000, observers=()):
+        """Create a fresh machine (fresh memory) for one run."""
+        machine = Machine(self.module, heap_size=heap_size, stack_size=stack_size,
+                          input_data=input_data, max_instructions=max_instructions)
+        if self.softbound_config is not None:
+            from ..softbound.runtime import SoftBoundRuntime
+
+            SoftBoundRuntime(self.softbound_config).attach(machine)
+        for observer in observers:
+            machine.attach_observer(observer)
+        return machine
+
+    def run(self, entry="main", input_data=b"", observers=(), **kwargs):
+        """Execute the program once and return an ExecutionResult."""
+        machine = self.instantiate(input_data=input_data, observers=observers, **kwargs)
+        return machine.run(entry=entry)
+
+
+def compile_program(source, softbound=None, optimize=True, verify=True):
+    """Compile C source, optionally applying the SoftBound transform.
+
+    ``softbound`` is a :class:`~repro.softbound.config.SoftBoundConfig`
+    or None for an unprotected build.
+    """
+    program = parse_and_check(source)
+    module = lower(program)
+    if verify:
+        verify_module(module)
+    pass_stats = optimize_module(module, verify=verify) if optimize else None
+    if softbound is not None:
+        from ..softbound.transform import SoftBoundTransform
+
+        SoftBoundTransform(softbound).run(module)
+        if verify:
+            verify_module(module)
+        if softbound.optimize_checks:
+            optimize_after_instrumentation(module, verify=verify)
+    return CompiledProgram(module=module, softbound_config=softbound, pass_stats=pass_stats)
+
+
+def run_program(compiled, entry="main", input_data=b"", observers=(), **kwargs):
+    """Run a CompiledProgram (thin functional wrapper over .run())."""
+    return compiled.run(entry=entry, input_data=input_data, observers=observers, **kwargs)
+
+
+def compile_and_run(source, softbound=None, entry="main", input_data=b"",
+                    observers=(), optimize=True, **kwargs):
+    """Compile and execute in one call; returns an ExecutionResult."""
+    compiled = compile_program(source, softbound=softbound, optimize=optimize)
+    return compiled.run(entry=entry, input_data=input_data, observers=observers, **kwargs)

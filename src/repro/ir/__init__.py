@@ -1,0 +1,38 @@
+"""Typed register IR: values, instructions, containers, printer, verifier."""
+
+from . import instructions
+from .irtypes import F64, I8, I16, I32, I64, PTR, VOID, IRType, from_ctype, int_type
+from .module import BasicBlock, Function, GlobalVar, Module, Param
+from .printer import format_function, format_instruction, format_module
+from .values import Const, Register, SymbolRef, const_float, const_int
+from .verifier import VerifierError, verify_function, verify_module
+
+__all__ = [
+    "instructions",
+    "IRType",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "F64",
+    "PTR",
+    "VOID",
+    "from_ctype",
+    "int_type",
+    "BasicBlock",
+    "Function",
+    "GlobalVar",
+    "Module",
+    "Param",
+    "Const",
+    "Register",
+    "SymbolRef",
+    "const_int",
+    "const_float",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "VerifierError",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,68 @@
+"""IR-level types.
+
+The IR uses a small fixed lattice of machine types: four integer widths,
+one float width and an opaque 64-bit pointer kind.  C-level type
+information needed later (e.g. pointee element sizes for GEP scaling,
+whether a loaded value is a pointer — the single property the SoftBound
+transformation keys on) is attached to instructions during lowering, not
+to the IR types, mirroring how the paper's pass consumes LLVM's typed IR.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IRType:
+    kind: str  # "i8" | "i16" | "i32" | "i64" | "f64" | "ptr" | "void"
+    size: int
+
+    @property
+    def is_int(self):
+        return self.kind.startswith("i")
+
+    @property
+    def is_float(self):
+        return self.kind == "f64"
+
+    @property
+    def is_ptr(self):
+        return self.kind == "ptr"
+
+    @property
+    def is_void(self):
+        return self.kind == "void"
+
+    def __str__(self):
+        return self.kind
+
+
+I8 = IRType("i8", 1)
+I16 = IRType("i16", 2)
+I32 = IRType("i32", 4)
+I64 = IRType("i64", 8)
+F64 = IRType("f64", 8)
+PTR = IRType("ptr", 8)
+VOID = IRType("void", 0)
+
+_BY_WIDTH = {1: I8, 2: I16, 4: I32, 8: I64}
+
+
+def int_type(width):
+    """The IR integer type of ``width`` bytes."""
+    return _BY_WIDTH[width]
+
+
+def from_ctype(ctype):
+    """Map a C type to the IR type of its runtime representation."""
+    if ctype.is_pointer or ctype.is_array or ctype.is_function:
+        return PTR
+    if ctype.is_float:
+        return F64
+    if ctype.is_integer:
+        return _BY_WIDTH[ctype.width]
+    if ctype.is_void:
+        return VOID
+    if ctype.is_struct:
+        # Struct values are manipulated by address in the IR.
+        return PTR
+    raise ValueError(f"no IR type for {ctype}")

@@ -1,0 +1,70 @@
+"""IR operand values: virtual registers, constants and symbol references."""
+
+from dataclasses import dataclass
+
+from .irtypes import IRType, PTR
+
+
+class Value:
+    """Base class for anything an instruction may read."""
+
+    type: IRType
+
+
+@dataclass(frozen=True)
+class Register(Value):
+    """A mutable virtual register.
+
+    The IR is *not* SSA: registers may be written multiple times (the
+    interpreter treats them as per-frame slots).  ``uid`` is unique within
+    a function; ``hint`` keeps a human-readable name for printing.
+    """
+
+    uid: int
+    type: IRType
+    hint: str = ""
+
+    def __str__(self):
+        suffix = f".{self.hint}" if self.hint else ""
+        return f"%r{self.uid}{suffix}"
+
+
+@dataclass(frozen=True)
+class Const(Value):
+    """An integer or float immediate."""
+
+    value: object
+    type: IRType
+
+    def __str__(self):
+        return f"{self.type} {self.value}"
+
+
+@dataclass(frozen=True)
+class SymbolRef(Value):
+    """The address of a global variable or function.
+
+    Resolved by the VM loader to a concrete simulated address.  ``addend``
+    supports constant offsets into globals (e.g. string literal tails).
+    """
+
+    name: str
+    addend: int = 0
+    type: IRType = PTR
+
+    def __str__(self):
+        extra = f"+{self.addend}" if self.addend else ""
+        return f"@{self.name}{extra}"
+
+
+def const_int(value, irtype):
+    return Const(int(value), irtype)
+
+
+def const_float(value):
+    from .irtypes import F64
+
+    return Const(float(value), F64)
+
+
+NULL = Const(0, PTR)

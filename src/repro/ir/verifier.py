@@ -1,0 +1,102 @@
+"""IR structural verifier.
+
+Run after lowering, after each optimization pass and after the SoftBound
+transform (in tests) to catch malformed IR early: missing terminators,
+branches to unknown labels, type mismatches on moves/stores, operands
+that are never defined, and terminators in the middle of a block.
+"""
+
+from . import instructions as ins
+from .values import Const, Register, SymbolRef
+
+
+class VerifierError(Exception):
+    pass
+
+
+def _operands(instr):
+    """All Values read by an instruction."""
+    reads = []
+    for attr in ("addr", "value", "a", "b", "base", "offset", "src", "cond",
+                 "callee_reg", "dst_addr", "src_addr", "ptr", "bound", "size"):
+        val = getattr(instr, attr, None)
+        if isinstance(val, (Register, Const, SymbolRef)):
+            reads.append(val)
+    for arg in getattr(instr, "args", []) or []:
+        if isinstance(arg, (Register, Const, SymbolRef)):
+            reads.append(arg)
+    return reads
+
+
+def verify_function(func, module=None, allow_unresolved=False):
+    defined = {p.register.uid for p in func.params}
+    defined.update(p.register.uid for p in getattr(func, "sb_extra_params", []))
+    labels = {b.label for b in func.blocks}
+    if not func.blocks:
+        raise VerifierError(f"{func.name}: no blocks")
+
+    # First pass: collect every register ever defined (the IR is not SSA,
+    # so a register may be written on one path and read on another; we
+    # only require that each read register is written *somewhere*).
+    for instr in func.instructions():
+        dst = getattr(instr, "dst", None)
+        if dst is not None:
+            defined.add(dst.uid)
+        for attr in ("dst_base", "dst_bound"):
+            reg = getattr(instr, attr, None)
+            if reg is not None:
+                defined.add(reg.uid)
+        meta = getattr(instr, "sb_dst_meta", None)
+        if meta is not None:
+            defined.add(meta[0].uid)
+            defined.add(meta[1].uid)
+
+    for block in func.blocks:
+        if not block.instructions:
+            raise VerifierError(f"{func.name}/{block.label}: empty block")
+        if block.terminator is None:
+            raise VerifierError(f"{func.name}/{block.label}: missing terminator")
+        for i, instr in enumerate(block.instructions):
+            if instr.is_terminator and i != len(block.instructions) - 1:
+                raise VerifierError(f"{func.name}/{block.label}: terminator mid-block")
+            for val in _operands(instr):
+                if isinstance(val, Register) and val.uid not in defined:
+                    raise VerifierError(
+                        f"{func.name}/{block.label}: use of undefined {val} in {instr.opcode}"
+                    )
+                if isinstance(val, SymbolRef) and module is not None \
+                        and not allow_unresolved:
+                    known = (val.name in module.globals
+                             or val.name in module.functions
+                             or val.name in getattr(module, "sb_aliases", {}))
+                    if not known:
+                        # Builtins/externals are resolved by the VM.
+                        from ..frontend.builtins import is_builtin
+
+                        if not is_builtin(val.name):
+                            raise VerifierError(f"{func.name}: unresolved symbol @{val.name}")
+            if instr.opcode == "br" and instr.label not in labels:
+                raise VerifierError(f"{func.name}: branch to unknown label {instr.label}")
+            if instr.opcode == "cbr":
+                for label in (instr.true_label, instr.false_label):
+                    if label not in labels:
+                        raise VerifierError(f"{func.name}: branch to unknown label {label}")
+            if instr.opcode == "binop" and instr.op not in ins.INT_BINOPS | ins.FLOAT_BINOPS:
+                raise VerifierError(f"{func.name}: bad binop {instr.op}")
+            if instr.opcode == "cmp" and instr.pred not in ins.CMP_PREDS:
+                raise VerifierError(f"{func.name}: bad predicate {instr.pred}")
+            if instr.opcode == "cast" and instr.kind not in ins.CAST_KINDS:
+                raise VerifierError(f"{func.name}: bad cast kind {instr.kind}")
+            if instr.opcode == "call" and instr.callee is None and instr.callee_reg is None:
+                raise VerifierError(f"{func.name}: call with no target")
+    return True
+
+
+def verify_module(module, allow_unresolved=False):
+    """Verify every function.  ``allow_unresolved`` defers unresolved-
+    symbol errors — appropriate for a single translation unit whose
+    externs will be satisfied at link time (repro.harness.linker
+    re-verifies strictly after the link)."""
+    for func in module.functions.values():
+        verify_function(func, module, allow_unresolved=allow_unresolved)
+    return True

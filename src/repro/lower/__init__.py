@@ -1,0 +1,5 @@
+"""AST-to-IR lowering."""
+
+from .lowering import Lowerer, LoweringError, lower
+
+__all__ = ["Lowerer", "LoweringError", "lower"]

@@ -1,0 +1,201 @@
+"""Redundant bounds-check elimination.
+
+The paper relies on re-running LLVM's optimizations after instrumentation
+to "remove some redundant checks and factor out common sub-expressions"
+(Section 6.1).  This pass implements the check-specific part directly,
+at two scopes:
+
+* **Block-local** (any register): within a basic block, a second
+  ``sb_check`` dominated by an identical one (same pointer/base/bound
+  values up to register copies, same or smaller constant access size, no
+  intervening redefinition) can never fire first and is removed.
+
+* **Global, dominance-based** (single-definition registers and symbols):
+  a check whose key values each have exactly one static definition (or
+  are symbols/constants) cannot change between a dominating occurrence
+  and a dominated one — the single def dominates both — so the dominated
+  duplicate is removed even across blocks and loop iterations.  The
+  availability table is scoped by a dominator-tree walk
+  (:class:`repro.ir.cfg.CFG`), the classic dominator-based value
+  numbering discipline.
+"""
+
+from ..ir.cfg import CFG
+from ..ir.values import Const, Register, SymbolRef
+
+
+def _definition_counts(func):
+    counts = {}
+    for instr in func.instructions():
+        dst = getattr(instr, "dst", None)
+        if dst is not None:
+            counts[dst.uid] = counts.get(dst.uid, 0) + 1
+        for attr in ("dst_base", "dst_bound"):
+            reg = getattr(instr, attr, None)
+            if reg is not None:
+                counts[reg.uid] = counts.get(reg.uid, 0) + 1
+        meta = getattr(instr, "sb_dst_meta", None)
+        if meta is not None:
+            counts[meta[0].uid] = counts.get(meta[0].uid, 0) + 1
+            counts[meta[1].uid] = counts.get(meta[1].uid, 0) + 1
+    return counts
+
+
+class _GlobalKeys:
+    """Resolves check operands to stable keys when possible.
+
+    A key part is stable when the dynamic value it denotes cannot differ
+    between a dominating and a dominated occurrence: constants, symbols,
+    and registers with a single static definition (resolved through
+    single-def copy chains).  Multi-def registers yield None.
+    """
+
+    def __init__(self, func):
+        counts = _definition_counts(func)
+        self.single = {uid for uid, n in counts.items() if n == 1}
+        self.copy_of = {}
+        for instr in func.instructions():
+            if instr.opcode == "mov" and instr.dst.uid in self.single \
+                    and isinstance(instr.src, (Register, Const, SymbolRef)):
+                self.copy_of[instr.dst.uid] = instr.src
+
+    def _resolve(self, value):
+        hops = 0
+        while isinstance(value, Register) and value.uid in self.copy_of \
+                and hops < 64:
+            value = self.copy_of[value.uid]
+            hops += 1
+        return value
+
+    def part(self, value):
+        value = self._resolve(value)
+        if isinstance(value, Const):
+            return ("c", value.value)
+        if isinstance(value, SymbolRef):
+            return ("s", value.name, getattr(value, "addend", 0))
+        if isinstance(value, Register):
+            if value.uid in self.single:
+                return ("r", value.uid)
+            return None
+        return None
+
+    def key(self, check):
+        parts = (self.part(check.ptr), self.part(check.base),
+                 self.part(check.bound))
+        if any(p is None for p in parts):
+            return None
+        return parts
+
+
+class _LocalState:
+    """Per-block copy map and seen-check table for multi-def registers
+    (the original block-local discipline)."""
+
+    def __init__(self):
+        self.copies = {}
+        self.seen = {}
+
+    def resolve(self, value):
+        if not isinstance(value, Register):
+            return None
+        uid = value.uid
+        hops = 0
+        while uid in self.copies and hops < 64:
+            uid = self.copies[uid]
+            hops += 1
+        return uid
+
+    def invalidate(self, uid):
+        self.copies.pop(uid, None)
+        self.copies = {d: s for d, s in self.copies.items() if s != uid}
+        self.seen = {key: size for key, size in self.seen.items()
+                     if uid not in key[:3]}
+
+
+def _written_uids(instr):
+    writes = []
+    dst = getattr(instr, "dst", None)
+    if dst is not None:
+        writes.append(dst.uid)
+    for attr in ("dst_base", "dst_bound"):
+        reg = getattr(instr, attr, None)
+        if reg is not None:
+            writes.append(reg.uid)
+    meta = getattr(instr, "sb_dst_meta", None)
+    if meta is not None:
+        writes.extend([meta[0].uid, meta[1].uid])
+    return writes
+
+
+def run(func, module=None):
+    """Remove dominated duplicate checks; returns the number removed."""
+    if not func.blocks:
+        return 0
+    keys = _GlobalKeys(func)
+    cfg = CFG(func)
+    global_seen = {}   # stable key -> max constant size already checked
+    removed = 0
+
+    def process_block(block):
+        nonlocal removed
+        undo = []
+        local = _LocalState()
+        kept = []
+        for instr in block.instructions:
+            if instr.opcode == "mov" and isinstance(instr.src, Register):
+                local.invalidate(instr.dst.uid)
+                root = local.resolve(instr.src)
+                if root is not None:
+                    local.copies[instr.dst.uid] = root
+                kept.append(instr)
+                continue
+            if instr.opcode == "sb_check" and not instr.is_fnptr_check:
+                size = instr.size.value if isinstance(instr.size, Const) else None
+                if size is not None:
+                    stable = keys.key(instr)
+                    if stable is not None:
+                        prev = global_seen.get(stable)
+                        if prev is not None and size <= prev:
+                            removed += 1
+                            continue
+                        undo.append((stable, prev))
+                        global_seen[stable] = max(size, prev or 0)
+                        kept.append(instr)
+                        continue
+                    # Fall back to the block-local discipline.
+                    ptr = local.resolve(instr.ptr)
+                    base = local.resolve(instr.base)
+                    bound = local.resolve(instr.bound)
+                    if ptr is not None:
+                        key = (ptr, base, bound)
+                        prev = local.seen.get(key)
+                        if prev is not None and size <= prev:
+                            removed += 1
+                            continue
+                        local.seen[key] = max(size, prev or 0)
+                kept.append(instr)
+                continue
+            for uid in _written_uids(instr):
+                local.invalidate(uid)
+            kept.append(instr)
+        block.instructions = kept
+        return undo
+
+    # Dominator-tree DFS with scoped global availability.
+    children = cfg.dominator_tree_children()
+    stack = [("visit", cfg.entry)]
+    undos = []
+    while stack:
+        action, block = stack.pop()
+        if action == "leave":
+            for stable, prev in reversed(undos.pop()):
+                if prev is None:
+                    global_seen.pop(stable, None)
+                else:
+                    global_seen[stable] = prev
+            continue
+        undos.append(process_block(block))
+        stack.append(("leave", block))
+        for child in reversed(children.get(block.label, [])):
+            stack.append(("visit", child))
+    return removed

@@ -1,0 +1,86 @@
+"""Constant folding and trivial branch simplification.
+
+Folds integer binops/compares/casts whose operands are constants, and
+rewrites conditional branches on constant conditions into direct
+branches.  Runs before mem2reg so that obviously-constant address
+arithmetic doesn't inhibit later passes, and again after the SoftBound
+transform (the paper re-runs LLVM's optimizations over instrumented
+code, Section 6.1).
+"""
+
+from ..ir import instructions as ins
+from ..ir.values import Const
+
+
+def _wrap(value, irtype):
+    bits = irtype.size * 8
+    value &= (1 << bits) - 1
+    if irtype.kind != "ptr" and value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _unsigned(value, irtype):
+    return value & ((1 << (irtype.size * 8)) - 1)
+
+
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "ashr": lambda a, b: a >> (b & 63),
+}
+
+_CMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+
+def _fold_instruction(instr):
+    """Return a replacement Mov, or None to keep the instruction."""
+    if instr.opcode == "binop" and instr.op in _FOLDABLE:
+        if isinstance(instr.a, Const) and isinstance(instr.b, Const):
+            if isinstance(instr.a.value, int) and isinstance(instr.b.value, int):
+                value = _wrap(_FOLDABLE[instr.op](instr.a.value, instr.b.value), instr.dst.type)
+                return ins.Mov(dst=instr.dst, src=Const(value, instr.dst.type))
+    if instr.opcode == "cmp" and instr.pred in _CMP:
+        if isinstance(instr.a, Const) and isinstance(instr.b, Const):
+            if isinstance(instr.a.value, int) and isinstance(instr.b.value, int):
+                value = 1 if _CMP[instr.pred](instr.a.value, instr.b.value) else 0
+                return ins.Mov(dst=instr.dst, src=Const(value, instr.dst.type))
+    if instr.opcode == "cast" and isinstance(instr.src, Const):
+        if instr.kind in ("trunc", "sext", "bitcast", "ptrtoint", "inttoptr") \
+                and isinstance(instr.src.value, int):
+            value = _wrap(instr.src.value, instr.dst.type)
+            return ins.Mov(dst=instr.dst, src=Const(value, instr.dst.type))
+        if instr.kind == "zext" and isinstance(instr.src.value, int):
+            value = _wrap(_unsigned(instr.src.value, instr.src.type), instr.dst.type)
+            return ins.Mov(dst=instr.dst, src=Const(value, instr.dst.type))
+    return None
+
+
+def run(func, module=None):
+    """Fold constants; returns the number of instructions rewritten."""
+    changed = 0
+    for block in func.blocks:
+        for i, instr in enumerate(block.instructions):
+            folded = _fold_instruction(instr)
+            if folded is not None:
+                block.instructions[i] = folded
+                changed += 1
+        # Constant conditional branches.
+        term = block.terminator
+        if term is not None and term.opcode == "cbr" and isinstance(term.cond, Const):
+            label = term.true_label if term.cond.value else term.false_label
+            block.instructions[-1] = ins.Br(label=label)
+            changed += 1
+    return changed

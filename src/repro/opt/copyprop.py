@@ -1,0 +1,102 @@
+"""Local copy propagation.
+
+Rewrites operand uses of ``mov``-copied registers to their source, so
+later passes (CSE, check elimination, DCE) see through copy chains and
+the interpreter executes fewer ``mov``s.  The IR is not SSA — registers
+may be redefined — so propagation is per basic block with invalidation
+on every redefinition, which is always safe.
+
+This is the pass the paper gets for free from LLVM's pipeline when it
+re-runs optimizations over the instrumented code (Section 6.1); it is
+particularly productive there because the SoftBound transformation emits
+``mov``s to materialize base/bound companions of multiply-assigned
+pointers.
+"""
+
+from ..ir.values import Register
+
+#: Instruction attributes that hold readable operands.
+OPERAND_ATTRS = ("addr", "value", "a", "b", "base", "offset", "src", "cond",
+                 "callee_reg", "dst_addr", "src_addr", "ptr", "bound", "size")
+
+
+def _written_registers(instr):
+    """Every register an instruction defines."""
+    written = []
+    dst = getattr(instr, "dst", None)
+    if dst is not None:
+        written.append(dst.uid)
+    for attr in ("dst_base", "dst_bound"):
+        reg = getattr(instr, attr, None)
+        if reg is not None:
+            written.append(reg.uid)
+    meta = getattr(instr, "sb_dst_meta", None)
+    if meta is not None:
+        written.extend([meta[0].uid, meta[1].uid])
+    return written
+
+
+class _CopyMap:
+    def __init__(self):
+        self.copy_of = {}  # dst uid -> source Register
+
+    def resolve(self, value):
+        """Follow the copy chain from ``value`` to its oldest live root."""
+        hops = 0
+        while isinstance(value, Register) and value.uid in self.copy_of and hops < 64:
+            value = self.copy_of[value.uid]
+            hops += 1
+        return value
+
+    def record(self, dst, src):
+        self.copy_of[dst.uid] = src
+
+    def invalidate(self, uid):
+        self.copy_of.pop(uid, None)
+        self.copy_of = {d: s for d, s in self.copy_of.items()
+                        if not (isinstance(s, Register) and s.uid == uid)}
+
+
+def _rewrite_operands(instr, copies):
+    # setbound() consumes the *variable* (its whole copy chain), not the
+    # value: the SoftBound transform walks the chain from the argument it
+    # sees, so the argument must stay the most-derived copy.
+    if instr.opcode == "call" and getattr(instr, "callee", None) == "setbound":
+        return 0
+    changed = 0
+    for attr in OPERAND_ATTRS:
+        operand = getattr(instr, attr, None)
+        if isinstance(operand, Register):
+            root = copies.resolve(operand)
+            if root is not operand and (not isinstance(root, Register)
+                                        or root.type == operand.type):
+                setattr(instr, attr, root)
+                changed += 1
+    args = getattr(instr, "args", None)
+    if args:
+        for i, arg in enumerate(args):
+            if isinstance(arg, Register):
+                root = copies.resolve(arg)
+                if root is not arg and (not isinstance(root, Register)
+                                        or root.type == arg.type):
+                    args[i] = root
+                    changed += 1
+    return changed
+
+
+def run(func, module=None):
+    """Propagate copies within each block; returns uses rewritten."""
+    rewritten = 0
+    for block in func.blocks:
+        copies = _CopyMap()
+        for instr in block.instructions:
+            rewritten += _rewrite_operands(instr, copies)
+            for uid in _written_registers(instr):
+                copies.invalidate(uid)
+            if instr.opcode == "mov":
+                src = instr.src
+                is_self = isinstance(src, Register) and src.uid == instr.dst.uid
+                if not is_self and ((not isinstance(src, Register))
+                                    or src.type == instr.dst.type):
+                    copies.record(instr.dst, src)
+    return rewritten

@@ -1,0 +1,133 @@
+"""Local common-subexpression elimination.
+
+Within a basic block, a pure computation (``binop``, ``cmp``, ``gep``,
+``cast``) whose operands match an earlier one's — up to copy chains —
+is replaced with a ``mov`` from the earlier result.  The IR is not SSA,
+so availability is tracked with invalidation: redefining any operand or
+the earlier result kills the expression.
+
+Together with :mod:`repro.opt.copyprop` this reproduces the
+"factor out common sub-expressions" effect the paper obtains by
+re-running LLVM's optimizations over the instrumented code (Section
+6.1) — the SoftBound transformation mechanically emits one bound ``gep``
+per alloca/field address and repeated address arithmetic that this pass
+collapses.
+"""
+
+from ..ir import instructions as ins
+from ..ir.values import Const, Register
+
+# Division can trap, so it is not freely re-orderable in principle, but
+# replacing a *recomputation* with the first computation's value is
+# still sound (the first instance already trapped or didn't).
+_CSE_OPCODES = frozenset(["binop", "cmp", "gep", "cast"])
+
+
+def _operand_key(value, copies):
+    value = copies.resolve(value)
+    if isinstance(value, Register):
+        return ("r", value.uid)
+    if isinstance(value, Const):
+        return ("c", value.value, value.type.kind)
+    # SymbolRefs and anything else: identify by repr (stable and precise
+    # enough for availability tracking).
+    return ("o", repr(value))
+
+
+def _expression_key(instr, copies):
+    if instr.opcode == "binop":
+        return ("binop", instr.op, _operand_key(instr.a, copies),
+                _operand_key(instr.b, copies))
+    if instr.opcode == "cmp":
+        return ("cmp", instr.pred, _operand_key(instr.a, copies),
+                _operand_key(instr.b, copies))
+    if instr.opcode == "gep":
+        return ("gep", _operand_key(instr.base, copies),
+                _operand_key(instr.offset, copies),
+                getattr(instr, "field_extent", None))
+    if instr.opcode == "cast":
+        return ("cast", instr.kind, _operand_key(instr.src, copies),
+                instr.dst.type.kind)
+    return None
+
+
+class _Copies:
+    """Tiny local copy map (CSE needs its own, kept in lockstep)."""
+
+    def __init__(self):
+        self.copy_of = {}
+
+    def resolve(self, value):
+        hops = 0
+        while isinstance(value, Register) and value.uid in self.copy_of and hops < 64:
+            value = self.copy_of[value.uid]
+            hops += 1
+        return value
+
+    def invalidate(self, uid):
+        self.copy_of.pop(uid, None)
+        self.copy_of = {d: s for d, s in self.copy_of.items()
+                        if not (isinstance(s, Register) and s.uid == uid)}
+
+
+def _written_registers(instr):
+    written = []
+    dst = getattr(instr, "dst", None)
+    if dst is not None:
+        written.append(dst.uid)
+    for attr in ("dst_base", "dst_bound"):
+        reg = getattr(instr, attr, None)
+        if reg is not None:
+            written.append(reg.uid)
+    meta = getattr(instr, "sb_dst_meta", None)
+    if meta is not None:
+        written.extend([meta[0].uid, meta[1].uid])
+    return written
+
+
+def run(func, module=None):
+    """Eliminate block-local recomputations; returns the number replaced."""
+    replaced = 0
+    for block in func.blocks:
+        available = {}   # expression key -> result Register
+        uses = {}        # register uid -> expression keys mentioning it
+        copies = _Copies()
+        out = []
+        for instr in block.instructions:
+            key = _expression_key(instr, copies) if instr.opcode in _CSE_OPCODES else None
+            if key is not None:
+                prev = available.get(key)
+                if prev is not None and prev.uid != instr.dst.uid \
+                        and prev.type == instr.dst.type:
+                    out.append(ins.Mov(dst=instr.dst, src=prev))
+                    replaced += 1
+                    for uid in _written_registers(instr):
+                        _kill(uid, available, uses)
+                        copies.invalidate(uid)
+                    copies.copy_of[instr.dst.uid] = prev
+                    continue
+            # Ordinary path: kill everything this instruction redefines,
+            # then record the new expression / copy.
+            for uid in _written_registers(instr):
+                _kill(uid, available, uses)
+                copies.invalidate(uid)
+            if instr.opcode == "mov":
+                src = instr.src
+                is_self = isinstance(src, Register) and src.uid == instr.dst.uid
+                if not is_self and ((not isinstance(src, Register))
+                                    or src.type == instr.dst.type):
+                    copies.copy_of[instr.dst.uid] = src
+            elif key is not None:
+                available[key] = instr.dst
+                for part in key:
+                    if isinstance(part, tuple) and part and part[0] == "r":
+                        uses.setdefault(part[1], set()).add(key)
+                uses.setdefault(instr.dst.uid, set()).add(key)
+            out.append(instr)
+        block.instructions = out
+    return replaced
+
+
+def _kill(uid, available, uses):
+    for key in uses.pop(uid, ()):
+        available.pop(key, None)

@@ -1,0 +1,71 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never read.  Loads are *not*
+considered pure: a dead out-of-bounds load is still a bug the paper's
+detection experiments must observe, and a real compiler's semantics-
+preserving DCE operates before instrumentation anyway.  Division is kept
+because it can trap.
+"""
+
+from ..ir.values import Register
+
+_PURE_OPCODES = frozenset(["cmp", "gep", "cast", "mov"])
+_PURE_BINOPS_EXCLUDED = frozenset(["sdiv", "udiv", "srem", "urem"])
+
+
+def _collect_uses(func):
+    used = set()
+    for instr in func.instructions():
+        for attr in ("addr", "value", "a", "b", "base", "offset", "src", "cond",
+                     "callee_reg", "dst_addr", "src_addr", "ptr", "bound", "size"):
+            operand = getattr(instr, attr, None)
+            if isinstance(operand, Register):
+                used.add(operand.uid)
+        for arg in getattr(instr, "args", []) or []:
+            if isinstance(arg, Register):
+                used.add(arg.uid)
+        # A pointer-returning function's metadata (Ret.sb_meta) reads its
+        # base/bound registers; the caller materializes them from the
+        # frame, so they are genuine uses even though no instruction
+        # names them as a plain operand.
+        meta = getattr(instr, "sb_meta", None)
+        if meta is not None:
+            for value in meta:
+                if isinstance(value, Register):
+                    used.add(value.uid)
+    return used
+
+
+def _is_removable(instr, used):
+    dst = getattr(instr, "dst", None)
+    if dst is None or dst.uid in used:
+        return False
+    if instr.opcode in _PURE_OPCODES:
+        return True
+    if instr.opcode == "binop" and instr.op not in _PURE_BINOPS_EXCLUDED:
+        return True
+    if instr.opcode == "alloca":
+        return True
+    return False
+
+
+def run(func, module=None):
+    """Iterate to a fixed point; returns total instructions removed."""
+    removed_total = 0
+    while True:
+        used = _collect_uses(func)
+        removed = 0
+        for block in func.blocks:
+            kept = []
+            for instr in block.instructions:
+                if _is_removable(instr, used):
+                    removed += 1
+                else:
+                    kept.append(instr)
+            block.instructions = kept
+        removed_total += removed
+        if removed == 0:
+            break
+    if removed_total:
+        func._frame_layout = None
+    return removed_total

@@ -1,0 +1,84 @@
+"""Register promotion (mem2reg).
+
+Promotes scalar stack slots whose address never escapes into virtual
+registers.  This plays the role the paper assigns to LLVM's register
+promotion (Section 6.1): "register promotion and other optimizations
+have already reduced the number of memory operations, [which] reduces
+the amount of additional instrumentation introduced by SoftBound" —
+without it, every local variable access would look like a memory
+operation and the instrumentation counts (and Figure 1/2 shapes) would
+be meaningless.
+
+Because the IR is not SSA (registers are mutable, per-frame slots), a
+promoted slot simply becomes one register: loads become moves from it,
+stores become moves to it.  This is sound for arbitrary control flow.
+"""
+
+from ..ir import instructions as ins
+from ..ir.irtypes import from_ctype
+from ..ir.values import Register
+
+
+def _alloca_uses(func):
+    """Map alloca-register uid -> 'promotable' | 'escapes'."""
+    allocas = {}
+    for instr in func.instructions():
+        if instr.opcode == "alloca":
+            ctype = instr.ctype
+            if ctype is not None and ctype.is_scalar and instr.size <= 8:
+                allocas[instr.dst.uid] = "promotable"
+            else:
+                allocas[instr.dst.uid] = "escapes"
+    if not allocas:
+        return allocas
+    for instr in func.instructions():
+        if instr.opcode == "load":
+            values = [instr.addr] if not isinstance(instr.addr, Register) else []
+            # loads via the alloca address are fine; nothing else to check
+            continue
+        if instr.opcode == "store":
+            # the *value* operand escaping disqualifies
+            if isinstance(instr.value, Register) and instr.value.uid in allocas:
+                allocas[instr.value.uid] = "escapes"
+            continue
+        for attr in ("a", "b", "base", "offset", "src", "cond", "callee_reg",
+                     "dst_addr", "src_addr", "ptr", "bound", "size", "addr", "value"):
+            operand = getattr(instr, attr, None)
+            if isinstance(operand, Register) and operand.uid in allocas:
+                allocas[operand.uid] = "escapes"
+        for arg in getattr(instr, "args", []) or []:
+            if isinstance(arg, Register) and arg.uid in allocas:
+                allocas[arg.uid] = "escapes"
+    return allocas
+
+
+def run(func, module=None):
+    """Promote eligible allocas in ``func``.  Returns the number promoted."""
+    allocas = _alloca_uses(func)
+    targets = {}
+    ctypes = {}
+    for instr in func.instructions():
+        if instr.opcode == "alloca" and allocas.get(instr.dst.uid) == "promotable":
+            ctypes[instr.dst.uid] = instr.ctype
+    if not ctypes:
+        return 0
+    for uid, ctype in ctypes.items():
+        targets[uid] = func.new_reg(from_ctype(ctype), "prom")
+
+    for block in func.blocks:
+        new_instrs = []
+        for instr in block.instructions:
+            if instr.opcode == "alloca" and instr.dst.uid in targets:
+                continue  # slot no longer exists
+            if (instr.opcode == "load" and isinstance(instr.addr, Register)
+                    and instr.addr.uid in targets):
+                new_instrs.append(ins.Mov(dst=instr.dst, src=targets[instr.addr.uid]))
+                continue
+            if (instr.opcode == "store" and isinstance(instr.addr, Register)
+                    and instr.addr.uid in targets):
+                new_instrs.append(ins.Mov(dst=targets[instr.addr.uid], src=instr.value))
+                continue
+            new_instrs.append(instr)
+        block.instructions = new_instrs
+    func._frame_layout = None  # invalidate cached layout
+    return len(targets)

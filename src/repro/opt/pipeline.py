@@ -1,0 +1,53 @@
+"""Optimization pipeline.
+
+Mirrors the paper's compilation flow (Section 6.1): the full optimizer
+runs *before* SoftBound (so instrumentation counts reflect optimized
+code) and again *after* it (so redundant checks introduced by the
+mechanical transformation are cleaned up).
+"""
+
+from dataclasses import dataclass, field
+
+from ..ir.verifier import verify_module
+from . import checkelim, constfold, copyprop, cse, dce, mem2reg
+
+
+@dataclass
+class PassStats:
+    promoted_allocas: int = 0
+    folded: int = 0
+    removed_dead: int = 0
+    removed_checks: int = 0
+    propagated_copies: int = 0
+    cse_replaced: int = 0
+
+
+def optimize_module(module, verify=True):
+    """The pre-instrumentation pipeline:
+    constfold → mem2reg → copyprop → cse → dce."""
+    stats = PassStats()
+    for func in module.functions.values():
+        stats.folded += constfold.run(func, module)
+        stats.promoted_allocas += mem2reg.run(func, module)
+        stats.propagated_copies += copyprop.run(func, module)
+        stats.cse_replaced += cse.run(func, module)
+        stats.removed_dead += dce.run(func, module)
+    if verify:
+        verify_module(module)
+    return stats
+
+
+def optimize_after_instrumentation(module, verify=True):
+    """The post-SoftBound cleanup pipeline (the paper re-runs the full
+    LLVM suite here, Section 6.1):
+    copyprop → cse → checkelim → constfold → dce."""
+    stats = PassStats()
+    for func in module.functions.values():
+        stats.propagated_copies += copyprop.run(func, module)
+        stats.cse_replaced += cse.run(func, module)
+        stats.removed_checks += checkelim.run(func, module)
+        stats.folded += constfold.run(func, module)
+        stats.removed_dead += dce.run(func, module)
+    if verify:
+        verify_module(module)
+    return stats

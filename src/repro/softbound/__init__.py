@@ -1,0 +1,7 @@
+"""The SoftBound transformation and its runtime (the paper's contribution)."""
+
+from .config import (CheckMode, FIGURE2_CONFIGS, FULL_HASH, FULL_SHADOW,
+                     MetadataScheme, STORE_HASH, STORE_SHADOW, SoftBoundConfig)
+
+__all__ = ["CheckMode", "MetadataScheme", "SoftBoundConfig", "FULL_SHADOW",
+           "FULL_HASH", "STORE_SHADOW", "STORE_HASH", "FIGURE2_CONFIGS"]

@@ -1,0 +1,203 @@
+"""Disjoint metadata facilities (paper Section 5.1).
+
+Both facilities map *the address of a pointer in memory* (not the
+pointer's value) to that pointer's base and bound.  They live entirely
+outside simulated program memory — the disjointness that makes the
+metadata incorruptible by program stores (Section 3.4), which tests
+verify directly.
+
+* :class:`HashTableMetadata` — open-hash table of (tag, base, bound)
+  entries, 24 bytes each.  A lookup costs ~9 x86 instructions (shift,
+  mask, multiply, add, three loads, compare, branch); collisions walk a
+  chain, costing more — faithfully modelled because the paper attributes
+  the hash table's extra overhead to exactly this tag-checking work.
+* :class:`ShadowSpaceMetadata` — tag-less shadow space: the table is big
+  enough that collisions cannot occur, eliminating the tag field and
+  check (~5 instructions: shift, mask, add, two loads).
+"""
+
+_WORD_SHIFT = 3  # metadata is keyed per 8-byte (pointer-sized) slot
+
+# Simulated address-space placement of each facility's own storage, used
+# by the cache model (repro.vm.cache).  Far above all program segments.
+HASH_REGION_BASE = 0x1000_0000_0000
+HASH_OVERFLOW_BASE = 0x1800_0000_0000
+SHADOW_REGION_BASE = 0x4000_0000_0000
+
+
+class MetadataFacility:
+    """Interface: load / store / clear_range keyed by pointer address."""
+
+    name = "abstract"
+    load_cost_key = None
+    store_cost_key = None
+
+    def __init__(self):
+        self._trace = None
+
+    def set_trace(self, callback):
+        """Install an access-trace callback ``callback(addr, nbytes)``
+        receiving the simulated address of each metadata entry touched.
+        Used by the cache model; None disables tracing."""
+        self._trace = callback
+
+    def load(self, addr, stats):
+        raise NotImplementedError
+
+    def store(self, addr, base, bound, stats):
+        raise NotImplementedError
+
+    def clear_range(self, addr, size, stats):
+        raise NotImplementedError
+
+    def metadata_bytes(self):
+        raise NotImplementedError
+
+    def entry_count(self):
+        raise NotImplementedError
+
+
+class HashTableMetadata(MetadataFacility):
+    """Open-hash table keyed by double-word address (paper Section 5.1).
+
+    ``log2_buckets`` sizes the table; the paper keeps "average
+    utilization low" so the no-collision fast path dominates.
+    """
+
+    name = "hash_table"
+    ENTRY_BYTES = 24  # tag + base + bound at 8 bytes each
+
+    def __init__(self, log2_buckets=16):
+        super().__init__()
+        self.mask = (1 << log2_buckets) - 1
+        self.buckets = {}  # bucket index -> list of [tag, base, bound]
+        self.live = 0
+        self.peak_live = 0
+
+    def _bucket(self, addr):
+        key = addr >> _WORD_SHIFT
+        return key & self.mask, key
+
+    def _trace_chain(self, index, depth):
+        """Report the simulated addresses a chain walk of ``depth`` extra
+        entries touches: the in-table entry plus overflow-arena entries
+        (scattered by a multiplicative hash of the bucket, modelling
+        heap-allocated chain nodes)."""
+        if self._trace is None:
+            return
+        self._trace(HASH_REGION_BASE + index * self.ENTRY_BYTES, self.ENTRY_BYTES)
+        for level in range(depth):
+            slot = ((index * 0x9E3779B1 + level * 0x85EBCA77) >> 4) & 0xFFFFF
+            self._trace(HASH_OVERFLOW_BASE + slot * self.ENTRY_BYTES,
+                        self.ENTRY_BYTES)
+
+    def load(self, addr, stats):
+        index, tag = self._bucket(addr)
+        chain = self.buckets.get(index)
+        stats.charge("sb.meta.hash.load")
+        if chain is None:
+            self._trace_chain(index, 0)
+            return (0, 0)
+        for depth, entry in enumerate(chain):
+            if entry[0] == tag:
+                if depth:
+                    stats.charge_units(3 * depth)  # chain walk
+                self._trace_chain(index, depth)
+                return (entry[1], entry[2])
+        stats.charge_units(3 * len(chain))
+        self._trace_chain(index, len(chain))
+        return (0, 0)
+
+    def store(self, addr, base, bound, stats):
+        index, tag = self._bucket(addr)
+        stats.charge("sb.meta.hash.store")
+        chain = self.buckets.setdefault(index, [])
+        for depth, entry in enumerate(chain):
+            if entry[0] == tag:
+                entry[1] = base
+                entry[2] = bound
+                if depth:
+                    stats.charge_units(3 * depth)
+                self._trace_chain(index, depth)
+                return
+        self._trace_chain(index, len(chain))
+        chain.append([tag, base, bound])
+        self.live += 1
+        self.peak_live = max(self.peak_live, self.live)
+
+    def clear_range(self, addr, size, stats):
+        start = addr >> _WORD_SHIFT
+        end = (addr + size + 7) >> _WORD_SHIFT
+        for key in range(start, end):
+            index = key & self.mask
+            chain = self.buckets.get(index)
+            if not chain:
+                continue
+            before = len(chain)
+            chain[:] = [entry for entry in chain if entry[0] != key]
+            self.live -= before - len(chain)
+        stats.charge_units(max((end - start), 1))
+
+    def metadata_bytes(self):
+        return self.peak_live * self.ENTRY_BYTES
+
+    def entry_count(self):
+        return self.live
+
+
+class ShadowSpaceMetadata(MetadataFacility):
+    """Tag-less shadow space (paper Section 5.1): a reserved region large
+    enough that every pointer slot has its own metadata slot, so no tags
+    and no collision handling.  Modeled sparsely; the OS's demand paging
+    of the mmap'd region is what makes this affordable in the paper."""
+
+    name = "shadow_space"
+    ENTRY_BYTES = 16  # base + bound
+
+    def __init__(self):
+        super().__init__()
+        self.table = {}  # word index -> (base, bound)
+        self.peak_live = 0
+
+    def _trace_entry(self, key):
+        if self._trace is not None:
+            # The shadow space mirrors the program address space at 2x
+            # scale: slot key's entry sits at a fixed, locality-
+            # preserving offset.
+            self._trace(SHADOW_REGION_BASE + key * self.ENTRY_BYTES,
+                        self.ENTRY_BYTES)
+
+    def load(self, addr, stats):
+        stats.charge("sb.meta.shadow.load")
+        key = addr >> _WORD_SHIFT
+        self._trace_entry(key)
+        return self.table.get(key, (0, 0))
+
+    def store(self, addr, base, bound, stats):
+        stats.charge("sb.meta.shadow.store")
+        key = addr >> _WORD_SHIFT
+        self._trace_entry(key)
+        self.table[key] = (base, bound)
+        if len(self.table) > self.peak_live:
+            self.peak_live = len(self.table)
+
+    def clear_range(self, addr, size, stats):
+        start = addr >> _WORD_SHIFT
+        end = (addr + size + 7) >> _WORD_SHIFT
+        for key in range(start, end):
+            self.table.pop(key, None)
+        stats.charge_units(max(end - start, 1))
+
+    def metadata_bytes(self):
+        return self.peak_live * self.ENTRY_BYTES
+
+    def entry_count(self):
+        return len(self.table)
+
+
+def make_facility(scheme):
+    from .config import MetadataScheme
+
+    if scheme is MetadataScheme.HASH_TABLE:
+        return HashTableMetadata()
+    return ShadowSpaceMetadata()

@@ -1,0 +1,104 @@
+"""The SoftBound runtime attached to a VM.
+
+Holds the metadata facility and implements the runtime services that are
+not per-instruction: global metadata initialization (paper Section 5.2,
+"Global variables"), metadata copying for memcpy/struct assignment, and
+stack-frame metadata clearing on return ("Memory reuse and stale
+metadata").
+"""
+
+from .config import CheckMode
+from .metadata import make_facility
+
+
+class SoftBoundRuntime:
+    def __init__(self, config):
+        self.config = config
+        if config.variant == "mscc":
+            from ..baselines.mscc import MsccMetadata
+
+            self.facility = MsccMetadata()
+            self.check_cost_key = "mscc.check"
+        elif config.variant in ("fatptr_naive", "fatptr_wild"):
+            from ..baselines.fatptr import make_fatptr_facility
+
+            self.facility = make_fatptr_facility(config.variant)
+            self.check_cost_key = "fatptr.check"
+        else:
+            self.facility = make_facility(config.scheme)
+            self.check_cost_key = "sb.check"
+        self.machine = None
+        # Inline-metadata facilities observe every non-pointer store
+        # (Section 3.4's corruption channel); disjoint ones cannot be
+        # reached by program stores at all.
+        self.observes_stores = hasattr(self.facility, "on_program_store")
+
+    def on_program_store(self, addr, size):
+        self.facility.on_program_store(addr, size, self.machine.stats)
+
+    def attach(self, machine):
+        machine.sb_runtime = self
+        self.machine = machine
+        return self
+
+    # -- global initialization ------------------------------------------------
+
+    def initialize_globals(self, machine):
+        """Seed in-memory metadata for initialized global pointers.
+
+        The paper implements this "using the same hooks C++ uses to run
+        code for constructing global objects"; here the runtime walks the
+        relocation records the lowerer produced for every pointer-valued
+        global initializer.
+        """
+        module = machine.module
+        for name, gvar in module.globals.items():
+            base_addr = machine.symbol_addrs[name]
+            for offset, sym, addend in gvar.relocs:
+                target_base, target_bound = self.symbol_bounds(machine, sym)
+                self.facility.store(base_addr + offset, target_base, target_bound,
+                                    machine.stats)
+                machine.stats.charge("sb.global.init.per_ptr")
+
+    def symbol_bounds(self, machine, sym):
+        """Static bounds for a symbol: globals span their image; functions
+        use the base==bound encoding (paper Section 5.2)."""
+        addr = machine.symbol_addrs[sym]
+        gvar = machine.module.globals.get(sym)
+        if gvar is not None:
+            return addr, addr + max(gvar.size, 1)
+        return addr, addr  # function pointer encoding
+
+    # -- metadata copying ---------------------------------------------------------
+
+    def copy_metadata(self, src, dst, size, ctype=None):
+        """Copy metadata for an aggregate copy (struct assignment)."""
+        if ctype is not None and not ctype.contains_pointer():
+            return
+        self._copy_range(src, dst, size)
+
+    def memcpy_metadata(self, src, dst, size, src_ctype=None):
+        """memcpy's metadata handling (paper Section 5.2): safe default is
+        to always copy; the inference option skips copies whose source
+        type provably contains no pointers."""
+        if self.config.infer_memcpy and src_ctype is not None and src_ctype.is_pointer:
+            pointee = src_ctype.pointee
+            if not pointee.is_void and not pointee.contains_pointer():
+                return
+        self._copy_range(src, dst, size)
+
+    def _copy_range(self, src, dst, size):
+        stats = self.machine.stats
+        for off in range(0, size, 8):
+            base, bound = self.facility.load(src + off, stats)
+            self.facility.store(dst + off, base, bound, stats)
+
+    # -- stack frame teardown ---------------------------------------------------------
+
+    def on_frame_teardown(self, machine, frame):
+        """Clear metadata for pointer-bearing stack slots before the frame
+        is reused (paper Section 5.2's heuristic: only variables that
+        likely had pointer metadata set)."""
+        for offset, size, name, ctype in frame.alloca_ctypes:
+            if ctype is not None and ctype.contains_pointer():
+                self.facility.clear_range(frame.base + offset, size, machine.stats)

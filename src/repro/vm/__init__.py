@@ -1,0 +1,9 @@
+"""Virtual machine: simulated memory, interpreter, libc, cost model."""
+
+from .costs import CostStats, overhead_percent
+from .errors import ExecutionResult, Trap, TrapKind
+from .machine import Machine, Observer
+from .memory import Memory
+
+__all__ = ["CostStats", "overhead_percent", "ExecutionResult", "Trap",
+           "TrapKind", "Machine", "Observer", "Memory"]

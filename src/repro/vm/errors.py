@@ -1,0 +1,92 @@
+"""VM trap taxonomy and execution outcome types.
+
+The interpreter never raises raw Python exceptions for program-level
+events; everything a C program can "do wrong" is reported as a
+:class:`Trap` with a :class:`TrapKind`, so the harness and the detection
+experiments (Tables 3 and 4) can classify outcomes precisely.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TrapKind(enum.Enum):
+    #: SoftBound or a baseline checker detected a spatial violation.
+    SPATIAL_VIOLATION = "spatial_violation"
+    #: Access left all mapped segments (simulated SIGSEGV).
+    SEGFAULT = "segfault"
+    #: A return address / function pointer / longjmp target was corrupted
+    #: and control transferred somewhere the program never set up.
+    CONTROL_FLOW_HIJACK = "control_flow_hijack"
+    #: Corrupted code address that maps to no function at all.
+    WILD_JUMP = "wild_jump"
+    #: Integer division by zero.
+    DIV_BY_ZERO = "div_by_zero"
+    #: Heap exhausted (the formal semantics' OutOfMem outcome).
+    OUT_OF_MEMORY = "out_of_memory"
+    #: Simulated stack exhausted.
+    STACK_OVERFLOW = "stack_overflow"
+    #: Executed an `unreachable` (fell off a goto-only block).
+    UNREACHABLE = "unreachable"
+    #: abort() called by the program (distinct from checker aborts).
+    ABORT = "abort"
+    #: Dynamic check on variadic argument decoding failed (paper §5.2).
+    VARARG_VIOLATION = "vararg_violation"
+    #: Function-pointer check failed (base==bound encoding, paper §5.2).
+    FUNCTION_POINTER_VIOLATION = "function_pointer_violation"
+    #: Interpreter resource limit (instruction budget) exceeded.
+    RESOURCE_LIMIT = "resource_limit"
+
+
+@dataclass
+class Trap(Exception):
+    kind: TrapKind
+    detail: str = ""
+    #: Faulting simulated address, when meaningful.
+    address: int = 0
+    #: For hijacks: the symbol control was redirected to, if resolvable.
+    target_symbol: str = ""
+    #: Which checker raised it ("softbound", "jones_kelly", "vm", ...).
+    source: str = "vm"
+
+    def __str__(self):
+        loc = f" @0x{self.address:x}" if self.address else ""
+        tgt = f" -> {self.target_symbol}" if self.target_symbol else ""
+        return f"{self.kind.value}{loc}{tgt}: {self.detail} [{self.source}]"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    exit_code: int = 0
+    output: str = ""
+    trap: Trap = None
+    stats: object = None
+    #: Values of named globals sampled after the run (tests use this).
+    global_samples: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return self.trap is None
+
+    @property
+    def detected_violation(self):
+        """True when a *checker* stopped the program (not a crash)."""
+        return self.trap is not None and self.trap.kind in (
+            TrapKind.SPATIAL_VIOLATION,
+            TrapKind.VARARG_VIOLATION,
+            TrapKind.FUNCTION_POINTER_VIOLATION,
+        )
+
+    @property
+    def attack_succeeded(self):
+        """True when control flow was hijacked or the payload ran."""
+        if self.trap is not None and self.trap.kind == TrapKind.CONTROL_FLOW_HIJACK:
+            return True
+        return self.exit_code == ATTACK_EXIT_CODE
+
+
+#: Attack payload functions exit with this code so a successful exploit
+#: is observable even when the hijack mechanism executed the payload.
+ATTACK_EXIT_CODE = 66

@@ -1,0 +1,203 @@
+"""Simulated flat byte-addressable memory.
+
+A 64-bit little-endian address space with four regions:
+
+====================  ==========================  =========================
+region                default placement           purpose
+====================  ==========================  =========================
+NULL guard            ``[0x0, 0x1000)``           never mapped; dereferencing
+                                                  NULL-ish pointers segfaults
+code                  ``0x1000 + 16*i``           one pseudo-address per
+                                                  function (never data-mapped)
+globals               ``0x0010_0000 …``           global variable images
+heap                  ``0x2000_0000 …``           malloc arena (free list)
+stack                 ``… 0x7fff_f000`` (down)    call frames
+====================  ==========================  =========================
+
+Crucially, each *segment* is one contiguous mapped range: an overflow
+past the end of one stack array or heap block lands in adjacent program
+data and silently corrupts it — exactly like real hardware, which is what
+gives the paper's attack and bug-detection experiments their teeth.
+Only accesses that leave every mapped segment trap (simulated SIGSEGV).
+"""
+
+import struct
+
+from .errors import Trap, TrapKind
+
+NULL_GUARD_END = 0x1000
+CODE_BASE = 0x1000
+CODE_STRIDE = 16
+GLOBALS_BASE = 0x0010_0000
+HEAP_BASE = 0x2000_0000
+DEFAULT_HEAP_SIZE = 32 * 1024 * 1024
+STACK_TOP = 0x7FFF_F000
+DEFAULT_STACK_SIZE = 4 * 1024 * 1024
+
+_HEAP_HEADER = 16
+_HEAP_MAGIC = 0x5AFEB10C
+
+
+class Segment:
+    __slots__ = ("name", "base", "data")
+
+    def __init__(self, name, base, size):
+        self.name = name
+        self.base = base
+        self.data = bytearray(size)
+
+    @property
+    def end(self):
+        return self.base + len(self.data)
+
+    def contains(self, addr, size):
+        return self.base <= addr and addr + size <= self.end
+
+
+class Memory:
+    """The address space: segment registry plus scalar codec."""
+
+    def __init__(self, heap_size=DEFAULT_HEAP_SIZE, stack_size=DEFAULT_STACK_SIZE):
+        self.segments = []
+        self.heap = Segment("heap", HEAP_BASE, heap_size)
+        self.stack = Segment("stack", STACK_TOP - stack_size, stack_size)
+        self.globals_segment = None
+        self.segments.extend([self.heap, self.stack])
+        # Heap allocator state: sorted free list of (offset, size) within
+        # the heap segment, plus live allocation registry for free() and
+        # the observers the baseline checkers attach.
+        self._free_list = [(0, heap_size)]
+        self.allocations = {}  # payload addr -> size
+        self.bytes_in_use = 0
+        self.peak_heap = 0
+
+    # -- segment management ------------------------------------------------
+
+    def map_globals(self, size):
+        self.globals_segment = Segment("globals", GLOBALS_BASE, max(size, 1))
+        self.segments.append(self.globals_segment)
+        return self.globals_segment
+
+    def _segment_for(self, addr, size):
+        for segment in self.segments:
+            if segment.contains(addr, size):
+                return segment
+        return None
+
+    def is_mapped(self, addr, size=1):
+        return self._segment_for(addr, size) is not None
+
+    # -- raw access --------------------------------------------------------
+
+    def read(self, addr, size):
+        segment = self._segment_for(addr, size)
+        if segment is None:
+            raise Trap(TrapKind.SEGFAULT, f"read of {size} bytes", address=addr)
+        off = addr - segment.base
+        return bytes(segment.data[off : off + size])
+
+    def write(self, addr, data):
+        segment = self._segment_for(addr, len(data))
+        if segment is None:
+            raise Trap(TrapKind.SEGFAULT, f"write of {len(data)} bytes", address=addr)
+        off = addr - segment.base
+        segment.data[off : off + len(data)] = data
+
+    # -- scalar codec --------------------------------------------------------
+
+    def read_int(self, addr, width, signed=True):
+        return int.from_bytes(self.read(addr, width), "little", signed=signed)
+
+    def write_int(self, addr, value, width):
+        mask = (1 << (width * 8)) - 1
+        self.write(addr, (value & mask).to_bytes(width, "little"))
+
+    def read_f64(self, addr):
+        return struct.unpack("<d", self.read(addr, 8))[0]
+
+    def write_f64(self, addr, value):
+        self.write(addr, struct.pack("<d", float(value)))
+
+    def read_ptr(self, addr):
+        return self.read_int(addr, 8, signed=False)
+
+    def write_ptr(self, addr, value):
+        self.write_int(addr, value, 8)
+
+    def read_cstring(self, addr, limit=1 << 20):
+        """Read a NUL-terminated string; traps if it runs off the map."""
+        out = bytearray()
+        while len(out) < limit:
+            byte = self.read(addr + len(out), 1)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise Trap(TrapKind.SEGFAULT, "unterminated string", address=addr)
+
+    # -- heap allocator ------------------------------------------------------
+
+    def malloc(self, size):
+        """Allocate ``size`` payload bytes; returns the payload address.
+
+        Returns 0 (NULL) for zero-size requests, raises OUT_OF_MEMORY via
+        a None-return sentinel handled by the libc layer when exhausted.
+        """
+        if size <= 0:
+            return 0
+        need = _align16(size) + _HEAP_HEADER
+        for i, (off, avail) in enumerate(self._free_list):
+            if avail >= need:
+                remaining = avail - need
+                if remaining >= 32:
+                    self._free_list[i] = (off + need, remaining)
+                else:
+                    need = avail  # absorb the tail fragment
+                    del self._free_list[i]
+                payload = self.heap.base + off + _HEAP_HEADER
+                self.write_int(self.heap.base + off, need, 8)
+                self.write_int(self.heap.base + off + 8, _HEAP_MAGIC, 8)
+                self.allocations[payload] = size
+                self.bytes_in_use += need
+                self.peak_heap = max(self.peak_heap, self.bytes_in_use)
+                return payload
+        return None  # out of memory
+
+    def free(self, payload):
+        """Release an allocation.  Freeing NULL is a no-op; freeing an
+        unknown address is ignored (glibc would corrupt or abort; our
+        workloads don't rely on either)."""
+        if payload == 0:
+            return
+        size = self.allocations.pop(payload, None)
+        if size is None:
+            return
+        off = payload - _HEAP_HEADER - self.heap.base
+        block = self.read_int(self.heap.base + off, 8)
+        self.bytes_in_use -= block
+        self._free_insert(off, block)
+
+    def _free_insert(self, off, size):
+        # Keep the free list sorted and coalesce neighbours.
+        entries = self._free_list
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        entries.insert(lo, (off, size))
+        # Coalesce with successor then predecessor.
+        if lo + 1 < len(entries) and entries[lo][0] + entries[lo][1] == entries[lo + 1][0]:
+            entries[lo] = (entries[lo][0], entries[lo][1] + entries[lo + 1][1])
+            del entries[lo + 1]
+        if lo > 0 and entries[lo - 1][0] + entries[lo - 1][1] == entries[lo][0]:
+            entries[lo - 1] = (entries[lo - 1][0], entries[lo - 1][1] + entries[lo][1])
+            del entries[lo]
+
+    def allocation_size(self, payload):
+        return self.allocations.get(payload)
+
+
+def _align16(value):
+    return (value + 15) & ~15

@@ -1,0 +1,10 @@
+"""Workloads: benchmark analogues, attack suite, BugBench, server studies."""
+
+from .attacks import ATTACKS, all_attacks, attack
+from .bugbench import BUGBENCH, all_bugs, bug
+from .programs import FIGURE1_ORDER, WORKLOADS, all_workloads, workload
+from .servers import SERVERS, all_servers
+
+__all__ = ["ATTACKS", "all_attacks", "attack", "BUGBENCH", "all_bugs", "bug",
+           "WORKLOADS", "FIGURE1_ORDER", "all_workloads", "workload",
+           "SERVERS", "all_servers"]

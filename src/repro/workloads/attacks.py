@@ -1,0 +1,403 @@
+"""The Wilander & Kamkar attack suite (paper Table 3).
+
+Eighteen attack forms in the paper's four groups:
+
+1. buffer overflow **on the stack all the way to the target** (6 targets:
+   return address, old base pointer, function-pointer local,
+   function-pointer parameter, longjmp buffer local, longjmp buffer
+   parameter);
+2. buffer overflow **on heap/BSS/data all the way to the target**
+   (function pointer, longjmp buffer);
+3. buffer overflow **of a pointer on the stack, then pointing it at the
+   target** (6 targets as in group 1);
+4. buffer overflow **of a pointer on heap/BSS, then pointing it at the
+   target** (return address, old base pointer, function pointer,
+   longjmp buffer).
+
+Every attack genuinely works against the unprotected VM: the payload
+function runs (exiting with :data:`~repro.vm.errors.ATTACK_EXIT_CODE`)
+or the VM reports the control-flow hijack at the corrupted return /
+longjmp.  Every attack performs at least one out-of-bounds *write*, so
+both SoftBound modes must stop it — the all-"yes" column pair of
+Table 3.
+
+Frame-layout facts the attacker exploits (documented VM ABI, mirroring
+x86): body locals sit at the frame base in declaration order, parameter
+spill slots above them, then the saved frame pointer and the return
+address.  A frame whose only local is ``char buf[N]`` therefore has its
+saved FP at ``buf + N`` and its return address at ``buf + N + 8``.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+_PAYLOAD = r'''
+void attack_payload(void) {
+    printf("PWNED\n");
+    exit(66);
+}
+void safe_handler(void) {
+    printf("safe\n");
+}
+'''
+
+
+@dataclass(frozen=True)
+class Attack:
+    name: str
+    group: str
+    technique: str
+    location: str
+    target: str
+    source: str
+
+
+def _attack(name, group, technique, location, target, body):
+    return Attack(name=name, group=group, technique=technique,
+                  location=location, target=target,
+                  source=_PAYLOAD + body)
+
+
+ATTACKS = OrderedDict()
+
+
+def _register(attack):
+    ATTACKS[attack.name] = attack
+    return attack
+
+
+# ---------------------------------------------------------------------------
+# Group 1: buffer overflow on the stack all the way to the target.
+# ---------------------------------------------------------------------------
+
+_register(_attack(
+    "stack_direct_ret", "stack_direct", "direct overflow", "stack",
+    "Return address", r'''
+void victim(void) {
+    char buf[24];
+    long *p = (long *)buf;
+    /* spray the payload address over buf, saved FP and return address */
+    for (int i = 0; i < 5; i++) p[i] = (long)attack_payload;
+}
+int main(void) {
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_direct_old_bp", "stack_direct", "direct overflow", "stack",
+    "Old base pointer", r'''
+long fake_frame[2];
+void victim(void) {
+    char buf[16];
+    fake_frame[0] = 0;                      /* fake saved FP */
+    fake_frame[1] = (long)attack_payload;   /* fake return address */
+    long *p = (long *)buf;
+    p[2] = (long)fake_frame;   /* exactly the saved-FP slot (buf+16) */
+}
+int main(void) {
+    victim();     /* victim returns fine; main's return then uses the
+                     corrupted frame pointer and jumps to the payload */
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_direct_fnptr_local", "stack_direct", "direct overflow", "stack",
+    "Function ptr local variable", r'''
+struct frame_vars { char buf[16]; void (*handler)(void); };
+void victim(void) {
+    struct frame_vars v;
+    v.handler = safe_handler;
+    long *p = (long *)v.buf;
+    p[2] = (long)attack_payload;   /* overflow buf into handler */
+    v.handler();
+}
+int main(void) {
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_direct_fnptr_param", "stack_direct", "direct overflow", "stack",
+    "Function ptr parameter", r'''
+void victim(void (*handler)(void)) {
+    char buf[16];
+    void (**keep)(void) = &handler;   /* parameter lives in memory */
+    long *p = (long *)buf;
+    p[2] = (long)attack_payload;      /* param spill slot sits at buf+16 */
+    (*keep)();
+}
+int main(void) {
+    victim(safe_handler);
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_direct_longjmp_local", "stack_direct", "direct overflow", "stack",
+    "Longjmp buffer local variable", r'''
+void victim(void) {
+    char buf[16];
+    jmp_buf env;
+    if (setjmp(env)) return;
+    long *p = (long *)buf;
+    p[3] = (long)attack_payload;   /* env's resume-target slot (buf+24) */
+    longjmp(env, 1);
+}
+int main(void) {
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_direct_longjmp_param", "stack_direct", "direct overflow", "stack",
+    "Longjmp buffer function parameter", r'''
+long fake_env[2];
+void victim(long *env) {
+    char buf[16];
+    long **keep = &env;            /* parameter lives in memory */
+    fake_env[1] = (long)attack_payload;
+    long *p = (long *)buf;
+    p[2] = (long)fake_env;         /* overwrite the env parameter (buf+16) */
+    longjmp(*keep, 1);
+}
+int main(void) {
+    jmp_buf env;
+    if (setjmp(env)) return 0;
+    victim(env);
+    return 0;
+}
+'''))
+
+# ---------------------------------------------------------------------------
+# Group 2: buffer overflow on heap / BSS / data all the way to the target.
+# ---------------------------------------------------------------------------
+
+_register(_attack(
+    "heap_direct_fnptr", "heap_direct", "direct overflow", "heap",
+    "Function pointer", r'''
+struct handler_box { char buf[16]; void (*handler)(void); };
+int main(void) {
+    struct handler_box *box =
+        (struct handler_box *)malloc(sizeof(struct handler_box));
+    box->handler = safe_handler;
+    char *b = box->buf;
+    long *p = (long *)b;
+    p[2] = (long)attack_payload;   /* overflow buf into handler */
+    box->handler();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "bss_direct_longjmp", "heap_direct", "direct overflow", "bss",
+    "Longjmp buffer", r'''
+char global_buf[16];
+jmp_buf global_env;
+int main(void) {
+    if (setjmp(global_env)) return 0;
+    long *p = (long *)global_buf;
+    p[3] = (long)attack_payload;   /* global_env resume slot (buf+24) */
+    longjmp(global_env, 1);
+    return 0;
+}
+'''))
+
+# ---------------------------------------------------------------------------
+# Group 3: overflow a *pointer* on the stack, then write through it.
+# ---------------------------------------------------------------------------
+
+_STACK_PTR_PREAMBLE = r'''
+struct vuln { char buf[16]; long *ptr; };
+'''
+
+_register(_attack(
+    "stack_ptr_ret", "stack_ptr", "pointer redirect", "stack",
+    "Return address", _STACK_PTR_PREAMBLE + r'''
+void victim(void) {
+    struct vuln v;
+    long *p = (long *)v.buf;
+    /* overflow rewrites v.ptr to aim at the return-address slot
+       (frame base + sizeof(v) + 8) */
+    p[2] = (long)((char *)&v + sizeof(struct vuln) + 8);
+    *v.ptr = (long)attack_payload;   /* attacker-controlled write */
+}
+int main(void) {
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_ptr_base_ptr", "stack_ptr", "pointer redirect", "stack",
+    "Base pointer", _STACK_PTR_PREAMBLE + r'''
+long fake_frame[2];
+void victim(void) {
+    struct vuln v;
+    fake_frame[1] = (long)attack_payload;
+    long *p = (long *)v.buf;
+    p[2] = (long)((char *)&v + sizeof(struct vuln));   /* saved-FP slot */
+    *v.ptr = (long)fake_frame;
+}
+int main(void) {
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_ptr_fnptr_local", "stack_ptr", "pointer redirect", "stack",
+    "Function pointer variable", _STACK_PTR_PREAMBLE + r'''
+void victim(void) {
+    struct vuln v;
+    void (*handler)(void) = safe_handler;
+    void (**hp)(void) = &handler;          /* keep handler in memory */
+    long *p = (long *)v.buf;
+    p[2] = (long)hp;                       /* aim v.ptr at handler */
+    *v.ptr = (long)attack_payload;
+    (*hp)();
+}
+int main(void) {
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_ptr_fnptr_param", "stack_ptr", "pointer redirect", "stack",
+    "Function pointer parameter", _STACK_PTR_PREAMBLE + r'''
+void victim(void (*handler)(void)) {
+    struct vuln v;
+    void (**hp)(void) = &handler;
+    long *p = (long *)v.buf;
+    p[2] = (long)hp;
+    *v.ptr = (long)attack_payload;
+    (*hp)();
+}
+int main(void) {
+    victim(safe_handler);
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_ptr_longjmp_local", "stack_ptr", "pointer redirect", "stack",
+    "Longjmp buffer variable", _STACK_PTR_PREAMBLE + r'''
+void victim(void) {
+    struct vuln v;
+    jmp_buf env;
+    if (setjmp(env)) return;
+    long *p = (long *)v.buf;
+    p[2] = (long)(env + 1);          /* env's resume-target slot */
+    *v.ptr = (long)attack_payload;
+    longjmp(env, 1);
+}
+int main(void) {
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "stack_ptr_longjmp_param", "stack_ptr", "pointer redirect", "stack",
+    "Longjmp buffer function parameter", _STACK_PTR_PREAMBLE + r'''
+void victim(long *env) {
+    struct vuln v;
+    long *p = (long *)v.buf;
+    p[2] = (long)(env + 1);          /* caller's env resume slot */
+    *v.ptr = (long)attack_payload;
+    longjmp(env, 1);
+}
+int main(void) {
+    jmp_buf env;
+    if (setjmp(env)) return 0;
+    victim(env);
+    return 0;
+}
+'''))
+
+# ---------------------------------------------------------------------------
+# Group 4: overflow a pointer on heap/BSS, then write through it.
+# ---------------------------------------------------------------------------
+
+_HEAP_PTR_PREAMBLE = r'''
+struct vuln { char buf[16]; long *ptr; };
+struct vuln *box;
+'''
+
+_register(_attack(
+    "heap_ptr_ret", "heap_ptr", "pointer redirect", "heap",
+    "Return address", _HEAP_PTR_PREAMBLE + r'''
+void victim(void) {
+    char anchor[8];
+    /* return-address slot of this frame: anchor + 8 (locals) + 8 */
+    long *p = (long *)box->buf;
+    p[2] = (long)(anchor + 16);
+    *box->ptr = (long)attack_payload;
+}
+int main(void) {
+    box = (struct vuln *)malloc(sizeof(struct vuln));
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "heap_ptr_old_bp", "heap_ptr", "pointer redirect", "heap",
+    "Old base pointer", _HEAP_PTR_PREAMBLE + r'''
+long fake_frame[2];
+void victim(void) {
+    char anchor[8];
+    fake_frame[1] = (long)attack_payload;
+    long *p = (long *)box->buf;
+    p[2] = (long)(anchor + 8);       /* saved-FP slot of this frame */
+    *box->ptr = (long)fake_frame;
+}
+int main(void) {
+    box = (struct vuln *)malloc(sizeof(struct vuln));
+    victim();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "bss_ptr_fnptr", "heap_ptr", "pointer redirect", "bss",
+    "Function pointer", _HEAP_PTR_PREAMBLE + r'''
+void (*global_handler)(void);
+struct vuln global_box;
+int main(void) {
+    global_handler = safe_handler;
+    long *p = (long *)global_box.buf;
+    p[2] = (long)&global_handler;
+    *global_box.ptr = (long)attack_payload;
+    global_handler();
+    return 0;
+}
+'''))
+
+_register(_attack(
+    "bss_ptr_longjmp", "heap_ptr", "pointer redirect", "bss",
+    "Longjmp buffer", _HEAP_PTR_PREAMBLE + r'''
+jmp_buf global_env;
+struct vuln global_box;
+int main(void) {
+    if (setjmp(global_env)) return 0;
+    long *p = (long *)global_box.buf;
+    p[2] = (long)(global_env + 1);
+    *global_box.ptr = (long)attack_payload;
+    longjmp(global_env, 1);
+    return 0;
+}
+'''))
+
+
+def all_attacks():
+    return list(ATTACKS.values())
+
+
+def attack(name):
+    return ATTACKS[name]

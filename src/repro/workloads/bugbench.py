@@ -1,0 +1,162 @@
+"""BugBench analogues (paper Table 4, Lu et al.'s suite).
+
+Four buggy programs whose *bug class* reproduces the paper's detection
+matrix.  The paper's Table 4:
+
+=============  ========  =======  ==========  =========
+benchmark      Valgrind  Mudflap  SB (store)  SB (full)
+=============  ========  =======  ==========  =========
+go             no        no       no          yes
+compress       no        yes      yes         yes
+polymorph      yes       yes      yes         yes
+gzip           yes       yes      yes         yes
+=============  ========  =======  ==========  =========
+
+The bug classes that produce exactly this matrix:
+
+* **go** — a *read* overflow out of an array nested in a global struct:
+  sub-object, so object-granularity Mudflap misses it; not heap, so
+  Valgrind misses it; a load, so store-only SoftBound misses it; only
+  full SoftBound (shrunk bounds) catches it.
+* **compress** — a *write* overflow of a stack buffer: Valgrind's
+  addressability tracking does not cover the stack; everything else
+  catches an object-crossing write.
+* **polymorph** / **gzip** — heap *write* overflows (an off-by-N index
+  walk and an unchecked filename strcpy respectively): every tool sees
+  those.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BugProgram:
+    name: str
+    description: str
+    bug_class: str
+    source: str
+    #: Paper Table 4 row: (valgrind, mudflap, sb_store, sb_full).
+    paper_detection: tuple
+
+
+BUGBENCH = OrderedDict()
+
+
+def _register(bug):
+    BUGBENCH[bug.name] = bug
+    return bug
+
+
+_register(BugProgram(
+    name="go",
+    description="board evaluator with a sub-object read overflow in a "
+                "global game-state struct",
+    bug_class="sub-object read overflow (global struct)",
+    paper_detection=(False, False, False, True),
+    source=r'''
+struct game_state {
+    int board[81];        /* 9x9 board */
+    int move_history[16];
+    int score;
+};
+struct game_state game;
+
+int evaluate(int pos) {
+    int *cell = game.board;
+    int value = 0;
+    /* BUG: neighbour scan runs one row past the board array and reads
+       into move_history — inside the same struct. */
+    for (int d = 0; d <= 9; d++)
+        value += cell[pos + d * 9 % 90];
+    return value;
+}
+
+int main(void) {
+    game.score = 0;
+    for (int i = 0; i < 81; i++) game.board[i] = (i * 7) % 3;
+    for (int i = 0; i < 16; i++) game.move_history[i] = 1000 + i;
+    int total = 0;
+    for (int pos = 0; pos < 9; pos++) total += evaluate(pos);
+    game.score = total;
+    return total % 256;
+}
+'''))
+
+_register(BugProgram(
+    name="compress",
+    description="run-length encoder with an unchecked stack output buffer",
+    bug_class="stack write overflow",
+    paper_detection=(False, True, True, True),
+    source=r'''
+char source_data[128];
+
+int encode(void) {
+    char out[32];
+    int out_len = 0;
+    int i = 0;
+    while (i < 128) {
+        int run = 1;
+        while (i + run < 128 && source_data[i + run] == source_data[i]) run++;
+        /* BUG: no bounds check on out; enough distinct runs overflow it. */
+        out[out_len] = (char)run;
+        out[out_len + 1] = source_data[i];
+        out_len += 2;
+        i += run;
+    }
+    int checksum = 0;
+    for (int k = 0; k < out_len && k < 32; k++) checksum += out[k];
+    return checksum;
+}
+
+int main(void) {
+    srand(9);
+    for (int i = 0; i < 128; i++) source_data[i] = 'a' + rand() % 26;
+    return encode() % 256;
+}
+'''))
+
+_register(BugProgram(
+    name="polymorph",
+    description="filename normalizer that writes one transformed name per "
+                "slot past its heap table",
+    bug_class="heap write overflow (index walk)",
+    paper_detection=(True, True, True, True),
+    source=r'''
+int main(void) {
+    int *table = (int *)malloc(16 * sizeof(int));
+    /* BUG: classic off-by-N — loop bound counts an extra batch. */
+    for (int i = 0; i <= 16; i++)
+        table[i] = i * 3;
+    int total = 0;
+    for (int i = 0; i < 16; i++) total += table[i];
+    return total % 256;
+}
+'''))
+
+_register(BugProgram(
+    name="gzip",
+    description="archive tool copying an attacker-length name into a "
+                "fixed heap buffer",
+    bug_class="heap write overflow (unchecked strcpy)",
+    paper_detection=(True, True, True, True),
+    source=r'''
+char long_name[64];
+
+int main(void) {
+    for (int i = 0; i < 40; i++) long_name[i] = 'A' + i % 26;
+    long_name[40] = 0;
+    char *ofname = (char *)malloc(24);
+    /* BUG: gzip's unchecked filename copy. */
+    strcpy(ofname, long_name);
+    return (int)strlen(ofname) % 256;
+}
+'''))
+
+
+def all_bugs():
+    return list(BUGBENCH.values())
+
+
+def bug(name):
+    return BUGBENCH[name]

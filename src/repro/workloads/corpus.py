@@ -1,0 +1,183 @@
+"""A regression corpus of classic spatial-bug patterns.
+
+The Wilander suite (Table 3) covers *attack* shapes and BugBench
+(Table 4) covers four real-world bugs; this corpus rounds out the
+evaluation with the textbook spatial-bug patterns a deployed checker
+meets in practice — each annotated with where it overflows, whether the
+first faulting access is a read or a write, and therefore what
+store-only mode is expected to do with it (the paper's Section 6.3
+trade-off made enumerable).
+
+Used by ``tests/workloads/test_corpus.py`` to pin the full/store-only
+detection matrix pattern-by-pattern.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BugPattern:
+    name: str
+    description: str
+    #: "read" or "write" — the first out-of-bounds access's direction.
+    faulting_access: str
+    #: "stack" | "heap" | "global" | "subobject"
+    location: str
+    source: str
+    #: Deterministic exit code of an unprotected run.  Non-zero means
+    #: the corruption is *observable* through the program's own probe;
+    #: zero means it is latent (absorbed by alignment padding or a
+    #: zeroed neighbour) — the silence that makes these bugs dangerous.
+    silent_exit: int = 0
+
+
+OFF_BY_ONE_STACK = BugPattern(
+    name="off_by_one_stack",
+    description="classic <= loop bound writing one past a stack array",
+    faulting_access="write",
+    location="stack",
+    silent_exit=0,
+    source=r'''
+int main(void) {
+    int canary = 7;
+    int a[8];
+    for (int i = 0; i <= 8; i++) a[i] = 0;   /* a[8] is one too far */
+    return canary != 7;     /* 1 when the neighbour got trampled */
+}
+''')
+
+OFF_BY_ONE_HEAP_READ = BugPattern(
+    name="off_by_one_heap_read",
+    description="summing one element past a heap array (read overflow)",
+    faulting_access="read",
+    location="heap",
+    silent_exit=0,
+    source=r'''
+int main(void) {
+    int *a = (int *)malloc(8 * sizeof(int));
+    for (int i = 0; i < 8; i++) a[i] = 1;
+    int total = 0;
+    for (int i = 0; i <= 8; i++) total += a[i];   /* reads a[8] */
+    return total != 8;
+}
+''')
+
+UNCHECKED_INDEX_FROM_INPUT = BugPattern(
+    name="unchecked_index_from_input",
+    description="attacker-controlled index written without validation",
+    faulting_access="write",
+    location="global",
+    silent_exit=9,
+    source=r'''
+int table[16];
+int admin_flag = 0;
+
+int main(void) {
+    char line[16];
+    gets(line);
+    int index = atoi(line);     /* no range check */
+    table[index] = 1;           /* index 16 lands on admin_flag */
+    return admin_flag ? 9 : 0;
+}
+''')
+
+STRCPY_UNDERSIZED_HEAP = BugPattern(
+    name="strcpy_undersized_heap",
+    description="strlen-vs-strlen+1 allocation, the missing-NUL-byte bug",
+    faulting_access="write",
+    location="heap",
+    silent_exit=0,
+    source=r'''
+int main(void) {
+    char *name = "abcdefgh";
+    char *copy = (char *)malloc(strlen(name));   /* forgot the NUL */
+    strcpy(copy, name);                          /* writes 9 bytes */
+    return 0;
+}
+''')
+
+NEGATIVE_INDEX = BugPattern(
+    name="negative_index",
+    description="index underflow walking backwards past element zero",
+    faulting_access="write",
+    location="stack",
+    silent_exit=0,
+    source=r'''
+int main(void) {
+    int canary = 3;
+    int a[4];
+    int i = 2;
+    while (i >= -1) { a[i] = 0; i--; }   /* a[-1] underflows */
+    return canary != 3;
+}
+''')
+
+SUBOBJECT_MEMSET = BugPattern(
+    name="subobject_memset",
+    description="memset sized to the struct, aimed at one field",
+    faulting_access="write",
+    location="subobject",
+    silent_exit=0,
+    source=r'''
+struct conn { char id[8]; int privileged; };
+
+int main(void) {
+    struct conn c;
+    c.privileged = 1;
+    memset(c.id, 0x41, sizeof(c));   /* sizeof(c), not sizeof(c.id) */
+    return c.privileged == 1;        /* 0: flag erased; 1 pre-wipe */
+}
+''')
+
+POINTER_ARITH_PAST_END = BugPattern(
+    name="pointer_arith_past_end",
+    description="iterator walked past end and dereferenced (read)",
+    faulting_access="read",
+    location="heap",
+    silent_exit=0,
+    source=r'''
+int main(void) {
+    int *a = (int *)malloc(4 * sizeof(int));
+    for (int i = 0; i < 4; i++) a[i] = 5;
+    int *end = a + 4;
+    int *it = a;
+    int total = 0;
+    while (it <= end) { total += *it; it++; }   /* <=: reads *end */
+    return total != 20;
+}
+''')
+
+STALE_BOUND_AFTER_REALLOC = BugPattern(
+    name="stale_bound_after_realloc",
+    description="write through a pointer sized for the old allocation",
+    faulting_access="write",
+    location="heap",
+    silent_exit=0,
+    source=r'''
+int main(void) {
+    char *buf = (char *)malloc(16);
+    buf = (char *)realloc(buf, 8);   /* shrunk */
+    buf[12] = 'x';                   /* still using the old size */
+    return 0;
+}
+''')
+
+CORPUS = OrderedDict((p.name, p) for p in [
+    OFF_BY_ONE_STACK,
+    OFF_BY_ONE_HEAP_READ,
+    UNCHECKED_INDEX_FROM_INPUT,
+    STRCPY_UNDERSIZED_HEAP,
+    NEGATIVE_INDEX,
+    SUBOBJECT_MEMSET,
+    POINTER_ARITH_PAST_END,
+    STALE_BOUND_AFTER_REALLOC,
+])
+
+
+def all_patterns():
+    return list(CORPUS.values())
+
+
+def patterns_by_access(kind):
+    return [p for p in CORPUS.values() if p.faulting_access == kind]

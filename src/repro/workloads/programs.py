@@ -1,0 +1,798 @@
+"""The 15 benchmark analogues (paper Section 6.3, Figures 1 and 2).
+
+Each entry mirrors the dominant computational behaviour of one paper
+benchmark.  What matters for the reproduction is the *fraction of memory
+operations that move pointer values* (Figure 1's x-axis and the driver
+of Figure 2's overheads): the SPEC-like analogues are scalar/array
+codes with near-zero pointer traffic, the Olden-like analogues are
+pointer-chasing data-structure codes where metadata accesses dominate.
+
+Every program is deterministic and self-checking: it returns a small
+checksum so tests can pin behavioural equivalence between protected and
+unprotected runs.
+
+``WORKLOADS`` is ordered as the paper's Figure 1 sorts its bars
+(ascending pointer-operation frequency, SPEC shaded dark).
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    suite: str  # "spec" or "olden"
+    description: str
+    source: str
+    expected_exit: int
+
+
+# -- SPEC-like: scalar and array dominated --------------------------------
+
+GO = Workload(
+    name="go",
+    suite="spec",
+    description="Go board influence evaluation (integer arrays, branchy)",
+    expected_exit=20,
+    source=r'''
+int board[361];
+int influence[361];
+
+int liberty_score(int pos) {
+    int score = 0;
+    int row = pos / 19, col = pos % 19;
+    if (row > 0) score += board[pos - 19] == 0;
+    if (row < 18) score += board[pos + 19] == 0;
+    if (col > 0) score += board[pos - 1] == 0;
+    if (col < 18) score += board[pos + 1] == 0;
+    return score;
+}
+
+int main(void) {
+    srand(7);
+    for (int i = 0; i < 361; i++) board[i] = rand() % 3;
+    int total = 0;
+    for (int pass = 0; pass < 10; pass++) {
+        for (int pos = 0; pos < 361; pos++) {
+            int inf = 0;
+            if (board[pos]) {
+                inf = liberty_score(pos) * (board[pos] == 1 ? 1 : -1);
+                for (int d = 1; d < 4; d++) {
+                    if (pos - d * 19 >= 0) inf += board[pos - d * 19] == board[pos];
+                    if (pos + d * 19 < 361) inf += board[pos + d * 19] == board[pos];
+                }
+            }
+            influence[pos] = (influence[pos] * 3 + inf) / 4;
+        }
+        int moved = 0, best = -1000;
+        for (int pos = 0; pos < 361; pos++)
+            if (board[pos] == 0 && influence[pos] > best) { best = influence[pos]; moved = pos; }
+        board[moved] = 1 + (pass & 1);
+        total += best + 2;
+    }
+    return total % 256;
+}
+''')
+
+LBM = Workload(
+    name="lbm",
+    suite="spec",
+    description="Lattice-Boltzmann-style 2D stencil over doubles",
+    expected_exit=161,
+    source=r'''
+double grid[34][34];
+double next[34][34];
+
+int main(void) {
+    for (int i = 0; i < 34; i++)
+        for (int j = 0; j < 34; j++)
+            grid[i][j] = (double)((i * 7 + j * 3) % 11);
+    for (int step = 0; step < 10; step++) {
+        for (int i = 1; i < 33; i++) {
+            for (int j = 1; j < 33; j++) {
+                double v = grid[i][j];
+                double flow = (grid[i - 1][j] + grid[i + 1][j]
+                             + grid[i][j - 1] + grid[i][j + 1]) * 0.25;
+                next[i][j] = v + 0.6 * (flow - v);
+            }
+        }
+        for (int i = 1; i < 33; i++)
+            for (int j = 1; j < 33; j++)
+                grid[i][j] = next[i][j];
+    }
+    double total = 0.0;
+    for (int i = 0; i < 34; i++) total += grid[i][i];
+    return ((int)total) % 256;
+}
+''')
+
+HMMER = Workload(
+    name="hmmer",
+    suite="spec",
+    description="Viterbi-style dynamic programming over integer score matrices",
+    expected_exit=5,
+    source=r'''
+int match[64][32];
+int insert[64][32];
+int seq[200];
+
+int max2(int a, int b) { return a > b ? a : b; }
+
+int main(void) {
+    srand(3);
+    for (int i = 0; i < 200; i++) seq[i] = rand() % 20;
+    for (int s = 0; s < 32; s++) { match[0][s] = 0; insert[0][s] = -4; }
+    int best = 0;
+    for (int i = 1; i < 64; i++) {
+        for (int s = 1; s < 32; s++) {
+            int emit = (seq[(i * 3 + s) % 200] == s % 20) ? 5 : -2;
+            match[i][s] = max2(match[i - 1][s - 1] + emit,
+                               insert[i - 1][s - 1] + emit - 1);
+            insert[i][s] = max2(match[i - 1][s] - 3, insert[i - 1][s] - 1);
+            best = max2(best, match[i][s]);
+        }
+    }
+    return best % 256;
+}
+''')
+
+COMPRESS = Workload(
+    name="compress",
+    suite="spec",
+    description="LZW-style compression over byte buffers and hash tables",
+    expected_exit=46,
+    source=r'''
+char input[2048];
+char output[4096];
+int codes[1024];
+int hash_tab[1024];
+
+int main(void) {
+    srand(11);
+    for (int i = 0; i < 2048; i++) input[i] = 'a' + (rand() % 7);
+    for (int i = 0; i < 1024; i++) { hash_tab[i] = -1; codes[i] = 0; }
+    int next_code = 256;
+    int out = 0;
+    int prev = input[0];
+    for (int i = 1; i < 2048; i++) {
+        int c = input[i];
+        int key = ((prev << 5) ^ c) % 1024;
+        if (key < 0) key += 1024;
+        if (hash_tab[key] == (prev << 8 | c)) {
+            prev = 256 + (codes[key] % 512);
+        } else {
+            output[out % 4096] = (char)(prev & 0xff);
+            out++;
+            if (next_code < 1024 + 256) {
+                hash_tab[key] = prev << 8 | c;
+                codes[key] = next_code++;
+            }
+            prev = c;
+        }
+    }
+    int checksum = 0;
+    for (int i = 0; i < out && i < 4096; i++) checksum = (checksum * 31 + output[i]) % 9973;
+    return checksum % 256;
+}
+''')
+
+IJPEG = Workload(
+    name="ijpeg",
+    suite="spec",
+    description="8x8 integer DCT and quantization over image blocks",
+    expected_exit=7,
+    source=r'''
+int image[48][48];
+int block[8][8];
+int coeffs[8][8];
+
+int main(void) {
+    for (int i = 0; i < 48; i++)
+        for (int j = 0; j < 48; j++)
+            image[i][j] = ((i * 13 + j * 29) % 256) - 128;
+    int checksum = 0;
+    for (int bi = 0; bi < 4; bi++) {
+        for (int bj = 0; bj < 4; bj++) {
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++)
+                    block[i][j] = image[bi * 8 + i][bj * 8 + j];
+            /* separable integer "DCT": rows then columns */
+            for (int i = 0; i < 8; i++) {
+                for (int u = 0; u < 8; u++) {
+                    int acc = 0;
+                    for (int x = 0; x < 8; x++)
+                        acc += block[i][x] * ((u * x) % 7 - 3);
+                    coeffs[i][u] = acc >> 3;
+                }
+            }
+            for (int j = 0; j < 8; j++) {
+                for (int v = 0; v < 8; v++) {
+                    int acc = 0;
+                    for (int y = 0; y < 8; y++)
+                        acc += coeffs[y][j] * ((v * y) % 5 - 2);
+                    block[v][j] = acc >> 4;
+                }
+            }
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++)
+                    checksum = (checksum + block[i][j] / (1 + i + j)) % 9973;
+        }
+    }
+    return (checksum + 9973) % 256;
+}
+''')
+
+LIBQUANTUM = Workload(
+    name="libquantum",
+    suite="spec",
+    description="Quantum register simulation over an array of amplitude structs",
+    expected_exit=192,
+    source=r'''
+struct amp { int state; double re; double im; };
+struct amp reg[256];
+struct amp *order[256];
+
+int main(void) {
+    for (int i = 0; i < 256; i++) {
+        reg[i].state = i;
+        reg[i].re = (i % 2) ? 0.5 : -0.5;
+        reg[i].im = 0.0;
+        order[i] = &reg[i];
+    }
+    for (int gate = 0; gate < 40; gate++) {
+        int target = gate % 8;
+        int mask = 1 << target;
+        for (int i = 0; i < 256; i++) {
+            struct amp *a = order[i];
+            if ((a->state & mask) == 0) {
+                double tr = a->re;
+                a->re = a->re * 0.8 + a->im * 0.6;
+                a->im = a->im * 0.8 - tr * 0.6;
+            } else {
+                a->state ^= (gate % 3 == 0) ? mask >> 1 : 0;
+            }
+        }
+    }
+    double norm = 0.0;
+    int states = 0;
+    for (int i = 0; i < 256; i++) {
+        norm += reg[i].re * reg[i].re + reg[i].im * reg[i].im;
+        states += reg[i].state;
+    }
+    return ((int)(norm) + states) % 256;
+}
+''')
+
+# -- Olden-like: pointer-chasing data structures ------------------------------
+
+BH = Workload(
+    name="bh",
+    suite="olden",
+    description="Barnes-Hut style quadtree n-body force approximation",
+    expected_exit=104,
+    source=r'''
+struct body { double x; double y; double mass; };
+struct cell {
+    struct cell *quad[4];
+    struct body *occupant;
+    double cx; double cy; double half;
+    double mx; double my; double mass;
+};
+
+struct cell *new_cell(double cx, double cy, double half) {
+    struct cell *c = (struct cell *)malloc(sizeof(struct cell));
+    for (int i = 0; i < 4; i++) c->quad[i] = NULL;
+    c->occupant = NULL;
+    c->cx = cx; c->cy = cy; c->half = half;
+    c->mx = 0.0; c->my = 0.0; c->mass = 0.0;
+    return c;
+}
+
+int quadrant(struct cell *c, struct body *b) {
+    return (b->x >= c->cx ? 1 : 0) + (b->y >= c->cy ? 2 : 0);
+}
+
+void insert_body(struct cell *c, struct body *b) {
+    while (1) {
+        c->mx += b->x * b->mass; c->my += b->y * b->mass; c->mass += b->mass;
+        int q = quadrant(c, b);
+        if (c->quad[q] == NULL && c->occupant == NULL && c->mass == b->mass) {
+            c->occupant = b;
+            return;
+        }
+        if (c->quad[q] == NULL) {
+            double h = c->half / 2.0;
+            c->quad[q] = new_cell(c->cx + ((q & 1) ? h : -h),
+                                  c->cy + ((q & 2) ? h : -h), h);
+            if (c->occupant != NULL) {
+                struct body *old = c->occupant;
+                c->occupant = NULL;
+                int oq = quadrant(c, old);
+                if (oq == q) {
+                    insert_body(c->quad[q], old);
+                } else {
+                    double h2 = c->half / 2.0;
+                    if (c->quad[oq] == NULL)
+                        c->quad[oq] = new_cell(c->cx + ((oq & 1) ? h2 : -h2),
+                                               c->cy + ((oq & 2) ? h2 : -h2), h2);
+                    insert_body(c->quad[oq], old);
+                }
+            }
+        }
+        c = c->quad[q];
+    }
+}
+
+double force_on(struct cell *c, struct body *b) {
+    if (c == NULL || c->mass == 0.0) return 0.0;
+    double dx = c->mx / c->mass - b->x;
+    double dy = c->my / c->mass - b->y;
+    double dist2 = dx * dx + dy * dy + 0.05;
+    if (c->half * c->half < dist2 * 0.25 || c->occupant != NULL) {
+        return c->mass / dist2;
+    }
+    double total = 0.0;
+    for (int i = 0; i < 4; i++) total += force_on(c->quad[i], b);
+    return total;
+}
+
+struct body bodies[48];
+
+int main(void) {
+    srand(5);
+    for (int i = 0; i < 48; i++) {
+        bodies[i].x = (double)(rand() % 1000) / 10.0;
+        bodies[i].y = (double)(rand() % 1000) / 10.0;
+        bodies[i].mass = 1.0 + (double)(i % 4);
+    }
+    double total = 0.0;
+    for (int step = 0; step < 3; step++) {
+        struct cell *root = new_cell(50.0, 50.0, 50.0);
+        for (int i = 0; i < 48; i++) insert_body(root, &bodies[i]);
+        for (int i = 0; i < 48; i++) total += force_on(root, &bodies[i]);
+    }
+    return ((int)total) % 256;
+}
+''')
+
+TSP = Workload(
+    name="tsp",
+    suite="olden",
+    description="Nearest-neighbour travelling-salesman tour over a linked city list",
+    expected_exit=253,
+    source=r'''
+struct city { double x; double y; struct city *next; int visited; };
+
+struct city *make_cities(int n) {
+    struct city *head = NULL;
+    for (int i = 0; i < n; i++) {
+        struct city *c = (struct city *)malloc(sizeof(struct city));
+        c->x = (double)(rand() % 500);
+        c->y = (double)(rand() % 500);
+        c->visited = 0;
+        c->next = head;
+        head = c;
+    }
+    return head;
+}
+
+double dist2(struct city *a, struct city *b) {
+    double dx = a->x - b->x, dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}
+
+int main(void) {
+    srand(13);
+    struct city *head = make_cities(120);
+    struct city *current = head;
+    current->visited = 1;
+    double tour = 0.0;
+    for (int step = 0; step < 119; step++) {
+        struct city *best = NULL;
+        double best_d = 1.0e18;
+        for (struct city *c = head; c; c = c->next) {
+            if (!c->visited) {
+                double d = dist2(current, c);
+                if (d < best_d) { best_d = d; best = c; }
+            }
+        }
+        best->visited = 1;
+        tour += sqrt(best_d);
+        current = best;
+    }
+    return ((int)tour) % 256;
+}
+''')
+
+PERIMETER = Workload(
+    name="perimeter",
+    suite="olden",
+    description="Quadtree image perimeter computation (4-way pointer tree)",
+    expected_exit=244,
+    source=r'''
+struct quad {
+    struct quad *child[4];
+    int color;   /* 0 white, 1 black, 2 grey */
+    int level;
+};
+
+struct quad *build(int level, int x, int y) {
+    struct quad *q = (struct quad *)malloc(sizeof(struct quad));
+    q->level = level;
+    if (level == 0) {
+        q->color = ((x * x + y * y) % 7) < 3 ? 1 : 0;
+        for (int i = 0; i < 4; i++) q->child[i] = NULL;
+        return q;
+    }
+    int all_black = 1, all_white = 1;
+    for (int i = 0; i < 4; i++) {
+        q->child[i] = build(level - 1, x * 2 + (i & 1), y * 2 + (i >> 1));
+        if (q->child[i]->color != 1) all_black = 0;
+        if (q->child[i]->color != 0) all_white = 0;
+    }
+    q->color = all_black ? 1 : (all_white ? 0 : 2);
+    return q;
+}
+
+int count_black_edges(struct quad *q) {
+    if (q == NULL) return 0;
+    if (q->color == 1) return 4 << q->level;
+    if (q->color == 0) return 0;
+    int total = 0;
+    for (int i = 0; i < 4; i++) total += count_black_edges(q->child[i]);
+    return total;
+}
+
+int main(void) {
+    struct quad *root = build(5, 0, 0);
+    int perimeter = count_black_edges(root);
+    return perimeter % 256;
+}
+''')
+
+HEALTH = Workload(
+    name="health",
+    suite="olden",
+    description="Columbian health-care simulation: patients moving between linked lists",
+    expected_exit=135,
+    source=r'''
+struct patient { int id; int time; int severity; struct patient *next; };
+struct village {
+    struct patient *waiting;
+    struct patient *treated;
+    int treated_count;
+    int total_wait;
+};
+
+struct village clinics[8];
+
+void enqueue(struct patient **list, struct patient *p) {
+    p->next = *list;
+    *list = p;
+}
+
+int main(void) {
+    srand(23);
+    int next_id = 0;
+    for (int v = 0; v < 8; v++) {
+        clinics[v].waiting = NULL;
+        clinics[v].treated = NULL;
+        clinics[v].treated_count = 0;
+        clinics[v].total_wait = 0;
+    }
+    for (int tick = 0; tick < 60; tick++) {
+        for (int v = 0; v < 8; v++) {
+            if (rand() % 3 == 0) {
+                struct patient *p = (struct patient *)malloc(sizeof(struct patient));
+                p->id = next_id++;
+                p->time = tick;
+                p->severity = rand() % 10;
+                enqueue(&clinics[v].waiting, p);
+            }
+            /* treat the most severe waiting patient */
+            struct patient *best = NULL; struct patient *prev_best = NULL;
+            struct patient *prev = NULL;
+            for (struct patient *p = clinics[v].waiting; p; p = p->next) {
+                if (best == NULL || p->severity > best->severity) {
+                    best = p; prev_best = prev;
+                }
+                prev = p;
+            }
+            if (best != NULL && best->severity > 3) {
+                if (prev_best) prev_best->next = best->next;
+                else clinics[v].waiting = best->next;
+                clinics[v].total_wait += tick - best->time;
+                clinics[v].treated_count++;
+                enqueue(&clinics[v].treated, best);
+            }
+        }
+    }
+    int checksum = 0;
+    for (int v = 0; v < 8; v++) {
+        checksum += clinics[v].treated_count * 3 + clinics[v].total_wait;
+        for (struct patient *p = clinics[v].treated; p; p = p->next)
+            checksum += p->severity;
+    }
+    return checksum % 256;
+}
+''')
+
+BISORT = Workload(
+    name="bisort",
+    suite="olden",
+    description="Bitonic sort over a binary tree (subtree pointer swaps)",
+    expected_exit=0,
+    source=r'''
+struct tnode { int value; struct tnode *left; struct tnode *right; };
+
+struct tnode *build(int depth, int seed) {
+    if (depth == 0) return NULL;
+    struct tnode *n = (struct tnode *)malloc(sizeof(struct tnode));
+    n->value = (seed * 1103 + 12345) % 1000;
+    n->left = build(depth - 1, seed * 2 + 1);
+    n->right = build(depth - 1, seed * 3 + 2);
+    return n;
+}
+
+void swap_children(struct tnode *n) {
+    struct tnode *t = n->left;
+    n->left = n->right;
+    n->right = t;
+}
+
+int bimerge(struct tnode *n, int direction) {
+    if (n == NULL) return 0;
+    int swaps = 0;
+    if (n->left && n->right) {
+        int lmax = n->left->value, rmax = n->right->value;
+        if ((direction && lmax > rmax) || (!direction && lmax < rmax)) {
+            swap_children(n);
+            swaps++;
+        }
+    }
+    swaps += bimerge(n->left, direction);
+    swaps += bimerge(n->right, !direction);
+    return swaps;
+}
+
+int tree_sum(struct tnode *n) {
+    if (n == NULL) return 0;
+    return n->value + tree_sum(n->left) + tree_sum(n->right);
+}
+
+int main(void) {
+    struct tnode *root = build(9, 1);
+    int before = tree_sum(root);
+    int swaps = 0;
+    for (int pass = 0; pass < 6; pass++) swaps += bimerge(root, pass & 1);
+    int after = tree_sum(root);
+    return (before == after) ? (swaps % 256) % 256 * 0 : 1;
+}
+''')
+
+MST = Workload(
+    name="mst",
+    suite="olden",
+    description="Prim's minimum spanning tree over hash-bucketed adjacency lists",
+    expected_exit=105,
+    source=r'''
+struct edge { int to; int weight; struct edge *next; };
+struct vertex { struct edge *adj; int key; int in_tree; };
+
+struct vertex graph[64];
+
+void add_edge(int from, int to, int weight) {
+    struct edge *e = (struct edge *)malloc(sizeof(struct edge));
+    e->to = to; e->weight = weight;
+    e->next = graph[from].adj;
+    graph[from].adj = e;
+}
+
+int main(void) {
+    srand(31);
+    for (int i = 0; i < 64; i++) { graph[i].adj = NULL; graph[i].key = 1 << 20; graph[i].in_tree = 0; }
+    for (int i = 0; i < 64; i++) {
+        for (int k = 0; k < 4; k++) {
+            int j = (i * 7 + k * 13 + rand() % 64) % 64;
+            if (j != i) {
+                int w = 1 + rand() % 100;
+                add_edge(i, j, w);
+                add_edge(j, i, w);
+            }
+        }
+    }
+    graph[0].key = 0;
+    int total = 0;
+    for (int round = 0; round < 64; round++) {
+        int best = -1;
+        for (int i = 0; i < 64; i++)
+            if (!graph[i].in_tree && (best == -1 || graph[i].key < graph[best].key))
+                best = i;
+        if (graph[best].key == 1 << 20) { graph[best].key = 0; }
+        graph[best].in_tree = 1;
+        total += graph[best].key;
+        for (struct edge *e = graph[best].adj; e; e = e->next)
+            if (!graph[e->to].in_tree && e->weight < graph[e->to].key)
+                graph[e->to].key = e->weight;
+    }
+    return total % 256;
+}
+''')
+
+LI = Workload(
+    name="li",
+    suite="spec",
+    description="Miniature lisp interpreter: cons cells, list build and eval",
+    expected_exit=139,
+    source=r'''
+struct cell { int is_atom; int value; struct cell *car; struct cell *cdr; };
+
+struct cell *make_atom(int v) {
+    struct cell *c = (struct cell *)malloc(sizeof(struct cell));
+    c->is_atom = 1; c->value = v; c->car = NULL; c->cdr = NULL;
+    return c;
+}
+
+struct cell *cons(struct cell *car, struct cell *cdr) {
+    struct cell *c = (struct cell *)malloc(sizeof(struct cell));
+    c->is_atom = 0; c->value = 0; c->car = car; c->cdr = cdr;
+    return c;
+}
+
+/* (op a b) where op: 0=+, 1=*, 2=max */
+int eval(struct cell *expr) {
+    if (expr->is_atom) return expr->value;
+    int op = eval(expr->car);
+    int a = eval(expr->cdr->car);
+    int b = eval(expr->cdr->cdr->car);
+    if (op == 0) return a + b;
+    if (op == 1) return (a * b) % 997;
+    return a > b ? a : b;
+}
+
+struct cell *build_expr(int depth, int seed) {
+    if (depth == 0) return make_atom(seed % 50);
+    struct cell *op = make_atom(seed % 3);
+    struct cell *a = build_expr(depth - 1, seed * 5 + 1);
+    struct cell *b = build_expr(depth - 1, seed * 7 + 2);
+    return cons(op, cons(a, cons(b, NULL)));
+}
+
+struct cell *list_reverse(struct cell *list) {
+    struct cell *out = NULL;
+    while (list) {
+        out = cons(list->car, out);
+        list = list->cdr;
+    }
+    return out;
+}
+
+int main(void) {
+    int total = 0;
+    struct cell *results = NULL;
+    for (int i = 0; i < 24; i++) {
+        struct cell *expr = build_expr(5, i + 1);
+        results = cons(make_atom(eval(expr)), results);
+    }
+    results = list_reverse(results);
+    int index = 0;
+    for (struct cell *p = results; p; p = p->cdr) {
+        total += p->car->value * (1 + index % 3);
+        index++;
+    }
+    return total % 256;
+}
+''')
+
+EM3D = Workload(
+    name="em3d",
+    suite="olden",
+    description="Electromagnetic wave propagation over a bipartite pointer graph",
+    expected_exit=234,
+    source=r'''
+struct node {
+    double value;
+    struct node *deps[4];
+    double coeffs[4];
+    int degree;
+    struct node *next;
+};
+
+struct node *make_list(int n, int seed) {
+    struct node *head = NULL;
+    for (int i = 0; i < n; i++) {
+        struct node *nd = (struct node *)malloc(sizeof(struct node));
+        nd->value = (double)((seed + i * 17) % 97) / 10.0;
+        nd->degree = 0;
+        nd->next = head;
+        head = nd;
+    }
+    return head;
+}
+
+void link_lists(struct node *from, struct node *to, int to_len) {
+    /* Collect `to` nodes in an array for random linking. */
+    struct node **table = (struct node **)malloc(to_len * sizeof(struct node *));
+    int i = 0;
+    for (struct node *p = to; p; p = p->next) table[i++] = p;
+    for (struct node *p = from; p; p = p->next) {
+        p->degree = 2 + rand() % 3;
+        for (int d = 0; d < p->degree; d++) {
+            p->deps[d] = table[rand() % to_len];
+            p->coeffs[d] = (double)(1 + rand() % 9) / 10.0;
+        }
+    }
+    free(table);
+}
+
+int main(void) {
+    srand(41);
+    struct node *enodes = make_list(60, 1);
+    struct node *hnodes = make_list(60, 2);
+    link_lists(enodes, hnodes, 60);
+    link_lists(hnodes, enodes, 60);
+    for (int iter = 0; iter < 12; iter++) {
+        for (struct node *p = enodes; p; p = p->next)
+            for (int d = 0; d < p->degree; d++)
+                p->value -= p->coeffs[d] * p->deps[d]->value * 0.01;
+        for (struct node *p = hnodes; p; p = p->next)
+            for (int d = 0; d < p->degree; d++)
+                p->value -= p->coeffs[d] * p->deps[d]->value * 0.01;
+    }
+    double total = 0.0;
+    for (struct node *p = enodes; p; p = p->next) total += p->value;
+    return ((int)total) % 256;
+}
+''')
+
+TREEADD = Workload(
+    name="treeadd",
+    suite="olden",
+    description="Recursive binary-tree sum (pure pointer chasing)",
+    expected_exit=64,
+    source=r'''
+struct tree { int value; struct tree *left; struct tree *right; };
+
+struct tree *build(int depth, int value) {
+    if (depth == 0) return NULL;
+    struct tree *t = (struct tree *)malloc(sizeof(struct tree));
+    t->value = value;
+    t->left = build(depth - 1, value * 2);
+    t->right = build(depth - 1, value * 2 + 1);
+    return t;
+}
+
+int tree_add(struct tree *t) {
+    if (t == NULL) return 0;
+    return t->value % 100 + tree_add(t->left) + tree_add(t->right);
+}
+
+int main(void) {
+    struct tree *root = build(11, 1);
+    int total = 0;
+    for (int pass = 0; pass < 2; pass++) total += tree_add(root);
+    return total % 256;
+}
+''')
+
+
+WORKLOADS = OrderedDict(
+    (w.name, w)
+    for w in [GO, LBM, HMMER, COMPRESS, IJPEG, BH, TSP, LIBQUANTUM,
+              PERIMETER, HEALTH, BISORT, MST, LI, EM3D, TREEADD]
+)
+
+#: Figure 1's x-axis order (the paper sorts ascending by pointer-op
+#: frequency; tests assert our measured order is broadly consistent).
+FIGURE1_ORDER = ["go", "lbm", "hmmer", "compress", "ijpeg", "bh", "tsp",
+                 "libquantum", "perimeter", "health", "bisort", "mst",
+                 "li", "em3d", "treeadd"]
+
+
+def workload(name):
+    return WORKLOADS[name]
+
+
+def all_workloads():
+    return list(WORKLOADS.values())

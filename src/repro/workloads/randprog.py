@@ -1,0 +1,291 @@
+"""Random *memory-safe* C program generation for differential testing.
+
+Unlike :mod:`repro.formal.genprog` (which generates possibly-unsafe
+programs in the Section 4 fragment to exercise the abort semantics),
+this generator produces full-pipeline C sources that are **safe by
+construction**: every array index is reduced modulo the array length,
+every pointer stays inside its object, every string fits its buffer.
+
+Safe programs are the raw material for the reproduction's strongest
+property tests (``tests/softbound/test_differential.py``):
+
+* SoftBound must be *transparent* on them — same exit code, same
+  output, zero violations, in every checking mode and metadata scheme
+  (the paper's "no false positives" claim, Sections 6.2 and 6.4);
+* the optimizer must preserve their semantics;
+* full and store-only mode must agree with each other.
+
+Every program accumulates its observable behaviour into a single
+checksum returned from ``main`` (masked to 0..199 so it never collides
+with trap-reporting exit conventions), so a single integer comparison
+witnesses semantic equality.
+"""
+
+import random
+
+_CHECK_MASK = 200
+
+_BINOPS = ["+", "-", "*", "^", "&", "|"]
+_CMPOPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class _Scope:
+    """Tracks what names are live so expressions only reference them."""
+
+    def __init__(self):
+        self.ints = []        # plain int variables
+        self.arrays = []      # (name, length) int arrays
+        self.pointers = []    # (name, length) int* known to span `length` ints
+        self.structs = []     # names of `struct pair` locals
+
+
+class RandomProgram:
+    """One generated program: C ``source`` plus generation metadata."""
+
+    def __init__(self, source, seed, statement_count):
+        self.source = source
+        self.seed = seed
+        self.statement_count = statement_count
+
+    def __repr__(self):
+        return f"RandomProgram(seed={self.seed}, statements={self.statement_count})"
+
+
+def generate(seed, max_statements=14):
+    """Generate a safe program from ``seed``.  Deterministic."""
+    return _Builder(random.Random(seed), seed, max_statements).build()
+
+
+class _Builder:
+    def __init__(self, rng, seed, max_statements):
+        self.rng = rng
+        self.seed = seed
+        self.max_statements = max_statements
+        self.lines = []
+        self.helpers = []
+        self.globals_ = []
+        self.scope = _Scope()
+        self.counter = 0
+        self.statements = 0
+
+    # -- small utilities -----------------------------------------------------
+
+    def _name(self, prefix):
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _emit(self, text, indent=1):
+        self.lines.append("    " * indent + text)
+
+    def _int_atom(self):
+        """An int-valued expression over live names (always defined)."""
+        rng = self.rng
+        choices = [str(rng.randint(0, 99))]
+        if self.scope.ints:
+            choices.append(rng.choice(self.scope.ints))
+        if self.scope.arrays:
+            name, length = rng.choice(self.scope.arrays)
+            choices.append(f"{name}[{rng.randrange(length)}]")
+        if self.scope.structs:
+            s = rng.choice(self.scope.structs)
+            choices.append(rng.choice([f"{s}.a", f"{s}.tail[{rng.randrange(4)}]"]))
+        return rng.choice(choices)
+
+    def _int_expr(self, depth=2):
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.4:
+            return self._int_atom()
+        op = rng.choice(_BINOPS)
+        return f"({self._int_expr(depth - 1)} {op} {self._int_expr(depth - 1)})"
+
+    def _index_expr(self, length):
+        """An always-in-bounds index: either constant or masked runtime."""
+        rng = self.rng
+        if rng.random() < 0.5:
+            return str(rng.randrange(length))
+        # `(unsigned)` make the modulo result non-negative.
+        return f"((unsigned){self._int_expr(1)} % {length}u)"
+
+    # -- statement generators ---------------------------------------------------
+
+    def _stmt_declare_int(self):
+        name = self._name("v")
+        self._emit(f"int {name} = {self._int_expr()};")
+        self.scope.ints.append(name)
+
+    def _stmt_declare_array(self):
+        name = self._name("arr")
+        length = self.rng.randint(2, 12)
+        self._emit(f"int {name}[{length}];")
+        self._emit(f"for (int i = 0; i < {length}; i++) "
+                   f"{name}[i] = i * {self.rng.randint(1, 9)};")
+        self.scope.arrays.append((name, length))
+
+    def _stmt_declare_struct(self):
+        name = self._name("s")
+        self._emit(f"struct pair {name};")
+        self._emit(f"{name}.a = {self._int_expr(1)};")
+        self._emit(f"{name}.b = {self._int_expr(1)};")
+        self._emit(f"for (int i = 0; i < 4; i++) {name}.tail[i] = i;")
+        self.scope.structs.append(name)
+
+    def _stmt_malloc(self):
+        name = self._name("hp")
+        length = self.rng.randint(1, 10)
+        self._emit(f"int *{name} = (int *)malloc({length} * sizeof(int));")
+        self._emit(f"for (int i = 0; i < {length}; i++) "
+                   f"{name}[i] = {self.rng.randint(0, 50)} + i;")
+        self.scope.pointers.append((name, length))
+
+    def _stmt_point_into_array(self):
+        if not self.scope.arrays:
+            return self._stmt_declare_array()
+        array, length = self.rng.choice(self.scope.arrays)
+        offset = self.rng.randrange(length)
+        name = self._name("p")
+        self._emit(f"int *{name} = {array} + {offset};")
+        self.scope.pointers.append((name, length - offset))
+
+    def _stmt_write_through_pointer(self):
+        if not self.scope.pointers:
+            return self._stmt_malloc()
+        name, length = self.rng.choice(self.scope.pointers)
+        self._emit(f"{name}[{self._index_expr(length)}] = {self._int_expr(1)};")
+
+    def _stmt_array_update(self):
+        if not self.scope.arrays:
+            return self._stmt_declare_array()
+        name, length = self.rng.choice(self.scope.arrays)
+        index = self._index_expr(length)
+        self._emit(f"{name}[{index}] = {name}[{index}] + {self._int_expr(1)};")
+
+    def _stmt_accumulate(self):
+        self._emit(f"check = (check * 31 + ({self._int_expr()})) & 0xffff;")
+
+    def _stmt_loop_sum(self):
+        source = None
+        if self.scope.arrays and self.rng.random() < 0.6:
+            source = self.rng.choice(self.scope.arrays)
+        elif self.scope.pointers:
+            source = self.rng.choice(self.scope.pointers)
+        if source is None:
+            return self._stmt_declare_array()
+        name, length = source
+        self._emit(f"for (int i = 0; i < {length}; i++) check = "
+                   f"(check + {name}[i]) & 0xffff;")
+
+    def _stmt_branch(self):
+        cond = (f"({self._int_expr(1)} {self.rng.choice(_CMPOPS)} "
+                f"{self._int_expr(1)})")
+        self._emit(f"if {cond} check = (check + 7) & 0xffff; "
+                   f"else check = (check ^ 13) & 0xffff;")
+
+    def _stmt_string(self):
+        name = self._name("buf")
+        text = "".join(self.rng.choice("abcdefgh") for _ in range(self.rng.randint(1, 10)))
+        self._emit(f'char {name}[{len(text) + 1 + self.rng.randint(0, 6)}];')
+        self._emit(f'strcpy({name}, "{text}");')
+        self._emit(f"check = (check + (int)strlen({name}) + {name}[0]) & 0xffff;")
+
+    def _stmt_helper_call(self):
+        index = len(self.helpers)
+        if index == 0 or (index < 2 and self.rng.random() < 0.5):
+            # Synthesize a helper taking (int *, int length) and folding it.
+            fold = self.rng.choice(["t += p[i]", "t ^= p[i] + i", "t = t * 3 + p[i]"])
+            name = f"fold{index}"
+            self.helpers.append(
+                f"int {name}(int *p, int n) {{\n"
+                f"    int t = 0;\n"
+                f"    for (int i = 0; i < n; i++) {fold};\n"
+                f"    return t & 0xffff;\n"
+                f"}}")
+        if not self.scope.pointers:
+            if not self.scope.arrays:
+                return self._stmt_declare_array()
+            array, length = self.rng.choice(self.scope.arrays)
+            self.scope.pointers.append((array, length))
+        helper = f"fold{self.rng.randrange(len(self.helpers))}"
+        pointer, length = self.rng.choice(self.scope.pointers)
+        self._emit(f"check = (check + {helper}({pointer}, {length})) & 0xffff;")
+
+    def _stmt_subobject(self):
+        if not self.scope.structs:
+            return self._stmt_declare_struct()
+        s = self.rng.choice(self.scope.structs)
+        name = self._name("fp")
+        self._emit(f"int *{name} = {s}.tail;")
+        self.scope.pointers.append((name, 4))
+        self._emit(f"{name}[{self.rng.randrange(4)}] = {self._int_expr(1)};")
+
+    def _stmt_switch(self):
+        selector = self._int_expr(1)
+        arms = self.rng.randint(2, 4)
+        self._emit(f"switch (({selector}) & {arms - 1}) {{")
+        for arm in range(arms):
+            self._emit(f"case {arm}: check = (check + {self.rng.randint(1, 99)})"
+                       f" & 0xffff; break;", indent=2)
+        self._emit(f"default: check = (check ^ {self.rng.randint(1, 99)})"
+                   f" & 0xffff;", indent=2)
+        self._emit("}")
+
+    def _stmt_do_while(self):
+        name = self._name("dw")
+        limit = self.rng.randint(1, 6)
+        self._emit(f"int {name} = 0;")
+        self._emit(f"do {{ check = (check + {name}) & 0xffff; {name}++; }} "
+                   f"while ({name} < {limit});")
+        self.scope.ints.append(name)
+
+    def _stmt_print(self):
+        self._emit(f'printf("%d\\n", check);')
+
+    # -- assembly ------------------------------------------------------------------
+
+    def build(self):
+        rng = self.rng
+        generators = [
+            (self._stmt_declare_int, 2),
+            (self._stmt_declare_array, 2),
+            (self._stmt_declare_struct, 1),
+            (self._stmt_malloc, 2),
+            (self._stmt_point_into_array, 1),
+            (self._stmt_write_through_pointer, 2),
+            (self._stmt_array_update, 2),
+            (self._stmt_accumulate, 3),
+            (self._stmt_loop_sum, 2),
+            (self._stmt_branch, 1),
+            (self._stmt_string, 1),
+            (self._stmt_helper_call, 1),
+            (self._stmt_subobject, 1),
+            (self._stmt_switch, 1),
+            (self._stmt_do_while, 1),
+            (self._stmt_print, 1),
+        ]
+        population = [g for g, w in generators for _ in range(w)]
+        count = rng.randint(3, self.max_statements)
+        for _ in range(count):
+            rng.choice(population)()
+            self.statements += 1
+        # Fold every live value into the checksum so differences anywhere
+        # in the program state become observable.
+        for name in self.scope.ints:
+            self._emit(f"check = (check + {name}) & 0xffff;")
+        for name, length in self.scope.arrays:
+            self._emit(f"check = (check + {name}[{length - 1}]) & 0xffff;")
+        for name, length in self.scope.pointers:
+            self._emit(f"check = (check + {name}[0] + {name}[{length - 1}]) & 0xffff;")
+        for name in self.scope.structs:
+            self._emit(f"check = (check + {name}.a + {name}.b + {name}.tail[3]) & 0xffff;")
+
+        body = "\n".join(self.lines)
+        helpers = "\n\n".join(self.helpers)
+        source = (
+            "struct pair { int a; int b; int tail[4]; };\n\n"
+            + (helpers + "\n\n" if helpers else "")
+            + "int main(void) {\n"
+            + "    int check = 1;\n"
+            + body + "\n"
+            + f"    return check % {_CHECK_MASK};\n"
+            + "}\n"
+        )
+        return RandomProgram(source, self.seed, self.statements)

@@ -1,0 +1,232 @@
+"""Network-daemon analogues for the compatibility case study (paper §6.4).
+
+The paper applied SoftBound to tinyftp-0.2 and NullLogic nhttpd-0.5.1
+"without requiring any source code modifications and no false positives
+during program execution".  These two programs reproduce that workload
+shape — request parsing, command dispatch through function pointers,
+per-session state, string handling, dynamic buffers — driven by a
+synthetic request stream on the VM's stdin instead of a socket (the VM
+has no network; the parsing and buffer-handling code paths, which are
+what SoftBound instruments, are identical in kind).
+
+Both are *correct* programs: the compatibility claim is that they
+transform unmodified and run with zero false positives, which tests and
+``benchmarks/bench_sec64_compat.py`` verify under every configuration.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServerProgram:
+    name: str
+    description: str
+    source: str
+    request_stream: bytes
+    expected_output_fragments: tuple
+
+
+FTP_SERVER = ServerProgram(
+    name="tinyftp",
+    description="FTP-like command processor (command table of function "
+                "pointers, session state, path handling)",
+    request_stream=(
+        b"USER alice\n"
+        b"PASS secret\n"
+        b"CWD /srv/files\n"
+        b"LIST\n"
+        b"RETR readme.txt\n"
+        b"STOR upload.bin\n"
+        b"NOOP\n"
+        b"QUIT\n"
+    ),
+    expected_output_fragments=("230 user logged in", "226 transfer complete", "221 goodbye"),
+    source=r'''
+struct session {
+    char user[32];
+    char cwd[64];
+    int logged_in;
+    int transfers;
+};
+
+struct session sess;
+
+int starts_with(char *line, char *prefix) {
+    int n = (int)strlen(prefix);
+    return strncmp(line, prefix, n) == 0;
+}
+
+void reply(char *code, char *text) {
+    printf("%s %s\n", code, text);
+}
+
+int cmd_user(char *arg) {
+    strncpy(sess.user, arg, 31);
+    sess.user[31] = 0;
+    reply("331", "need password");
+    return 0;
+}
+
+int cmd_pass(char *arg) {
+    sess.logged_in = 1;
+    reply("230", "user logged in");
+    return 0;
+}
+
+int cmd_cwd(char *arg) {
+    if (!sess.logged_in) { reply("530", "not logged in"); return 0; }
+    strncpy(sess.cwd, arg, 63);
+    sess.cwd[63] = 0;
+    reply("250", "directory changed");
+    return 0;
+}
+
+int cmd_list(char *arg) {
+    if (!sess.logged_in) { reply("530", "not logged in"); return 0; }
+    printf("150 listing %s\n", sess.cwd);
+    printf("-rw-r--r-- readme.txt\n-rw-r--r-- data.bin\n");
+    reply("226", "transfer complete");
+    return 0;
+}
+
+int cmd_retr(char *arg) {
+    if (!sess.logged_in) { reply("530", "not logged in"); return 0; }
+    char path[128];
+    snprintf(path, 128, "%s/%s", sess.cwd, arg);
+    printf("150 sending %s\n", path);
+    sess.transfers++;
+    reply("226", "transfer complete");
+    return 0;
+}
+
+int cmd_stor(char *arg) {
+    if (!sess.logged_in) { reply("530", "not logged in"); return 0; }
+    char *buf = (char *)malloc(256);
+    snprintf(buf, 256, "%s/%s", sess.cwd, arg);
+    printf("150 receiving %s\n", buf);
+    free(buf);
+    sess.transfers++;
+    reply("226", "transfer complete");
+    return 0;
+}
+
+int cmd_noop(char *arg) { reply("200", "ok"); return 0; }
+int cmd_quit(char *arg) { reply("221", "goodbye"); return 1; }
+
+struct command { char name[8]; int (*handler)(char *); };
+struct command table[8];
+
+void init_table(void) {
+    strcpy(table[0].name, "USER"); table[0].handler = cmd_user;
+    strcpy(table[1].name, "PASS"); table[1].handler = cmd_pass;
+    strcpy(table[2].name, "CWD");  table[2].handler = cmd_cwd;
+    strcpy(table[3].name, "LIST"); table[3].handler = cmd_list;
+    strcpy(table[4].name, "RETR"); table[4].handler = cmd_retr;
+    strcpy(table[5].name, "STOR"); table[5].handler = cmd_stor;
+    strcpy(table[6].name, "NOOP"); table[6].handler = cmd_noop;
+    strcpy(table[7].name, "QUIT"); table[7].handler = cmd_quit;
+}
+
+int main(void) {
+    init_table();
+    sess.logged_in = 0;
+    sess.transfers = 0;
+    strcpy(sess.cwd, "/");
+    char line[128];
+    int done = 0;
+    while (!done) {
+        line[0] = 0;
+        gets(line);
+        if (strlen(line) == 0) break;
+        char *arg = strchr(line, ' ');
+        if (arg) { *arg = 0; arg = arg + 1; } else { arg = line + strlen(line); }
+        int handled = 0;
+        for (int i = 0; i < 8; i++) {
+            if (strcmp(line, table[i].name) == 0) {
+                done = table[i].handler(arg);
+                handled = 1;
+                break;
+            }
+        }
+        if (!handled) reply("502", "command not implemented");
+    }
+    return sess.transfers;
+}
+''')
+
+
+HTTP_SERVER = ServerProgram(
+    name="nhttpd",
+    description="HTTP-like request handler (header parsing, routing, "
+                "dynamic response buffers)",
+    request_stream=(
+        b"GET /index.html HTTP/1.0\n"
+        b"GET /api/status HTTP/1.0\n"
+        b"POST /api/echo hello-world\n"
+        b"GET /missing HTTP/1.0\n"
+        b"SHUTDOWN\n"
+    ),
+    expected_output_fragments=("200 OK", "404 Not Found", "echo:hello-world"),
+    source=r'''
+struct route { char path[24]; int code; };
+struct route routes[3];
+int requests_served;
+
+void respond(int code, char *reason, char *body) {
+    printf("HTTP/1.0 %d %s\n", code, reason);
+    printf("Content-Length: %d\n\n", (int)strlen(body));
+    if (strlen(body) > 0) printf("%s\n", body);
+    requests_served++;
+}
+
+void handle_get(char *path) {
+    for (int i = 0; i < 3; i++) {
+        if (strcmp(path, routes[i].path) == 0) {
+            char *body = (char *)malloc(64);
+            snprintf(body, 64, "resource %s", path);
+            respond(routes[i].code, "OK", body);
+            free(body);
+            return;
+        }
+    }
+    respond(404, "Not Found", "");
+}
+
+void handle_post(char *path, char *payload) {
+    char *body = (char *)malloc(128);
+    snprintf(body, 128, "echo:%s", payload);
+    respond(200, "OK", body);
+    free(body);
+}
+
+int main(void) {
+    strcpy(routes[0].path, "/index.html"); routes[0].code = 200;
+    strcpy(routes[1].path, "/api/status"); routes[1].code = 200;
+    strcpy(routes[2].path, "/favicon.ico"); routes[2].code = 200;
+    requests_served = 0;
+    char line[256];
+    while (1) {
+        line[0] = 0;
+        gets(line);
+        if (strlen(line) == 0) break;
+        if (strncmp(line, "SHUTDOWN", 8) == 0) break;
+        char *path = strchr(line, ' ');
+        if (!path) { respond(400, "Bad Request", ""); continue; }
+        *path = 0;
+        path = path + 1;
+        char *rest = strchr(path, ' ');
+        if (rest) { *rest = 0; rest = rest + 1; }
+        else rest = path + strlen(path);
+        if (strcmp(line, "GET") == 0) handle_get(path);
+        else if (strcmp(line, "POST") == 0) handle_post(path, rest);
+        else respond(405, "Method Not Allowed", "");
+    }
+    return requests_served;
+}
+''')
+
+SERVERS = (FTP_SERVER, HTTP_SERVER)
+
+
+def all_servers():
+    return list(SERVERS)

@@ -1,0 +1,126 @@
+"""Splay tree unit and property tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.splay import RangeSplayTree
+
+
+def test_insert_and_find():
+    tree = RangeSplayTree()
+    tree.insert(100, 50, "a")
+    assert tree.find(100).tag == "a"
+    assert tree.find(149).tag == "a"
+    assert tree.find(150) is None
+    assert tree.find(99) is None
+
+
+def test_find_splays_to_root():
+    tree = RangeSplayTree()
+    for i in range(10):
+        tree.insert(i * 100, 50, i)
+    tree.find(805)
+    assert tree.root.start == 800
+
+
+def test_remove():
+    tree = RangeSplayTree()
+    tree.insert(10, 5, "x")
+    tree.insert(20, 5, "y")
+    assert tree.remove(10) == "x"
+    assert tree.find(12) is None
+    assert tree.find(22).tag == "y"
+    assert len(tree) == 1
+
+
+def test_remove_missing_returns_none():
+    tree = RangeSplayTree()
+    tree.insert(10, 5)
+    assert tree.remove(99) is None
+    assert len(tree) == 1
+
+
+def test_find_range_tuple():
+    tree = RangeSplayTree()
+    tree.insert(64, 16, ("heap", None))
+    assert tree.find_range(70) == (64, 16, ("heap", None))
+    assert tree.find_range(100) is None
+
+
+def test_last_depth_tracks_traversal():
+    tree = RangeSplayTree()
+    for i in range(64):
+        tree.insert(i * 10, 5)
+    tree.find(5)     # likely deep after ascending inserts
+    deep = tree.last_depth
+    tree.find(5)     # now at/near the root
+    assert tree.last_depth <= deep
+
+
+@st.composite
+def range_sets(draw):
+    """Disjoint ranges: (start, size) pairs carved from a number line."""
+    count = draw(st.integers(min_value=1, max_value=40))
+    starts = draw(st.lists(st.integers(min_value=0, max_value=500),
+                           min_size=count, max_size=count, unique=True))
+    ranges = []
+    for start in sorted(starts):
+        ranges.append((start * 100, draw(st.integers(min_value=1, max_value=99))))
+    return ranges
+
+
+@settings(max_examples=80, deadline=None)
+@given(range_sets(), st.randoms())
+def test_property_membership_after_random_ops(ranges, rng):
+    """Tree agrees with a dict model under random insert/remove/find."""
+    tree = RangeSplayTree()
+    model = {}
+    for start, size in ranges:
+        tree.insert(start, size, start)
+        model[start] = size
+    items = list(model.items())
+    rng.shuffle(items)
+    for start, size in items[: len(items) // 2]:
+        tree.remove(start)
+        del model[start]
+    # Membership queries agree with the model everywhere interesting.
+    for start, size in ranges:
+        expected = start in model and size == model[start]
+        inside = tree.find(start + size - 1 if start in model else start)
+        if start in model:
+            assert tree.find(start).start == start
+            assert tree.find(start + model[start] - 1).start == start
+            assert tree.find(start + model[start]) is None or \
+                tree.find(start + model[start]).start != start
+        else:
+            found = tree.find(start)
+            assert found is None or found.start != start
+    assert len(tree) == len(model)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=100, unique=True))
+def test_property_inorder_items_sorted(starts):
+    tree = RangeSplayTree()
+    for start in starts:
+        tree.insert(start * 10, 5)
+    items = tree.items()
+    keys = [start for start, _, _ in items]
+    assert keys == sorted(keys)
+    assert len(items) == len(starts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=20,
+                max_size=200, unique=True))
+def test_property_repeated_access_flattens(starts):
+    """Splaying makes a repeatedly-accessed key cheap."""
+    tree = RangeSplayTree()
+    for start in starts:
+        tree.insert(start, 1)
+    target = starts[0]
+    tree.find(target)
+    assert tree.root.start == target
+    tree.find(target)
+    assert tree.last_depth == 0

@@ -1,0 +1,87 @@
+"""Property tests for the Table 2 memory axioms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal.machine_axioms import FormalMemory
+
+
+def mem_with_block(size=8):
+    mem = FormalMemory(capacity=256)
+    base = mem.malloc(size)
+    return mem, base
+
+
+@given(st.integers(min_value=0, max_value=7), st.integers())
+def test_read_after_write_returns_stored_value(offset, value):
+    mem, base = mem_with_block()
+    datum = (value, 0, 0)
+    assert mem.write(base + offset, datum)
+    assert mem.read(base + offset) == datum
+
+
+@given(st.integers(min_value=0, max_value=7),
+       st.integers(min_value=0, max_value=7), st.integers())
+def test_write_does_not_affect_other_locations(target, other, value):
+    mem, base = mem_with_block()
+    before = mem.read(base + other)
+    mem.write(base + target, (value, 0, 0))
+    if other != target:
+        assert mem.read(base + other) == before
+
+
+@given(st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=10))
+def test_malloc_returns_fresh_unallocated_regions(sizes):
+    mem = FormalMemory(capacity=1024)
+    seen = set()
+    for size in sizes:
+        base = mem.malloc(size)
+        assert base is not None
+        block = set(range(base, base + size))
+        assert not (block & seen), "malloc returned already-allocated memory"
+        seen |= block
+
+
+@given(st.integers(min_value=1, max_value=16), st.integers())
+def test_malloc_preserves_existing_contents(size, value):
+    mem, base = mem_with_block()
+    mem.write(base, (value, 0, 0))
+    snapshot = mem.read(base)
+    mem.malloc(size)
+    assert mem.read(base) == snapshot
+
+
+def test_read_unallocated_returns_none():
+    mem = FormalMemory()
+    assert mem.read(9999) is None
+    assert mem.read(0) is None  # NULL is never allocated
+
+
+def test_write_unallocated_returns_none():
+    mem = FormalMemory()
+    assert mem.write(9999, (1, 0, 0)) is None
+
+
+def test_malloc_fails_when_exhausted():
+    mem = FormalMemory(capacity=16)
+    assert mem.malloc(32) is None
+    assert mem.malloc(16) is not None
+    assert mem.malloc(1) is None
+
+
+def test_malloc_nonpositive_fails():
+    mem = FormalMemory()
+    assert mem.malloc(0) is None
+    assert mem.malloc(-3) is None
+
+
+def test_fresh_block_zero_initialized():
+    mem, base = mem_with_block(4)
+    for i in range(4):
+        assert mem.read(base + i) == (0, 0, 0)
+
+
+def test_null_guard_addresses_below_min():
+    mem = FormalMemory(min_addr=16)
+    base = mem.malloc(4)
+    assert base >= 16

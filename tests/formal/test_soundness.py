@@ -1,0 +1,179 @@
+"""Executable counterparts of the paper's Theorems 4.1, 4.2 and
+Corollary 4.1, property-tested over randomly generated programs."""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal import syntax as syn
+from repro.formal.genprog import commands, make_environment
+from repro.formal.semantics import Environment, Evaluator, Outcome, run
+from repro.formal.wellformed import command_welltyped, env_wellformed
+
+
+@settings(max_examples=200, deadline=None)
+@given(commands())
+def test_progress(command):
+    """Theorem 4.2 (Progress): from a well-formed environment, the
+    instrumented semantics ends in OK, Abort or OutOfMem — never STUCK
+    ("it will never get stuck trying to access unallocated memory")."""
+    env = make_environment()
+    assert env_wellformed(env)
+    assert command_welltyped(env, command)
+    outcome = run(env, command, instrumented=True)
+    assert outcome in (Outcome.OK, Outcome.ABORT, Outcome.OUT_OF_MEM)
+
+
+@settings(max_examples=200, deadline=None)
+@given(commands())
+def test_preservation(command):
+    """Theorem 4.1 (Preservation): ⊢E is invariant under instrumented
+    execution — checked after every single command step."""
+    env = make_environment()
+    evaluator = Evaluator(env, instrumented=True)
+    for assign in syn.commands_of(command):
+        try:
+            evaluator._exec_assign(assign)
+        except Exception:
+            break
+        assert env_wellformed(env), f"well-formedness broken by {assign}"
+
+
+@settings(max_examples=150, deadline=None)
+@given(commands())
+def test_corollary_instrumented_ok_implies_plain_agrees(command):
+    """Corollary 4.1: if the instrumented program finishes OK, the
+    original (plain partial semantics) program has no memory violation
+    and computes the same final memory."""
+    env_inst = make_environment()
+    outcome = run(env_inst, command, instrumented=True)
+    if outcome is not Outcome.OK:
+        return
+    env_plain = make_environment()
+    plain_outcome = run(env_plain, command, instrumented=False)
+    assert plain_outcome is Outcome.OK
+    assert env_plain.memory.contents == env_inst.memory.contents
+
+
+@settings(max_examples=150, deadline=None)
+@given(commands())
+def test_abort_only_on_genuine_violation(command):
+    """No false positives relative to the partial semantics: if the
+    plain semantics runs to completion (defined everywhere), the
+    instrumented semantics must not abort.
+
+    This is the converse direction of Corollary 4.1 for the fragment —
+    it holds here because the fragment has no sub-object-overflowing
+    programs that plain C would define (field arithmetic is typed)."""
+    env_plain = make_environment()
+    if run(env_plain, command, instrumented=False) is not Outcome.OK:
+        return
+    env_inst = make_environment()
+    assert run(env_inst, command, instrumented=True) is Outcome.OK
+
+
+# -- directed examples pinning each rule ------------------------------------
+
+def test_deref_in_bounds_succeeds():
+    env = make_environment()
+    program = syn.Seq(
+        syn.Assign(syn.Var("p1"), syn.CastTo(syn.TPtr(syn.TInt()),
+                                             syn.Malloc(syn.IntLit(4)))),
+        syn.Assign(syn.Deref(syn.Var("p1")), syn.IntLit(7)),
+    )
+    assert run(env, program) is Outcome.OK
+
+
+def test_deref_out_of_bounds_aborts():
+    """The paper's failure rule: ¬(b ≤ v ∧ v+sizeof(a) ≤ e) ⇒ Abort."""
+    env = make_environment()
+    program = syn.Seq(
+        syn.Seq(
+            syn.Assign(syn.Var("p1"), syn.CastTo(syn.TPtr(syn.TInt()),
+                                                 syn.Malloc(syn.IntLit(2)))),
+            syn.Assign(syn.Var("p1"), syn.Add(syn.Read(syn.Var("p1")),
+                                              syn.IntLit(2))),
+        ),
+        syn.Assign(syn.Deref(syn.Var("p1")), syn.IntLit(1)),
+    )
+    assert run(env, program) is Outcome.ABORT
+
+
+def test_wild_cast_pointer_aborts_on_deref():
+    env = make_environment()
+    program = syn.Seq(
+        syn.Assign(syn.Var("p1"), syn.CastTo(syn.TPtr(syn.TInt()),
+                                             syn.IntLit(123))),
+        syn.Assign(syn.Deref(syn.Var("p1")), syn.IntLit(1)),
+    )
+    assert run(env, program) is Outcome.ABORT
+
+
+def test_same_program_is_stuck_in_plain_semantics():
+    env = make_environment()
+    program = syn.Seq(
+        syn.Assign(syn.Var("p1"), syn.CastTo(syn.TPtr(syn.TInt()),
+                                             syn.IntLit(9999))),
+        syn.Assign(syn.Deref(syn.Var("p1")), syn.IntLit(1)),
+    )
+    assert run(env, program, instrumented=False) is Outcome.STUCK
+
+
+def test_addr_of_field_shrinks_bounds():
+    """&(q->v) carries the *field's* bounds: walking to the next field
+    through it aborts (sub-object protection, Section 3.1)."""
+    env = make_environment()
+    setup = syn.Seq(
+        syn.Assign(syn.Var("q1"),
+                   syn.CastTo(syn.TPtr(syn.TNamed("node")),
+                              syn.Malloc(syn.SizeOf(syn.TNamed("node"))))),
+        syn.Assign(syn.Var("p1"), syn.AddrOf(syn.FieldArrow(syn.Var("q1"), "v"))),
+    )
+    assert run(env, setup) is Outcome.OK
+    overflow = syn.Seq(
+        syn.Assign(syn.Var("p1"), syn.Add(syn.Read(syn.Var("p1")), syn.IntLit(1))),
+        syn.Assign(syn.Deref(syn.Var("p1")), syn.IntLit(42)),
+    )
+    assert run(env, overflow) is Outcome.ABORT
+
+
+def test_recursive_struct_traversal():
+    """Named structs permit recursive data: build a 2-cell list and
+    write through q1->next->v."""
+    env = make_environment()
+    node_ptr = syn.TPtr(syn.TNamed("node"))
+    program = syn.Seq(
+        syn.Seq(
+            syn.Assign(syn.Var("q1"),
+                       syn.CastTo(node_ptr, syn.Malloc(syn.SizeOf(syn.TNamed("node"))))),
+            syn.Assign(syn.FieldArrow(syn.Var("q1"), "next"),
+                       syn.CastTo(node_ptr, syn.Malloc(syn.SizeOf(syn.TNamed("node"))))),
+        ),
+        syn.Assign(syn.FieldArrow(syn.FieldArrow(syn.Var("q1"), "next"), "v"),
+                   syn.IntLit(31)),
+    )
+    assert run(env, program) is Outcome.OK
+
+
+def test_malloc_exhaustion_is_out_of_mem():
+    env = make_environment(capacity=16)
+    program = syn.Assign(syn.Var("p1"),
+                         syn.CastTo(syn.TPtr(syn.TInt()), syn.Malloc(syn.IntLit(600))))
+    assert run(env, program) is Outcome.OUT_OF_MEM
+
+
+def test_metadata_survives_casts():
+    """Cast round-trip keeps bounds: int* -> node* -> int* still usable."""
+    env = make_environment()
+    int_ptr = syn.TPtr(syn.TInt())
+    node_ptr = syn.TPtr(syn.TNamed("node"))
+    program = syn.Seq(
+        syn.Seq(
+            syn.Assign(syn.Var("p1"), syn.CastTo(int_ptr, syn.Malloc(syn.IntLit(2)))),
+            syn.Assign(syn.Var("p2"),
+                       syn.CastTo(int_ptr, syn.CastTo(node_ptr, syn.Read(syn.Var("p1"))))),
+        ),
+        syn.Assign(syn.Deref(syn.Var("p2")), syn.IntLit(5)),
+    )
+    assert run(env, program) is Outcome.OK

@@ -1,0 +1,158 @@
+"""Frontend diagnostic quality: every rejection names a position and a
+reason a C programmer would recognize."""
+
+import pytest
+
+from repro.frontend.errors import FrontendError, LexError, ParseError, TypeError_
+from repro.frontend.typecheck import parse_and_check
+
+
+def error_for(source):
+    with pytest.raises(FrontendError) as info:
+        parse_and_check(source)
+    return info.value
+
+
+class TestLexErrors:
+    def test_unexpected_character(self):
+        error = error_for("int main(void) { return $; }")
+        assert isinstance(error, LexError)
+        assert "'$'" in str(error)
+        assert error.line == 1
+
+    def test_unterminated_char_constant(self):
+        error = error_for("int main(void) { char c = 'ab'; return 0; }")
+        assert isinstance(error, LexError)
+        assert "character constant" in str(error)
+
+    def test_position_tracks_lines(self):
+        error = error_for("int x;\nint y;\nint main(void) { return @; }")
+        assert error.line == 3
+
+
+class TestParseErrors:
+    def test_missing_paren(self):
+        error = error_for("int main(void { return 0; }")
+        assert isinstance(error, ParseError)
+        assert "expected ')'" in str(error)
+
+    def test_missing_semicolon(self):
+        error = error_for("int main(void) { int x = 1 return x; }")
+        assert isinstance(error, ParseError)
+
+    def test_unknown_type_name(self):
+        error = error_for("int main(void) { unknown_t x; return 0; }")
+        assert isinstance(error, ParseError)
+
+
+class TestTypeErrors:
+    def test_undeclared_identifier(self):
+        error = error_for("int main(void) { return nope; }")
+        assert isinstance(error, TypeError_)
+        assert "nope" in str(error)
+
+    def test_bad_initializer(self):
+        error = error_for("int main(void) { int *p = 3.5; return 0; }")
+        assert isinstance(error, TypeError_)
+        assert "int*" in str(error)
+
+    def test_unknown_struct_member(self):
+        error = error_for(
+            "struct s { int a; }; int main(void) { struct s v; return v.b; }")
+        assert "no member 'b'" in str(error)
+
+    def test_void_return_with_value(self):
+        error = error_for("void f(void) { return 3; } int main(void) { return 0; }")
+        assert "void" in str(error)
+
+    def test_missing_return_value(self):
+        error = error_for("int f(void) { return; } int main(void) { return 0; }")
+        assert "without value" in str(error)
+
+    def test_void_call_result_used(self):
+        error = error_for("void f(void) {} int main(void) { return f(); }")
+        assert isinstance(error, TypeError_)
+
+    def test_call_arity(self):
+        error = error_for(
+            "int f(int a, int b) { return a; } int main(void) { return f(1); }")
+        assert "few arguments" in str(error)
+
+    def test_duplicate_parameter_names(self):
+        error = error_for("int f(int a, int a) { return a; } "
+                          "int main(void) { return f(1, 2); }")
+        assert "duplicate parameter" in str(error)
+
+    def test_break_outside_loop(self):
+        error = error_for("int main(void) { break; }")
+        assert "break" in str(error)
+
+    def test_continue_outside_loop(self):
+        error = error_for("int main(void) { continue; }")
+        assert "continue" in str(error)
+
+    def test_continue_inside_switch_only_is_rejected(self):
+        error = error_for("""
+        int main(void) {
+            switch (1) { case 1: continue; }
+            return 0;
+        }
+        """)
+        assert "continue" in str(error)
+
+    def test_break_inside_switch_is_fine(self):
+        parse_and_check("""
+        int main(void) {
+            int r = 0;
+            switch (1) { case 1: r = 5; break; default: r = 9; }
+            return r;
+        }
+        """)
+
+    def test_break_in_loop_inside_switch_is_fine(self):
+        parse_and_check("""
+        int main(void) {
+            switch (2) {
+                case 2:
+                    for (int i = 0; i < 4; i++) { if (i == 1) break; }
+                    break;
+            }
+            return 0;
+        }
+        """)
+
+    def test_continue_in_nested_loop_is_fine(self):
+        parse_and_check("""
+        int main(void) {
+            int t = 0;
+            for (int i = 0; i < 3; i++) {
+                while (t < 10) { t++; if (t & 1) continue; t++; }
+            }
+            return t;
+        }
+        """)
+
+    def test_switch_on_pointer_rejected(self):
+        error = error_for("""
+        int main(void) {
+            int x; int *p = &x;
+            switch (p) { case 0: return 0; }
+            return 1;
+        }
+        """)
+        assert "switch" in str(error)
+
+
+class TestErrorFormatting:
+    def test_all_errors_carry_line_and_col(self):
+        sources = [
+            "int main(void) { return $; }",
+            "int main(void { return 0; }",
+            "int main(void) { return nope; }",
+        ]
+        for source in sources:
+            error = error_for(source)
+            assert error.line >= 1
+            assert error.col >= 1
+            text = str(error)
+            assert text.startswith(f"{error.line}:{error.col}:")

@@ -1,0 +1,264 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend import ctypes_ as ct
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse
+
+
+def first_decl(source):
+    unit = parse(source)
+    assert unit.decls
+    return unit.decls[0]
+
+
+def test_simple_global_int():
+    decl = first_decl("int x;")
+    assert isinstance(decl, ast.Decl)
+    assert decl.name == "x"
+    assert decl.type is ct.INT
+
+
+def test_pointer_declarator():
+    decl = first_decl("int *p;")
+    assert decl.type.is_pointer
+    assert decl.type.pointee is ct.INT
+
+
+def test_double_pointer():
+    decl = first_decl("char **argv;")
+    assert decl.type.is_pointer
+    assert decl.type.pointee.is_pointer
+    assert decl.type.pointee.pointee is ct.CHAR
+
+
+def test_array_declarator():
+    decl = first_decl("int a[10];")
+    assert decl.type.is_array
+    assert decl.type.length == 10
+    assert decl.type.size == 40
+
+
+def test_two_dim_array():
+    decl = first_decl("int m[2][3];")
+    assert decl.type.is_array
+    assert decl.type.length == 2
+    assert decl.type.element.is_array
+    assert decl.type.element.length == 3
+    assert decl.type.size == 24
+
+
+def test_array_size_constant_expr():
+    decl = first_decl("int a[4 * 2 + 1];")
+    assert decl.type.length == 9
+
+
+def test_multiple_declarators():
+    unit = parse("int a, *b, c[3];")
+    assert [d.name for d in unit.decls] == ["a", "b", "c"]
+    assert unit.decls[1].type.is_pointer
+    assert unit.decls[2].type.is_array
+
+
+def test_function_definition():
+    func = first_decl("int add(int a, int b) { return a + b; }")
+    assert isinstance(func, ast.FunctionDef)
+    assert func.name == "add"
+    assert len(func.params) == 2
+    assert func.return_type is ct.INT
+    assert not func.varargs
+
+
+def test_varargs_function():
+    func = first_decl("int log_msg(char *fmt, ...) { return 0; }")
+    assert func.varargs
+
+
+def test_void_param_list():
+    func = first_decl("int f(void) { return 1; }")
+    assert func.params == []
+
+
+def test_array_param_decays():
+    func = first_decl("int sum(int a[], int n) { return 0; }")
+    assert func.params[0].type.is_pointer
+
+
+def test_struct_definition_and_layout():
+    decl = first_decl("struct point { int x; int y; } p;")
+    stype = decl.type
+    assert stype.is_struct
+    assert stype.size == 8
+    assert stype.field("y").offset == 4
+
+
+def test_struct_padding():
+    decl = first_decl("struct s { char c; long l; } v;")
+    assert decl.type.field("l").offset == 8
+    assert decl.type.size == 16
+
+
+def test_struct_with_internal_array():
+    # The paper's running example: struct with char str[8] then a fn ptr.
+    decl = first_decl("struct node { char str[8]; void (*func)(); } n;")
+    stype = decl.type
+    assert stype.field("str").type.is_array
+    assert stype.field("func").offset == 8
+    assert stype.field("func").type.is_pointer
+
+
+def test_named_struct_reference():
+    unit = parse("struct n { int v; struct n *next; }; struct n *head;")
+    head = unit.decls[0]
+    assert head.type.is_pointer
+    assert head.type.pointee.field("next").type.pointee is head.type.pointee
+
+
+def test_union_layout():
+    decl = first_decl("union u { int i; double d; char c[4]; } v;")
+    assert decl.type.size == 8
+    assert all(f.offset == 0 for f in decl.type.fields)
+
+
+def test_typedef():
+    unit = parse("typedef long size_type; size_type n;")
+    assert unit.decls[0].type is ct.LONG
+
+
+def test_typedef_struct():
+    unit = parse("typedef struct { int a; } box_t; box_t b;")
+    assert unit.decls[0].type.is_struct
+
+
+def test_enum_constants():
+    unit = parse("enum color { RED, GREEN = 5, BLUE }; int x[BLUE];")
+    assert unit.decls[0].type.length == 6
+
+
+def test_function_pointer_declarator():
+    decl = first_decl("int (*handler)(int);")
+    assert decl.type.is_pointer
+    assert decl.type.pointee.is_function
+    assert decl.type.pointee.return_type is ct.INT
+
+
+def test_initializer_list():
+    decl = first_decl("int a[3] = {1, 2, 3};")
+    assert isinstance(decl.init, ast.InitList)
+    assert len(decl.init.items) == 3
+
+
+def test_nested_initializer():
+    decl = first_decl("int m[2][2] = {{1, 2}, {3, 4}};")
+    assert isinstance(decl.init.items[0], ast.InitList)
+
+
+def test_string_initializer():
+    decl = first_decl('char msg[16] = "hello";')
+    assert isinstance(decl.init, ast.StringLiteral)
+
+
+def test_unsigned_types():
+    assert first_decl("unsigned int x;").type is ct.UINT
+    assert first_decl("unsigned char c;").type is ct.UCHAR
+    assert first_decl("unsigned long l;").type is ct.ULONG
+    assert first_decl("unsigned x;").type is ct.UINT
+
+
+def test_expression_precedence():
+    func = first_decl("int f(void) { return 1 + 2 * 3; }")
+    ret = func.body.items[0]
+    assert ret.value.op == "+"
+    assert ret.value.right.op == "*"
+
+
+def test_assignment_right_associative():
+    func = first_decl("int f(void) { int a; int b; a = b = 1; return a; }")
+    stmt = func.body.items[2]
+    assert isinstance(stmt.expr, ast.Assign)
+    assert isinstance(stmt.expr.value, ast.Assign)
+
+
+def test_conditional_expression():
+    func = first_decl("int f(int x) { return x ? 1 : 2; }")
+    assert isinstance(func.body.items[0].value, ast.Conditional)
+
+
+def test_cast_expression():
+    func = first_decl("int f(void) { char *p; return *(int*)p; }")
+    ret = func.body.items[1]
+    deref = ret.value
+    assert isinstance(deref, ast.Unary) and deref.op == "*"
+    assert isinstance(deref.operand, ast.Cast)
+    assert deref.operand.target_type.pointee is ct.INT
+
+
+def test_sizeof_type_and_expr():
+    func = first_decl("long f(int x) { return sizeof(long) + sizeof x; }")
+    expr = func.body.items[0].value
+    assert isinstance(expr.left, ast.SizeofType)
+    assert isinstance(expr.right, ast.SizeofExpr)
+
+
+def test_member_and_arrow():
+    src = "struct p { int x; }; int f(struct p *q, struct p r) { return q->x + r.x; }"
+    func = parse(src).decls[0]
+    expr = func.body.items[0].value
+    assert expr.left.arrow is True
+    assert expr.right.arrow is False
+
+
+def test_for_with_declaration():
+    func = first_decl("int f(void) { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }")
+    loop = func.body.items[1]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, list)
+
+
+def test_do_while():
+    func = first_decl("int f(void) { int i = 0; do { i++; } while (i < 3); return i; }")
+    assert isinstance(func.body.items[1], ast.DoWhile)
+
+
+def test_switch_cases():
+    src = "int f(int x) { switch (x) { case 1: return 10; case 2: return 20; default: return 0; } }"
+    func = first_decl(src)
+    switch = func.body.items[0]
+    assert isinstance(switch, ast.Switch)
+    assert len(switch.body.items) == 3
+    assert switch.body.items[2].value is None
+
+
+def test_goto_and_label():
+    func = first_decl("int f(void) { int i = 0; loop: i++; if (i < 3) goto loop; return i; }")
+    assert isinstance(func.body.items[1], ast.Label)
+
+
+def test_null_parses_as_void_pointer_cast():
+    func = first_decl("int f(void) { char *p = NULL; return p == NULL; }")
+    decl = func.body.items[0]
+    assert isinstance(decl.init, ast.Cast)
+
+
+def test_comma_expression():
+    func = first_decl("int f(void) { int a; int b; return (a = 1, b = 2, a + b); }")
+    expr = func.body.items[2].value
+    assert isinstance(expr, ast.Binary) and expr.op == ","
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as exc:
+        parse("int f(void) { return }")
+    assert exc.value.line == 1
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse("int x")
+
+
+def test_address_of_and_deref_chain():
+    func = first_decl("int f(void) { int x; int *p = &x; int **pp = &p; return **pp; }")
+    assert len(func.body.items) == 4

@@ -1,0 +1,210 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend import ctypes_ as ct
+from repro.frontend.errors import TypeError_
+from repro.frontend.typecheck import parse_and_check
+
+
+def body_of(program, source):
+    return program.functions[source].body.items
+
+
+def check_ok(source):
+    return parse_and_check(source)
+
+
+def check_fails(source):
+    with pytest.raises(TypeError_):
+        parse_and_check(source)
+
+
+def test_simple_function_checks():
+    prog = check_ok("int add(int a, int b) { return a + b; }")
+    ret = prog.functions["add"].body.items[0]
+    assert ret.value.ctype is ct.INT
+
+
+def test_undeclared_identifier_rejected():
+    check_fails("int f(void) { return missing; }")
+
+
+def test_pointer_arithmetic_type():
+    prog = check_ok("int f(int *p) { return *(p + 1); }")
+    ret = prog.functions["f"].body.items[0]
+    assert ret.value.ctype is ct.INT
+    assert ret.value.operand.ctype.is_pointer
+
+
+def test_pointer_difference_is_long():
+    prog = check_ok("long f(int *a, int *b) { return a - b; }")
+    ret = prog.functions["f"].body.items[0]
+    assert ret.value.ctype is ct.LONG
+
+
+def test_array_decays_in_expression():
+    prog = check_ok("int f(void) { int a[4]; int *p = a; return p[0]; }")
+    decl = prog.functions["f"].body.items[1]
+    assert isinstance(decl.init, ast.ImplicitConvert)
+    assert decl.init.kind == "decay"
+
+
+def test_deref_non_pointer_rejected():
+    check_fails("int f(int x) { return *x; }")
+
+
+def test_deref_void_pointer_rejected():
+    check_fails("int f(void *p) { return *p; }")
+
+
+def test_address_of_rvalue_rejected():
+    check_fails("int f(int x) { int *p = &(x + 1); return 0; }")
+
+
+def test_address_of_variable():
+    prog = check_ok("int f(void) { int x; int *p = &x; return *p; }")
+    decl = prog.functions["f"].body.items[1]
+    assert decl.init.ctype.is_pointer
+
+
+def test_member_offsets_annotated():
+    src = "struct s { char pad[12]; int v; }; int f(struct s *p) { return p->v; }"
+    prog = check_ok(src)
+    ret = prog.functions["f"].body.items[0]
+    assert ret.value.field_offset == 12
+    assert ret.value.field_size == 4
+
+
+def test_member_on_non_struct_rejected():
+    check_fails("int f(int x) { return x.field; }")
+
+
+def test_unknown_member_rejected():
+    check_fails("struct s { int a; }; int f(struct s v) { return v.b; }")
+
+
+def test_arbitrary_pointer_casts_allowed():
+    # The compatibility property the paper stresses: wild casts check fine.
+    check_ok("long f(char *p) { return *(long *)p; }")
+    check_ok("char *f(long x) { return (char *)x; }")
+    check_ok("int f(double *d) { return *(int *)(char *)d; }")
+
+
+def test_pointer_integer_mixing_allowed():
+    check_ok("long f(int *p) { long addr = (long)p; return addr; }")
+
+
+def test_call_type_checks():
+    prog = check_ok("int g(int x) { return x; } int f(void) { return g(3); }")
+    ret = prog.functions["f"].body.items[0]
+    assert ret.value.ctype is ct.INT
+
+
+def test_call_too_few_args_rejected():
+    check_fails("int g(int a, int b) { return a; } int f(void) { return g(1); }")
+
+
+def test_call_too_many_args_rejected():
+    check_fails("int g(int a) { return a; } int f(void) { return g(1, 2); }")
+
+
+def test_varargs_call_allows_extra_args():
+    check_ok('int f(void) { printf("%d %d", 1, 2); return 0; }')
+
+
+def test_implicit_function_declaration_tolerated():
+    # K&R-style: calling an undeclared function is accepted (the paper's
+    # call-site-driven transform handles exactly this case).
+    check_ok("int f(void) { return helper(1, 2); }")
+
+
+def test_builtin_malloc_signature():
+    prog = check_ok("int *f(void) { return (int *)malloc(40); }")
+    assert prog.functions["f"].return_type.is_pointer
+
+
+def test_function_pointer_call():
+    src = "int inc(int x) { return x + 1; } int f(void) { int (*fp)(int) = inc; return fp(41); }"
+    prog = check_ok(src)
+    assert "f" in prog.functions
+
+
+def test_return_type_mismatch_rejected():
+    check_fails("struct s { int a; }; int f(struct s v) { return v; }")
+
+
+def test_void_return_with_value_rejected():
+    check_fails("void f(void) { return 3; }")
+
+
+def test_assign_to_rvalue_rejected():
+    check_fails("int f(int x) { x + 1 = 5; return x; }")
+
+
+def test_assign_to_array_rejected():
+    check_fails("int f(void) { int a[3]; int b[3]; a = b; return 0; }")
+
+
+def test_struct_assignment_same_type_ok():
+    check_ok("struct s { int a; }; void f(struct s *p, struct s *q) { *p = *q; }")
+
+
+def test_compound_assignment_pointer():
+    check_ok("char *f(char *p) { p += 3; return p; }")
+
+
+def test_conditional_unifies_arith():
+    prog = check_ok("double f(int x) { return x ? 1 : 2.5; }")
+    ret = prog.functions["f"].body.items[0]
+    assert ret.value.ctype is ct.DOUBLE
+
+
+def test_switch_on_pointer_rejected():
+    check_fails("int f(int *p) { switch (p) { default: return 0; } }")
+
+
+def test_string_literal_type():
+    prog = check_ok('char *f(void) { return "abc"; }')
+    ret = prog.functions["f"].body.items[0]
+    assert ret.value.ctype.is_pointer
+    assert ret.value.ctype.pointee is ct.CHAR
+
+
+def test_sizeof_is_unsigned_long():
+    prog = check_ok("long f(void) { return sizeof(int); }")
+    ret = prog.functions["f"].body.items[0]
+    assert ret.value.ctype is ct.ULONG
+
+
+def test_global_initializer_checked():
+    check_ok("int x = 5; int *p = &x;")
+    check_fails("struct s { int a; } v = 3;")
+
+
+def test_common_arith_type_promotion():
+    assert ct.common_arith_type(ct.CHAR, ct.CHAR) is ct.INT
+    assert ct.common_arith_type(ct.INT, ct.LONG) is ct.LONG
+    assert ct.common_arith_type(ct.INT, ct.DOUBLE) is ct.DOUBLE
+    assert ct.common_arith_type(ct.UINT, ct.INT) is ct.UINT
+
+
+def test_int_wrap_semantics():
+    assert ct.INT.wrap(2**31) == -(2**31)
+    assert ct.UCHAR.wrap(257) == 1
+    assert ct.CHAR.wrap(200) == 200 - 256
+    assert ct.ULONG.wrap(-1) == 2**64 - 1
+
+
+def test_struct_contains_pointer():
+    src = "struct a { int x; }; struct b { int *p; }; struct c { struct b inner[2]; };"
+    prog = check_ok(src + " int main(void) { return 0; }")
+    # reach into parser-declared structs via a function using them
+    from repro.frontend.parser import Parser
+
+    parser = Parser(src)
+    parser.parse()
+    assert not parser.struct_tags["a"].contains_pointer()
+    assert parser.struct_tags["b"].contains_pointer()
+    assert parser.struct_tags["c"].contains_pointer()

@@ -1,0 +1,136 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EX_COMPILE, EX_TRAP, EX_USAGE, EX_VIOLATION, main
+
+SAFE_PROGRAM = r'''
+int main(void) {
+    int a[4];
+    for (int i = 0; i < 4; i++) a[i] = i;
+    printf("sum %d\n", a[0] + a[1] + a[2] + a[3]);
+    return 6;
+}
+'''
+
+BUGGY_PROGRAM = r'''
+int main(void) {
+    char b[4];
+    strcpy(b, "definitely too long");
+    return 0;
+}
+'''
+
+
+@pytest.fixture
+def capture():
+    return io.StringIO(), io.StringIO()
+
+
+def write_program(tmp_path, text, name="prog.c"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestRun:
+    def test_clean_run_returns_program_exit(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["run", path], out, err) == 6
+        assert "sum 6" in out.getvalue()
+
+    def test_unprotected_buggy_run_may_finish_silently(self, tmp_path, capture):
+        out, err = capture
+        code = main(["run", write_program(tmp_path, BUGGY_PROGRAM)], out, err)
+        # Without SoftBound the overflow corrupts silently (exit 0) or
+        # segfaults (EX_TRAP) — never the violation code.
+        assert code in (0, EX_TRAP)
+
+    def test_softbound_flag_catches_overflow(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, BUGGY_PROGRAM)
+        assert main(["run", path, "--softbound"], out, err) == EX_VIOLATION
+        assert "spatial_violation" in err.getvalue()
+
+    def test_store_only_flag_implies_softbound(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, BUGGY_PROGRAM)
+        assert main(["run", path, "--store-only"], out, err) == EX_VIOLATION
+
+    def test_hash_table_flag(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["run", path, "--hash-table", "--stats"], out, err) == 6
+        assert "metadata" in out.getvalue()
+
+    def test_stats_flag_prints_cost_model(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        main(["run", path, "--softbound", "--stats"], out, err)
+        text = out.getvalue()
+        assert "cost units" in text
+        assert "bounds checks" in text
+
+    def test_stdin_file(self, tmp_path, capture):
+        out, err = capture
+        program = write_program(tmp_path, r'''
+        int main(void) { char b[32]; gets(b); puts(b); return 0; }
+        ''')
+        stdin_path = tmp_path / "input.txt"
+        stdin_path.write_text("hello\n")
+        code = main(["run", program, "--stdin-file", str(stdin_path)], out, err)
+        assert code == 0
+        assert "hello" in out.getvalue()
+
+    def test_missing_file_is_usage_error(self, capture):
+        out, err = capture
+        assert main(["run", "/does/not/exist.c"], out, err) == EX_USAGE
+        assert "cannot read" in err.getvalue()
+
+    def test_compile_error_reported(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, "int main( { not C ;")
+        assert main(["run", path], out, err) == EX_COMPILE
+        assert "compile error" in err.getvalue()
+
+    def test_no_optimize_flag_still_runs(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["run", path, "--no-optimize"], out, err) == 6
+
+
+class TestCheck:
+    def test_check_catches_overflow(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, BUGGY_PROGRAM)
+        assert main(["check", path], out, err) == EX_VIOLATION
+
+    def test_check_passes_clean_program(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["check", path], out, err) == 6
+
+
+class TestTablesAndWorkloads:
+    def test_workloads_lists_all_fifteen(self, capture):
+        out, err = capture
+        assert main(["workloads"], out, err) == 0
+        text = out.getvalue()
+        for name in ("go", "compress", "treeadd", "bisort", "li"):
+            assert name in text
+
+    def test_single_table_renders(self, capture):
+        out, err = capture
+        assert main(["tables", "table3"], out, err) == 0
+        assert "attack" in out.getvalue().lower()
+
+    def test_unknown_table_is_usage_error(self, capture):
+        out, err = capture
+        assert main(["tables", "nonexistent"], out, err) == EX_USAGE
+
+    def test_usage_error_without_command(self, capture):
+        out, err = capture
+        assert main([], out, err) == EX_USAGE

@@ -1,0 +1,177 @@
+"""Separate compilation and linking (paper Sections 3.3 / 5.2)."""
+
+import pytest
+
+from repro.harness.linker import (
+    LinkError,
+    compile_and_link,
+    compile_module,
+    link_modules,
+)
+from repro.softbound.config import FULL_SHADOW
+from repro.vm.errors import TrapKind
+
+LIBRARY = r'''
+int sum(int *values, int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) total += values[i];
+    return total;
+}
+
+char *duplicate(char *text) {
+    char *copy = (char *)malloc(strlen(text) + 1);
+    strcpy(copy, text);
+    return copy;
+}
+'''
+
+MAIN = r'''
+int sum(int *values, int n);
+char *duplicate(char *text);
+
+int main(void) {
+    int data[4];
+    for (int i = 0; i < 4; i++) data[i] = i + 1;
+    char *copy = duplicate("hi");
+    return sum(data, 4) + (int)strlen(copy);
+}
+'''
+
+
+class TestBasicLinking:
+    def test_two_unit_program_runs(self):
+        compiled = compile_and_link([LIBRARY, MAIN])
+        result = compiled.run()
+        assert result.trap is None
+        assert result.exit_code == 12
+
+    def test_transformed_units_link_and_run_clean(self):
+        compiled = compile_and_link([LIBRARY, MAIN], softbound=FULL_SHADOW)
+        result = compiled.run()
+        assert result.trap is None
+        assert result.exit_code == 12
+
+    def test_metadata_crosses_the_unit_boundary(self):
+        """A bug in the library overflows a buffer allocated in main:
+        bounds created in one unit must be enforced in the other."""
+        library = r'''
+        void fill(int *out, int n) {
+            for (int i = 0; i <= n; i++) out[i] = i;   /* <=: off by one */
+        }
+        '''
+        main = r'''
+        void fill(int *out, int n);
+        int main(void) {
+            int *buf = (int *)malloc(4 * sizeof(int));
+            fill(buf, 4);
+            return buf[0];
+        }
+        '''
+        compiled = compile_and_link([library, main], softbound=FULL_SHADOW)
+        result = compiled.run()
+        assert result.trap is not None
+        assert result.trap.kind is TrapKind.SPATIAL_VIOLATION
+
+    def test_duplicate_function_rejected(self):
+        one = "int f(void) { return 1; }"
+        two = "int f(void) { return 2; } int main(void) { return f(); }"
+        with pytest.raises(LinkError, match="duplicate definition of function"):
+            compile_and_link([one, two])
+
+    def test_duplicate_global_rejected(self):
+        one = "int shared = 1;"
+        two = "int shared = 2; int main(void) { return shared; }"
+        with pytest.raises(LinkError, match="duplicate definition of global"):
+            compile_and_link([one, two])
+
+    def test_extern_global_resolves_across_units(self):
+        definer = "int shared = 33;"
+        user = "extern int shared; int main(void) { return shared; }"
+        compiled = compile_and_link([definer, user])
+        assert compiled.run().exit_code == 33
+
+
+class TestStringLiteralMerging:
+    def test_identical_literals_deduplicated(self):
+        one = 'char *a(void) { return "same text"; }'
+        two = ('char *a(void); '
+               'int main(void) { return a()[0]; }')
+        compiled = compile_and_link([one + ' char *b(void) { return "same text"; }',
+                                     two])
+        literals = [g for g in compiled.module.globals.values()
+                    if g.is_string_literal]
+        texts = [g.data for g in literals]
+        assert texts.count(b"same text\x00") == 1
+        assert compiled.run().exit_code == ord("s")
+
+    def test_clashing_names_from_different_units_kept_distinct(self):
+        # Both units intern their first literal as ".str0"; after the
+        # link each function must still see its own text.
+        one = 'int first(void) { return (int)strlen("aaaa"); }'
+        two = ('int first(void); '
+               'int main(void) { return first() + (int)strlen("bb"); }')
+        compiled = compile_and_link([one, two])
+        assert compiled.run().exit_code == 6
+
+
+class TestMixedTransformedUntransformed:
+    def test_untransformed_library_callable_from_transformed_main(self):
+        """The paper's library story: code not yet recompiled with
+        SoftBound still links and runs; it simply provides no bounds."""
+        library = compile_module("int triple(int x) { return 3 * x; }",
+                                 softbound=None, name="lib")
+        main = compile_module(
+            "int triple(int x); int main(void) { return triple(14); }",
+            softbound=FULL_SHADOW, name="main")
+        compiled = link_modules([library, main], softbound=FULL_SHADOW)
+        result = compiled.run()
+        assert result.trap is None
+        assert result.exit_code == 42
+
+    def test_pointer_from_untransformed_library_has_null_bounds(self):
+        """Dereferencing a pointer produced by untransformed code traps
+        under full checking — conservative, exactly why the paper
+        recommends wrappers or recompiling the library."""
+        library = compile_module(r'''
+        int slot = 5;
+        int *get_slot(void) { return &slot; }
+        ''', softbound=None, name="lib")
+        main = compile_module(r'''
+        int *get_slot(void);
+        int main(void) { return *get_slot(); }
+        ''', softbound=FULL_SHADOW, name="main")
+        compiled = link_modules([library, main], softbound=FULL_SHADOW)
+        result = compiled.run()
+        assert result.trap is not None
+        assert result.trap.kind is TrapKind.SPATIAL_VIOLATION
+
+    def test_transformed_library_extends_checking_into_library(self):
+        """Recompiling the library with SoftBound (its distribution
+        model, Section 5.2) restores full bounds through the boundary."""
+        library = compile_module(r'''
+        int slot = 5;
+        int *get_slot(void) { return &slot; }
+        ''', softbound=FULL_SHADOW, name="lib")
+        main = compile_module(r'''
+        int *get_slot(void);
+        int main(void) { return *get_slot(); }
+        ''', softbound=FULL_SHADOW, name="main")
+        compiled = link_modules([library, main], softbound=FULL_SHADOW)
+        result = compiled.run()
+        assert result.trap is None
+        assert result.exit_code == 5
+
+
+class TestManyUnits:
+    def test_five_unit_pipeline(self):
+        units = [
+            f"int stage{i}(int x) {{ return x + {i}; }}" for i in range(4)
+        ]
+        units.append(r'''
+        int stage0(int x); int stage1(int x);
+        int stage2(int x); int stage3(int x);
+        int main(void) { return stage3(stage2(stage1(stage0(10)))); }
+        ''')
+        for config in (None, FULL_SHADOW):
+            compiled = compile_and_link(units, softbound=config)
+            assert compiled.run().exit_code == 16

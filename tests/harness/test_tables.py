@@ -1,0 +1,91 @@
+"""Structural tests for the table/figure renderers.
+
+The benchmarks assert the experimental claims; these tests pin the
+*artifact* structure so a rendering regression (dropped row, broken
+bar, missing column) cannot slip through with the numbers still right.
+"""
+
+import pytest
+
+from repro.harness import tables
+
+
+class TestTable1:
+    def test_six_schemes_in_paper_order(self):
+        text = tables.render_table1()
+        for scheme in ("SafeC", "JKRLDA", "CCured", "MSCC", "SoftBound"):
+            assert scheme in text
+        # SoftBound is the last data row.
+        data_lines = [l for l in text.splitlines() if l.strip()]
+        assert data_lines[-1].startswith("SoftBound")
+
+    def test_provenance_column_present(self):
+        text = tables.render_table1()
+        assert "measured" in text and "derived" in text
+
+
+class TestTable3:
+    def test_eighteen_attacks_rendered(self):
+        matrix = tables.table3_matrix()
+        assert len(matrix) == 18
+        for name, (exploited, full, store) in matrix.items():
+            assert exploited, f"{name} must exploit when unprotected"
+            assert full and store, f"{name} must be detected in both modes"
+
+    def test_four_group_banners(self):
+        text = tables.render_table3()
+        banners = [l for l in text.splitlines() if l.startswith("-- ")]
+        assert len(banners) == 4
+
+
+class TestTable4:
+    def test_sixteen_cells_match_paper(self):
+        text = tables.render_table4()
+        assert "MISMATCH" not in text
+        assert text.count("match") == 4
+
+    def test_go_row_separates_full_from_store_only(self):
+        matrix = tables.table4_matrix()
+        valgrind, mudflap, store, full = matrix["go"]
+        assert (valgrind, mudflap, store, full) == (False, False, False, True)
+
+
+class TestFigures:
+    def test_figure1_has_fifteen_bars(self):
+        text = tables.render_figure1()
+        bars = [l for l in text.splitlines() if "|" in l or "#" in l]
+        assert len(bars) >= 15
+
+    def test_figure1_sorted_ascending(self):
+        from repro.harness.stats import pointer_fractions
+
+        fractions = pointer_fractions()
+        text = tables.render_figure1()
+        order = []
+        for line in text.splitlines():
+            tokens = line.replace("[SPEC]", " ").split()
+            if tokens and tokens[0] in fractions:
+                order.append(tokens[0])
+        assert len(order) == 15
+        values = [fractions[name] for name in order]
+        assert values == sorted(values)
+
+    def test_figure2_has_four_config_columns(self):
+        text = tables.render_figure2()
+        for label in ("HashTable-Complete", "ShadowSpace-Complete",
+                      "HashTable-Stores", "ShadowSpace-Stores"):
+            assert label in text
+        assert "average" in text
+
+    def test_metadata_ablation_mentions_both_facilities(self):
+        text = tables.render_metadata_ablation()
+        assert "hash" in text.lower()
+        assert "shadow" in text.lower()
+
+
+class TestRenderAll:
+    def test_render_all_concatenates_every_artifact(self):
+        text = tables.render_all()
+        for fragment in ("Table 1", "Table 3", "Table 4",
+                         "Figure 1", "Figure 2"):
+            assert fragment in text

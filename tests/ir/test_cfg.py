@@ -1,0 +1,158 @@
+"""Tests for CFG construction and dominator analysis."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.typecheck import parse_and_check
+from repro.ir.cfg import CFG
+from repro.lower.lowering import lower
+from repro.workloads.randprog import generate
+
+
+def cfg_of(source, name="main"):
+    module = lower(parse_and_check(source))
+    return CFG(module.functions[name])
+
+
+class TestConstruction:
+    def test_straight_line_has_one_block(self):
+        cfg = cfg_of("int main(void) { return 1; }")
+        assert len(cfg.rpo) == 1
+        assert cfg.succs[cfg.entry.label] == []
+
+    def test_if_else_diamond(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int x = 1;
+            if (x) x = 2; else x = 3;
+            return x;
+        }
+        """)
+        assert len(cfg.succs[cfg.entry.label]) == 2
+        # Exactly one join block has two predecessors.
+        joins = [lbl for lbl, preds in cfg.preds.items() if len(preds) == 2]
+        assert len(joins) == 1
+
+    def test_loop_has_back_edge(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int t = 0;
+            for (int i = 0; i < 10; i++) t += i;
+            return t;
+        }
+        """)
+        back_edges = [
+            (block.label, succ.label)
+            for block in cfg.rpo
+            for succ in cfg.succs[block.label]
+            if cfg.rpo_index[succ.label] <= cfg.rpo_index[block.label]
+        ]
+        assert back_edges, "loop must produce a back edge"
+
+    def test_rpo_starts_at_entry(self):
+        cfg = cfg_of("int main(void) { if (1) return 1; return 0; }")
+        assert cfg.rpo[0] is cfg.entry
+
+    def test_rpo_predecessors_precede_except_back_edges(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int t = 0;
+            for (int i = 0; i < 4; i++) { if (i & 1) t += i; else t -= i; }
+            return t;
+        }
+        """)
+        for block in cfg.rpo:
+            for succ in cfg.succs[block.label]:
+                forward = cfg.rpo_index[block.label] < cfg.rpo_index[succ.label]
+                back = cfg.rpo_index[succ.label] <= cfg.rpo_index[block.label]
+                assert forward or back
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int t = 0;
+            for (int i = 0; i < 3; i++) { if (i) t += 1; }
+            return t;
+        }
+        """)
+        for block in cfg.rpo:
+            assert cfg.dominates(cfg.entry.label, block.label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int x = 1;
+            if (x) x = 2; else x = 3;
+            return x;
+        }
+        """)
+        join = next(lbl for lbl, preds in cfg.preds.items() if len(preds) == 2)
+        for arm in cfg.preds[join]:
+            if arm is not cfg.entry:
+                assert not cfg.dominates(arm.label, join)
+
+    def test_dominance_is_reflexive_and_antisymmetric(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int t = 0;
+            while (t < 5) { t += 1; if (t == 3) t += 2; }
+            return t;
+        }
+        """)
+        labels = [block.label for block in cfg.rpo]
+        for a in labels:
+            assert cfg.dominates(a, a)
+            for b in labels:
+                if a != b and cfg.dominates(a, b):
+                    assert not cfg.dominates(b, a)
+
+    def test_dominator_chain_ends_at_entry(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int x = 0;
+            if (x) { x = 1; } else { x = 2; }
+            return x;
+        }
+        """)
+        for block in cfg.rpo:
+            if block is cfg.entry:
+                assert cfg.dominator_chain(block.label) == []
+            else:
+                chain = cfg.dominator_chain(block.label)
+                assert chain[-1] is cfg.entry
+
+    def test_dominator_tree_partitions_blocks(self):
+        cfg = cfg_of("""
+        int main(void) {
+            int t = 0;
+            for (int i = 0; i < 4; i++) { if (i & 1) t += i; }
+            return t;
+        }
+        """)
+        children = cfg.dominator_tree_children()
+        seen = set()
+        stack = [cfg.entry]
+        while stack:
+            block = stack.pop()
+            assert block.label not in seen
+            seen.add(block.label)
+            stack.extend(children[block.label])
+        assert seen == set(cfg.succs)
+
+    @given(st.integers(min_value=0, max_value=30_000))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_dominators_consistent_on_generated_programs(self, seed):
+        """idom is a strict dominator; every reachable block is either
+        the entry or has an idom whose RPO index is smaller."""
+        module = lower(parse_and_check(generate(seed).source))
+        for func in module.functions.values():
+            cfg = CFG(func)
+            for block in cfg.rpo:
+                if block is cfg.entry:
+                    continue
+                parent = cfg.idom[block.label]
+                assert cfg.rpo_index[parent.label] < cfg.rpo_index[block.label]
+                assert cfg.dominates(parent.label, block.label)

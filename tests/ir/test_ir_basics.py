@@ -1,0 +1,144 @@
+"""IR container, printer and verifier unit tests."""
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.ir.irtypes import F64, I8, I32, I64, PTR, VOID, from_ctype, int_type
+from repro.ir.module import BasicBlock, Function, GlobalVar, Module
+from repro.ir.printer import format_function, format_instruction
+from repro.ir.values import Const, Register, SymbolRef
+from repro.ir.verifier import VerifierError, verify_function
+from repro.frontend import ctypes_ as ct
+
+
+def test_irtype_properties():
+    assert I32.is_int and not I32.is_float and not I32.is_ptr
+    assert F64.is_float
+    assert PTR.is_ptr and PTR.size == 8
+    assert VOID.is_void
+
+
+def test_int_type_by_width():
+    assert int_type(1) is I8
+    assert int_type(8) is I64
+
+
+def test_from_ctype_mapping():
+    assert from_ctype(ct.INT) is I32
+    assert from_ctype(ct.CHAR) is I8
+    assert from_ctype(ct.DOUBLE) is F64
+    assert from_ctype(ct.PointerType(ct.INT)) is PTR
+    assert from_ctype(ct.ArrayType(ct.INT, 4)) is PTR
+
+
+def test_function_register_allocation():
+    func = Function("f", I32)
+    r1 = func.new_reg(I32, "a")
+    r2 = func.new_reg(PTR)
+    assert r1.uid != r2.uid
+    assert r1.type is I32 and r2.type is PTR
+
+
+def test_block_creation_unique_labels():
+    func = Function("f", I32)
+    b1 = func.new_block("bb")
+    b2 = func.new_block("bb")
+    assert b1.label != b2.label
+    assert func.block(b1.label) is b1
+
+
+def test_terminator_detection():
+    block = BasicBlock("entry")
+    block.append(ins.Mov(dst=Register(0, I32), src=Const(1, I32)))
+    assert block.terminator is None
+    block.append(ins.Ret(value=Const(0, I32)))
+    assert block.terminator.opcode == "ret"
+
+
+def test_module_string_interning_deduplicates():
+    module = Module()
+    a = module.intern_string(b"hello")
+    b = module.intern_string(b"hello")
+    c = module.intern_string(b"world")
+    assert a == b
+    assert a != c
+    assert module.globals[a].data == b"hello\x00"
+
+
+def test_verifier_accepts_valid_function():
+    func = Function("f", I32)
+    block = func.new_block("entry")
+    reg = func.new_reg(I32)
+    block.append(ins.Mov(dst=reg, src=Const(7, I32)))
+    block.append(ins.Ret(value=reg))
+    assert verify_function(func)
+
+
+def test_verifier_rejects_missing_terminator():
+    func = Function("f", I32)
+    block = func.new_block("entry")
+    block.append(ins.Mov(dst=func.new_reg(I32), src=Const(1, I32)))
+    with pytest.raises(VerifierError):
+        verify_function(func)
+
+
+def test_verifier_rejects_undefined_register():
+    func = Function("f", I32)
+    block = func.new_block("entry")
+    ghost = Register(99, I32)
+    block.append(ins.Ret(value=ghost))
+    with pytest.raises(VerifierError):
+        verify_function(func)
+
+
+def test_verifier_rejects_unknown_branch_target():
+    func = Function("f", VOID)
+    block = func.new_block("entry")
+    block.append(ins.Br(label="nowhere"))
+    with pytest.raises(VerifierError):
+        verify_function(func)
+
+
+def test_verifier_rejects_mid_block_terminator():
+    func = Function("f", I32)
+    block = func.new_block("entry")
+    block.append(ins.Ret(value=Const(0, I32)))
+    block.append(ins.Mov(dst=func.new_reg(I32), src=Const(1, I32)))
+    block.append(ins.Ret(value=Const(0, I32)))
+    with pytest.raises(VerifierError):
+        verify_function(func)
+
+
+def test_verifier_rejects_bad_opcode_variants():
+    func = Function("f", VOID)
+    block = func.new_block("entry")
+    r = func.new_reg(I32)
+    block.append(ins.BinOp(dst=r, op="frobnicate", a=Const(1, I32), b=Const(2, I32)))
+    block.append(ins.Ret())
+    with pytest.raises(VerifierError):
+        verify_function(func)
+
+
+def test_printer_formats_key_instructions():
+    r = Register(3, PTR, "p")
+    assert "gep" in format_instruction(ins.Gep(dst=r, base=r, offset=Const(8, I64)))
+    assert "!field" in format_instruction(
+        ins.Gep(dst=r, base=r, offset=Const(8, I64), field_extent=16))
+    text = format_instruction(ins.Load(dst=Register(1, PTR), addr=r, type=PTR,
+                                       is_pointer_value=True))
+    assert "!ptr" in text
+    check = ins.SbCheck(ptr=r, base=r, bound=r, size=Const(4, I64))
+    assert format_instruction(check).startswith("<sb_check")  # fallback form
+
+
+def test_format_function_includes_blocks():
+    func = Function("f", I32)
+    block = func.new_block("entry")
+    block.append(ins.Ret(value=Const(0, I32)))
+    text = format_function(func)
+    assert "@f" in text and "entry" in text and "ret" in text
+
+
+def test_symbolref_addend_display():
+    assert "+8" in str(SymbolRef("g", addend=8))
+    assert str(SymbolRef("g")) == "@g"

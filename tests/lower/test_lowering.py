@@ -1,0 +1,118 @@
+"""Lowering tests: AST-to-IR structure."""
+
+import pytest
+
+from repro.frontend.typecheck import parse_and_check
+from repro.ir.verifier import verify_module
+from repro.lower.lowering import LoweringError, lower
+
+
+def lowered(source):
+    module = lower(parse_and_check(source))
+    verify_module(module)
+    return module
+
+
+def ops(module, name):
+    return [i.opcode for i in module.functions[name].instructions()]
+
+
+def test_member_access_gep_carries_field_extent():
+    module = lowered(
+        "struct s { char pad[12]; int v; }; int f(struct s *p) { return p->v; }")
+    geps = [i for i in module.functions["f"].instructions() if i.opcode == "gep"]
+    field_geps = [g for g in geps if g.field_extent is not None]
+    assert field_geps and field_geps[0].field_extent == 4
+    from repro.ir.values import Const
+    assert any(isinstance(g.offset, Const) and g.offset.value == 12 for g in field_geps)
+
+
+def test_array_index_scales_by_element_size():
+    module = lowered("long f(long *p) { return p[3]; }")
+    muls = [i for i in module.functions["f"].instructions()
+            if i.opcode == "binop" and i.op == "mul"]
+    from repro.ir.values import Const
+    assert any(isinstance(m.b, Const) and m.b.value == 8 for m in muls)
+
+
+def test_pointer_load_flagged():
+    module = lowered("int **g; int f(void) { return **g; }")
+    loads = [i for i in module.functions["f"].instructions() if i.opcode == "load"]
+    assert any(l.is_pointer_value for l in loads)
+    assert any(not l.is_pointer_value for l in loads)
+
+
+def test_string_literal_interned_once():
+    module = lowered(r'''
+    char *a(void) { return "shared"; }
+    char *b(void) { return "shared"; }
+    ''')
+    strings = [g for g in module.globals.values() if g.is_string_literal]
+    assert len(strings) == 1
+    assert strings[0].data == b"shared\x00"
+
+
+def test_global_initializer_bytes():
+    module = lowered("int x = 258; short s = -1;")
+    assert module.globals["x"].data == (258).to_bytes(4, "little")
+    assert module.globals["s"].data == b"\xff\xff"
+
+
+def test_global_pointer_initializer_becomes_reloc():
+    module = lowered("int v; int *p = &v;")
+    assert module.globals["p"].relocs == [(0, "v", 0)]
+
+
+def test_global_array_partial_initializer_zero_fills():
+    module = lowered("int a[4] = {7};")
+    data = module.globals["a"].data
+    assert data[:4] == (7).to_bytes(4, "little")
+    assert data[4:] == bytes(12)
+
+
+def test_struct_assignment_lowers_to_memcopy():
+    module = lowered(r'''
+    struct s { int a; int b; };
+    void f(struct s *x, struct s *y) { *x = *y; }
+    ''')
+    assert "memcopy" in ops(module, "f")
+
+
+def test_short_circuit_produces_branches_not_eval():
+    module = lowered("int f(int a, int b) { return a && b; }")
+    func = module.functions["f"]
+    assert len(func.blocks) >= 4  # rhs / true / false / join blocks
+
+
+def test_static_local_becomes_global():
+    module = lowered("int tick(void) { static int n = 5; n++; return n; }")
+    statics = [name for name in module.globals if name.startswith("tick.")]
+    assert len(statics) == 1
+    assert module.globals[statics[0]].data[:4] == (5).to_bytes(4, "little")
+
+
+def test_param_allocas_marked():
+    module = lowered("int f(int *p) { return *p; }")
+    allocas = [i for i in module.functions["f"].instructions() if i.opcode == "alloca"]
+    assert allocas and all(a.is_param for a in allocas)
+
+
+def test_break_outside_loop_rejected():
+    # The typechecker now rejects this before lowering; either layer
+    # refusing is acceptable to callers, so accept both error types.
+    from repro.frontend.errors import FrontendError
+
+    with pytest.raises((FrontendError, LoweringError)):
+        lowered("int f(void) { break; return 0; }")
+
+
+def test_case_label_must_be_constant():
+    with pytest.raises(LoweringError):
+        lowered("int f(int x) { switch (x) { case x: return 1; } return 0; }")
+
+
+def test_conditional_expression_single_result_register():
+    module = lowered("int f(int c) { return c ? 10 : 20; }")
+    movs = [i for i in module.functions["f"].instructions() if i.opcode == "mov"]
+    dsts = {m.dst.uid for m in movs if m.dst.hint == "cond"}
+    assert len(dsts) == 1  # both arms write the same register

@@ -1,0 +1,133 @@
+"""Property tests for every metadata facility against a reference model.
+
+All four facilities (hash table, shadow space, MSCC linked shadow,
+inline fat pointer) implement the same mapping — pointer-slot address →
+(base, bound) — and must agree with a plain dictionary under any
+interleaving of stores, loads and range-clears.  The hash table must
+additionally behave identically at any table size (collisions change
+cost, never results).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fatptr import InlineFatPointerMetadata
+from repro.baselines.mscc import MsccMetadata
+from repro.softbound.metadata import HashTableMetadata, ShadowSpaceMetadata
+from repro.vm.costs import CostStats
+
+FACTORIES = {
+    "hash": lambda: HashTableMetadata(),
+    "tiny_hash": lambda: HashTableMetadata(log2_buckets=3),
+    "shadow": ShadowSpaceMetadata,
+    "mscc": MsccMetadata,
+    "fatptr": lambda: InlineFatPointerMetadata(tagged=False),
+}
+
+# Word-aligned slot addresses within a modest range so collisions and
+# overlapping clears actually happen.
+addresses = st.integers(min_value=0, max_value=255).map(lambda i: 0x1000 + i * 8)
+bounds_values = st.tuples(st.integers(min_value=1, max_value=1 << 48),
+                          st.integers(min_value=1, max_value=1 << 48))
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), addresses, bounds_values),
+        st.tuples(st.just("load"), addresses),
+        st.tuples(st.just("clear"), addresses,
+                  st.integers(min_value=1, max_value=128)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def apply_ops(facility, ops):
+    """Run ops against the facility and a dict model simultaneously;
+    returns the list of (facility_result, model_result) pairs."""
+    stats = CostStats()
+    model = {}
+    observed = []
+    for op in ops:
+        if op[0] == "store":
+            _, addr, (base, span) = op
+            facility.store(addr, base, base + span, stats)
+            model[addr >> 3] = (base, base + span)
+        elif op[0] == "load":
+            _, addr = op
+            observed.append((facility.load(addr, stats),
+                             model.get(addr >> 3, (0, 0))))
+        else:
+            _, addr, size = op
+            facility.clear_range(addr, size, stats)
+            for key in range(addr >> 3, (addr + size + 7) >> 3):
+                model.pop(key, None)
+    return observed, model, stats
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestFacilityAgainstModel:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_property_agrees_with_dict_model(self, name, ops):
+        facility = FACTORIES[name]()
+        observed, model, _ = apply_ops(facility, ops)
+        for got, expected in observed:
+            assert got == expected
+        assert facility.entry_count() == len(model)
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_property_metadata_bytes_track_peak(self, name, ops):
+        facility = FACTORIES[name]()
+        apply_ops(facility, ops)
+        assert facility.metadata_bytes() >= (facility.entry_count()
+                                             * facility.ENTRY_BYTES) - \
+            facility.ENTRY_BYTES  # peak >= live (up to rounding slack)
+        assert facility.metadata_bytes() % facility.ENTRY_BYTES == 0
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_property_cost_is_charged(self, name, ops):
+        facility = FACTORIES[name]()
+        _, _, stats = apply_ops(facility, ops)
+        assert stats.cost > 0
+
+
+class TestHashTableSpecifics:
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_property_results_independent_of_table_size(self, ops):
+        big = HashTableMetadata(log2_buckets=16)
+        tiny = HashTableMetadata(log2_buckets=2)  # everything collides
+        big_obs, _, big_stats = apply_ops(big, ops)
+        tiny_obs, _, tiny_stats = apply_ops(tiny, ops)
+        assert big_obs == tiny_obs
+        # Collisions cost more (or equal), never less.
+        assert tiny_stats.cost >= big_stats.cost
+
+    def test_unaligned_addresses_share_their_slot(self):
+        stats = CostStats()
+        facility = HashTableMetadata()
+        facility.store(0x1000, 7, 77, stats)
+        assert facility.load(0x1003, stats) == (7, 77)  # same 8-byte slot
+
+
+class TestWildTagInteraction:
+    @given(ops=operations,
+           clobbers=st.lists(addresses, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_property_clobbered_slots_read_null_everything_else_intact(
+            self, ops, clobbers):
+        facility = InlineFatPointerMetadata(tagged=True)
+        stats = CostStats()
+        _, model, _ = apply_ops(facility, ops)
+        for addr in clobbers:
+            facility.on_program_store(addr, 8, stats)
+        clobbered_keys = {addr >> 3 for addr in clobbers}
+        for key, expected in model.items():
+            got = facility.load(key << 3, stats)
+            if key in clobbered_keys:
+                assert got == (0, 0)
+            else:
+                assert got == expected

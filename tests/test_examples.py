@@ -1,0 +1,35 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example asserts its own claims internally (detection happened,
+exit codes match, no false positives), so importing and running them is
+a real end-to-end check of the public API surface they use.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = load_example(path)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} should narrate what it demonstrates"
+
+
+def test_all_examples_are_covered():
+    assert len(EXAMPLE_FILES) >= 7

@@ -1,0 +1,130 @@
+"""Simulated memory unit tests."""
+
+import pytest
+
+from repro.vm.errors import Trap, TrapKind
+from repro.vm.memory import HEAP_BASE, Memory
+
+
+@pytest.fixture
+def mem():
+    return Memory(heap_size=1 << 20, stack_size=1 << 16)
+
+
+def test_heap_roundtrip_bytes(mem):
+    addr = mem.malloc(64)
+    mem.write(addr, b"hello")
+    assert mem.read(addr, 5) == b"hello"
+
+
+def test_int_codec_signed(mem):
+    addr = mem.malloc(16)
+    mem.write_int(addr, -5, 4)
+    assert mem.read_int(addr, 4, signed=True) == -5
+    assert mem.read_int(addr, 4, signed=False) == (1 << 32) - 5
+
+
+def test_int_codec_widths(mem):
+    addr = mem.malloc(16)
+    for width, value in [(1, -128), (2, 32767), (4, -(1 << 31)), (8, 1 << 62)]:
+        mem.write_int(addr, value, width)
+        assert mem.read_int(addr, width, signed=True) == value
+
+
+def test_little_endian_layout(mem):
+    addr = mem.malloc(8)
+    mem.write_int(addr, 0x0102030405060708, 8)
+    assert mem.read(addr, 1) == b"\x08"
+
+
+def test_f64_codec(mem):
+    addr = mem.malloc(8)
+    mem.write_f64(addr, 3.25)
+    assert mem.read_f64(addr) == 3.25
+
+
+def test_null_dereference_segfaults(mem):
+    with pytest.raises(Trap) as exc:
+        mem.read(0, 4)
+    assert exc.value.kind is TrapKind.SEGFAULT
+
+
+def test_unmapped_address_segfaults(mem):
+    with pytest.raises(Trap):
+        mem.write(0xDEAD_BEEF_0000, b"x")
+
+
+def test_read_straddling_segment_end_traps(mem):
+    end = mem.heap.end
+    with pytest.raises(Trap):
+        mem.read(end - 2, 4)
+
+
+def test_malloc_alignment(mem):
+    for _ in range(5):
+        assert mem.malloc(13) % 16 == 0
+
+
+def test_malloc_zero_returns_null(mem):
+    assert mem.malloc(0) == 0
+
+
+def test_adjacent_allocations_allow_silent_overflow(mem):
+    """The property the whole evaluation rests on: an overflow out of one
+    heap block lands in mapped memory (the next block's header/payload)
+    and does NOT trap — plain hardware doesn't catch spatial bugs."""
+    a = mem.malloc(16)
+    b = mem.malloc(16)
+    mem.write(a, b"A" * 48)  # spills well past a's 16 bytes
+    assert mem.read(a, 1) == b"A"  # no trap occurred
+
+
+def test_free_and_reuse(mem):
+    a = mem.malloc(100)
+    mem.free(a)
+    b = mem.malloc(100)
+    assert b == a  # first-fit reuses the freed block
+
+
+def test_free_null_is_noop(mem):
+    mem.free(0)
+
+
+def test_free_coalescing(mem):
+    blocks = [mem.malloc(1000) for _ in range(3)]
+    for block in blocks:
+        mem.free(block)
+    # After coalescing, a larger-than-any-single-block request fits.
+    big = mem.malloc(2800)
+    assert big is not None and big != 0
+
+
+def test_out_of_memory_returns_none(mem):
+    assert mem.malloc(1 << 30) is None
+
+
+def test_allocation_size_tracking(mem):
+    addr = mem.malloc(37)
+    assert mem.allocation_size(addr) == 37
+    mem.free(addr)
+    assert mem.allocation_size(addr) is None
+
+
+def test_peak_heap_accounting(mem):
+    a = mem.malloc(1024)
+    peak_after_first = mem.peak_heap
+    mem.free(a)
+    mem.malloc(16)
+    assert mem.peak_heap == peak_after_first  # peak is sticky
+
+
+def test_read_cstring(mem):
+    addr = mem.malloc(16)
+    mem.write(addr, b"abc\x00def")
+    assert mem.read_cstring(addr) == b"abc"
+
+
+def test_stack_segment_mapped(mem):
+    top = mem.stack.end - 8
+    mem.write_ptr(top, 0x1234)
+    assert mem.read_ptr(top) == 0x1234

@@ -1,0 +1,120 @@
+"""Property tests for the simulated heap allocator.
+
+The allocator under the VM is a real first-fit free-list allocator with
+header blocks and coalescing; these invariants are what the detection
+experiments implicitly rely on (e.g. that one heap object's overflow
+lands in a *neighbouring* object, not in allocator-invented padding a
+real malloc wouldn't have).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.memory import Memory
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=512)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=40)),
+    ),
+    min_size=1, max_size=80,
+)
+
+
+def drive(memory, ops):
+    """Apply a malloc/free script; 'free i' frees the i-th live block
+    (modulo count).  Returns the live {addr: size} map."""
+    live = {}
+    order = []
+    for op in ops:
+        if op[0] == "malloc":
+            addr = memory.malloc(op[1])
+            if addr:  # skip OOM and zero-size NULLs
+                live[addr] = op[1]
+                order.append(addr)
+        elif order:
+            addr = order.pop(op[1] % len(order))
+            memory.free(addr)
+            del live[addr]
+    return live
+
+
+class TestAllocatorProperties:
+    @given(ops=actions)
+    @settings(max_examples=80, deadline=None)
+    def test_property_live_blocks_never_overlap(self, ops):
+        memory = Memory(heap_size=1 << 16)
+        live = drive(memory, ops)
+        spans = sorted((addr, addr + size) for addr, size in live.items())
+        for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+            assert prev_end <= next_start
+
+    @given(ops=actions)
+    @settings(max_examples=80, deadline=None)
+    def test_property_payloads_stay_in_heap_segment(self, ops):
+        memory = Memory(heap_size=1 << 16)
+        live = drive(memory, ops)
+        for addr, size in live.items():
+            assert memory.heap.contains(addr, size)
+
+    @given(ops=actions)
+    @settings(max_examples=60, deadline=None)
+    def test_property_allocation_registry_matches(self, ops):
+        memory = Memory(heap_size=1 << 16)
+        live = drive(memory, ops)
+        assert set(memory.allocations) == set(live)
+        for addr, size in live.items():
+            assert memory.allocation_size(addr) == size
+
+    @given(ops=actions)
+    @settings(max_examples=60, deadline=None)
+    def test_property_free_list_sorted_disjoint_coalesced(self, ops):
+        memory = Memory(heap_size=1 << 16)
+        drive(memory, ops)
+        entries = memory._free_list
+        for (off_a, size_a), (off_b, _) in zip(entries, entries[1:]):
+            assert off_a + size_a < off_b  # sorted, disjoint, no adjacency
+
+    @given(ops=actions)
+    @settings(max_examples=60, deadline=None)
+    def test_property_free_everything_restores_one_extent(self, ops):
+        memory = Memory(heap_size=1 << 16)
+        live = drive(memory, ops)
+        for addr in list(live):
+            memory.free(addr)
+        assert memory._free_list == [(0, 1 << 16)]
+        assert memory.bytes_in_use == 0
+
+    @given(ops=actions)
+    @settings(max_examples=40, deadline=None)
+    def test_property_data_survives_neighbour_churn(self, ops):
+        """Writing a block then allocating/freeing around it never
+        disturbs its bytes (headers and free-list bookkeeping stay out
+        of live payloads)."""
+        memory = Memory(heap_size=1 << 16)
+        keeper = memory.malloc(64)
+        pattern = bytes(range(64))
+        memory.write(keeper, pattern)
+        drive(memory, ops)
+        assert memory.read(keeper, 64) == pattern
+
+    def test_exhaustion_returns_none_and_recovers(self):
+        memory = Memory(heap_size=4096)
+        first = memory.malloc(2048)
+        assert first is not None
+        assert memory.malloc(4096) is None  # cannot fit with headers
+        memory.free(first)
+        assert memory.malloc(2048) is not None
+
+    def test_zero_and_negative_sizes_return_null(self):
+        memory = Memory(heap_size=4096)
+        assert memory.malloc(0) == 0
+        assert memory.malloc(-8) == 0
+
+    def test_double_free_is_ignored(self):
+        memory = Memory(heap_size=4096)
+        addr = memory.malloc(32)
+        memory.free(addr)
+        before = list(memory._free_list)
+        memory.free(addr)  # second free: no-op, no corruption
+        assert memory._free_list == before
