@@ -1,0 +1,23 @@
+# Developer entry points.  PYTHONPATH is injected so no install step is
+# needed; see PERFORMANCE.md for the engine architecture and the two
+# time axes the benchmarks measure.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-quick ci tables
+
+test:            ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## full wall-clock benchmark; records BENCH_interp.json
+	$(PYTHON) benchmarks/bench_wallclock.py
+
+bench-quick:     ## quick wall-clock subset (no recording)
+	$(PYTHON) benchmarks/bench_wallclock.py --quick
+
+ci:              ## tier-1 tests + perf regression gate (>20% fails)
+	$(PYTHON) scripts/ci.py
+
+tables:          ## regenerate the paper's tables and figures
+	$(PYTHON) -m repro tables

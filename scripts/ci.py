@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Lightweight CI gate: tier-1 tests + wall-clock perf regression check.
+
+1. Runs the tier-1 test suite (``pytest -x -q``).
+2. Runs the quick wall-clock benchmark subset under both engines and
+   compares the geometric-mean compiled-vs-interpreter speedup against
+   the recorded baseline in ``BENCH_interp.json``.  Fails when the
+   current speedup regresses by more than ``TOLERANCE`` (20%).
+
+The speedup *ratio* — not absolute seconds — is compared, so the gate is
+stable across machines of different absolute speed.
+
+Usage:  python scripts/ci.py [--skip-tests]
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_interp.json"
+TOLERANCE = 0.20  # fail on >20% wall-clock regression
+
+
+def run_tier1():
+    print("== tier-1 tests ==", flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + (":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""))
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"], cwd=REPO_ROOT, env=env)
+    return proc.returncode
+
+
+def run_perf_gate():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import math
+
+    from repro.harness.wallclock import (
+        QUICK_WORKLOADS,
+        load_report,
+        render_report,
+        run_benchmarks,
+    )
+
+    print("\n== wall-clock perf gate (quick subset) ==", flush=True)
+    report = run_benchmarks(quick=True, repeats=2)
+    print(render_report(report))
+    current = report["geomean_speedup"]
+    if not BENCH_JSON.exists():
+        print(f"\nno recorded baseline at {BENCH_JSON}; "
+              f"run `make bench` to create one. Current speedup: {current:.2f}x")
+        return 0
+    # Compare like against like: the recorded full-corpus report carries
+    # per-workload speedups, so rebuild the *quick-subset* geomean from
+    # it rather than gating the 4-workload measurement against the
+    # 15-workload mean.
+    recorded_report = load_report(BENCH_JSON)
+    recorded_speedups = [
+        recorded_report["workloads"][name]["speedup"]
+        for name in QUICK_WORKLOADS
+        if name in recorded_report.get("workloads", {})
+    ]
+    if recorded_speedups:
+        recorded = math.exp(
+            sum(map(math.log, recorded_speedups)) / len(recorded_speedups))
+        basis = f"quick subset of {BENCH_JSON.name}"
+    else:
+        recorded = recorded_report["geomean_speedup"]
+        basis = f"full-corpus geomean of {BENCH_JSON.name} (no quick overlap)"
+    floor = recorded * (1.0 - TOLERANCE)
+    print(f"\nrecorded ({basis}): {recorded:.2f}x   current: {current:.2f}x   "
+          f"floor (-{TOLERANCE:.0%}): {floor:.2f}x")
+    if current < floor:
+        print("PERF REGRESSION: compiled-engine speedup fell below the floor")
+        return 1
+    print("perf gate ok")
+    return 0
+
+
+def main(argv):
+    if "--skip-tests" not in argv:
+        code = run_tier1()
+        if code != 0:
+            return code
+    return run_perf_gate()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,6 +11,9 @@ tables [NAME]
     Regenerate the paper's tables/figures (all of them, or one by name).
 workloads
     List the built-in benchmark analogues.
+bench
+    Time the workload corpus under both VM engines (reference
+    interpreter vs closure-compiled) and print/record the speedups.
 
 Exit status: the program's own exit code for clean runs; 70 when a
 checker stopped the program; 71 for a VM-level trap (segfault etc.);
@@ -58,12 +61,18 @@ def build_parser():
                             help="print cost-model statistics after the run")
     run_parser.add_argument("--stdin-file", metavar="PATH",
                             help="file whose contents become the program's stdin")
+    run_parser.add_argument("--engine", choices=("compiled", "interp"),
+                            default=None,
+                            help="VM dispatch engine: closure-compiled "
+                                 "(default) or the reference interpreter")
 
     check_parser = sub.add_parser(
         "check", help="run a file under full SoftBound checking")
     check_parser.add_argument("file", nargs="+")
     check_parser.add_argument("--stats", action="store_true")
     check_parser.add_argument("--stdin-file", metavar="PATH")
+    check_parser.add_argument("--engine", choices=("compiled", "interp"),
+                              default=None)
 
     tables_parser = sub.add_parser(
         "tables", help="regenerate the paper's tables and figures")
@@ -71,6 +80,16 @@ def build_parser():
                                help="one artifact (default: all)")
 
     sub.add_parser("workloads", help="list the built-in workloads")
+
+    bench_parser = sub.add_parser(
+        "bench", help="wall-clock benchmark: interpreter vs compiled engine")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="time only the quick subset")
+    bench_parser.add_argument("--repeats", type=int, default=2,
+                              help="timed repetitions per engine (best-of)")
+    bench_parser.add_argument("--output", metavar="PATH", default=None,
+                              help="also record the JSON report at PATH "
+                                   "(e.g. BENCH_interp.json)")
     return parser
 
 
@@ -111,7 +130,8 @@ def _execute(sources, config, args, stdout, stderr):
     try:
         compiled = compile_and_link(sources, softbound=config,
                                     optimize=optimize)
-        result = compiled.run(input_data=input_data)
+        result = compiled.run(input_data=input_data,
+                              engine=getattr(args, "engine", None))
     except FrontendError as error:
         print(f"compile error: {error}", file=stderr)
         return EX_COMPILE
@@ -168,6 +188,17 @@ def _render_tables(name, stdout):
     return 0
 
 
+def _run_bench(args, stdout):
+    from .harness.wallclock import render_report, run_benchmarks, write_report
+
+    report = run_benchmarks(quick=args.quick, repeats=max(args.repeats, 1))
+    stdout.write(render_report(report) + "\n")
+    if args.output:
+        write_report(report, args.output)
+        stdout.write(f"recorded {args.output}\n")
+    return 0
+
+
 def _list_workloads(stdout):
     from .workloads.programs import WORKLOADS
 
@@ -191,6 +222,8 @@ def main(argv=None, stdout=None, stderr=None):
         return _list_workloads(stdout)
     if args.command == "tables":
         return _render_tables(args.name, stdout)
+    if args.command == "bench":
+        return _run_bench(args, stdout)
 
     sources = []
     for path in args.file:

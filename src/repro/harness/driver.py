@@ -29,10 +29,16 @@ class CompiledProgram:
         return self.softbound_config is not None
 
     def instantiate(self, input_data=b"", heap_size=None, stack_size=None,
-                    max_instructions=200_000_000, observers=()):
-        """Create a fresh machine (fresh memory) for one run."""
+                    max_instructions=200_000_000, observers=(), engine=None):
+        """Create a fresh machine (fresh memory) for one run.
+
+        ``engine`` selects the dispatch strategy — ``"compiled"``
+        (closure-compiled, the default) or ``"interp"`` (the reference
+        interpreter); see :class:`repro.vm.machine.Machine`.
+        """
         machine = Machine(self.module, heap_size=heap_size, stack_size=stack_size,
-                          input_data=input_data, max_instructions=max_instructions)
+                          input_data=input_data, max_instructions=max_instructions,
+                          engine=engine)
         if self.softbound_config is not None:
             from ..softbound.runtime import SoftBoundRuntime
 

@@ -10,6 +10,12 @@ from .values import Register
 class BasicBlock:
     label: str
     instructions: list = field(default_factory=list)
+    #: Compiled-code cache stamp.  The closure-compiling engine
+    #: (:mod:`repro.vm.engine`) caches a per-block template keyed by this
+    #: value; every pass that rewrites ``instructions`` must bump it (the
+    #: optimizer pipeline and the SoftBound transform call
+    #: :func:`invalidate_compiled`).
+    version: int = 0
 
     @property
     def terminator(self):
@@ -19,6 +25,9 @@ class BasicBlock:
 
     def append(self, instruction):
         self.instructions.append(instruction)
+
+    def invalidate_compiled(self):
+        self.version += 1
 
 
 @dataclass
@@ -100,6 +109,18 @@ class GlobalVar:
     @property
     def size(self):
         return len(self.data)
+
+
+def invalidate_compiled(module):
+    """Bump every block's compiled-code stamp after a pass pipeline has
+    rewritten instruction lists.  This invalidates the machine-
+    independent templates cached on functions (consulted when an engine
+    compiles a function); an engine that already specialized a function
+    must additionally call its own ``invalidate()`` — in practice all IR
+    rewriting happens before any machine executes."""
+    for func in module.functions.values():
+        for block in func.blocks:
+            block.invalidate_compiled()
 
 
 class Module:

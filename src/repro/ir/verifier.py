@@ -2,8 +2,20 @@
 
 Run after lowering, after each optimization pass and after the SoftBound
 transform (in tests) to catch malformed IR early: missing terminators,
-branches to unknown labels, type mismatches on moves/stores, operands
-that are never defined, and terminators in the middle of a block.
+branches to unknown labels, type mismatches on moves/stores, registers
+read before any definition reaches them, and terminators in the middle
+of a block.
+
+The use-before-definition check is a forward *must-define* dataflow
+analysis over the CFG: a register read is legal only when every path
+from the entry to that read passes a definition first.  The
+closure-compiling engine (:mod:`repro.vm.engine`) relies on this
+invariant — it lets compiled closures read ``frame.regs`` slots
+directly instead of defaulting each access — and
+:func:`repro.opt.mem2reg` consumes :func:`definite_assignment_errors`
+to zero-initialize any promoted slot whose source variable was read
+before its first store (the interpreter's historical read-as-0
+behaviour, now made explicit in the IR).
 """
 
 from . import instructions as ins
@@ -25,7 +37,113 @@ def _operands(instr):
     for arg in getattr(instr, "args", []) or []:
         if isinstance(arg, (Register, Const, SymbolRef)):
             reads.append(arg)
+    # SoftBound return metadata: ret reads its (base, bound) companions.
+    meta = getattr(instr, "sb_meta", None)
+    if meta is not None:
+        for val in meta:
+            if isinstance(val, (Register, Const, SymbolRef)):
+                reads.append(val)
     return reads
+
+
+def _defined_uids(instr):
+    """All register uids an instruction writes."""
+    uids = []
+    dst = getattr(instr, "dst", None)
+    if dst is not None:
+        uids.append(dst.uid)
+    for attr in ("dst_base", "dst_bound"):
+        reg = getattr(instr, attr, None)
+        if reg is not None:
+            uids.append(reg.uid)
+    meta = getattr(instr, "sb_dst_meta", None)
+    if meta is not None:
+        uids.append(meta[0].uid)
+        uids.append(meta[1].uid)
+    return uids
+
+
+def _successor_labels(block):
+    term = block.instructions[-1] if block.instructions else None
+    if term is None:
+        return []
+    if term.opcode == "br":
+        return [term.label]
+    if term.opcode == "cbr":
+        return [term.true_label, term.false_label]
+    return []
+
+
+def definite_assignment_errors(func):
+    """Use-before-definition reads, as ``(block_label, instr, register)``
+    triples — a register read not dominated by a definition on *every*
+    path from the entry.  Unreachable blocks are skipped (their reads
+    never execute).  Empty result means the compiled engine may treat
+    every register read as a live ``frame.regs`` slot."""
+    params = {p.register.uid for p in func.params}
+    params.update(p.register.uid for p in getattr(func, "sb_extra_params", []))
+    if not func.blocks:
+        return []
+    labels = {b.label: b for b in func.blocks}
+    entry = func.blocks[0].label
+    succs = {}
+    preds = {label: [] for label in labels}
+    gen = {}
+    for block in func.blocks:
+        block_succs = [s for s in _successor_labels(block) if s in labels]
+        succs[block.label] = block_succs
+        for succ in block_succs:
+            preds[succ].append(block.label)
+        defined = set()
+        for instr in block.instructions:
+            defined.update(_defined_uids(instr))
+        gen[block.label] = defined
+    # Reachability from the entry.
+    reachable = set()
+    stack = [entry]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(succs[label])
+    # Forward must-define fixpoint: IN[b] = ∩ OUT[p] over computed
+    # predecessors (uncomputed predecessors are top and drop out of the
+    # intersection); OUT[b] = IN[b] ∪ gen[b].  Sets only shrink, so the
+    # iteration terminates.
+    in_sets = {entry: set(params)}
+    out_sets = {}
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            label = block.label
+            if label not in reachable:
+                continue
+            if label == entry:
+                in_set = set(params)
+            else:
+                pred_outs = [out_sets[p] for p in preds[label] if p in out_sets]
+                if not pred_outs:
+                    continue
+                in_set = set.intersection(*pred_outs)
+            out_set = in_set | gen[label]
+            if out_sets.get(label) != out_set:
+                out_sets[label] = out_set
+                changed = True
+            in_sets[label] = in_set
+    errors = []
+    for block in func.blocks:
+        label = block.label
+        if label not in reachable or label not in in_sets:
+            continue
+        current = set(in_sets[label])
+        for instr in block.instructions:
+            for val in _operands(instr):
+                if isinstance(val, Register) and val.uid not in current:
+                    errors.append((label, instr, val))
+            current.update(_defined_uids(instr))
+    return errors
 
 
 def verify_function(func, module=None, allow_unresolved=False):
@@ -89,6 +207,14 @@ def verify_function(func, module=None, allow_unresolved=False):
                 raise VerifierError(f"{func.name}: bad cast kind {instr.kind}")
             if instr.opcode == "call" and instr.callee is None and instr.callee_reg is None:
                 raise VerifierError(f"{func.name}: call with no target")
+
+    # Reject use-before-definition: every read must be preceded by a
+    # definition on all paths from the entry (the closure-compiled
+    # engine relies on register slots existing when read).
+    for label, instr, val in definite_assignment_errors(func):
+        raise VerifierError(
+            f"{func.name}/{label}: use of {val} before definition in {instr.opcode}"
+        )
     return True
 
 

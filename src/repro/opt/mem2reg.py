@@ -16,7 +16,8 @@ stores become moves to it.  This is sound for arbitrary control flow.
 
 from ..ir import instructions as ins
 from ..ir.irtypes import from_ctype
-from ..ir.values import Register
+from ..ir.values import Const, Register
+from ..ir.verifier import definite_assignment_errors
 
 
 def _alloca_uses(func):
@@ -80,5 +81,23 @@ def run(func, module=None):
                 continue
             new_instrs.append(instr)
         block.instructions = new_instrs
+    # A variable read before its first store used to read stack bytes;
+    # promoted, the read would hit a missing register slot (which the
+    # strict verifier rejects).  Make the interpreter's historical
+    # read-as-0 default explicit: zero-initialize exactly the promoted
+    # registers the definite-assignment analysis flags.
+    promoted_uids = {reg.uid: reg for reg in targets.values()}
+    undefined = []
+    seen = set()
+    for _label, _instr, val in definite_assignment_errors(func):
+        reg = promoted_uids.get(val.uid)
+        if reg is not None and val.uid not in seen:
+            seen.add(val.uid)
+            undefined.append(reg)
+    if undefined:
+        entry = func.blocks[0]
+        entry.instructions[0:0] = [
+            ins.Mov(dst=reg, src=Const(0, reg.type)) for reg in undefined
+        ]
     func._frame_layout = None  # invalidate cached layout
     return len(targets)

@@ -8,6 +8,7 @@ mechanical transformation are cleaned up).
 
 from dataclasses import dataclass, field
 
+from ..ir.module import invalidate_compiled
 from ..ir.verifier import verify_module
 from . import checkelim, constfold, copyprop, cse, dce, mem2reg
 
@@ -32,6 +33,7 @@ def optimize_module(module, verify=True):
         stats.propagated_copies += copyprop.run(func, module)
         stats.cse_replaced += cse.run(func, module)
         stats.removed_dead += dce.run(func, module)
+    invalidate_compiled(module)
     if verify:
         verify_module(module)
     return stats
@@ -48,6 +50,7 @@ def optimize_after_instrumentation(module, verify=True):
         stats.removed_checks += checkelim.run(func, module)
         stats.folded += constfold.run(func, module)
         stats.removed_dead += dce.run(func, module)
+    invalidate_compiled(module)
     if verify:
         verify_module(module)
     return stats

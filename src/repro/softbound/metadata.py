@@ -148,15 +148,27 @@ class HashTableMetadata(MetadataFacility):
 class ShadowSpaceMetadata(MetadataFacility):
     """Tag-less shadow space (paper Section 5.1): a reserved region large
     enough that every pointer slot has its own metadata slot, so no tags
-    and no collision handling.  Modeled sparsely; the OS's demand paging
-    of the mmap'd region is what makes this affordable in the paper."""
+    and no collision handling.
+
+    Modeled as demand-allocated *pages* of flat entry arrays — exactly
+    the structure the OS's demand paging gives the real mmap'd shadow
+    space.  Compared to one dict entry per slot, the paged layout keeps
+    the load/store fast path to a page lookup plus an indexed read, and
+    lets ``clear_range`` (frame teardown, ``free``) drop an entire page
+    at once instead of popping slot keys one by one.
+    """
 
     name = "shadow_space"
     ENTRY_BYTES = 16  # base + bound
+    PAGE_SHIFT = 12   # 4096 pointer slots (32 KiB of shadow) per page
+    PAGE_SLOTS = 1 << PAGE_SHIFT
+    PAGE_MASK = PAGE_SLOTS - 1
 
     def __init__(self):
         super().__init__()
-        self.table = {}  # word index -> (base, bound)
+        self.pages = {}  # page index -> [entry or None] * PAGE_SLOTS
+        self._page_live = {}  # page index -> live entries (O(1) teardown)
+        self.live = 0
         self.peak_live = 0
 
     def _trace_entry(self, key):
@@ -170,29 +182,66 @@ class ShadowSpaceMetadata(MetadataFacility):
     def load(self, addr, stats):
         stats.charge("sb.meta.shadow.load")
         key = addr >> _WORD_SHIFT
-        self._trace_entry(key)
-        return self.table.get(key, (0, 0))
+        if self._trace is not None:
+            self._trace_entry(key)
+        page = self.pages.get(key >> self.PAGE_SHIFT)
+        if page is None:
+            return (0, 0)
+        entry = page[key & self.PAGE_MASK]
+        return entry if entry is not None else (0, 0)
 
     def store(self, addr, base, bound, stats):
         stats.charge("sb.meta.shadow.store")
         key = addr >> _WORD_SHIFT
-        self._trace_entry(key)
-        self.table[key] = (base, bound)
-        if len(self.table) > self.peak_live:
-            self.peak_live = len(self.table)
+        if self._trace is not None:
+            self._trace_entry(key)
+        pages = self.pages
+        page_index = key >> self.PAGE_SHIFT
+        page = pages.get(page_index)
+        if page is None:
+            page = pages[page_index] = [None] * self.PAGE_SLOTS
+            self._page_live[page_index] = 0
+        slot = key & self.PAGE_MASK
+        if page[slot] is None:
+            self.live += 1
+            self._page_live[page_index] += 1
+            if self.live > self.peak_live:
+                self.peak_live = self.live
+        page[slot] = (base, bound)
 
     def clear_range(self, addr, size, stats):
         start = addr >> _WORD_SHIFT
         end = (addr + size + 7) >> _WORD_SHIFT
-        for key in range(start, end):
-            self.table.pop(key, None)
+        pages = self.pages
+        key = start
+        while key < end:
+            page_index = key >> self.PAGE_SHIFT
+            page_start = page_index << self.PAGE_SHIFT
+            page_end = page_start + self.PAGE_SLOTS
+            chunk_end = min(end, page_end)
+            page = pages.get(page_index)
+            if page is not None:
+                if key == page_start and chunk_end == page_end:
+                    # Whole page covered: unmap it in one go.
+                    self.live -= self._page_live.pop(page_index)
+                    del pages[page_index]
+                else:
+                    cleared = 0
+                    for slot in range(key & self.PAGE_MASK,
+                                      ((chunk_end - 1) & self.PAGE_MASK) + 1):
+                        if page[slot] is not None:
+                            page[slot] = None
+                            cleared += 1
+                    self.live -= cleared
+                    self._page_live[page_index] -= cleared
+            key = chunk_end
         stats.charge_units(max(end - start, 1))
 
     def metadata_bytes(self):
         return self.peak_live * self.ENTRY_BYTES
 
     def entry_count(self):
-        return len(self.table)
+        return self.live
 
 
 def make_facility(scheme):

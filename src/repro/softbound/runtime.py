@@ -39,6 +39,11 @@ class SoftBoundRuntime:
     def attach(self, machine):
         machine.sb_runtime = self
         self.machine = machine
+        if getattr(machine, "_engine", None) is not None:
+            # Compiled closures specialize away absent-runtime branches;
+            # re-translate if the machine already executed (mirrors
+            # Machine.attach_observer).
+            machine._engine.invalidate()
         return self
 
     # -- global initialization ------------------------------------------------

@@ -68,6 +68,9 @@ class SoftBoundTransform:
             )
             module.sb_aliases[name] = new_name
         module.functions = {f.name: f for f in original.values()}
+        from ..ir.module import invalidate_compiled
+
+        invalidate_compiled(module)  # blocks were rewritten in place
         return module
 
 

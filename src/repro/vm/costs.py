@@ -128,9 +128,13 @@ LIBC_COSTS = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class CostStats:
-    """Per-run dynamic statistics."""
+    """Per-run dynamic statistics.
+
+    ``slots=True`` matters: the compiled engine bumps these counters on
+    every executed instruction, and slot access skips the instance-dict
+    lookup."""
 
     cost: int = 0
     instructions: int = 0

@@ -1,0 +1,2170 @@
+"""Closure-compiled execution engine (threaded code).
+
+The reference interpreter in :mod:`repro.vm.machine` pays, on every
+executed instruction: a dict dispatch, an unbound-method call, one
+``isinstance`` chain per operand, a string-keyed ``stats.charge`` and —
+for memory operations — a segment scan plus ``int.from_bytes``.  None of
+that work depends on runtime values, so this module hoists all of it to
+a one-time per-block compilation pass, the classic closure-compilation /
+threaded-code technique from the interpreter-optimization literature:
+
+* every instruction becomes one specialized Python closure with its
+  operands pre-resolved (register uid / constant / resolved symbol
+  address), its cost units precomputed into numeric increments, its
+  branch targets pre-bound to block objects, and its observer /
+  SoftBound branches specialized away when the machine has none;
+* dominant instruction pairs are fused into superinstructions
+  (``cmp``+``cbr``, ``gep``+``load``/``store``,
+  ``sb_meta_load``+``sb_check``) that skip one dispatch and one
+  register-file round-trip while charging exactly the same statistics;
+* the dispatch loop is ``i = ops[i](frame, regs)``: each closure returns
+  the next opcode index (a compile-time constant for straight-line
+  code), so there is no per-step opcode lookup at all.
+
+Compilation is two-level so its cost amortizes across runs:
+
+* a **machine-independent template** — the list of closure *builders*,
+  including the fusion plan and all constants derivable from the IR —
+  is cached on each :class:`~repro.ir.module.BasicBlock` and
+  invalidated via the block's ``version`` stamp whenever the optimizer
+  pipeline or the SoftBound transform rewrites the block;
+* the per-:class:`~repro.vm.machine.Machine` specialization (binding
+  stats, memory codecs, the metadata facility, resolved symbol
+  addresses, call sites) just invokes the builders, lazily, the first
+  time a block executes.
+
+Semantics are bit-identical to the reference interpreter — execution
+order, trap kinds/addresses/messages and every
+:class:`~repro.vm.costs.CostStats` counter, which
+``tests/vm/test_engine_equivalence.py`` pins over the full workload,
+attack and bug corpora.
+"""
+
+from ..ir.values import Const, Register, SymbolRef
+from .costs import OP_COSTS
+from .errors import Trap, TrapKind
+from .memory import _F64, _SCALAR_CODECS
+from .machine import (
+    RESOURCE_LIMIT_MSG as _RESOURCE_MSG,
+    Frame,
+    Machine,
+    _frame_layout,
+    _operand_type,
+)
+
+_M64 = (1 << 64) - 1
+
+_COST_LOAD = OP_COSTS["load"]
+_COST_STORE = OP_COSTS["store"]
+_COST_CMP = OP_COSTS["cmp"]
+_COST_GEP = OP_COSTS["gep"]
+_COST_CAST = OP_COSTS["cast"]
+_COST_BR = OP_COSTS["br"]
+_COST_CBR = OP_COSTS["cbr"]
+_COST_RET = OP_COSTS["ret"]
+_COST_CALL = OP_COSTS["call"]
+_COST_CALL_ARG = OP_COSTS["call.per_arg"]
+_COST_FNPTR = OP_COSTS["sb.fnptr.check"]
+
+#: The integer ALU semantics are the interpreter's own table — shared,
+#: not copied, so the two engines cannot drift.
+_INT_FNS = Machine._INT_OPS
+
+#: Shared read-only vararg-metadata map for frames of non-variadic
+#: functions pushed by the specialized call path (never mutated: only
+#: ``_push_frame`` writes ``va_metas``, and only for variadic callees).
+_EMPTY_VA_METAS = {}
+
+
+class ClosureEngine:
+    """Per-machine compiled-code cache plus the threaded dispatch loop."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.stats = machine.stats
+        self.memory = machine.memory
+        self.observers = machine.observers
+        self.limit = machine.max_instructions
+        self._code = {}  # id(function) -> flat ops list
+        self._ret_value = None
+        self._returned = False
+
+    def invalidate(self):
+        """Drop machine-level specializations.  This is the ONLY way to
+        re-translate code on a *live* engine (e.g. after attaching an
+        observer): block ``version`` stamps invalidate the on-function
+        template consulted at compile time, but a function already in
+        ``_code`` is never re-checked against them."""
+        self._code.clear()
+
+    # -- operand pre-resolution -------------------------------------------
+
+    def spec(self, operand):
+        """Pre-resolve an operand: ``("reg", uid)``, ``("const", value)``
+        (symbols resolve to constant addresses now), or ``("acc", fn)``
+        for the unresolved-symbol edge that must trap lazily.  Builders
+        use the kind to emit closures with the operand access inlined —
+        no per-step accessor call for registers or constants."""
+        if isinstance(operand, Register):
+            return ("reg", operand.uid)
+        if isinstance(operand, Const):
+            return ("const", operand.value)
+        if isinstance(operand, SymbolRef):
+            addr = self.machine.symbol_addrs.get(operand.name)
+            if addr is None:
+                return ("acc", self.acc(operand))
+            return ("const", addr + operand.addend)
+        raise TypeError(f"bad operand {operand!r}")
+
+    def acc(self, operand):
+        """Compile an operand into a ``fn(regs) -> value`` accessor with
+        the isinstance tests done exactly once, here."""
+        if isinstance(operand, Register):
+            uid = operand.uid
+
+            def get_reg(regs, _uid=uid):
+                return regs.get(_uid, 0)
+
+            return get_reg
+        if isinstance(operand, Const):
+            value = operand.value
+            return lambda regs: value
+        if isinstance(operand, SymbolRef):
+            addr = self.machine.symbol_addrs.get(operand.name)
+            if addr is None:
+                name = operand.name
+
+                def unresolved(regs):
+                    raise Trap(TrapKind.SEGFAULT, f"unresolved symbol {name}")
+
+                return unresolved
+            value = addr + operand.addend
+            return lambda regs: value
+        raise TypeError(f"bad operand {operand!r}")
+
+    # -- compilation --------------------------------------------------------
+
+    def code_for(self, function):
+        """Specialize (or fetch) the compiled closures for ``function``.
+
+        The machine-level cache is validated once here, not per
+        transition: IR rewrites happen before execution starts (the
+        pipeline and transform bump block versions, which invalidates
+        the on-function template), and anything re-specializing a live
+        machine goes through :meth:`invalidate`.
+        """
+        builders, _offsets = _function_template(function)
+        ops = [make(self, function) for make in builders]
+        self._code[id(function)] = ops
+        return ops
+
+    # -- the dispatch loop ---------------------------------------------------
+
+    def execute(self, frame):
+        """Run ``frame`` until its function returns; returns the value.
+        Mirrors ``Machine._execute_interp`` frame-for-frame.
+
+        Under this engine ``frame.index`` holds a *flat* offset into the
+        function's compiled-op list (the concatenation of its blocks);
+        in-function branches return the target offset directly, so only
+        calls, returns and ``longjmp`` touch this outer loop.
+        """
+        machine = self.machine
+        frames = machine.frames
+        depth = len(frames)
+        frame.block = frame.function.entry
+        frame.index = 0
+        code = self._code
+        code_for = self.code_for
+        while True:
+            if self._returned:
+                self._returned = False
+                if len(frames) < depth:
+                    value = self._ret_value
+                    self._ret_value = None
+                    return value
+            elif len(frames) < depth:
+                raise Trap(TrapKind.UNREACHABLE, "frame unwound past execute root")
+            frame = frames[-1]
+            function = frame.function
+            ops = code.get(id(function))
+            if ops is None:
+                ops = code_for(function)
+            i = frame.index
+            regs = frame.regs
+            while i >= 0:
+                i = ops[i](frame, regs)
+
+
+# ---------------------------------------------------------------------------
+# Function templates (machine-independent): each function's blocks are laid
+# out into one flat list of closure builders — in-function branches resolve
+# to flat offsets at compile time, so taken branches never leave the inner
+# dispatch loop.  The template is cached on the function and invalidated
+# through its blocks' ``version`` stamps.
+# ---------------------------------------------------------------------------
+
+
+def _function_template(function):
+    versions = tuple(getattr(block, "version", 0) for block in function.blocks)
+    cached = getattr(function, "_engine_template", None)
+    if cached is not None and cached[0] == versions:
+        return cached[1], cached[2]
+    # Layout pass: flat offset of each block (a block without a
+    # terminator — malformed, pre-verifier IR — gets a sentinel slot so
+    # falling off it traps exactly like the reference interpreter).
+    offsets = {}
+    pos = 0
+    for block in function.blocks:
+        offsets[block.label] = pos
+        pos += len(block.instructions)
+        if block.terminator is None:
+            pos += 1
+    builders = []
+    for block in function.blocks:
+        instrs = block.instructions
+        count = len(instrs)
+        base = offsets[block.label]
+        for i, instr in enumerate(instrs):
+            flat = base + i
+            fused = None
+            if i + 1 < count:
+                fused = _try_fuse(instr, instrs[i + 1], flat, offsets, block)
+            builders.append(fused if fused is not None
+                            else _build_instr(instr, flat, offsets, block))
+        if block.terminator is None:
+            builders.append(_build_sentinel(block.label))
+    try:
+        function._engine_template = (versions, builders, offsets)
+    except AttributeError:
+        pass  # exotic function objects without attribute support
+    return builders, offsets
+
+
+def _build_sentinel(label):
+    def make(engine, function):
+        def op(frame, regs):
+            raise Trap(TrapKind.UNREACHABLE, f"fell off block {label}")
+
+        return op
+
+    return make
+
+
+def _build_instr(instr, index, offsets, block):
+    builder = _BUILDERS.get(instr.opcode)
+    if builder is None:
+        raise Trap(TrapKind.UNREACHABLE, f"no builder for opcode {instr.opcode}")
+    return builder(instr, index, offsets, block)
+
+
+# -- straight-line instructions ---------------------------------------------
+
+
+def _build_alloca(instr, index, offsets, block):
+    uid = instr.dst.uid
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        offset = _frame_layout(function)[0][uid]
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            regs[uid] = frame.base + offset
+            return nxt
+
+        return op
+
+    return make
+
+
+def _make_loader(engine, irtype):
+    memory = engine.memory
+    if irtype.is_float:
+        return memory.f64_reader()
+    if irtype.is_ptr:
+        return memory.scalar_reader(8, False)
+    try:
+        return memory.scalar_reader(irtype.size, True)
+    except KeyError:
+        size = irtype.size
+        return lambda addr: memory.read_int(addr, size, signed=True)
+
+
+def _load_codec(irtype):
+    """The struct codec decoding a load of ``irtype`` (None when no
+    pre-built codec applies and the generic reader must be used)."""
+    if irtype.is_float:
+        return _F64
+    if irtype.is_ptr:
+        return _SCALAR_CODECS[(8, False)]
+    return _SCALAR_CODECS.get((irtype.size, True))
+
+
+def _build_load(instr, index, offsets, block):
+    uid = instr.dst.uid
+    irtype = instr.type
+    size = irtype.size
+    is_ptr_val = instr.is_pointer_value
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        observers = engine.observers
+        ka, va = engine.spec(instr.addr)
+        codec = _load_codec(irtype)
+
+        if ka == "reg" and not observers and codec is not None:
+            # The dominant shape: data/pointer load through a register —
+            # the segment cache and struct decode are inlined, so the
+            # whole load is one closure with no further calls.
+            ua = va
+            unpack = codec.unpack_from
+            width = codec.size
+            segment_for = engine.memory._segment_for
+            cached = engine.memory.heap
+
+            if is_ptr_val:
+
+                def op(frame, regs):
+                    nonlocal cached
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    try:
+                        addr = regs[ua]
+                    except KeyError:
+                        addr = 0
+                    seg = cached
+                    if addr < seg.base or addr + width > seg.end:
+                        seg = segment_for(addr, width)
+                        if seg is None:
+                            raise Trap(TrapKind.SEGFAULT,
+                                       f"read of {width} bytes", address=addr)
+                        cached = seg
+                    regs[uid] = unpack(seg.data, addr - seg.base)[0]
+                    st.cost += _COST_LOAD
+                    st.memory_ops += 1
+                    st.pointer_memory_ops += 1
+                    return nxt
+
+            else:
+
+                def op(frame, regs):
+                    nonlocal cached
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    try:
+                        addr = regs[ua]
+                    except KeyError:
+                        addr = 0
+                    seg = cached
+                    if addr < seg.base or addr + width > seg.end:
+                        seg = segment_for(addr, width)
+                        if seg is None:
+                            raise Trap(TrapKind.SEGFAULT,
+                                       f"read of {width} bytes", address=addr)
+                        cached = seg
+                    regs[uid] = unpack(seg.data, addr - seg.base)[0]
+                    st.cost += _COST_LOAD
+                    st.memory_ops += 1
+                    return nxt
+
+            return op
+
+        read = _make_loader(engine, irtype)
+
+        if ka == "reg":
+            ua = va
+            addr_acc = lambda regs: regs.get(ua, 0)
+        elif ka == "const":
+            ca = va
+            addr_acc = lambda regs: ca
+        else:
+            addr_acc = engine.acc(instr.addr)
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            addr = addr_acc(regs)
+            if observers:
+                for observer in observers:
+                    observer.on_load(addr, size)
+            regs[uid] = read(addr)
+            st.cost += _COST_LOAD
+            st.memory_ops += 1
+            if is_ptr_val:
+                st.pointer_memory_ops += 1
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_store(instr, index, offsets, block):
+    irtype = instr.type
+    size = irtype.size
+    is_float = irtype.is_float
+    is_ptr_val = instr.is_pointer_value
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        observers = engine.observers
+        memory = engine.memory
+        if is_float:
+            write = memory.f64_writer()
+        else:
+            try:
+                write = memory.scalar_writer(size)
+            except KeyError:
+                write = lambda addr, value: memory.write_int(addr, value, size)
+        runtime = engine.machine.sb_runtime
+        on_pstore = None
+        if not is_ptr_val and runtime is not None and runtime.observes_stores:
+            on_pstore = runtime.on_program_store
+        ka, va = engine.spec(instr.addr)
+        kv, vv = engine.spec(instr.value)
+
+        if (ka == "reg" and kv == "reg" and not observers
+                and is_float and not is_ptr_val and on_pstore is None):
+            # Float store, register to register — F64 encode inlined.
+            ua, uv = va, vv
+            pack_f64 = _F64.pack_into
+            segment_for = memory._segment_for
+            cached = memory.heap
+
+            def op(frame, regs):
+                nonlocal cached
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                try:
+                    addr = regs[ua]
+                    value = regs[uv]
+                except KeyError:
+                    addr = regs.get(ua, 0)
+                    value = regs.get(uv, 0)
+                seg = cached
+                if addr < seg.base or addr + 8 > seg.end:
+                    seg = segment_for(addr, 8)
+                    if seg is None:
+                        raise Trap(TrapKind.SEGFAULT,
+                                   "write of 8 bytes", address=addr)
+                    cached = seg
+                pack_f64(seg.data, addr - seg.base, float(value))
+                st.cost += _COST_STORE
+                st.memory_ops += 1
+                return nxt
+
+            return op
+
+        codec = None if is_float else _SCALAR_CODECS.get((size, False))
+        if (ka == "reg" and kv == "reg" and not observers
+                and not is_float and on_pstore is None
+                and codec is not None):
+            # The dominant shape: int/pointer store, register to
+            # register — segment cache and struct encode inlined.
+            ua, uv = va, vv
+            pack_into = codec.pack_into
+            vmask = (1 << (size * 8)) - 1
+            segment_for = memory._segment_for
+            cached = memory.heap
+
+            if is_ptr_val:
+
+                def op(frame, regs):
+                    nonlocal cached
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    try:
+                        addr = regs[ua]
+                        value = regs[uv]
+                    except KeyError:
+                        addr = regs.get(ua, 0)
+                        value = regs.get(uv, 0)
+                    seg = cached
+                    if addr < seg.base or addr + size > seg.end:
+                        seg = segment_for(addr, size)
+                        if seg is None:
+                            raise Trap(TrapKind.SEGFAULT,
+                                       f"write of {size} bytes", address=addr)
+                        cached = seg
+                    pack_into(seg.data, addr - seg.base, int(value) & vmask)
+                    st.cost += _COST_STORE
+                    st.memory_ops += 1
+                    st.pointer_memory_ops += 1
+                    return nxt
+
+            else:
+
+                def op(frame, regs):
+                    nonlocal cached
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    try:
+                        addr = regs[ua]
+                        value = regs[uv]
+                    except KeyError:
+                        addr = regs.get(ua, 0)
+                        value = regs.get(uv, 0)
+                    seg = cached
+                    if addr < seg.base or addr + size > seg.end:
+                        seg = segment_for(addr, size)
+                        if seg is None:
+                            raise Trap(TrapKind.SEGFAULT,
+                                       f"write of {size} bytes", address=addr)
+                        cached = seg
+                    pack_into(seg.data, addr - seg.base, int(value) & vmask)
+                    st.cost += _COST_STORE
+                    st.memory_ops += 1
+                    return nxt
+
+            return op
+
+        if ka == "reg":
+            ua = va
+            addr_acc = lambda regs: regs.get(ua, 0)
+        elif ka == "const":
+            ca = va
+            addr_acc = lambda regs: ca
+        else:
+            addr_acc = engine.acc(instr.addr)
+        if kv == "reg":
+            uv = vv
+            val_acc = lambda regs: regs.get(uv, 0)
+        elif kv == "const":
+            cv = vv
+            val_acc = lambda regs: cv
+        else:
+            val_acc = engine.acc(instr.value)
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            addr = addr_acc(regs)
+            value = val_acc(regs)
+            if observers:
+                for observer in observers:
+                    observer.on_store(addr, size)
+            if is_float:
+                write(addr, value)
+            else:
+                write(addr, int(value))
+            st.cost += _COST_STORE
+            st.memory_ops += 1
+            if is_ptr_val:
+                st.pointer_memory_ops += 1
+            elif on_pstore is not None:
+                on_pstore(addr, size)
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_binop(instr, index, offsets, block):
+    op_name = instr.op
+    uid = instr.dst.uid
+    dst_type = instr.dst.type
+    bits = dst_type.size * 8
+    mask = (1 << bits) - 1
+    span = 1 << bits
+    sbit = 1 << (bits - 1)
+    wrap_signed = dst_type.kind != "ptr"
+    cost = OP_COSTS["binop." + op_name]
+    fn = _INT_FNS.get(op_name)
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+
+        if fn is not None:
+            ka, va = engine.spec(instr.a)
+            kb, vb = engine.spec(instr.b)
+            # ``int()`` mirrors the interpreter's defensive truncation;
+            # when the operands' static IR types are non-float, a value
+            # of another runtime type cannot reach this op in well-typed
+            # IR, so the conversion is provably the identity and the
+            # closure elides it.
+            ints_needed = _operand_may_be_float(instr.a) or _operand_may_be_float(instr.b)
+            if ka == "reg" and kb == "reg":
+                ua, ub = va, vb
+
+                if ints_needed:
+
+                    def op(frame, regs):
+                        n = st.instructions + 1
+                        st.instructions = n
+                        if n > limit:
+                            raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                        try:
+                            value = fn(int(regs[ua]), int(regs[ub])) & mask
+                        except KeyError:  # unwritten register reads as 0
+                            value = fn(int(regs.get(ua, 0)), int(regs.get(ub, 0))) & mask
+                        if wrap_signed and value >= sbit:
+                            value -= span
+                        regs[uid] = value
+                        st.cost += cost
+                        return nxt
+
+                else:
+
+                    def op(frame, regs):
+                        n = st.instructions + 1
+                        st.instructions = n
+                        if n > limit:
+                            raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                        try:
+                            value = fn(regs[ua], regs[ub]) & mask
+                        except KeyError:
+                            value = fn(regs.get(ua, 0), regs.get(ub, 0)) & mask
+                        if wrap_signed and value >= sbit:
+                            value -= span
+                        regs[uid] = value
+                        st.cost += cost
+                        return nxt
+
+            elif ka == "reg" and kb == "const":
+                ua, cb = va, int(vb)
+
+                if ints_needed:
+
+                    def op(frame, regs):
+                        n = st.instructions + 1
+                        st.instructions = n
+                        if n > limit:
+                            raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                        try:
+                            value = fn(int(regs[ua]), cb) & mask
+                        except KeyError:
+                            value = fn(int(regs.get(ua, 0)), cb) & mask
+                        if wrap_signed and value >= sbit:
+                            value -= span
+                        regs[uid] = value
+                        st.cost += cost
+                        return nxt
+
+                else:
+
+                    def op(frame, regs):
+                        n = st.instructions + 1
+                        st.instructions = n
+                        if n > limit:
+                            raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                        try:
+                            value = fn(regs[ua], cb) & mask
+                        except KeyError:
+                            value = fn(regs.get(ua, 0), cb) & mask
+                        if wrap_signed and value >= sbit:
+                            value -= span
+                        regs[uid] = value
+                        st.cost += cost
+                        return nxt
+
+            elif ka == "const" and kb == "reg":
+                ca, ub = int(va), vb
+
+                if ints_needed:
+
+                    def op(frame, regs):
+                        n = st.instructions + 1
+                        st.instructions = n
+                        if n > limit:
+                            raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                        try:
+                            value = fn(ca, int(regs[ub])) & mask
+                        except KeyError:
+                            value = fn(ca, int(regs.get(ub, 0))) & mask
+                        if wrap_signed and value >= sbit:
+                            value -= span
+                        regs[uid] = value
+                        st.cost += cost
+                        return nxt
+
+                else:
+
+                    def op(frame, regs):
+                        n = st.instructions + 1
+                        st.instructions = n
+                        if n > limit:
+                            raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                        try:
+                            value = fn(ca, regs[ub]) & mask
+                        except KeyError:
+                            value = fn(ca, regs.get(ub, 0)) & mask
+                        if wrap_signed and value >= sbit:
+                            value -= span
+                        regs[uid] = value
+                        st.cost += cost
+                        return nxt
+
+            elif ka == "const" and kb == "const":
+                folded = fn(int(va), int(vb)) & mask
+                if wrap_signed and folded >= sbit:
+                    folded -= span
+
+                def op(frame, regs):
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    regs[uid] = folded
+                    st.cost += cost
+                    return nxt
+
+            else:
+                a_acc = engine.acc(instr.a)
+                b_acc = engine.acc(instr.b)
+
+                def op(frame, regs):
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    value = fn(int(a_acc(regs)), int(b_acc(regs))) & mask
+                    if wrap_signed and value >= sbit:
+                        value -= span
+                    regs[uid] = value
+                    st.cost += cost
+                    return nxt
+
+            return op
+
+        a_acc = engine.acc(instr.a)
+        b_acc = engine.acc(instr.b)
+
+        if op_name in ("sdiv", "srem"):
+            is_div = op_name == "sdiv"
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                a = a_acc(regs)
+                b = b_acc(regs)
+                if b == 0:
+                    raise Trap(TrapKind.DIV_BY_ZERO, "integer division by zero")
+                q = abs(a) // abs(b) * (1 if (a >= 0) == (b >= 0) else -1)
+                value = (q if is_div else a - q * b) & mask
+                if wrap_signed and value >= sbit:
+                    value -= span
+                regs[uid] = value
+                st.cost += cost
+                return nxt
+
+        elif op_name in ("udiv", "urem"):
+            is_div = op_name == "udiv"
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                ua = int(a_acc(regs)) & mask
+                ub = int(b_acc(regs)) & mask
+                if ub == 0:
+                    raise Trap(TrapKind.DIV_BY_ZERO, "integer division by zero")
+                value = (ua // ub if is_div else ua % ub) & mask
+                if wrap_signed and value >= sbit:
+                    value -= span
+                regs[uid] = value
+                st.cost += cost
+                return nxt
+
+        elif op_name == "lshr":
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                value = ((int(a_acc(regs)) & mask) >> (b_acc(regs) & 63)) & mask
+                if wrap_signed and value >= sbit:
+                    value -= span
+                regs[uid] = value
+                st.cost += cost
+                return nxt
+
+        elif op_name == "ashr":
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                value = (int(a_acc(regs)) >> (b_acc(regs) & 63)) & mask
+                if wrap_signed and value >= sbit:
+                    value -= span
+                regs[uid] = value
+                st.cost += cost
+                return nxt
+
+        elif op_name == "fdiv":
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                a = a_acc(regs)
+                b = b_acc(regs)
+                if b != 0.0:
+                    value = a / b
+                else:
+                    value = (float("inf") if a > 0
+                             else float("-inf") if a < 0 else float("nan"))
+                regs[uid] = value
+                st.cost += cost
+                return nxt
+
+        elif op_name in ("fadd", "fsub", "fmul"):
+            kind = op_name
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                a = a_acc(regs)
+                b = b_acc(regs)
+                if kind == "fadd":
+                    value = a + b
+                elif kind == "fsub":
+                    value = a - b
+                else:
+                    value = a * b
+                regs[uid] = value
+                st.cost += cost
+                return nxt
+
+        else:
+
+            def op(frame, regs):
+                raise Trap(TrapKind.UNREACHABLE, f"bad binop {op_name}")
+
+        return op
+
+    return make
+
+
+#: Operand-type resolution for unsigned compares is the interpreter's
+#: own helper — shared, not copied.
+_operand_irtype = _operand_type
+
+
+def _operand_may_be_float(operand):
+    """True unless the operand's static IR type rules out a float value
+    (symbols resolve to integer addresses; registers/constants carry
+    their type)."""
+    if isinstance(operand, SymbolRef):
+        return False
+    if isinstance(operand, (Register, Const)):
+        return operand.type is None or operand.type.is_float
+    return True
+
+
+_PLAIN_PREDS = {
+    "eq": "eq", "feq": "eq", "ne": "ne", "fne": "ne",
+    "slt": "lt", "flt": "lt", "sle": "le", "fle": "le",
+    "sgt": "gt", "fgt": "gt", "sge": "ge", "fge": "ge",
+}
+_UNSIGNED_PREDS = {"ult": "lt", "ule": "le", "ugt": "gt", "uge": "ge"}
+
+
+def _cmp_evaluator(instr, engine):
+    """Build ``fn(regs) -> bool`` for a cmp instruction (shared by the
+    standalone cmp closure and the fused cmp+cbr superinstruction), with
+    register/constant operand access inlined per variant."""
+    pred = instr.pred
+    ka, va = engine.spec(instr.a)
+    kb, vb = engine.spec(instr.b)
+    if pred in _UNSIGNED_PREDS:
+        relation = _UNSIGNED_PREDS[pred]
+        irtype = _operand_irtype(instr.a, instr.b)
+        umask = (1 << (irtype.size * 8)) - 1
+        if ka == "reg" and kb == "reg":
+            ua, ub = va, vb
+            if relation == "lt":
+                return lambda regs: (int(regs.get(ua, 0)) & umask) < (int(regs.get(ub, 0)) & umask)
+            if relation == "le":
+                return lambda regs: (int(regs.get(ua, 0)) & umask) <= (int(regs.get(ub, 0)) & umask)
+            if relation == "gt":
+                return lambda regs: (int(regs.get(ua, 0)) & umask) > (int(regs.get(ub, 0)) & umask)
+            return lambda regs: (int(regs.get(ua, 0)) & umask) >= (int(regs.get(ub, 0)) & umask)
+        if ka == "reg" and kb == "const":
+            ua, cb = va, int(vb) & umask
+            if relation == "lt":
+                return lambda regs: (int(regs.get(ua, 0)) & umask) < cb
+            if relation == "le":
+                return lambda regs: (int(regs.get(ua, 0)) & umask) <= cb
+            if relation == "gt":
+                return lambda regs: (int(regs.get(ua, 0)) & umask) > cb
+            return lambda regs: (int(regs.get(ua, 0)) & umask) >= cb
+        if ka == "const" and kb == "reg":
+            ca, ub = int(va) & umask, vb
+            if relation == "lt":
+                return lambda regs: ca < (int(regs.get(ub, 0)) & umask)
+            if relation == "le":
+                return lambda regs: ca <= (int(regs.get(ub, 0)) & umask)
+            if relation == "gt":
+                return lambda regs: ca > (int(regs.get(ub, 0)) & umask)
+            return lambda regs: ca >= (int(regs.get(ub, 0)) & umask)
+        a_acc = engine.acc(instr.a)
+        b_acc = engine.acc(instr.b)
+        if relation == "lt":
+            return lambda regs: (int(a_acc(regs)) & umask) < (int(b_acc(regs)) & umask)
+        if relation == "le":
+            return lambda regs: (int(a_acc(regs)) & umask) <= (int(b_acc(regs)) & umask)
+        if relation == "gt":
+            return lambda regs: (int(a_acc(regs)) & umask) > (int(b_acc(regs)) & umask)
+        return lambda regs: (int(a_acc(regs)) & umask) >= (int(b_acc(regs)) & umask)
+    relation = _PLAIN_PREDS.get(pred)
+    if relation is None:
+        def bad(regs):
+            raise Trap(TrapKind.UNREACHABLE, f"bad cmp {pred}")
+
+        return bad
+    if ka == "reg" and kb == "reg":
+        ua, ub = va, vb
+        if relation == "eq":
+            return lambda regs: regs.get(ua, 0) == regs.get(ub, 0)
+        if relation == "ne":
+            return lambda regs: regs.get(ua, 0) != regs.get(ub, 0)
+        if relation == "lt":
+            return lambda regs: regs.get(ua, 0) < regs.get(ub, 0)
+        if relation == "le":
+            return lambda regs: regs.get(ua, 0) <= regs.get(ub, 0)
+        if relation == "gt":
+            return lambda regs: regs.get(ua, 0) > regs.get(ub, 0)
+        return lambda regs: regs.get(ua, 0) >= regs.get(ub, 0)
+    if ka == "reg" and kb == "const":
+        ua, cb = va, vb
+        if relation == "eq":
+            return lambda regs: regs.get(ua, 0) == cb
+        if relation == "ne":
+            return lambda regs: regs.get(ua, 0) != cb
+        if relation == "lt":
+            return lambda regs: regs.get(ua, 0) < cb
+        if relation == "le":
+            return lambda regs: regs.get(ua, 0) <= cb
+        if relation == "gt":
+            return lambda regs: regs.get(ua, 0) > cb
+        return lambda regs: regs.get(ua, 0) >= cb
+    if ka == "const" and kb == "reg":
+        ca, ub = va, vb
+        if relation == "eq":
+            return lambda regs: ca == regs.get(ub, 0)
+        if relation == "ne":
+            return lambda regs: ca != regs.get(ub, 0)
+        if relation == "lt":
+            return lambda regs: ca < regs.get(ub, 0)
+        if relation == "le":
+            return lambda regs: ca <= regs.get(ub, 0)
+        if relation == "gt":
+            return lambda regs: ca > regs.get(ub, 0)
+        return lambda regs: ca >= regs.get(ub, 0)
+    a_acc = engine.acc(instr.a)
+    b_acc = engine.acc(instr.b)
+    if relation == "eq":
+        return lambda regs: a_acc(regs) == b_acc(regs)
+    if relation == "ne":
+        return lambda regs: a_acc(regs) != b_acc(regs)
+    if relation == "lt":
+        return lambda regs: a_acc(regs) < b_acc(regs)
+    if relation == "le":
+        return lambda regs: a_acc(regs) <= b_acc(regs)
+    if relation == "gt":
+        return lambda regs: a_acc(regs) > b_acc(regs)
+    return lambda regs: a_acc(regs) >= b_acc(regs)
+
+
+def _build_cmp(instr, index, offsets, block):
+    uid = instr.dst.uid
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        test = _cmp_evaluator(instr, engine)
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            regs[uid] = 1 if test(regs) else 0
+            st.cost += _COST_CMP
+            return nxt
+
+        return op
+
+    return make
+
+
+def _gep_evaluator(instr, engine):
+    """Build ``fn(regs) -> address`` for a gep (shared by the standalone
+    closure and the gep+load / gep+store superinstructions)."""
+    ka, va = engine.spec(instr.base)
+    kb, vb = engine.spec(instr.offset)
+    if ka == "reg" and kb == "reg":
+        ua, ub = va, vb
+        return lambda regs: (int(regs.get(ua, 0)) + int(regs.get(ub, 0))) & _M64
+    if ka == "reg" and kb == "const":
+        ua, cb = va, int(vb)
+        return lambda regs: (int(regs.get(ua, 0)) + cb) & _M64
+    if ka == "const" and kb == "reg":
+        ca, ub = int(va), vb
+        return lambda regs: (ca + int(regs.get(ub, 0))) & _M64
+    if ka == "const" and kb == "const":
+        folded = (int(va) + int(vb)) & _M64
+        return lambda regs: folded
+    base_acc = engine.acc(instr.base)
+    off_acc = engine.acc(instr.offset)
+    return lambda regs: (int(base_acc(regs)) + int(off_acc(regs))) & _M64
+
+
+def _build_gep(instr, index, offsets, block):
+    uid = instr.dst.uid
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        ka, va = engine.spec(instr.base)
+        kb, vb = engine.spec(instr.offset)
+        no_floats = not (_operand_may_be_float(instr.base)
+                         or _operand_may_be_float(instr.offset))
+
+        if ka == "reg" and kb == "reg" and no_floats:
+            ua, ub = va, vb
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                try:
+                    regs[uid] = (regs[ua] + regs[ub]) & _M64
+                except KeyError:
+                    regs[uid] = (regs.get(ua, 0) + regs.get(ub, 0)) & _M64
+                st.cost += _COST_GEP
+                return nxt
+
+        elif ka == "reg" and kb == "const" and no_floats:
+            ua, cb = va, int(vb)
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                try:
+                    regs[uid] = (regs[ua] + cb) & _M64
+                except KeyError:
+                    regs[uid] = (regs.get(ua, 0) + cb) & _M64
+                st.cost += _COST_GEP
+                return nxt
+
+        else:
+            addr_of = _gep_evaluator(instr, engine)
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                regs[uid] = addr_of(regs)
+                st.cost += _COST_GEP
+                return nxt
+
+        return op
+
+    return make
+
+
+def _build_cast(instr, index, offsets, block):
+    from ..ir.irtypes import I64
+
+    kind = instr.kind
+    uid = instr.dst.uid
+    dst_type = instr.dst.type
+    bits = dst_type.size * 8
+    mask = (1 << bits) - 1
+    span = 1 << bits
+    sbit = 1 << (bits - 1)
+    wrap_signed = dst_type.kind != "ptr"
+    src_type = (instr.src.type
+                if isinstance(instr.src, (Register, Const)) else I64)
+    src_mask = (1 << (src_type.size * 8)) - 1
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        src_acc = engine.acc(instr.src)
+
+        if kind in ("trunc", "sext", "bitcast", "ptrtoint", "inttoptr"):
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                value = int(src_acc(regs)) & mask
+                if wrap_signed and value >= sbit:
+                    value -= span
+                regs[uid] = value
+                st.cost += _COST_CAST
+                return nxt
+
+        elif kind == "zext":
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                value = (int(src_acc(regs)) & src_mask) & mask
+                if wrap_signed and value >= sbit:
+                    value -= span
+                regs[uid] = value
+                st.cost += _COST_CAST
+                return nxt
+
+        elif kind == "sitofp":
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                regs[uid] = float(int(src_acc(regs)))
+                st.cost += _COST_CAST
+                return nxt
+
+        elif kind == "uitofp":
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                regs[uid] = float(int(src_acc(regs)) & src_mask)
+                st.cost += _COST_CAST
+                return nxt
+
+        elif kind in ("fptosi", "fptoui"):
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                value = int(src_acc(regs)) & mask
+                if wrap_signed and value >= sbit:
+                    value -= span
+                regs[uid] = value
+                st.cost += _COST_CAST
+                return nxt
+
+        else:
+
+            def op(frame, regs):
+                raise Trap(TrapKind.UNREACHABLE, f"bad cast {kind}")
+
+        return op
+
+    return make
+
+
+def _build_mov(instr, index, offsets, block):
+    uid = instr.dst.uid
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        ks, vs = engine.spec(instr.src)
+
+        if ks == "reg":
+            su = vs
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                try:
+                    regs[uid] = regs[su]
+                except KeyError:
+                    regs[uid] = 0
+                return nxt  # mov costs 0 units
+
+        elif ks == "const":
+            cv = vs
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                regs[uid] = cv
+                return nxt
+
+        else:
+            src_acc = engine.acc(instr.src)
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                regs[uid] = src_acc(regs)
+                return nxt
+
+        return op
+
+    return make
+
+
+def _build_memcopy(instr, index, offsets, block):
+    size = instr.size
+    ctype = instr.ctype
+    cost = (OP_COSTS["memcopy.base"]
+            + OP_COSTS["memcopy.per_8_bytes"] * max(size // 8, 1))
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        observers = engine.observers
+        dst_acc = engine.acc(instr.dst_addr)
+        src_acc = engine.acc(instr.src_addr)
+        memory = engine.memory
+        runtime = engine.machine.sb_runtime
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            dst = dst_acc(regs)
+            src = src_acc(regs)
+            if observers:
+                for observer in observers:
+                    observer.on_load(src, size)
+                    observer.on_store(dst, size)
+            memory.write(dst, memory.read(src, size))
+            if runtime is not None:
+                if runtime.observes_stores:
+                    runtime.on_program_store(dst, size)
+                runtime.copy_metadata(src, dst, size, ctype)
+            st.cost += cost
+            st.memory_ops += 2
+            return nxt
+
+        return op
+
+    return make
+
+
+# -- control flow -----------------------------------------------------------
+
+
+def _build_br(instr, index, offsets, block):
+    # In-function branches resolve to flat offsets at compile time and
+    # never leave the inner dispatch loop.
+    target = offsets[instr.label]
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            st.cost += _COST_BR
+            return target
+
+        return op
+
+    return make
+
+
+def _build_cbr(instr, index, offsets, block):
+    target_true = offsets[instr.true_label]
+    target_false = offsets[instr.false_label]
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        kc, vc = engine.spec(instr.cond)
+
+        if kc == "reg":
+            uc = vc
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                try:
+                    cond = regs[uc]
+                except KeyError:
+                    cond = 0
+                st.cost += _COST_CBR
+                return target_true if cond else target_false
+
+        else:
+            cond_acc = engine.acc(instr.cond)
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                st.cost += _COST_CBR
+                return target_true if cond_acc(regs) else target_false
+
+        return op
+
+    return make
+
+
+def _build_unreachable(instr, index, offsets, block):
+    label = block.label
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        fname = function.name
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            raise Trap(TrapKind.UNREACHABLE, f"in {fname}/{label}")
+
+        return op
+
+    return make
+
+
+def _build_ret(instr, index, offsets, block):
+    value_operand = instr.value
+    sb_meta = getattr(instr, "sb_meta", None)
+
+    def make(engine, function):
+        machine = engine.machine
+        st = engine.stats
+        limit = engine.limit
+        read_u64 = engine.memory.scalar_reader(8, False)
+        stack = engine.memory.stack
+        stack_data = stack.data
+        stack_base = stack.base
+        stack_end = stack.end
+        unpack_u64 = _SCALAR_CODECS[(8, False)].unpack_from
+        addr_to_function = machine.addr_to_function
+        frames = machine.frames
+        if value_operand is None:
+            value_acc = None
+        elif isinstance(value_operand, Register):
+            vu = value_operand.uid
+            value_acc = lambda regs: regs.get(vu, 0)
+        else:
+            value_acc = engine.acc(value_operand)
+        meta_accs = None
+        if sb_meta is not None:
+            meta_accs = (engine.acc(sb_meta[0]), engine.acc(sb_meta[1]))
+        # Frame teardown specializes to a pop + sp restore when there is
+        # nothing to notify: no observers, no metadata to clear.
+        if not engine.observers and machine.sb_runtime is None:
+            pop_frame = None
+        else:
+            pop_frame = machine._pop_frame
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            st.cost += _COST_RET
+            value = value_acc(regs) if value_acc is not None else None
+            meta_vals = None
+            if meta_accs is not None:
+                meta_vals = (meta_accs[0](regs), meta_accs[1](regs))
+            # Read the control data back from simulated memory — the
+            # attack surface the Wilander suite exercises.  The frame
+            # pointer normally sits in the stack segment (decode
+            # inline); a corrupted saved FP can point anywhere, so fall
+            # back to the trapping reader outside it.
+            fp = frame.fp
+            if stack_base <= fp and fp + 16 <= stack_end:
+                off = fp - stack_base
+                saved_fp = unpack_u64(stack_data, off)[0]
+                ret_addr = unpack_u64(stack_data, off + 8)[0]
+            else:
+                saved_fp = read_u64(fp)
+                ret_addr = read_u64(fp + 8)
+            if ret_addr != frame.expected_ret:
+                target = addr_to_function.get(ret_addr, "")
+                kind = (TrapKind.CONTROL_FLOW_HIJACK if target
+                        else TrapKind.WILD_JUMP)
+                raise Trap(kind, "return address overwritten",
+                           address=ret_addr, target_symbol=target)
+            if pop_frame is None:
+                frames.pop()
+                machine.sp = frame.base + frame.size
+            else:
+                pop_frame()
+            engine._ret_value = value
+            engine._returned = True
+            if not frames:
+                return -1
+            caller = frames[-1]
+            if saved_fp != caller.fp:
+                caller.fp = saved_fp
+            dst_reg = frame.dst_reg
+            if dst_reg is not None and value is not None:
+                caller.regs[dst_reg.uid] = value
+            dst_meta = frame.dst_meta
+            if dst_meta is not None:
+                base_reg, bound_reg = dst_meta
+                if meta_vals is not None:
+                    caller.regs[base_reg.uid] = meta_vals[0]
+                    caller.regs[bound_reg.uid] = meta_vals[1]
+                else:
+                    caller.regs[base_reg.uid] = 0
+                    caller.regs[bound_reg.uid] = 0
+            return -1
+
+        return op
+
+    return make
+
+
+# -- calls ------------------------------------------------------------------
+
+
+def _needs_signature_check(instr, function):
+    """Whether the dynamic signature check (paper Section 5.2) applies
+    to this call edge.  The check itself is delegated to
+    ``Machine._check_call_signature`` so its semantics and trap message
+    have exactly one definition."""
+    return (getattr(instr, "sb_call_signature", None) is not None
+            and getattr(function, "sb_signature", None) is not None)
+
+
+def _build_call(instr, index, offsets, block):
+    callee = instr.callee
+    dst = instr.dst
+    dst_meta = getattr(instr, "sb_dst_meta", None)
+    call_cost = _COST_CALL + _COST_CALL_ARG * len(instr.args)
+    nxt = index + 1
+    cur_block = block  # setjmp records (block, flat index) at call sites
+
+    def make(engine, function):
+        machine = engine.machine
+        st = engine.stats
+        limit = engine.limit
+        frames = machine.frames
+        arg_accs = [engine.acc(a) for a in instr.args]
+        site = machine._site_id((function.name, id(instr)))
+        push_frame = machine._push_frame
+        split_meta = machine._split_call_metadata
+        has_sb = machine.sb_runtime is not None
+        libc_call = machine.libc.call
+        functions = machine.module.functions
+
+        target_name = callee
+        if target_name is not None and has_sb and f"_sb_{target_name}" in functions:
+            target_name = f"_sb_{target_name}"
+
+        if target_name is not None and target_name in functions:
+            # Direct call to a module function: everything about the
+            # transfer is decidable now.
+            target = functions[target_name]
+            entry_block = target.entry
+            has_sig = _needs_signature_check(instr, target)
+            check_signature = machine._check_call_signature
+
+            if (not has_sig and not has_sb and not engine.observers
+                    and not target.varargs
+                    and not getattr(target, "sb_extra_params", [])
+                    and len(instr.args) == len(target.params)):
+                # Fast transfer: frame push fully specialized — layout
+                # constants, parameter registers and the saved-FP/RA
+                # writes are all pre-bound; no metadata, no observers.
+                layout, allocas, fp_off, ret_off, va_off = _frame_layout(target)
+                frame_size = va_off
+                param_uids = [p.register.uid for p in target.params]
+                stack_seg = engine.memory.stack
+                stack_data = stack_seg.data
+                stack_base = stack_seg.base
+                pack_u64 = _SCALAR_CODECS[(8, False)].pack_into
+                target_fname = target.name
+                new_frame_of = Frame.__new__
+
+                # Parameter binding specialized by arity: small argument
+                # lists become a dict display, larger ones a zip loop.
+                nparams = len(param_uids)
+                if nparams == 0:
+                    def bind_args(regs):
+                        return {}
+                elif nparams == 1:
+                    u0, a0 = param_uids[0], arg_accs[0]
+
+                    def bind_args(regs):
+                        return {u0: a0(regs)}
+                elif nparams == 2:
+                    (u0, u1), (a0, a1) = param_uids, arg_accs[:2]
+
+                    def bind_args(regs):
+                        return {u0: a0(regs), u1: a1(regs)}
+                elif nparams == 3:
+                    (u0, u1, u2), (a0, a1, a2) = param_uids, arg_accs[:3]
+
+                    def bind_args(regs):
+                        return {u0: a0(regs), u1: a1(regs), u2: a2(regs)}
+                else:
+                    def bind_args(regs):
+                        return {uid: acc(regs)
+                                for uid, acc in zip(param_uids, arg_accs)}
+
+                def op(frame, regs):
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    st.calls += 1
+                    st.cost += call_cost
+                    new_regs = bind_args(regs)
+                    base = machine.sp - frame_size
+                    if base < stack_base:
+                        raise Trap(TrapKind.STACK_OVERFLOW, target_fname)
+                    new_frame = new_frame_of(Frame)
+                    new_frame.function = target
+                    new_frame.regs = new_regs
+                    new_frame.base = base
+                    new_frame.size = frame_size
+                    fp = base + fp_off
+                    new_frame.fp = fp
+                    new_frame.expected_ret = site
+                    new_frame.alloca_ctypes = allocas
+                    new_frame.va_spill = 0
+                    new_frame.va_bytes = 0
+                    new_frame.va_ptr_count = 0
+                    new_frame.va_metas = _EMPTY_VA_METAS
+                    # Materialize saved FP and return address in
+                    # simulated memory (the attackable control data);
+                    # [fp, fp+16) is inside the stack segment by the
+                    # overflow check above, so encode straight into it.
+                    off = fp - stack_base
+                    pack_u64(stack_data, off, frame.fp & _M64)
+                    pack_u64(stack_data, off + 8, site)
+                    machine.sp = base
+                    frames.append(new_frame)
+                    frame.index = nxt
+                    new_frame.dst_reg = dst
+                    new_frame.dst_meta = dst_meta
+                    new_frame.caller_site = frame
+                    new_frame.block = entry_block
+                    new_frame.index = 0
+                    return -1
+
+                return op
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                st.calls += 1
+                st.cost += call_cost
+                args = [acc(regs) for acc in arg_accs]
+                if has_sig:
+                    check_signature(instr, target)
+                frame.index = nxt  # resume after the call on return
+                arg_metas = None
+                if has_sb:
+                    args, arg_metas = split_meta(args, instr)
+                new_frame = push_frame(target, args, site, arg_metas)
+                new_frame.dst_reg = dst
+                new_frame.dst_meta = dst_meta
+                new_frame.caller_site = frame
+                new_frame.block = entry_block
+                new_frame.index = 0
+                return -1
+
+            return op
+
+        if target_name is not None:
+            # Direct call to a builtin / libc routine.
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                st.calls += 1
+                st.cost += call_cost
+                args = [acc(regs) for acc in arg_accs]
+                frame.block = cur_block
+                frame.index = index  # setjmp records the call site
+                machine._control_transferred = False
+                result = libc_call(target_name, args, instr)
+                if machine._control_transferred:
+                    return -1
+                if dst is not None:
+                    if isinstance(result, tuple):
+                        value, mbase, mbound = result
+                        regs[dst.uid] = value
+                        if dst_meta is not None:
+                            regs[dst_meta[0].uid] = mbase
+                            regs[dst_meta[1].uid] = mbound
+                    else:
+                        regs[dst.uid] = result if result is not None else 0
+                        if dst_meta is not None:
+                            regs[dst_meta[0].uid] = 0
+                            regs[dst_meta[1].uid] = 0
+                return nxt
+
+            return op
+
+        # Indirect call: the target is a runtime value; resolution and
+        # signature checking stay dynamic (cold path).
+        callee_acc = engine.acc(instr.callee_reg)
+        addr_to_function = machine.addr_to_function
+        check_signature = machine._check_call_signature
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            st.calls += 1
+            st.cost += call_cost
+            args = [acc(regs) for acc in arg_accs]
+            addr = int(callee_acc(regs))
+            name = addr_to_function.get(addr)
+            if name is None:
+                raise Trap(TrapKind.WILD_JUMP,
+                           "indirect call to non-code address", address=addr)
+            if has_sb and f"_sb_{name}" in functions:
+                name = f"_sb_{name}"
+            if name in functions:
+                target = functions[name]
+                check_signature(instr, target)
+                frame.index = nxt
+                arg_metas = None
+                if has_sb:
+                    args, arg_metas = split_meta(args, instr)
+                new_frame = push_frame(target, args, site, arg_metas)
+                new_frame.dst_reg = dst
+                new_frame.dst_meta = dst_meta
+                new_frame.caller_site = frame
+                new_frame.block = target.entry
+                new_frame.index = 0
+                return -1
+            frame.block = cur_block
+            frame.index = index
+            machine._control_transferred = False
+            result = libc_call(name, args, instr)
+            if machine._control_transferred:
+                return -1
+            if dst is not None:
+                if isinstance(result, tuple):
+                    value, mbase, mbound = result
+                    regs[dst.uid] = value
+                    if dst_meta is not None:
+                        regs[dst_meta[0].uid] = mbase
+                        regs[dst_meta[1].uid] = mbound
+                else:
+                    regs[dst.uid] = result if result is not None else 0
+                    if dst_meta is not None:
+                        regs[dst_meta[0].uid] = 0
+                        regs[dst_meta[1].uid] = 0
+            return nxt
+
+        return op
+
+    return make
+
+
+# -- SoftBound runtime instructions -----------------------------------------
+
+
+def _build_sb_check(instr, index, offsets, block):
+    is_fnptr = instr.is_fnptr_check
+    access_kind = instr.access_kind
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        ptr_acc = engine.acc(instr.ptr)
+        base_acc = engine.acc(instr.base)
+        bound_acc = engine.acc(instr.bound)
+        size_acc = engine.acc(instr.size)
+        runtime = engine.machine.sb_runtime
+        check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
+
+        if is_fnptr:
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                ptr = ptr_acc(regs)
+                base = base_acc(regs)
+                bound = bound_acc(regs)
+                size_acc(regs)
+                st.checks += 1
+                st.cost += _COST_FNPTR
+                if not (ptr == base == bound) or ptr == 0:
+                    raise Trap(TrapKind.FUNCTION_POINTER_VIOLATION,
+                               "indirect call through non-function pointer",
+                               address=ptr, source="softbound")
+                return nxt
+
+        else:
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                ptr = ptr_acc(regs)
+                base = base_acc(regs)
+                bound = bound_acc(regs)
+                size = size_acc(regs)
+                st.checks += 1
+                st.cost += check_cost
+                if ptr < base or ptr + size > bound:
+                    raise Trap(
+                        TrapKind.SPATIAL_VIOLATION,
+                        f"{access_kind} of {size} bytes outside "
+                        f"[0x{base:x}, 0x{bound:x})",
+                        address=ptr,
+                        source="softbound",
+                    )
+                return nxt
+
+        return op
+
+    return make
+
+
+def _build_sb_meta_load(instr, index, offsets, block):
+    base_uid = instr.dst_base.uid
+    bound_uid = instr.dst_bound.uid
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        addr_acc = engine.acc(instr.addr)
+        machine = engine.machine
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            base, bound = machine.sb_runtime.facility.load(addr_acc(regs), st)
+            regs[base_uid] = base
+            regs[bound_uid] = bound
+            st.metadata_loads += 1
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_sb_meta_store(instr, index, offsets, block):
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        addr_acc = engine.acc(instr.addr)
+        base_acc = engine.acc(instr.base)
+        bound_acc = engine.acc(instr.bound)
+        machine = engine.machine
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            machine.sb_runtime.facility.store(
+                addr_acc(regs), base_acc(regs), bound_acc(regs), st)
+            st.metadata_stores += 1
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_sb_meta_clear(instr, index, offsets, block):
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        addr_acc = engine.acc(instr.addr)
+        size_acc = engine.acc(instr.size)
+        machine = engine.machine
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            machine.sb_runtime.facility.clear_range(
+                addr_acc(regs), size_acc(regs), st)
+            return nxt
+
+        return op
+
+    return make
+
+
+# -- fused superinstructions -------------------------------------------------
+#
+# Each fused closure performs two logical instructions and returns
+# ``index + 2`` (or transfers control).  Statistics — instruction count,
+# budget checks, cost units — are charged at exactly the same points as
+# the unfused sequence, so traps raised mid-pair leave identical state.
+# The second instruction of a pair keeps its standalone closure at its
+# own index so call returns and ``longjmp`` can still resume there.
+
+
+def _try_fuse(first, second, index, offsets, block):
+    if (first.opcode == "cmp" and second.opcode == "cbr"
+            and isinstance(second.cond, Register)
+            and second.cond.uid == first.dst.uid):
+        return _build_cmp_cbr(first, second, index, offsets)
+    if (first.opcode == "gep" and second.opcode == "load"
+            and isinstance(second.addr, Register)
+            and second.addr.uid == first.dst.uid):
+        return _build_gep_load(first, second, index)
+    if (first.opcode == "gep" and second.opcode == "store"
+            and isinstance(second.addr, Register)
+            and second.addr.uid == first.dst.uid):
+        return _build_gep_store(first, second, index)
+    if (first.opcode == "sb_meta_load" and second.opcode == "sb_check"
+            and not second.is_fnptr_check
+            and isinstance(second.base, Register)
+            and isinstance(second.bound, Register)
+            and second.base.uid == first.dst_base.uid
+            and second.bound.uid == first.dst_bound.uid):
+        return _build_meta_load_check(first, second, index)
+    return None
+
+
+def _build_cmp_cbr(cmp_instr, cbr_instr, index, offsets):
+    uid = cmp_instr.dst.uid
+    target_true = offsets[cbr_instr.true_label]
+    target_false = offsets[cbr_instr.false_label]
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        test = _cmp_evaluator(cmp_instr, engine)
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            result = test(regs)
+            regs[uid] = 1 if result else 0
+            st.cost += _COST_CMP
+            n += 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            st.cost += _COST_CBR
+            return target_true if result else target_false
+
+        return op
+
+    return make
+
+
+def _build_gep_load(gep_instr, load_instr, index):
+    gep_uid = gep_instr.dst.uid
+    load_uid = load_instr.dst.uid
+    irtype = load_instr.type
+    size = irtype.size
+    is_ptr_val = load_instr.is_pointer_value
+    nxt = index + 2
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        observers = engine.observers
+        addr_of = _gep_evaluator(gep_instr, engine)
+        codec = _load_codec(irtype)
+
+        if not observers and codec is not None:
+            unpack = codec.unpack_from
+            width = codec.size
+            segment_for = engine.memory._segment_for
+            cached = engine.memory.heap
+
+            def op(frame, regs):
+                nonlocal cached
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                addr = addr_of(regs)
+                regs[gep_uid] = addr
+                st.cost += _COST_GEP
+                n += 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                seg = cached
+                if addr < seg.base or addr + width > seg.end:
+                    seg = segment_for(addr, width)
+                    if seg is None:
+                        raise Trap(TrapKind.SEGFAULT,
+                                   f"read of {width} bytes", address=addr)
+                    cached = seg
+                regs[load_uid] = unpack(seg.data, addr - seg.base)[0]
+                st.cost += _COST_LOAD
+                st.memory_ops += 1
+                if is_ptr_val:
+                    st.pointer_memory_ops += 1
+                return nxt
+
+            return op
+
+        read = _make_loader(engine, irtype)
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            addr = addr_of(regs)
+            regs[gep_uid] = addr
+            st.cost += _COST_GEP
+            n += 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            if observers:
+                for observer in observers:
+                    observer.on_load(addr, size)
+            regs[load_uid] = read(addr)
+            st.cost += _COST_LOAD
+            st.memory_ops += 1
+            if is_ptr_val:
+                st.pointer_memory_ops += 1
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_gep_store(gep_instr, store_instr, index):
+    gep_uid = gep_instr.dst.uid
+    irtype = store_instr.type
+    size = irtype.size
+    is_float = irtype.is_float
+    is_ptr_val = store_instr.is_pointer_value
+    nxt = index + 2
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        observers = engine.observers
+        addr_of = _gep_evaluator(gep_instr, engine)
+        val_acc = engine.acc(store_instr.value)
+        memory = engine.memory
+        runtime = engine.machine.sb_runtime
+        on_pstore = None
+        if not is_ptr_val and runtime is not None and runtime.observes_stores:
+            on_pstore = runtime.on_program_store
+        codec = None if is_float else _SCALAR_CODECS.get((size, False))
+
+        if not observers and on_pstore is None and codec is not None:
+            pack_into = codec.pack_into
+            vmask = (1 << (size * 8)) - 1
+            segment_for = memory._segment_for
+            cached = memory.heap
+
+            def op(frame, regs):
+                nonlocal cached
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                addr = addr_of(regs)
+                regs[gep_uid] = addr
+                st.cost += _COST_GEP
+                n += 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                value = val_acc(regs)
+                seg = cached
+                if addr < seg.base or addr + size > seg.end:
+                    seg = segment_for(addr, size)
+                    if seg is None:
+                        raise Trap(TrapKind.SEGFAULT,
+                                   f"write of {size} bytes", address=addr)
+                    cached = seg
+                pack_into(seg.data, addr - seg.base, int(value) & vmask)
+                st.cost += _COST_STORE
+                st.memory_ops += 1
+                if is_ptr_val:
+                    st.pointer_memory_ops += 1
+                return nxt
+
+            return op
+
+        if is_float:
+            write = memory.f64_writer()
+        else:
+            try:
+                write = memory.scalar_writer(size)
+            except KeyError:
+                write = lambda addr, value: memory.write_int(addr, value, size)
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            addr = addr_of(regs)
+            regs[gep_uid] = addr
+            st.cost += _COST_GEP
+            n += 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            value = val_acc(regs)
+            if observers:
+                for observer in observers:
+                    observer.on_store(addr, size)
+            if is_float:
+                write(addr, value)
+            else:
+                write(addr, int(value))
+            st.cost += _COST_STORE
+            st.memory_ops += 1
+            if is_ptr_val:
+                st.pointer_memory_ops += 1
+            elif on_pstore is not None:
+                on_pstore(addr, size)
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_meta_load_check(meta_instr, check_instr, index):
+    base_uid = meta_instr.dst_base.uid
+    bound_uid = meta_instr.dst_bound.uid
+    access_kind = check_instr.access_kind
+    nxt = index + 2
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        addr_acc = engine.acc(meta_instr.addr)
+        ptr_acc = engine.acc(check_instr.ptr)
+        size_acc = engine.acc(check_instr.size)
+        machine = engine.machine
+        runtime = machine.sb_runtime
+        check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            base, bound = machine.sb_runtime.facility.load(addr_acc(regs), st)
+            regs[base_uid] = base
+            regs[bound_uid] = bound
+            st.metadata_loads += 1
+            n += 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            ptr = ptr_acc(regs)
+            size = size_acc(regs)
+            st.checks += 1
+            st.cost += check_cost
+            if ptr < base or ptr + size > bound:
+                raise Trap(
+                    TrapKind.SPATIAL_VIOLATION,
+                    f"{access_kind} of {size} bytes outside "
+                    f"[0x{base:x}, 0x{bound:x})",
+                    address=ptr,
+                    source="softbound",
+                )
+            return nxt
+
+        return op
+
+    return make
+
+
+_BUILDERS = {
+    "alloca": _build_alloca,
+    "load": _build_load,
+    "store": _build_store,
+    "binop": _build_binop,
+    "cmp": _build_cmp,
+    "gep": _build_gep,
+    "cast": _build_cast,
+    "mov": _build_mov,
+    "br": _build_br,
+    "cbr": _build_cbr,
+    "unreachable": _build_unreachable,
+    "memcopy": _build_memcopy,
+    "call": _build_call,
+    "ret": _build_ret,
+    "sb_check": _build_sb_check,
+    "sb_meta_load": _build_sb_meta_load,
+    "sb_meta_store": _build_sb_meta_store,
+    "sb_meta_clear": _build_sb_meta_clear,
+}

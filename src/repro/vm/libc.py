@@ -21,6 +21,7 @@ from .errors import Trap, TrapKind
 class Libc:
     def __init__(self, machine):
         self.machine = machine
+        self._handlers = {}  # name -> bound handler (getattr done once)
 
     def builtin_names(self):
         return BUILTIN_SIGNATURES.keys()
@@ -28,9 +29,12 @@ class Libc:
     # -- dispatch ------------------------------------------------------------
 
     def call(self, name, args, instr):
-        handler = getattr(self, "_do_" + name, None)
+        handler = self._handlers.get(name)
         if handler is None:
-            raise Trap(TrapKind.SEGFAULT, f"call to unknown function {name!r}")
+            handler = getattr(self, "_do_" + name, None)
+            if handler is None:
+                raise Trap(TrapKind.SEGFAULT, f"call to unknown function {name!r}")
+            self._handlers[name] = handler
         metas = None
         if self.machine.sb_runtime is not None:
             args, metas = self._split_metadata(args, instr)

@@ -32,6 +32,9 @@ from .memory import CODE_BASE, CODE_STRIDE, GLOBALS_BASE, Memory
 _RETADDR_BASE = 0x000A_0000
 _LJTARGET_BASE = 0x000C_0000
 
+#: Shared with the compiled engine so both raise an identical trap.
+RESOURCE_LIMIT_MSG = "instruction budget exhausted"
+
 
 class _ExitProgram(Exception):
     def __init__(self, code):
@@ -124,10 +127,33 @@ def _frame_layout(function):
 
 
 class Machine:
-    """Loads a module and executes it."""
+    """Loads a module and executes it.
+
+    ``engine`` selects the dispatch strategy:
+
+    * ``"compiled"`` (default) — the closure-compiled threaded-code
+      engine in :mod:`repro.vm.engine`: each basic block is translated
+      once into specialized closures with operands, costs, branch
+      targets and symbol addresses pre-resolved.
+    * ``"interp"`` — the reference interpreter below, kept as the
+      executable specification; ``tests/vm/test_engine_equivalence.py``
+      pins the two engines to bit-identical :class:`ExecutionResult`\\ s.
+
+    The ``REPRO_ENGINE`` environment variable overrides the default.
+    """
+
+    ENGINES = ("compiled", "interp")
 
     def __init__(self, module, heap_size=None, stack_size=None,
-                 input_data=b"", max_instructions=200_000_000):
+                 input_data=b"", max_instructions=200_000_000, engine=None):
+        if engine is None:
+            import os
+
+            engine = os.environ.get("REPRO_ENGINE") or "compiled"
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
+        self.engine_name = engine
+        self._engine = None
         self.module = module
         kwargs = {}
         if heap_size:
@@ -195,10 +221,24 @@ class Machine:
                 if target is None:
                     raise Trap(TrapKind.SEGFAULT, f"unresolved symbol {sym}")
                 self.memory.write_ptr(addr + roff, target + addend)
+        # Pre-assign every call site's return-address token in module
+        # layout order.  Tokens are observable program state (a frame's
+        # saved-RA bytes live in simulated stack memory, and overreads
+        # can fold them into output), so their values must not depend on
+        # which engine executes or in what dynamic order calls first
+        # run; _site_id still assigns lazily for any call created later.
+        for function in self.module.functions.values():
+            for block in function.blocks:
+                for instr in block.instructions:
+                    if instr.opcode == "call":
+                        self._site_id((function.name, id(instr)))
 
     def attach_observer(self, observer):
         observer.attach(self)
         self.observers.append(observer)
+        if self._engine is not None:
+            # Compiled closures specialize away empty-observer branches.
+            self._engine.invalidate()
         for name, gvar in self.module.globals.items():
             observer.on_global(self.symbol_addrs[name], max(gvar.size, 1), name, gvar.ctype)
         return observer
@@ -355,7 +395,19 @@ class Machine:
     # -- the dispatch loop ------------------------------------------------------------
 
     def _execute(self, frame):
-        """Run ``frame`` until its function returns; returns the value."""
+        """Run ``frame`` until its function returns; returns the value.
+        Dispatches to the selected engine."""
+        if self.engine_name == "compiled":
+            engine = self._engine
+            if engine is None:
+                from .engine import ClosureEngine
+
+                engine = self._engine = ClosureEngine(self)
+            return engine.execute(frame)
+        return self._execute_interp(frame)
+
+    def _execute_interp(self, frame):
+        """The reference interpreter loop (executable specification)."""
         depth = len(self.frames)
         frame.block = frame.function.entry
         frame.index = 0
@@ -371,7 +423,7 @@ class Machine:
             instr = block.instructions[frame.index]
             stats.instructions += 1
             if stats.instructions > self.max_instructions:
-                raise Trap(TrapKind.RESOURCE_LIMIT, "instruction budget exhausted")
+                raise Trap(TrapKind.RESOURCE_LIMIT, RESOURCE_LIMIT_MSG)
             op = instr.opcode
             if op == "ret":
                 value = self._exec_ret(frame, instr)

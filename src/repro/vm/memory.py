@@ -19,6 +19,16 @@ past the end of one stack array or heap block lands in adjacent program
 data and silently corrupts it — exactly like real hardware, which is what
 gives the paper's attack and bug-detection experiments their teeth.
 Only accesses that leave every mapped segment trap (simulated SIGSEGV).
+
+Hot-path design: segment resolution is an address-range dispatch (the
+three data regions occupy disjoint, ordered ranges) backed by a
+last-segment cache, and the scalar codec uses pre-built
+:class:`struct.Struct` instances unpacking straight out of the segment
+``bytearray`` — no per-access linear scan, no intermediate ``bytes``
+copy.  The closure-compiled engine binds the :meth:`scalar_reader` /
+:meth:`scalar_writer` factories, which additionally keep a private
+per-closure segment cache (an instruction that repeatedly touches one
+array never re-resolves its segment).
 """
 
 import struct
@@ -37,18 +47,29 @@ DEFAULT_STACK_SIZE = 4 * 1024 * 1024
 _HEAP_HEADER = 16
 _HEAP_MAGIC = 0x5AFEB10C
 
+#: Pre-built struct codecs for the power-of-two scalar widths, keyed by
+#: ``(width, signed)``.  Other widths fall back to int.to_bytes/from_bytes.
+_SCALAR_CODECS = {
+    (1, True): struct.Struct("<b"),
+    (1, False): struct.Struct("<B"),
+    (2, True): struct.Struct("<h"),
+    (2, False): struct.Struct("<H"),
+    (4, True): struct.Struct("<i"),
+    (4, False): struct.Struct("<I"),
+    (8, True): struct.Struct("<q"),
+    (8, False): struct.Struct("<Q"),
+}
+_F64 = struct.Struct("<d")
+
 
 class Segment:
-    __slots__ = ("name", "base", "data")
+    __slots__ = ("name", "base", "data", "end")
 
     def __init__(self, name, base, size):
         self.name = name
         self.base = base
         self.data = bytearray(size)
-
-    @property
-    def end(self):
-        return self.base + len(self.data)
+        self.end = base + size
 
     def contains(self, addr, size):
         return self.base <= addr and addr + size <= self.end
@@ -63,6 +84,7 @@ class Memory:
         self.stack = Segment("stack", STACK_TOP - stack_size, stack_size)
         self.globals_segment = None
         self.segments.extend([self.heap, self.stack])
+        self._last = self.heap  # last-segment cache
         # Heap allocator state: sorted free list of (offset, size) within
         # the heap segment, plus live allocation registry for free() and
         # the observers the baseline checkers attach.
@@ -79,9 +101,26 @@ class Memory:
         return self.globals_segment
 
     def _segment_for(self, addr, size):
-        for segment in self.segments:
-            if segment.contains(addr, size):
-                return segment
+        # Last-segment cache: straight-line code overwhelmingly touches
+        # the segment it touched last.
+        seg = self._last
+        if seg.base <= addr and addr + size <= seg.end:
+            return seg
+        # Address-range dispatch: the three data regions are disjoint and
+        # ordered (globals < heap < stack), so the address alone names
+        # the only possible segment.
+        if addr >= HEAP_BASE:
+            seg = self.heap if addr < self.heap.end else self.stack
+        else:
+            seg = self.globals_segment
+        if seg is not None and seg.base <= addr and addr + size <= seg.end:
+            self._last = seg
+            return seg
+        # Generic fallback (exotic layouts, straddling accesses).
+        for seg in self.segments:
+            if seg.base <= addr and addr + size <= seg.end:
+                self._last = seg
+                return seg
         return None
 
     def is_mapped(self, addr, size=1):
@@ -106,17 +145,39 @@ class Memory:
     # -- scalar codec --------------------------------------------------------
 
     def read_int(self, addr, width, signed=True):
-        return int.from_bytes(self.read(addr, width), "little", signed=signed)
+        codec = _SCALAR_CODECS.get((width, signed))
+        segment = self._segment_for(addr, width)
+        if segment is None:
+            raise Trap(TrapKind.SEGFAULT, f"read of {width} bytes", address=addr)
+        if codec is None:
+            off = addr - segment.base
+            return int.from_bytes(segment.data[off : off + width], "little",
+                                  signed=signed)
+        return codec.unpack_from(segment.data, addr - segment.base)[0]
 
     def write_int(self, addr, value, width):
+        codec = _SCALAR_CODECS.get((width, False))
+        segment = self._segment_for(addr, width)
+        if segment is None:
+            raise Trap(TrapKind.SEGFAULT, f"write of {width} bytes", address=addr)
         mask = (1 << (width * 8)) - 1
-        self.write(addr, (value & mask).to_bytes(width, "little"))
+        if codec is None:
+            off = addr - segment.base
+            segment.data[off : off + width] = (value & mask).to_bytes(width, "little")
+        else:
+            codec.pack_into(segment.data, addr - segment.base, value & mask)
 
     def read_f64(self, addr):
-        return struct.unpack("<d", self.read(addr, 8))[0]
+        segment = self._segment_for(addr, 8)
+        if segment is None:
+            raise Trap(TrapKind.SEGFAULT, "read of 8 bytes", address=addr)
+        return _F64.unpack_from(segment.data, addr - segment.base)[0]
 
     def write_f64(self, addr, value):
-        self.write(addr, struct.pack("<d", float(value)))
+        segment = self._segment_for(addr, 8)
+        if segment is None:
+            raise Trap(TrapKind.SEGFAULT, "write of 8 bytes", address=addr)
+        _F64.pack_into(segment.data, addr - segment.base, float(value))
 
     def read_ptr(self, addr):
         return self.read_int(addr, 8, signed=False)
@@ -124,14 +185,92 @@ class Memory:
     def write_ptr(self, addr, value):
         self.write_int(addr, value, 8)
 
+    # -- closure-engine codec factories --------------------------------------
+
+    def _codec_reader(self, codec, width):
+        """A bound reader closure ``fn(addr) -> value`` with its own
+        segment cache — the compiled engine binds one per memory-touching
+        instruction, so an instruction that loops over one array resolves
+        its segment once."""
+        unpack_from = codec.unpack_from
+        segment_for = self._segment_for
+        cached = self.heap
+
+        def read(addr):
+            nonlocal cached
+            seg = cached
+            if addr < seg.base or addr + width > seg.end:
+                seg = segment_for(addr, width)
+                if seg is None:
+                    raise Trap(TrapKind.SEGFAULT, f"read of {width} bytes",
+                               address=addr)
+                cached = seg
+            return unpack_from(seg.data, addr - seg.base)[0]
+
+        return read
+
+    def _codec_writer(self, codec, width, convert_float):
+        pack_into = codec.pack_into
+        mask = (1 << (width * 8)) - 1
+        segment_for = self._segment_for
+        cached = self.heap
+
+        def write(addr, value):
+            nonlocal cached
+            seg = cached
+            if addr < seg.base or addr + width > seg.end:
+                seg = segment_for(addr, width)
+                if seg is None:
+                    raise Trap(TrapKind.SEGFAULT, f"write of {width} bytes",
+                               address=addr)
+                cached = seg
+            if convert_float:
+                pack_into(seg.data, addr - seg.base, float(value))
+            else:
+                pack_into(seg.data, addr - seg.base, value & mask)
+
+        return write
+
+    def scalar_reader(self, width, signed):
+        return self._codec_reader(_SCALAR_CODECS[(width, signed)], width)
+
+    def scalar_writer(self, width):
+        return self._codec_writer(_SCALAR_CODECS[(width, False)], width, False)
+
+    def f64_reader(self):
+        return self._codec_reader(_F64, 8)
+
+    def f64_writer(self):
+        return self._codec_writer(_F64, 8, True)
+
+    # -- strings ---------------------------------------------------------------
+
     def read_cstring(self, addr, limit=1 << 20):
-        """Read a NUL-terminated string; traps if it runs off the map."""
-        out = bytearray()
-        while len(out) < limit:
-            byte = self.read(addr + len(out), 1)[0]
-            if byte == 0:
-                return bytes(out)
-            out.append(byte)
+        """Read a NUL-terminated string; traps if it runs off the map.
+
+        Scans for the terminator inside each segment's ``bytearray``
+        (one ``find`` per segment) instead of one trapped read per byte;
+        behaviour — including the trap raised for unterminated or
+        unmapped strings — is identical to the byte-at-a-time loop.
+        """
+        pieces = []
+        collected = 0
+        cursor = addr
+        while collected < limit:
+            segment = self._segment_for(cursor, 1)
+            if segment is None:
+                raise Trap(TrapKind.SEGFAULT, "read of 1 bytes", address=cursor)
+            data = segment.data
+            off = cursor - segment.base
+            # The terminator must appear before the limit is exhausted.
+            cap = min(len(data), off + (limit - collected))
+            idx = data.find(0, off, cap)
+            if idx >= 0:
+                pieces.append(bytes(data[off:idx]))
+                return b"".join(pieces)
+            pieces.append(bytes(data[off:cap]))
+            collected += cap - off
+            cursor = segment.base + cap
         raise Trap(TrapKind.SEGFAULT, "unterminated string", address=addr)
 
     # -- heap allocator ------------------------------------------------------

@@ -128,3 +128,45 @@ def test_stack_segment_mapped(mem):
     top = mem.stack.end - 8
     mem.write_ptr(top, 0x1234)
     assert mem.read_ptr(top) == 0x1234
+
+
+def test_read_cstring_large_heap_allocation():
+    """Regression for the O(n) per-byte segment walk: a string spanning
+    a large heap allocation is read with in-segment scanning, and the
+    result is exact (content, terminator position)."""
+    big = Memory()  # default 32 MiB heap
+    size = 512 * 1024
+    addr = big.malloc(size + 1)
+    payload = bytes((i % 251) + 1 for i in range(size))  # no NUL bytes
+    big.write(addr, payload + b"\x00")
+    assert big.read_cstring(addr, limit=1 << 21) == payload
+    # A read starting mid-string sees the tail.
+    assert big.read_cstring(addr + size - 5, limit=1 << 21) == payload[-5:]
+
+
+def test_read_cstring_unterminated_hits_limit(mem):
+    addr = mem.malloc(64)
+    mem.write(addr, b"A" * 64)  # heap beyond is zero, so craft a tight limit
+    with pytest.raises(Trap) as exc:
+        mem.read_cstring(addr, limit=32)
+    assert exc.value.kind is TrapKind.SEGFAULT
+    assert "unterminated" in exc.value.detail
+
+
+def test_read_cstring_running_off_segment_traps_at_exact_address(mem):
+    end = mem.heap.end
+    start = end - 16
+    mem.write(start, b"B" * 16)  # no terminator before the segment end
+    with pytest.raises(Trap) as exc:
+        mem.read_cstring(start)
+    assert exc.value.kind is TrapKind.SEGFAULT
+    assert exc.value.address == end  # first unmapped byte
+
+
+def test_read_cstring_nul_at_limit_boundary_is_unterminated(mem):
+    addr = mem.malloc(32)
+    mem.write(addr, b"C" * 8 + b"\x00")
+    # NUL sits at offset 8 == limit: the bounded scan must not see it.
+    with pytest.raises(Trap):
+        mem.read_cstring(addr, limit=8)
+    assert mem.read_cstring(addr, limit=9) == b"C" * 8
