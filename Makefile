@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick ci tables
+.PHONY: test bench bench-quick bench-checkopt ci tables
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -16,8 +16,11 @@ bench:           ## full wall-clock benchmark; records BENCH_interp.json
 bench-quick:     ## quick wall-clock subset (no recording)
 	$(PYTHON) benchmarks/bench_wallclock.py --quick
 
-ci:              ## tier-1 tests + perf regression gate (>20% fails)
+bench-checkopt:  ## loop-pass cost-model ablation; records BENCH_checkopt.json
+	$(PYTHON) benchmarks/bench_checkopt.py
+
+ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5% fail)
 	$(PYTHON) scripts/ci.py
 
-tables:          ## regenerate the paper's tables and figures
+tables:          ## regenerate the paper's tables and figures (REPRO_JOBS=N fans out)
 	$(PYTHON) -m repro tables

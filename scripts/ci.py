@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Lightweight CI gate: tier-1 tests + wall-clock perf regression check.
+"""Lightweight CI gate: tier-1 tests + perf regression checks.
 
 1. Runs the tier-1 test suite (``pytest -x -q``).
 2. Runs the quick wall-clock benchmark subset under both engines and
    compares the geometric-mean compiled-vs-interpreter speedup against
    the recorded baseline in ``BENCH_interp.json``.  Fails when the
    current speedup regresses by more than ``TOLERANCE`` (20%).
+3. Opt-matrix leg: re-measures the loop-workload subset with the
+   loop-aware check passes off vs on (simulated cost units, fully
+   deterministic) and fails when the optimized geomean instrumented
+   overhead regresses more than ``OPT_TOLERANCE`` (5%) against the
+   recorded ``BENCH_checkopt.json``.
 
-The speedup *ratio* — not absolute seconds — is compared, so the gate is
-stable across machines of different absolute speed.
+The wall-clock gate compares the speedup *ratio* — not absolute
+seconds — so it is stable across machines of different absolute speed;
+the opt gate compares cost-model units, which are host-independent.
 
 Usage:  python scripts/ci.py [--skip-tests]
 """
@@ -20,7 +26,9 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_interp.json"
-TOLERANCE = 0.20  # fail on >20% wall-clock regression
+CHECKOPT_JSON = REPO_ROOT / "BENCH_checkopt.json"
+TOLERANCE = 0.20      # fail on >20% wall-clock regression
+OPT_TOLERANCE = 0.05  # fail on >5% instrumented-overhead regression
 
 
 def run_tier1():
@@ -79,12 +87,47 @@ def run_perf_gate():
     return 0
 
 
+def run_opt_matrix_gate():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.harness.checkopt import (
+        LOOP_WORKLOADS,
+        load_report,
+        render_checkopt,
+        run_checkopt,
+    )
+
+    print("\n== opt-matrix gate (loop passes off vs on, cost units) ==",
+          flush=True)
+    report = run_checkopt(LOOP_WORKLOADS)
+    print(render_checkopt(report))
+    current = report["loop_geomean_overhead_on_pct"]
+    if not CHECKOPT_JSON.exists():
+        print(f"\nno recorded baseline at {CHECKOPT_JSON}; run "
+              f"`python benchmarks/bench_checkopt.py` to create one. "
+              f"Current optimized geomean overhead: {current:.2f}%")
+        return 0
+    recorded = load_report(CHECKOPT_JSON)["loop_geomean_overhead_on_pct"]
+    ceiling = recorded * (1.0 + OPT_TOLERANCE)
+    print(f"\nrecorded optimized geomean overhead: {recorded:.2f}%   "
+          f"current: {current:.2f}%   ceiling (+{OPT_TOLERANCE:.0%}): "
+          f"{ceiling:.2f}%")
+    if current > ceiling:
+        print("OPT REGRESSION: loop-pass instrumented overhead rose above "
+              "the recorded baseline ceiling")
+        return 1
+    print("opt-matrix gate ok")
+    return 0
+
+
 def main(argv):
     if "--skip-tests" not in argv:
         code = run_tier1()
         if code != 0:
             return code
-    return run_perf_gate()
+    code = run_perf_gate()
+    if code != 0:
+        return code
+    return run_opt_matrix_gate()
 
 
 if __name__ == "__main__":

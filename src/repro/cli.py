@@ -78,6 +78,12 @@ def build_parser():
         "tables", help="regenerate the paper's tables and figures")
     tables_parser.add_argument("name", nargs="?", choices=_TABLE_NAMES,
                                help="one artifact (default: all)")
+    tables_parser.add_argument("--jobs", "-j", type=int, default=None,
+                               metavar="N",
+                               help="fan the workload×scheme matrix out over "
+                                    "N worker processes (default: REPRO_JOBS "
+                                    "or serial); output is identical to a "
+                                    "serial run")
 
     sub.add_parser("workloads", help="list the built-in workloads")
 
@@ -168,8 +174,13 @@ def _print_stats(result, stdout):
     stdout.write("\n".join(lines) + "\n")
 
 
-def _render_tables(name, stdout):
+def _render_tables(name, stdout, jobs=None):
     from .harness import tables
+    from .harness.parallel import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if jobs > 1:
+        tables.prewarm(jobs=jobs, only=name)
 
     renderers = {
         "table1": tables.render_table1,
@@ -221,7 +232,7 @@ def main(argv=None, stdout=None, stderr=None):
     if args.command == "workloads":
         return _list_workloads(stdout)
     if args.command == "tables":
-        return _render_tables(args.name, stdout)
+        return _render_tables(args.name, stdout, jobs=args.jobs)
     if args.command == "bench":
         return _run_bench(args, stdout)
 

@@ -29,6 +29,8 @@ class FormalMemory:
         self.next_free = min_addr
         self.allocated = set()
         self.contents = {}
+        self.block_base = {}  # location -> base of its allocation block
+        self.block_size = {}  # block base -> block size
 
     @property
     def max_addr(self):
@@ -62,9 +64,11 @@ class FormalMemory:
             return None
         base = self.next_free
         self.next_free += size
+        self.block_size[base] = size
         for offset in range(size):
             self.allocated.add(base + offset)
             self.contents[base + offset] = (0, 0, 0)
+            self.block_base[base + offset] = base
         return base
 
     # -- predicates used by well-formedness ------------------------------------
@@ -72,6 +76,17 @@ class FormalMemory:
     def val(self, loc):
         """``val M i``: location i is allocated."""
         return loc in self.allocated
+
+    def in_one_object(self, loc, size):
+        """Whether ``[loc, loc+size)`` lies inside a *single* allocation
+        block.  The partial semantics' definedness predicate: C leaves
+        an access undefined when it crosses out of the object it points
+        into, even if the neighbouring addresses happen to be allocated
+        (adjacent blocks are not one object)."""
+        base = self.block_base.get(loc)
+        if base is None or size <= 0:
+            return False
+        return loc + size <= base + self.block_size[base]
 
     def snapshot(self):
         """Immutable view of current contents (for frame axioms)."""

@@ -137,9 +137,21 @@ class Evaluator:
             if not (base <= value and value + size <= bound):
                 raise _Signal(Outcome.ABORT)
         else:
-            # Partial semantics: undefined unless the whole access range
-            # is allocated memory.
-            if size == 0 or not all(self.env.memory.val(value + i) for i in range(size)):
+            # Partial semantics: undefined unless the access stays
+            # inside the object the pointer points into.  Provenance is
+            # what C's object model keys on — per-byte (or even
+            # per-block) allocation is not enough, since an access
+            # overflowing into an *adjacent* allocated object (a
+            # one-past-the-end dereference, a too-small malloc cast to
+            # a struct) would then count as defined, and the
+            # no-false-positives corollary would wrongly blame the
+            # instrumented semantics for aborting exactly the overflows
+            # SoftBound exists to detect.  The machine stores every
+            # pointer with its bounds, so the pointed-into object is
+            # known here even without checks; the block-extent test is
+            # kept as a belt against any bounds/allocation mismatch.
+            if not (base <= value and value + size <= bound
+                    and self.env.memory.in_one_object(value, size)):
                 raise _Signal(Outcome.STUCK)
         return value, pointee
 

@@ -1,0 +1,124 @@
+"""Axis-1 measurement of the loop-aware check optimizer.
+
+Compares, per workload, the instrumented-cost overhead (the paper's
+Figure 2 metric: ``cost(instrumented)/cost(baseline) − 1``) of the
+full-shadow SoftBound build with the loop passes (LICM + guarded check
+widening) off versus on.  Everything here is simulated cost-model
+units — deterministic on every host — so the recorded report
+(``BENCH_checkopt.json``) can be gated exactly by CI.
+
+``LOOP_WORKLOADS`` names the array/loop-dominated workloads the loop
+passes target; the pointer-chasing Olden analogues execute data-
+dependent access chains per node and are structurally out of reach of
+affine widening (the paper's own overhead profile shows the same
+split).
+"""
+
+import json
+import math
+from dataclasses import replace
+
+from ..softbound.config import FULL_SHADOW
+from ..workloads.programs import WORKLOADS
+from .driver import compile_program
+
+#: Workloads dominated by counted array loops — the loop passes' target
+#: population and the acceptance basis for the recorded reduction.
+LOOP_WORKLOADS = ("go", "lbm", "hmmer", "compress", "ijpeg", "libquantum")
+
+_LOOP_OFF = replace(FULL_SHADOW, loop_optimize=False)
+
+
+def _geomean(values):
+    values = [max(v, 1e-9) for v in values]
+    return math.exp(sum(map(math.log, values)) / len(values)) if values else 0.0
+
+
+def run_checkopt(workload_names=None):
+    """Measure every workload; returns the report dict recorded in
+    ``BENCH_checkopt.json``."""
+    names = list(workload_names or WORKLOADS)
+    per_workload = {}
+    for name in names:
+        source = WORKLOADS[name].source
+        base = compile_program(source).run()
+        off = compile_program(source, softbound=_LOOP_OFF).run()
+        on = compile_program(source, softbound=FULL_SHADOW).run()
+        for result in (off, on):
+            if result.trap is not None or result.exit_code != base.exit_code \
+                    or result.output != base.output:
+                raise AssertionError(f"{name}: behaviour diverged under "
+                                     f"instrumentation ({result.trap})")
+        overhead_off = (off.stats.cost / base.stats.cost - 1.0) * 100.0
+        overhead_on = (on.stats.cost / base.stats.cost - 1.0) * 100.0
+        per_workload[name] = {
+            "overhead_off_pct": round(overhead_off, 3),
+            "overhead_on_pct": round(overhead_on, 3),
+            "checks_off": off.stats.checks,
+            "checks_on": on.stats.checks,
+            "checks_eliminated_pct": round(
+                100.0 * (1.0 - on.stats.checks / off.stats.checks), 2)
+                if off.stats.checks else 0.0,
+            "metadata_loads_off": off.stats.metadata_loads,
+            "metadata_loads_on": on.stats.metadata_loads,
+        }
+
+    def geo(names_, key):
+        return _geomean([per_workload[n][key] for n in names_
+                         if n in per_workload])
+
+    loop_names = [n for n in LOOP_WORKLOADS if n in per_workload]
+    report = {
+        "schema": "checkopt-v1",
+        "config": FULL_SHADOW.label,
+        "workloads": per_workload,
+        "geomean_overhead_off_pct": round(geo(per_workload, "overhead_off_pct"), 3),
+        "geomean_overhead_on_pct": round(geo(per_workload, "overhead_on_pct"), 3),
+        "loop_workloads": loop_names,
+        "loop_geomean_overhead_off_pct": round(
+            geo(loop_names, "overhead_off_pct"), 3),
+        "loop_geomean_overhead_on_pct": round(
+            geo(loop_names, "overhead_on_pct"), 3),
+    }
+    off_g = report["loop_geomean_overhead_off_pct"]
+    on_g = report["loop_geomean_overhead_on_pct"]
+    report["loop_overhead_reduction_pct"] = round(
+        100.0 * (1.0 - on_g / off_g), 2) if off_g else 0.0
+    return report
+
+
+def render_checkopt(report):
+    lines = ["Loop-aware check optimizer: instrumented overhead "
+             "(softbound Full-Shadow), loop passes off vs on",
+             ""]
+    header = (f"{'workload':12s} {'off':>9s} {'on':>9s} "
+              f"{'checks off':>11s} {'checks on':>11s} {'elim':>7s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in report["workloads"].items():
+        lines.append(
+            f"{name:12s} {row['overhead_off_pct']:8.1f}% "
+            f"{row['overhead_on_pct']:8.1f}% "
+            f"{row['checks_off']:11d} {row['checks_on']:11d} "
+            f"{row['checks_eliminated_pct']:6.1f}%")
+    lines.append("")
+    lines.append(f"geomean overhead (all {len(report['workloads'])}): "
+                 f"{report['geomean_overhead_off_pct']:.1f}% -> "
+                 f"{report['geomean_overhead_on_pct']:.1f}%")
+    lines.append(f"geomean overhead (loop workloads "
+                 f"{', '.join(report['loop_workloads'])}): "
+                 f"{report['loop_geomean_overhead_off_pct']:.1f}% -> "
+                 f"{report['loop_geomean_overhead_on_pct']:.1f}% "
+                 f"({report['loop_overhead_reduction_pct']:.1f}% reduction)")
+    return "\n".join(lines)
+
+
+def write_report(report, path):
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path):
+    with open(path) as handle:
+        return json.load(handle)

@@ -23,6 +23,10 @@ class CompiledProgram:
     module: object
     softbound_config: object = None
     pass_stats: object = None
+    #: PassStats of the post-instrumentation cleanup pipeline (None for
+    #: unprotected builds or ``optimize_checks=False``); carries the
+    #: loop-pass counters (hoisted/widened/deduped).
+    check_opt_stats: object = None
 
     @property
     def is_protected(self):
@@ -64,6 +68,7 @@ def compile_program(source, softbound=None, optimize=True, verify=True):
     if verify:
         verify_module(module)
     pass_stats = optimize_module(module, verify=verify) if optimize else None
+    check_opt_stats = None
     if softbound is not None:
         from ..softbound.transform import SoftBoundTransform
 
@@ -71,8 +76,11 @@ def compile_program(source, softbound=None, optimize=True, verify=True):
         if verify:
             verify_module(module)
         if softbound.optimize_checks:
-            optimize_after_instrumentation(module, verify=verify)
-    return CompiledProgram(module=module, softbound_config=softbound, pass_stats=pass_stats)
+            check_opt_stats = optimize_after_instrumentation(
+                module, verify=verify, config=softbound)
+    return CompiledProgram(module=module, softbound_config=softbound,
+                           pass_stats=pass_stats,
+                           check_opt_stats=check_opt_stats)
 
 
 def run_program(compiled, entry="main", input_data=b"", observers=(), **kwargs):

@@ -46,7 +46,8 @@ def compile_module(source, softbound=None, optimize=True, verify=True,
         if verify:
             verify_module(module, allow_unresolved=True)
         if softbound.optimize_checks:
-            optimize_after_instrumentation(module, verify=False)
+            module.check_opt_stats = optimize_after_instrumentation(
+                module, verify=False, config=softbound)
             if verify:
                 verify_module(module, allow_unresolved=True)
     return module

@@ -1,0 +1,82 @@
+"""Process-pool fan-out for the workload×scheme evaluation matrix.
+
+``python -m repro tables`` re-runs every workload under every
+configuration, plus the attack, BugBench and server sweeps — dozens of
+independent compile+run jobs that share nothing but code.  This module
+fans them out over a ``ProcessPoolExecutor`` (``--jobs N`` /
+``REPRO_JOBS``) while keeping the output *bit-identical* to a serial
+run:
+
+* the task list is built in a fixed order and results are consumed via
+  ``Executor.map``, which preserves submission order regardless of
+  completion order — rendering never observes scheduling;
+* each task is a pure function of its ``(kind, name, config)``
+  descriptor: workers recompute from source and return plain picklable
+  results (measurements, detection tuples), which the parent uses to
+  seed the same in-process caches a serial run fills lazily;
+* every simulated machine is deterministic (the cost model has no
+  wall-clock inputs), so a result computed in a worker is the result
+  the parent would have computed itself.
+
+Task kinds are dispatched by :func:`execute_task`; the table renderers'
+cache-seeding lives in :mod:`repro.harness.tables` (``prewarm``).
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+
+def resolve_jobs(jobs=None):
+    """Effective worker count: an explicit ``jobs`` wins, else the
+    ``REPRO_JOBS`` environment variable, else 1 (serial)."""
+    if jobs is not None and jobs > 0:
+        return jobs
+    env = os.environ.get("REPRO_JOBS", "")
+    try:
+        value = int(env)
+    except ValueError:
+        return 1
+    return value if value > 0 else 1
+
+
+def execute_task(task):
+    """Run one matrix task; returns its picklable result.
+
+    Kinds:
+
+    * ``("measure", workload_name, config_or_None)`` →
+      :class:`~repro.harness.stats.WorkloadMeasurement`
+    * ``("attack", attack_name)`` → ``(exploited, full, store)`` bools
+    * ``("bug", bug_name)`` → ``(valgrind, mudflap, store, full)`` bools
+    * ``("server", server_name, config)`` →
+      ``(trap_str_or_None, output_identical)``
+    """
+    kind = task[0]
+    if kind == "measure":
+        from .stats import measure
+
+        return measure(task[1], task[2])
+    if kind == "attack":
+        from . import tables
+
+        return tables.attack_detection(task[1])
+    if kind == "bug":
+        from . import tables
+
+        return tables.bug_detection(task[1])
+    if kind == "server":
+        from . import tables
+
+        return tables.server_outcome(task[1], task[2])
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def run_tasks(tasks, jobs):
+    """Execute ``tasks``, fanning out over ``jobs`` processes; the
+    result list is index-aligned with ``tasks`` (deterministic order)."""
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [execute_task(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_task, tasks))

@@ -39,16 +39,37 @@ class WorkloadMeasurement:
         return self.pointer_memory_ops / self.memory_ops
 
 
+def _cache_key(workload_name, config=None, observer_factory=None):
+    return (workload_name,
+            config.label if config is not None else
+            (observer_factory.__name__ if observer_factory else "baseline"),
+            getattr(config, "variant", ""),
+            getattr(config, "optimize_checks", True),
+            getattr(config, "loop_optimize", True))
+
+
+def is_measurement_cached(workload_name, config=None, observer_factory=None):
+    return _cache_key(workload_name, config, observer_factory) in _MEASUREMENT_CACHE
+
+
+def seed_measurement(measurement, workload_name, config=None,
+                     observer_factory=None):
+    """Install an externally computed measurement (the ``--jobs``
+    process-pool fan-out seeds the per-process cache with worker
+    results; every machine is deterministic, so a worker's measurement
+    is bit-identical to one computed here)."""
+    _MEASUREMENT_CACHE[_cache_key(workload_name, config, observer_factory)] \
+        = measurement
+    return measurement
+
+
 def measure(workload_name, config=None, observer_factory=None):
     """Compile and run one workload under one configuration (memoized).
 
     ``config`` is a SoftBoundConfig or None; ``observer_factory`` builds a
     fresh baseline observer per run (observers carry per-run state).
     """
-    key = (workload_name,
-           config.label if config is not None else
-           (observer_factory.__name__ if observer_factory else "baseline"),
-           getattr(config, "variant", ""))
+    key = _cache_key(workload_name, config, observer_factory)
     if key in _MEASUREMENT_CACHE:
         return _MEASUREMENT_CACHE[key]
     wl = WORKLOADS[workload_name]

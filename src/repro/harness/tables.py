@@ -4,6 +4,14 @@ Each ``render_*`` function returns the artifact as a formatted string
 (ASCII bars for the figures, aligned rows for the tables) in the same
 layout as the paper, so benchmark runs can print something directly
 comparable to the original.
+
+Every per-item computation (one workload×config measurement, one
+attack's detection triple, one BugBench quadruple, one server outcome)
+is memoized behind a small helper, and :func:`prewarm` can fill those
+memos in parallel via :mod:`repro.harness.parallel` (``--jobs N`` /
+``REPRO_JOBS`` on ``python -m repro tables``).  Rendering itself stays
+serial and consumes the memos in a fixed order, so the output is
+byte-identical whatever the worker count.
 """
 
 from ..baselines import JonesKellyChecker, MudflapChecker, ValgrindChecker
@@ -16,7 +24,160 @@ from ..workloads.attacks import all_attacks
 from ..workloads.bugbench import all_bugs
 from ..workloads.programs import WORKLOADS
 from ..workloads.servers import all_servers
+from . import stats
+from .parallel import resolve_jobs, run_tasks
 from .stats import average, measure, overhead_matrix, pointer_fractions
+
+#: Per-item result memos, seeded either lazily (serial render) or by
+#: the parallel prewarm.  Keyed by item name (plus config label where
+#: the item is per-configuration).
+_ATTACK_CACHE = {}
+_BUG_CACHE = {}
+_SERVER_CACHE = {}
+_SERVER_PLAIN_CACHE = {}
+
+
+def attack_detection(name):
+    """``(exploited, detected_full, detected_store)`` for one Wilander
+    attack (memoized)."""
+    cached = _ATTACK_CACHE.get(name)
+    if cached is None:
+        attack = next(a for a in all_attacks() if a.name == name)
+        plain = compile_and_run(attack.source)
+        full = compile_and_run(attack.source, softbound=FULL_SHADOW)
+        store = compile_and_run(attack.source, softbound=STORE_SHADOW)
+        cached = (plain.attack_succeeded, full.detected_violation,
+                  store.detected_violation)
+        _ATTACK_CACHE[name] = cached
+    return cached
+
+
+def bug_detection(name):
+    """``(valgrind, mudflap, sb_store, sb_full)`` detection booleans for
+    one BugBench program (memoized)."""
+    cached = _BUG_CACHE.get(name)
+    if cached is None:
+        bug = next(b for b in all_bugs() if b.name == name)
+        valgrind = compile_and_run(bug.source, observers=(ValgrindChecker(),))
+        mudflap = compile_and_run(bug.source, observers=(MudflapChecker(),))
+        store = compile_and_run(bug.source, softbound=STORE_SHADOW)
+        full = compile_and_run(bug.source, softbound=FULL_SHADOW)
+        cached = tuple(r.detected_violation
+                       for r in (valgrind, mudflap, store, full))
+        _BUG_CACHE[name] = cached
+    return cached
+
+
+def _server_plain(server):
+    """The unprotected reference run, once per server (shared by every
+    configuration's outcome)."""
+    cached = _SERVER_PLAIN_CACHE.get(server.name)
+    if cached is None:
+        cached = compile_and_run(server.source,
+                                 input_data=server.request_stream)
+        _SERVER_PLAIN_CACHE[server.name] = cached
+    return cached
+
+
+def server_outcome(name, config):
+    """``(trap_str_or_None, output_identical)`` for one server under one
+    configuration (memoized)."""
+    key = (name, config.label)
+    cached = _SERVER_CACHE.get(key)
+    if cached is None:
+        server = next(s for s in all_servers() if s.name == name)
+        plain = _server_plain(server)
+        protected = compile_and_run(server.source, softbound=config,
+                                    input_data=server.request_stream)
+        cached = (str(protected.trap) if protected.trap is not None else None,
+                  protected.output == plain.output)
+        _SERVER_CACHE[key] = cached
+    return cached
+
+
+# -- parallel prewarm --------------------------------------------------------
+
+#: Benchmarks common to SoftBound and MSCC (paper Section 6.5) — the
+#: single source of truth for both the renderer and the prewarm.
+SEC65_WORKLOADS = ("go", "compress", "bisort", "li", "treeadd")
+
+
+def _prewarm_tasks(only=None):
+    """The full task list an artifact (or all of them) needs, in a
+    fixed, deterministic order, minus what is already memoized."""
+
+    def wanted(*artifacts):
+        return only is None or only in artifacts
+
+    tasks = []
+    if wanted("figure1", "figure2", "sec65"):
+        for name in WORKLOADS:
+            tasks.append(("measure", name, None))
+    if wanted("figure2"):
+        for config in FIGURE2_CONFIGS:
+            for name in WORKLOADS:
+                tasks.append(("measure", name, config))
+    if wanted("sec65"):
+        for name in SEC65_WORKLOADS:
+            tasks.append(("measure", name, FULL_SHADOW))
+            tasks.append(("measure", name, MSCC_CONFIG))
+    if wanted("table3"):
+        for attack in all_attacks():
+            tasks.append(("attack", attack.name))
+    if wanted("table4"):
+        for bug in all_bugs():
+            tasks.append(("bug", bug.name))
+    if wanted("sec64"):
+        for server in all_servers():
+            for config in (FULL_SHADOW, STORE_SHADOW):
+                tasks.append(("server", server.name, config))
+
+    def cached(task):
+        if task[0] == "measure":
+            return stats.is_measurement_cached(task[1], task[2])
+        if task[0] == "attack":
+            return task[1] in _ATTACK_CACHE
+        if task[0] == "bug":
+            return task[1] in _BUG_CACHE
+        return (task[1], task[2].label) in _SERVER_CACHE
+
+    # Deduplicate while keeping order (measure tasks repeat across
+    # artifact groups).  Measurement identity is stats' own cache key,
+    # so two configs that differ only in flags the label omits (the
+    # loop_optimize ablations) are never conflated.
+    seen = set()
+    unique = []
+    for task in tasks:
+        if task[0] == "measure":
+            key = ("measure",) + stats._cache_key(task[1], task[2])
+        else:
+            key = (task[0], task[1],
+                   getattr(task[2], "label", None) if len(task) > 2 else None)
+        if key in seen or cached(task):
+            continue
+        seen.add(key)
+        unique.append(task)
+    return unique
+
+
+def prewarm(jobs=None, only=None):
+    """Compute every result an artifact needs, fanning the independent
+    compile+run jobs over ``jobs`` processes, and seed the in-process
+    memos.  Returns the number of tasks computed."""
+    jobs = resolve_jobs(jobs)
+    tasks = _prewarm_tasks(only)
+    results = run_tasks(tasks, jobs)
+    for task, result in zip(tasks, results):
+        kind = task[0]
+        if kind == "measure":
+            stats.seed_measurement(result, task[1], task[2])
+        elif kind == "attack":
+            _ATTACK_CACHE[task[1]] = result
+        elif kind == "bug":
+            _BUG_CACHE[task[1]] = result
+        else:
+            _SERVER_CACHE[(task[1], task[2].label)] = result
+    return len(tasks)
 
 
 def _format_table(headers, rows):
@@ -66,15 +227,13 @@ def render_table3():
         if attack.group != last_group:
             rows.append([f"-- {group_titles[attack.group]}", "", "", "", ""])
             last_group = attack.group
-        plain = compile_and_run(attack.source)
-        full = compile_and_run(attack.source, softbound=FULL_SHADOW)
-        store = compile_and_run(attack.source, softbound=STORE_SHADOW)
+        exploited, full, store = attack_detection(attack.name)
         rows.append([
             f"{attack.name} ({attack.location})",
             attack.target,
-            "EXPLOITED" if plain.attack_succeeded else "survived",
-            "yes" if full.detected_violation else "NO",
-            "yes" if store.detected_violation else "NO",
+            "EXPLOITED" if exploited else "survived",
+            "yes" if full else "NO",
+            "yes" if store else "NO",
         ])
     title = "Table 3: Wilander attack suite detection (full and store-only checking)"
     return title + "\n" + _format_table(headers, rows)
@@ -82,29 +241,15 @@ def render_table3():
 
 def table3_matrix():
     """Raw detection tuples for tests: {attack: (exploited, full, store)}."""
-    out = {}
-    for attack in all_attacks():
-        plain = compile_and_run(attack.source)
-        full = compile_and_run(attack.source, softbound=FULL_SHADOW)
-        store = compile_and_run(attack.source, softbound=STORE_SHADOW)
-        out[attack.name] = (plain.attack_succeeded, full.detected_violation,
-                            store.detected_violation)
-    return out
+    return {attack.name: attack_detection(attack.name)
+            for attack in all_attacks()}
 
 
 # -- Table 4 -------------------------------------------------------------------------
 
 def table4_matrix():
     """{bug: (valgrind, mudflap, sb_store, sb_full)} detection booleans."""
-    out = {}
-    for bug in all_bugs():
-        valgrind = compile_and_run(bug.source, observers=(ValgrindChecker(),))
-        mudflap = compile_and_run(bug.source, observers=(MudflapChecker(),))
-        store = compile_and_run(bug.source, softbound=STORE_SHADOW)
-        full = compile_and_run(bug.source, softbound=FULL_SHADOW)
-        out[bug.name] = tuple(r.detected_violation
-                              for r in (valgrind, mudflap, store, full))
-    return out
+    return {bug.name: bug_detection(bug.name) for bug in all_bugs()}
 
 
 def render_table4():
@@ -163,16 +308,14 @@ def render_sec64():
     headers = ["Program", "Config", "Transforms?", "False positives", "Output identical"]
     rows = []
     for server in all_servers():
-        plain = compile_and_run(server.source, input_data=server.request_stream)
         for config in (FULL_SHADOW, STORE_SHADOW):
-            protected = compile_and_run(server.source, softbound=config,
-                                        input_data=server.request_stream)
+            trap_text, identical = server_outcome(server.name, config)
             rows.append([
                 server.name,
                 config.label,
                 "yes",
-                "none" if protected.trap is None else str(protected.trap),
-                "yes" if protected.output == plain.output else "NO",
+                "none" if trap_text is None else trap_text,
+                "yes" if identical else "NO",
             ])
     # The fifteen benchmarks also transform unmodified (checked by the
     # overhead sweep); record the count.
@@ -184,7 +327,7 @@ def render_sec64():
 
 # -- Section 6.5 --------------------------------------------------------------------------------
 
-def sec65_comparison(workload_names=("go", "compress", "bisort", "li", "treeadd")):
+def sec65_comparison(workload_names=SEC65_WORKLOADS):
     """SoftBound vs MSCC overheads on common benchmarks (paper §6.5)."""
     out = {}
     for name in workload_names:

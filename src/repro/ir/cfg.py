@@ -136,3 +136,67 @@ class CFG:
             if parent is not None:
                 children[parent.label].append(block)
         return children
+
+
+# -- structural edge utilities ----------------------------------------------
+#
+# Used by loop-shape transformations (repro.ir.loops): they mutate the
+# function, so any CFG built beforehand is stale afterwards.
+
+
+def redirect_terminator(block, old_label, new_label):
+    """Rewrite every occurrence of ``old_label`` in ``block``'s
+    terminator to ``new_label``.  Returns the number of labels changed."""
+    term = block.terminator
+    if term is None:
+        return 0
+    changed = 0
+    if term.opcode == "br" and term.label == old_label:
+        term.label = new_label
+        changed += 1
+    elif term.opcode == "cbr":
+        if term.true_label == old_label:
+            term.true_label = new_label
+            changed += 1
+        if term.false_label == old_label:
+            term.false_label = new_label
+            changed += 1
+    if changed:
+        block.invalidate_compiled()
+    return changed
+
+
+def unique_label(func, base):
+    """``base``, suffixed until it collides with no existing block."""
+    label = base
+    while label in func.block_map:
+        label += "_"
+    return label
+
+
+def insert_block(func, block, before_label):
+    """Register ``block`` in the function, placed just before
+    ``before_label`` in layout order (so a block inserted before the
+    entry becomes the new entry)."""
+    index = next(i for i, b in enumerate(func.blocks)
+                 if b.label == before_label)
+    func.blocks.insert(index, block)
+    func.block_map[block.label] = block
+    return block
+
+
+def split_edge(func, pred_block, succ_label, label_hint=None):
+    """Split the CFG edge ``pred_block -> succ_label``: insert a fresh
+    block containing only ``br succ_label`` and point the predecessor's
+    terminator at it.  Returns the new block."""
+    from . import instructions as ins
+    from .module import BasicBlock
+
+    label = unique_label(
+        func, label_hint or f"{pred_block.label}.{succ_label}.split")
+    split = BasicBlock(label)
+    split.append(ins.Br(label=succ_label))
+    if not redirect_terminator(pred_block, succ_label, label):
+        raise ValueError(
+            f"no edge {pred_block.label} -> {succ_label} to split")
+    return insert_block(func, split, succ_label)

@@ -237,6 +237,18 @@ class SbMetaClear(Instruction):
     size: Value = None
 
 
+#: Opcodes that may write the disjoint metadata table: the explicit
+#: table instructions, aggregate copies (the runtime copies entries),
+#: and calls (the callee may store pointers or free).  Program loads
+#: and non-pointer stores cannot reach a *disjoint* table — the
+#: incorruptibility property of paper Section 3.4 — which is exactly
+#: what lets checkelim/licm deduplicate and hoist ``sb_meta_load``s
+#: across them.  Inline-metadata baselines (fatptr) violate the
+#: premise and are excluded from those passes at the pipeline level.
+METADATA_TABLE_WRITERS = frozenset(
+    ["call", "memcopy", "sb_meta_store", "sb_meta_clear"])
+
+
 @dataclass
 class MemCopy(Instruction):
     """Aggregate copy (struct assignment).  Distinct from the libc

@@ -1,4 +1,5 @@
-"""Optimizer passes: constfold, mem2reg, dce, redundant-check elimination."""
+"""Optimizer passes: constfold, mem2reg, dce, redundant-check
+elimination, and the loop-aware check optimizer (licm + checkwiden)."""
 
 from .pipeline import PassStats, optimize_after_instrumentation, optimize_module
 

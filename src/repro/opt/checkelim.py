@@ -18,9 +18,23 @@ at two scopes:
   availability table is scoped by a dominator-tree walk
   (:class:`repro.ir.cfg.CFG`), the classic dominator-based value
   numbering discipline.
+
+``sb_meta_load`` duplicates are deduplicated under the same two scopes,
+with one extra obligation checks do not have: a metadata load reads the
+mutable disjoint table, so the dominating occurrence must be provably
+un-invalidated at the dominated one.  Cross-block dedup therefore
+applies only in functions containing **no** table-writing instructions
+at all (no call / memcopy / sb_meta_store / sb_meta_clear — the only
+writers, the table being disjoint from program memory); otherwise the
+dedup falls back to block-local scope with the availability table
+killed at every potential table write.  A deduplicated load is replaced
+by two ``mov``s from the dominating load's companion registers (which
+the cost model prices at zero, matching register renaming).
 """
 
+from ..ir import instructions as ins
 from ..ir.cfg import CFG
+from ..ir.instructions import METADATA_TABLE_WRITERS
 from ..ir.values import Const, Register, SymbolRef
 
 
@@ -53,6 +67,13 @@ class _GlobalKeys:
     def __init__(self, func):
         counts = _definition_counts(func)
         self.single = {uid for uid, n in counts.items() if n == 1}
+        # Parameter registers are defined exactly once, at entry, as
+        # long as no instruction writes them (lowering spills params to
+        # slots, so reassignment lands on the promoted copy instead).
+        for param in list(func.params) + list(getattr(func, "sb_extra_params", [])):
+            uid = param.register.uid
+            if counts.get(uid, 0) == 0:
+                self.single.add(uid)
         self.copy_of = {}
         for instr in func.instructions():
             if instr.opcode == "mov" and instr.dst.uid in self.single \
@@ -127,28 +148,70 @@ def _written_uids(instr):
     return writes
 
 
+def _addr_key(value, keys):
+    """Stable key for a metadata-load address, or None."""
+    return keys.part(value)
+
+
 def run(func, module=None):
-    """Remove dominated duplicate checks; returns the number removed."""
+    """Remove dominated duplicate checks and metadata loads; returns
+    the pair ``(removed_checks, deduped_meta_loads)``."""
     if not func.blocks:
-        return 0
+        return 0, 0
     keys = _GlobalKeys(func)
     cfg = CFG(func)
+    counts = _definition_counts(func)
+    # Cross-block (dominance-scoped) metadata-load dedup is sound only
+    # when nothing in the function can write the table between the
+    # dominating and the dominated occurrence.
+    meta_global_ok = not any(instr.opcode in METADATA_TABLE_WRITERS
+                             for instr in func.instructions())
     global_seen = {}   # stable key -> max constant size already checked
+    global_meta = {}   # stable addr key -> (base Register, bound Register)
     removed = 0
+    deduped_meta = 0
 
     def process_block(block):
-        nonlocal removed
+        nonlocal removed, deduped_meta
         undo = []
+        meta_undo = []
         local = _LocalState()
+        local_meta = {}  # addr key -> (base Register, bound Register)
         kept = []
         for instr in block.instructions:
             if instr.opcode == "mov" and isinstance(instr.src, Register):
                 local.invalidate(instr.dst.uid)
+                _meta_kill_uid(local_meta, instr.dst.uid)
                 root = local.resolve(instr.src)
                 if root is not None:
                     local.copies[instr.dst.uid] = root
                 kept.append(instr)
                 continue
+            if instr.opcode == "sb_meta_load":
+                for uid in _written_uids(instr):
+                    local.invalidate(uid)
+                    _meta_kill_uid(local_meta, uid)
+                key = _addr_key(instr.addr, keys)
+                single_dsts = (counts.get(instr.dst_base.uid) == 1
+                               and counts.get(instr.dst_bound.uid) == 1)
+                if key is not None and single_dsts:
+                    prev = (global_meta.get(key) if meta_global_ok
+                            else local_meta.get(key))
+                    if prev is not None:
+                        kept.append(ins.Mov(dst=instr.dst_base, src=prev[0]))
+                        kept.append(ins.Mov(dst=instr.dst_bound, src=prev[1]))
+                        deduped_meta += 1
+                        continue
+                    pair = (instr.dst_base, instr.dst_bound)
+                    if meta_global_ok:
+                        meta_undo.append(key)
+                        global_meta[key] = pair
+                    else:
+                        local_meta[key] = pair
+                kept.append(instr)
+                continue
+            if instr.opcode in METADATA_TABLE_WRITERS:
+                local_meta.clear()
             if instr.opcode == "sb_check" and not instr.is_fnptr_check:
                 size = instr.size.value if isinstance(instr.size, Const) else None
                 if size is not None:
@@ -177,9 +240,10 @@ def run(func, module=None):
                 continue
             for uid in _written_uids(instr):
                 local.invalidate(uid)
+                _meta_kill_uid(local_meta, uid)
             kept.append(instr)
         block.instructions = kept
-        return undo
+        return undo, meta_undo
 
     # Dominator-tree DFS with scoped global availability.
     children = cfg.dominator_tree_children()
@@ -188,14 +252,29 @@ def run(func, module=None):
     while stack:
         action, block = stack.pop()
         if action == "leave":
-            for stable, prev in reversed(undos.pop()):
+            undo, meta_undo = undos.pop()
+            for stable, prev in reversed(undo):
                 if prev is None:
                     global_seen.pop(stable, None)
                 else:
                     global_seen[stable] = prev
+            for key in reversed(meta_undo):
+                global_meta.pop(key, None)
             continue
         undos.append(process_block(block))
         stack.append(("leave", block))
         for child in reversed(children.get(block.label, [])):
             stack.append(("visit", child))
-    return removed
+    return removed, deduped_meta
+
+
+def _meta_kill_uid(local_meta, uid):
+    """Drop block-local metadata availability mentioning a redefined
+    register (either in the address key or the cached companions)."""
+    if not local_meta:
+        return
+    dead = [key for key, pair in local_meta.items()
+            if (key[0] == "r" and key[1] == uid)
+            or pair[0].uid == uid or pair[1].uid == uid]
+    for key in dead:
+        del local_meta[key]

@@ -1,0 +1,157 @@
+"""Loop-invariant code motion for SoftBound instrumentation.
+
+The paper's overhead analysis attributes the dominant cost to the
+per-access check and metadata-lookup instructions (Sections 5.1/6.2);
+re-running the optimizer after instrumentation is what "removes some
+redundant checks" (Section 6.1).  Dominance-based elimination
+(:mod:`repro.opt.checkelim`) removes *static* duplicates, but a loop
+re-executes its surviving checks and metadata loads every iteration.
+This pass hoists the loop-invariant ones into the loop preheader
+(:func:`repro.ir.loops.ensure_preheader`), so they execute once per
+loop *entry* instead of once per iteration.
+
+Two candidate kinds, with different safety obligations:
+
+* ``sb_meta_load`` — reads the disjoint metadata table; it cannot trap
+  and has no effect other than defining its companion registers, so an
+  occurrence whose address is loop-invariant may be hoisted whenever
+  (a) the loop cannot modify the table (no call / memcopy /
+  sb_meta_store / sb_meta_clear anywhere in the loop — the only
+  writers, since the table is disjoint from program memory), and
+  (b) its destination registers have exactly one static definition, so
+  the early definition cannot clobber a value another path reads.
+
+* ``sb_check`` — can trap, so hoisting must preserve *bit-identical*
+  trap behaviour, not just the predicate.  A check is hoisted only when
+  it sits in the loop **header** with nothing but trap-free, effect-free
+  instructions before it: the preheader branches straight to the
+  header, so on every loop entry the check was already the first
+  observable event, and with invariant operands its first evaluation
+  decides all later ones.  Checks elsewhere in the body are *not*
+  touched here — a zero-trip entry would evaluate them when the
+  original program never did; those are handled by the guarded loop
+  versioning of :mod:`repro.opt.checkwiden`.
+"""
+
+from ..ir.cfg import CFG
+from ..ir.instructions import METADATA_TABLE_WRITERS
+from ..ir.loops import ensure_preheader, find_loops
+from ..ir.values import Const, Register, SymbolRef
+from .checkelim import _definition_counts
+
+#: Instructions that cannot trap, produce output, or touch memory or
+#: the metadata table — safe to have a hoisted check's trap reordered
+#: in front of them.
+_PURE_OPCODES = frozenset(["mov", "cmp", "gep", "cast", "alloca",
+                           "sb_meta_load"])
+_TRAPPING_BINOPS = frozenset(["sdiv", "udiv", "srem", "urem"])
+
+
+def _is_pure(instr):
+    if instr.opcode == "binop":
+        return instr.op not in _TRAPPING_BINOPS
+    return instr.opcode in _PURE_OPCODES
+
+
+def loop_def_counts(func, loop):
+    """Register uid -> number of definitions inside ``loop``."""
+    counts = {}
+    for label in loop.blocks:
+        for instr in func.block_map[label].instructions:
+            dst = getattr(instr, "dst", None)
+            if dst is not None:
+                counts[dst.uid] = counts.get(dst.uid, 0) + 1
+            for attr in ("dst_base", "dst_bound"):
+                reg = getattr(instr, attr, None)
+                if reg is not None:
+                    counts[reg.uid] = counts.get(reg.uid, 0) + 1
+            meta = getattr(instr, "sb_dst_meta", None)
+            if meta is not None:
+                counts[meta[0].uid] = counts.get(meta[0].uid, 0) + 1
+                counts[meta[1].uid] = counts.get(meta[1].uid, 0) + 1
+    return counts
+
+
+def is_invariant(value, loop_defs):
+    """A value whose runtime meaning cannot change across iterations:
+    constants, symbols (fixed addresses), and registers never defined
+    inside the loop."""
+    if isinstance(value, (Const, SymbolRef)):
+        return True
+    if isinstance(value, Register):
+        return loop_defs.get(value.uid, 0) == 0
+    return False
+
+
+def _loop_candidates(func, loop, global_defs):
+    """``(meta_loads, header_checks)`` hoistable from ``loop`` right
+    now, as ``(block_label, instr)`` pairs in deterministic order."""
+    defs = loop_def_counts(func, loop)
+    table_safe = not any(instr.opcode in METADATA_TABLE_WRITERS
+                         for instr in loop.instructions(func))
+    meta_loads = []
+    if table_safe:
+        for label in sorted(loop.blocks):
+            for instr in func.block_map[label].instructions:
+                if instr.opcode != "sb_meta_load":
+                    continue
+                if (is_invariant(instr.addr, defs)
+                        and global_defs.get(instr.dst_base.uid, 0) == 1
+                        and global_defs.get(instr.dst_bound.uid, 0) == 1):
+                    meta_loads.append((label, instr))
+    header_checks = []
+    for instr in func.block_map[loop.header].instructions:
+        if instr.opcode == "sb_check" and not instr.is_fnptr_check:
+            if (is_invariant(instr.ptr, defs)
+                    and is_invariant(instr.base, defs)
+                    and is_invariant(instr.bound, defs)
+                    and is_invariant(instr.size, defs)):
+                header_checks.append((loop.header, instr))
+                continue  # will be hoisted: transparent to later checks
+            break  # a remaining check can trap: stop scanning
+        if not _is_pure(instr):
+            break
+    return meta_loads, header_checks
+
+
+def run(func, module=None):
+    """Hoist invariant metadata loads and header checks; returns the
+    pair ``(hoisted_meta_loads, hoisted_checks)``."""
+    hoisted_meta = 0
+    hoisted_checks = 0
+    if not func.blocks:
+        return 0, 0
+    # Iterate to a fixpoint: hoisting a metadata load can make a check's
+    # operands invariant for the next round, and hoisting into an inner
+    # preheader exposes the instruction to the enclosing loop.  Restart
+    # whenever the block structure changes (preheader creation) so loop
+    # membership and def counts are never consulted stale.
+    for _ in range(64):
+        cfg = CFG(func)
+        loops = find_loops(cfg)
+        global_defs = _definition_counts(func)
+        moved = False
+        structure_changed = False
+        for loop in sorted(loops, key=lambda l: (-l.depth, l.header)):
+            meta_loads, header_checks = _loop_candidates(func, loop, global_defs)
+            if not meta_loads and not header_checks:
+                continue
+            before = len(func.blocks)
+            pre = ensure_preheader(func, cfg, loop)
+            structure_changed = len(func.blocks) != before
+            for label, instr in meta_loads + header_checks:
+                block = func.block_map[label]
+                block.instructions.remove(instr)
+                block.invalidate_compiled()
+                pre.instructions.insert(len(pre.instructions) - 1, instr)
+            pre.invalidate_compiled()
+            hoisted_meta += len(meta_loads)
+            hoisted_checks += len(header_checks)
+            moved = True
+            if structure_changed:
+                break  # CFG/loop objects are stale; recompute
+        if not moved:
+            break
+    if hoisted_meta or hoisted_checks:
+        func._frame_layout = None
+    return hoisted_meta, hoisted_checks

@@ -4,13 +4,28 @@ Mirrors the paper's compilation flow (Section 6.1): the full optimizer
 runs *before* SoftBound (so instrumentation counts reflect optimized
 code) and again *after* it (so redundant checks introduced by the
 mechanical transformation are cleaned up).
+
+The post-instrumentation pipeline is loop-aware: after the dominance
+scoped elimination of static duplicates (``checkelim``), ``licm``
+hoists loop-invariant metadata loads and header checks into loop
+preheaders, and ``checkwiden`` versions counted loops behind a widened
+preheader guard so the hot path runs check-free (see each pass's module
+docstring for the safety argument).  Pass order matters: copy
+propagation and CSE canonicalize the operand webs the check passes key
+on; constant folding and DCE run last to clean up what the loop passes
+exposed.
+
+The loop passes run only for the ``softbound`` variant proper — the
+baseline variants modelled through the same transform keep the paper's
+original cleanup pipeline, and inline-metadata baselines (``fatptr``)
+must not hoist table reads across program stores at all.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..ir.module import invalidate_compiled
 from ..ir.verifier import verify_module
-from . import checkelim, constfold, copyprop, cse, dce, mem2reg
+from . import checkelim, checkwiden, constfold, copyprop, cse, dce, licm, mem2reg
 
 
 @dataclass
@@ -21,6 +36,21 @@ class PassStats:
     removed_checks: int = 0
     propagated_copies: int = 0
     cse_replaced: int = 0
+    # Loop-aware check optimizer (post-instrumentation only):
+    deduped_meta_loads: int = 0
+    hoisted_meta_loads: int = 0
+    hoisted_checks: int = 0
+    widened_loops: int = 0
+    widened_checks: int = 0
+
+
+def _loop_passes_apply(config):
+    """Whether the loop-aware check passes run for this build."""
+    if config is None:
+        return True
+    if not getattr(config, "loop_optimize", True):
+        return False
+    return getattr(config, "variant", "softbound") == "softbound"
 
 
 def optimize_module(module, verify=True):
@@ -39,15 +69,25 @@ def optimize_module(module, verify=True):
     return stats
 
 
-def optimize_after_instrumentation(module, verify=True):
+def optimize_after_instrumentation(module, verify=True, config=None):
     """The post-SoftBound cleanup pipeline (the paper re-runs the full
     LLVM suite here, Section 6.1):
-    copyprop → cse → checkelim → constfold → dce."""
+    copyprop → cse → checkelim → licm → checkwiden → constfold → dce."""
     stats = PassStats()
+    loop_passes = _loop_passes_apply(config)
     for func in module.functions.values():
         stats.propagated_copies += copyprop.run(func, module)
         stats.cse_replaced += cse.run(func, module)
-        stats.removed_checks += checkelim.run(func, module)
+        removed, deduped = checkelim.run(func, module)
+        stats.removed_checks += removed
+        stats.deduped_meta_loads += deduped
+        if loop_passes:
+            hoisted_meta, hoisted_checks = licm.run(func, module)
+            stats.hoisted_meta_loads += hoisted_meta
+            stats.hoisted_checks += hoisted_checks
+            widened_loops, widened_checks = checkwiden.run(func, module)
+            stats.widened_loops += widened_loops
+            stats.widened_checks += widened_checks
         stats.folded += constfold.run(func, module)
         stats.removed_dead += dce.run(func, module)
     invalidate_compiled(module)

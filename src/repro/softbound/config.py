@@ -40,6 +40,12 @@ class SoftBoundConfig:
     #: Run the post-instrumentation optimization pipeline (redundant
     #: check elimination etc., Section 6.1).
     optimize_checks: bool = True
+    #: Run the loop-aware check optimizer inside that pipeline (LICM of
+    #: invariant metadata loads/checks plus guarded check widening —
+    #: :mod:`repro.opt.licm`, :mod:`repro.opt.checkwiden`).  Only the
+    #: ``softbound`` variant honours it; the ablation benchmarks turn
+    #: it off to isolate the loop passes' contribution.
+    loop_optimize: bool = True
     #: Encode each function's pointer/non-pointer argument signature and
     #: verify it dynamically at indirect calls.  This is the "ultimate
     #: solution" the paper sketches for casts between incompatible

@@ -85,6 +85,16 @@ class _FunctionTransform:
         self.copy_dests = {}    # source uid -> [pointer Mov dst Registers]
         self.load_sources = {}  # pointer Load dst uid -> address operand
         self.out = None  # current output instruction list
+        # Block-local metadata availability: pointer-slot address key ->
+        # (base, bound) Values already holding that slot's table entry.
+        # Emitting one canonical SbMetaLoad per slot per block (instead
+        # of one per pointer load) is what makes the shapes hoist- and
+        # dedup-friendly downstream (checkelim, licm), and it is only
+        # sound for *disjoint* metadata facilities, where program stores
+        # cannot touch the table: the inline-metadata baselines
+        # (fatptr_*) observe every store and must re-read.
+        self._meta_cache = {}
+        self._meta_cache_enabled = self.config.variant in ("softbound", "mscc")
 
     # -- definition-count prepass --------------------------------------------
 
@@ -140,6 +150,58 @@ class _FunctionTransform:
     def _fresh_meta_regs(self, tag):
         return self.func.new_reg(PTR, tag + ".sbb"), self.func.new_reg(PTR, tag + ".sbe")
 
+    # -- block-local metadata availability --------------------------------
+
+    def _slot_key(self, addr):
+        """A stable within-block identity for a pointer-slot address, or
+        None when the address may be redefined mid-block."""
+        if isinstance(addr, Register):
+            if addr.uid in self.multi_def:
+                return None
+            return ("r", addr.uid)
+        if isinstance(addr, SymbolRef):
+            return ("s", addr.name, getattr(addr, "addend", 0))
+        if isinstance(addr, Const):
+            return ("c", addr.value)
+        return None
+
+    def _meta_value_stable(self, value):
+        """True when a cached companion value cannot be overwritten
+        later in the block (constants, symbols, single-assignment
+        registers)."""
+        if isinstance(value, (Const, SymbolRef)):
+            return True
+        return isinstance(value, Register) and value.uid not in self.multi_def
+
+    def _meta_cache_lookup(self, addr):
+        if not self._meta_cache_enabled:
+            return None
+        key = self._slot_key(addr)
+        if key is None:
+            return None
+        return self._meta_cache.get(key)
+
+    def _meta_cache_record(self, addr, base, bound):
+        """Record a slot's freshly *read* entry (no table write)."""
+        if not self._meta_cache_enabled:
+            return
+        key = self._slot_key(addr)
+        if key is not None and self._meta_value_stable(base) \
+                and self._meta_value_stable(bound):
+            self._meta_cache[key] = (base, bound)
+
+    def _meta_cache_written(self, addr, base, bound):
+        """A table *write* happened: two distinct keys may alias the
+        same runtime slot, so everything cached is invalid except the
+        entry just written."""
+        if not self._meta_cache_enabled:
+            return
+        self._meta_cache.clear()
+        self._meta_cache_record(addr, base, bound)
+
+    def _meta_cache_clear(self):
+        self._meta_cache.clear()
+
     # -- checks ------------------------------------------------------------------------
 
     def _emit_check(self, addr_value, size, access_kind):
@@ -164,6 +226,7 @@ class _FunctionTransform:
                 self.meta[param.register.uid] = (base, bound)
         for block in func.blocks:
             self.out = []
+            self._meta_cache_clear()  # availability is block-local
             for instr in block.instructions:
                 self._visit(instr)
             block.instructions = self.out
@@ -221,9 +284,18 @@ class _FunctionTransform:
         self._emit_check(instr.addr, instr.type.size, "load")
         self.out.append(instr)
         if instr.is_pointer_value:
+            cached = self._meta_cache_lookup(instr.addr)
+            if cached is not None:
+                # The slot's table entry is already in registers:
+                # re-reading the table would return the same pair
+                # (program stores cannot write a disjoint table).
+                self._set_meta(instr.dst, *cached)
+                self.load_sources[instr.dst.uid] = instr.addr
+                return
             base, bound = self._fresh_meta_regs("ld")
             self.out.append(ins.SbMetaLoad(addr=instr.addr, dst_base=base, dst_bound=bound))
             self._set_meta(instr.dst, base, bound)
+            self._meta_cache_record(instr.addr, base, bound)
             self.load_sources[instr.dst.uid] = instr.addr
         elif instr.dst.type.is_ptr:
             # A pointer-shaped value loaded through a non-pointer type
@@ -236,8 +308,12 @@ class _FunctionTransform:
         if instr.is_pointer_value:
             base, bound = self._meta_of(instr.value)
             self.out.append(ins.SbMetaStore(addr=instr.addr, base=base, bound=bound))
+            # Forward the stored entry: a reload of this slot later in
+            # the block needs no table read.
+            self._meta_cache_written(instr.addr, base, bound)
 
     def _visit_memcopy(self, instr):
+        self._meta_cache_clear()  # the runtime copies table entries
         if self.config.mode is CheckMode.FULL:
             base, bound = self._meta_of(instr.src_addr)
             self.out.append(ins.SbCheck(ptr=instr.src_addr, base=base, bound=bound,
@@ -250,6 +326,7 @@ class _FunctionTransform:
     # -- calls and returns ------------------------------------------------------------------------
 
     def _visit_call(self, instr):
+        self._meta_cache_clear()  # the callee may write the table
         if instr.callee == "setbound":
             self._rewrite_setbound(instr)
             return

@@ -15,8 +15,9 @@ threaded-code technique from the interpreter-optimization literature:
   SoftBound branches specialized away when the machine has none;
 * dominant instruction pairs are fused into superinstructions
   (``cmp``+``cbr``, ``gep``+``load``/``store``,
-  ``sb_meta_load``+``sb_check``) that skip one dispatch and one
-  register-file round-trip while charging exactly the same statistics;
+  ``sb_meta_load``+``sb_check``, ``gep``+``sb_check``) that skip one
+  dispatch and one register-file round-trip while charging exactly the
+  same statistics;
 * the dispatch loop is ``i = ops[i](frame, regs)``: each closure returns
   the next opcode index (a compile-time constant for straight-line
   code), so there is no per-step opcode lookup at all.
@@ -1496,7 +1497,7 @@ def _build_call(instr, index, offsets, block):
         limit = engine.limit
         frames = machine.frames
         arg_accs = [engine.acc(a) for a in instr.args]
-        site = machine._site_id((function.name, id(instr)))
+        site = machine._site_id(machine._call_site_key(function, instr))
         push_frame = machine._push_frame
         split_meta = machine._split_call_metadata
         has_sb = machine.sb_runtime is not None
@@ -1890,6 +1891,11 @@ def _try_fuse(first, second, index, offsets, block):
             and second.base.uid == first.dst_base.uid
             and second.bound.uid == first.dst_bound.uid):
         return _build_meta_load_check(first, second, index)
+    if (first.opcode == "gep" and second.opcode == "sb_check"
+            and not second.is_fnptr_check
+            and isinstance(second.ptr, Register)
+            and second.ptr.uid == first.dst.uid):
+        return _build_gep_check(first, second, index)
     return None
 
 
@@ -2093,6 +2099,58 @@ def _build_gep_store(gep_instr, store_instr, index):
                 st.pointer_memory_ops += 1
             elif on_pstore is not None:
                 on_pstore(addr, size)
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_gep_check(gep_instr, check_instr, index):
+    """``gep`` + ``sb_check`` on the freshly computed address — the
+    dominant instrumented-loop shape (the check sits between the ``gep``
+    and the memory operation, so the gep+load/store fusions cannot
+    apply there).  One dispatch and one register-file read saved per
+    checked access."""
+    gep_uid = gep_instr.dst.uid
+    access_kind = check_instr.access_kind
+    nxt = index + 2
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        addr_of = _gep_evaluator(gep_instr, engine)
+        base_acc = engine.acc(check_instr.base)
+        bound_acc = engine.acc(check_instr.bound)
+        size_acc = engine.acc(check_instr.size)
+        runtime = engine.machine.sb_runtime
+        check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            addr = addr_of(regs)
+            regs[gep_uid] = addr
+            st.cost += _COST_GEP
+            n += 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            base = base_acc(regs)
+            bound = bound_acc(regs)
+            size = size_acc(regs)
+            st.checks += 1
+            st.cost += check_cost
+            if addr < base or addr + size > bound:
+                raise Trap(
+                    TrapKind.SPATIAL_VIOLATION,
+                    f"{access_kind} of {size} bytes outside "
+                    f"[0x{base:x}, 0x{bound:x})",
+                    address=addr,
+                    source="softbound",
+                )
             return nxt
 
         return op

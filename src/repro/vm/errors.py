@@ -54,6 +54,14 @@ class Trap(Exception):
         tgt = f" -> {self.target_symbol}" if self.target_symbol else ""
         return f"{self.kind.value}{loc}{tgt}: {self.detail} [{self.source}]"
 
+    def __reduce__(self):
+        # Exceptions default to pickling via ``self.args``, which a
+        # dataclass ``__init__`` never populates — reconstruct from the
+        # fields instead (the parallel harness ships results containing
+        # traps across process boundaries).
+        return (Trap, (self.kind, self.detail, self.address,
+                       self.target_symbol, self.source))
+
 
 @dataclass
 class ExecutionResult:

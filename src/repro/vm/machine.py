@@ -231,7 +231,7 @@ class Machine:
             for block in function.blocks:
                 for instr in block.instructions:
                     if instr.opcode == "call":
-                        self._site_id((function.name, id(instr)))
+                        self._site_id(self._call_site_key(function, instr))
 
     def attach_observer(self, observer):
         observer.attach(self)
@@ -288,6 +288,19 @@ class Machine:
         return self.module.functions[name]
 
     # -- calls -------------------------------------------------------------------
+
+    @staticmethod
+    def _call_site_key(function, instr):
+        """The identity a call instruction's return-address token is
+        keyed on.  A pass that clones a call (checkwiden's slow-path
+        loop version) stamps the clone with ``sb_site_key`` pointing at
+        the original, so both copies share one token: tokens are
+        observable program state (overreads can fold saved-RA bytes
+        into output) and must not depend on whether a loop was cloned."""
+        override = getattr(instr, "sb_site_key", None)
+        if override is not None:
+            return override
+        return (function.name, id(instr))
 
     def _site_id(self, key):
         if key not in self.call_sites:
@@ -664,7 +677,7 @@ class Machine:
         if target_name in self.module.functions:
             function = self.module.functions[target_name]
             self._check_call_signature(instr, function)
-            site = self._site_id((frame.function.name, id(instr)))
+            site = self._site_id(self._call_site_key(frame.function, instr))
             frame.index += 1  # resume after the call on return
             arg_metas = None
             if self.sb_runtime is not None:

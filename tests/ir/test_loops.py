@@ -1,0 +1,140 @@
+"""Natural-loop analysis and structural loop utilities."""
+
+from repro.frontend.typecheck import parse_and_check
+from repro.ir.cfg import CFG, split_edge
+from repro.ir.loops import ensure_preheader, find_loops, make_preheader
+from repro.ir.verifier import verify_module
+from repro.lower.lowering import lower
+from repro.opt.pipeline import optimize_module
+
+
+def build(source, name="f"):
+    module = lower(parse_and_check(source))
+    optimize_module(module)
+    return module, module.functions[name]
+
+
+class TestFindLoops:
+    def test_straight_line_has_no_loops(self):
+        _, func = build("int f(void) { return 3; }")
+        assert find_loops(CFG(func)) == []
+
+    def test_single_for_loop(self):
+        _, func = build("""
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s = s + i;
+            return s;
+        }
+        """)
+        loops = find_loops(CFG(func))
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.depth == 1 and loop.is_innermost
+        assert loop.header in loop.blocks
+        assert len(loop.latches) == 1
+        assert all(latch in loop.blocks for latch in loop.latches)
+
+    def test_nested_loops_form_a_forest(self):
+        _, func = build("""
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    s = s + j;
+            return s;
+        }
+        """)
+        loops = find_loops(CFG(func))
+        assert len(loops) == 2
+        outer = next(l for l in loops if l.depth == 1)
+        inner = next(l for l in loops if l.depth == 2)
+        assert inner.parent is outer and inner in outer.children
+        assert inner.blocks < outer.blocks
+        assert inner.is_innermost and not outer.is_innermost
+
+    def test_while_loop_exit_edges(self):
+        _, func = build("""
+        int f(int n) {
+            while (n > 0) { n = n - 1; }
+            return n;
+        }
+        """)
+        cfg = CFG(func)
+        loops = find_loops(cfg)
+        assert len(loops) == 1
+        exits = loops[0].exit_edges(cfg)
+        assert exits and all(src in loops[0].blocks and dst not in loops[0].blocks
+                             for src, dst in exits)
+
+
+class TestStructuralUtilities:
+    def test_make_preheader_redirects_entering_edges(self):
+        module, func = build("""
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s = s + i;
+            return s;
+        }
+        """)
+        cfg = CFG(func)
+        loop = find_loops(cfg)[0]
+        latches = set(loop.latches)
+        pre = make_preheader(func, cfg, loop)
+        verify_module(module)
+        cfg2 = CFG(func)
+        preds = [p.label for p in cfg2.preds[loop.header]]
+        # Only the preheader and the latches reach the header now.
+        assert set(preds) == {pre.label} | latches
+        assert pre.terminator.opcode == "br"
+        assert pre.terminator.label == loop.header
+
+    def test_ensure_preheader_reuses_unique_entering_block(self):
+        module, func = build("""
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s = s + i;
+            return s;
+        }
+        """)
+        cfg = CFG(func)
+        loop = find_loops(cfg)[0]
+        first = ensure_preheader(func, cfg, loop)
+        cfg2 = CFG(func)
+        loop2 = next(l for l in find_loops(cfg2) if l.header == loop.header)
+        again = ensure_preheader(func, cfg2, loop2)
+        assert again is first
+        verify_module(module)
+
+    def test_preheader_is_placed_before_the_header(self):
+        module, func = build("""
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s = s + i;
+            return s;
+        }
+        """)
+        cfg = CFG(func)
+        loop = find_loops(cfg)[0]
+        pre = make_preheader(func, cfg, loop)
+        index = [b.label for b in func.blocks].index(pre.label)
+        assert func.blocks[index + 1].label == loop.header
+        verify_module(module)
+
+    def test_split_edge(self):
+        module, func = build("""
+        int f(int n) {
+            if (n > 0) { n = n + 1; } else { n = n - 1; }
+            return n;
+        }
+        """)
+        cfg = CFG(func)
+        block = cfg.entry
+        succ = cfg.succs[block.label][0]
+        split = split_edge(func, block, succ.label)
+        verify_module(module)
+        cfg2 = CFG(func)
+        new_succs = [s.label for s in cfg2.succs[block.label]]
+        assert [s.label for s in cfg2.succs[split.label]] == [succ.label]
+        assert split.label in new_succs
+        assert succ.label not in new_succs
