@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-checkopt ci tables
+.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci tables
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -19,7 +19,13 @@ bench-quick:     ## quick wall-clock subset (no recording)
 bench-checkopt:  ## loop-pass cost-model ablation; records BENCH_checkopt.json
 	$(PYTHON) benchmarks/bench_checkopt.py
 
-ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5% fail)
+bench-temporal:  ## temporal-checking overhead sweep; records BENCH_temporal.json
+	$(PYTHON) benchmarks/bench_temporal_overhead.py
+
+bench-diff:      ## compare the recorded BENCH_*.json reports (bench-v2 schema)
+	$(PYTHON) scripts/bench_diff.py BENCH_checkopt.json BENCH_temporal.json
+
+ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, temporal >5% fail)
 	$(PYTHON) scripts/ci.py
 
 tables:          ## regenerate the paper's tables and figures (REPRO_JOBS=N fans out)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Use-after-free demo: why spatial checking alone is half the story.
+
+Companion to ``stack_smash_demo.py``.  The stack smash is stopped by
+*spatial* checking (the overflowing store leaves its object's bounds);
+a use-after-free never leaves its bounds at all — the allocation under
+them died.  The VM's allocator reuses freed blocks (first-fit), so the
+stale read genuinely leaks the new owner's data, and only the
+lock-and-key temporal subsystem (``SoftBoundConfig(temporal=True)``,
+``--temporal`` on the CLI) sees anything wrong.
+
+Run:  python examples/use_after_free_demo.py
+"""
+
+from repro import compile_and_run
+from repro.softbound.config import FULL_SHADOW, TEMPORAL_SHADOW
+from repro.workloads.temporal_attacks import TEMPORAL_ATTACKS, all_temporal_attacks
+
+ATTACK = TEMPORAL_ATTACKS["uaf_read"]
+
+
+def main():
+    print("Attack source (use-after-free read: the freed block is")
+    print("re-allocated to a new owner, the stale pointer leaks it):")
+    print(ATTACK.source)
+
+    print("=== Unprotected run ===")
+    plain = compile_and_run(ATTACK.source)
+    print(f"output: {plain.output.strip()!r}  exit={plain.exit_code}"
+          f"  -> {'SECRET LEAKED' if plain.attack_succeeded else 'survived'}\n")
+
+    print("=== SoftBound spatial-only (Full-Shadow) ===")
+    spatial = compile_and_run(ATTACK.source, softbound=FULL_SHADOW)
+    verdict = spatial.trap if spatial.trap is not None else \
+        "no trap — every dereference was in (dead) bounds"
+    print(f"output: {spatial.output.strip()!r}  exit={spatial.exit_code}")
+    print(f"verdict: {verdict}\n")
+
+    print("=== SoftBound spatial + temporal (lock-and-key) ===")
+    temporal = compile_and_run(ATTACK.source, softbound=TEMPORAL_SHADOW)
+    print(f"stopped: {temporal.trap}\n")
+
+    print("=== Whole temporal suite ===")
+    for attack in all_temporal_attacks():
+        plain = compile_and_run(attack.source)
+        spatial = compile_and_run(attack.source, softbound=FULL_SHADOW)
+        temporal = compile_and_run(attack.source, softbound=TEMPORAL_SHADOW)
+        spatial_view = ("missed" if spatial.trap is None
+                        else spatial.trap.kind.value)
+        print(f"{attack.name:22s} unprotected: "
+              f"{'EXPLOITED' if plain.attack_succeeded else 'silent':10s} "
+              f"spatial: {spatial_view:28s} "
+              f"temporal: {'detected' if temporal.detected_violation else 'MISSED'}")
+
+
+if __name__ == "__main__":
+    main()

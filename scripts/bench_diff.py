@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff any BENCH_*.json reports through the shared bench-v2 schema.
+
+Every recorded benchmark report carries the same top-level keys —
+``benchmark``, ``metric``, ``config``, ``geomean`` and a ``workloads``
+map whose rows carry a normalized ``value`` — so one script can compare
+any of them: two revisions of the same benchmark, or several
+benchmarks side by side over the common workload set.
+
+Usage:
+    python scripts/bench_diff.py BENCH_a.json [BENCH_b.json ...]
+
+With one report: print its normalized view.  With several: one row per
+workload, one column per report, plus the geomean line; when exactly
+two reports share a metric, a delta column is added.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        report = json.load(handle)
+    if "workloads" not in report:
+        raise SystemExit(f"{path}: not a benchmark report (no workloads)")
+    return report
+
+
+def normalized_values(report):
+    """{workload: value} through the bench-v2 ``value`` key, with a
+    best-effort fallback for pre-v2 reports."""
+    out = {}
+    for name, row in report["workloads"].items():
+        if isinstance(row, dict):
+            value = row.get("value")
+            if value is None:  # pre-v2 fallbacks
+                value = row.get("speedup", row.get("overhead_on_pct"))
+        else:
+            value = row
+        if value is not None:
+            out[name] = float(value)
+    return out
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip())
+        return 64
+    reports = []
+    for arg in argv:
+        path = pathlib.Path(arg)
+        report = load(path)
+        reports.append((path.name, report, normalized_values(report)))
+
+    headers = [f"{name} [{report.get('metric', '?')}]"
+               for name, report, _ in reports]
+    for name, report, _ in reports:
+        print(f"{name}: benchmark={report.get('benchmark', '?')} "
+              f"metric={report.get('metric', '?')} "
+              f"config={report.get('config', '?')} "
+              f"geomean={report.get('geomean', report.get('geomean_speedup', '?'))}")
+    print()
+
+    names = []
+    for _, _, values in reports:
+        for workload in values:
+            if workload not in names:
+                names.append(workload)
+    metrics = {report.get("metric") for _, report, _ in reports}
+    show_delta = len(reports) == 2 and len(metrics) == 1
+
+    width = max([len(n) for n in names] + [8])
+    cols = [max(len(h), 10) for h in headers]
+    line = f"{'workload':<{width}}  " + "  ".join(
+        f"{h:>{c}}" for h, c in zip(headers, cols))
+    if show_delta:
+        line += f"  {'delta':>9}"
+    print(line)
+    print("-" * len(line))
+    for workload in names:
+        cells = []
+        row_vals = []
+        for _, _, values in reports:
+            value = values.get(workload)
+            row_vals.append(value)
+            cells.append("-" if value is None else f"{value:.3f}")
+        out = f"{workload:<{width}}  " + "  ".join(
+            f"{cell:>{c}}" for cell, c in zip(cells, cols))
+        if show_delta and None not in row_vals:
+            out += f"  {row_vals[1] - row_vals[0]:>+9.3f}"
+        print(out)
+
+    geo_cells = []
+    for _, report, _ in reports:
+        geomean = report.get("geomean", report.get("geomean_speedup"))
+        geo_cells.append("-" if geomean is None else f"{float(geomean):.3f}")
+    out = f"{'geomean':<{width}}  " + "  ".join(
+        f"{cell:>{c}}" for cell, c in zip(geo_cells, cols))
+    print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,6 +11,11 @@
    deterministic) and fails when the optimized geomean instrumented
    overhead regresses more than ``OPT_TOLERANCE`` (5%) against the
    recorded ``BENCH_checkopt.json``.
+4. Temporal leg: the temporal attack detection table must stay
+   all-caught (every attack traps with a temporal_violation), and the
+   spatial+temporal geomean overhead on a representative workload
+   subset must not regress more than ``TEMPORAL_TOLERANCE`` (5%)
+   against the recorded ``BENCH_temporal.json``.
 
 The wall-clock gate compares the speedup *ratio* — not absolute
 seconds — so it is stable across machines of different absolute speed;
@@ -27,8 +32,14 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_interp.json"
 CHECKOPT_JSON = REPO_ROOT / "BENCH_checkopt.json"
+TEMPORAL_JSON = REPO_ROOT / "BENCH_temporal.json"
 TOLERANCE = 0.20      # fail on >20% wall-clock regression
 OPT_TOLERANCE = 0.05  # fail on >5% instrumented-overhead regression
+TEMPORAL_TOLERANCE = 0.05  # fail on >5% temporal-overhead regression
+
+#: Representative subset the CI temporal-overhead gate re-measures
+#: (full-corpus numbers live in BENCH_temporal.json).
+TEMPORAL_GATE_WORKLOADS = ("go", "health", "li", "treeadd")
 
 
 def run_tier1():
@@ -119,6 +130,60 @@ def run_opt_matrix_gate():
     return 0
 
 
+def run_temporal_gate():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.harness.tables import render_temporal, temporal_matrix
+    from repro.harness.temporal import (
+        _geomean,
+        load_report,
+        render_temporal_overhead,
+        run_temporal_overhead,
+    )
+
+    print("\n== temporal gate (detection all-caught + overhead ceiling) ==",
+          flush=True)
+    # The published detection table is the gate's output, so CI and
+    # `python -m repro tables temporal` can never drift.
+    print(render_temporal())
+    missed = [name for name, (_, _, detected) in temporal_matrix().items()
+              if not detected]
+    if missed:
+        print(f"TEMPORAL REGRESSION: attacks not detected: {missed}")
+        return 1
+    report = run_temporal_overhead(TEMPORAL_GATE_WORKLOADS)
+    print()
+    print(render_temporal_overhead(report))
+    current = report["geomean_temporal_pct"]
+    if not TEMPORAL_JSON.exists():
+        print(f"\nno recorded baseline at {TEMPORAL_JSON}; run "
+              f"`make bench-temporal` to create one. "
+              f"Current geomean overhead: {current:.2f}%")
+        return 0
+    # Compare like against like: rebuild the gate-subset geomean from
+    # the recorded full-corpus report.
+    recorded_report = load_report(TEMPORAL_JSON)
+    recorded_rows = [
+        recorded_report["workloads"][name]["temporal_overhead_pct"]
+        for name in TEMPORAL_GATE_WORKLOADS
+        if name in recorded_report.get("workloads", {})
+    ]
+    if recorded_rows:
+        recorded = _geomean(recorded_rows)
+        basis = f"gate subset of {TEMPORAL_JSON.name}"
+    else:
+        recorded = recorded_report["geomean_temporal_pct"]
+        basis = f"full-corpus geomean of {TEMPORAL_JSON.name}"
+    ceiling = recorded * (1.0 + TEMPORAL_TOLERANCE)
+    print(f"\nrecorded ({basis}): {recorded:.2f}%   current: {current:.2f}%   "
+          f"ceiling (+{TEMPORAL_TOLERANCE:.0%}): {ceiling:.2f}%")
+    if current > ceiling:
+        print("TEMPORAL REGRESSION: spatial+temporal overhead rose above "
+              "the recorded baseline ceiling")
+        return 1
+    print("temporal gate ok")
+    return 0
+
+
 def main(argv):
     if "--skip-tests" not in argv:
         code = run_tier1()
@@ -127,7 +192,10 @@ def main(argv):
     code = run_perf_gate()
     if code != 0:
         return code
-    return run_opt_matrix_gate()
+    code = run_opt_matrix_gate()
+    if code != 0:
+        return code
+    return run_temporal_gate()
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ EX_USAGE = 64
 EX_COMPILE = 65
 
 _TABLE_NAMES = ("table1", "table3", "table4", "figure1", "figure2",
-                "sec64", "sec65", "metadata")
+                "sec64", "sec65", "metadata", "temporal")
 
 
 def build_parser():
@@ -53,6 +53,13 @@ def build_parser():
     run_parser.add_argument("--fnptr-signatures", action="store_true",
                             help="enable function-pointer signature "
                                  "encoding (implies --softbound)")
+    run_parser.add_argument("--temporal", action="store_true", default=None,
+                            help="add lock-and-key temporal checking: "
+                                 "use-after-free, double free and dangling "
+                                 "stack pointers trap (implies --softbound)")
+    run_parser.add_argument("--no-temporal", dest="temporal",
+                            action="store_false",
+                            help="spatial-only checking (the default)")
     run_parser.add_argument("--no-shrink-bounds", action="store_true",
                             help="disable sub-object bound shrinking")
     run_parser.add_argument("--no-optimize", action="store_true",
@@ -71,6 +78,11 @@ def build_parser():
     check_parser.add_argument("file", nargs="+")
     check_parser.add_argument("--stats", action="store_true")
     check_parser.add_argument("--stdin-file", metavar="PATH")
+    check_parser.add_argument("--temporal", action="store_true", default=None,
+                              help="also check temporal safety "
+                                   "(lock-and-key)")
+    check_parser.add_argument("--no-temporal", dest="temporal",
+                              action="store_false")
     check_parser.add_argument("--engine", choices=("compiled", "interp"),
                               default=None)
 
@@ -85,7 +97,14 @@ def build_parser():
                                     "or serial); output is identical to a "
                                     "serial run")
 
-    sub.add_parser("workloads", help="list the built-in workloads")
+    workloads_parser = sub.add_parser(
+        "workloads",
+        help="list the built-in workload families (benchmarks, attacks, "
+             "bug programs, temporal attacks)")
+    workloads_parser.add_argument(
+        "--group", metavar="NAME", default=None,
+        help="only list entries whose family or group matches "
+             "(substring, e.g. 'spec', 'attack', 'temporal', 'bugbench')")
 
     bench_parser = sub.add_parser(
         "bench", help="wall-clock benchmark: interpreter vs compiled engine")
@@ -103,7 +122,8 @@ def _build_config(args):
     from .softbound.config import CheckMode, MetadataScheme, SoftBoundConfig
 
     wants_softbound = (args.softbound or args.store_only or args.hash_table
-                       or args.fnptr_signatures or args.no_shrink_bounds)
+                       or args.fnptr_signatures or args.no_shrink_bounds
+                       or bool(args.temporal))
     if not wants_softbound:
         return None
     return SoftBoundConfig(
@@ -112,6 +132,7 @@ def _build_config(args):
                 else MetadataScheme.SHADOW_SPACE),
         shrink_bounds=not args.no_shrink_bounds,
         encode_fnptr_signature=args.fnptr_signatures,
+        temporal=bool(args.temporal),
     )
 
 
@@ -166,6 +187,7 @@ def _print_stats(result, stdout):
         f"pointer mem ops:   {stats.pointer_memory_ops} "
         f"({stats.pointer_memory_op_fraction:.1%})",
         f"bounds checks:     {stats.checks}",
+        f"temporal checks:   {stats.temporal_checks}",
         f"metadata loads:    {stats.metadata_loads}",
         f"metadata stores:   {stats.metadata_stores}",
         f"peak heap bytes:   {stats.peak_heap}",
@@ -191,6 +213,7 @@ def _render_tables(name, stdout, jobs=None):
         "sec64": tables.render_sec64,
         "sec65": tables.render_sec65,
         "metadata": tables.render_metadata_ablation,
+        "temporal": tables.render_temporal,
     }
     if name:
         stdout.write(renderers[name]() + "\n")
@@ -210,13 +233,40 @@ def _run_bench(args, stdout):
     return 0
 
 
-def _list_workloads(stdout):
+def _list_workloads(stdout, group=None):
+    """List every runnable program family: benchmark analogues, the
+    Wilander spatial attacks, the BugBench programs, and the temporal
+    attack suite — filterable with ``--group``."""
+    from .workloads.attacks import all_attacks
+    from .workloads.bugbench import all_bugs
     from .workloads.programs import WORKLOADS
+    from .workloads.temporal_attacks import all_temporal_attacks
 
-    width = max(len(name) for name in WORKLOADS)
+    entries = []  # (name, family, group, description)
     for name, workload in WORKLOADS.items():
-        stdout.write(f"{name:<{width}}  [{workload.suite:<5}] "
-                     f"{workload.description}\n")
+        entries.append((name, "bench", workload.suite, workload.description))
+    for attack in all_attacks():
+        entries.append((attack.name, "attack", attack.group,
+                        f"{attack.technique} ({attack.location}) -> "
+                        f"{attack.target}"))
+    for bug in all_bugs():
+        entries.append((bug.name, "bugbench", bug.bug_class, bug.description))
+    for attack in all_temporal_attacks():
+        entries.append((attack.name, "temporal", attack.kind,
+                        attack.description))
+    if group:
+        needle = group.lower()
+        entries = [e for e in entries
+                   if needle in e[1].lower() or needle in e[2].lower()]
+    if not entries:
+        stdout.write(f"no workloads match group {group!r}\n")
+        return 0
+    name_width = max(len(e[0]) for e in entries)
+    tag_width = max(len(f"{e[1]}/{e[2]}") for e in entries)
+    for name, family, grp, description in entries:
+        tag = f"{family}/{grp}"
+        stdout.write(f"{name:<{name_width}}  [{tag:<{tag_width}}] "
+                     f"{description}\n")
     return 0
 
 
@@ -230,7 +280,7 @@ def main(argv=None, stdout=None, stderr=None):
         return EX_USAGE if exit_error.code not in (0, None) else 0
 
     if args.command == "workloads":
-        return _list_workloads(stdout)
+        return _list_workloads(stdout, group=getattr(args, "group", None))
     if args.command == "tables":
         return _render_tables(args.name, stdout, jobs=args.jobs)
     if args.command == "bench":
@@ -245,5 +295,6 @@ def main(argv=None, stdout=None, stderr=None):
     if args.command == "check":
         from .softbound.config import SoftBoundConfig
 
-        return _execute(sources, SoftBoundConfig(), args, stdout, stderr)
+        return _execute(sources, SoftBoundConfig(temporal=bool(args.temporal)),
+                        args, stdout, stderr)
     return _execute(sources, _build_config(args), args, stdout, stderr)

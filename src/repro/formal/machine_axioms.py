@@ -12,25 +12,55 @@ predicates exercised by hypothesis tests in
 * malloc doesn't alter the contents of already-allocated locations;
 * read and write fail (return none) on unallocated memory;
 * malloc fails when there is not enough space.
+
+The temporal extension (the lock-and-key companion mechanism the paper
+defers dangling-pointer detection to) adds ``free`` and a lock store,
+with its own axioms (``tests/formal/test_temporal_axioms.py``):
+
+* every malloc'd block carries a fresh key — keys are never reused;
+* while the block is live, ``lock_live(key, lock)`` holds;
+* after ``free``, read/write on the block fail and its (key, lock)
+  pair is dead *forever* — even when a later malloc recycles the lock
+  slot (it holds a different key) or, with ``reuse=True``, the
+  addresses themselves;
+* freeing anything but a live block base fails (double free).
 """
+
+#: Key/lock of never-deallocated objects (mirrors repro.temporal).
+GLOBAL_KEY = 1
+GLOBAL_LOCK = 0
 
 
 class FormalMemory:
-    """Word-addressed partial memory with an allocation set.
+    """Word-addressed partial memory with an allocation set and a
+    lock-and-key store.
 
     Values stored are opaque to the memory (the semantics stores
-    metadata-carrying triples).  Addresses start at ``min_addr`` > 0 so
-    that 0 is never a valid location (NULL).
+    metadata-carrying tuples).  Addresses start at ``min_addr`` > 0 so
+    that 0 is never a valid location (NULL).  By default freed
+    addresses are never re-issued (which trivially satisfies the
+    freshness axiom); ``reuse=True`` lets malloc recycle freed ranges —
+    the scenario that makes dangling pointers exploitable and the
+    lock-and-key discipline necessary.
     """
 
-    def __init__(self, capacity=4096, min_addr=16):
+    def __init__(self, capacity=4096, min_addr=16, reuse=False):
         self.capacity = capacity
         self.min_addr = min_addr
+        self.reuse = reuse
         self.next_free = min_addr
         self.allocated = set()
         self.contents = {}
         self.block_base = {}  # location -> base of its allocation block
         self.block_size = {}  # block base -> block size
+        # Lock-and-key state: one lock slot per live block; slot 0 is
+        # the immortal global lock.
+        self.locks = {GLOBAL_LOCK: GLOBAL_KEY}  # slot -> current key
+        self.block_lock = {}   # live block base -> (key, slot)
+        self._free_slots = []
+        self._free_ranges = []  # (base, size) pools for reuse mode
+        self._next_key = GLOBAL_KEY + 1
+        self._next_slot = 1
 
     @property
     def max_addr(self):
@@ -54,28 +84,85 @@ class FormalMemory:
     def malloc(self, size):
         """``malloc M i``: base of a fresh block, or None when exhausted.
 
-        Fresh means: no address in the block was previously allocated —
-        this implementation never reuses addresses, which trivially
-        satisfies the freshness axiom (the paper's axioms permit this).
+        Fresh means: no address in the block is *currently* allocated.
+        Without ``reuse`` no address is ever re-issued; with it, freed
+        ranges may be recycled — block identity is then carried by the
+        (key, lock) pair, never by the address.
         """
         if size <= 0:
             return None
-        if self.next_free + size > self.max_addr:
-            return None
-        base = self.next_free
-        self.next_free += size
+        base = None
+        if self.reuse:
+            for i, (start, avail) in enumerate(self._free_ranges):
+                if avail >= size:
+                    base = start
+                    if avail == size:
+                        del self._free_ranges[i]
+                    else:
+                        self._free_ranges[i] = (start + size, avail - size)
+                    break
+        if base is None:
+            if self.next_free + size > self.max_addr:
+                return None
+            base = self.next_free
+            self.next_free += size
         self.block_size[base] = size
         for offset in range(size):
             self.allocated.add(base + offset)
             self.contents[base + offset] = (0, 0, 0)
             self.block_base[base + offset] = base
+        # Key the block: a fresh key (never reused), a possibly
+        # recycled lock slot.
+        key = self._next_key
+        self._next_key += 1
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+        self.locks[slot] = key
+        self.block_lock[base] = (key, slot)
         return base
+
+    def free(self, base):
+        """``free M l``: True when l is a live block base — the block's
+        addresses become unallocated and its lock dies; None otherwise
+        (double free, or a pointer malloc never returned)."""
+        entry = self.block_lock.pop(base, None)
+        if entry is None:
+            return None
+        _key, slot = entry
+        if slot != GLOBAL_LOCK:
+            self.locks.pop(slot, None)
+            self._free_slots.append(slot)
+        size = self.block_size[base]
+        for offset in range(size):
+            self.allocated.discard(base + offset)
+            self.contents.pop(base + offset, None)
+            self.block_base.pop(base + offset, None)
+        if self.reuse:
+            self._free_ranges.append((base, size))
+        return True
 
     # -- predicates used by well-formedness ------------------------------------
 
     def val(self, loc):
         """``val M i``: location i is allocated."""
         return loc in self.allocated
+
+    def lock_live(self, key, slot):
+        """The temporal definedness predicate: the lock slot currently
+        holds exactly this key (dead keys can never match — keys are
+        never reused)."""
+        return key != 0 and self.locks.get(slot) == key
+
+    def lock_of(self, loc):
+        """The (key, lock) pair of the block containing ``loc``, or
+        (0, 0) when the location is not inside a live block."""
+        base = self.block_base.get(loc)
+        if base is None:
+            return (0, 0)
+        return self.block_lock.get(base, (0, 0))
 
     def in_one_object(self, loc, size):
         """Whether ``[loc, loc+size)`` lies inside a *single* allocation

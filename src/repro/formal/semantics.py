@@ -20,6 +20,17 @@ judgments follow the paper's three forms:
 
 The two dereference rules shown in the paper (check success → value,
 check failure → Abort) appear verbatim in :meth:`_lhs_Deref`.
+
+**Temporal extension** (``temporal=True``): values widen to quintuples
+``(v, b, e, k, l)`` — the word, its bounds, and its allocation's key
+and lock — and the fragment gains a ``free`` command
+(:class:`repro.formal.syntax.Free`).  The dereference rules acquire a
+third premise: definedness also requires a *live lock*,
+``lock_live(k, l)``.  In the instrumented semantics a dead lock is an
+``Abort`` (the temporal check fires); in the plain partial semantics it
+is ``STUCK`` — a use-after-free is undefined C even when the memory
+happens to be re-allocated and readable, which is exactly the case the
+spatial premises alone cannot rule out once ``free`` exists.
 """
 
 import enum
@@ -44,9 +55,9 @@ class _Signal(Exception):
 class Environment:
     """E = (S, M): stack frame and memory, plus the named-struct table."""
 
-    def __init__(self, structs=None, capacity=4096):
+    def __init__(self, structs=None, capacity=4096, reuse=False):
         self.structs = dict(structs or {})
-        self.memory = FormalMemory(capacity=capacity)
+        self.memory = FormalMemory(capacity=capacity, reuse=reuse)
         self.stack = {}  # name -> (address, atomic FType)
 
     def declare(self, name, ftype):
@@ -65,20 +76,42 @@ class Environment:
 
 
 class Evaluator:
-    """Executes commands under one of the two semantics."""
+    """Executes commands under one of the two semantics.
 
-    def __init__(self, env, instrumented=True, fuel=100_000):
+    ``temporal`` widens values with (key, lock) metadata and makes
+    definedness require a live lock (the lock-and-key extension).
+    """
+
+    def __init__(self, env, instrumented=True, fuel=100_000, temporal=False):
         self.env = env
         self.instrumented = instrumented
+        self.temporal = temporal
         self.fuel = fuel
+
+    # -- value helpers -------------------------------------------------------
+
+    def _null(self, value=0):
+        if self.temporal:
+            return (value, 0, 0, 0, 0)
+        return (value, 0, 0)
+
+    def _norm(self, data):
+        """Normalize stored data to this evaluator's value arity (a
+        fresh slot holds the spatial zero triple)."""
+        if self.temporal and len(data) < 5:
+            return tuple(data) + (0,) * (5 - len(data))
+        return data
 
     # -- public API ----------------------------------------------------------
 
     def run_command(self, command):
         """(E, c) ⇒c (r, E'): returns an Outcome; E is updated in place."""
         try:
-            for assign in syn.commands_of(command):
-                self._exec_assign(assign)
+            for step in syn.commands_of(command):
+                if isinstance(step, syn.Free):
+                    self._exec_free(step)
+                else:
+                    self._exec_assign(step)
         except _Signal as signal:
             return signal.outcome
         return Outcome.OK
@@ -95,6 +128,27 @@ class Evaluator:
             # reach here from a well-formed state (progress), but a raw
             # unchecked write in plain mode gets stuck.
             raise _Signal(Outcome.STUCK)
+
+    def _exec_free(self, command):
+        """free(rhs): the block dies and its lock with it.
+
+        Instrumented: a dead or foreign (key, lock) is an Abort — the
+        double-free detector.  Plain: undefined (STUCK).
+        """
+        self._burn()
+        data = self._norm(self._eval_rhs(command.rhs))
+        value = data[0]
+        if self.temporal:
+            key, lock = data[3], data[4]
+            if not self.env.memory.lock_live(key, lock):
+                raise _Signal(Outcome.ABORT if self.instrumented
+                              else Outcome.STUCK)
+        if self.env.memory.free(value) is None:
+            # Not a live block base: double free of a value whose lock
+            # somehow still matched cannot happen (the lock died with
+            # the block); this is the non-temporal undefined case.
+            raise _Signal(Outcome.ABORT if self.instrumented and self.temporal
+                          else Outcome.STUCK)
 
     # -- lhs: (E, lhs) ⇒l l : a ----------------------------------------------------
 
@@ -116,11 +170,12 @@ class Evaluator:
         raise TypeError(f"not an lhs: {lhs!r}")
 
     def _lhs_Deref(self, lhs):
-        """The paper's two displayed rules.
+        """The paper's two displayed rules (temporal premise added).
 
         (E, lhs) ⇒l l : a*          (E, lhs) ⇒l l : a*
         read (E.M) l = some v(b,e)   read (E.M) l = some v(b,e)
-        b ≤ v ∧ v + sizeof(a) ≤ e    ¬(b ≤ v ∧ v + sizeof(a) ≤ e)
+        b ≤ v ∧ v + sizeof(a) ≤ e    ¬(b ≤ v ∧ v + sizeof(a) ≤ e
+        [∧ lock_live(k, l)]            [∧ lock_live(k, l)])
         --------------------------   ---------------------------
         (E, *lhs) ⇒l v : a           (E, *lhs) ⇒l Abort : a
         """
@@ -130,11 +185,16 @@ class Evaluator:
         data = self.env.memory.read(loc)
         if data is None:
             raise _Signal(Outcome.STUCK)
-        value, base, bound = data
+        data = self._norm(data)
+        value, base, bound = data[0], data[1], data[2]
         pointee = self.env.resolve_struct(ftype.pointee)
         size = pointee.sizeof(self.env.structs)
+        spatially_ok = base <= value and value + size <= bound
+        temporally_ok = True
+        if self.temporal:
+            temporally_ok = self.env.memory.lock_live(data[3], data[4])
         if self.instrumented:
-            if not (base <= value and value + size <= bound):
+            if not (spatially_ok and temporally_ok):
                 raise _Signal(Outcome.ABORT)
         else:
             # Partial semantics: undefined unless the access stays
@@ -150,7 +210,10 @@ class Evaluator:
             # pointer with its bounds, so the pointed-into object is
             # known here even without checks; the block-extent test is
             # kept as a belt against any bounds/allocation mismatch.
-            if not (base <= value and value + size <= bound
+            # The temporal premise is the same story one axis over: a
+            # freed-then-reused location is readable, but the object
+            # the pointer points into no longer exists.
+            if not (spatially_ok and temporally_ok
                     and self.env.memory.in_one_object(value, size)):
                 raise _Signal(Outcome.STUCK)
         return value, pointee
@@ -170,43 +233,52 @@ class Evaluator:
     def _eval_rhs(self, rhs):
         self._burn()
         if isinstance(rhs, syn.IntLit):
-            return (rhs.value, 0, 0)
+            return self._null(rhs.value)
         if isinstance(rhs, syn.Add):
-            lv, lb, le = self._eval_rhs(rhs.left)
-            rv, rb, re_ = self._eval_rhs(rhs.right)
+            left = self._norm(self._eval_rhs(rhs.left))
+            right = self._norm(self._eval_rhs(rhs.right))
+            total = left[0] + right[0]
             # Pointer arithmetic inherits the pointer's metadata
-            # (Section 3.1); int+int has null metadata.
-            if (lb, le) != (0, 0):
-                return (lv + rv, lb, le)
-            if (rb, re_) != (0, 0):
-                return (lv + rv, rb, re_)
-            return (lv + rv, 0, 0)
+            # (Section 3.1) — bounds and, temporally, (key, lock);
+            # int+int has null metadata.
+            if tuple(left[1:3]) != (0, 0):
+                return (total,) + tuple(left[1:])
+            if tuple(right[1:3]) != (0, 0):
+                return (total,) + tuple(right[1:])
+            return self._null(total)
         if isinstance(rhs, syn.Read):
             loc, ftype = self._eval_lhs(rhs.lhs)
             data = self.env.memory.read(loc)
             if data is None:
                 raise _Signal(Outcome.STUCK)
-            return data
+            return self._norm(data)
         if isinstance(rhs, syn.AddrOf):
             loc, ftype = self._eval_lhs(rhs.lhs)
             size = self.env.resolve_struct(ftype).sizeof(self.env.structs)
             # &lhs gets the bounds of the object it names — including
-            # *shrunk* bounds for &(lhs.field) (Section 3.1).
+            # *shrunk* bounds for &(lhs.field) (Section 3.1) — and,
+            # temporally, the containing block's (key, lock).
+            if self.temporal:
+                key, lock = self.env.memory.lock_of(loc)
+                return (loc, loc, loc + size, key, lock)
             return (loc, loc, loc + size)
         if isinstance(rhs, syn.CastTo):
-            value, base, bound = self._eval_rhs(rhs.rhs)
             # Casts preserve the value and the (incorruptible) metadata;
             # this is what makes arbitrary casts safe (Section 5.2).
-            return (value, base, bound)
+            return self._eval_rhs(rhs.rhs)
         if isinstance(rhs, syn.SizeOf):
-            return (self.env.resolve_struct(rhs.ftype).sizeof(self.env.structs), 0, 0)
+            return self._null(
+                self.env.resolve_struct(rhs.ftype).sizeof(self.env.structs))
         if isinstance(rhs, syn.Malloc):
-            size_value, _, _ = self._eval_rhs(rhs.size)
+            size_value = self._eval_rhs(rhs.size)[0]
             if size_value <= 0:
-                return (0, 0, 0)
+                return self._null(0)
             base = self.env.memory.malloc(size_value)
             if base is None:
                 raise _Signal(Outcome.OUT_OF_MEM)
+            if self.temporal:
+                key, lock = self.env.memory.lock_of(base)
+                return (base, base, base + size_value, key, lock)
             return (base, base, base + size_value)
         raise TypeError(f"not an rhs: {rhs!r}")
 
@@ -216,6 +288,7 @@ class Evaluator:
             raise _Signal(Outcome.OUT_OF_MEM)
 
 
-def run(env, command, instrumented=True):
+def run(env, command, instrumented=True, temporal=False):
     """Convenience: execute ``command`` in ``env``; returns an Outcome."""
-    return Evaluator(env, instrumented=instrumented).run_command(command)
+    return Evaluator(env, instrumented=instrumented,
+                     temporal=temporal).run_command(command)

@@ -195,6 +195,18 @@ class Assign:
 
 
 @dataclass(frozen=True)
+class Free:
+    """c: free(rhs) — the temporal extension's deallocation command.
+
+    The spatial fragment of Section 4 has no ``free`` (spatial safety
+    is preserved without one); the lock-and-key extension adds it, and
+    with it the obligation that definedness require a *live* lock.
+    """
+
+    rhs: object
+
+
+@dataclass(frozen=True)
 class Seq:
     """c: c ; c."""
 

@@ -61,6 +61,8 @@ def run_checkopt(workload_names=None):
                 if off.stats.checks else 0.0,
             "metadata_loads_off": off.stats.metadata_loads,
             "metadata_loads_on": on.stats.metadata_loads,
+            # The normalized per-workload headline (bench-v2 schema).
+            "value": round(overhead_on, 3),
         }
 
     def geo(names_, key):
@@ -69,9 +71,12 @@ def run_checkopt(workload_names=None):
 
     loop_names = [n for n in LOOP_WORKLOADS if n in per_workload]
     report = {
-        "schema": "checkopt-v1",
+        "schema": "bench-v2",
+        "benchmark": "checkopt",
+        "metric": "instrumented_overhead_pct",
         "config": FULL_SHADOW.label,
         "workloads": per_workload,
+        "geomean": round(geo(per_workload, "overhead_on_pct"), 3),
         "geomean_overhead_off_pct": round(geo(per_workload, "overhead_off_pct"), 3),
         "geomean_overhead_on_pct": round(geo(per_workload, "overhead_on_pct"), 3),
         "loop_workloads": loop_names,

@@ -48,6 +48,8 @@ def execute_task(task):
       :class:`~repro.harness.stats.WorkloadMeasurement`
     * ``("attack", attack_name)`` → ``(exploited, full, store)`` bools
     * ``("bug", bug_name)`` → ``(valgrind, mudflap, store, full)`` bools
+    * ``("temporal", attack_name)`` →
+      ``(exploited, spatial_outcome, temporal_detected)``
     * ``("server", server_name, config)`` →
       ``(trap_str_or_None, output_identical)``
     """
@@ -64,6 +66,10 @@ def execute_task(task):
         from . import tables
 
         return tables.bug_detection(task[1])
+    if kind == "temporal":
+        from . import tables
+
+        return tables.temporal_attack_detection(task[1])
     if kind == "server":
         from . import tables
 

@@ -24,7 +24,8 @@ from ..workloads.attacks import all_attacks
 from ..workloads.bugbench import all_bugs
 from ..workloads.programs import WORKLOADS
 from ..workloads.servers import all_servers
-from . import stats
+from ..workloads.temporal_attacks import all_temporal_attacks
+from . import stats, temporal
 from .parallel import resolve_jobs, run_tasks
 from .stats import average, measure, overhead_matrix, pointer_fractions
 
@@ -35,6 +36,7 @@ _ATTACK_CACHE = {}
 _BUG_CACHE = {}
 _SERVER_CACHE = {}
 _SERVER_PLAIN_CACHE = {}
+_TEMPORAL_CACHE = {}
 
 
 def attack_detection(name):
@@ -65,6 +67,17 @@ def bug_detection(name):
         cached = tuple(r.detected_violation
                        for r in (valgrind, mudflap, store, full))
         _BUG_CACHE[name] = cached
+    return cached
+
+
+def temporal_attack_detection(name):
+    """``(exploited, spatial_outcome, temporal_detected)`` for one
+    temporal attack (memoized; see
+    :func:`repro.harness.temporal.temporal_detection`)."""
+    cached = _TEMPORAL_CACHE.get(name)
+    if cached is None:
+        cached = temporal.temporal_detection(name)
+        _TEMPORAL_CACHE[name] = cached
     return cached
 
 
@@ -131,6 +144,9 @@ def _prewarm_tasks(only=None):
         for server in all_servers():
             for config in (FULL_SHADOW, STORE_SHADOW):
                 tasks.append(("server", server.name, config))
+    if wanted("temporal"):
+        for attack in all_temporal_attacks():
+            tasks.append(("temporal", attack.name))
 
     def cached(task):
         if task[0] == "measure":
@@ -139,6 +155,8 @@ def _prewarm_tasks(only=None):
             return task[1] in _ATTACK_CACHE
         if task[0] == "bug":
             return task[1] in _BUG_CACHE
+        if task[0] == "temporal":
+            return task[1] in _TEMPORAL_CACHE
         return (task[1], task[2].label) in _SERVER_CACHE
 
     # Deduplicate while keeping order (measure tasks repeat across
@@ -175,6 +193,8 @@ def prewarm(jobs=None, only=None):
             _ATTACK_CACHE[task[1]] = result
         elif kind == "bug":
             _BUG_CACHE[task[1]] = result
+        elif kind == "temporal":
+            _TEMPORAL_CACHE[task[1]] = result
         else:
             _SERVER_CACHE[(task[1], task[2].label)] = result
     return len(tasks)
@@ -380,6 +400,36 @@ def render_metadata_ablation():
     return title + "\n" + _format_table(headers, rows)
 
 
+# -- temporal detection table ------------------------------------------------
+
+def temporal_matrix():
+    """Raw detection tuples for tests and CI:
+    {attack: (exploited, spatial_outcome, temporal_detected)}."""
+    return {attack.name: temporal_attack_detection(attack.name)
+            for attack in all_temporal_attacks()}
+
+
+def render_temporal():
+    """Temporal attack detection: the scenarios the paper defers to a
+    companion mechanism, stopped by the lock-and-key subsystem."""
+    headers = ["Attack", "Class", "Unprotected", "Spatial-only", "Temporal"]
+    rows = []
+    for attack in all_temporal_attacks():
+        exploited, spatial_outcome, detected = \
+            temporal_attack_detection(attack.name)
+        rows.append([
+            attack.name,
+            attack.kind,
+            "EXPLOITED" if exploited else "silently wrong",
+            spatial_outcome if spatial_outcome != "missed" else "MISSED",
+            "yes" if detected else "NO",
+        ])
+    title = ("Temporal attacks: lock-and-key detection "
+             "(spatial checking passes every dereference; liveness is "
+             "what died)")
+    return title + "\n" + _format_table(headers, rows)
+
+
 def render_all():
     """Every artifact, separated by blank lines (EXPERIMENTS.md source)."""
     return "\n\n".join([
@@ -391,4 +441,5 @@ def render_all():
         render_sec64(),
         render_sec65(),
         render_metadata_ablation(),
+        render_temporal(),
     ])

@@ -75,16 +75,24 @@ def run_benchmarks(names=None, repeats=2, quick=False):
         entry["instructions"] = instructions
         entry["speedup"] = round(
             entry["interp"]["seconds"] / entry["compiled"]["seconds"], 3)
+        # The normalized per-workload headline (bench-v2 schema: every
+        # BENCH_*.json carries workloads/{name}/value, metric, geomean
+        # and config — diffable by scripts/bench_diff.py).
+        entry["value"] = entry["speedup"]
         speedups.append(entry["speedup"])
         workloads[name] = entry
     geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
     return {
+        "schema": "bench-v2",
         "benchmark": "vm-engine-wallclock",
+        "metric": "wallclock_speedup",
+        "config": "interp-vs-compiled",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "engines": list(ENGINES),
         "repeats": repeats,
         "quick": bool(quick),
         "workloads": workloads,
+        "geomean": round(geomean, 3),
         "geomean_speedup": round(geomean, 3),
     }
 

@@ -209,22 +209,50 @@ class SbCheck(Instruction):
 class SbMetaLoad(Instruction):
     """Disjoint-metadata table lookup keyed by the *address of the
     pointer in memory* (paper Section 3.2): fills the base/bound
-    companion registers for a pointer being loaded."""
+    companion registers for a pointer being loaded.
+
+    Under temporal checking the table entry is widened to
+    ``(base, bound, key, lock)``; ``dst_key``/``dst_lock`` are the
+    temporal companion registers (None in spatial-only builds)."""
 
     opcode = "sb_meta_load"
     addr: Value = None
     dst_base: Register = None
     dst_bound: Register = None
+    dst_key: Register = None
+    dst_lock: Register = None
 
 
 @dataclass
 class SbMetaStore(Instruction):
-    """Disjoint-metadata table update for a pointer being stored."""
+    """Disjoint-metadata table update for a pointer being stored.
+    ``key``/``lock`` carry the temporal half of the widened entry
+    (None in spatial-only builds)."""
 
     opcode = "sb_meta_store"
     addr: Value = None
     base: Value = None
     bound: Value = None
+    key: Value = None
+    lock: Value = None
+
+
+@dataclass
+class SbTemporalCheck(Instruction):
+    """Lock-and-key temporal dereference check:
+    ``if (*lock != key) abort()``.
+
+    Emitted immediately after the spatial check for the same access, so
+    a pointer reaching it has in-bounds (base, bound) — what it may
+    lack is a *live* allocation.  ``access_kind`` follows the spatial
+    check's load/store discipline (store-only mode emits only stores).
+    """
+
+    opcode = "sb_temporal_check"
+    ptr: Value = None
+    key: Value = None
+    lock: Value = None
+    access_kind: str = "load"
 
 
 @dataclass
@@ -247,6 +275,14 @@ class SbMetaClear(Instruction):
 #: premise and are excluded from those passes at the pipeline level.
 METADATA_TABLE_WRITERS = frozenset(
     ["call", "memcopy", "sb_meta_store", "sb_meta_clear"])
+
+#: Opcodes that may *release a lock* (change temporal liveness): only
+#: calls — ``free`` is a call, and a frame teardown can only happen at
+#: a ``ret`` that ends the path being analyzed.  This is what lets
+#: checkelim/licm deduplicate and hoist ``sb_temporal_check``s across
+#: everything else: between two program points with no intervening
+#: call, every lock's value is provably unchanged.
+LOCK_RELEASERS = frozenset(["call"])
 
 
 @dataclass

@@ -43,6 +43,28 @@ def format_instruction(instr):
         return "unreachable"
     if o == "memcopy":
         return f"memcopy {format_value(instr.dst_addr)}, {format_value(instr.src_addr)}, {instr.size}"
+    if o == "sb_check":
+        tag = " !fnptr" if instr.is_fnptr_check else ""
+        return (f"sb_check {instr.access_kind} {format_value(instr.ptr)} in "
+                f"[{format_value(instr.base)}, {format_value(instr.bound)}) "
+                f"size {format_value(instr.size)}{tag}")
+    if o == "sb_temporal_check":
+        return (f"sb_temporal_check {instr.access_kind} "
+                f"{format_value(instr.ptr)} key {format_value(instr.key)} "
+                f"lock {format_value(instr.lock)}")
+    if o == "sb_meta_load":
+        dsts = f"{instr.dst_base}, {instr.dst_bound}"
+        if instr.dst_key is not None:
+            dsts += f", {instr.dst_key}, {instr.dst_lock}"
+        return f"{dsts} = sb_meta_load {format_value(instr.addr)}"
+    if o == "sb_meta_store":
+        vals = f"{format_value(instr.base)}, {format_value(instr.bound)}"
+        if instr.key is not None:
+            vals += f", {format_value(instr.key)}, {format_value(instr.lock)}"
+        return f"sb_meta_store {format_value(instr.addr)}, {vals}"
+    if o == "sb_meta_clear":
+        return (f"sb_meta_clear {format_value(instr.addr)}, "
+                f"{format_value(instr.size)}")
     return f"<{o}>"
 
 

@@ -30,7 +30,8 @@ def _operands(instr):
     """All Values read by an instruction."""
     reads = []
     for attr in ("addr", "value", "a", "b", "base", "offset", "src", "cond",
-                 "callee_reg", "dst_addr", "src_addr", "ptr", "bound", "size"):
+                 "callee_reg", "dst_addr", "src_addr", "ptr", "bound", "size",
+                 "key", "lock"):
         val = getattr(instr, attr, None)
         if isinstance(val, (Register, Const, SymbolRef)):
             reads.append(val)
@@ -52,14 +53,13 @@ def _defined_uids(instr):
     dst = getattr(instr, "dst", None)
     if dst is not None:
         uids.append(dst.uid)
-    for attr in ("dst_base", "dst_bound"):
+    for attr in ("dst_base", "dst_bound", "dst_key", "dst_lock"):
         reg = getattr(instr, attr, None)
         if reg is not None:
             uids.append(reg.uid)
     meta = getattr(instr, "sb_dst_meta", None)
     if meta is not None:
-        uids.append(meta[0].uid)
-        uids.append(meta[1].uid)
+        uids.extend(reg.uid for reg in meta)
     return uids
 
 
@@ -82,6 +82,11 @@ def definite_assignment_errors(func):
     every register read as a live ``frame.regs`` slot."""
     params = {p.register.uid for p in func.params}
     params.update(p.register.uid for p in getattr(func, "sb_extra_params", []))
+    # The frame's temporal (key, lock) registers are bound by the VM at
+    # frame entry, exactly like parameters.
+    frame_meta = getattr(func, "sb_frame_meta", None)
+    if frame_meta is not None:
+        params.update(reg.uid for reg in frame_meta)
     if not func.blocks:
         return []
     labels = {b.label: b for b in func.blocks}
@@ -149,6 +154,10 @@ def definite_assignment_errors(func):
 def verify_function(func, module=None, allow_unresolved=False):
     defined = {p.register.uid for p in func.params}
     defined.update(p.register.uid for p in getattr(func, "sb_extra_params", []))
+    frame_meta = getattr(func, "sb_frame_meta", None)
+    if frame_meta is not None:
+        # Bound by the VM at frame entry, exactly like parameters.
+        defined.update(reg.uid for reg in frame_meta)
     labels = {b.label for b in func.blocks}
     if not func.blocks:
         raise VerifierError(f"{func.name}: no blocks")
@@ -160,14 +169,13 @@ def verify_function(func, module=None, allow_unresolved=False):
         dst = getattr(instr, "dst", None)
         if dst is not None:
             defined.add(dst.uid)
-        for attr in ("dst_base", "dst_bound"):
+        for attr in ("dst_base", "dst_bound", "dst_key", "dst_lock"):
             reg = getattr(instr, attr, None)
             if reg is not None:
                 defined.add(reg.uid)
         meta = getattr(instr, "sb_dst_meta", None)
         if meta is not None:
-            defined.add(meta[0].uid)
-            defined.add(meta[1].uid)
+            defined.update(reg.uid for reg in meta)
 
     for block in func.blocks:
         if not block.instructions:

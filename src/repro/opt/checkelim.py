@@ -30,11 +30,19 @@ dedup falls back to block-local scope with the availability table
 killed at every potential table write.  A deduplicated load is replaced
 by two ``mov``s from the dominating load's companion registers (which
 the cost model prices at zero, matching register renaming).
+
+``sb_temporal_check`` duplicates follow the metadata-load discipline
+with a different invalidation set: the check reads mutable *lock*
+state, which only a call can change (``free`` is a call; frame teardown
+happens past any ``ret``, ending the path) — so a dominated identical
+temporal check per pointer slot is removed cross-block in call-free
+functions, and block-locally with the availability table killed at
+every call otherwise.
 """
 
 from ..ir import instructions as ins
 from ..ir.cfg import CFG
-from ..ir.instructions import METADATA_TABLE_WRITERS
+from ..ir.instructions import LOCK_RELEASERS, METADATA_TABLE_WRITERS
 from ..ir.values import Const, Register, SymbolRef
 
 
@@ -44,14 +52,14 @@ def _definition_counts(func):
         dst = getattr(instr, "dst", None)
         if dst is not None:
             counts[dst.uid] = counts.get(dst.uid, 0) + 1
-        for attr in ("dst_base", "dst_bound"):
+        for attr in ("dst_base", "dst_bound", "dst_key", "dst_lock"):
             reg = getattr(instr, attr, None)
             if reg is not None:
                 counts[reg.uid] = counts.get(reg.uid, 0) + 1
         meta = getattr(instr, "sb_dst_meta", None)
         if meta is not None:
-            counts[meta[0].uid] = counts.get(meta[0].uid, 0) + 1
-            counts[meta[1].uid] = counts.get(meta[1].uid, 0) + 1
+            for reg in meta:
+                counts[reg.uid] = counts.get(reg.uid, 0) + 1
     return counts
 
 
@@ -109,12 +117,15 @@ class _GlobalKeys:
 
 
 class _LocalState:
-    """Per-block copy map and seen-check table for multi-def registers
-    (the original block-local discipline)."""
+    """Per-block copy map and seen-check tables for multi-def registers
+    (the original block-local discipline).  ``tseen`` holds temporal
+    check keys; it is additionally cleared at every call (lock state may
+    change there even though no register is redefined)."""
 
     def __init__(self):
         self.copies = {}
         self.seen = {}
+        self.tseen = set()
 
     def resolve(self, value):
         if not isinstance(value, Register):
@@ -131,6 +142,7 @@ class _LocalState:
         self.copies = {d: s for d, s in self.copies.items() if s != uid}
         self.seen = {key: size for key, size in self.seen.items()
                      if uid not in key[:3]}
+        self.tseen = {key for key in self.tseen if uid not in key}
 
 
 def _written_uids(instr):
@@ -138,13 +150,13 @@ def _written_uids(instr):
     dst = getattr(instr, "dst", None)
     if dst is not None:
         writes.append(dst.uid)
-    for attr in ("dst_base", "dst_bound"):
+    for attr in ("dst_base", "dst_bound", "dst_key", "dst_lock"):
         reg = getattr(instr, attr, None)
         if reg is not None:
             writes.append(reg.uid)
     meta = getattr(instr, "sb_dst_meta", None)
     if meta is not None:
-        writes.extend([meta[0].uid, meta[1].uid])
+        writes.extend(reg.uid for reg in meta)
     return writes
 
 
@@ -154,10 +166,11 @@ def _addr_key(value, keys):
 
 
 def run(func, module=None):
-    """Remove dominated duplicate checks and metadata loads; returns
-    the pair ``(removed_checks, deduped_meta_loads)``."""
+    """Remove dominated duplicate checks, metadata loads and temporal
+    checks; returns ``(removed_checks, deduped_meta_loads,
+    removed_temporal_checks)``."""
     if not func.blocks:
-        return 0, 0
+        return 0, 0, 0
     keys = _GlobalKeys(func)
     cfg = CFG(func)
     counts = _definition_counts(func)
@@ -166,15 +179,29 @@ def run(func, module=None):
     # dominating and the dominated occurrence.
     meta_global_ok = not any(instr.opcode in METADATA_TABLE_WRITERS
                              for instr in func.instructions())
+    # Cross-block temporal-check dedup is sound only when nothing in
+    # the function can release a lock (no calls at all).
+    temporal_global_ok = not any(instr.opcode in LOCK_RELEASERS
+                                 for instr in func.instructions())
     global_seen = {}   # stable key -> max constant size already checked
     global_meta = {}   # stable addr key -> (base Register, bound Register)
+    global_tseen = set()  # stable (ptr, key, lock) keys already checked
     removed = 0
     deduped_meta = 0
+    removed_temporal = 0
+
+    def temporal_key(instr):
+        parts = (keys.part(instr.ptr), keys.part(instr.key),
+                 keys.part(instr.lock))
+        if any(p is None for p in parts):
+            return None
+        return parts
 
     def process_block(block):
-        nonlocal removed, deduped_meta
+        nonlocal removed, deduped_meta, removed_temporal
         undo = []
         meta_undo = []
+        tseen_undo = []
         local = _LocalState()
         local_meta = {}  # addr key -> (base Register, bound Register)
         kept = []
@@ -192,17 +219,24 @@ def run(func, module=None):
                     local.invalidate(uid)
                     _meta_kill_uid(local_meta, uid)
                 key = _addr_key(instr.addr, keys)
-                single_dsts = (counts.get(instr.dst_base.uid) == 1
-                               and counts.get(instr.dst_bound.uid) == 1)
+                # All companion destinations — (base, bound), widened
+                # with (key, lock) under temporal checking — must be
+                # single-def, and a dedup must redefine every one of
+                # them (a dropped key/lock would leave the following
+                # sb_temporal_check reading an undefined register).
+                dsts = [instr.dst_base, instr.dst_bound]
+                if instr.dst_key is not None:
+                    dsts.extend([instr.dst_key, instr.dst_lock])
+                single_dsts = all(counts.get(reg.uid) == 1 for reg in dsts)
                 if key is not None and single_dsts:
                     prev = (global_meta.get(key) if meta_global_ok
                             else local_meta.get(key))
-                    if prev is not None:
-                        kept.append(ins.Mov(dst=instr.dst_base, src=prev[0]))
-                        kept.append(ins.Mov(dst=instr.dst_bound, src=prev[1]))
+                    if prev is not None and len(prev) == len(dsts):
+                        for dst, src in zip(dsts, prev):
+                            kept.append(ins.Mov(dst=dst, src=src))
                         deduped_meta += 1
                         continue
-                    pair = (instr.dst_base, instr.dst_bound)
+                    pair = tuple(dsts)
                     if meta_global_ok:
                         meta_undo.append(key)
                         global_meta[key] = pair
@@ -212,6 +246,33 @@ def run(func, module=None):
                 continue
             if instr.opcode in METADATA_TABLE_WRITERS:
                 local_meta.clear()
+            if instr.opcode in LOCK_RELEASERS:
+                local.tseen.clear()
+            if instr.opcode == "sb_temporal_check":
+                stable = temporal_key(instr)
+                if stable is not None:
+                    available = (global_tseen if temporal_global_ok
+                                 else local.tseen)
+                    if stable in available:
+                        removed_temporal += 1
+                        continue
+                    if temporal_global_ok:
+                        tseen_undo.append(stable)
+                        global_tseen.add(stable)
+                    else:
+                        local.tseen.add(stable)
+                    kept.append(instr)
+                    continue
+                # Block-local fallback for multi-def registers.
+                resolved = (local.resolve(instr.ptr), local.resolve(instr.key),
+                            local.resolve(instr.lock))
+                if all(r is not None for r in resolved):
+                    if resolved in local.tseen:
+                        removed_temporal += 1
+                        continue
+                    local.tseen.add(resolved)
+                kept.append(instr)
+                continue
             if instr.opcode == "sb_check" and not instr.is_fnptr_check:
                 size = instr.size.value if isinstance(instr.size, Const) else None
                 if size is not None:
@@ -243,7 +304,7 @@ def run(func, module=None):
                 _meta_kill_uid(local_meta, uid)
             kept.append(instr)
         block.instructions = kept
-        return undo, meta_undo
+        return undo, meta_undo, tseen_undo
 
     # Dominator-tree DFS with scoped global availability.
     children = cfg.dominator_tree_children()
@@ -252,7 +313,7 @@ def run(func, module=None):
     while stack:
         action, block = stack.pop()
         if action == "leave":
-            undo, meta_undo = undos.pop()
+            undo, meta_undo, tseen_undo = undos.pop()
             for stable, prev in reversed(undo):
                 if prev is None:
                     global_seen.pop(stable, None)
@@ -260,12 +321,14 @@ def run(func, module=None):
                     global_seen[stable] = prev
             for key in reversed(meta_undo):
                 global_meta.pop(key, None)
+            for key in reversed(tseen_undo):
+                global_tseen.discard(key)
             continue
         undos.append(process_block(block))
         stack.append(("leave", block))
         for child in reversed(children.get(block.label, [])):
             stack.append(("visit", child))
-    return removed, deduped_meta
+    return removed, deduped_meta, removed_temporal
 
 
 def _meta_kill_uid(local_meta, uid):
@@ -275,6 +338,6 @@ def _meta_kill_uid(local_meta, uid):
         return
     dead = [key for key, pair in local_meta.items()
             if (key[0] == "r" and key[1] == uid)
-            or pair[0].uid == uid or pair[1].uid == uid]
+            or any(reg.uid == uid for reg in pair)]
     for key in dead:
         del local_meta[key]

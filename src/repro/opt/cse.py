@@ -75,13 +75,13 @@ def _written_registers(instr):
     dst = getattr(instr, "dst", None)
     if dst is not None:
         written.append(dst.uid)
-    for attr in ("dst_base", "dst_bound"):
+    for attr in ("dst_base", "dst_bound", "dst_key", "dst_lock"):
         reg = getattr(instr, attr, None)
         if reg is not None:
             written.append(reg.uid)
     meta = getattr(instr, "sb_dst_meta", None)
     if meta is not None:
-        written.extend([meta[0].uid, meta[1].uid])
+        written.extend(reg.uid for reg in meta)
     return written
 
 

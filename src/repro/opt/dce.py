@@ -17,7 +17,8 @@ def _collect_uses(func):
     used = set()
     for instr in func.instructions():
         for attr in ("addr", "value", "a", "b", "base", "offset", "src", "cond",
-                     "callee_reg", "dst_addr", "src_addr", "ptr", "bound", "size"):
+                     "callee_reg", "dst_addr", "src_addr", "ptr", "bound", "size",
+                     "key", "lock"):
             operand = getattr(instr, attr, None)
             if isinstance(operand, Register):
                 used.add(operand.uid)

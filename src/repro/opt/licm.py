@@ -31,10 +31,21 @@ Two candidate kinds, with different safety obligations:
   touched here — a zero-trip entry would evaluate them when the
   original program never did; those are handled by the guarded loop
   versioning of :mod:`repro.opt.checkwiden`.
+
+* ``sb_temporal_check`` — the lock-and-key liveness check reads mutable
+  *lock* state, which only a call can change (``free`` is a call; a
+  frame teardown lies past any ``ret``).  A header temporal check with
+  invariant (ptr, key, lock) therefore hoists under the sb_check
+  discipline **plus** one extra obligation: the loop must contain no
+  calls at all — otherwise an iteration could free the object and the
+  hoisted check would wrongly keep passing.  This is the "invariant key
+  loads out of free-free loops" optimization: the companion
+  ``sb_meta_load`` that produced the key hoists as metadata (above),
+  and the check itself follows when the loop provably cannot free.
 """
 
 from ..ir.cfg import CFG
-from ..ir.instructions import METADATA_TABLE_WRITERS
+from ..ir.instructions import LOCK_RELEASERS, METADATA_TABLE_WRITERS
 from ..ir.loops import ensure_preheader, find_loops
 from ..ir.values import Const, Register, SymbolRef
 from .checkelim import _definition_counts
@@ -61,14 +72,14 @@ def loop_def_counts(func, loop):
             dst = getattr(instr, "dst", None)
             if dst is not None:
                 counts[dst.uid] = counts.get(dst.uid, 0) + 1
-            for attr in ("dst_base", "dst_bound"):
+            for attr in ("dst_base", "dst_bound", "dst_key", "dst_lock"):
                 reg = getattr(instr, attr, None)
                 if reg is not None:
                     counts[reg.uid] = counts.get(reg.uid, 0) + 1
             meta = getattr(instr, "sb_dst_meta", None)
             if meta is not None:
-                counts[meta[0].uid] = counts.get(meta[0].uid, 0) + 1
-                counts[meta[1].uid] = counts.get(meta[1].uid, 0) + 1
+                for reg in meta:
+                    counts[reg.uid] = counts.get(reg.uid, 0) + 1
     return counts
 
 
@@ -99,6 +110,8 @@ def _loop_candidates(func, loop, global_defs):
                         and global_defs.get(instr.dst_base.uid, 0) == 1
                         and global_defs.get(instr.dst_bound.uid, 0) == 1):
                     meta_loads.append((label, instr))
+    call_free = not any(instr.opcode in LOCK_RELEASERS
+                        for instr in loop.instructions(func))
     header_checks = []
     for instr in func.block_map[loop.header].instructions:
         if instr.opcode == "sb_check" and not instr.is_fnptr_check:
@@ -109,6 +122,16 @@ def _loop_candidates(func, loop, global_defs):
                 header_checks.append((loop.header, instr))
                 continue  # will be hoisted: transparent to later checks
             break  # a remaining check can trap: stop scanning
+        if instr.opcode == "sb_temporal_check":
+            if (call_free
+                    and is_invariant(instr.ptr, defs)
+                    and is_invariant(instr.key, defs)
+                    and is_invariant(instr.lock, defs)):
+                # Free-free loop: no iteration can change any lock, so
+                # the entry evaluation decides every later one.
+                header_checks.append((loop.header, instr))
+                continue
+            break  # can trap (or the loop can free): stop scanning
         if not _is_pure(instr):
             break
     return meta_loads, header_checks

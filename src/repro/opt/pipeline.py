@@ -34,6 +34,7 @@ class PassStats:
     folded: int = 0
     removed_dead: int = 0
     removed_checks: int = 0
+    removed_temporal_checks: int = 0
     propagated_copies: int = 0
     cse_replaced: int = 0
     # Loop-aware check optimizer (post-instrumentation only):
@@ -78,9 +79,10 @@ def optimize_after_instrumentation(module, verify=True, config=None):
     for func in module.functions.values():
         stats.propagated_copies += copyprop.run(func, module)
         stats.cse_replaced += cse.run(func, module)
-        removed, deduped = checkelim.run(func, module)
+        removed, deduped, removed_temporal = checkelim.run(func, module)
         stats.removed_checks += removed
         stats.deduped_meta_loads += deduped
+        stats.removed_temporal_checks += removed_temporal
         if loop_passes:
             hoisted_meta, hoisted_checks = licm.run(func, module)
             stats.hoisted_meta_loads += hoisted_meta

@@ -53,6 +53,15 @@ class SoftBoundConfig:
     #: (Section 5.2, "Function pointers"); off by default to match the
     #: prototype, on in the extension tests.
     encode_fnptr_signature: bool = False
+    #: Lock-and-key temporal checking (use-after-free, double free,
+    #: dangling stack pointers): every allocation gets a unique key and
+    #: a lock location, pointers carry (key, lock) alongside
+    #: (base, bound), and a dereference additionally requires
+    #: ``*lock == key`` (:mod:`repro.temporal`).  Off by default to
+    #: match the paper's prototype, which defers dangling-pointer
+    #: detection to a companion mechanism; only the ``softbound``
+    #: variant supports it.
+    temporal: bool = False
     #: Instrumentation variant: "softbound" (the paper's system) or
     #: "mscc" (the Xu et al. baseline of Section 6.5, modelled as the
     #: same pointer-based discipline with linked-shadow metadata costs
@@ -63,7 +72,10 @@ class SoftBoundConfig:
     def label(self):
         scheme = "ShadowSpace" if self.scheme is MetadataScheme.SHADOW_SPACE else "HashTable"
         mode = "Complete" if self.mode is CheckMode.FULL else "Stores"
-        return f"{scheme}-{mode}"
+        label = f"{scheme}-{mode}"
+        if self.temporal:
+            label += "-Temporal"
+        return label
 
 
 FULL_SHADOW = SoftBoundConfig(CheckMode.FULL, MetadataScheme.SHADOW_SPACE)
@@ -73,3 +85,11 @@ STORE_HASH = SoftBoundConfig(CheckMode.STORE_ONLY, MetadataScheme.HASH_TABLE)
 
 #: The four configurations of the paper's Figure 2, in its legend order.
 FIGURE2_CONFIGS = (FULL_HASH, FULL_SHADOW, STORE_HASH, STORE_SHADOW)
+
+#: Full spatial + lock-and-key temporal checking over the shadow space —
+#: the complete-memory-safety configuration the temporal detection table
+#: and ``BENCH_temporal.json`` measure.
+TEMPORAL_SHADOW = SoftBoundConfig(CheckMode.FULL, MetadataScheme.SHADOW_SPACE,
+                                  temporal=True)
+TEMPORAL_HASH = SoftBoundConfig(CheckMode.FULL, MetadataScheme.HASH_TABLE,
+                                temporal=True)

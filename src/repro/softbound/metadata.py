@@ -26,14 +26,28 @@ SHADOW_REGION_BASE = 0x4000_0000_0000
 
 
 class MetadataFacility:
-    """Interface: load / store / clear_range keyed by pointer address."""
+    """Interface: load / store / clear_range keyed by pointer address.
+
+    Under temporal checking each entry is *widened* from (base, bound)
+    to (base, bound, key, lock) — the CETS discipline of carrying the
+    lock-and-key pair through the same disjoint table.  The widened
+    half is shared base-class state (``_temporal``, keyed by the same
+    per-8-byte slot) so both facilities — and the cost model's
+    distinction between them — stay exactly as the paper describes for
+    the spatial half, while ``clear_range`` invalidates both halves
+    together (stale temporal metadata in a reused slot would otherwise
+    resurrect a dead pointer's liveness).
+    """
 
     name = "abstract"
     load_cost_key = None
     store_cost_key = None
+    TEMPORAL_ENTRY_BYTES = 16  # key + lock alongside each widened entry
 
     def __init__(self):
         self._trace = None
+        self._temporal = {}  # slot key (addr >> 3) -> (key, lock)
+        self._temporal_peak = 0
 
     def set_trace(self, callback):
         """Install an access-trace callback ``callback(addr, nbytes)``
@@ -55,6 +69,43 @@ class MetadataFacility:
 
     def entry_count(self):
         raise NotImplementedError
+
+    # -- the widened (temporal) half of each entry ---------------------
+
+    def load_temporal(self, addr, stats):
+        """The (key, lock) half of the slot's entry; (0, 0) when the
+        slot never held a pointer (an invalid key that can never match
+        a live lock)."""
+        stats.charge("sb.temporal.meta.load")
+        return self._temporal.get(addr >> _WORD_SHIFT, (0, 0))
+
+    def store_temporal(self, addr, key, lock, stats):
+        stats.charge("sb.temporal.meta.store")
+        slot = addr >> _WORD_SHIFT
+        if key or lock:
+            self._temporal[slot] = (key, lock)
+            if len(self._temporal) > self._temporal_peak:
+                self._temporal_peak = len(self._temporal)
+        else:
+            self._temporal.pop(slot, None)
+
+    def _clear_temporal_range(self, addr, size):
+        """Invalidate the temporal half for every slot in the range
+        (called by each facility's ``clear_range``)."""
+        temporal = self._temporal
+        if not temporal:
+            return
+        start = addr >> _WORD_SHIFT
+        end = (addr + size + 7) >> _WORD_SHIFT
+        if end - start < len(temporal):
+            for slot in range(start, end):
+                temporal.pop(slot, None)
+        else:
+            for slot in [s for s in temporal if start <= s < end]:
+                del temporal[slot]
+
+    def temporal_metadata_bytes(self):
+        return self._temporal_peak * self.TEMPORAL_ENTRY_BYTES
 
 
 class HashTableMetadata(MetadataFacility):
@@ -136,10 +187,11 @@ class HashTableMetadata(MetadataFacility):
             before = len(chain)
             chain[:] = [entry for entry in chain if entry[0] != key]
             self.live -= before - len(chain)
+        self._clear_temporal_range(addr, size)
         stats.charge_units(max((end - start), 1))
 
     def metadata_bytes(self):
-        return self.peak_live * self.ENTRY_BYTES
+        return self.peak_live * self.ENTRY_BYTES + self.temporal_metadata_bytes()
 
     def entry_count(self):
         return self.live
@@ -235,10 +287,11 @@ class ShadowSpaceMetadata(MetadataFacility):
                     self.live -= cleared
                     self._page_live[page_index] -= cleared
             key = chunk_end
+        self._clear_temporal_range(addr, size)
         stats.charge_units(max(end - start, 1))
 
     def metadata_bytes(self):
-        return self.peak_live * self.ENTRY_BYTES
+        return self.peak_live * self.ENTRY_BYTES + self.temporal_metadata_bytes()
 
     def entry_count(self):
         return self.live

@@ -5,8 +5,18 @@ not per-instruction: global metadata initialization (paper Section 5.2,
 "Global variables"), metadata copying for memcpy/struct assignment, and
 stack-frame metadata clearing on return ("Memory reuse and stale
 metadata").
+
+With ``config.temporal`` the runtime additionally owns the lock-and-key
+state (:class:`repro.temporal.LockSpace`): it hands out (key, lock)
+pairs at ``malloc`` and stack-frame entry, invalidates them at ``free``
+and frame teardown, and exposes the liveness predicate the
+``sb_temporal_check`` instruction evaluates.  Metadata copying and
+global initialization carry the widened (base, bound, key, lock)
+entries through the same disjoint facility.
 """
 
+from ..temporal import GLOBAL_KEY, GLOBAL_LOCK, LockSpace
+from ..vm.errors import temporal_violation
 from .config import CheckMode
 from .metadata import make_facility
 
@@ -32,6 +42,22 @@ class SoftBoundRuntime:
         # (Section 3.4's corruption channel); disjoint ones cannot be
         # reached by program stores at all.
         self.observes_stores = hasattr(self.facility, "on_program_store")
+        # Lock-and-key temporal state (repro.temporal): only the
+        # paper's own variant carries the widened metadata discipline.
+        self.temporal = bool(getattr(config, "temporal", False))
+        if self.temporal and config.variant != "softbound":
+            raise ValueError(
+                f"temporal checking requires the softbound variant, "
+                f"not {config.variant!r}")
+        self.lockspace = LockSpace() if self.temporal else None
+        #: Per-pointer metadata arity through calls/returns/varargs:
+        #: (base, bound) spatially, (base, bound, key, lock) temporally.
+        self.meta_arity = 4 if self.temporal else 2
+        self.null_meta = (0,) * self.meta_arity
+        #: payload address -> (key, lock slot) of every live heap
+        #: allocation; consulted by free() so double/invalid frees trap
+        #: without trusting the caller-provided metadata.
+        self.heap_locks = {}
 
     def on_program_store(self, addr, size):
         self.facility.on_program_store(addr, size, self.machine.stats)
@@ -45,6 +71,35 @@ class SoftBoundRuntime:
             # Machine.attach_observer).
             machine._engine.invalidate()
         return self
+
+    # -- temporal services ----------------------------------------------------
+
+    def heap_acquire(self, ptr, stats):
+        """Key a fresh heap allocation; returns its (key, lock) pair."""
+        key, lock = self.lockspace.acquire(stats)
+        self.heap_locks[ptr] = (key, lock)
+        return key, lock
+
+    def heap_release(self, ptr, stats, access_kind="free"):
+        """Invalidate a heap allocation's lock.  Raises a temporal trap
+        for a pointer that is not a live allocation (double free, or
+        free of something malloc never returned)."""
+        entry = self.heap_locks.pop(ptr, None)
+        if entry is None:
+            stats.temporal_checks += 1
+            stats.charge("sb.temporal.check")
+            raise temporal_violation(access_kind, ptr, 0, 0)
+        self.lockspace.release(entry[1], stats)
+        return entry
+
+    def check_live(self, access_kind, ptr, key, lock, stats):
+        """The wrapper-level temporal check (libc routines check the
+        whole operation once, up front, like the spatial wrapper
+        check)."""
+        stats.temporal_checks += 1
+        stats.charge("sb.temporal.check")
+        if not self.lockspace.live(key, lock):
+            raise temporal_violation(access_kind, ptr, key, lock)
 
     # -- global initialization ------------------------------------------------
 
@@ -64,6 +119,13 @@ class SoftBoundRuntime:
                 self.facility.store(base_addr + offset, target_base, target_bound,
                                     machine.stats)
                 machine.stats.charge("sb.global.init.per_ptr")
+                if self.temporal:
+                    # Globals and functions live forever under the
+                    # immortal global lock.
+                    self.facility.store_temporal(
+                        base_addr + offset, GLOBAL_KEY, GLOBAL_LOCK,
+                        machine.stats)
+                    machine.stats.charge("sb.temporal.global.init.per_ptr")
 
     def symbol_bounds(self, machine, sym):
         """Static bounds for a symbol: globals span their image; functions
@@ -94,16 +156,25 @@ class SoftBoundRuntime:
 
     def _copy_range(self, src, dst, size):
         stats = self.machine.stats
+        facility = self.facility
         for off in range(0, size, 8):
-            base, bound = self.facility.load(src + off, stats)
-            self.facility.store(dst + off, base, bound, stats)
+            base, bound = facility.load(src + off, stats)
+            facility.store(dst + off, base, bound, stats)
+            if self.temporal:
+                key, lock = facility.load_temporal(src + off, stats)
+                facility.store_temporal(dst + off, key, lock, stats)
 
     # -- stack frame teardown ---------------------------------------------------------
 
     def on_frame_teardown(self, machine, frame):
         """Clear metadata for pointer-bearing stack slots before the frame
         is reused (paper Section 5.2's heuristic: only variables that
-        likely had pointer metadata set)."""
+        likely had pointer metadata set), and kill the frame's lock so
+        every pointer into it becomes permanently dead."""
         for offset, size, name, ctype in frame.alloca_ctypes:
             if ctype is not None and ctype.contains_pointer():
                 self.facility.clear_range(frame.base + offset, size, machine.stats)
+        if self.temporal:
+            slot = getattr(frame, "lock_slot", 0)
+            if slot:
+                self.lockspace.release(slot, machine.stats)

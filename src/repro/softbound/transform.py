@@ -23,6 +23,17 @@ maintains base/bound companion values; it inserts:
   (Section 5.2);
 * ``setbound()`` rewriting (Section 5.2, programmer escape hatch).
 
+With ``config.temporal`` every pointer additionally carries a
+``(key, lock)`` pair — the lock-and-key temporal discipline
+(:mod:`repro.temporal`) — through exactly the same channels: companion
+registers/aliases, widened disjoint-table entries (the same
+``sb_meta_load``/``sb_meta_store`` instructions gain key/lock slots),
+extra call arguments and return values, and an ``sb_temporal_check``
+emitted immediately after each spatial check.  Stack pointers key on a
+per-frame lock materialized in two function-level registers
+(``func.sb_frame_meta``) that the VM binds at frame entry; globals and
+functions carry the immortal global key/lock as constants.
+
 Metadata propagation for values that never touch memory is *compile
 time* work: single-assignment registers simply alias their source's
 companion values (no code emitted), mirroring how LLVM register renaming
@@ -36,9 +47,18 @@ from ..ir import instructions as ins
 from ..ir.irtypes import I64, PTR
 from ..ir.module import Param
 from ..ir.values import Const, Register, SymbolRef
+from ..temporal import GLOBAL_KEY, GLOBAL_LOCK
 from .config import CheckMode
 
 _NULL_META = (Const(0, PTR), Const(0, PTR))
+#: Temporal metadata of pointers without provenance (integers cast to
+#: pointers, wild loads): an invalid key that can never match a live
+#: lock — but such pointers carry NULL spatial bounds and trap
+#: spatially first, since the spatial check precedes the temporal one.
+_NULL_TMETA = (Const(0, I64), Const(0, I64))
+#: Temporal metadata of objects that are never deallocated: globals,
+#: functions, and setbound-blessed pointers.
+_GLOBAL_TMETA = (Const(GLOBAL_KEY, I64), Const(GLOBAL_LOCK, I64))
 
 
 class SoftBoundTransform:
@@ -77,16 +97,21 @@ class SoftBoundTransform:
 class _FunctionTransform:
     def __init__(self, parent, module, func):
         self.config = parent.config
+        self.temporal = bool(getattr(parent.config, "temporal", False))
         self.module = module
         self.func = func
-        self.meta = {}  # register uid -> (base Value, bound Value)
+        self.meta = {}   # register uid -> (base Value, bound Value)
+        self.tmeta = {}  # register uid -> (key Value, lock Value)
         self.multi_def = self._find_multi_def()
         self.copy_sources = {}  # pointer Mov dst uid -> source Register
         self.copy_dests = {}    # source uid -> [pointer Mov dst Registers]
         self.load_sources = {}  # pointer Load dst uid -> address operand
         self.out = None  # current output instruction list
+        # Per-frame lock registers, created on first alloca (temporal).
+        self._frame_meta = None
         # Block-local metadata availability: pointer-slot address key ->
-        # (base, bound) Values already holding that slot's table entry.
+        # the slot's full entry — (base, bound) spatially, widened to
+        # (base, bound, key, lock) temporally — already in registers.
         # Emitting one canonical SbMetaLoad per slot per block (instead
         # of one per pointer load) is what makes the shapes hoist- and
         # dedup-friendly downstream (checkelim, licm), and it is only
@@ -118,6 +143,14 @@ class _FunctionTransform:
             return self.meta.get(value.uid, _NULL_META)
         return _NULL_META
 
+    def _tmeta_of(self, value):
+        """The (key, lock) for a pointer-typed operand."""
+        if isinstance(value, SymbolRef):
+            return _GLOBAL_TMETA  # globals and functions never die
+        if isinstance(value, Register):
+            return self.tmeta.get(value.uid, _NULL_TMETA)
+        return _NULL_TMETA
+
     def _symbol_meta(self, symref):
         name = symref.name
         gvar = self.module.globals.get(name)
@@ -147,8 +180,40 @@ class _FunctionTransform:
         else:
             self.meta[dst_reg.uid] = (base, bound)
 
+    def _set_tmeta(self, dst_reg, key, lock):
+        """Record temporal metadata, mirroring :meth:`_set_meta`."""
+        if not self.temporal:
+            return
+        if dst_reg.uid in self.multi_def:
+            companions = self.tmeta.get(dst_reg.uid)
+            if not (companions and isinstance(companions[0], Register)
+                    and companions[0].hint.endswith(".sbk")):
+                companions = (
+                    self.func.new_reg(I64, f"{dst_reg.uid}.sbk"),
+                    self.func.new_reg(I64, f"{dst_reg.uid}.sbl"),
+                )
+                self.tmeta[dst_reg.uid] = companions
+            self.out.append(ins.Mov(dst=companions[0], src=key))
+            self.out.append(ins.Mov(dst=companions[1], src=lock))
+        else:
+            self.tmeta[dst_reg.uid] = (key, lock)
+
     def _fresh_meta_regs(self, tag):
         return self.func.new_reg(PTR, tag + ".sbb"), self.func.new_reg(PTR, tag + ".sbe")
+
+    def _fresh_tmeta_regs(self, tag):
+        return self.func.new_reg(I64, tag + ".sbk"), self.func.new_reg(I64, tag + ".sbl")
+
+    def _frame_tmeta(self):
+        """The function's per-frame (key, lock) registers, created once
+        and recorded on the function for the VM to bind at frame entry
+        (``Machine._push_frame`` acquires the frame's lock)."""
+        if self._frame_meta is None:
+            key = self.func.new_reg(I64, "frame.sbk")
+            lock = self.func.new_reg(I64, "frame.sbl")
+            self._frame_meta = (key, lock)
+            self.func.sb_frame_meta = self._frame_meta
+        return self._frame_meta
 
     # -- block-local metadata availability --------------------------------
 
@@ -181,23 +246,24 @@ class _FunctionTransform:
             return None
         return self._meta_cache.get(key)
 
-    def _meta_cache_record(self, addr, base, bound):
-        """Record a slot's freshly *read* entry (no table write)."""
+    def _meta_cache_record(self, addr, entry):
+        """Record a slot's freshly *read* entry (no table write).
+        ``entry`` is the full companion tuple — (base, bound) spatially,
+        (base, bound, key, lock) temporally."""
         if not self._meta_cache_enabled:
             return
         key = self._slot_key(addr)
-        if key is not None and self._meta_value_stable(base) \
-                and self._meta_value_stable(bound):
-            self._meta_cache[key] = (base, bound)
+        if key is not None and all(self._meta_value_stable(v) for v in entry):
+            self._meta_cache[key] = entry
 
-    def _meta_cache_written(self, addr, base, bound):
+    def _meta_cache_written(self, addr, entry):
         """A table *write* happened: two distinct keys may alias the
         same runtime slot, so everything cached is invalid except the
         entry just written."""
         if not self._meta_cache_enabled:
             return
         self._meta_cache.clear()
-        self._meta_cache_record(addr, base, bound)
+        self._meta_cache_record(addr, entry)
 
     def _meta_cache_clear(self):
         self._meta_cache.clear()
@@ -210,13 +276,23 @@ class _FunctionTransform:
         base, bound = self._meta_of(addr_value)
         self.out.append(ins.SbCheck(ptr=addr_value, base=base, bound=bound,
                                     size=Const(size, I64), access_kind=access_kind))
+        if self.temporal:
+            # Emitted *after* the spatial check: a pointer reaching the
+            # temporal check has in-bounds (base, bound), so pointers
+            # without provenance (NULL bounds) trap spatially first and
+            # the temporal check never produces a false positive.
+            key, lock = self._tmeta_of(addr_value)
+            self.out.append(ins.SbTemporalCheck(ptr=addr_value, key=key,
+                                                lock=lock,
+                                                access_kind=access_kind))
 
     # -- the pass ------------------------------------------------------------------------
 
     def run(self):
         func = self.func
         # Extra parameters for pointer arguments (paper Section 3.3): for
-        # each pointer parameter, in order, append a base and a bound.
+        # each pointer parameter, in order, append a base and a bound —
+        # and under temporal checking a key and a lock.
         for param in func.params:
             if param.ctype is not None and param.ctype.is_pointer:
                 base = func.new_reg(PTR, f"{param.name}.base")
@@ -224,6 +300,14 @@ class _FunctionTransform:
                 func.sb_extra_params.append(Param(register=base, ctype=None, name=f"{param.name}.base"))
                 func.sb_extra_params.append(Param(register=bound, ctype=None, name=f"{param.name}.bound"))
                 self.meta[param.register.uid] = (base, bound)
+                if self.temporal:
+                    key = func.new_reg(I64, f"{param.name}.key")
+                    lock = func.new_reg(I64, f"{param.name}.lock")
+                    func.sb_extra_params.append(
+                        Param(register=key, ctype=None, name=f"{param.name}.key"))
+                    func.sb_extra_params.append(
+                        Param(register=lock, ctype=None, name=f"{param.name}.lock"))
+                    self.tmeta[param.register.uid] = (key, lock)
         for block in func.blocks:
             self.out = []
             self._meta_cache_clear()  # availability is block-local
@@ -246,6 +330,11 @@ class _FunctionTransform:
         bound = self.func.new_reg(PTR, f"{instr.name}.sbe")
         self.out.append(ins.Gep(dst=bound, base=instr.dst, offset=Const(instr.size, I64)))
         self._set_meta(instr.dst, instr.dst, bound)
+        if self.temporal:
+            # Stack pointers key on the frame's lock: the VM acquires it
+            # at frame entry and kills it at teardown, so dangling stack
+            # pointers trap exactly like dangling heap pointers.
+            self._set_tmeta(instr.dst, *self._frame_tmeta())
 
     def _visit_gep(self, instr):
         self.out.append(instr)
@@ -260,6 +349,9 @@ class _FunctionTransform:
         else:
             base, bound = self._meta_of(instr.base)
             self._set_meta(instr.dst, base, bound)
+        # Pointer arithmetic never changes which allocation a pointer
+        # belongs to: the (key, lock) pair is inherited unchanged.
+        self._set_tmeta(instr.dst, *self._tmeta_of(instr.base))
 
     def _visit_cast(self, instr):
         self.out.append(instr)
@@ -267,8 +359,10 @@ class _FunctionTransform:
             if instr.kind == "inttoptr":
                 # Creating pointers from integers: NULL bounds (§5.2).
                 self._set_meta(instr.dst, *_NULL_META)
+                self._set_tmeta(instr.dst, *_NULL_TMETA)
             else:
                 self._set_meta(instr.dst, *self._meta_of(instr.src))
+                self._set_tmeta(instr.dst, *self._tmeta_of(instr.src))
 
     def _visit_mov(self, instr):
         self.out.append(instr)
@@ -277,6 +371,7 @@ class _FunctionTransform:
                 self.copy_sources[instr.dst.uid] = instr.src
                 self.copy_dests.setdefault(instr.src.uid, []).append(instr.dst)
             self._set_meta(instr.dst, *self._meta_of(instr.src))
+            self._set_tmeta(instr.dst, *self._tmeta_of(instr.src))
 
     # -- memory operations ---------------------------------------------------------------------
 
@@ -287,30 +382,49 @@ class _FunctionTransform:
             cached = self._meta_cache_lookup(instr.addr)
             if cached is not None:
                 # The slot's table entry is already in registers:
-                # re-reading the table would return the same pair
+                # re-reading the table would return the same tuple
                 # (program stores cannot write a disjoint table).
-                self._set_meta(instr.dst, *cached)
+                self._set_meta(instr.dst, cached[0], cached[1])
+                if self.temporal:
+                    self._set_tmeta(instr.dst, cached[2], cached[3])
                 self.load_sources[instr.dst.uid] = instr.addr
                 return
             base, bound = self._fresh_meta_regs("ld")
-            self.out.append(ins.SbMetaLoad(addr=instr.addr, dst_base=base, dst_bound=bound))
+            key = lock = None
+            if self.temporal:
+                key, lock = self._fresh_tmeta_regs("ld")
+            self.out.append(ins.SbMetaLoad(addr=instr.addr, dst_base=base,
+                                           dst_bound=bound, dst_key=key,
+                                           dst_lock=lock))
             self._set_meta(instr.dst, base, bound)
-            self._meta_cache_record(instr.addr, base, bound)
+            if self.temporal:
+                self._set_tmeta(instr.dst, key, lock)
+                self._meta_cache_record(instr.addr, (base, bound, key, lock))
+            else:
+                self._meta_cache_record(instr.addr, (base, bound))
             self.load_sources[instr.dst.uid] = instr.addr
         elif instr.dst.type.is_ptr:
             # A pointer-shaped value loaded through a non-pointer type
             # (wild cast): no table access, NULL bounds.
             self._set_meta(instr.dst, *_NULL_META)
+            self._set_tmeta(instr.dst, *_NULL_TMETA)
 
     def _visit_store(self, instr):
         self._emit_check(instr.addr, instr.type.size, "store")
         self.out.append(instr)
         if instr.is_pointer_value:
             base, bound = self._meta_of(instr.value)
-            self.out.append(ins.SbMetaStore(addr=instr.addr, base=base, bound=bound))
+            if self.temporal:
+                key, lock = self._tmeta_of(instr.value)
+                self.out.append(ins.SbMetaStore(addr=instr.addr, base=base,
+                                                bound=bound, key=key, lock=lock))
+                entry = (base, bound, key, lock)
+            else:
+                self.out.append(ins.SbMetaStore(addr=instr.addr, base=base, bound=bound))
+                entry = (base, bound)
             # Forward the stored entry: a reload of this slot later in
             # the block needs no table read.
-            self._meta_cache_written(instr.addr, base, bound)
+            self._meta_cache_written(instr.addr, entry)
 
     def _visit_memcopy(self, instr):
         self._meta_cache_clear()  # the runtime copies table entries
@@ -318,9 +432,17 @@ class _FunctionTransform:
             base, bound = self._meta_of(instr.src_addr)
             self.out.append(ins.SbCheck(ptr=instr.src_addr, base=base, bound=bound,
                                         size=Const(instr.size, I64), access_kind="load"))
+            if self.temporal:
+                key, lock = self._tmeta_of(instr.src_addr)
+                self.out.append(ins.SbTemporalCheck(ptr=instr.src_addr, key=key,
+                                                    lock=lock, access_kind="load"))
         base, bound = self._meta_of(instr.dst_addr)
         self.out.append(ins.SbCheck(ptr=instr.dst_addr, base=base, bound=bound,
                                     size=Const(instr.size, I64), access_kind="store"))
+        if self.temporal:
+            key, lock = self._tmeta_of(instr.dst_addr)
+            self.out.append(ins.SbTemporalCheck(ptr=instr.dst_addr, key=key,
+                                                lock=lock, access_kind="store"))
         self.out.append(instr)
 
     # -- calls and returns ------------------------------------------------------------------------
@@ -344,14 +466,18 @@ class _FunctionTransform:
                 instr.sb_call_signature = tuple(
                     bool(ct is not None and ct.is_pointer)
                     for ct in instr.arg_ctypes)
-        # Append base/bound arguments for every pointer argument, in
-        # order (paper Section 3.3: driven entirely by the call site).
+        # Append metadata arguments for every pointer argument, in
+        # order (paper Section 3.3: driven entirely by the call site):
+        # (base, bound) per pointer, widened with (key, lock) under
+        # temporal checking.
         meta_args = []
-        vararg_metas = {}
         for i, (arg, ctype) in enumerate(zip(instr.args, instr.arg_ctypes)):
             if ctype is not None and ctype.is_pointer:
                 base, bound = self._meta_of(arg)
                 meta_args.extend([base, bound])
+                if self.temporal:
+                    key, lock = self._tmeta_of(arg)
+                    meta_args.extend([key, lock])
         instr.args = list(instr.args) + meta_args
         # Direct calls to module functions are renamed to the transformed
         # version; builtin names stay (the VM's libc acts as the wrapper
@@ -361,7 +487,12 @@ class _FunctionTransform:
         # Pointer-returning calls get companion destination registers.
         if instr.dst is not None and instr.dst.type.is_ptr:
             base, bound = self._fresh_meta_regs("ret")
-            instr.sb_dst_meta = (base, bound)
+            if self.temporal:
+                key, lock = self._fresh_tmeta_regs("ret")
+                instr.sb_dst_meta = (base, bound, key, lock)
+                self._set_tmeta(instr.dst, key, lock)
+            else:
+                instr.sb_dst_meta = (base, bound)
             self._set_meta(instr.dst, base, bound)
         self.out.append(instr)
 
@@ -370,6 +501,8 @@ class _FunctionTransform:
 
         A size of 0 "unbounds" the pointer (bounds become the whole
         address space), letting the programmer bless arbitrary access.
+        Blessed pointers also become temporally immortal — the escape
+        hatch escapes both halves of the discipline.
         """
         ptr = instr.args[0]
         size = instr.args[1]
@@ -402,6 +535,7 @@ class _FunctionTransform:
             unbounded = (Const(0, PTR), Const((1 << 63), PTR))
             for target in targets:
                 self._set_meta(target, *unbounded)
+                self._set_tmeta(target, *_GLOBAL_TMETA)
             self._store_setbound_metadata(targets, *unbounded)
             return
         bound = self.func.new_reg(PTR, "setbound.sbe")
@@ -413,6 +547,7 @@ class _FunctionTransform:
         self.out.append(ins.Gep(dst=bound, base=ptr, offset=offset))
         for target in targets:
             self._set_meta(target, ptr, bound)
+            self._set_tmeta(target, *_GLOBAL_TMETA)
         self._store_setbound_metadata(targets, ptr, bound)
 
     def _store_setbound_metadata(self, targets, base, bound):
@@ -426,9 +561,17 @@ class _FunctionTransform:
             key = addr.uid if isinstance(addr, Register) else repr(addr)
             if addr is not None and key not in stored:
                 stored.add(key)
-                self.out.append(ins.SbMetaStore(addr=addr, base=base, bound=bound))
+                if self.temporal:
+                    self.out.append(ins.SbMetaStore(
+                        addr=addr, base=base, bound=bound,
+                        key=_GLOBAL_TMETA[0], lock=_GLOBAL_TMETA[1]))
+                else:
+                    self.out.append(ins.SbMetaStore(addr=addr, base=base, bound=bound))
 
     def _visit_ret(self, instr):
         if instr.value is not None and self.func.return_type.is_ptr:
-            instr.sb_meta = self._meta_of(instr.value)
+            meta = self._meta_of(instr.value)
+            if self.temporal:
+                meta = meta + self._tmeta_of(instr.value)
+            instr.sb_meta = meta
         self.out.append(instr)

@@ -1,0 +1,30 @@
+"""Lock-and-key temporal memory safety subsystem.
+
+Spatial checking (base/bound) is one half of complete memory safety;
+this package supplies the other half: every allocation gets a unique
+key and a lock location, pointers carry ``(key, lock)`` alongside
+``(base, bound)``, and ``free`` / scope exit invalidates the lock so
+any later dereference through a stale pointer traps with a precise
+:class:`~repro.vm.errors.TemporalTrap`.
+
+Enable it per build with ``SoftBoundConfig(temporal=True)`` or on the
+command line with ``--temporal``.
+"""
+
+from .locks import (
+    GLOBAL_KEY,
+    GLOBAL_LOCK,
+    INVALID_KEY,
+    INVALID_LOCK,
+    LOCK_REGION_BASE,
+    LockSpace,
+)
+
+__all__ = [
+    "GLOBAL_KEY",
+    "GLOBAL_LOCK",
+    "INVALID_KEY",
+    "INVALID_LOCK",
+    "LOCK_REGION_BASE",
+    "LockSpace",
+]

@@ -1,0 +1,117 @@
+"""The lock-and-key store for temporal memory safety.
+
+The spatial half of the reproduction (base/bound metadata) cannot see
+*when* an object dies: ``free`` erases the metadata stored *inside* the
+freed region, but every already-materialized (base, bound) pair keeps
+describing the dead extent, so a stale pointer sails through its
+spatial check into re-allocated memory.  The canonical companion
+mechanism (the CETS line of work) keys every allocation:
+
+* each allocation — heap block, stack frame, the global segment — gets
+  a fresh **key** (a monotonically increasing integer, never reused)
+  and a **lock**: a slot in a disjoint lock space holding the key while
+  the allocation is alive;
+* every pointer carries ``(key, lock)`` alongside ``(base, bound)``
+  through registers, the disjoint metadata facilities, calls and
+  returns;
+* a dereference passes its temporal check iff ``*lock == key``;
+* ``free`` / frame teardown writes a dead value into the lock slot and
+  recycles the slot.
+
+Slot recycling is what makes the *key* essential: a recycled slot soon
+holds a different allocation's key, and a stale pointer's old key can
+never match it — keys are never reused (the key-collision stress
+workload pins exactly this).
+
+The lock space lives outside simulated program memory, like the
+metadata facilities themselves, so program stores cannot forge
+liveness.  ``LOCK_REGION_BASE`` places its storage in the simulated
+address space for the cache model's benefit only.
+"""
+
+#: Key/lock of objects that are never deallocated: globals, functions,
+#: and setbound-blessed pointers.  Slot 0 permanently holds GLOBAL_KEY.
+GLOBAL_KEY = 1
+GLOBAL_LOCK = 0
+
+#: Key/lock carried by pointers that never had a provenance (integers
+#: cast to pointers, wild loads).  Slot never allocated, so the check
+#: ``slots[INVALID_LOCK] == INVALID_KEY`` can only fail — but such
+#: pointers carry NULL spatial bounds and trap spatially first.
+INVALID_KEY = 0
+INVALID_LOCK = 0
+
+#: Simulated placement of the lock space's own storage (cache model).
+LOCK_REGION_BASE = 0x6000_0000_0000
+LOCK_ENTRY_BYTES = 8
+
+
+class LockSpace:
+    """Allocation-lifetime registry: lock slots holding allocation keys.
+
+    ``acquire`` returns a fresh ``(key, lock)`` pair; ``release`` kills
+    the lock and recycles the slot for a later allocation (keys are
+    never recycled).  ``live`` is the temporal check predicate.
+    """
+
+    def __init__(self):
+        self.slots = {GLOBAL_LOCK: GLOBAL_KEY}
+        self.free_slots = []
+        self.next_key = GLOBAL_KEY + 1
+        self.next_slot = 1
+        self.peak_live = 1
+        self.acquired = 0
+        self.released = 0
+        self._trace = None
+
+    def set_trace(self, callback):
+        """Cache-model hook: ``callback(addr, nbytes)`` per slot touch."""
+        self._trace = callback
+
+    def _touch(self, slot):
+        if self._trace is not None:
+            self._trace(LOCK_REGION_BASE + slot * LOCK_ENTRY_BYTES,
+                        LOCK_ENTRY_BYTES)
+
+    def acquire(self, stats=None):
+        """Allocate a fresh (key, lock) pair for a new allocation."""
+        key = self.next_key
+        self.next_key += 1
+        if self.free_slots:
+            slot = self.free_slots.pop()
+        else:
+            slot = self.next_slot
+            self.next_slot += 1
+        self.slots[slot] = key
+        self.acquired += 1
+        self.peak_live = max(self.peak_live, len(self.slots))
+        if stats is not None:
+            stats.charge("sb.temporal.lock.acquire")
+        self._touch(slot)
+        return key, slot
+
+    def release(self, slot, stats=None):
+        """Invalidate a lock: every pointer still carrying its old key
+        becomes permanently dead.  The slot is recycled."""
+        if slot == GLOBAL_LOCK:
+            return  # the global lock is immortal
+        if self.slots.pop(slot, None) is not None:
+            self.free_slots.append(slot)
+            self.released += 1
+        if stats is not None:
+            stats.charge("sb.temporal.lock.release")
+        self._touch(slot)
+
+    def live(self, key, slot):
+        """The temporal check predicate: ``*lock == key`` with a live,
+        non-zero key."""
+        return key != INVALID_KEY and self.slots.get(slot) == key
+
+    def read(self, slot):
+        """Current key held by a lock slot (0 when dead)."""
+        self._touch(slot)
+        return self.slots.get(slot, INVALID_KEY)
+
+    def metadata_bytes(self):
+        """Peak lock-space storage (one word per live slot)."""
+        return self.peak_live * LOCK_ENTRY_BYTES

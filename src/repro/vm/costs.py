@@ -64,6 +64,16 @@ OP_COSTS = {
     "sb.fnptr.check": 2,
     "sb.vararg.check": 2,
     "sb.global.init.per_ptr": 12,
+    # Lock-and-key temporal checking (CETS-style companion mechanism):
+    # the check is one lock-location load (x2 latency weight) plus a
+    # compare and branch; the widened metadata entry adds two extra
+    # slots (key, lock) to each table access.
+    "sb.temporal.check": 4,
+    "sb.temporal.meta.load": 3,
+    "sb.temporal.meta.store": 3,
+    "sb.temporal.lock.acquire": 6,   # key counter + lock-slot write
+    "sb.temporal.lock.release": 3,   # lock-slot invalidation write
+    "sb.temporal.global.init.per_ptr": 6,
     # Baseline checker operations:
     "jk.splay.per_level": 6,   # object-table lookup, per tree level
     "jk.check": 4,
@@ -141,6 +151,7 @@ class CostStats:
     memory_ops: int = 0
     pointer_memory_ops: int = 0
     checks: int = 0
+    temporal_checks: int = 0
     metadata_loads: int = 0
     metadata_stores: int = 0
     calls: int = 0

@@ -1403,7 +1403,7 @@ def _build_ret(instr, index, offsets, block):
             value_acc = engine.acc(value_operand)
         meta_accs = None
         if sb_meta is not None:
-            meta_accs = (engine.acc(sb_meta[0]), engine.acc(sb_meta[1]))
+            meta_accs = tuple(engine.acc(v) for v in sb_meta)
         # Frame teardown specializes to a pop + sp restore when there is
         # nothing to notify: no observers, no metadata to clear.
         if not engine.observers and machine.sb_runtime is None:
@@ -1420,7 +1420,7 @@ def _build_ret(instr, index, offsets, block):
             value = value_acc(regs) if value_acc is not None else None
             meta_vals = None
             if meta_accs is not None:
-                meta_vals = (meta_accs[0](regs), meta_accs[1](regs))
+                meta_vals = tuple(acc(regs) for acc in meta_accs)
             # Read the control data back from simulated memory — the
             # attack surface the Wilander suite exercises.  The frame
             # pointer normally sits in the stack segment (decode
@@ -1457,13 +1457,13 @@ def _build_ret(instr, index, offsets, block):
                 caller.regs[dst_reg.uid] = value
             dst_meta = frame.dst_meta
             if dst_meta is not None:
-                base_reg, bound_reg = dst_meta
                 if meta_vals is not None:
-                    caller.regs[base_reg.uid] = meta_vals[0]
-                    caller.regs[bound_reg.uid] = meta_vals[1]
+                    for i, reg in enumerate(dst_meta):
+                        caller.regs[reg.uid] = (meta_vals[i]
+                                                if i < len(meta_vals) else 0)
                 else:
-                    caller.regs[base_reg.uid] = 0
-                    caller.regs[bound_reg.uid] = 0
+                    for reg in dst_meta:
+                        caller.regs[reg.uid] = 0
             return -1
 
         return op
@@ -1501,6 +1501,7 @@ def _build_call(instr, index, offsets, block):
         push_frame = machine._push_frame
         split_meta = machine._split_call_metadata
         has_sb = machine.sb_runtime is not None
+        meta_arity = machine.sb_runtime.meta_arity if has_sb else 2
         libc_call = machine.libc.call
         functions = machine.module.functions
 
@@ -1615,7 +1616,7 @@ def _build_call(instr, index, offsets, block):
                 frame.index = nxt  # resume after the call on return
                 arg_metas = None
                 if has_sb:
-                    args, arg_metas = split_meta(args, instr)
+                    args, arg_metas = split_meta(args, instr, meta_arity)
                 new_frame = push_frame(target, args, site, arg_metas)
                 new_frame.dst_reg = dst
                 new_frame.dst_meta = dst_meta
@@ -1645,16 +1646,16 @@ def _build_call(instr, index, offsets, block):
                     return -1
                 if dst is not None:
                     if isinstance(result, tuple):
-                        value, mbase, mbound = result
-                        regs[dst.uid] = value
+                        regs[dst.uid] = result[0]
                         if dst_meta is not None:
-                            regs[dst_meta[0].uid] = mbase
-                            regs[dst_meta[1].uid] = mbound
+                            rest = result[1:]
+                            for i, reg in enumerate(dst_meta):
+                                regs[reg.uid] = rest[i] if i < len(rest) else 0
                     else:
                         regs[dst.uid] = result if result is not None else 0
                         if dst_meta is not None:
-                            regs[dst_meta[0].uid] = 0
-                            regs[dst_meta[1].uid] = 0
+                            for reg in dst_meta:
+                                regs[reg.uid] = 0
                 return nxt
 
             return op
@@ -1686,7 +1687,7 @@ def _build_call(instr, index, offsets, block):
                 frame.index = nxt
                 arg_metas = None
                 if has_sb:
-                    args, arg_metas = split_meta(args, instr)
+                    args, arg_metas = split_meta(args, instr, meta_arity)
                 new_frame = push_frame(target, args, site, arg_metas)
                 new_frame.dst_reg = dst
                 new_frame.dst_meta = dst_meta
@@ -1702,16 +1703,16 @@ def _build_call(instr, index, offsets, block):
                 return -1
             if dst is not None:
                 if isinstance(result, tuple):
-                    value, mbase, mbound = result
-                    regs[dst.uid] = value
+                    regs[dst.uid] = result[0]
                     if dst_meta is not None:
-                        regs[dst_meta[0].uid] = mbase
-                        regs[dst_meta[1].uid] = mbound
+                        rest = result[1:]
+                        for i, reg in enumerate(dst_meta):
+                            regs[reg.uid] = rest[i] if i < len(rest) else 0
                 else:
                     regs[dst.uid] = result if result is not None else 0
                     if dst_meta is not None:
-                        regs[dst_meta[0].uid] = 0
-                        regs[dst_meta[1].uid] = 0
+                        for reg in dst_meta:
+                            regs[reg.uid] = 0
             return nxt
 
         return op
@@ -1787,6 +1788,9 @@ def _build_sb_check(instr, index, offsets, block):
 def _build_sb_meta_load(instr, index, offsets, block):
     base_uid = instr.dst_base.uid
     bound_uid = instr.dst_bound.uid
+    temporal = instr.dst_key is not None
+    key_uid = instr.dst_key.uid if temporal else None
+    lock_uid = instr.dst_lock.uid if temporal else None
     nxt = index + 1
 
     def make(engine, function):
@@ -1794,6 +1798,27 @@ def _build_sb_meta_load(instr, index, offsets, block):
         limit = engine.limit
         addr_acc = engine.acc(instr.addr)
         machine = engine.machine
+
+        if temporal:
+            # Widened entry: both halves of the slot's metadata in one
+            # dispatch (the facility charges each half's cost).
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                addr = addr_acc(regs)
+                facility = machine.sb_runtime.facility
+                base, bound = facility.load(addr, st)
+                regs[base_uid] = base
+                regs[bound_uid] = bound
+                key, lock = facility.load_temporal(addr, st)
+                regs[key_uid] = key
+                regs[lock_uid] = lock
+                st.metadata_loads += 1
+                return nxt
+
+            return op
 
         def op(frame, regs):
             n = st.instructions + 1
@@ -1812,6 +1837,7 @@ def _build_sb_meta_load(instr, index, offsets, block):
 
 
 def _build_sb_meta_store(instr, index, offsets, block):
+    temporal = instr.key is not None
     nxt = index + 1
 
     def make(engine, function):
@@ -1820,7 +1846,25 @@ def _build_sb_meta_store(instr, index, offsets, block):
         addr_acc = engine.acc(instr.addr)
         base_acc = engine.acc(instr.base)
         bound_acc = engine.acc(instr.bound)
+        key_acc = engine.acc(instr.key) if temporal else None
+        lock_acc = engine.acc(instr.lock) if temporal else None
         machine = engine.machine
+
+        if temporal:
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                addr = addr_acc(regs)
+                facility = machine.sb_runtime.facility
+                facility.store(addr, base_acc(regs), bound_acc(regs), st)
+                facility.store_temporal(addr, key_acc(regs), lock_acc(regs), st)
+                st.metadata_stores += 1
+                return nxt
+
+            return op
 
         def op(frame, regs):
             n = st.instructions + 1
@@ -1830,6 +1874,41 @@ def _build_sb_meta_store(instr, index, offsets, block):
             machine.sb_runtime.facility.store(
                 addr_acc(regs), base_acc(regs), bound_acc(regs), st)
             st.metadata_stores += 1
+            return nxt
+
+        return op
+
+    return make
+
+
+def _build_sb_temporal_check(instr, index, offsets, block):
+    access_kind = instr.access_kind
+    nxt = index + 1
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        ptr_acc = engine.acc(instr.ptr)
+        key_acc = engine.acc(instr.key)
+        lock_acc = engine.acc(instr.lock)
+        # The lock table dict is bound directly: the liveness predicate
+        # inlines to one dict probe plus a compare.
+        slots = engine.machine.sb_runtime.lockspace.slots
+        tcost = OP_COSTS["sb.temporal.check"]
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            key = key_acc(regs)
+            st.temporal_checks += 1
+            st.cost += tcost
+            if key == 0 or slots.get(lock_acc(regs)) != key:
+                from .errors import temporal_violation
+
+                raise temporal_violation(access_kind, ptr_acc(regs), key,
+                                         lock_acc(regs))
             return nxt
 
         return op
@@ -1896,6 +1975,9 @@ def _try_fuse(first, second, index, offsets, block):
             and isinstance(second.ptr, Register)
             and second.ptr.uid == first.dst.uid):
         return _build_gep_check(first, second, index)
+    if (first.opcode == "sb_check" and second.opcode == "sb_temporal_check"
+            and not first.is_fnptr_check):
+        return _build_check_temporal_check(first, second, index)
     return None
 
 
@@ -2161,6 +2243,9 @@ def _build_gep_check(gep_instr, check_instr, index):
 def _build_meta_load_check(meta_instr, check_instr, index):
     base_uid = meta_instr.dst_base.uid
     bound_uid = meta_instr.dst_bound.uid
+    temporal = meta_instr.dst_key is not None
+    key_uid = meta_instr.dst_key.uid if temporal else None
+    lock_uid = meta_instr.dst_lock.uid if temporal else None
     access_kind = check_instr.access_kind
     nxt = index + 2
 
@@ -2179,9 +2264,15 @@ def _build_meta_load_check(meta_instr, check_instr, index):
             st.instructions = n
             if n > limit:
                 raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
-            base, bound = machine.sb_runtime.facility.load(addr_acc(regs), st)
+            facility = machine.sb_runtime.facility
+            addr = addr_acc(regs)
+            base, bound = facility.load(addr, st)
             regs[base_uid] = base
             regs[bound_uid] = bound
+            if temporal:
+                tkey, tlock = facility.load_temporal(addr, st)
+                regs[key_uid] = tkey
+                regs[lock_uid] = tlock
             st.metadata_loads += 1
             n += 1
             st.instructions = n
@@ -2206,6 +2297,68 @@ def _build_meta_load_check(meta_instr, check_instr, index):
     return make
 
 
+def _build_check_temporal_check(check_instr, temporal_instr, index):
+    """``sb_check`` + ``sb_temporal_check`` — the canonical instrumented
+    deref shape under temporal checking (the transform always emits the
+    pair back-to-back).  One dispatch saved per checked access; the
+    spatial half traps first, exactly as unfused."""
+    access_kind = check_instr.access_kind
+    t_access_kind = temporal_instr.access_kind
+    nxt = index + 2
+
+    def make(engine, function):
+        st = engine.stats
+        limit = engine.limit
+        ptr_acc = engine.acc(check_instr.ptr)
+        base_acc = engine.acc(check_instr.base)
+        bound_acc = engine.acc(check_instr.bound)
+        size_acc = engine.acc(check_instr.size)
+        t_ptr_acc = engine.acc(temporal_instr.ptr)
+        key_acc = engine.acc(temporal_instr.key)
+        lock_acc = engine.acc(temporal_instr.lock)
+        runtime = engine.machine.sb_runtime
+        check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
+        tcost = OP_COSTS["sb.temporal.check"]
+        slots = runtime.lockspace.slots if runtime.lockspace is not None else {}
+
+        def op(frame, regs):
+            n = st.instructions + 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            ptr = ptr_acc(regs)
+            base = base_acc(regs)
+            bound = bound_acc(regs)
+            size = size_acc(regs)
+            st.checks += 1
+            st.cost += check_cost
+            if ptr < base or ptr + size > bound:
+                raise Trap(
+                    TrapKind.SPATIAL_VIOLATION,
+                    f"{access_kind} of {size} bytes outside "
+                    f"[0x{base:x}, 0x{bound:x})",
+                    address=ptr,
+                    source="softbound",
+                )
+            n += 1
+            st.instructions = n
+            if n > limit:
+                raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+            key = key_acc(regs)
+            st.temporal_checks += 1
+            st.cost += tcost
+            if key == 0 or slots.get(lock_acc(regs)) != key:
+                from .errors import temporal_violation
+
+                raise temporal_violation(t_access_kind, t_ptr_acc(regs), key,
+                                         lock_acc(regs))
+            return nxt
+
+        return op
+
+    return make
+
+
 _BUILDERS = {
     "alloca": _build_alloca,
     "load": _build_load,
@@ -2222,6 +2375,7 @@ _BUILDERS = {
     "call": _build_call,
     "ret": _build_ret,
     "sb_check": _build_sb_check,
+    "sb_temporal_check": _build_sb_temporal_check,
     "sb_meta_load": _build_sb_meta_load,
     "sb_meta_store": _build_sb_meta_store,
     "sb_meta_clear": _build_sb_meta_clear,

@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 class TrapKind(enum.Enum):
     #: SoftBound or a baseline checker detected a spatial violation.
     SPATIAL_VIOLATION = "spatial_violation"
+    #: The lock-and-key temporal checker detected a dangling-pointer
+    #: access: use-after-free, double free, or a dangling stack pointer
+    #: (the companion mechanism the paper defers to; CETS-style).
+    TEMPORAL_VIOLATION = "temporal_violation"
     #: Access left all mapped segments (simulated SIGSEGV).
     SEGFAULT = "segfault"
     #: A return address / function pointer / longjmp target was corrupted
@@ -58,9 +62,31 @@ class Trap(Exception):
         # Exceptions default to pickling via ``self.args``, which a
         # dataclass ``__init__`` never populates — reconstruct from the
         # fields instead (the parallel harness ships results containing
-        # traps across process boundaries).
-        return (Trap, (self.kind, self.detail, self.address,
-                       self.target_symbol, self.source))
+        # traps across process boundaries).  ``type(self)`` keeps
+        # subclasses (TemporalTrap) pickling as themselves.
+        return (type(self), (self.kind, self.detail, self.address,
+                             self.target_symbol, self.source))
+
+
+@dataclass
+class TemporalTrap(Trap):
+    """A lock-and-key temporal check failed: the pointer's key no longer
+    matches its lock location's current value (the allocation was freed,
+    its stack frame torn down, or the same pointer freed twice).  A
+    distinct class so callers can catch temporal failures precisely;
+    the kind is always :attr:`TrapKind.TEMPORAL_VIOLATION`."""
+
+
+def temporal_violation(access_kind, ptr, key, lock):
+    """The one construction point for temporal-check failures, so the
+    interpreter, the compiled engine and the libc wrappers raise
+    byte-identical traps."""
+    return TemporalTrap(
+        TrapKind.TEMPORAL_VIOLATION,
+        f"{access_kind} through dead pointer (key {key} vs lock #{lock})",
+        address=ptr,
+        source="softbound",
+    )
 
 
 @dataclass
@@ -83,6 +109,7 @@ class ExecutionResult:
         """True when a *checker* stopped the program (not a crash)."""
         return self.trap is not None and self.trap.kind in (
             TrapKind.SPATIAL_VIOLATION,
+            TrapKind.TEMPORAL_VIOLATION,
             TrapKind.VARARG_VIOLATION,
             TrapKind.FUNCTION_POINTER_VIOLATION,
         )

@@ -37,51 +37,36 @@ class Libc:
             self._handlers[name] = handler
         metas = None
         if self.machine.sb_runtime is not None:
-            args, metas = self._split_metadata(args, instr)
+            # One implementation of the SoftBound call-convention split
+            # (Machine._split_call_metadata) serves direct calls and
+            # wrappers alike; handlers index metas per argument, so
+            # normalize "no metadata" to a list of Nones.
+            args, metas = self.machine._split_call_metadata(
+                args, instr, self.machine.sb_runtime.meta_arity)
+            if metas is None:
+                metas = [None] * len(args)
         return handler(args, metas, instr)
-
-    @staticmethod
-    def _split_metadata(args, instr):
-        """Separate appended (base, bound) pairs from the original args.
-
-        The SoftBound transform appends one base and one bound argument,
-        in order, for every pointer-typed original argument.  Returns the
-        original argument list and a parallel list of (base, bound) or
-        None per argument.
-        """
-        ctypes = list(getattr(instr, "arg_ctypes", []) or [])
-        n_ptr = sum(1 for t in ctypes if t is not None and t.is_pointer)
-        if n_ptr == 0 or len(args) < len(ctypes) + 2 * n_ptr:
-            return args, [None] * len(args)
-        original = args[: len(args) - 2 * n_ptr]
-        meta_flat = args[len(args) - 2 * n_ptr :]
-        metas = []
-        cursor = 0
-        for i, value in enumerate(original):
-            ctype = ctypes[i] if i < len(ctypes) else None
-            if ctype is not None and ctype.is_pointer:
-                metas.append((meta_flat[cursor], meta_flat[cursor + 1]))
-                cursor += 2
-            else:
-                metas.append(None)
-        return original, metas
 
 
     def _ret_ptr(self, value, meta):
         """Wrap a pointer return value with metadata when SoftBound is
-        active (library wrappers must propagate bounds for the pointers
-        they return, paper Section 5.2)."""
-        if self.machine.sb_runtime is None:
+        active (library wrappers must propagate bounds — and under
+        temporal checking the (key, lock) pair — for the pointers they
+        return, paper Section 5.2)."""
+        runtime = self.machine.sb_runtime
+        if runtime is None:
             return value
         if value and meta is not None:
-            return (value, meta[0], meta[1])
-        return (value, 0, 0)
+            return (value,) + tuple(meta)
+        return (value,) + runtime.null_meta
 
     def _wrapper_check(self, ptr, size, meta, what):
-        """The once-per-call wrapper bounds check (paper Section 5.2)."""
+        """The once-per-call wrapper checks (paper Section 5.2): the
+        whole extent against the passed bounds, and — under temporal
+        checking — the pointer's lock liveness, both up front."""
         if meta is None:
             return
-        base, bound = meta
+        base, bound = meta[0], meta[1]
         self.machine.stats.charge("sb.check")
         self.machine.stats.checks += 1
         if ptr < base or ptr + size > bound:
@@ -91,6 +76,10 @@ class Libc:
                 address=ptr,
                 source="softbound",
             )
+        runtime = self.machine.sb_runtime
+        if runtime.temporal and len(meta) >= 4:
+            runtime.check_live(what, ptr, meta[2], meta[3],
+                               self.machine.stats)
 
     # -- allocation -------------------------------------------------------------
 
@@ -104,12 +93,18 @@ class Libc:
         if ptr:
             for observer in self.machine.observers:
                 observer.on_heap_alloc(ptr, size)
-        if self.machine.sb_runtime is not None:
+        runtime = self.machine.sb_runtime
+        if runtime is not None:
             # Paper Section 3.1: base = ptr; bound = ptr + size, or NULL
             # bounds when the allocation failed / returned NULL.
             if ptr == 0:
-                return (0, 0, 0)
-            self.machine.sb_runtime.facility.clear_range(ptr, size, self.machine.stats)
+                return (0,) + runtime.null_meta
+            runtime.facility.clear_range(ptr, size, self.machine.stats)
+            if runtime.temporal:
+                # Key the allocation: pointers derived from this return
+                # value stay live exactly until free() kills the lock.
+                key, lock = runtime.heap_acquire(ptr, self.machine.stats)
+                return (ptr, ptr, ptr + size, key, lock)
             return (ptr, ptr, ptr + size)
         return ptr
 
@@ -140,12 +135,28 @@ class Libc:
         ptr = int(args[0])
         mem = self.machine.memory
         size = mem.allocation_size(ptr)
+        runtime = self.machine.sb_runtime
+        if runtime is not None and runtime.temporal and ptr:
+            # Lock-and-key free, in two steps mirroring the formal
+            # model's Free rule.  First the freeing pointer's *own*
+            # (key, lock) must be live: a stale free — double free, or
+            # a dangling pointer whose address has since been handed to
+            # a new allocation — traps here, *before* the registry is
+            # touched (releasing by raw address alone would kill the
+            # new owner's lock and false-positive its next access).
+            meta = metas[0] if metas else None
+            if meta is not None and len(meta) >= 4:
+                runtime.check_live("free", ptr, meta[2], meta[3],
+                                   self.machine.stats)
+            # Then the address must be a live heap allocation: frees of
+            # stack/global pointers (live locks, but never malloc'd)
+            # trap here, and the allocation's lock dies.
+            runtime.heap_release(ptr, self.machine.stats)
         if ptr and size is not None:
             for observer in self.machine.observers:
                 observer.on_heap_free(ptr, size)
         mem.free(ptr)
         self.machine.stats.charge_libc("free")
-        runtime = self.machine.sb_runtime
         if runtime is not None and ptr and size is not None:
             # Paper Section 5.2: clear metadata when the static type of
             # the freed pointer says it may contain pointers.
@@ -516,9 +527,14 @@ class Libc:
         cursor, offset, frame = self._va_advance(int(args[0]))
         self.machine.stats.charge_libc("va_arg_ptr")
         value = self.machine.memory.read_int(cursor, 8, signed=False)
-        if self.machine.sb_runtime is not None:
-            base, bound = frame.va_metas.get(offset, (0, 0))
-            return (value, base, bound)
+        runtime = self.machine.sb_runtime
+        if runtime is not None:
+            meta = frame.va_metas.get(offset)
+            if meta is None:
+                meta = runtime.null_meta
+            elif len(meta) < runtime.meta_arity:
+                meta = tuple(meta) + (0,) * (runtime.meta_arity - len(meta))
+            return (value,) + tuple(meta)
         return value
 
     def _do_va_end(self, args, metas, instr):

@@ -46,6 +46,7 @@ class Frame:
         "function", "regs", "base", "size", "fp", "expected_ret",
         "caller_site", "block", "index", "dst_reg", "dst_meta",
         "va_spill", "va_bytes", "va_ptr_count", "va_metas", "alloca_ctypes",
+        "lock_slot",
     )
 
     def __init__(self, function):
@@ -65,6 +66,7 @@ class Frame:
         self.va_ptr_count = 0
         self.va_metas = {}
         self.alloca_ctypes = []
+        self.lock_slot = 0  # the frame's temporal lock (0: none acquired)
 
 
 class Observer:
@@ -316,23 +318,25 @@ class Machine:
         return self._execute(frame)
 
     @staticmethod
-    def _split_call_metadata(args, instr):
+    def _split_call_metadata(args, instr, arity=2):
         """Undo the SoftBound call convention: original args followed by
-        one (base, bound) pair per pointer-typed original argument.
+        one metadata tuple per pointer-typed original argument —
+        ``(base, bound)`` spatially, ``(base, bound, key, lock)`` under
+        temporal checking (``arity`` is the runtime's ``meta_arity``).
         Returns (original_args, per-arg metadata list or None)."""
         ctypes = list(getattr(instr, "arg_ctypes", []) or [])
         n_ptr = sum(1 for t in ctypes if t is not None and t.is_pointer)
-        if n_ptr == 0 or len(args) < len(ctypes) + 2 * n_ptr:
+        if n_ptr == 0 or len(args) < len(ctypes) + arity * n_ptr:
             return args, None
-        original = args[: len(args) - 2 * n_ptr]
-        flat = args[len(args) - 2 * n_ptr :]
+        original = args[: len(args) - arity * n_ptr]
+        flat = args[len(args) - arity * n_ptr :]
         metas = []
         cursor = 0
         for i in range(len(original)):
             ctype = ctypes[i] if i < len(ctypes) else None
             if ctype is not None and ctype.is_pointer:
-                metas.append((flat[cursor], flat[cursor + 1]))
-                cursor += 2
+                metas.append(tuple(flat[cursor:cursor + arity]))
+                cursor += arity
             else:
                 metas.append(None)
         return original, metas
@@ -359,17 +363,32 @@ class Machine:
         # Bind named parameters.
         for param, value in zip(function.params, args):
             frame.regs[param.register.uid] = value
-        # Bind SoftBound companion parameters: one (base, bound) pair per
-        # pointer-typed named parameter, in order (paper Section 3.3).
+        # Bind SoftBound companion parameters: one metadata tuple per
+        # pointer-typed named parameter, in order (paper Section 3.3) —
+        # (base, bound), widened with (key, lock) under temporal checking.
         sb_params = getattr(function, "sb_extra_params", [])
         if sb_params:
+            arity = self.sb_runtime.meta_arity if self.sb_runtime is not None else 2
             flat = []
             for i, param in enumerate(function.params):
                 meta = arg_metas[i] if arg_metas and i < len(arg_metas) else None
                 if param.ctype is not None and param.ctype.is_pointer:
-                    flat.extend(meta if meta is not None else (0, 0))
+                    if meta is None:
+                        meta = (0,) * arity
+                    flat.extend(meta)
+                    if len(meta) < arity:
+                        flat.extend([0] * (arity - len(meta)))
             for param, value in zip(sb_params, flat):
                 frame.regs[param.register.uid] = value
+        # Acquire the frame's temporal lock: every alloca-derived pointer
+        # in this function keys on it, and teardown kills it.
+        if self.sb_runtime is not None and self.sb_runtime.temporal:
+            frame_meta = getattr(function, "sb_frame_meta", None)
+            if frame_meta is not None:
+                key, slot = self.sb_runtime.lockspace.acquire(self.stats)
+                frame.regs[frame_meta[0].uid] = key
+                frame.regs[frame_meta[1].uid] = slot
+                frame.lock_slot = slot
         # Spill variadic extras above the return address (x86-style).
         if function.varargs:
             spill = base + va_off
@@ -681,7 +700,8 @@ class Machine:
             frame.index += 1  # resume after the call on return
             arg_metas = None
             if self.sb_runtime is not None:
-                args, arg_metas = self._split_call_metadata(args, instr)
+                args, arg_metas = self._split_call_metadata(
+                    args, instr, self.sb_runtime.meta_arity)
             new_frame = self._push_frame(function, args, site, arg_metas)
             new_frame.dst_reg = instr.dst
             new_frame.dst_meta = getattr(instr, "sb_dst_meta", None)
@@ -698,18 +718,20 @@ class Machine:
             return True
         if instr.dst is not None:
             if isinstance(result, tuple):
-                value, mbase, mbound = result
-                frame.regs[instr.dst.uid] = value
+                # (value, base, bound[, key, lock]) — a pointer return
+                # from a library wrapper with its metadata attached.
+                frame.regs[instr.dst.uid] = result[0]
                 meta = getattr(instr, "sb_dst_meta", None)
                 if meta is not None:
-                    frame.regs[meta[0].uid] = mbase
-                    frame.regs[meta[1].uid] = mbound
+                    rest = result[1:]
+                    for i, reg in enumerate(meta):
+                        frame.regs[reg.uid] = rest[i] if i < len(rest) else 0
             else:
                 frame.regs[instr.dst.uid] = result if result is not None else 0
                 meta = getattr(instr, "sb_dst_meta", None)
                 if meta is not None:
-                    frame.regs[meta[0].uid] = 0
-                    frame.regs[meta[1].uid] = 0
+                    for reg in meta:
+                        frame.regs[reg.uid] = 0
 
     def _check_call_signature(self, instr, function):
         """Dynamic pointer/non-pointer signature check at indirect calls
@@ -744,7 +766,7 @@ class Machine:
         meta = getattr(instr, "sb_meta", None)
         meta_vals = None
         if meta is not None:
-            meta_vals = (self._value(frame, meta[0]), self._value(frame, meta[1]))
+            meta_vals = tuple(self._value(frame, m) for m in meta)
         # Read the control data back from simulated memory — the attack
         # surface the Wilander suite exercises.
         saved_fp = self.memory.read_ptr(frame.fp)
@@ -765,13 +787,13 @@ class Machine:
         if frame.dst_reg is not None and value is not None:
             caller.regs[frame.dst_reg.uid] = value
         if frame.dst_meta is not None:
-            base_reg, bound_reg = frame.dst_meta
             if meta_vals is not None:
-                caller.regs[base_reg.uid] = meta_vals[0]
-                caller.regs[bound_reg.uid] = meta_vals[1]
+                for i, reg in enumerate(frame.dst_meta):
+                    caller.regs[reg.uid] = (meta_vals[i]
+                                            if i < len(meta_vals) else 0)
             else:
-                caller.regs[base_reg.uid] = 0
-                caller.regs[bound_reg.uid] = 0
+                for reg in frame.dst_meta:
+                    caller.regs[reg.uid] = 0
         return value
 
     # -- SoftBound runtime instructions ------------------------------------------
@@ -804,6 +826,10 @@ class Machine:
         base, bound = self.sb_runtime.facility.load(addr, self.stats)
         frame.regs[instr.dst_base.uid] = base
         frame.regs[instr.dst_bound.uid] = bound
+        if instr.dst_key is not None:
+            key, lock = self.sb_runtime.facility.load_temporal(addr, self.stats)
+            frame.regs[instr.dst_key.uid] = key
+            frame.regs[instr.dst_lock.uid] = lock
         self.stats.metadata_loads += 1
 
     def _exec_sb_meta_store(self, frame, instr):
@@ -811,7 +837,23 @@ class Machine:
         base = self._value(frame, instr.base)
         bound = self._value(frame, instr.bound)
         self.sb_runtime.facility.store(addr, base, bound, self.stats)
+        if instr.key is not None:
+            self.sb_runtime.facility.store_temporal(
+                addr, self._value(frame, instr.key),
+                self._value(frame, instr.lock), self.stats)
         self.stats.metadata_stores += 1
+
+    def _exec_sb_temporal_check(self, frame, instr):
+        ptr = self._value(frame, instr.ptr)
+        key = self._value(frame, instr.key)
+        lock = self._value(frame, instr.lock)
+        stats = self.stats
+        stats.temporal_checks += 1
+        stats.charge("sb.temporal.check")
+        if not self.sb_runtime.lockspace.live(key, lock):
+            from .errors import temporal_violation
+
+            raise temporal_violation(instr.access_kind, ptr, key, lock)
 
     def _exec_sb_meta_clear(self, frame, instr):
         addr = self._value(frame, instr.addr)
@@ -944,6 +986,7 @@ _DISPATCH = {
     "memcopy": Machine._exec_memcopy,
     "call": Machine._exec_call,
     "sb_check": Machine._exec_sb_check,
+    "sb_temporal_check": Machine._exec_sb_temporal_check,
     "sb_meta_load": Machine._exec_sb_meta_load,
     "sb_meta_store": Machine._exec_sb_meta_store,
     "sb_meta_clear": Machine._exec_sb_meta_clear,

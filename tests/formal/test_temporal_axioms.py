@@ -1,0 +1,208 @@
+"""Property tests for the lock-and-key temporal axioms.
+
+The spatial fragment axiomatizes read/write/malloc (Table 2); the
+temporal extension adds ``free`` and the lock store, with definedness
+requiring a live lock.  These tests pin the axioms the temporal
+subsystem's soundness rests on, hypothesis-style like the spatial ones.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formal import semantics, syntax as syn
+from repro.formal.machine_axioms import FormalMemory
+from repro.formal.semantics import Environment, Evaluator, Outcome
+
+sizes = st.lists(st.integers(min_value=1, max_value=16),
+                 min_size=1, max_size=12)
+
+
+# -- memory-level axioms -----------------------------------------------------
+
+
+@given(sizes)
+def test_malloc_keys_are_fresh_forever(allocation_sizes):
+    """Every malloc'd block carries a key no earlier block ever had —
+    even across free and address reuse."""
+    mem = FormalMemory(capacity=1024, reuse=True)
+    seen_keys = set()
+    for i, size in enumerate(allocation_sizes):
+        base = mem.malloc(size)
+        key, _lock = mem.lock_of(base)
+        assert key not in seen_keys, "key reused"
+        seen_keys.add(key)
+        if i % 2 == 0:
+            mem.free(base)
+
+
+@given(st.integers(min_value=1, max_value=16))
+def test_lock_live_while_allocated_dead_after_free(size):
+    mem = FormalMemory(capacity=256)
+    base = mem.malloc(size)
+    key, lock = mem.lock_of(base)
+    assert mem.lock_live(key, lock)
+    assert mem.free(base)
+    assert not mem.lock_live(key, lock)
+
+
+@given(st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=15))
+def test_freed_locations_are_inaccessible(size, offset):
+    """After free, read and write fail on every location of the block
+    (the no-reuse memory's half of temporal safety)."""
+    mem = FormalMemory(capacity=256)
+    base = mem.malloc(size)
+    mem.free(base)
+    loc = base + (offset % size)
+    assert mem.read(loc) is None
+    assert mem.write(loc, (1, 0, 0)) is None
+
+
+@given(st.integers(min_value=1, max_value=16))
+def test_double_free_fails(size):
+    mem = FormalMemory(capacity=256)
+    base = mem.malloc(size)
+    assert mem.free(base)
+    assert mem.free(base) is None
+
+
+@given(sizes)
+def test_recycled_lock_slot_never_resurrects_a_dead_key(allocation_sizes):
+    """The key-collision axiom: a dead (key, lock) pair stays dead even
+    when later allocations recycle the same lock slot."""
+    mem = FormalMemory(capacity=2048, reuse=True)
+    base = mem.malloc(8)
+    dead_key, dead_lock = mem.lock_of(base)
+    mem.free(base)
+    for size in allocation_sizes:
+        fresh = mem.malloc(size)
+        assert fresh is not None
+        assert not mem.lock_live(dead_key, dead_lock)
+        key, lock = mem.lock_of(fresh)
+        assert mem.lock_live(key, lock)
+
+
+@given(st.integers(min_value=1, max_value=16))
+def test_reuse_hands_out_freed_addresses_with_new_identity(size):
+    """With reuse on, the freed address range may come back — as a new
+    block with a new key: address equality is not object identity."""
+    mem = FormalMemory(capacity=256, reuse=True)
+    base = mem.malloc(size)
+    old_key, old_lock = mem.lock_of(base)
+    mem.free(base)
+    again = mem.malloc(size)
+    assert again == base  # the range was recycled
+    new_key, new_lock = mem.lock_of(again)
+    assert new_key != old_key
+    assert not mem.lock_live(old_key, old_lock)
+    assert mem.lock_live(new_key, new_lock)
+
+
+# -- semantics-level: definedness requires a live lock -----------------------
+
+
+def _uaf_program():
+    """p = malloc(8); free(p); *p = 1 — the canonical UAF."""
+    return [
+        syn.Assign(syn.Var("p"), syn.Malloc(syn.IntLit(8))),
+        syn.Free(syn.Read(syn.Var("p"))),
+        syn.Assign(syn.Deref(syn.Var("p")), syn.IntLit(1)),
+    ]
+
+
+def _run_steps(env, steps, instrumented, temporal):
+    evaluator = Evaluator(env, instrumented=instrumented, temporal=temporal)
+    for step in steps:
+        outcome = evaluator.run_command(step)
+        if outcome is not Outcome.OK:
+            return outcome
+    return Outcome.OK
+
+
+def _temporal_env(reuse=False):
+    env = Environment(capacity=512, reuse=reuse)
+    env.declare("p", syn.TPtr(syn.TInt()))
+    return env
+
+
+def test_instrumented_semantics_aborts_use_after_free():
+    outcome = _run_steps(_temporal_env(), _uaf_program(),
+                         instrumented=True, temporal=True)
+    assert outcome is Outcome.ABORT
+
+
+def test_plain_semantics_is_undefined_on_use_after_free():
+    outcome = _run_steps(_temporal_env(), _uaf_program(),
+                         instrumented=False, temporal=True)
+    assert outcome is Outcome.STUCK
+
+
+def test_uaf_is_undefined_even_when_memory_is_reused():
+    """The crux: with address reuse the freed location is readable
+    again, so per-location accessibility alone would call the UAF
+    defined — only the lock premise rules it out."""
+    env = _temporal_env(reuse=True)
+    steps = _uaf_program()
+    # Interleave a re-allocation between free and the stale write so
+    # the address is allocated again when the deref evaluates.
+    steps.insert(2, syn.Assign(syn.Var("q"), syn.Malloc(syn.IntLit(8))))
+    env.declare("q", syn.TPtr(syn.TInt()))
+    for instrumented, expected in ((True, Outcome.ABORT),
+                                   (False, Outcome.STUCK)):
+        env2 = _temporal_env(reuse=True)
+        env2.declare("q", syn.TPtr(syn.TInt()))
+        outcome = _run_steps(env2, steps, instrumented=instrumented,
+                             temporal=True)
+        assert outcome is expected, (instrumented, outcome)
+
+
+def test_double_free_aborts_instrumented():
+    steps = [
+        syn.Assign(syn.Var("p"), syn.Malloc(syn.IntLit(8))),
+        syn.Free(syn.Read(syn.Var("p"))),
+        syn.Free(syn.Read(syn.Var("p"))),
+    ]
+    assert _run_steps(_temporal_env(), steps,
+                      instrumented=True, temporal=True) is Outcome.ABORT
+    assert _run_steps(_temporal_env(), steps,
+                      instrumented=False, temporal=True) is Outcome.STUCK
+
+
+def test_live_program_runs_identically_with_temporal_premise():
+    """No false positives: a correct malloc/use/free sequence is OK
+    under both semantics, with and without the temporal premise."""
+    steps = [
+        syn.Assign(syn.Var("p"), syn.Malloc(syn.IntLit(8))),
+        syn.Assign(syn.Deref(syn.Var("p")), syn.IntLit(7)),
+        syn.Assign(syn.Var("x"), syn.Read(syn.Deref(syn.Var("p")))),
+        syn.Free(syn.Read(syn.Var("p"))),
+    ]
+    for temporal in (False, True):
+        for instrumented in (False, True):
+            env = Environment(capacity=512)
+            env.declare("p", syn.TPtr(syn.TInt()))
+            env.declare("x", syn.TInt())
+            outcome = _run_steps(env, steps, instrumented=instrumented,
+                                 temporal=temporal)
+            assert outcome is Outcome.OK, (temporal, instrumented, outcome)
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_agreement_on_temporally_safe_programs(size):
+    """The paper's agreement property, temporal edition: for programs
+    without temporal errors the instrumented semantics agrees with the
+    plain one."""
+    steps = [
+        syn.Assign(syn.Var("p"), syn.Malloc(syn.IntLit(size * 4))),
+        syn.Assign(syn.Deref(syn.Var("p")), syn.IntLit(size)),
+        syn.Assign(syn.Var("x"), syn.Read(syn.Deref(syn.Var("p")))),
+        syn.Free(syn.Read(syn.Var("p"))),
+    ]
+    outcomes = []
+    for instrumented in (False, True):
+        env = Environment(capacity=512)
+        env.declare("p", syn.TPtr(syn.TInt()))
+        env.declare("x", syn.TInt())
+        outcomes.append(_run_steps(env, steps, instrumented=instrumented,
+                                   temporal=True))
+    assert outcomes[0] == outcomes[1] == Outcome.OK

@@ -114,6 +114,41 @@ class TestCheck:
         assert main(["check", path], out, err) == 6
 
 
+UAF_PROGRAM = r'''
+int main(void) {
+    long *p = (long *)malloc(16);
+    free(p);
+    p[0] = 1;
+    return 0;
+}
+'''
+
+
+class TestTemporalFlag:
+    def test_run_temporal_catches_uaf(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, UAF_PROGRAM)
+        assert main(["run", path, "--temporal"], out, err) == EX_VIOLATION
+        assert "temporal_violation" in err.getvalue()
+
+    def test_spatial_only_misses_uaf(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, UAF_PROGRAM)
+        assert main(["run", path, "--softbound", "--no-temporal"],
+                    out, err) == 0
+
+    def test_check_temporal_flag(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, UAF_PROGRAM)
+        assert main(["check", path, "--temporal"], out, err) == EX_VIOLATION
+
+    def test_temporal_transparent_on_clean_program(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["run", path, "--temporal"], out, err) == 6
+        assert "sum 6" in out.getvalue()
+
+
 class TestTablesAndWorkloads:
     def test_workloads_lists_all_fifteen(self, capture):
         out, err = capture
@@ -121,6 +156,38 @@ class TestTablesAndWorkloads:
         text = out.getvalue()
         for name in ("go", "compress", "treeadd", "bisort", "li"):
             assert name in text
+
+    def test_workloads_lists_attack_and_bug_families(self, capture):
+        out, err = capture
+        assert main(["workloads"], out, err) == 0
+        text = out.getvalue()
+        for name in ("stack_direct_ret", "polymorph", "uaf_read",
+                     "double_free"):
+            assert name in text
+
+    def test_workloads_group_filter(self, capture):
+        out, err = capture
+        assert main(["workloads", "--group", "temporal"], out, err) == 0
+        text = out.getvalue()
+        assert "uaf_read" in text and "key_collision_stress" in text
+        assert "treeadd" not in text and "stack_direct_ret" not in text
+
+    def test_workloads_group_filter_spec(self, capture):
+        out, err = capture
+        assert main(["workloads", "--group", "spec"], out, err) == 0
+        text = out.getvalue()
+        assert "compress" in text and "uaf_read" not in text
+
+    def test_workloads_group_no_match(self, capture):
+        out, err = capture
+        assert main(["workloads", "--group", "zzz"], out, err) == 0
+        assert "no workloads match" in out.getvalue()
+
+    def test_temporal_table_renders(self, capture):
+        out, err = capture
+        assert main(["tables", "temporal"], out, err) == 0
+        text = out.getvalue()
+        assert "uaf_read" in text and "lock-and-key" in text
 
     def test_single_table_renders(self, capture):
         out, err = capture

@@ -128,7 +128,9 @@ def test_printer_formats_key_instructions():
                                        is_pointer_value=True))
     assert "!ptr" in text
     check = ins.SbCheck(ptr=r, base=r, bound=r, size=Const(4, I64))
-    assert format_instruction(check).startswith("<sb_check")  # fallback form
+    assert format_instruction(check).startswith("sb_check load")
+    tcheck = ins.SbTemporalCheck(ptr=r, key=Const(7, I64), lock=Const(3, I64))
+    assert format_instruction(tcheck).startswith("sb_temporal_check load")
 
 
 def test_format_function_includes_blocks():

@@ -1,0 +1,175 @@
+"""``MetadataFacility.clear_range`` edge cases across both facilities.
+
+This is the invalidation path the temporal pass depends on: ``free``,
+``memset`` and frame teardown all funnel through ``clear_range``, and a
+slot it misses resurrects stale metadata — spatial bounds for a dead
+object, or (widened entries) a dead pointer's (key, lock).  The cases:
+
+* collision chains in :class:`HashTableMetadata` — several slot keys
+  hash to one bucket; clearing one key's range must drop exactly that
+  entry and keep walking the chain for the others;
+* partial and unaligned ranges — byte ranges that start/end mid-slot
+  round outward (a pointer slot partially overwritten is invalid);
+* page-boundary spans in :class:`ShadowSpaceMetadata` — whole-page
+  teardown vs partial-page clearing, and ranges crossing pages;
+* reuse of a cleared slot — a fresh store after clear_range must be
+  visible (the clear must not leave tombstones that shadow it);
+* the widened temporal half is cleared together with the spatial half.
+"""
+
+import pytest
+
+from repro.softbound.metadata import HashTableMetadata, ShadowSpaceMetadata
+from repro.vm.costs import CostStats
+
+
+@pytest.fixture(params=["hash", "shadow"])
+def facility(request):
+    return HashTableMetadata() if request.param == "hash" \
+        else ShadowSpaceMetadata()
+
+
+def stats():
+    return CostStats()
+
+
+# -- collision chains (hash table) -------------------------------------------
+
+def colliding_addrs(facility, count=3):
+    """Addresses whose slot keys share one bucket (differ by the mask
+    period) — a guaranteed collision chain."""
+    period = (facility.mask + 1) << 3  # slot key stride back to bucket 0
+    return [0x8000 + i * period for i in range(count)]
+
+
+def test_clear_range_in_collision_chain_keeps_other_entries():
+    facility = HashTableMetadata(log2_buckets=4)  # tiny: collisions galore
+    s = stats()
+    addrs = colliding_addrs(facility, 4)
+    for i, addr in enumerate(addrs):
+        facility.store(addr, i + 1, i + 100, s)
+    # All four share a bucket; clear only the second.
+    facility.clear_range(addrs[1], 8, s)
+    assert facility.load(addrs[1], s) == (0, 0)
+    for i, addr in enumerate(addrs):
+        if i != 1:
+            assert facility.load(addr, s) == (i + 1, i + 100), i
+
+
+def test_clear_range_middle_of_chain_then_reuse():
+    facility = HashTableMetadata(log2_buckets=4)
+    s = stats()
+    addrs = colliding_addrs(facility, 3)
+    for addr in addrs:
+        facility.store(addr, addr, addr + 8, s)
+    before = facility.entry_count()
+    facility.clear_range(addrs[1], 8, s)
+    assert facility.entry_count() == before - 1
+    # Reuse the cleared slot: the new entry must win, chain intact.
+    facility.store(addrs[1], 7, 77, s)
+    assert facility.load(addrs[1], s) == (7, 77)
+    assert facility.load(addrs[0], s) == (addrs[0], addrs[0] + 8)
+    assert facility.load(addrs[2], s) == (addrs[2], addrs[2] + 8)
+
+
+# -- partial / unaligned ranges ----------------------------------------------
+
+def test_unaligned_range_rounds_outward(facility):
+    """A clear that covers any byte of a slot invalidates the slot: a
+    partially-overwritten pointer is no longer a valid pointer."""
+    s = stats()
+    facility.store(0x1000, 1, 2, s)
+    facility.store(0x1008, 3, 4, s)
+    facility.store(0x1010, 5, 6, s)
+    # Bytes [0x1004, 0x100C): tail of slot 0x1000, head of slot 0x1008.
+    facility.clear_range(0x1004, 8, s)
+    assert facility.load(0x1000, s) == (0, 0)
+    assert facility.load(0x1008, s) == (0, 0)
+    assert facility.load(0x1010, s) == (5, 6)
+
+
+def test_zero_and_one_byte_ranges(facility):
+    s = stats()
+    facility.store(0x2000, 1, 2, s)
+    facility.clear_range(0x2000, 1, s)   # one byte still kills the slot
+    assert facility.load(0x2000, s) == (0, 0)
+    facility.store(0x2008, 3, 4, s)
+    facility.clear_range(0x2008, 0, s)   # zero bytes clears nothing
+    assert facility.load(0x2008, s) == (3, 4)
+
+
+def test_range_end_is_exclusive_after_rounding(facility):
+    s = stats()
+    facility.store(0x3000, 1, 2, s)
+    facility.store(0x3008, 3, 4, s)
+    facility.clear_range(0x3000, 8, s)   # exactly one slot
+    assert facility.load(0x3000, s) == (0, 0)
+    assert facility.load(0x3008, s) == (3, 4)
+
+
+# -- shadow-space paging ------------------------------------------------------
+
+def test_shadow_whole_page_teardown_and_reuse():
+    facility = ShadowSpaceMetadata()
+    s = stats()
+    page_bytes = facility.PAGE_SLOTS * 8
+    base = page_bytes * 5  # page-aligned byte address
+    for off in range(0, 64, 8):
+        facility.store(base + off, off, off + 8, s)
+    facility.clear_range(base, page_bytes, s)   # whole-page unmap path
+    assert facility.entry_count() == 0
+    for off in range(0, 64, 8):
+        assert facility.load(base + off, s) == (0, 0)
+    # Reuse after the page was dropped entirely.
+    facility.store(base + 16, 9, 99, s)
+    assert facility.load(base + 16, s) == (9, 99)
+
+
+def test_shadow_range_crossing_page_boundary():
+    facility = ShadowSpaceMetadata()
+    s = stats()
+    page_bytes = facility.PAGE_SLOTS * 8
+    boundary = page_bytes * 3
+    facility.store(boundary - 8, 1, 2, s)   # last slot of page 2
+    facility.store(boundary, 3, 4, s)       # first slot of page 3
+    facility.store(boundary + 8, 5, 6, s)
+    facility.clear_range(boundary - 8, 16, s)
+    assert facility.load(boundary - 8, s) == (0, 0)
+    assert facility.load(boundary, s) == (0, 0)
+    assert facility.load(boundary + 8, s) == (5, 6)
+    assert facility.entry_count() == 1
+
+
+def test_shadow_partial_page_keeps_live_accounting():
+    facility = ShadowSpaceMetadata()
+    s = stats()
+    for off in range(0, 80, 8):
+        facility.store(0x4000 + off, off, off + 1, s)
+    live_before = facility.entry_count()
+    facility.clear_range(0x4000, 40, s)   # five of ten slots
+    assert facility.entry_count() == live_before - 5
+
+
+# -- the widened temporal half ------------------------------------------------
+
+def test_clear_range_drops_temporal_half_too(facility):
+    s = stats()
+    facility.store(0x5000, 1, 2, s)
+    facility.store_temporal(0x5000, 42, 3, s)
+    facility.store(0x5008, 4, 5, s)
+    facility.store_temporal(0x5008, 43, 4, s)
+    facility.clear_range(0x5000, 8, s)
+    assert facility.load_temporal(0x5000, s) == (0, 0)
+    assert facility.load_temporal(0x5008, s) == (43, 4)
+    # Reuse: a fresh temporal store on the cleared slot is visible.
+    facility.store_temporal(0x5000, 44, 9, s)
+    assert facility.load_temporal(0x5000, s) == (44, 9)
+
+
+def test_temporal_metadata_accounted_in_bytes(facility):
+    s = stats()
+    facility.store(0x6000, 1, 2, s)
+    spatial_only = facility.metadata_bytes()
+    facility.store_temporal(0x6000, 1, 1, s)
+    assert facility.metadata_bytes() == \
+        spatial_only + facility.TEMPORAL_ENTRY_BYTES
