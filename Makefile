@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci tables
+.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke tables
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -25,8 +25,11 @@ bench-temporal:  ## temporal-checking overhead sweep; records BENCH_temporal.jso
 bench-diff:      ## compare the recorded BENCH_*.json reports (bench-v2 schema)
 	$(PYTHON) scripts/bench_diff.py BENCH_checkopt.json BENCH_temporal.json
 
-ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, temporal >5% fail)
+ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, temporal >5% fail) + api-smoke
 	$(PYTHON) scripts/ci.py
+
+api-smoke:       ## one workload through every protection profile via repro.api + all examples
+	$(PYTHON) scripts/ci.py --api-smoke
 
 tables:          ## regenerate the paper's tables and figures (REPRO_JOBS=N fans out)
 	$(PYTHON) -m repro tables

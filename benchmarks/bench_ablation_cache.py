@@ -22,7 +22,7 @@ Structural claims asserted:
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.softbound.config import MetadataScheme, SoftBoundConfig
 from repro.vm.cache import CacheObserver
 from repro.workloads.programs import WORKLOADS
@@ -35,7 +35,7 @@ def _run_with_cache(name, scheme=None):
     observer = CacheObserver()
     config = SoftBoundConfig(scheme=scheme) if scheme is not None else None
     workload = WORKLOADS[name]
-    result = compile_and_run(workload.source, softbound=config,
+    result = run_source(workload.source, profile=config,
                              observers=[observer])
     assert result.exit_code == workload.expected_exit, name
     return observer.report()

@@ -25,7 +25,7 @@ gap largest on store-heavy scalar code.
 from conftest import save_artifact
 
 from repro.baselines.fatptr import NAIVE_FATPTR_CONFIG, WILD_FATPTR_CONFIG
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.softbound.config import FULL_SHADOW
 from repro.vm.costs import overhead_percent
 from repro.workloads.programs import WORKLOADS
@@ -59,7 +59,7 @@ def test_disjointness_safety(benchmark):
              f"{'scheme':<14} {'outcome':<10} detail"]
     outcomes = {}
     for name, config in SCHEMES:
-        result = compile_and_run(POINTER_SMASH, softbound=config)
+        result = run_source(POINTER_SMASH, profile=config)
         stopped = result.trap is not None
         outcomes[name] = (stopped, result)
         detail = str(result.trap) if stopped else \
@@ -74,7 +74,7 @@ def test_disjointness_safety(benchmark):
     assert outcomes["fatptr-WILD"][0]
     assert outcomes["SoftBound"][0]
 
-    benchmark(lambda: compile_and_run(POINTER_SMASH, softbound=FULL_SHADOW))
+    benchmark(lambda: run_source(POINTER_SMASH, profile=FULL_SHADOW))
 
 
 def test_wild_tag_overhead(benchmark):
@@ -93,12 +93,12 @@ def test_wild_tag_overhead(benchmark):
     """
     rows = []
     for name, workload in WORKLOADS.items():
-        baseline = compile_and_run(workload.source).stats
-        naive = compile_and_run(workload.source,
-                                softbound=NAIVE_FATPTR_CONFIG).stats
-        wild = compile_and_run(workload.source,
-                               softbound=WILD_FATPTR_CONFIG).stats
-        disjoint = compile_and_run(workload.source, softbound=FULL_SHADOW).stats
+        baseline = run_source(workload.source).stats
+        naive = run_source(workload.source,
+                                profile=NAIVE_FATPTR_CONFIG).stats
+        wild = run_source(workload.source,
+                               profile=WILD_FATPTR_CONFIG).stats
+        disjoint = run_source(workload.source, profile=FULL_SHADOW).stats
         rows.append((name,
                      overhead_percent(baseline.cost, naive.cost),
                      overhead_percent(baseline.cost, wild.cost),
@@ -131,5 +131,5 @@ def test_wild_tag_overhead(benchmark):
     assert wild_avg > naive_avg
 
     compress = WORKLOADS["compress"]
-    benchmark(lambda: compile_and_run(compress.source,
-                                      softbound=WILD_FATPTR_CONFIG))
+    benchmark(lambda: run_source(compress.source,
+                                      profile=WILD_FATPTR_CONFIG))

@@ -24,7 +24,7 @@ from dataclasses import replace
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.softbound.config import FULL_SHADOW
 from repro.vm.costs import overhead_percent
 from repro.workloads.programs import WORKLOADS
@@ -33,7 +33,7 @@ RAW = replace(FULL_SHADOW, optimize_checks=False)
 
 
 def _measure(workload, config):
-    result = compile_and_run(workload.source, softbound=config)
+    result = run_source(workload.source, profile=config)
     assert result.exit_code == workload.expected_exit, workload.name
     assert result.trap is None, workload.name
     return result.stats
@@ -43,7 +43,7 @@ def test_postopt_ablation(benchmark):
     rows = []
     improved = 0
     for name, workload in WORKLOADS.items():
-        baseline = compile_and_run(workload.source).stats
+        baseline = run_source(workload.source).stats
         raw = _measure(workload, RAW)
         cleaned = _measure(workload, FULL_SHADOW)
         raw_overhead = overhead_percent(baseline.cost, raw.cost)
@@ -72,4 +72,4 @@ def test_postopt_ablation(benchmark):
     assert average_cleaned <= average_raw
 
     compress = WORKLOADS["compress"]
-    benchmark(lambda: compile_and_run(compress.source, softbound=FULL_SHADOW))
+    benchmark(lambda: run_source(compress.source, profile=FULL_SHADOW))

@@ -8,7 +8,7 @@ pointer programs exceed 15%, with several above 40%.
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.harness.stats import pointer_fractions
 from repro.harness.tables import render_figure1
 from repro.workloads.programs import WORKLOADS
@@ -29,5 +29,5 @@ def test_figure1_pointer_operation_frequency(benchmark):
     assert fractions["li"] > 0.40
 
     health = WORKLOADS["health"]
-    result = benchmark(lambda: compile_and_run(health.source))
+    result = benchmark(lambda: run_source(health.source))
     assert result.exit_code == health.expected_exit

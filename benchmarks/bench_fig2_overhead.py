@@ -13,7 +13,7 @@ model and asserts its structural claims:
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.harness.stats import average, overhead_matrix, pointer_fractions
 from repro.harness.tables import render_figure2
 from repro.softbound.config import FULL_SHADOW
@@ -53,5 +53,5 @@ def test_figure2_overheads(benchmark):
 
     health = WORKLOADS["health"]
     result = benchmark(
-        lambda: compile_and_run(health.source, softbound=FULL_SHADOW))
+        lambda: run_source(health.source, profile=FULL_SHADOW))
     assert result.exit_code == health.expected_exit

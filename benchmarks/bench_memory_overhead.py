@@ -23,7 +23,7 @@ facility.  Structural claims asserted:
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_program
+from repro.api import compile_source
 from repro.softbound.config import FULL_HASH, FULL_SHADOW
 from repro.workloads.programs import WORKLOADS
 
@@ -36,7 +36,7 @@ def _footprints(workload):
     per_facility = {}
     program_bytes = None
     for config in (FULL_HASH, FULL_SHADOW):
-        compiled = compile_program(workload.source, softbound=config)
+        compiled = compile_source(workload.source, profile=config)
         machine = compiled.instantiate()
         result = machine.run()
         assert result.exit_code == workload.expected_exit, workload.name

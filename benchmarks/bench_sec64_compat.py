@@ -8,7 +8,7 @@ handling its whole request stream.
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.harness.tables import render_sec64
 from repro.softbound.config import FIGURE2_CONFIGS, FULL_SHADOW
 from repro.workloads.servers import SERVERS, all_servers
@@ -18,18 +18,18 @@ def test_sec64_compatibility(benchmark):
     text = render_sec64()
     save_artifact("sec64_compat.txt", text)
     for server in all_servers():
-        plain = compile_and_run(server.source, input_data=server.request_stream)
+        plain = run_source(server.source, input_data=server.request_stream)
         assert plain.trap is None
         for fragment in server.expected_output_fragments:
             assert fragment in plain.output
         for config in FIGURE2_CONFIGS:
-            protected = compile_and_run(server.source, softbound=config,
+            protected = run_source(server.source, profile=config,
                                         input_data=server.request_stream)
             assert protected.trap is None, (server.name, config.label, protected.trap)
             assert protected.output == plain.output
             assert protected.exit_code == plain.exit_code
 
     ftp = SERVERS[0]
-    result = benchmark(lambda: compile_and_run(
-        ftp.source, softbound=FULL_SHADOW, input_data=ftp.request_stream))
+    result = benchmark(lambda: run_source(
+        ftp.source, profile=FULL_SHADOW, input_data=ftp.request_stream))
     assert result.trap is None

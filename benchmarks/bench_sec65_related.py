@@ -9,7 +9,7 @@ asserts MSCC's overhead exceeds SoftBound's on every common benchmark.
 from conftest import save_artifact
 
 from repro.baselines.mscc import MSCC_CONFIG
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.harness.tables import render_sec65, sec65_comparison
 from repro.workloads.programs import WORKLOADS
 
@@ -23,5 +23,5 @@ def test_sec65_mscc_comparison(benchmark):
             f"{name}: MSCC {vals['mscc']:.1f}% vs SoftBound {vals['softbound']:.1f}%"
 
     go = WORKLOADS["go"]
-    result = benchmark(lambda: compile_and_run(go.source, softbound=MSCC_CONFIG))
+    result = benchmark(lambda: run_source(go.source, profile=MSCC_CONFIG))
     assert result.exit_code == go.expected_exit

@@ -14,7 +14,7 @@ from repro.baselines.capabilities import (
     SUBOBJECT_PROBE,
     capability_matrix,
 )
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.harness.tables import render_table1
 from repro.softbound.config import FULL_SHADOW
 
@@ -27,5 +27,5 @@ def test_table1_matrix_matches_paper(benchmark):
                row.arbitrary_casts, row.dynamic_linking)
         assert got == PAPER_TABLE1[row.scheme], row.scheme
 
-    result = benchmark(lambda: compile_and_run(SUBOBJECT_PROBE, softbound=FULL_SHADOW))
+    result = benchmark(lambda: run_source(SUBOBJECT_PROBE, profile=FULL_SHADOW))
     assert result.detected_violation

@@ -7,7 +7,7 @@ times the canonical stack-smash detection path.
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.harness.tables import render_table3, table3_matrix
 from repro.softbound.config import FULL_SHADOW
 from repro.workloads.attacks import ATTACKS, all_attacks
@@ -24,5 +24,5 @@ def test_table3_all_attacks_detected(benchmark):
         assert store, f"{name}: store-only checking missed the attack"
 
     attack = ATTACKS["stack_direct_ret"]
-    result = benchmark(lambda: compile_and_run(attack.source, softbound=FULL_SHADOW))
+    result = benchmark(lambda: run_source(attack.source, profile=FULL_SHADOW))
     assert result.detected_violation

@@ -7,7 +7,7 @@ times the sub-object-bug run that only full SoftBound catches.
 
 from conftest import save_artifact
 
-from repro.harness.driver import compile_and_run
+from repro.api import run_source
 from repro.harness.tables import render_table4, table4_matrix
 from repro.softbound.config import FULL_SHADOW
 from repro.workloads.bugbench import BUGBENCH, all_bugs
@@ -21,5 +21,5 @@ def test_table4_matches_paper(benchmark):
         assert matrix[bug.name] == bug.paper_detection, bug.name
 
     go = BUGBENCH["go"]
-    result = benchmark(lambda: compile_and_run(go.source, softbound=FULL_SHADOW))
+    result = benchmark(lambda: run_source(go.source, profile=FULL_SHADOW))
     assert result.detected_violation

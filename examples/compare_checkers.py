@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Run one bug under every checker in the repository.
+"""Run one bug under every checker in the repository — one
+:class:`~repro.api.Session`, selecting each checker by profile name.
 
 The bug is the paper's Section 2.1 sub-object overflow — the case that
 separates SoftBound from every object-granularity tool (Table 1's
@@ -8,11 +9,7 @@ separates SoftBound from every object-granularity tool (Table 1's
 Run:  python examples/compare_checkers.py
 """
 
-from repro import compile_and_run
-from repro.baselines import JonesKellyChecker, MudflapChecker, ValgrindChecker
-from repro.baselines.fatptr import NAIVE_FATPTR_CONFIG, WILD_FATPTR_CONFIG
-from repro.baselines.mscc import MSCC_CONFIG
-from repro.softbound.config import FULL_HASH, FULL_SHADOW, STORE_SHADOW
+from repro.api import Session
 
 SUBOBJECT_BUG = r'''
 struct packet {
@@ -32,40 +29,35 @@ int main(void) {
 }
 '''
 
+#: (display name, profile) — the whole comparison is profile selection.
+CHECKERS = [
+    ("unprotected", "none"),
+    ("Valgrind-style (heap addressability)", "valgrind"),
+    ("Mudflap-style (object table + cache)", "mudflap"),
+    ("Jones-Kelly (object table, splay tree)", "jones-kelly"),
+    ("MSCC (pointer-based, no sub-object bounds)", "mscc"),
+    ("fat pointers, naive inline (SafeC-style)", "fatptr-naive"),
+    ("fat pointers, WILD tags (CCured-style)", "fatptr-wild"),
+    ("SoftBound store-only (shadow space)", "spatial-store-only"),
+    ("SoftBound full (hash table)", "spatial-hash"),
+    ("SoftBound full (shadow space)", "spatial"),
+]
 
-def describe(result):
-    if result.detected_violation:
-        return f"DETECTED by {result.trap.source}: {result.trap.detail}"
-    if result.trap is not None:
-        return f"crashed later: {result.trap.kind.value}"
-    return f"MISSED (ran to completion, exit {result.exit_code})"
+
+def describe(report):
+    if report.detected_violation:
+        return f"DETECTED by {report.trap.source}: {report.trap.detail}"
+    if report.trap is not None:
+        return f"crashed later: {report.trap.kind.value}"
+    return f"MISSED (ran to completion, exit {report.exit_code})"
 
 
 def main():
-    rows = [
-        ("unprotected", lambda: compile_and_run(SUBOBJECT_BUG)),
-        ("Valgrind-style (heap addressability)",
-         lambda: compile_and_run(SUBOBJECT_BUG, observers=(ValgrindChecker(),))),
-        ("Mudflap-style (object table + cache)",
-         lambda: compile_and_run(SUBOBJECT_BUG, observers=(MudflapChecker(),))),
-        ("Jones-Kelly (object table, splay tree)",
-         lambda: compile_and_run(SUBOBJECT_BUG, observers=(JonesKellyChecker(),))),
-        ("MSCC (pointer-based, no sub-object bounds)",
-         lambda: compile_and_run(SUBOBJECT_BUG, softbound=MSCC_CONFIG)),
-        ("fat pointers, naive inline (SafeC-style)",
-         lambda: compile_and_run(SUBOBJECT_BUG, softbound=NAIVE_FATPTR_CONFIG)),
-        ("fat pointers, WILD tags (CCured-style)",
-         lambda: compile_and_run(SUBOBJECT_BUG, softbound=WILD_FATPTR_CONFIG)),
-        ("SoftBound store-only (shadow space)",
-         lambda: compile_and_run(SUBOBJECT_BUG, softbound=STORE_SHADOW)),
-        ("SoftBound full (hash table)",
-         lambda: compile_and_run(SUBOBJECT_BUG, softbound=FULL_HASH)),
-        ("SoftBound full (shadow space)",
-         lambda: compile_and_run(SUBOBJECT_BUG, softbound=FULL_SHADOW)),
-    ]
+    session = Session()
     print("Sub-object overflow (struct field array -> sibling fn pointer):\n")
-    for name, runner in rows:
-        print(f"  {name:45s} {describe(runner())}")
+    for name, profile in CHECKERS:
+        report = session.run(SUBOBJECT_BUG, profile=profile)
+        print(f"  {name:45s} {describe(report)}")
     print("\nOnly SoftBound's shrunk sub-object bounds stop the overflow")
     print("*at the strcpy itself*.  The other pointer-based schemes miss")
     print("the overflow (whole-object bounds) and only notice at the last")

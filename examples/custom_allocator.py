@@ -18,7 +18,7 @@ This example runs the same pool allocator three ways:
 Run:  python examples/custom_allocator.py
 """
 
-from repro import SoftBoundConfig, compile_and_run
+from repro.api import run_source
 
 # A bump-pointer pool allocator.  `USE_SETBOUND` is spliced in so the
 # same program can run with and without the annotation.
@@ -52,14 +52,14 @@ WITH_SETBOUND = POOL_PROGRAM_TEMPLATE % {"setbound": "setbound(object, size);"}
 
 def main():
     print("=== 1. Unprotected pool allocator ===")
-    plain = compile_and_run(WITHOUT_SETBOUND)
+    plain = run_source(WITHOUT_SETBOUND)
     print(plain.output.rstrip())
     print(f"exit code {plain.exit_code} -> the pooled `balance` was "
           f"silently corrupted by its neighbour.\n")
     assert plain.exit_code == 1
 
     print("=== 2. SoftBound, allocator NOT annotated ===")
-    unannotated = compile_and_run(WITHOUT_SETBOUND, softbound=SoftBoundConfig())
+    unannotated = run_source(WITHOUT_SETBOUND, profile="spatial")
     print(f"trap: {unannotated.trap}")
     print("no trap — every pooled object legally carries the whole "
           "arena's bounds, so intra-pool overflows are invisible.  This "
@@ -68,7 +68,7 @@ def main():
     assert unannotated.exit_code == 1  # still corrupted!
 
     print("=== 3. SoftBound, allocator calls setbound(object, size) ===")
-    annotated = compile_and_run(WITH_SETBOUND, softbound=SoftBoundConfig())
+    annotated = run_source(WITH_SETBOUND, profile="spatial")
     print(f"trap: {annotated.trap}")
     assert annotated.detected_violation
     print("one line in the allocator gives every pooled object its own "

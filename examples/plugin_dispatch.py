@@ -12,12 +12,13 @@ The paper acknowledges the problem and sketches the fix without
 implementing it (Section 5.2): "the ultimate solution is to encode the
 pointer/non-pointer signature of the function's arguments, allowing a
 dynamic check".  This repository implements that extension:
-``SoftBoundConfig(encode_fnptr_signature=True)``.
+``ProtectionProfile.from_flags(softbound=True, fnptr_signatures=True)``
+(or the all-checks-on registered profile, ``"full"``).
 
 Run:  python examples/plugin_dispatch.py
 """
 
-from repro import SoftBoundConfig, compile_and_run
+from repro.api import ProtectionProfile, run_source
 
 PROGRAM = r'''
 /* The dispatcher's idea of a handler: two integer arguments. */
@@ -52,7 +53,7 @@ int main(void) {
 
 def main():
     print("=== 1. Plain SoftBound (the paper's prototype) ===")
-    plain = compile_and_run(PROGRAM, softbound=SoftBoundConfig())
+    plain = run_source(PROGRAM, profile="spatial")
     print(f"trap: {plain.trap}")
     print("the mismatch surfaces only when sum_handler dereferences its "
           "forged pointer — as a generic spatial violation deep inside "
@@ -60,8 +61,9 @@ def main():
     assert plain.detected_violation
 
     print("=== 2. With signature encoding (the Section 5.2 extension) ===")
-    checked = compile_and_run(
-        PROGRAM, softbound=SoftBoundConfig(encode_fnptr_signature=True))
+    signatures = ProtectionProfile.from_flags(softbound=True,
+                                              fnptr_signatures=True)
+    checked = run_source(PROGRAM, profile=signatures)
     print(f"trap: {checked.trap}")
     assert checked.trap is not None
     assert "signature mismatch" in checked.trap.detail
@@ -73,8 +75,7 @@ def main():
     clean = PROGRAM.replace(
         'result += table[2](1000, 4);         /* 1000 is not a pointer! */',
         '')
-    result = compile_and_run(
-        clean, softbound=SoftBoundConfig(encode_fnptr_signature=True))
+    result = run_source(clean, profile=signatures)
     print(result.output.rstrip())
     assert result.trap is None
     print("signature checking costs two comparisons per indirect call and "

@@ -10,8 +10,7 @@ of the same server is saved by the instrumentation.
 Run:  python examples/protect_a_server.py
 """
 
-from repro import compile_and_run
-from repro.softbound.config import STORE_SHADOW
+from repro.api import Session
 from repro.workloads.servers import FTP_SERVER
 
 # The same server with a classic bug: a fixed 16-byte username buffer
@@ -24,10 +23,12 @@ EXPLOIT_SESSION = b"USER " + b"A" * 120 + b"\nQUIT\n"
 
 
 def main():
+    session = Session()
     print("=== Replay a normal session against the stock server ===")
-    plain = compile_and_run(FTP_SERVER.source, input_data=FTP_SERVER.request_stream)
-    protected = compile_and_run(FTP_SERVER.source, softbound=STORE_SHADOW,
-                                input_data=FTP_SERVER.request_stream)
+    plain = session.run(FTP_SERVER.source, name="ftpd",
+                        input_data=FTP_SERVER.request_stream)
+    protected = session.run(FTP_SERVER.source, profile="spatial-store-only",
+                            name="ftpd", input_data=FTP_SERVER.request_stream)
     print(plain.output)
     print(f"unprotected exit={plain.exit_code}; protected exit={protected.exit_code}; "
           f"outputs identical: {protected.output == plain.output}; "
@@ -35,12 +36,13 @@ def main():
     assert protected.trap is None and protected.output == plain.output
 
     print("\n=== Now the vulnerable variant, attacked ===")
-    attacked = compile_and_run(VULNERABLE_PATCH, input_data=EXPLOIT_SESSION)
+    attacked = session.run(VULNERABLE_PATCH, name="ftpd-vuln",
+                           input_data=EXPLOIT_SESSION)
     print(f"unprotected: trap={attacked.trap} exit={attacked.exit_code} "
           f"(the 120-byte username sprayed through the session struct)")
 
-    saved = compile_and_run(VULNERABLE_PATCH, softbound=STORE_SHADOW,
-                            input_data=EXPLOIT_SESSION)
+    saved = session.run(VULNERABLE_PATCH, profile="spatial-store-only",
+                        name="ftpd-vuln", input_data=EXPLOIT_SESSION)
     print(f"store-only SoftBound: {saved.trap}")
     assert saved.detected_violation
 

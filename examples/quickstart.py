@@ -1,12 +1,15 @@
 #!/usr/bin/env python
 """Quickstart: compile a C program, watch it corrupt memory silently,
-then watch SoftBound stop it.
+then watch SoftBound stop it — through the ``repro.api`` facade.
+
+A :class:`~repro.api.Session` caches compiles and returns structured
+:class:`~repro.api.RunReport`\\ s; protection is selected by *profile
+name* (``python -m repro profiles`` lists them all).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SoftBoundConfig, compile_and_run
-from repro.softbound.config import CheckMode, STORE_SHADOW
+from repro.api import Session
 
 # The paper's motivating bug shape (Section 2.1): a string copy escapes
 # an 8-byte field inside a struct and silently overwrites its sibling.
@@ -27,20 +30,22 @@ int main(void) {
 
 
 def main():
+    session = Session()
+
     print("=== 1. Unprotected run ===")
-    plain = compile_and_run(BUGGY_PROGRAM)
+    plain = session.run(BUGGY_PROGRAM, profile="none")
     print(plain.output.rstrip())
     print(f"exit code {plain.exit_code} -> the overflow silently corrupted "
           f"`balance` and nothing noticed.\n")
 
-    print("=== 2. SoftBound, full checking (default config) ===")
-    protected = compile_and_run(BUGGY_PROGRAM, softbound=SoftBoundConfig())
+    print("=== 2. SoftBound, full checking (profile 'spatial') ===")
+    protected = session.run(BUGGY_PROGRAM, profile="spatial")
     print(f"trap: {protected.trap}")
     assert protected.detected_violation
     print("the out-of-bounds strcpy was stopped before any corruption.\n")
 
-    print("=== 3. SoftBound, store-only mode (production config) ===")
-    store_only = compile_and_run(BUGGY_PROGRAM, softbound=STORE_SHADOW)
+    print("=== 3. SoftBound, store-only mode (production profile) ===")
+    store_only = session.run(BUGGY_PROGRAM, profile="spatial-store-only")
     print(f"trap: {store_only.trap}")
     assert store_only.detected_violation
 
@@ -55,12 +60,14 @@ def main():
         return 0;
     }
     '''
-    base = compile_and_run(benign)
-    full = compile_and_run(benign, softbound=SoftBoundConfig())
+    base = session.run(benign)
+    full = session.run(benign, profile="spatial")
     overhead = (full.stats.cost / base.stats.cost - 1) * 100
     print(f"baseline cost {base.stats.cost}, protected cost {full.stats.cost} "
           f"-> {overhead:.0f}% overhead, output identical: "
           f"{full.output == base.output}")
+    print(f"(session compiled {session.cached_programs} programs; repeats "
+          f"were cache hits)")
 
 
 if __name__ == "__main__":

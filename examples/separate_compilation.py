@@ -18,8 +18,7 @@ as usual".  This example builds a two-unit program three ways:
 Run:  python examples/separate_compilation.py
 """
 
-from repro.harness.linker import compile_module, link_modules
-from repro.softbound.config import FULL_SHADOW
+from repro.api import compile_sources
 
 LIBRARY = r'''
 int table[8];
@@ -52,16 +51,16 @@ int main(void) {
 '''
 
 
-def build(library_config, main_config):
-    library = compile_module(LIBRARY, softbound=library_config, name="lib")
-    main = compile_module(MAIN, softbound=main_config, name="main")
-    runtime_config = main_config or library_config
-    return link_modules([library, main], softbound=runtime_config)
+def build(library_profile, main_profile):
+    """Each unit compiles under its own profile; the facade links them
+    (mixed transformed/untransformed links are the Section 3.3 point)."""
+    return compile_sources([(LIBRARY, library_profile),
+                            (MAIN, main_profile)])
 
 
 def main():
     print("=== 1. Both units transformed (separately!) ===")
-    result = build(FULL_SHADOW, FULL_SHADOW).run()
+    result = build("spatial", "spatial").run()
     print(f"trap: {result.trap}")
     assert result.detected_violation
     print("table_slot(8) returned a pointer with the table's bounds; the")
@@ -69,7 +68,7 @@ def main():
     print("was rejected.  Metadata crossed the boundary both ways.\n")
 
     print("=== 2. Library left untransformed ===")
-    result = build(None, FULL_SHADOW).run()
+    result = build("none", "spatial").run()
     print(f"trap: {result.trap}")
     print("the mixed link runs; but the untransformed library returns")
     print("pointers with NULL bounds, so even the *legitimate* first store")
@@ -79,7 +78,7 @@ def main():
     assert result.detected_violation
 
     print("=== 3. Unprotected link for comparison ===")
-    result = build(None, None).run()
+    result = build("none", "none").run()
     print(f"trap: {result.trap}, exit code: {result.exit_code}")
     print("the overflow silently corrupts whatever neighbours the table.")
     assert result.trap is None

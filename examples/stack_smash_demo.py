@@ -9,36 +9,38 @@ out-of-bounds store.
 Run:  python examples/stack_smash_demo.py
 """
 
-from repro import compile_and_run
-from repro.softbound.config import FULL_SHADOW, STORE_SHADOW
+from repro.api import Session
 from repro.workloads.attacks import ATTACKS, all_attacks
 
 ATTACK = ATTACKS["stack_direct_ret"]
 
 
 def main():
+    session = Session()
     print("Attack source (Wilander form: overflow on stack, all the way")
     print("to the return address):")
     print(ATTACK.source)
 
     print("=== Unprotected run ===")
-    plain = compile_and_run(ATTACK.source)
+    plain = session.run(ATTACK.source, name=ATTACK.name)
     if plain.attack_succeeded:
         hijack = plain.trap.target_symbol if plain.trap else "payload executed"
         print(f"CONTROL FLOW HIJACKED -> {hijack}\n")
 
     print("=== SoftBound full checking ===")
-    full = compile_and_run(ATTACK.source, softbound=FULL_SHADOW)
+    full = session.run(ATTACK.source, profile="spatial", name=ATTACK.name)
     print(f"stopped: {full.trap}\n")
 
     print("=== SoftBound store-only checking ===")
-    store = compile_and_run(ATTACK.source, softbound=STORE_SHADOW)
+    store = session.run(ATTACK.source, profile="spatial-store-only",
+                        name=ATTACK.name)
     print(f"stopped: {store.trap}\n")
 
     print("=== Whole suite (Table 3) ===")
     for attack in all_attacks():
-        plain = compile_and_run(attack.source)
-        protected = compile_and_run(attack.source, softbound=STORE_SHADOW)
+        plain = session.run(attack.source, name=attack.name)
+        protected = session.run(attack.source, profile="spatial-store-only",
+                                name=attack.name)
         print(f"{attack.name:30s} unprotected: "
               f"{'EXPLOITED' if plain.attack_succeeded else 'survived':10s} "
               f"store-only: {'detected' if protected.detected_violation else 'MISSED'}")

@@ -6,45 +6,46 @@ Companion to ``stack_smash_demo.py``.  The stack smash is stopped by
 a use-after-free never leaves its bounds at all — the allocation under
 them died.  The VM's allocator reuses freed blocks (first-fit), so the
 stale read genuinely leaks the new owner's data, and only the
-lock-and-key temporal subsystem (``SoftBoundConfig(temporal=True)``,
+lock-and-key temporal subsystem (profile ``"temporal"``,
 ``--temporal`` on the CLI) sees anything wrong.
 
 Run:  python examples/use_after_free_demo.py
 """
 
-from repro import compile_and_run
-from repro.softbound.config import FULL_SHADOW, TEMPORAL_SHADOW
+from repro.api import Session
 from repro.workloads.temporal_attacks import TEMPORAL_ATTACKS, all_temporal_attacks
 
 ATTACK = TEMPORAL_ATTACKS["uaf_read"]
 
 
 def main():
+    session = Session()
     print("Attack source (use-after-free read: the freed block is")
     print("re-allocated to a new owner, the stale pointer leaks it):")
     print(ATTACK.source)
 
     print("=== Unprotected run ===")
-    plain = compile_and_run(ATTACK.source)
+    plain = session.run(ATTACK.source, name=ATTACK.name)
     print(f"output: {plain.output.strip()!r}  exit={plain.exit_code}"
           f"  -> {'SECRET LEAKED' if plain.attack_succeeded else 'survived'}\n")
 
     print("=== SoftBound spatial-only (Full-Shadow) ===")
-    spatial = compile_and_run(ATTACK.source, softbound=FULL_SHADOW)
+    spatial = session.run(ATTACK.source, profile="spatial", name=ATTACK.name)
     verdict = spatial.trap if spatial.trap is not None else \
         "no trap — every dereference was in (dead) bounds"
     print(f"output: {spatial.output.strip()!r}  exit={spatial.exit_code}")
     print(f"verdict: {verdict}\n")
 
     print("=== SoftBound spatial + temporal (lock-and-key) ===")
-    temporal = compile_and_run(ATTACK.source, softbound=TEMPORAL_SHADOW)
+    temporal = session.run(ATTACK.source, profile="temporal", name=ATTACK.name)
     print(f"stopped: {temporal.trap}\n")
 
     print("=== Whole temporal suite ===")
     for attack in all_temporal_attacks():
-        plain = compile_and_run(attack.source)
-        spatial = compile_and_run(attack.source, softbound=FULL_SHADOW)
-        temporal = compile_and_run(attack.source, softbound=TEMPORAL_SHADOW)
+        plain = session.run(attack.source, name=attack.name)
+        spatial = session.run(attack.source, profile="spatial", name=attack.name)
+        temporal = session.run(attack.source, profile="temporal",
+                               name=attack.name)
         spatial_view = ("missed" if spatial.trap is None
                         else spatial.trap.kind.value)
         print(f"{attack.name:22s} unprotected: "

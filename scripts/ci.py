@@ -16,12 +16,18 @@
    spatial+temporal geomean overhead on a representative workload
    subset must not regress more than ``TEMPORAL_TOLERANCE`` (5%)
    against the recorded ``BENCH_temporal.json``.
+5. API-smoke leg: one workload batch-executed through every registered
+   protection profile via the ``repro.api`` facade (``Session.run_many``)
+   — every profile must build and run it without behaviour divergence —
+   plus every ``examples/*.py`` script run as a subprocess; any nonzero
+   exit fails CI.
 
 The wall-clock gate compares the speedup *ratio* — not absolute
 seconds — so it is stable across machines of different absolute speed;
 the opt gate compares cost-model units, which are host-independent.
 
 Usage:  python scripts/ci.py [--skip-tests]
+        python scripts/ci.py --api-smoke     # only the api-smoke leg
 """
 
 import os
@@ -184,7 +190,66 @@ def run_temporal_gate():
     return 0
 
 
+#: Workload the api-smoke leg pushes through every registered profile.
+API_SMOKE_WORKLOAD = "treeadd"
+
+
+def run_api_smoke():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.api import Session, all_profiles
+    from repro.workloads.programs import WORKLOADS
+
+    print("\n== api-smoke (every profile through the facade + examples) ==",
+          flush=True)
+    workload = WORKLOADS[API_SMOKE_WORKLOAD]
+    session = Session()
+    batch = session.run_many(
+        [(profile.name, workload.source, profile)
+         for profile in all_profiles()],
+        benchmark="api-smoke")
+    baseline = batch["none"]
+    failures = []
+    width = max(len(p.name) for p in all_profiles())
+    for report in batch:
+        overhead = (report.stats.cost / baseline.stats.cost - 1.0) * 100.0
+        verdict = "ok"
+        if report.trap is not None:
+            verdict = f"TRAP {report.trap_kind}"
+            failures.append(report.profile)
+        elif report.exit_code != workload.expected_exit:
+            verdict = f"EXIT {report.exit_code} != {workload.expected_exit}"
+            failures.append(report.profile)
+        elif report.output != baseline.output:
+            verdict = "OUTPUT diverged from unprotected baseline"
+            failures.append(report.profile)
+        print(f"  {report.profile:<{width}}  cost {report.stats.cost:>12,}  "
+              f"overhead {overhead:>8.1f}%  {verdict}")
+    if failures:
+        print(f"API SMOKE FAILURE: {API_SMOKE_WORKLOAD} diverged under "
+              f"profiles: {failures}")
+        return 1
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + (":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""))
+    for script in sorted((REPO_ROOT / "examples").glob("*.py")):
+        proc = subprocess.run([sys.executable, str(script)], cwd=REPO_ROOT,
+                              env=env, capture_output=True, text=True)
+        status = "ok" if proc.returncode == 0 else f"EXIT {proc.returncode}"
+        print(f"  examples/{script.name:<28s} {status}")
+        if proc.returncode != 0:
+            print(proc.stdout[-2000:])
+            print(proc.stderr[-2000:])
+            print(f"API SMOKE FAILURE: examples/{script.name} exited "
+                  f"nonzero")
+            return 1
+    print("api-smoke ok")
+    return 0
+
+
 def main(argv):
+    if "--api-smoke" in argv:
+        return run_api_smoke()
     if "--skip-tests" not in argv:
         code = run_tier1()
         if code != 0:
@@ -195,7 +260,10 @@ def main(argv):
     code = run_opt_matrix_gate()
     if code != 0:
         return code
-    return run_temporal_gate()
+    code = run_temporal_gate()
+    if code != 0:
+        return code
+    return run_api_smoke()
 
 
 if __name__ == "__main__":

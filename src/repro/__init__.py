@@ -10,7 +10,16 @@ metadata facilities (hash table and shadow space), the baseline checkers
 the paper compares against, and an executable version of the paper's
 formal semantics.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
+
+    from repro.api import Session
+
+    session = Session()
+    report = session.run(C_SOURCE)                      # unprotected
+    report = session.run(C_SOURCE, profile="spatial")   # protected
+    report = session.run(C_SOURCE, profile="temporal")  # + lock-and-key
+
+The legacy one-call forms remain as byte-identical shims::
 
     from repro import compile_and_run, SoftBoundConfig
 
@@ -18,9 +27,19 @@ Quickstart::
     result = compile_and_run(C_SOURCE, SoftBoundConfig()) # protected
 """
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # The facade (re-exported from repro.api).
+    "ProtectionProfile",
+    "Toolchain",
+    "Session",
+    "RunReport",
+    "BatchReport",
+    "resolve_env",
+    "compile_source",
+    "run_source",
+    # Legacy shims.
     "CompiledProgram",
     "compile_program",
     "compile_and_run",
@@ -31,7 +50,10 @@ __all__ = [
     "SoftBoundConfig",
 ]
 
-_DRIVER_NAMES = {"CompiledProgram", "compile_program", "compile_and_run", "run_program"}
+_API_NAMES = {"ProtectionProfile", "Toolchain", "Session", "RunReport",
+              "BatchReport", "resolve_env", "compile_source", "run_source",
+              "CompiledProgram"}
+_DRIVER_NAMES = {"compile_program", "compile_and_run", "run_program"}
 _CONFIG_NAMES = {"CheckMode", "MetadataScheme", "SoftBoundConfig"}
 _LINKER_NAMES = {"compile_and_link"}
 
@@ -39,6 +61,10 @@ _LINKER_NAMES = {"compile_and_link"}
 def __getattr__(name):
     # Lazy re-exports keep `import repro.frontend` usable even when only
     # part of the package is needed, and avoid import cycles.
+    if name in _API_NAMES:
+        from . import api
+
+        return getattr(api, name)
     if name in _DRIVER_NAMES:
         from .harness import driver
 

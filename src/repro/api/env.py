@@ -1,0 +1,57 @@
+"""Centralized engine/jobs resolution (flag > environment > default).
+
+Every entry point that used to parse ``REPRO_ENGINE`` or ``REPRO_JOBS``
+itself (the VM, the parallel harness, the CLI) now funnels through this
+module, so the precedence rule — an explicit flag wins, then the
+environment variable, then the built-in default — is written down
+exactly once and tested once.
+"""
+
+import os
+from dataclasses import dataclass
+
+#: The VM dispatch strategies (the single source of truth;
+#: :class:`repro.vm.machine.Machine` validates through here).
+ENGINES = ("compiled", "interp")
+
+DEFAULT_ENGINE = "compiled"
+DEFAULT_JOBS = 1
+
+
+def resolve_engine(flag=None):
+    """Effective VM engine: ``flag`` if given, else ``REPRO_ENGINE``,
+    else ``"compiled"``.  An unknown engine name — from either source —
+    raises ``ValueError`` so typos never silently fall back."""
+    engine = flag or os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
+def resolve_jobs(flag=None):
+    """Effective worker count: an explicit positive ``flag`` wins, else
+    the ``REPRO_JOBS`` environment variable, else 1 (serial).  Values
+    that are not positive integers fall back to serial rather than
+    erroring — an unset/garbled environment must never break a run."""
+    if flag is not None and flag > 0:
+        return flag
+    env = os.environ.get("REPRO_JOBS", "")
+    try:
+        value = int(env)
+    except ValueError:
+        return DEFAULT_JOBS
+    return value if value > 0 else DEFAULT_JOBS
+
+
+@dataclass(frozen=True)
+class ResolvedEnv:
+    """The fully resolved execution environment for one entry point."""
+
+    engine: str
+    jobs: int
+
+
+def resolve_env(engine=None, jobs=None):
+    """Resolve both axes at once; see :func:`resolve_engine` and
+    :func:`resolve_jobs` for the per-axis precedence."""
+    return ResolvedEnv(engine=resolve_engine(engine), jobs=resolve_jobs(jobs))

@@ -1,0 +1,209 @@
+"""Protection profiles: the whole configuration space, by name.
+
+A :class:`ProtectionProfile` bundles everything one run needs to decide
+how a program is protected: the :class:`SoftBoundConfig` to instrument
+with (or ``None``), and — for the observer-style baselines the paper
+compares against — a factory for the per-run checker observer.  The
+registry covers every variant previously reachable by hand-assembling
+configs: the spatial/temporal SoftBound matrix, the store-only modes,
+both metadata facilities, and each baseline in :mod:`repro.baselines`.
+
+The CLI, the harness tables and the benchmarks all select protection by
+profile (``from_name``/``from_flags``) instead of constructing
+``SoftBoundConfig`` variants ad hoc; ad-hoc configs remain expressible
+through :func:`ProtectionProfile.from_config`.
+"""
+
+from dataclasses import dataclass
+
+from ..softbound.config import (
+    FULL_HASH,
+    FULL_SHADOW,
+    STORE_HASH,
+    STORE_SHADOW,
+    TEMPORAL_HASH,
+    TEMPORAL_SHADOW,
+    CheckMode,
+    MetadataScheme,
+    SoftBoundConfig,
+)
+
+
+@dataclass(frozen=True)
+class ProtectionProfile:
+    """One named point in the protection space.
+
+    ``config`` is the :class:`SoftBoundConfig` the toolchain instruments
+    with (``None`` for an uninstrumented build); ``observer_factory``
+    builds a fresh baseline-checker observer per run (``None`` when the
+    profile is transform-based).  Profiles are frozen and picklable, so
+    batch execution can ship them to worker processes as-is.
+    """
+
+    name: str
+    description: str
+    config: object = None
+    observer_factory: object = None
+    #: "none", "softbound" or "baseline" — coarse grouping for listings.
+    family: str = "softbound"
+
+    @property
+    def is_protected(self):
+        return self.config is not None or self.observer_factory is not None
+
+    @property
+    def label(self):
+        """The config's evaluation-matrix label, or the profile name."""
+        if self.config is not None:
+            return self.config.label
+        return self.name
+
+    def make_observers(self):
+        """Fresh per-run observers (observers carry per-run state)."""
+        return (self.observer_factory(),) if self.observer_factory else ()
+
+    def cache_key(self):
+        """Hashable identity for compiled-program caches: profiles with
+        equal keys instrument identically.  Observers are runtime-only
+        (attached per run, never baked into the module), so the key is
+        the instrumentation config alone — all observer-based profiles
+        share one compiled program per source."""
+        return self.config
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def from_name(name):
+        """Look up a registered profile; raises ``KeyError`` with the
+        known names for typos."""
+        try:
+            return PROFILES[name]
+        except KeyError:
+            raise KeyError(f"unknown profile {name!r}; known profiles: "
+                           f"{', '.join(PROFILES)}") from None
+
+    @staticmethod
+    def from_config(config, observer_factory=None):
+        """Wrap an arbitrary :class:`SoftBoundConfig` (or ``None``),
+        canonicalizing to the registered profile when one matches."""
+        if config is None and observer_factory is None:
+            return PROFILES["none"]
+        for profile in PROFILES.values():
+            if profile.config == config \
+                    and profile.observer_factory is observer_factory:
+                return profile
+        name = config.label.lower() if config is not None else \
+            getattr(observer_factory, "__name__", "observer").lower()
+        return ProtectionProfile(
+            name=f"custom-{name}",
+            description="ad-hoc configuration",
+            config=config,
+            observer_factory=observer_factory,
+            family="softbound" if config is not None else "baseline")
+
+    @staticmethod
+    def from_flags(softbound=False, store_only=False, hash_table=False,
+                   temporal=False, fnptr_signatures=False,
+                   shrink_bounds=True):
+        """The CLI's flag pile, parsed once.  Any protection-implying
+        flag turns instrumentation on (``--store-only`` alone means
+        store-only SoftBound, exactly as before); the result is
+        canonicalized to a registered profile when one matches."""
+        wants_softbound = (softbound or store_only or hash_table
+                           or fnptr_signatures or not shrink_bounds
+                           or bool(temporal))
+        if not wants_softbound:
+            return PROFILES["none"]
+        config = SoftBoundConfig(
+            mode=CheckMode.STORE_ONLY if store_only else CheckMode.FULL,
+            scheme=(MetadataScheme.HASH_TABLE if hash_table
+                    else MetadataScheme.SHADOW_SPACE),
+            shrink_bounds=shrink_bounds,
+            encode_fnptr_signature=fnptr_signatures,
+            temporal=bool(temporal),
+        )
+        return ProtectionProfile.from_config(config)
+
+
+def as_profile(profile):
+    """Coerce any caller-supplied protection spec — a profile, a profile
+    name, a raw :class:`SoftBoundConfig`, or ``None`` — to a profile."""
+    if isinstance(profile, ProtectionProfile):
+        return profile
+    if isinstance(profile, str):
+        return ProtectionProfile.from_name(profile)
+    return ProtectionProfile.from_config(profile)
+
+
+#: Full spatial + temporal + the function-pointer signature extension:
+#: every dynamic check the system implements, on at once.
+FULL_PROTECTION = SoftBoundConfig(
+    CheckMode.FULL, MetadataScheme.SHADOW_SPACE,
+    encode_fnptr_signature=True, temporal=True)
+
+
+def _builtin_profiles():
+    from ..baselines import JonesKellyChecker, MudflapChecker, ValgrindChecker
+    from ..baselines.fatptr import NAIVE_FATPTR_CONFIG, WILD_FATPTR_CONFIG
+    from ..baselines.mscc import MSCC_CONFIG
+
+    profiles = [
+        ProtectionProfile(
+            "none", "uninstrumented build, no checking", family="none"),
+        ProtectionProfile(
+            "spatial", "SoftBound full spatial checking, shadow space",
+            config=FULL_SHADOW),
+        ProtectionProfile(
+            "spatial-hash", "SoftBound full spatial checking, hash table",
+            config=FULL_HASH),
+        ProtectionProfile(
+            "spatial-store-only",
+            "metadata fully propagated, only stores checked (shadow space)",
+            config=STORE_SHADOW),
+        ProtectionProfile(
+            "store-only-hash",
+            "metadata fully propagated, only stores checked (hash table)",
+            config=STORE_HASH),
+        ProtectionProfile(
+            "temporal",
+            "spatial + lock-and-key temporal checking, shadow space",
+            config=TEMPORAL_SHADOW),
+        ProtectionProfile(
+            "temporal-hash",
+            "spatial + lock-and-key temporal checking, hash table",
+            config=TEMPORAL_HASH),
+        ProtectionProfile(
+            "full",
+            "everything on: spatial + temporal + fn-pointer signatures",
+            config=FULL_PROTECTION),
+        ProtectionProfile(
+            "mscc", "MSCC baseline (linked shadow metadata, no sub-object "
+            "bounds)", config=MSCC_CONFIG, family="baseline"),
+        ProtectionProfile(
+            "fatptr-naive", "SafeC-style inline fat pointers (clobberable "
+            "metadata)", config=NAIVE_FATPTR_CONFIG, family="baseline"),
+        ProtectionProfile(
+            "fatptr-wild", "CCured-style WILD fat pointers (tag bits)",
+            config=WILD_FATPTR_CONFIG, family="baseline"),
+        ProtectionProfile(
+            "valgrind", "Valgrind-style heap addressability observer",
+            observer_factory=ValgrindChecker, family="baseline"),
+        ProtectionProfile(
+            "mudflap", "Mudflap-style object-table observer",
+            observer_factory=MudflapChecker, family="baseline"),
+        ProtectionProfile(
+            "jones-kelly", "Jones-Kelly object-table observer (splay tree)",
+            observer_factory=JonesKellyChecker, family="baseline"),
+    ]
+    return {p.name: p for p in profiles}
+
+
+#: The registry, in presentation order (spatial matrix, temporal,
+#: baselines).  Treat as read-only; ad-hoc configs go through
+#: :func:`ProtectionProfile.from_config` instead of mutating this.
+PROFILES = _builtin_profiles()
+
+
+def all_profiles():
+    """Registered profiles in presentation order."""
+    return tuple(PROFILES.values())

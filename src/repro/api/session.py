@@ -1,0 +1,208 @@
+"""Sessions: compiled-program caching and batch execution.
+
+A :class:`Session` is the stateful half of the facade: it memoizes
+compiles keyed by ``(source, profile, optimization level)`` so repeated
+runs — overhead sweeps, detection matrices, servers replaying request
+streams — pay for each toolchain invocation once, and it exposes
+``run_many`` batch execution that fans independent compile+run jobs out
+over worker processes via :mod:`repro.harness.parallel`, returning a
+:class:`~repro.api.reports.BatchReport` whose content is identical to a
+serial loop (every simulated machine is deterministic except for the
+host-wallclock field).
+
+The module-level :func:`run_source`/:func:`run_compiled` are the
+sessionless one-shot forms the harness and benchmarks use when caching
+is handled elsewhere.
+"""
+
+import time
+from dataclasses import dataclass, replace
+
+from .env import resolve_env
+from .profiles import as_profile
+from .reports import BatchReport, report_from_result
+from .toolchain import Toolchain, compile_source
+
+
+def run_compiled(compiled, profile=None, name="program", input_data=b"",
+                 entry="main", engine=None, observers=(), **kwargs):
+    """Run a :class:`~repro.api.toolchain.CompiledProgram` once under a
+    profile's runtime observers; returns a
+    :class:`~repro.api.reports.RunReport`."""
+    profile = as_profile(profile)
+    run_observers = profile.make_observers() + tuple(observers)
+    machine = compiled.instantiate(input_data=input_data,
+                                   observers=run_observers, engine=engine,
+                                   **kwargs)
+    start = time.perf_counter()
+    result = machine.run(entry=entry)
+    elapsed = time.perf_counter() - start
+    return report_from_result(result, name=name, profile=profile.name,
+                              engine=machine.engine_name, compiled=compiled,
+                              wallclock_seconds=elapsed)
+
+
+def run_source(source, profile=None, name="program", input_data=b"",
+               entry="main", optimize=True, verify=True, engine=None,
+               observers=(), **kwargs):
+    """Compile and execute in one call through the staged toolchain;
+    returns a :class:`~repro.api.reports.RunReport`."""
+    profile = as_profile(profile)
+    compiled = compile_source(source, profile=profile, optimize=optimize,
+                              verify=verify)
+    return run_compiled(compiled, profile=profile, name=name,
+                        input_data=input_data, entry=entry, engine=engine,
+                        observers=observers, **kwargs)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One batch item: a named program to run under a profile.
+
+    Frozen and picklable, so :meth:`Session.run_many` can ship requests
+    to worker processes as-is.
+    """
+
+    name: str
+    source: str
+    profile: object = None
+    input_data: bytes = b""
+    entry: str = "main"
+    #: None means "use the session's setting" (filled by ``resolved``).
+    optimize: bool = None
+    verify: bool = None
+    engine: str = None
+
+    def resolved(self, optimize, verify, engine):
+        """Fill session-level defaults into unset fields."""
+        request = self
+        if request.engine is None:
+            request = replace(request, engine=engine)
+        if request.optimize is None:
+            request = replace(request, optimize=optimize)
+        if request.verify is None:
+            request = replace(request, verify=verify)
+        return replace(request, profile=as_profile(request.profile))
+
+
+def execute_run_request(request):
+    """Compile and run one :class:`RunRequest` (the worker-process entry
+    point for the ``api_run`` parallel task kind)."""
+    optimize = True if request.optimize is None else request.optimize
+    verify = True if request.verify is None else request.verify
+    return run_source(request.source, profile=request.profile,
+                      name=request.name, input_data=request.input_data,
+                      entry=request.entry, optimize=optimize,
+                      verify=verify, engine=request.engine)
+
+
+def _as_request(item):
+    if isinstance(item, RunRequest):
+        return item
+    if isinstance(item, dict):
+        return RunRequest(**item)
+    # (name, source[, profile[, input_data]]) tuples.
+    return RunRequest(*item)
+
+
+class Session:
+    """A compiled-program cache plus batch execution.
+
+    ``engine``/``jobs`` follow the flag > environment > default
+    precedence of :func:`repro.api.resolve_env`; ``optimize``/``verify``
+    configure every toolchain the session builds.
+    """
+
+    def __init__(self, optimize=True, verify=True, engine=None, jobs=None):
+        self.env = resolve_env(engine=engine, jobs=jobs)
+        self.optimize = optimize
+        self.verify = verify
+        self._programs = {}
+
+    # -- compile cache -------------------------------------------------
+
+    def compile(self, source, profile=None, optimize=None, verify=None):
+        """Compile (memoized on source, profile identity and opt level);
+        returns the cached :class:`CompiledProgram` on a repeat.
+        ``optimize``/``verify`` default to the session's settings.
+        (``verify`` is not part of the cache key: it only adds IR
+        consistency checks and never changes the compiled output.)"""
+        profile = as_profile(profile)
+        optimize = self.optimize if optimize is None else optimize
+        verify = self.verify if verify is None else verify
+        key = (source, profile.cache_key(), optimize)
+        compiled = self._programs.get(key)
+        if compiled is None:
+            compiled = Toolchain(profile=profile, optimize=optimize,
+                                 verify=verify).compile(source)
+            self._programs[key] = compiled
+        return compiled
+
+    @property
+    def cached_programs(self):
+        return len(self._programs)
+
+    def clear(self):
+        self._programs.clear()
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, source, profile=None, name="program", input_data=b"",
+            entry="main", engine=None, **kwargs):
+        """Compile (cached) and run once; returns a
+        :class:`~repro.api.reports.RunReport`.  ``engine`` overrides the
+        session's resolved engine for this run."""
+        profile = as_profile(profile)
+        compiled = self.compile(source, profile)
+        return run_compiled(compiled, profile=profile, name=name,
+                            input_data=input_data, entry=entry,
+                            engine=engine if engine is not None
+                            else self.env.engine, **kwargs)
+
+    def run_many(self, items, jobs=None, benchmark="session-batch",
+                 metric="cost_units"):
+        """Run a batch of :class:`RunRequest`\\ s (or ``(name, source,
+        profile)`` tuples / kwargs dicts), fanning out over worker
+        processes when ``jobs`` (or the session's resolved jobs) exceeds
+        one.  Results are returned in submission order inside a
+        :class:`~repro.api.reports.BatchReport`; apart from host
+        wallclock they are identical to a serial loop (deterministic
+        machines).  Workers recompute from source; the parent's compile
+        cache is untouched.  Run names must be unique — they key the
+        batch report."""
+        requests = [_as_request(item).resolved(self.optimize, self.verify,
+                                               self.env.engine)
+                    for item in items]
+        seen = set()
+        duplicates = []
+        for request in requests:
+            if request.name in seen:
+                duplicates.append(request.name)
+            seen.add(request.name)
+        if duplicates:
+            raise ValueError(f"duplicate run names in batch: {duplicates}; "
+                             f"reports are keyed by name")
+        jobs = jobs if jobs is not None else self.env.jobs
+        from ..harness.parallel import run_tasks
+
+        if jobs <= 1:
+            # In-process serial path rides the session's compile cache.
+            reports = [
+                run_compiled(self.compile(request.source, request.profile,
+                                          optimize=request.optimize,
+                                          verify=request.verify),
+                             profile=request.profile, name=request.name,
+                             input_data=request.input_data,
+                             entry=request.entry, engine=request.engine)
+                for request in requests
+            ]
+        else:
+            tasks = [("api_run", request) for request in requests]
+            reports = run_tasks(tasks, jobs)
+        profiles = {request.profile.name for request in requests}
+        batch = BatchReport(
+            benchmark=benchmark, metric=metric,
+            config=profiles.pop() if len(profiles) == 1 else "mixed")
+        for request, report in zip(requests, reports):
+            batch.reports[request.name] = report
+        return batch

@@ -13,11 +13,10 @@ cells are measured vs derived.
 
 from dataclasses import dataclass, field
 
-from ..harness.driver import compile_and_run, compile_program
+from ..api import run_source
 from ..softbound.config import FULL_SHADOW
 from ..vm.errors import TrapKind
-from .jones_kelly import JonesKellyChecker
-from .mscc import MSCC_CONFIG, find_wild_casts
+from .mscc import find_wild_casts
 
 # -- probe programs -------------------------------------------------------
 
@@ -104,10 +103,10 @@ def _runs_clean(result):
 
 def measure_softbound():
     """Every cell measured by running the probes under SoftBound."""
-    sub = compile_and_run(SUBOBJECT_PROBE, softbound=FULL_SHADOW)
-    wild = compile_and_run(WILD_CAST_PROBE, softbound=FULL_SHADOW)
-    layout = compile_and_run(LAYOUT_PROBE, softbound=FULL_SHADOW)
-    sep = compile_and_run(SEPARATE_COMPILATION_PROBE, softbound=FULL_SHADOW)
+    sub = run_source(SUBOBJECT_PROBE, profile=FULL_SHADOW)
+    wild = run_source(WILD_CAST_PROBE, profile=FULL_SHADOW)
+    layout = run_source(LAYOUT_PROBE, profile=FULL_SHADOW)
+    sep = run_source(SEPARATE_COMPILATION_PROBE, profile=FULL_SHADOW)
     return CapabilityRow(
         scheme="SoftBound",
         no_source_change=sep.trap is None and sep.exit_code == 42,
@@ -120,10 +119,10 @@ def measure_softbound():
 
 
 def measure_jones_kelly():
-    sub = compile_and_run(SUBOBJECT_PROBE, observers=(JonesKellyChecker(),))
-    wild = compile_and_run(WILD_CAST_PROBE, observers=(JonesKellyChecker(),))
-    layout = compile_and_run(LAYOUT_PROBE, observers=(JonesKellyChecker(),))
-    sep = compile_and_run(SEPARATE_COMPILATION_PROBE, observers=(JonesKellyChecker(),))
+    sub = run_source(SUBOBJECT_PROBE, profile="jones-kelly")
+    wild = run_source(WILD_CAST_PROBE, profile="jones-kelly")
+    layout = run_source(LAYOUT_PROBE, profile="jones-kelly")
+    sep = run_source(SEPARATE_COMPILATION_PROBE, profile="jones-kelly")
     return CapabilityRow(
         scheme="JKRLDA",
         no_source_change=sep.trap is None and sep.exit_code == 42,
@@ -136,9 +135,9 @@ def measure_jones_kelly():
 
 
 def measure_mscc():
-    sub = compile_and_run(SUBOBJECT_PROBE, softbound=MSCC_CONFIG)
-    layout = compile_and_run(LAYOUT_PROBE, softbound=MSCC_CONFIG)
-    sep = compile_and_run(SEPARATE_COMPILATION_PROBE, softbound=MSCC_CONFIG)
+    sub = run_source(SUBOBJECT_PROBE, profile="mscc")
+    layout = run_source(LAYOUT_PROBE, profile="mscc")
+    sep = run_source(SEPARATE_COMPILATION_PROBE, profile="mscc")
     wild_casts = find_wild_casts(WILD_CAST_PROBE)
     return CapabilityRow(
         scheme="MSCC",

@@ -138,7 +138,7 @@ def make_fatptr_facility(variant):
 
 def compile_with_fatptr(source, tagged, optimize=True):
     """Compile a program under an inline-metadata (fat pointer) model."""
-    from ..harness.driver import compile_program
+    from ..api import compile_source
 
     config = WILD_FATPTR_CONFIG if tagged else NAIVE_FATPTR_CONFIG
-    return compile_program(source, softbound=config, optimize=optimize)
+    return compile_source(source, profile=config, optimize=optimize)

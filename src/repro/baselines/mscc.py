@@ -79,9 +79,9 @@ class MsccMetadata(MetadataFacility):
 
 def compile_with_mscc(source, optimize=True):
     """Compile a program under the MSCC model."""
-    from ..harness.driver import compile_program
+    from ..api import compile_source
 
-    return compile_program(source, softbound=MSCC_CONFIG, optimize=optimize)
+    return compile_source(source, profile="mscc", optimize=optimize)
 
 
 def find_wild_casts(source):

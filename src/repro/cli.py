@@ -3,10 +3,15 @@
 Commands
 --------
 run FILE
-    Compile and execute a C file on the VM, optionally under SoftBound.
+    Compile and execute a C file on the VM, optionally under SoftBound
+    (``--profile NAME`` or the individual checking flags); ``--json``
+    emits the structured :class:`~repro.api.RunReport`.
 check FILE
-    Shorthand for ``run FILE --softbound``, exiting non-zero on a
-    violation — the "drop-in checker" workflow.
+    Shorthand for ``run FILE --profile spatial`` (``--temporal`` →
+    ``--profile temporal``), exiting non-zero on a violation — the
+    "drop-in checker" workflow.
+profiles
+    List the registered protection profiles.
 tables [NAME]
     Regenerate the paper's tables/figures (all of them, or one by name).
 workloads
@@ -15,21 +20,43 @@ bench
     Time the workload corpus under both VM engines (reference
     interpreter vs closure-compiled) and print/record the speedups.
 
-Exit status: the program's own exit code for clean runs; 70 when a
-checker stopped the program; 71 for a VM-level trap (segfault etc.);
-64 for usage errors; 65 for compile errors.
+Every command executes through the :mod:`repro.api` facade.
+
+Exit status is deterministic: the program's own exit code for clean
+runs; 2 when a spatial check stopped the program (including the
+vararg/function-pointer signature checks); 3 for a temporal
+(lock-and-key) violation; 4 for compile/link errors; 5 for VM-level
+traps the checkers did not cause (segfault, hijack, resource limits);
+64 for usage errors.
 """
 
 import argparse
+import json
 import sys
 
-EX_VIOLATION = 70
-EX_TRAP = 71
+EX_OK = 0
+EX_SPATIAL = 2
+EX_TEMPORAL = 3
+EX_COMPILE = 4
+EX_TRAP = 5
 EX_USAGE = 64
-EX_COMPILE = 65
 
 _TABLE_NAMES = ("table1", "table3", "table4", "figure1", "figure2",
                 "sec64", "sec65", "metadata", "temporal")
+
+
+def exit_code_for(report):
+    """Map a :class:`~repro.api.RunReport` to the deterministic exit
+    code contract above."""
+    from .vm.errors import TrapKind
+
+    if report.trap is None:
+        return report.exit_code
+    if report.trap.kind is TrapKind.TEMPORAL_VIOLATION:
+        return EX_TEMPORAL
+    if report.detected_violation:
+        return EX_SPATIAL
+    return EX_TRAP
 
 
 def build_parser():
@@ -43,6 +70,10 @@ def build_parser():
     run_parser.add_argument("file", nargs="+",
                             help="C source file(s); multiple files are "
                                  "compiled separately and linked")
+    run_parser.add_argument("--profile", metavar="NAME", default=None,
+                            help="select a registered protection profile "
+                                 "by name (see `python -m repro profiles`); "
+                                 "overrides the individual checking flags")
     run_parser.add_argument("--softbound", action="store_true",
                             help="apply the SoftBound transformation")
     run_parser.add_argument("--store-only", action="store_true",
@@ -66,6 +97,9 @@ def build_parser():
                             help="skip the optimizer pipelines")
     run_parser.add_argument("--stats", action="store_true",
                             help="print cost-model statistics after the run")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the structured RunReport as JSON "
+                                 "instead of the program's output")
     run_parser.add_argument("--stdin-file", metavar="PATH",
                             help="file whose contents become the program's stdin")
     run_parser.add_argument("--engine", choices=("compiled", "interp"),
@@ -77,6 +111,8 @@ def build_parser():
         "check", help="run a file under full SoftBound checking")
     check_parser.add_argument("file", nargs="+")
     check_parser.add_argument("--stats", action="store_true")
+    check_parser.add_argument("--json", action="store_true",
+                              help="emit the structured RunReport as JSON")
     check_parser.add_argument("--stdin-file", metavar="PATH")
     check_parser.add_argument("--temporal", action="store_true", default=None,
                               help="also check temporal safety "
@@ -85,6 +121,10 @@ def build_parser():
                               action="store_false")
     check_parser.add_argument("--engine", choices=("compiled", "interp"),
                               default=None)
+
+    sub.add_parser(
+        "profiles",
+        help="list the registered protection profiles (the --profile axis)")
 
     tables_parser = sub.add_parser(
         "tables", help="regenerate the paper's tables and figures")
@@ -118,21 +158,39 @@ def build_parser():
     return parser
 
 
-def _build_config(args):
-    from .softbound.config import CheckMode, MetadataScheme, SoftBoundConfig
+def _build_profile(args, stderr):
+    """The run command's protection profile: ``--profile NAME``, or the
+    flag pile through ``ProtectionProfile.from_flags`` — never both
+    (silently dropping a checking flag the user asked for would
+    downgrade protection)."""
+    from .api import ProtectionProfile
 
-    wants_softbound = (args.softbound or args.store_only or args.hash_table
-                       or args.fnptr_signatures or args.no_shrink_bounds
-                       or bool(args.temporal))
-    if not wants_softbound:
-        return None
-    return SoftBoundConfig(
-        mode=CheckMode.STORE_ONLY if args.store_only else CheckMode.FULL,
-        scheme=(MetadataScheme.HASH_TABLE if args.hash_table
-                else MetadataScheme.SHADOW_SPACE),
-        shrink_bounds=not args.no_shrink_bounds,
-        encode_fnptr_signature=args.fnptr_signatures,
+    if getattr(args, "profile", None):
+        conflicting = [flag for flag, given in (
+            ("--softbound", args.softbound),
+            ("--store-only", args.store_only),
+            ("--hash-table", args.hash_table),
+            ("--fnptr-signatures", args.fnptr_signatures),
+            ("--no-shrink-bounds", args.no_shrink_bounds),
+            ("--temporal/--no-temporal", args.temporal is not None),
+        ) if given]
+        if conflicting:
+            print(f"error: --profile cannot be combined with "
+                  f"{', '.join(conflicting)}; pick a profile or compose "
+                  f"flags, not both", file=stderr)
+            return None
+        try:
+            return ProtectionProfile.from_name(args.profile)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=stderr)
+            return None
+    return ProtectionProfile.from_flags(
+        softbound=args.softbound,
+        store_only=args.store_only,
+        hash_table=args.hash_table,
         temporal=bool(args.temporal),
+        fnptr_signatures=args.fnptr_signatures,
+        shrink_bounds=not args.no_shrink_bounds,
     )
 
 
@@ -145,9 +203,10 @@ def _read_source(path, stderr):
         return None
 
 
-def _execute(sources, config, args, stdout, stderr):
+def _execute(sources, profile, args, stdout, stderr, name="program"):
+    from .api import compile_sources, run_compiled
     from .frontend.errors import FrontendError
-    from .harness.linker import LinkError, compile_and_link
+    from .harness.linker import LinkError
 
     input_data = b""
     if getattr(args, "stdin_file", None):
@@ -155,9 +214,10 @@ def _execute(sources, config, args, stdout, stderr):
             input_data = handle.read()
     optimize = not getattr(args, "no_optimize", False)
     try:
-        compiled = compile_and_link(sources, softbound=config,
-                                    optimize=optimize)
-        result = compiled.run(input_data=input_data,
+        compiled = compile_sources(sources, profile=profile,
+                                   optimize=optimize)
+        report = run_compiled(compiled, profile=profile, name=name,
+                              input_data=input_data,
                               engine=getattr(args, "engine", None))
     except FrontendError as error:
         print(f"compile error: {error}", file=stderr)
@@ -165,20 +225,23 @@ def _execute(sources, config, args, stdout, stderr):
     except LinkError as error:
         print(f"link error: {error}", file=stderr)
         return EX_COMPILE
-    if result.output:
-        stdout.write(result.output)
-        if not result.output.endswith("\n"):
+    if getattr(args, "json", False):
+        json.dump(report.to_json(), stdout, indent=2, sort_keys=True)
+        stdout.write("\n")
+        return exit_code_for(report)
+    if report.output:
+        stdout.write(report.output)
+        if not report.output.endswith("\n"):
             stdout.write("\n")
     if getattr(args, "stats", False):
-        _print_stats(result, stdout)
-    if result.trap is not None:
-        print(f"trap: {result.trap}", file=stderr)
-        return EX_VIOLATION if result.trap.source == "softbound" else EX_TRAP
-    return result.exit_code
+        _print_stats(report, stdout)
+    if report.trap is not None:
+        print(f"trap: {report.trap}", file=stderr)
+    return exit_code_for(report)
 
 
-def _print_stats(result, stdout):
-    stats = result.stats
+def _print_stats(report, stdout):
+    stats = report.stats
     lines = [
         "--- stats ---",
         f"cost units:        {stats.cost}",
@@ -196,9 +259,22 @@ def _print_stats(result, stdout):
     stdout.write("\n".join(lines) + "\n")
 
 
+def _list_profiles(stdout):
+    from .api import all_profiles
+
+    profiles = all_profiles()
+    name_width = max(len(p.name) for p in profiles)
+    family_width = max(len(p.family) for p in profiles)
+    for profile in profiles:
+        stdout.write(f"{profile.name:<{name_width}}  "
+                     f"[{profile.family:<{family_width}}] "
+                     f"{profile.description}\n")
+    return EX_OK
+
+
 def _render_tables(name, stdout, jobs=None):
+    from .api import resolve_jobs
     from .harness import tables
-    from .harness.parallel import resolve_jobs
 
     jobs = resolve_jobs(jobs)
     if jobs > 1:
@@ -219,7 +295,7 @@ def _render_tables(name, stdout, jobs=None):
         stdout.write(renderers[name]() + "\n")
     else:
         stdout.write(tables.render_all() + "\n")
-    return 0
+    return EX_OK
 
 
 def _run_bench(args, stdout):
@@ -230,7 +306,7 @@ def _run_bench(args, stdout):
     if args.output:
         write_report(report, args.output)
         stdout.write(f"recorded {args.output}\n")
-    return 0
+    return EX_OK
 
 
 def _list_workloads(stdout, group=None):
@@ -260,14 +336,14 @@ def _list_workloads(stdout, group=None):
                    if needle in e[1].lower() or needle in e[2].lower()]
     if not entries:
         stdout.write(f"no workloads match group {group!r}\n")
-        return 0
+        return EX_OK
     name_width = max(len(e[0]) for e in entries)
     tag_width = max(len(f"{e[1]}/{e[2]}") for e in entries)
     for name, family, grp, description in entries:
         tag = f"{family}/{grp}"
         stdout.write(f"{name:<{name_width}}  [{tag:<{tag_width}}] "
                      f"{description}\n")
-    return 0
+    return EX_OK
 
 
 def main(argv=None, stdout=None, stderr=None):
@@ -277,8 +353,10 @@ def main(argv=None, stdout=None, stderr=None):
     try:
         args = parser.parse_args(argv)
     except SystemExit as exit_error:
-        return EX_USAGE if exit_error.code not in (0, None) else 0
+        return EX_USAGE if exit_error.code not in (0, None) else EX_OK
 
+    if args.command == "profiles":
+        return _list_profiles(stdout)
     if args.command == "workloads":
         return _list_workloads(stdout, group=getattr(args, "group", None))
     if args.command == "tables":
@@ -292,9 +370,11 @@ def main(argv=None, stdout=None, stderr=None):
         if source is None:
             return EX_USAGE
         sources.append(source)
+    name = args.file[0]
     if args.command == "check":
-        from .softbound.config import SoftBoundConfig
-
-        return _execute(sources, SoftBoundConfig(temporal=bool(args.temporal)),
-                        args, stdout, stderr)
-    return _execute(sources, _build_config(args), args, stdout, stderr)
+        profile = "temporal" if args.temporal else "spatial"
+        return _execute(sources, profile, args, stdout, stderr, name=name)
+    profile = _build_profile(args, stderr)
+    if profile is None:
+        return EX_USAGE
+    return _execute(sources, profile, args, stdout, stderr, name=name)

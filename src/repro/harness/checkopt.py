@@ -18,9 +18,9 @@ import json
 import math
 from dataclasses import replace
 
+from ..api import run_source
 from ..softbound.config import FULL_SHADOW
 from ..workloads.programs import WORKLOADS
-from .driver import compile_program
 
 #: Workloads dominated by counted array loops — the loop passes' target
 #: population and the acceptance basis for the recorded reduction.
@@ -41,9 +41,9 @@ def run_checkopt(workload_names=None):
     per_workload = {}
     for name in names:
         source = WORKLOADS[name].source
-        base = compile_program(source).run()
-        off = compile_program(source, softbound=_LOOP_OFF).run()
-        on = compile_program(source, softbound=FULL_SHADOW).run()
+        base = run_source(source, name=name)
+        off = run_source(source, profile=_LOOP_OFF, name=name)
+        on = run_source(source, profile="spatial", name=name)
         for result in (off, on):
             if result.trap is not None or result.exit_code != base.exit_code \
                     or result.output != base.output:

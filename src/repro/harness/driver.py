@@ -1,86 +1,29 @@
-"""End-to-end pipeline driver — the library's primary public API.
+"""Legacy end-to-end driver — deprecation shims over :mod:`repro.api`.
 
-``compile_program`` runs source → tokens → AST → typed AST → IR →
-optimizer → (optional SoftBound transform + post-opt), and returns a
-:class:`CompiledProgram` that can be executed any number of times.
-``compile_and_run`` is the one-call convenience used throughout the
-examples and benchmarks.
+The public API now lives in :mod:`repro.api` (profiles, the staged
+:class:`~repro.api.Toolchain`, sessions, structured reports).  The
+historical entry points below are kept as thin wrappers so existing
+callers keep working; they are pinned byte-identical to the facade by
+``tests/api/test_golden_equivalence.py``.  New code should use::
+
+    from repro.api import Session, compile_source, run_source
 """
 
-from dataclasses import dataclass, field
+from ..api.profiles import ProtectionProfile
+from ..api.toolchain import CompiledProgram, Toolchain
 
-from ..frontend.typecheck import parse_and_check
-from ..ir.verifier import verify_module
-from ..lower.lowering import lower
-from ..opt.pipeline import optimize_after_instrumentation, optimize_module
-from ..vm.machine import Machine
-
-
-@dataclass
-class CompiledProgram:
-    """A compiled module plus the configuration it was built with."""
-
-    module: object
-    softbound_config: object = None
-    pass_stats: object = None
-    #: PassStats of the post-instrumentation cleanup pipeline (None for
-    #: unprotected builds or ``optimize_checks=False``); carries the
-    #: loop-pass counters (hoisted/widened/deduped).
-    check_opt_stats: object = None
-
-    @property
-    def is_protected(self):
-        return self.softbound_config is not None
-
-    def instantiate(self, input_data=b"", heap_size=None, stack_size=None,
-                    max_instructions=200_000_000, observers=(), engine=None):
-        """Create a fresh machine (fresh memory) for one run.
-
-        ``engine`` selects the dispatch strategy — ``"compiled"``
-        (closure-compiled, the default) or ``"interp"`` (the reference
-        interpreter); see :class:`repro.vm.machine.Machine`.
-        """
-        machine = Machine(self.module, heap_size=heap_size, stack_size=stack_size,
-                          input_data=input_data, max_instructions=max_instructions,
-                          engine=engine)
-        if self.softbound_config is not None:
-            from ..softbound.runtime import SoftBoundRuntime
-
-            SoftBoundRuntime(self.softbound_config).attach(machine)
-        for observer in observers:
-            machine.attach_observer(observer)
-        return machine
-
-    def run(self, entry="main", input_data=b"", observers=(), **kwargs):
-        """Execute the program once and return an ExecutionResult."""
-        machine = self.instantiate(input_data=input_data, observers=observers, **kwargs)
-        return machine.run(entry=entry)
+__all__ = ["CompiledProgram", "compile_program", "run_program",
+           "compile_and_run"]
 
 
 def compile_program(source, softbound=None, optimize=True, verify=True):
     """Compile C source, optionally applying the SoftBound transform.
 
-    ``softbound`` is a :class:`~repro.softbound.config.SoftBoundConfig`
-    or None for an unprotected build.
+    Deprecated shim: equivalent to ``repro.api.compile_source`` with
+    ``profile=ProtectionProfile.from_config(softbound)``.
     """
-    program = parse_and_check(source)
-    module = lower(program)
-    if verify:
-        verify_module(module)
-    pass_stats = optimize_module(module, verify=verify) if optimize else None
-    check_opt_stats = None
-    if softbound is not None:
-        from ..softbound.transform import SoftBoundTransform
-
-        SoftBoundTransform(softbound).run(module)
-        if verify:
-            verify_module(module)
-        if softbound.optimize_checks:
-            check_opt_stats = optimize_after_instrumentation(
-                module, verify=verify, config=softbound)
-    return CompiledProgram(module=module, softbound_config=softbound,
-                           pass_stats=pass_stats,
-                           check_opt_stats=check_opt_stats)
+    return Toolchain(profile=ProtectionProfile.from_config(softbound),
+                     optimize=optimize, verify=verify).compile(source)
 
 
 def run_program(compiled, entry="main", input_data=b"", observers=(), **kwargs):

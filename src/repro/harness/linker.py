@@ -15,13 +15,11 @@ library, or vice versa) are legal, reproducing the paper's library
 story: calls into untransformed code simply carry no bounds back.
 """
 
-from ..frontend.typecheck import parse_and_check
+from ..api.profiles import ProtectionProfile
+from ..api.toolchain import CompiledProgram, Toolchain
 from ..ir.module import Module
 from ..ir.values import SymbolRef
 from ..ir.verifier import verify_module
-from ..lower.lowering import lower
-from ..opt.pipeline import optimize_after_instrumentation, optimize_module
-from .driver import CompiledProgram
 
 
 class LinkError(Exception):
@@ -30,27 +28,12 @@ class LinkError(Exception):
 
 def compile_module(source, softbound=None, optimize=True, verify=True,
                    name="module"):
-    """Compile one translation unit in isolation (no main required)."""
-    module = lower(parse_and_check(source))
-    module.name = name
-    if verify:
-        verify_module(module, allow_unresolved=True)
-    if optimize:
-        optimize_module(module, verify=False)
-        if verify:
-            verify_module(module, allow_unresolved=True)
-    if softbound is not None:
-        from ..softbound.transform import SoftBoundTransform
-
-        SoftBoundTransform(softbound).run(module)
-        if verify:
-            verify_module(module, allow_unresolved=True)
-        if softbound.optimize_checks:
-            module.check_opt_stats = optimize_after_instrumentation(
-                module, verify=False, config=softbound)
-            if verify:
-                verify_module(module, allow_unresolved=True)
-    return module
+    """Compile one translation unit in isolation (no main required) —
+    the :class:`repro.api.Toolchain` in unit mode (unresolved symbols
+    verify clean; the bare module is returned for linking)."""
+    toolchain = Toolchain(profile=ProtectionProfile.from_config(softbound),
+                          optimize=optimize, verify=verify, unit_mode=True)
+    return toolchain.compile(source, name=name)
 
 
 def link_modules(modules, softbound=None, name="linked"):

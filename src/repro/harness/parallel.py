@@ -22,21 +22,15 @@ Task kinds are dispatched by :func:`execute_task`; the table renderers'
 cache-seeding lives in :mod:`repro.harness.tables` (``prewarm``).
 """
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 
 
 def resolve_jobs(jobs=None):
-    """Effective worker count: an explicit ``jobs`` wins, else the
-    ``REPRO_JOBS`` environment variable, else 1 (serial)."""
-    if jobs is not None and jobs > 0:
-        return jobs
-    env = os.environ.get("REPRO_JOBS", "")
-    try:
-        value = int(env)
-    except ValueError:
-        return 1
-    return value if value > 0 else 1
+    """Effective worker count — delegates to the centralized
+    :func:`repro.api.resolve_jobs` (flag > ``REPRO_JOBS`` > serial)."""
+    from ..api.env import resolve_jobs as _resolve_jobs
+
+    return _resolve_jobs(jobs)
 
 
 def execute_task(task):
@@ -52,8 +46,15 @@ def execute_task(task):
       ``(exploited, spatial_outcome, temporal_detected)``
     * ``("server", server_name, config)`` →
       ``(trap_str_or_None, output_identical)``
+    * ``("api_run", run_request)`` →
+      :class:`~repro.api.reports.RunReport` (the
+      :meth:`repro.api.Session.run_many` batch item)
     """
     kind = task[0]
+    if kind == "api_run":
+        from ..api.session import execute_run_request
+
+        return execute_run_request(task[1])
     if kind == "measure":
         from .stats import measure
 

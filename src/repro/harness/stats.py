@@ -8,7 +8,7 @@ the benchmark files ask for overlapping slices of the same sweep.
 
 from dataclasses import dataclass, field
 
-from ..harness.driver import compile_program
+from ..api import ProtectionProfile, run_source
 from ..softbound.config import FIGURE2_CONFIGS
 from ..vm.costs import overhead_percent
 from ..workloads.programs import WORKLOADS
@@ -73,9 +73,8 @@ def measure(workload_name, config=None, observer_factory=None):
     if key in _MEASUREMENT_CACHE:
         return _MEASUREMENT_CACHE[key]
     wl = WORKLOADS[workload_name]
-    compiled = compile_program(wl.source, softbound=config)
-    observers = (observer_factory(),) if observer_factory else ()
-    result = compiled.run(observers=observers)
+    profile = ProtectionProfile.from_config(config, observer_factory)
+    result = run_source(wl.source, profile=profile, name=wl.name)
     stats = result.stats
     m = WorkloadMeasurement(
         name=wl.name,

@@ -14,10 +14,9 @@ serial and consumes the memos in a fixed order, so the output is
 byte-identical whatever the worker count.
 """
 
-from ..baselines import JonesKellyChecker, MudflapChecker, ValgrindChecker
+from ..api import run_source
 from ..baselines.capabilities import capability_matrix
 from ..baselines.mscc import MSCC_CONFIG
-from ..harness.driver import compile_and_run
 from ..softbound.config import FIGURE2_CONFIGS, FULL_SHADOW, STORE_SHADOW
 from ..vm.costs import overhead_percent
 from ..workloads.attacks import all_attacks
@@ -45,9 +44,10 @@ def attack_detection(name):
     cached = _ATTACK_CACHE.get(name)
     if cached is None:
         attack = next(a for a in all_attacks() if a.name == name)
-        plain = compile_and_run(attack.source)
-        full = compile_and_run(attack.source, softbound=FULL_SHADOW)
-        store = compile_and_run(attack.source, softbound=STORE_SHADOW)
+        plain = run_source(attack.source, name=name)
+        full = run_source(attack.source, profile="spatial", name=name)
+        store = run_source(attack.source, profile="spatial-store-only",
+                           name=name)
         cached = (plain.attack_succeeded, full.detected_violation,
                   store.detected_violation)
         _ATTACK_CACHE[name] = cached
@@ -60,10 +60,11 @@ def bug_detection(name):
     cached = _BUG_CACHE.get(name)
     if cached is None:
         bug = next(b for b in all_bugs() if b.name == name)
-        valgrind = compile_and_run(bug.source, observers=(ValgrindChecker(),))
-        mudflap = compile_and_run(bug.source, observers=(MudflapChecker(),))
-        store = compile_and_run(bug.source, softbound=STORE_SHADOW)
-        full = compile_and_run(bug.source, softbound=FULL_SHADOW)
+        valgrind = run_source(bug.source, profile="valgrind", name=name)
+        mudflap = run_source(bug.source, profile="mudflap", name=name)
+        store = run_source(bug.source, profile="spatial-store-only",
+                           name=name)
+        full = run_source(bug.source, profile="spatial", name=name)
         cached = tuple(r.detected_violation
                        for r in (valgrind, mudflap, store, full))
         _BUG_CACHE[name] = cached
@@ -86,8 +87,8 @@ def _server_plain(server):
     configuration's outcome)."""
     cached = _SERVER_PLAIN_CACHE.get(server.name)
     if cached is None:
-        cached = compile_and_run(server.source,
-                                 input_data=server.request_stream)
+        cached = run_source(server.source, name=server.name,
+                            input_data=server.request_stream)
         _SERVER_PLAIN_CACHE[server.name] = cached
     return cached
 
@@ -100,8 +101,8 @@ def server_outcome(name, config):
     if cached is None:
         server = next(s for s in all_servers() if s.name == name)
         plain = _server_plain(server)
-        protected = compile_and_run(server.source, softbound=config,
-                                    input_data=server.request_stream)
+        protected = run_source(server.source, profile=config, name=name,
+                               input_data=server.request_stream)
         cached = (str(protected.trap) if protected.trap is not None else None,
                   protected.output == plain.output)
         _SERVER_CACHE[key] = cached

@@ -19,11 +19,11 @@ Two products, both deterministic cost-model work:
 import json
 import math
 
-from ..softbound.config import FULL_SHADOW, TEMPORAL_SHADOW
+from ..api import run_source
+from ..softbound.config import TEMPORAL_SHADOW
 from ..vm.errors import TrapKind
 from ..workloads.programs import WORKLOADS
 from ..workloads.temporal_attacks import TEMPORAL_ATTACKS
-from .driver import compile_program, compile_and_run
 
 
 def _geomean(values):
@@ -48,9 +48,9 @@ def temporal_detection(name):
       ``temporal_violation``.
     """
     attack = TEMPORAL_ATTACKS[name]
-    plain = compile_and_run(attack.source)
-    spatial = compile_and_run(attack.source, softbound=FULL_SHADOW)
-    temporal = compile_and_run(attack.source, softbound=TEMPORAL_SHADOW)
+    plain = run_source(attack.source, name=name)
+    spatial = run_source(attack.source, profile="spatial", name=name)
+    temporal = run_source(attack.source, profile="temporal", name=name)
     if spatial.trap is None:
         spatial_outcome = "missed"
     else:
@@ -74,9 +74,9 @@ def run_temporal_overhead(workload_names=None):
     per_workload = {}
     for name in names:
         source = WORKLOADS[name].source
-        base = compile_program(source).run()
-        spatial = compile_program(source, softbound=FULL_SHADOW).run()
-        temporal = compile_program(source, softbound=TEMPORAL_SHADOW).run()
+        base = run_source(source, name=name)
+        spatial = run_source(source, profile="spatial", name=name)
+        temporal = run_source(source, profile="temporal", name=name)
         for label, result in (("spatial", spatial), ("temporal", temporal)):
             if result.trap is not None or result.exit_code != base.exit_code \
                     or result.output != base.output:

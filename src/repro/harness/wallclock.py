@@ -50,8 +50,8 @@ def run_benchmarks(names=None, repeats=2, quick=False):
     seconds and ops/sec for each engine, the per-workload speedup, and
     the geometric-mean speedup.
     """
+    from ..api import compile_source
     from ..workloads.programs import WORKLOADS
-    from .driver import compile_program
 
     if names is None:
         names = tuple(QUICK_WORKLOADS) if quick else tuple(WORKLOADS)
@@ -59,7 +59,7 @@ def run_benchmarks(names=None, repeats=2, quick=False):
     speedups = []
     for name in names:
         workload = WORKLOADS[name]
-        compiled = compile_program(workload.source)
+        compiled = compile_source(workload.source)
         entry = {}
         instructions = None
         for engine in ENGINES:

@@ -141,20 +141,18 @@ class Machine:
       executable specification; ``tests/vm/test_engine_equivalence.py``
       pins the two engines to bit-identical :class:`ExecutionResult`\\ s.
 
-    The ``REPRO_ENGINE`` environment variable overrides the default.
+    Engine names and the flag > ``REPRO_ENGINE`` > default resolution
+    live in one place, :mod:`repro.api.env` (``ENGINES``,
+    ``resolve_engine``).
     """
-
-    ENGINES = ("compiled", "interp")
 
     def __init__(self, module, heap_size=None, stack_size=None,
                  input_data=b"", max_instructions=200_000_000, engine=None):
-        if engine is None:
-            import os
+        # Centralized flag > REPRO_ENGINE > default resolution (the
+        # import is deferred: repro.api pulls in this module).
+        from ..api.env import resolve_engine
 
-            engine = os.environ.get("REPRO_ENGINE") or "compiled"
-        if engine not in self.ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
-        self.engine_name = engine
+        self.engine_name = resolve_engine(engine)
         self._engine = None
         self.module = module
         kwargs = {}

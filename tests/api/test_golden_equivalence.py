@@ -1,0 +1,105 @@
+"""Golden equivalence: the legacy shims and the facade are one path.
+
+``compile_and_run``/``compile_program`` must stay byte-identical to the
+:class:`repro.api.Session` path for every registered profile, and the
+rendered tables (which now execute through the facade) must agree with
+results recomputed through the legacy shim.
+"""
+
+import pytest
+
+from repro.api import PROFILES, Session, all_profiles
+from repro.harness.driver import compile_and_run
+
+CLEAN = r'''
+int main(void) {
+    int a[8];
+    long total = 0;
+    for (int i = 0; i < 8; i++) a[i] = i * 3;
+    for (int i = 0; i < 8; i++) total += a[i];
+    printf("total=%ld\n", total);
+    return 0;
+}
+'''
+
+OVERFLOW = r'''
+int main(void) {
+    char b[4];
+    strcpy(b, "definitely too long");
+    return 0;
+}
+'''
+
+
+def _legacy(source, profile):
+    return compile_and_run(source, softbound=profile.config,
+                           observers=profile.make_observers())
+
+
+@pytest.mark.parametrize("profile", all_profiles(), ids=lambda p: p.name)
+def test_shim_equals_session_on_clean_program(profile):
+    legacy = _legacy(CLEAN, profile)
+    facade = Session().run(CLEAN, profile=profile)
+    assert facade.exit_code == legacy.exit_code
+    assert facade.output == legacy.output
+    assert str(facade.trap) == str(legacy.trap)
+    assert facade.stats.cost == legacy.stats.cost
+    assert facade.stats.checks == legacy.stats.checks
+    assert facade.stats.metadata_loads == legacy.stats.metadata_loads
+
+
+@pytest.mark.parametrize("profile", all_profiles(), ids=lambda p: p.name)
+def test_shim_equals_session_on_overflow(profile):
+    legacy = _legacy(OVERFLOW, profile)
+    facade = Session().run(OVERFLOW, profile=profile)
+    assert facade.exit_code == legacy.exit_code
+    assert str(facade.trap) == str(legacy.trap)
+    assert facade.detected_violation == legacy.detected_violation
+    assert facade.stats.cost == legacy.stats.cost
+
+
+class TestTablesRideTheFacade:
+    def test_attack_detection_matches_legacy_recomputation(self):
+        from repro.harness.tables import attack_detection
+        from repro.softbound.config import FULL_SHADOW, STORE_SHADOW
+        from repro.workloads.attacks import all_attacks
+
+        attack = next(iter(all_attacks()))
+        plain = compile_and_run(attack.source)
+        full = compile_and_run(attack.source, softbound=FULL_SHADOW)
+        store = compile_and_run(attack.source, softbound=STORE_SHADOW)
+        assert attack_detection(attack.name) == (
+            plain.attack_succeeded, full.detected_violation,
+            store.detected_violation)
+
+    def test_temporal_detection_matches_legacy_recomputation(self):
+        from repro.harness.temporal import temporal_detection
+        from repro.softbound.config import TEMPORAL_SHADOW
+        from repro.vm.errors import TrapKind
+        from repro.workloads.temporal_attacks import TEMPORAL_ATTACKS
+
+        name = "uaf_read"
+        attack = TEMPORAL_ATTACKS[name]
+        plain = compile_and_run(attack.source)
+        temporal = compile_and_run(attack.source, softbound=TEMPORAL_SHADOW)
+        exploited, _, detected = temporal_detection(name)
+        assert exploited == bool(plain.attack_succeeded)
+        assert detected == (temporal.trap is not None
+                            and temporal.trap.kind
+                            is TrapKind.TEMPORAL_VIOLATION)
+
+    def test_rendered_table_consumes_facade_memos(self):
+        """`python -m repro tables temporal` output is produced from the
+        same memoized facade results the detection matrix exposes."""
+        import io
+
+        from repro.cli import main
+        from repro.harness.tables import render_temporal, temporal_matrix
+
+        out, err = io.StringIO(), io.StringIO()
+        assert main(["tables", "temporal"], out, err) == 0
+        assert out.getvalue().rstrip("\n") == render_temporal()
+        for name, (_, _, detected) in temporal_matrix().items():
+            detected_cell = "yes" if detected else "NO"
+            assert any(name in line and detected_cell in line
+                       for line in out.getvalue().splitlines())

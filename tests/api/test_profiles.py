@@ -1,0 +1,151 @@
+"""ProtectionProfile registry and round-trip tests."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.api import PROFILES, ProtectionProfile, all_profiles, as_profile
+from repro.baselines.mscc import MSCC_CONFIG
+from repro.softbound.config import (
+    FULL_HASH,
+    FULL_SHADOW,
+    STORE_HASH,
+    STORE_SHADOW,
+    TEMPORAL_SHADOW,
+    SoftBoundConfig,
+)
+
+
+class TestRegistry:
+    def test_covers_every_previously_reachable_variant(self):
+        """Every config the CLI/harness/benchmarks used to hand-build
+        has a registered name."""
+        names = set(PROFILES)
+        assert {"none", "spatial", "spatial-hash", "spatial-store-only",
+                "store-only-hash", "temporal", "temporal-hash", "full",
+                "mscc", "fatptr-naive", "fatptr-wild", "valgrind",
+                "mudflap", "jones-kelly"} <= names
+
+    def test_figure2_grid_is_reachable_by_name(self):
+        assert PROFILES["spatial"].config == FULL_SHADOW
+        assert PROFILES["spatial-hash"].config == FULL_HASH
+        assert PROFILES["spatial-store-only"].config == STORE_SHADOW
+        assert PROFILES["store-only-hash"].config == STORE_HASH
+        assert PROFILES["temporal"].config == TEMPORAL_SHADOW
+
+    def test_baseline_profiles_carry_observers_or_variants(self):
+        assert PROFILES["valgrind"].observer_factory is not None
+        assert PROFILES["mudflap"].observer_factory is not None
+        assert PROFILES["jones-kelly"].observer_factory is not None
+        assert PROFILES["mscc"].config == MSCC_CONFIG
+        assert PROFILES["fatptr-naive"].config.variant == "fatptr_naive"
+        assert PROFILES["fatptr-wild"].config.variant == "fatptr_wild"
+
+    def test_full_profile_enables_every_check(self):
+        config = PROFILES["full"].config
+        assert config.temporal and config.encode_fnptr_signature
+
+    def test_profiles_are_picklable(self):
+        for profile in all_profiles():
+            clone = pickle.loads(pickle.dumps(profile))
+            assert clone == profile
+
+
+class TestFromName:
+    def test_round_trips_every_registered_profile(self):
+        for profile in all_profiles():
+            assert ProtectionProfile.from_name(profile.name) is profile
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="spatial"):
+            ProtectionProfile.from_name("nope")
+
+
+class TestFromFlags:
+    def test_no_flags_is_none_profile(self):
+        assert ProtectionProfile.from_flags() is PROFILES["none"]
+
+    def test_softbound_is_spatial(self):
+        assert ProtectionProfile.from_flags(softbound=True) \
+            is PROFILES["spatial"]
+
+    def test_store_only_implies_softbound(self):
+        assert ProtectionProfile.from_flags(store_only=True) \
+            is PROFILES["spatial-store-only"]
+
+    def test_hash_table_implies_softbound(self):
+        assert ProtectionProfile.from_flags(hash_table=True) \
+            is PROFILES["spatial-hash"]
+
+    def test_store_only_hash(self):
+        assert ProtectionProfile.from_flags(store_only=True, hash_table=True) \
+            is PROFILES["store-only-hash"]
+
+    def test_temporal_implies_softbound(self):
+        assert ProtectionProfile.from_flags(temporal=True) \
+            is PROFILES["temporal"]
+
+    def test_temporal_hash(self):
+        assert ProtectionProfile.from_flags(temporal=True, hash_table=True) \
+            is PROFILES["temporal-hash"]
+
+    def test_fnptr_plus_temporal_is_full(self):
+        assert ProtectionProfile.from_flags(temporal=True,
+                                            fnptr_signatures=True) \
+            is PROFILES["full"]
+
+    def test_unregistered_combination_builds_custom_profile(self):
+        profile = ProtectionProfile.from_flags(softbound=True,
+                                               shrink_bounds=False)
+        assert profile.name.startswith("custom-")
+        assert profile.config.shrink_bounds is False
+        # Round-trip through the flag axes the profile encodes.
+        assert profile.config == SoftBoundConfig(shrink_bounds=False)
+
+
+class TestFromConfig:
+    def test_none_is_none_profile(self):
+        assert ProtectionProfile.from_config(None) is PROFILES["none"]
+
+    def test_registered_config_canonicalizes(self):
+        assert ProtectionProfile.from_config(FULL_SHADOW) \
+            is PROFILES["spatial"]
+        assert ProtectionProfile.from_config(SoftBoundConfig()) \
+            is PROFILES["spatial"]
+        assert ProtectionProfile.from_config(MSCC_CONFIG) is PROFILES["mscc"]
+
+    def test_ablation_variant_stays_distinct(self):
+        """Configs differing only in fields the label omits must not be
+        conflated with the registered profile."""
+        ablated = replace(FULL_SHADOW, loop_optimize=False)
+        profile = ProtectionProfile.from_config(ablated)
+        assert profile is not PROFILES["spatial"]
+        assert profile.config.loop_optimize is False
+
+    def test_registered_observer_factory_canonicalizes(self):
+        from repro.baselines import ValgrindChecker
+
+        profile = ProtectionProfile.from_config(None, ValgrindChecker)
+        assert profile is PROFILES["valgrind"]
+        observers = profile.make_observers()
+        assert len(observers) == 1
+        assert isinstance(observers[0], ValgrindChecker)
+        # Fresh instance per call (observers carry per-run state).
+        assert profile.make_observers()[0] is not observers[0]
+
+    def test_unregistered_observer_factory_builds_custom_profile(self):
+        class HomemadeChecker:
+            pass
+
+        profile = ProtectionProfile.from_config(None, HomemadeChecker)
+        assert profile.name.startswith("custom-")
+        assert isinstance(profile.make_observers()[0], HomemadeChecker)
+
+
+class TestAsProfile:
+    def test_accepts_profile_name_config_and_none(self):
+        assert as_profile("temporal") is PROFILES["temporal"]
+        assert as_profile(PROFILES["spatial"]) is PROFILES["spatial"]
+        assert as_profile(FULL_SHADOW) is PROFILES["spatial"]
+        assert as_profile(None) is PROFILES["none"]

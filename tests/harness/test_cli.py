@@ -1,10 +1,18 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import EX_COMPILE, EX_TRAP, EX_USAGE, EX_VIOLATION, main
+from repro.cli import (
+    EX_COMPILE,
+    EX_SPATIAL,
+    EX_TEMPORAL,
+    EX_TRAP,
+    EX_USAGE,
+    main,
+)
 
 SAFE_PROGRAM = r'''
 int main(void) {
@@ -35,6 +43,11 @@ def write_program(tmp_path, text, name="prog.c"):
     return str(path)
 
 
+class TestExitCodeContract:
+    def test_deterministic_codes_are_documented_values(self):
+        assert (EX_SPATIAL, EX_TEMPORAL, EX_COMPILE) == (2, 3, 4)
+
+
 class TestRun:
     def test_clean_run_returns_program_exit(self, tmp_path, capture):
         out, err = capture
@@ -46,19 +59,19 @@ class TestRun:
         out, err = capture
         code = main(["run", write_program(tmp_path, BUGGY_PROGRAM)], out, err)
         # Without SoftBound the overflow corrupts silently (exit 0) or
-        # segfaults (EX_TRAP) — never the violation code.
+        # segfaults (EX_TRAP) — never the violation codes.
         assert code in (0, EX_TRAP)
 
     def test_softbound_flag_catches_overflow(self, tmp_path, capture):
         out, err = capture
         path = write_program(tmp_path, BUGGY_PROGRAM)
-        assert main(["run", path, "--softbound"], out, err) == EX_VIOLATION
+        assert main(["run", path, "--softbound"], out, err) == EX_SPATIAL
         assert "spatial_violation" in err.getvalue()
 
     def test_store_only_flag_implies_softbound(self, tmp_path, capture):
         out, err = capture
         path = write_program(tmp_path, BUGGY_PROGRAM)
-        assert main(["run", path, "--store-only"], out, err) == EX_VIOLATION
+        assert main(["run", path, "--store-only"], out, err) == EX_SPATIAL
 
     def test_hash_table_flag(self, tmp_path, capture):
         out, err = capture
@@ -102,11 +115,71 @@ class TestRun:
         assert main(["run", path, "--no-optimize"], out, err) == 6
 
 
+class TestProfileFlag:
+    def test_profile_selects_protection(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, BUGGY_PROGRAM)
+        assert main(["run", path, "--profile", "spatial"], out, err) \
+            == EX_SPATIAL
+
+    def test_profile_none_runs_unprotected(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["run", path, "--profile", "none"], out, err) == 6
+
+    def test_unknown_profile_is_usage_error(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["run", path, "--profile", "nope"], out, err) == EX_USAGE
+        assert "unknown profile" in err.getvalue()
+
+    def test_profile_conflicts_with_checking_flags(self, tmp_path, capture):
+        """--profile must not silently discard an explicit checking flag
+        (a user combining them would get downgraded protection)."""
+        out, err = capture
+        path = write_program(tmp_path, UAF_PROGRAM)
+        code = main(["run", path, "--profile", "spatial", "--temporal"],
+                    out, err)
+        assert code == EX_USAGE
+        assert "cannot be combined" in err.getvalue()
+
+    def test_profiles_subcommand_lists_registry(self, capture):
+        out, err = capture
+        assert main(["profiles"], out, err) == 0
+        text = out.getvalue()
+        for name in ("none", "spatial", "temporal", "full", "mscc",
+                     "valgrind", "jones-kelly"):
+            assert name in text
+
+
+class TestJsonFlag:
+    def test_json_emits_run_report(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, SAFE_PROGRAM)
+        assert main(["run", path, "--json"], out, err) == 6
+        report = json.loads(out.getvalue())
+        assert report["exit_code"] == 6
+        assert report["ok"] is True
+        assert report["profile"] == "none"
+        assert report["stats"]["instructions"] > 0
+        assert report["value"] == report["stats"]["cost"]
+
+    def test_json_reports_trap(self, tmp_path, capture):
+        out, err = capture
+        path = write_program(tmp_path, BUGGY_PROGRAM)
+        code = main(["run", path, "--softbound", "--json"], out, err)
+        assert code == EX_SPATIAL
+        report = json.loads(out.getvalue())
+        assert report["detected_violation"] is True
+        assert report["trap"]["kind"] == "spatial_violation"
+        assert report["trap"]["source"] == "softbound"
+
+
 class TestCheck:
     def test_check_catches_overflow(self, tmp_path, capture):
         out, err = capture
         path = write_program(tmp_path, BUGGY_PROGRAM)
-        assert main(["check", path], out, err) == EX_VIOLATION
+        assert main(["check", path], out, err) == EX_SPATIAL
 
     def test_check_passes_clean_program(self, tmp_path, capture):
         out, err = capture
@@ -128,7 +201,7 @@ class TestTemporalFlag:
     def test_run_temporal_catches_uaf(self, tmp_path, capture):
         out, err = capture
         path = write_program(tmp_path, UAF_PROGRAM)
-        assert main(["run", path, "--temporal"], out, err) == EX_VIOLATION
+        assert main(["run", path, "--temporal"], out, err) == EX_TEMPORAL
         assert "temporal_violation" in err.getvalue()
 
     def test_spatial_only_misses_uaf(self, tmp_path, capture):
@@ -140,7 +213,14 @@ class TestTemporalFlag:
     def test_check_temporal_flag(self, tmp_path, capture):
         out, err = capture
         path = write_program(tmp_path, UAF_PROGRAM)
-        assert main(["check", path, "--temporal"], out, err) == EX_VIOLATION
+        assert main(["check", path, "--temporal"], out, err) == EX_TEMPORAL
+
+    def test_temporal_exit_code_distinct_from_spatial(self, tmp_path, capture):
+        out, err = capture
+        uaf = write_program(tmp_path, UAF_PROGRAM, name="uaf.c")
+        overflow = write_program(tmp_path, BUGGY_PROGRAM, name="ovf.c")
+        assert main(["run", uaf, "--temporal"], out, err) == EX_TEMPORAL
+        assert main(["run", overflow, "--temporal"], out, err) == EX_SPATIAL
 
     def test_temporal_transparent_on_clean_program(self, tmp_path, capture):
         out, err = capture
