@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke tables
+.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke policy-smoke tables
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,9 @@ ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, tempora
 
 api-smoke:       ## one workload through every protection profile via repro.api + all examples
 	$(PYTHON) scripts/ci.py --api-smoke
+
+policy-smoke:    ## checker-policy extension point: conformance suite + plugin discovery + matrix row
+	$(PYTHON) scripts/ci.py --policy-smoke
 
 tables:          ## regenerate the paper's tables and figures (REPRO_JOBS=N fans out)
 	$(PYTHON) -m repro tables

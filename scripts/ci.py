@@ -21,6 +21,12 @@
    — every profile must build and run it without behaviour divergence —
    plus every ``examples/*.py`` script run as a subprocess; any nonzero
    exit fails CI.
+6. Policy-smoke leg: the checker-policy extension point end to end —
+   the policy conformance/registry suite (``tests/policy``) must be
+   green, a plugin module named in ``REPRO_PLUGINS`` must register and
+   appear in ``python -m repro profiles --json`` in a fresh process,
+   and the rendered capability matrix must include the red-zone
+   plugin's extension row.
 
 The wall-clock gate compares the speedup *ratio* — not absolute
 seconds — so it is stable across machines of different absolute speed;
@@ -28,6 +34,7 @@ the opt gate compares cost-model units, which are host-independent.
 
 Usage:  python scripts/ci.py [--skip-tests]
         python scripts/ci.py --api-smoke     # only the api-smoke leg
+        python scripts/ci.py --policy-smoke  # only the policy-smoke leg
 """
 
 import os
@@ -247,7 +254,64 @@ def run_api_smoke():
     return 0
 
 
+def run_policy_smoke():
+    import json
+
+    print("\n== policy-smoke (checker-policy extension point) ==",
+          flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + (":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""))
+
+    # 1. Conformance + registry suites: every registered policy sweeps
+    # clean-transparency, the detection matrix, pickling and costs.
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "tests/policy"],
+        cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        print("POLICY SMOKE FAILURE: tests/policy not green")
+        return 1
+    print("  conformance suite ok")
+
+    # 2. Discovery path: a module named in REPRO_PLUGINS registers in a
+    # fresh process and surfaces through `profiles --json`.  The in-tree
+    # red-zone plugin plays the external plugin here — naming it in the
+    # env var is exactly what a third-party module would do.
+    plug_env = dict(env)
+    plug_env["REPRO_PLUGINS"] = "repro.policy.redzone"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "profiles", "--json"],
+        cwd=REPO_ROOT, env=plug_env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stderr[-2000:])
+        print("POLICY SMOKE FAILURE: profiles --json exited nonzero")
+        return 1
+    entries = {entry["name"]: entry for entry in json.loads(proc.stdout)}
+    redzone = entries.get("redzone")
+    if redzone is None or redzone["family"] != "plugin" \
+            or "heap_overflow" not in redzone["detects"]:
+        print(f"POLICY SMOKE FAILURE: red-zone plugin missing or wrong "
+              f"in profiles --json: {redzone}")
+        return 1
+    print(f"  discovery ok ({len(entries)} profiles, red-zone present)")
+
+    # 3. The capability matrix carries the plugin's extension row.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "tables", "table1"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    if proc.returncode != 0 or "RedZone" not in proc.stdout:
+        print(proc.stdout[-2000:])
+        print("POLICY SMOKE FAILURE: capability matrix lacks the "
+              "RedZone extension row")
+        return 1
+    print("  capability matrix extension row ok")
+    print("policy-smoke ok")
+    return 0
+
+
 def main(argv):
+    if "--policy-smoke" in argv:
+        return run_policy_smoke()
     if "--api-smoke" in argv:
         return run_api_smoke()
     if "--skip-tests" not in argv:
@@ -263,7 +327,10 @@ def main(argv):
     code = run_temporal_gate()
     if code != 0:
         return code
-    return run_api_smoke()
+    code = run_api_smoke()
+    if code != 0:
+        return code
+    return run_policy_smoke()
 
 
 if __name__ == "__main__":

@@ -47,6 +47,7 @@ from .profiles import (
     FULL_PROTECTION,
     PROFILES,
     ProtectionProfile,
+    UsageError,
     all_profiles,
     as_profile,
 )
@@ -72,8 +73,8 @@ __all__ = [
     "DEFAULT_ENGINE", "DEFAULT_JOBS", "ENGINES", "ResolvedEnv",
     "resolve_engine", "resolve_env", "resolve_jobs",
     # profiles
-    "FULL_PROTECTION", "PROFILES", "ProtectionProfile", "all_profiles",
-    "as_profile",
+    "FULL_PROTECTION", "PROFILES", "ProtectionProfile", "UsageError",
+    "all_profiles", "as_profile",
     # toolchain
     "STAGES", "CompiledProgram", "Toolchain", "ToolchainObserver",
     "compile_source", "compile_sources",

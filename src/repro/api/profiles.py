@@ -1,12 +1,15 @@
-"""Protection profiles: the whole configuration space, by name.
+"""Protection profiles: the checker-policy registry, by name.
 
-A :class:`ProtectionProfile` bundles everything one run needs to decide
-how a program is protected: the :class:`SoftBoundConfig` to instrument
-with (or ``None``), and — for the observer-style baselines the paper
-compares against — a factory for the per-run checker observer.  The
-registry covers every variant previously reachable by hand-assembling
-configs: the spatial/temporal SoftBound matrix, the store-only modes,
-both metadata facilities, and each baseline in :mod:`repro.baselines`.
+A :class:`ProtectionProfile` is the *facade view* of one registered
+:class:`repro.policy.CheckerPolicy`: the frozen, picklable bundle a run
+needs — the :class:`SoftBoundConfig` to instrument with (or ``None``)
+and the per-run observer factory for observer-style checkers.  The
+profile namespace is **derived from the policy registry**, not a closed
+union: registering a policy (:func:`repro.policy.register_policy`,
+directly or through ``REPRO_PLUGINS``/entry-point discovery) makes it
+selectable here, in the ``profiles`` CLI subcommand, in
+:class:`~repro.api.session.Session` and in the harness, with zero core
+edits.
 
 The CLI, the harness tables and the benchmarks all select protection by
 profile (``from_name``/``from_flags``) instead of constructing
@@ -14,19 +17,19 @@ profile (``from_name``/``from_flags``) instead of constructing
 through :func:`ProtectionProfile.from_config`.
 """
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..softbound.config import (
-    FULL_HASH,
-    FULL_SHADOW,
-    STORE_HASH,
-    STORE_SHADOW,
-    TEMPORAL_HASH,
-    TEMPORAL_SHADOW,
-    CheckMode,
-    MetadataScheme,
-    SoftBoundConfig,
-)
+from ..softbound.config import CheckMode, MetadataScheme, SoftBoundConfig
+
+# The complete-protection config is owned by the policy layer now; the
+# facade re-exports it for compatibility.
+from ..policy.temporal import FULL_PROTECTION  # noqa: F401  (re-export)
+
+
+class UsageError(ValueError):
+    """An invalid flag/profile combination the caller must fix (the CLI
+    maps it to exit status 64)."""
 
 
 @dataclass(frozen=True)
@@ -44,7 +47,8 @@ class ProtectionProfile:
     description: str
     config: object = None
     observer_factory: object = None
-    #: "none", "softbound" or "baseline" — coarse grouping for listings.
+    #: "none", "softbound", "baseline", or whatever family the policy
+    #: declares (plugins typically use "plugin") — coarse grouping.
     family: str = "softbound"
 
     @property
@@ -57,6 +61,17 @@ class ProtectionProfile:
         if self.config is not None:
             return self.config.label
         return self.name
+
+    @property
+    def policy(self):
+        """The registered :class:`~repro.policy.CheckerPolicy` this
+        profile derives from, or ``None`` for ad-hoc profiles."""
+        from ..policy import get_policy
+
+        try:
+            return get_policy(self.name)
+        except KeyError:
+            return None
 
     def make_observers(self):
         """Fresh per-run observers (observers carry per-run state)."""
@@ -104,11 +119,28 @@ class ProtectionProfile:
     @staticmethod
     def from_flags(softbound=False, store_only=False, hash_table=False,
                    temporal=False, fnptr_signatures=False,
-                   shrink_bounds=True):
+                   shrink_bounds=True, **unknown):
         """The CLI's flag pile, parsed once.  Any protection-implying
         flag turns instrumentation on (``--store-only`` alone means
         store-only SoftBound, exactly as before); the result is
-        canonicalized to a registered profile when one matches."""
+        canonicalized to a registered profile when one matches.
+
+        Unknown flags and conflicting combinations raise a single
+        :class:`UsageError` (the CLI's exit 64) instead of silently
+        falling through to a default profile with less protection than
+        the caller asked for.
+        """
+        if unknown:
+            raise UsageError(
+                f"unknown protection flag(s): {', '.join(sorted(unknown))}; "
+                f"known flags: softbound, store_only, hash_table, temporal, "
+                f"fnptr_signatures, shrink_bounds")
+        if store_only and temporal:
+            raise UsageError(
+                "conflicting flags: temporal (lock-and-key) checking "
+                "requires full checking — store-only mode skips load "
+                "checks and would silently miss use-after-free reads; "
+                "drop --store-only or --temporal")
         wants_softbound = (softbound or store_only or hash_table
                            or fnptr_signatures or not shrink_bounds
                            or bool(temporal))
@@ -135,75 +167,52 @@ def as_profile(profile):
     return ProtectionProfile.from_config(profile)
 
 
-#: Full spatial + temporal + the function-pointer signature extension:
-#: every dynamic check the system implements, on at once.
-FULL_PROTECTION = SoftBoundConfig(
-    CheckMode.FULL, MetadataScheme.SHADOW_SPACE,
-    encode_fnptr_signature=True, temporal=True)
+class _ProfileRegistry(Mapping):
+    """A live, read-only view of the policy registry as profiles.
+
+    Profiles are memoized per policy so lookups return *the same*
+    instance every time (``from_name(p.name) is PROFILES[p.name]`` —
+    identity matters to the compile caches), and the view re-syncs on
+    every access so a policy registered mid-session (a test, an
+    interactively loaded plugin) appears without restarting.
+    """
+
+    def __init__(self):
+        self._cache = {}
+
+    def _profiles(self):
+        from ..policy import all_policies
+
+        policies = {policy.name: policy for policy in all_policies()}
+        for name in list(self._cache):
+            if name not in policies:  # unregistered (tests): drop it
+                del self._cache[name]
+        for name, policy in policies.items():
+            if name not in self._cache:
+                self._cache[name] = ProtectionProfile(
+                    name=name,
+                    description=policy.description,
+                    config=policy.config,
+                    observer_factory=policy.observer_factory,
+                    family=policy.family)
+        return self._cache
+
+    def __getitem__(self, name):
+        return self._profiles()[name]
+
+    def __iter__(self):
+        return iter(self._profiles())
+
+    def __len__(self):
+        return len(self._profiles())
 
 
-def _builtin_profiles():
-    from ..baselines import JonesKellyChecker, MudflapChecker, ValgrindChecker
-    from ..baselines.fatptr import NAIVE_FATPTR_CONFIG, WILD_FATPTR_CONFIG
-    from ..baselines.mscc import MSCC_CONFIG
-
-    profiles = [
-        ProtectionProfile(
-            "none", "uninstrumented build, no checking", family="none"),
-        ProtectionProfile(
-            "spatial", "SoftBound full spatial checking, shadow space",
-            config=FULL_SHADOW),
-        ProtectionProfile(
-            "spatial-hash", "SoftBound full spatial checking, hash table",
-            config=FULL_HASH),
-        ProtectionProfile(
-            "spatial-store-only",
-            "metadata fully propagated, only stores checked (shadow space)",
-            config=STORE_SHADOW),
-        ProtectionProfile(
-            "store-only-hash",
-            "metadata fully propagated, only stores checked (hash table)",
-            config=STORE_HASH),
-        ProtectionProfile(
-            "temporal",
-            "spatial + lock-and-key temporal checking, shadow space",
-            config=TEMPORAL_SHADOW),
-        ProtectionProfile(
-            "temporal-hash",
-            "spatial + lock-and-key temporal checking, hash table",
-            config=TEMPORAL_HASH),
-        ProtectionProfile(
-            "full",
-            "everything on: spatial + temporal + fn-pointer signatures",
-            config=FULL_PROTECTION),
-        ProtectionProfile(
-            "mscc", "MSCC baseline (linked shadow metadata, no sub-object "
-            "bounds)", config=MSCC_CONFIG, family="baseline"),
-        ProtectionProfile(
-            "fatptr-naive", "SafeC-style inline fat pointers (clobberable "
-            "metadata)", config=NAIVE_FATPTR_CONFIG, family="baseline"),
-        ProtectionProfile(
-            "fatptr-wild", "CCured-style WILD fat pointers (tag bits)",
-            config=WILD_FATPTR_CONFIG, family="baseline"),
-        ProtectionProfile(
-            "valgrind", "Valgrind-style heap addressability observer",
-            observer_factory=ValgrindChecker, family="baseline"),
-        ProtectionProfile(
-            "mudflap", "Mudflap-style object-table observer",
-            observer_factory=MudflapChecker, family="baseline"),
-        ProtectionProfile(
-            "jones-kelly", "Jones-Kelly object-table observer (splay tree)",
-            observer_factory=JonesKellyChecker, family="baseline"),
-    ]
-    return {p.name: p for p in profiles}
-
-
-#: The registry, in presentation order (spatial matrix, temporal,
-#: baselines).  Treat as read-only; ad-hoc configs go through
-#: :func:`ProtectionProfile.from_config` instead of mutating this.
-PROFILES = _builtin_profiles()
+#: The registry view, in registration order (spatial matrix, temporal,
+#: baselines, then plugins).  Derived from :mod:`repro.policy`; register
+#: policies there instead of mutating this.
+PROFILES = _ProfileRegistry()
 
 
 def all_profiles():
-    """Registered profiles in presentation order."""
+    """Registered profiles in registration order."""
     return tuple(PROFILES.values())

@@ -176,9 +176,44 @@ def derive_ccured_wild():
                          measured=False)
 
 
-def capability_matrix():
-    """All six rows of Table 1, SoftBound last (paper order)."""
-    return [
+def measure_policy_row(policy, scheme=None):
+    """A fully measured row for one registered checker policy: run the
+    four probes under its profile and report what actually happened.
+    This is how extension policies (plugins) earn a Table 1 row —
+    :meth:`repro.policy.base.CheckerPolicy.capability_row` typically
+    delegates here."""
+    sub = run_source(SUBOBJECT_PROBE, profile=policy.name)
+    wild = run_source(WILD_CAST_PROBE, profile=policy.name)
+    layout = run_source(LAYOUT_PROBE, profile=policy.name)
+    sep = run_source(SEPARATE_COMPILATION_PROBE, profile=policy.name)
+    return CapabilityRow(
+        scheme=scheme or policy.name,
+        no_source_change=sep.trap is None and sep.exit_code == 42,
+        complete_subobject=_detected(sub),
+        layout_compatible=_runs_clean(layout),
+        arbitrary_casts=_runs_clean(wild),
+        dynamic_linking=True,  # nothing renames symbols in these schemes
+        measured=True,
+    )
+
+
+def extension_rows():
+    """Capability rows contributed by registered checker policies (the
+    plugin door into Table 1); deterministic registration order."""
+    from ..policy import all_policies
+
+    rows = []
+    for policy in all_policies():
+        row = policy.capability_row()
+        if row is not None:
+            rows.append(row)
+    return rows
+
+
+def capability_matrix(include_extensions=True):
+    """All six rows of Table 1, SoftBound last (paper order), then any
+    extension rows registered checker policies contribute."""
+    rows = [
         derive_safec(),
         measure_jones_kelly(),
         derive_ccured_safeseq(),
@@ -186,6 +221,9 @@ def capability_matrix():
         measure_mscc(),
         measure_softbound(),
     ]
+    if include_extensions:
+        rows.extend(extension_rows())
+    return rows
 
 #: Expected cell values straight from the paper's Table 1, used by tests
 #: to pin the reproduction.

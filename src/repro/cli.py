@@ -122,9 +122,13 @@ def build_parser():
     check_parser.add_argument("--engine", choices=("compiled", "interp"),
                               default=None)
 
-    sub.add_parser(
+    profiles_parser = sub.add_parser(
         "profiles",
-        help="list the registered protection profiles (the --profile axis)")
+        help="list the registered protection profiles (the --profile axis, "
+             "derived from the repro.policy registry incl. plugins)")
+    profiles_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as a JSON array for tooling")
 
     tables_parser = sub.add_parser(
         "tables", help="regenerate the paper's tables and figures")
@@ -184,14 +188,20 @@ def _build_profile(args, stderr):
         except KeyError as error:
             print(f"error: {error.args[0]}", file=stderr)
             return None
-    return ProtectionProfile.from_flags(
-        softbound=args.softbound,
-        store_only=args.store_only,
-        hash_table=args.hash_table,
-        temporal=bool(args.temporal),
-        fnptr_signatures=args.fnptr_signatures,
-        shrink_bounds=not args.no_shrink_bounds,
-    )
+    from .api import UsageError
+
+    try:
+        return ProtectionProfile.from_flags(
+            softbound=args.softbound,
+            store_only=args.store_only,
+            hash_table=args.hash_table,
+            temporal=bool(args.temporal),
+            fnptr_signatures=args.fnptr_signatures,
+            shrink_bounds=not args.no_shrink_bounds,
+        )
+    except UsageError as error:
+        print(f"error: {error}", file=stderr)
+        return None
 
 
 def _read_source(path, stderr):
@@ -259,10 +269,35 @@ def _print_stats(report, stdout):
     stdout.write("\n".join(lines) + "\n")
 
 
-def _list_profiles(stdout):
+def _list_profiles(stdout, as_json=False):
     from .api import all_profiles
 
     profiles = all_profiles()
+    if as_json:
+        from .policy import get_policy
+
+        entries = []
+        for profile in profiles:
+            policy = get_policy(profile.name)
+            entries.append({
+                "name": profile.name,
+                "family": profile.family,
+                "description": profile.description,
+                "protected": profile.is_protected,
+                "label": profile.label,
+                "transform_based": profile.config is not None,
+                "observer_based": profile.observer_factory is not None,
+                "meta_arity": policy.meta_arity,
+                "detects": sorted(policy.detects),
+                "capabilities": {
+                    "dedupable": policy.dedupable,
+                    "hoistable": policy.hoistable,
+                    "widenable": policy.widenable,
+                },
+            })
+        json.dump(entries, stdout, indent=2, sort_keys=True)
+        stdout.write("\n")
+        return EX_OK
     name_width = max(len(p.name) for p in profiles)
     family_width = max(len(p.family) for p in profiles)
     for profile in profiles:
@@ -356,7 +391,7 @@ def main(argv=None, stdout=None, stderr=None):
         return EX_USAGE if exit_error.code not in (0, None) else EX_OK
 
     if args.command == "profiles":
-        return _list_profiles(stdout)
+        return _list_profiles(stdout, as_json=getattr(args, "json", False))
     if args.command == "workloads":
         return _list_workloads(stdout, group=getattr(args, "group", None))
     if args.command == "tables":

@@ -221,14 +221,27 @@ def _bar(fraction, width=40):
 # -- Table 1 -----------------------------------------------------------------
 
 def render_table1():
-    """Capability comparison matrix (paper Table 1)."""
+    """Capability comparison matrix (paper Table 1), the paper's six
+    rows first, then any rows registered checker policies contribute
+    (:mod:`repro.policy` — e.g. the red-zone plugin) under a banner."""
+    from ..baselines.capabilities import extension_rows
+
     headers = ["Scheme", "No src change", "Complete(subfield)",
                "Mem layout", "Arb. casts", "Dyn link lib", "Cells"]
     rows = []
-    for row in capability_matrix():
+    for row in capability_matrix(include_extensions=False):
         rows.append(row.cells() + ["measured" if row.measured else "derived"])
     title = "Table 1: object-based and pointer-based approaches vs SoftBound"
-    return title + "\n" + _format_table(headers, rows)
+    text = title + "\n" + _format_table(headers, rows)
+    extensions = extension_rows()
+    if extensions:
+        # A separate block so the paper's table above stays
+        # byte-identical whatever policies are registered.
+        ext_rows = [row.cells() + ["measured" if row.measured else "derived"]
+                    for row in extensions]
+        text += ("\n\nExtension policies (repro.policy), same probes:\n"
+                 + _format_table(headers, ext_rows))
+    return text
 
 
 # -- Table 3 ---------------------------------------------------------------------
@@ -428,7 +441,36 @@ def render_temporal():
     title = ("Temporal attacks: lock-and-key detection "
              "(spatial checking passes every dereference; liveness is "
              "what died)")
-    return title + "\n" + _format_table(headers, rows)
+    text = title + "\n" + _format_table(headers, rows)
+    extensions = temporal_extension_rows()
+    if extensions:
+        ext_headers = ["Attack", "Class"] + [label for label, _ in extensions]
+        ext_rows = []
+        for attack in all_temporal_attacks():
+            cells = [attack.name, attack.kind]
+            for _, outcomes in extensions:
+                outcome = outcomes.get(attack.name, "missed")
+                cells.append(outcome if outcome != "missed" else "MISSED")
+            ext_rows.append(cells)
+        text += ("\n\nExtension policies (repro.policy), measured over "
+                 "the same suite:\n" + _format_table(ext_headers, ext_rows))
+    return text
+
+
+def temporal_extension_rows():
+    """``[(label, {attack: outcome})]`` contributed by registered
+    policies that opt into the temporal table
+    (:meth:`~repro.policy.base.CheckerPolicy.temporal_row`), memoized —
+    each row costs one run per temporal attack."""
+    cached = _TEMPORAL_CACHE.get("__extensions__")
+    if cached is None:
+        from ..policy import all_policies
+
+        cached = [row for row in (policy.temporal_row()
+                                  for policy in all_policies())
+                  if row is not None]
+        _TEMPORAL_CACHE["__extensions__"] = cached
+    return cached
 
 
 def render_all():

@@ -60,6 +60,26 @@ def temporal_detection(name):
     return (bool(plain.attack_succeeded), spatial_outcome, temporal_detected)
 
 
+def policy_temporal_detection(profile_name):
+    """``{attack_name: outcome}`` for one registered policy over the
+    temporal attack suite — the measurement behind a policy's extension
+    row in the temporal detection table
+    (:meth:`repro.policy.base.CheckerPolicy.temporal_row`).
+
+    Outcomes are the trap-kind wire value (``"temporal_violation"``,
+    ``"spatial_violation"``, ...) or ``"missed"`` — extension checkers
+    are often *best-effort* (a quarantine scheme loses entries to
+    allocator reuse), and the row reports what actually happened rather
+    than a claim.
+    """
+    out = {}
+    for name, attack in TEMPORAL_ATTACKS.items():
+        result = run_source(attack.source, profile=profile_name, name=name)
+        out[name] = (result.trap.kind.value if result.trap is not None
+                     else "missed")
+    return out
+
+
 # -- overhead -----------------------------------------------------------------
 
 def run_temporal_overhead(workload_names=None):

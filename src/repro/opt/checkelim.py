@@ -42,8 +42,8 @@ every call otherwise.
 
 from ..ir import instructions as ins
 from ..ir.cfg import CFG
-from ..ir.instructions import LOCK_RELEASERS, METADATA_TABLE_WRITERS
 from ..ir.values import Const, Register, SymbolRef
+from ..policy.opcodes import lock_releaser_opcodes, table_writer_opcodes
 
 
 def _definition_counts(func):
@@ -174,14 +174,18 @@ def run(func, module=None):
     keys = _GlobalKeys(func)
     cfg = CFG(func)
     counts = _definition_counts(func)
+    # The invalidation sets come from the policy opcode-trait registry
+    # (live: a plugin's table-writing opcode extends them).
+    table_writers = table_writer_opcodes()
+    lock_releasers = lock_releaser_opcodes()
     # Cross-block (dominance-scoped) metadata-load dedup is sound only
     # when nothing in the function can write the table between the
     # dominating and the dominated occurrence.
-    meta_global_ok = not any(instr.opcode in METADATA_TABLE_WRITERS
+    meta_global_ok = not any(instr.opcode in table_writers
                              for instr in func.instructions())
     # Cross-block temporal-check dedup is sound only when nothing in
     # the function can release a lock (no calls at all).
-    temporal_global_ok = not any(instr.opcode in LOCK_RELEASERS
+    temporal_global_ok = not any(instr.opcode in lock_releasers
                                  for instr in func.instructions())
     global_seen = {}   # stable key -> max constant size already checked
     global_meta = {}   # stable addr key -> (base Register, bound Register)
@@ -244,9 +248,9 @@ def run(func, module=None):
                         local_meta[key] = pair
                 kept.append(instr)
                 continue
-            if instr.opcode in METADATA_TABLE_WRITERS:
+            if instr.opcode in table_writers:
                 local_meta.clear()
-            if instr.opcode in LOCK_RELEASERS:
+            if instr.opcode in lock_releasers:
                 local.tseen.clear()
             if instr.opcode == "sb_temporal_check":
                 stable = temporal_key(instr)

@@ -88,6 +88,7 @@ from ..ir.cfg import CFG
 from ..ir.irtypes import I64, PTR
 from ..ir.loops import ensure_preheader, find_loops
 from ..ir.values import Const, Register, SymbolRef
+from ..policy.opcodes import traits_of
 from ..vm.costs import OP_COSTS
 from .licm import is_invariant, loop_def_counts
 
@@ -492,7 +493,12 @@ def _widenable_checks(func, loop, ctx, latch_label, update_index,
     for label in sorted(loop.blocks):
         block = func.block_map[label]
         for index, instr in enumerate(block.instructions):
-            if instr.opcode != "sb_check" or instr.is_fnptr_check:
+            # Widenability is the opcode's *declared* capability
+            # (policy opcode-trait registry), not a name match; a
+            # widenable opcode must carry the SbCheck operand shape
+            # (ptr/base/bound/size) the guard builder reads.
+            if not traits_of(instr.opcode).widenable \
+                    or getattr(instr, "is_fnptr_check", False):
                 continue
             if label == latch_label and index >= update_index:
                 continue  # would read the post-increment IV value

@@ -45,9 +45,9 @@ Two candidate kinds, with different safety obligations:
 """
 
 from ..ir.cfg import CFG
-from ..ir.instructions import LOCK_RELEASERS, METADATA_TABLE_WRITERS
 from ..ir.loops import ensure_preheader, find_loops
 from ..ir.values import Const, Register, SymbolRef
+from ..policy.opcodes import lock_releaser_opcodes, table_writer_opcodes
 from .checkelim import _definition_counts
 
 #: Instructions that cannot trap, produce output, or touch memory or
@@ -98,7 +98,9 @@ def _loop_candidates(func, loop, global_defs):
     """``(meta_loads, header_checks)`` hoistable from ``loop`` right
     now, as ``(block_label, instr)`` pairs in deterministic order."""
     defs = loop_def_counts(func, loop)
-    table_safe = not any(instr.opcode in METADATA_TABLE_WRITERS
+    table_writers = table_writer_opcodes()
+    lock_releasers = lock_releaser_opcodes()
+    table_safe = not any(instr.opcode in table_writers
                          for instr in loop.instructions(func))
     meta_loads = []
     if table_safe:
@@ -110,7 +112,7 @@ def _loop_candidates(func, loop, global_defs):
                         and global_defs.get(instr.dst_base.uid, 0) == 1
                         and global_defs.get(instr.dst_bound.uid, 0) == 1):
                     meta_loads.append((label, instr))
-    call_free = not any(instr.opcode in LOCK_RELEASERS
+    call_free = not any(instr.opcode in lock_releasers
                         for instr in loop.instructions(func))
     header_checks = []
     for instr in func.block_map[loop.header].instructions:

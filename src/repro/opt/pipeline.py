@@ -15,10 +15,14 @@ propagation and CSE canonicalize the operand webs the check passes key
 on; constant folding and DCE run last to clean up what the loop passes
 exposed.
 
-The loop passes run only for the ``softbound`` variant proper — the
-baseline variants modelled through the same transform keep the paper's
-original cleanup pipeline, and inline-metadata baselines (``fatptr``)
-must not hoist table reads across program stores at all.
+Which passes apply is the checker policy's call: the post pipeline
+queries the policy's ``dedupable``/``hoistable``/``widenable``
+capability flags (:mod:`repro.policy`) instead of matching variant
+names.  The built-in declarations preserve the historical behaviour —
+loop passes only for the ``softbound`` variant proper; the baseline
+variants keep the paper's original cleanup pipeline, and
+inline-metadata baselines (``fatptr``) must not hoist table reads
+across program stores at all.
 """
 
 from dataclasses import dataclass
@@ -45,13 +49,22 @@ class PassStats:
     widened_checks: int = 0
 
 
-def _loop_passes_apply(config):
-    """Whether the loop-aware check passes run for this build."""
+def _capabilities(config):
+    """``(dedupable, hoistable, widenable)`` for this build — the
+    checker policy's optimizer capability flags (queried through the
+    policy registry instead of pattern-matching variant names), gated
+    by the config's own ``loop_optimize`` ablation switch."""
     if config is None:
-        return True
-    if not getattr(config, "loop_optimize", True):
-        return False
-    return getattr(config, "variant", "softbound") == "softbound"
+        # Uninstrumented builds carry no checks; the loop passes are
+        # no-ops but harmless (historical behaviour: they run).
+        return True, True, True
+    from ..policy import policy_for_config
+
+    policy = policy_for_config(config)
+    loop_ok = getattr(config, "loop_optimize", True)
+    return (policy.dedupable,
+            policy.hoistable and loop_ok,
+            policy.widenable and loop_ok)
 
 
 def optimize_module(module, verify=True):
@@ -75,18 +88,20 @@ def optimize_after_instrumentation(module, verify=True, config=None):
     LLVM suite here, Section 6.1):
     copyprop → cse → checkelim → licm → checkwiden → constfold → dce."""
     stats = PassStats()
-    loop_passes = _loop_passes_apply(config)
+    dedupable, hoistable, widenable = _capabilities(config)
     for func in module.functions.values():
         stats.propagated_copies += copyprop.run(func, module)
         stats.cse_replaced += cse.run(func, module)
-        removed, deduped, removed_temporal = checkelim.run(func, module)
-        stats.removed_checks += removed
-        stats.deduped_meta_loads += deduped
-        stats.removed_temporal_checks += removed_temporal
-        if loop_passes:
+        if dedupable:
+            removed, deduped, removed_temporal = checkelim.run(func, module)
+            stats.removed_checks += removed
+            stats.deduped_meta_loads += deduped
+            stats.removed_temporal_checks += removed_temporal
+        if hoistable:
             hoisted_meta, hoisted_checks = licm.run(func, module)
             stats.hoisted_meta_loads += hoisted_meta
             stats.hoisted_checks += hoisted_checks
+        if widenable:
             widened_loops, widened_checks = checkwiden.run(func, module)
             stats.widened_loops += widened_loops
             stats.widened_checks += widened_checks

@@ -1,0 +1,69 @@
+"""``repro.policy`` — the pluggable checker-policy API.
+
+One extension point for every memory-safety checker in the system: the
+SoftBound spatial matrix, the lock-and-key temporal discipline, the
+paper's comparison baselines and any third-party scheme all implement
+:class:`CheckerPolicy` and walk through :func:`register_policy`.  The
+``ProtectionProfile`` registry (:mod:`repro.api.profiles`), the
+``profiles`` CLI subcommand, :class:`~repro.api.session.Session`, the
+harness tables and the batch workers all derive from this registry, so
+a registered policy is selectable everywhere with zero core edits.
+
+Writing a new checker (full walkthrough in ``docs/POLICY.md``)::
+
+    from repro.policy import CheckerPolicy, register_policy
+
+    class MyChecker(CheckerPolicy):
+        name = "my-checker"
+        description = "what it protects"
+        observer_factory = MyObserver        # or: config = ...
+        cost_model = {"mychecker.check": 4}
+        detects = frozenset({"heap_overflow"})
+
+    register_policy(MyChecker)
+
+Ship it as a module and name it in ``REPRO_PLUGINS`` (or a
+``repro.policies`` entry point); ``python -m repro profiles`` lists it,
+``--profile my-checker`` runs it, and the conformance suite
+(``tests/policy/test_conformance.py``) sweeps it.  The in-tree
+:mod:`repro.policy.redzone` plugin is the worked example.
+
+The built-in policies register at import below; in-tree and external
+plugins load lazily through :func:`load_plugins` the first time the
+registry is enumerated.
+"""
+
+from .base import CheckerPolicy
+from .instrumentation import SpatialPlan, TemporalPlan, plan_for_config
+from .opcodes import (
+    OpcodeTraits,
+    lock_releaser_opcodes,
+    register_opcode_traits,
+    table_writer_opcodes,
+    traits_of,
+)
+from .registry import (
+    PolicyError,
+    all_policies,
+    get_policy,
+    load_plugins,
+    policy_for_config,
+    register_policy,
+    unregister_policy,
+)
+
+# Built-in policies (importing registers them, in presentation order:
+# the spatial matrix, temporal, the baselines; the red-zone plugin
+# rides the discovery path in registry.BUILTIN_PLUGINS instead).
+from . import spatial as _spatial          # noqa: F401  (registers)
+from . import temporal as _temporal        # noqa: F401  (registers)
+from . import baselines as _baselines      # noqa: F401  (registers)
+from .temporal import FULL_PROTECTION
+
+__all__ = [
+    "CheckerPolicy", "PolicyError", "OpcodeTraits", "SpatialPlan",
+    "TemporalPlan", "FULL_PROTECTION", "all_policies", "get_policy",
+    "load_plugins", "plan_for_config", "policy_for_config",
+    "register_policy", "unregister_policy", "register_opcode_traits",
+    "traits_of", "table_writer_opcodes", "lock_releaser_opcodes",
+]

@@ -1,0 +1,99 @@
+"""Instrumentation plans: the hooks the SoftBound IR transform drives.
+
+The transform (:mod:`repro.softbound.transform`) owns the *mechanics*
+of metadata propagation — companion registers, copy webs, the
+block-local availability cache — but what gets **emitted** at each
+dereference site, and how wide the per-pointer metadata is, belongs to
+the policy.  A plan is the per-compile object carrying those decisions:
+
+* ``meta_arity`` — companion values per pointer (2 spatial, 4 widened
+  with the temporal (key, lock) pair); the transform sizes call
+  argument lists, return annotations, table entries and extra
+  parameters from it.
+* ``temporal`` — whether the temporal metadata channel (``tmeta``) is
+  propagated at all.
+* :meth:`emit_access_checks` — called at every load/store/memcopy site
+  with the address, access size and access kind; the plan appends the
+  check instruction(s).  This is where store-only mode, the
+  spatial-then-temporal ordering, and any policy-specific check opcode
+  live.
+
+Plans are cheap per-compile objects; :func:`plan_for_config` builds the
+right one for a (possibly ad-hoc) config.  A transform-based plugin
+policy overrides :meth:`CheckerPolicy.instrumentation_plan` to return
+its own plan, typically subclassing :class:`SpatialPlan` and emitting
+its registered opcode after (or instead of) the spatial check.
+"""
+
+from ..ir import instructions as ins
+from ..ir.irtypes import I64
+from ..ir.values import Const
+from ..softbound.config import CheckMode
+
+
+class SpatialPlan:
+    """The paper's spatial discipline: one ``sb_check`` per dereference
+    (stores only, in store-only mode)."""
+
+    meta_arity = 2
+    temporal = False
+    #: Program stores cannot reach the metadata (paper Section 3.4's
+    #: incorruptibility property).  The transform's block-local
+    #: metadata-availability cache is only sound when this holds;
+    #: inline-metadata plans (fat pointers) set it False.
+    disjoint_metadata = True
+
+    def __init__(self, config):
+        self.config = config
+
+    def checks_access(self, access_kind):
+        """Whether this access kind is checked at all (store-only mode
+        skips loads — metadata still propagates fully)."""
+        return not (access_kind == "load"
+                    and self.config.mode is CheckMode.STORE_ONLY)
+
+    def emit_access_checks(self, tx, addr_value, size, access_kind):
+        """Append the dereference check(s) for one memory access to the
+        transform's output stream.  ``tx`` is the per-function
+        transform; ``tx.meta_of``/``tx.tmeta_of`` resolve companion
+        values and ``tx.out`` is the instruction sink."""
+        if not self.checks_access(access_kind):
+            return
+        base, bound = tx.meta_of(addr_value)
+        tx.out.append(ins.SbCheck(ptr=addr_value, base=base, bound=bound,
+                                  size=Const(size, I64),
+                                  access_kind=access_kind))
+
+
+class TemporalPlan(SpatialPlan):
+    """Spatial + lock-and-key: every checked access additionally proves
+    the pointed-to allocation is still alive."""
+
+    meta_arity = 4
+    temporal = True
+
+    def emit_access_checks(self, tx, addr_value, size, access_kind):
+        super().emit_access_checks(tx, addr_value, size, access_kind)
+        if not self.checks_access(access_kind):
+            return
+        # Emitted *after* the spatial check: a pointer reaching the
+        # temporal check has in-bounds (base, bound), so pointers
+        # without provenance (NULL bounds) trap spatially first and
+        # the temporal check never produces a false positive.
+        key, lock = tx.tmeta_of(addr_value)
+        tx.out.append(ins.SbTemporalCheck(ptr=addr_value, key=key,
+                                          lock=lock,
+                                          access_kind=access_kind))
+
+
+def plan_for_config(config):
+    """The instrumentation plan for a (possibly ad-hoc) config, resolved
+    through the policy that owns its discipline."""
+    from .registry import policy_for_config
+
+    policy = policy_for_config(config)
+    plan = policy.instrumentation_plan(config)
+    if plan is None:
+        raise ValueError(f"policy {policy.name!r} has no instrumentation "
+                         f"plan but config {config!r} asked for one")
+    return plan

@@ -1,0 +1,141 @@
+"""Heap red-zone / quarantine checker — the policy API's worked example.
+
+A classic allocator-hardening scheme (electric-fence / heap-canary
+family): every heap allocation is followed by a *red zone* no program
+access may touch, and freed blocks sit in a *quarantine* so
+use-after-free accesses hit poisoned ground instead of recycled memory.
+Detection properties, honestly modelled:
+
+* **Heap overflow** — any load/store overlapping a live allocation's
+  red zone traps immediately (the zone covers the allocator's alignment
+  pad plus the successor block's header, which the simulated allocator
+  guarantees is never live payload).
+* **Use-after-free / stale-realloc access** — accesses into a
+  quarantined block trap with a ``temporal_violation``.  Like every
+  quarantine scheme the detection is *best-effort*: when the allocator
+  hands the quarantined range to a new allocation, the entry is evicted
+  and a later stale access is silently absorbed — exactly the
+  probabilistic gap the paper's lock-and-key mechanism closes, which
+  the temporal-table extension row makes visible.
+* **Stack, globals, sub-object overflows** — out of scope (heap-only),
+  and *declared* out of scope via ``detects``.
+
+This module is deliberately written **only against the public policy
+API** — :class:`repro.policy.CheckerPolicy`,
+:func:`repro.policy.register_policy`, the
+:class:`repro.vm.machine.Observer` hook interface and
+``cost_model`` — and is loaded through the same plugin-discovery path
+external ``REPRO_PLUGINS`` modules use.  It is the proof (and the
+``docs/POLICY.md`` walkthrough) that a new checker lands with zero core
+edits.
+"""
+
+from ..vm.errors import Trap, TrapKind
+from ..vm.machine import Observer
+from .base import CheckerPolicy
+from .registry import register_policy
+
+#: Virtual red-zone bytes after each allocation's payload.  The
+#: simulated allocator 16-aligns payloads and prefixes each block with a
+#: 16-byte header, so [payload+size, payload+size+16) is never another
+#: allocation's payload — the zone is always enforceable.
+REDZONE_BYTES = 16
+
+
+class RedZoneChecker(Observer):
+    """Per-run observer: live red zones + freed-block quarantine."""
+
+    source_name = "redzone"
+
+    def __init__(self):
+        self.live = {}        # payload addr -> size
+        self.quarantine = {}  # freed payload addr -> size
+        self.violations = 0
+
+    # -- allocator events ----------------------------------------------
+
+    def on_heap_alloc(self, addr, size):
+        # The allocator recycled this range: evict overlapping
+        # quarantine entries (their stale pointers are lost causes now —
+        # the scheme's documented probabilistic gap).
+        if self.quarantine:
+            end = addr + size
+            dead = [qaddr for qaddr, qsize in self.quarantine.items()
+                    if qaddr < end and addr < qaddr + qsize]
+            for qaddr in dead:
+                del self.quarantine[qaddr]
+        self.live[addr] = size
+
+    def on_heap_free(self, addr, size):
+        if self.live.pop(addr, None) is not None:
+            self.quarantine[addr] = size
+
+    # -- access checking -----------------------------------------------
+
+    def _check(self, addr, size, is_write):
+        machine = self.machine
+        stats = machine.stats
+        stats.charge("redzone.check")
+        stats.checks += 1
+        heap = machine.memory.heap
+        if not (heap.base <= addr < heap.end):
+            return  # heap-only scheme: stack/globals out of scope
+        end = addr + size
+        for start, live_size in self.live.items():
+            zone = start + live_size
+            if addr < zone + REDZONE_BYTES and end > zone:
+                self.violations += 1
+                kind = "write" if is_write else "read"
+                raise Trap(
+                    TrapKind.SPATIAL_VIOLATION,
+                    f"heap {kind} of {size} bytes into the red zone of "
+                    f"the {live_size}-byte block at 0x{start:x}",
+                    address=addr,
+                    source=self.source_name,
+                )
+        for start, dead_size in self.quarantine.items():
+            if addr < start + dead_size and start < end:
+                self.violations += 1
+                kind = "write" if is_write else "read"
+                raise Trap(
+                    TrapKind.TEMPORAL_VIOLATION,
+                    f"heap {kind} of {size} bytes in the quarantined "
+                    f"{dead_size}-byte block at 0x{start:x} (freed)",
+                    address=addr,
+                    source=self.source_name,
+                )
+
+    def on_load(self, addr, size):
+        self._check(addr, size, is_write=False)
+
+    def on_store(self, addr, size):
+        self._check(addr, size, is_write=True)
+
+
+class RedZonePolicy(CheckerPolicy):
+    name = "redzone"
+    description = "heap red-zone + free-quarantine observer (plugin)"
+    family = "plugin"
+    config = None
+    observer_factory = RedZoneChecker
+    #: One range probe per heap access: cheaper than full DBI shadow
+    #: memory (valgrind.per_access 12), pricier than an inline compare.
+    cost_model = {"redzone.check": 3}
+    detects = frozenset({"heap_overflow", "use_after_free"})
+
+    def capability_row(self):
+        """A measured Table 1 extension row: run the standard probes
+        under this policy and report what actually happened."""
+        from ..baselines.capabilities import measure_policy_row
+
+        return measure_policy_row(self, scheme="RedZone")
+
+    def temporal_row(self):
+        """A temporal-table extension row: what the quarantine actually
+        catches of the lock-and-key suite (measured, not claimed)."""
+        from ..harness.temporal import policy_temporal_detection
+
+        return ("redzone", policy_temporal_detection(self.name))
+
+
+register_policy(RedZonePolicy)

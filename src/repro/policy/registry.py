@@ -1,0 +1,152 @@
+"""Policy registry and plugin discovery.
+
+:func:`register_policy` is the single door every checker — built-in or
+third-party — walks through.  Registration performs the policy's side
+effects exactly once: cost-model keys merge into
+:data:`repro.vm.costs.OP_COSTS`, and VM opcode handlers install into
+the shared dispatch tables (:mod:`repro.vm.dispatch`).  The registry
+preserves insertion order; :mod:`repro.api.profiles` derives the
+``--profile`` namespace from it, so a registered policy is immediately
+selectable everywhere (CLI, Session, harness, batch workers) with zero
+core edits.
+
+Third-party discovery (:func:`load_plugins`) imports, in order:
+
+* the in-tree plugins (currently :mod:`repro.policy.redzone`, which is
+  written purely against the public API as the worked example);
+* every module named in the ``REPRO_PLUGINS`` environment variable
+  (comma/colon-separated import paths);
+* every ``repro.policies`` entry point, when ``importlib.metadata`` can
+  enumerate any (absent in stripped-down environments — gated, never
+  required).
+
+A plugin module registers its policies at import time by calling
+:func:`register_policy`; discovery is idempotent and lazy — it runs the
+first time anyone asks for the registry's contents, not at package
+import, so low-level consumers (the optimizer querying opcode traits)
+never pay for it.
+"""
+
+import os
+
+from .base import CheckerPolicy
+
+#: name -> CheckerPolicy instance, in registration order.
+_POLICIES = {}
+
+#: In-tree plugins loaded through the same discovery path external
+#: plugins use (the proof that the path works end to end).
+BUILTIN_PLUGINS = ("repro.policy.redzone",)
+
+_plugins_loaded = False
+
+
+class PolicyError(ValueError):
+    """Invalid policy registration (duplicate/conflicting/ill-formed)."""
+
+
+def register_policy(policy):
+    """Register a :class:`CheckerPolicy` (class or instance).
+
+    Idempotent for an identical re-registration (same class, same
+    name); a *different* policy under a taken name raises — plugins
+    must not shadow built-ins silently.  Returns the instance.
+    """
+    if isinstance(policy, type):
+        policy = policy()
+    if not isinstance(policy, CheckerPolicy):
+        raise PolicyError(f"not a CheckerPolicy: {policy!r}")
+    if not policy.name:
+        raise PolicyError(f"policy {policy!r} has no name")
+    existing = _POLICIES.get(policy.name)
+    if existing is not None:
+        if type(existing) is type(policy):
+            return existing
+        raise PolicyError(
+            f"policy name {policy.name!r} already registered by "
+            f"{type(existing).__name__}")
+    # Side effects first, so a failure leaves the registry unchanged.
+    if policy.cost_model:
+        from ..vm.costs import register_costs
+
+        register_costs(policy.cost_model)
+    from ..vm.dispatch import register_opcode
+
+    policy.register_vm_handlers(register_opcode)
+    _POLICIES[policy.name] = policy
+    return policy
+
+
+def unregister_policy(name):
+    """Remove a policy (tests only; VM handlers and cost keys remain —
+    registration side effects are additive by design)."""
+    return _POLICIES.pop(name, None)
+
+
+def load_plugins(extra=()):
+    """Import plugin modules (in-tree, ``REPRO_PLUGINS``, entry points,
+    plus ``extra``); idempotent for the environment-driven set.
+    Returns the list of module names imported this call."""
+    global _plugins_loaded
+    import importlib
+
+    loaded = []
+    wanted = []
+    discovering = not _plugins_loaded
+    if discovering:
+        wanted.extend(BUILTIN_PLUGINS)
+        env = os.environ.get("REPRO_PLUGINS", "")
+        wanted.extend(p for p in env.replace(":", ",").split(",") if p.strip())
+        try:
+            from importlib.metadata import entry_points
+
+            try:
+                points = entry_points(group="repro.policies")
+            except TypeError:  # pre-3.10 signature
+                points = entry_points().get("repro.policies", ())
+            wanted.extend(point.value.split(":")[0] for point in points)
+        except Exception:
+            pass  # no packaging metadata available: env/in-tree only
+    wanted.extend(extra)
+    for module_name in wanted:
+        module_name = module_name.strip()
+        if module_name:
+            importlib.import_module(module_name)
+            loaded.append(module_name)
+    if discovering:
+        # Only after every discovered module imported cleanly: a broken
+        # plugin raises on *every* enumeration (loudly, retryably)
+        # instead of silently skipping the modules listed after it.
+        _plugins_loaded = True
+    return loaded
+
+
+def all_policies():
+    """Registered policies in registration order (plugins loaded)."""
+    load_plugins()
+    return tuple(_POLICIES.values())
+
+
+def get_policy(name):
+    """Look up a policy by name; raises ``KeyError`` listing the known
+    names for typos."""
+    load_plugins()
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known policies: "
+                       f"{', '.join(_POLICIES)}") from None
+
+
+def policy_for_config(config):
+    """Resolve a (possibly ad-hoc) :class:`SoftBoundConfig` to the
+    policy that owns its discipline, via ``handles_config``.  Ad-hoc
+    configs (ablations) resolve to the policy of their variant."""
+    load_plugins()
+    for policy in _POLICIES.values():
+        if policy.handles_config(config):
+            return policy
+    raise KeyError(
+        f"no registered policy handles config {config!r} "
+        f"(variant {getattr(config, 'variant', None)!r}); register one "
+        f"with repro.policy.register_policy")

@@ -17,26 +17,31 @@ entries through the same disjoint facility.
 
 from ..temporal import GLOBAL_KEY, GLOBAL_LOCK, LockSpace
 from ..vm.errors import temporal_violation
-from .config import CheckMode
-from .metadata import make_facility
 
 
 class SoftBoundRuntime:
-    def __init__(self, config):
+    def __init__(self, config, policy=None):
         self.config = config
-        if config.variant == "mscc":
-            from ..baselines.mscc import MsccMetadata
+        # The checker policy owns the runtime's shape: which metadata
+        # facility backs the table, what one check costs, and how many
+        # companion values ride with each pointer.  Resolved through
+        # the policy registry (ad-hoc ablation configs resolve to the
+        # policy of their variant) unless the caller injects one.
+        if policy is None:
+            from ..policy import policy_for_config
 
-            self.facility = MsccMetadata()
-            self.check_cost_key = "mscc.check"
-        elif config.variant in ("fatptr_naive", "fatptr_wild"):
-            from ..baselines.fatptr import make_fatptr_facility
-
-            self.facility = make_fatptr_facility(config.variant)
-            self.check_cost_key = "fatptr.check"
-        else:
-            self.facility = make_facility(config.scheme)
-            self.check_cost_key = "sb.check"
+            try:
+                policy = policy_for_config(config)
+            except KeyError:
+                if getattr(config, "temporal", False) \
+                        and config.variant != "softbound":
+                    raise ValueError(
+                        f"temporal checking requires the softbound "
+                        f"variant, not {config.variant!r}") from None
+                raise
+        self.policy = policy
+        self.facility = policy.make_facility(config)
+        self.check_cost_key = policy.check_cost_key
         self.machine = None
         # Inline-metadata facilities observe every non-pointer store
         # (Section 3.4's corruption channel); disjoint ones cannot be
@@ -52,7 +57,7 @@ class SoftBoundRuntime:
         self.lockspace = LockSpace() if self.temporal else None
         #: Per-pointer metadata arity through calls/returns/varargs:
         #: (base, bound) spatially, (base, bound, key, lock) temporally.
-        self.meta_arity = 4 if self.temporal else 2
+        self.meta_arity = policy.meta_arity
         self.null_meta = (0,) * self.meta_arity
         #: payload address -> (key, lock slot) of every live heap
         #: allocation; consulted by free() so double/invalid frees trap

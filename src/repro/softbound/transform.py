@@ -48,7 +48,6 @@ from ..ir.irtypes import I64, PTR
 from ..ir.module import Param
 from ..ir.values import Const, Register, SymbolRef
 from ..temporal import GLOBAL_KEY, GLOBAL_LOCK
-from .config import CheckMode
 
 _NULL_META = (Const(0, PTR), Const(0, PTR))
 #: Temporal metadata of pointers without provenance (integers cast to
@@ -62,8 +61,18 @@ _GLOBAL_TMETA = (Const(GLOBAL_KEY, I64), Const(GLOBAL_LOCK, I64))
 
 
 class SoftBoundTransform:
-    def __init__(self, config):
+    def __init__(self, config, plan=None):
         self.config = config
+        # The checker policy's instrumentation plan owns what is
+        # *emitted* at each dereference site and how wide the
+        # per-pointer metadata is; the transform below owns the
+        # propagation mechanics.  Resolved through the policy registry
+        # unless the caller injects one (tests, ad-hoc plans).
+        if plan is None:
+            from ..policy.instrumentation import plan_for_config
+
+            plan = plan_for_config(config)
+        self.plan = plan
 
     # -- module level ------------------------------------------------------
 
@@ -97,7 +106,8 @@ class SoftBoundTransform:
 class _FunctionTransform:
     def __init__(self, parent, module, func):
         self.config = parent.config
-        self.temporal = bool(getattr(parent.config, "temporal", False))
+        self.plan = parent.plan
+        self.temporal = parent.plan.temporal
         self.module = module
         self.func = func
         self.meta = {}   # register uid -> (base Value, bound Value)
@@ -119,7 +129,7 @@ class _FunctionTransform:
         # cannot touch the table: the inline-metadata baselines
         # (fatptr_*) observe every store and must re-read.
         self._meta_cache = {}
-        self._meta_cache_enabled = self.config.variant in ("softbound", "mscc")
+        self._meta_cache_enabled = parent.plan.disjoint_metadata
 
     # -- definition-count prepass --------------------------------------------
 
@@ -270,21 +280,20 @@ class _FunctionTransform:
 
     # -- checks ------------------------------------------------------------------------
 
+    # Public aliases for the instrumentation plan: a plan's
+    # ``emit_access_checks`` resolves companion values through these and
+    # appends its check instruction(s) to ``self.out``.
+    def meta_of(self, value):
+        return self._meta_of(value)
+
+    def tmeta_of(self, value):
+        return self._tmeta_of(value)
+
     def _emit_check(self, addr_value, size, access_kind):
-        if access_kind == "load" and self.config.mode is CheckMode.STORE_ONLY:
-            return
-        base, bound = self._meta_of(addr_value)
-        self.out.append(ins.SbCheck(ptr=addr_value, base=base, bound=bound,
-                                    size=Const(size, I64), access_kind=access_kind))
-        if self.temporal:
-            # Emitted *after* the spatial check: a pointer reaching the
-            # temporal check has in-bounds (base, bound), so pointers
-            # without provenance (NULL bounds) trap spatially first and
-            # the temporal check never produces a false positive.
-            key, lock = self._tmeta_of(addr_value)
-            self.out.append(ins.SbTemporalCheck(ptr=addr_value, key=key,
-                                                lock=lock,
-                                                access_kind=access_kind))
+        """One dereference site: the policy's plan decides what checks
+        to emit (spatial, spatial+temporal, a plugin's own opcode) and
+        under which modes (store-only skips loads)."""
+        self.plan.emit_access_checks(self, addr_value, size, access_kind)
 
     # -- the pass ------------------------------------------------------------------------
 
@@ -428,21 +437,8 @@ class _FunctionTransform:
 
     def _visit_memcopy(self, instr):
         self._meta_cache_clear()  # the runtime copies table entries
-        if self.config.mode is CheckMode.FULL:
-            base, bound = self._meta_of(instr.src_addr)
-            self.out.append(ins.SbCheck(ptr=instr.src_addr, base=base, bound=bound,
-                                        size=Const(instr.size, I64), access_kind="load"))
-            if self.temporal:
-                key, lock = self._tmeta_of(instr.src_addr)
-                self.out.append(ins.SbTemporalCheck(ptr=instr.src_addr, key=key,
-                                                    lock=lock, access_kind="load"))
-        base, bound = self._meta_of(instr.dst_addr)
-        self.out.append(ins.SbCheck(ptr=instr.dst_addr, base=base, bound=bound,
-                                    size=Const(instr.size, I64), access_kind="store"))
-        if self.temporal:
-            key, lock = self._tmeta_of(instr.dst_addr)
-            self.out.append(ins.SbTemporalCheck(ptr=instr.dst_addr, key=key,
-                                                lock=lock, access_kind="store"))
+        self._emit_check(instr.src_addr, instr.size, "load")
+        self._emit_check(instr.dst_addr, instr.size, "store")
         self.out.append(instr)
 
     # -- calls and returns ------------------------------------------------------------------------

@@ -88,6 +88,20 @@ OP_COSTS = {
     "mudflap.lookup": 14,
 }
 
+def register_costs(mapping):
+    """Merge a checker policy's cost keys into :data:`OP_COSTS`
+    (:meth:`repro.policy.base.CheckerPolicy.cost_model`, applied at
+    policy registration).  Idempotent for identical re-registration;
+    re-pricing an existing key raises — the calibrated constants above
+    are documented in EXPERIMENTS.md and must not drift silently."""
+    for key, units in mapping.items():
+        existing = OP_COSTS.get(key)
+        if existing is not None and existing != units:
+            raise ValueError(f"cost key {key!r} already priced at "
+                             f"{existing}, refusing to re-price to {units}")
+        OP_COSTS[key] = units
+
+
 # Libc costs: (base, per_byte) pairs.
 LIBC_COSTS = {
     "strcpy": (6, 2),

@@ -255,6 +255,13 @@ def _build_sentinel(label):
 def _build_instr(instr, index, offsets, block):
     builder = _BUILDERS.get(instr.opcode)
     if builder is None:
+        # A policy opcode registered with only an interpreter handler
+        # still executes under this engine through the generic adapter.
+        from .dispatch import INTERP_HANDLERS, adapt_interp_handler
+
+        if instr.opcode in INTERP_HANDLERS:
+            return adapt_interp_handler(instr.opcode)(
+                instr, index, offsets, block)
         raise Trap(TrapKind.UNREACHABLE, f"no builder for opcode {instr.opcode}")
     return builder(instr, index, offsets, block)
 
@@ -2359,24 +2366,33 @@ def _build_check_temporal_check(check_instr, temporal_instr, index):
     return make
 
 
-_BUILDERS = {
-    "alloca": _build_alloca,
-    "load": _build_load,
-    "store": _build_store,
-    "binop": _build_binop,
-    "cmp": _build_cmp,
-    "gep": _build_gep,
-    "cast": _build_cast,
-    "mov": _build_mov,
-    "br": _build_br,
-    "cbr": _build_cbr,
-    "unreachable": _build_unreachable,
-    "memcopy": _build_memcopy,
-    "call": _build_call,
-    "ret": _build_ret,
-    "sb_check": _build_sb_check,
-    "sb_temporal_check": _build_sb_temporal_check,
-    "sb_meta_load": _build_sb_meta_load,
-    "sb_meta_store": _build_sb_meta_store,
-    "sb_meta_clear": _build_sb_meta_clear,
-}
+# The builder table is the *shared registry* from
+# :mod:`repro.vm.dispatch`: core builders register here at import, and
+# checker policies register their own opcodes' builders through the
+# same door.  An opcode registered with only an interpreter handler is
+# still executable — ``_build_instr`` adapts it generically.
+from .dispatch import ENGINE_BUILDERS as _BUILDERS, register_opcode
+
+for _opcode, _builder in (
+    ("alloca", _build_alloca),
+    ("load", _build_load),
+    ("store", _build_store),
+    ("binop", _build_binop),
+    ("cmp", _build_cmp),
+    ("gep", _build_gep),
+    ("cast", _build_cast),
+    ("mov", _build_mov),
+    ("br", _build_br),
+    ("cbr", _build_cbr),
+    ("unreachable", _build_unreachable),
+    ("memcopy", _build_memcopy),
+    ("call", _build_call),
+    ("ret", _build_ret),
+    ("sb_check", _build_sb_check),
+    ("sb_temporal_check", _build_sb_temporal_check),
+    ("sb_meta_load", _build_sb_meta_load),
+    ("sb_meta_store", _build_sb_meta_store),
+    ("sb_meta_clear", _build_sb_meta_clear),
+):
+    register_opcode(_opcode, builder=_builder)
+del _opcode, _builder

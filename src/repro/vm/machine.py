@@ -969,23 +969,33 @@ def _operand_type(a, b):
     return I64
 
 
-_DISPATCH = {
-    "alloca": Machine._exec_alloca,
-    "load": Machine._exec_load,
-    "store": Machine._exec_store,
-    "binop": Machine._exec_binop,
-    "cmp": Machine._exec_cmp,
-    "gep": Machine._exec_gep,
-    "cast": Machine._exec_cast,
-    "mov": Machine._exec_mov,
-    "br": Machine._exec_br,
-    "cbr": Machine._exec_cbr,
-    "unreachable": Machine._exec_unreachable,
-    "memcopy": Machine._exec_memcopy,
-    "call": Machine._exec_call,
-    "sb_check": Machine._exec_sb_check,
-    "sb_temporal_check": Machine._exec_sb_temporal_check,
-    "sb_meta_load": Machine._exec_sb_meta_load,
-    "sb_meta_store": Machine._exec_sb_meta_store,
-    "sb_meta_clear": Machine._exec_sb_meta_clear,
-}
+# The interpreter dispatch table is the *shared registry* from
+# :mod:`repro.vm.dispatch`: core opcodes register here at import, and
+# checker policies register additional opcodes through the same door
+# (:meth:`repro.policy.base.CheckerPolicy.register_vm_handlers`) — the
+# live dict means later registrations are dispatchable without
+# rebuilding any machine.
+from .dispatch import INTERP_HANDLERS as _DISPATCH, register_opcode
+
+for _opcode, _handler in (
+    ("alloca", Machine._exec_alloca),
+    ("load", Machine._exec_load),
+    ("store", Machine._exec_store),
+    ("binop", Machine._exec_binop),
+    ("cmp", Machine._exec_cmp),
+    ("gep", Machine._exec_gep),
+    ("cast", Machine._exec_cast),
+    ("mov", Machine._exec_mov),
+    ("br", Machine._exec_br),
+    ("cbr", Machine._exec_cbr),
+    ("unreachable", Machine._exec_unreachable),
+    ("memcopy", Machine._exec_memcopy),
+    ("call", Machine._exec_call),
+    ("sb_check", Machine._exec_sb_check),
+    ("sb_temporal_check", Machine._exec_sb_temporal_check),
+    ("sb_meta_load", Machine._exec_sb_meta_load),
+    ("sb_meta_store", Machine._exec_sb_meta_store),
+    ("sb_meta_clear", Machine._exec_sb_meta_clear),
+):
+    register_opcode(_opcode, interp=_handler)
+del _opcode, _handler

@@ -88,6 +88,49 @@ class TestTablesRideTheFacade:
                             and temporal.trap.kind
                             is TrapKind.TEMPORAL_VIOLATION)
 
+    def test_temporal_paper_block_is_policy_layer_invariant(self):
+        """The lock-and-key rows of the temporal table are produced
+        through the policy layer now; their content must still equal a
+        recomputation through the legacy shim for every attack, and any
+        extension-policy rows must render strictly *below* the paper
+        block (pre-existing output stays a byte-identical prefix)."""
+        from repro.harness.tables import render_temporal, temporal_matrix
+        from repro.softbound.config import TEMPORAL_SHADOW
+        from repro.vm.errors import TrapKind
+        from repro.workloads.temporal_attacks import TEMPORAL_ATTACKS
+
+        text = render_temporal()
+        paper_block = text.split("\n\nExtension policies")[0]
+        for name in TEMPORAL_ATTACKS:
+            assert any(line.startswith(name)
+                       for line in paper_block.splitlines())
+        for name, (_, _, detected) in temporal_matrix().items():
+            legacy = compile_and_run(TEMPORAL_ATTACKS[name].source,
+                                     softbound=TEMPORAL_SHADOW)
+            assert detected == (legacy.trap is not None
+                                and legacy.trap.kind
+                                is TrapKind.TEMPORAL_VIOLATION)
+
+    def test_capability_paper_rows_are_policy_layer_invariant(self):
+        """The paper's six Table 1 rows still match the pinned cells
+        with the policy layer underneath, and extension rows do not
+        leak into the paper block."""
+        from repro.baselines.capabilities import (
+            PAPER_TABLE1,
+            capability_matrix,
+        )
+
+        rows = capability_matrix(include_extensions=False)
+        assert [r.scheme for r in rows] == list(PAPER_TABLE1)
+        for row in rows:
+            assert (row.no_source_change, row.complete_subobject,
+                    row.layout_compatible, row.arbitrary_casts,
+                    row.dynamic_linking) == PAPER_TABLE1[row.scheme]
+        extended = capability_matrix()
+        assert [r.scheme for r in extended[:len(rows)]] \
+            == [r.scheme for r in rows]
+        assert any(r.scheme == "RedZone" for r in extended[len(rows):])
+
     def test_rendered_table_consumes_facade_memos(self):
         """`python -m repro tables temporal` output is produced from the
         same memoized facade results the detection matrix exposes."""

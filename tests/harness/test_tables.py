@@ -15,9 +15,19 @@ class TestTable1:
         text = tables.render_table1()
         for scheme in ("SafeC", "JKRLDA", "CCured", "MSCC", "SoftBound"):
             assert scheme in text
-        # SoftBound is the last data row.
-        data_lines = [l for l in text.splitlines() if l.strip()]
+        # SoftBound is the last data row of the *paper's* table; any
+        # registered policy extension rows live in a separate block
+        # below it so the paper block stays byte-stable.
+        paper_block = text.split("\n\n")[0]
+        data_lines = [l for l in paper_block.splitlines() if l.strip()]
         assert data_lines[-1].startswith("SoftBound")
+
+    def test_extension_policies_render_below_the_paper_block(self):
+        text = tables.render_table1()
+        assert "Extension policies (repro.policy)" in text
+        extension_block = text.split("\n\n")[1]
+        assert "RedZone" in extension_block
+        assert "SoftBound" not in extension_block
 
     def test_provenance_column_present(self):
         text = tables.render_table1()

@@ -1,0 +1,168 @@
+"""Policy conformance suite: every registered checker, one contract.
+
+Sweeps every policy in the registry (built-ins, the in-tree red-zone
+plugin, anything ``REPRO_PLUGINS`` pulled in) through the obligations
+the :class:`repro.policy.CheckerPolicy` interface makes:
+
+* **Transparency** — a clean workload runs to the same exit code and
+  output as the unprotected baseline (a checker may cost, never change,
+  a correct program).
+* **Detection** — one representative program per violation class; the
+  policy must detect exactly the classes its ``detects`` declaration
+  claims (both directions: an undeclared detection is a stale
+  declaration, a declared miss is a regression).
+* **Pickling** — the derived profile round-trips through pickle (batch
+  execution ships profiles to worker processes).
+* **Serial == parallel** — a ``Session.run_many`` batch over every
+  policy produces identical reports at ``jobs=1`` and ``jobs=2``.
+* **Cost accounting** — protected policies charge for their checking
+  (cost strictly above baseline; transform-based ones count checks),
+  the unprotected policy charges exactly baseline.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api import Session, as_profile
+from repro.policy import all_policies, get_policy
+
+CLEAN = r'''
+int main(void) {
+    int a[8];
+    long total = 0;
+    for (int i = 0; i < 8; i++) a[i] = i * 3;
+    for (int i = 0; i < 8; i++) total += a[i];
+    printf("total=%ld\n", total);
+    return 0;
+}
+'''
+
+#: One representative program per violation class.  Each runs silently
+#: (no trap) on the unprotected VM, so any trap is the checker's doing.
+DETECTION_PROGRAMS = {
+    "stack_overflow": r'''
+int main(void) {
+    char b[8];
+    strcpy(b, "0123456789abcdef");
+    return b[0] == '0';
+}
+''',
+    "heap_overflow": r'''
+int main(void) {
+    char *p = malloc(8);
+    int i;
+    for (i = 0; i < 12; i++) p[i] = 'x';
+    { int r = p[0] == 'x'; free(p); return r; }
+}
+''',
+    "subobject_overflow": r'''
+struct rec { char str[8]; long tail; };
+struct rec node;
+int main(void) {
+    node.tail = 7;
+    char *p = node.str;
+    strcpy(p, "overflow...");
+    return node.tail == 7;
+}
+''',
+    "use_after_free": r'''
+int main(void) {
+    int *p = malloc(32);
+    p[0] = 5;
+    free(p);
+    p[1] = 9;
+    return p[0];
+}
+''',
+    "double_free": r'''
+int main(void) {
+    char *p = malloc(16);
+    free(p);
+    free(p);
+    return 0;
+}
+''',
+    "dangling_stack": r'''
+int *leak(void) { int x = 3; return &x; }
+int main(void) { int *p = leak(); return *p; }
+''',
+}
+
+POLICIES = all_policies()
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+@pytest.fixture(scope="module")
+def baseline(session):
+    return session.run(CLEAN, profile="none")
+
+
+def _ids(policy):
+    return policy.name
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=_ids)
+class TestConformance:
+    def test_clean_workload_transparency(self, policy, session, baseline):
+        report = session.run(CLEAN, profile=policy.name)
+        assert report.trap is None, \
+            f"{policy.name} false-positived on a clean workload: {report.trap}"
+        assert report.exit_code == baseline.exit_code
+        assert report.output == baseline.output
+
+    def test_detection_matrix(self, policy, session):
+        known = set(DETECTION_PROGRAMS)
+        assert policy.detects <= known, \
+            f"{policy.name} declares unknown classes: {policy.detects - known}"
+        for cls, source in DETECTION_PROGRAMS.items():
+            report = session.run(source, profile=policy.name, name=cls)
+            if cls in policy.detects:
+                assert report.detected_violation, \
+                    f"{policy.name} declares {cls} but missed it " \
+                    f"(trap={report.trap})"
+            else:
+                assert not report.detected_violation, \
+                    f"{policy.name} detected {cls} but does not declare " \
+                    f"it (trap={report.trap}); update its `detects`"
+
+    def test_profile_pickles(self, policy):
+        profile = as_profile(policy.name)
+        clone = pickle.loads(pickle.dumps(profile))
+        assert clone == profile
+        # The policy itself stays resolvable in a fresh process by name.
+        assert get_policy(policy.name) is policy
+
+    def test_cost_accounting(self, policy, session, baseline):
+        report = session.run(CLEAN, profile=policy.name)
+        if not policy.is_protected:
+            assert report.stats.cost == baseline.stats.cost
+            return
+        assert report.stats.cost > baseline.stats.cost, \
+            f"{policy.name} is protected but charged nothing"
+        if policy.config is not None:
+            assert report.stats.checks + report.stats.temporal_checks > 0
+        if policy.meta_arity > 2:
+            assert report.stats.temporal_checks > 0
+
+
+class TestSerialEqualsParallel:
+    def test_batch_identical_across_jobs(self):
+        """One batch over every registered policy: the parallel fan-out
+        must be indistinguishable from the serial loop (wallclock
+        aside) — this is what makes profiles safe to ship to worker
+        processes."""
+        items = [(policy.name, CLEAN, policy.name) for policy in POLICIES]
+        serial = Session(jobs=1).run_many(items, jobs=1)
+        parallel = Session(jobs=2).run_many(items, jobs=2)
+        assert list(serial.reports) == list(parallel.reports)
+        for name in serial.reports:
+            a, b = serial.reports[name], parallel.reports[name]
+            assert (a.exit_code, a.output, str(a.trap), a.stats.cost,
+                    a.stats.checks, a.stats.temporal_checks) == \
+                   (b.exit_code, b.output, str(b.trap), b.stats.cost,
+                    b.stats.checks, b.stats.temporal_checks)
