@@ -27,6 +27,14 @@
    appear in ``python -m repro profiles --json`` in a fresh process,
    and the rendered capability matrix must include the red-zone
    plugin's extension row.
+7. Fuzz-smoke leg: a time-boxed differential fuzzing campaign
+   (``python -m repro fuzz run``) with the chaos drill on — the
+   robustness layer must turn an injected hang into a timeout verdict
+   and heal an injected worker kill and an infra flake by retrying —
+   and every clean/mutated seed must judge clean (any discrepancy or
+   infra failure fails CI).  Then a campaign with the deliberately
+   broken ``fuzz-bad`` policy loaded must exit 1, having found the
+   seeded missed detection and emitted a *minimized* reproducer.
 
 The wall-clock gate compares the speedup *ratio* — not absolute
 seconds — so it is stable across machines of different absolute speed;
@@ -35,6 +43,7 @@ the opt gate compares cost-model units, which are host-independent.
 Usage:  python scripts/ci.py [--skip-tests]
         python scripts/ci.py --api-smoke     # only the api-smoke leg
         python scripts/ci.py --policy-smoke  # only the policy-smoke leg
+        python scripts/ci.py --fuzz-smoke    # only the fuzz-smoke leg
 """
 
 import os
@@ -309,7 +318,103 @@ def run_policy_smoke():
     return 0
 
 
+#: Wallclock budget for the fuzz-smoke clean campaign (seconds).
+FUZZ_SMOKE_BUDGET = 60.0
+
+
+def _tail_json(text):
+    """The trailing JSON document of mixed log+JSON stdout."""
+    import json
+
+    index = text.rfind("\n{")
+    return json.loads(text[index + 1:] if index >= 0 else text)
+
+
+def run_fuzz_smoke():
+    import json
+    import tempfile
+
+    print("\n== fuzz-smoke (differential campaign + chaos drill) ==",
+          flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + (":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""))
+    env.pop("REPRO_PLUGINS", None)
+
+    # 1. Clean campaign, chaos drill on, hard time-box: every seed must
+    # judge clean while the robustness layer absorbs an injected hang,
+    # a worker SIGKILL and an infra flake.
+    with tempfile.TemporaryDirectory(prefix="fuzz-smoke-") as scratch:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fuzz", "run",
+             "--corpus", os.path.join(scratch, "clean"),
+             "--seeds", "2", "--quick", "--chaos",
+             "--time-budget", str(FUZZ_SMOKE_BUDGET), "--json"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=FUZZ_SMOKE_BUDGET * 4)
+        if proc.returncode != 0:
+            print(proc.stdout[-4000:])
+            print(proc.stderr[-2000:])
+            print("FUZZ SMOKE FAILURE: clean campaign found "
+                  "discrepancies (or chaos drill failed)")
+            return 1
+        payload = _tail_json(proc.stdout)
+        if payload["chaos"].get("failed") or \
+                payload["chaos"].get("verdicts") != ["timeout", "ok",
+                                                     "ok", "ok"]:
+            print(f"FUZZ SMOKE FAILURE: chaos drill verdicts wrong: "
+                  f"{payload['chaos']}")
+            return 1
+        if payload["judged"] == 0:
+            print("FUZZ SMOKE FAILURE: campaign judged no seeds inside "
+                  "the time budget")
+            return 1
+        print(f"  clean campaign ok: {payload['judged']} seeds judged "
+              f"in {payload['elapsed']}s, chaos drill survived "
+              f"hang/kill/flake")
+
+        # 2. Seeded known-bad policy: the campaign must find the missed
+        # detection and minimize it.
+        bad_env = dict(env)
+        bad_env["REPRO_PLUGINS"] = "repro.fuzz.badpolicy"
+        bad_corpus = os.path.join(scratch, "bad")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fuzz", "run",
+             "--corpus", bad_corpus, "--seeds", "1", "--start-seed", "1",
+             "--quick", "--policies", "none,spatial,fuzz-bad", "--json"],
+            cwd=REPO_ROOT, env=bad_env, capture_output=True, text=True,
+            timeout=FUZZ_SMOKE_BUDGET * 4)
+        if proc.returncode != 1:
+            print(proc.stdout[-4000:])
+            print(proc.stderr[-2000:])
+            print(f"FUZZ SMOKE FAILURE: bad-policy campaign exited "
+                  f"{proc.returncode}, expected 1 (seeded bug not found)")
+            return 1
+        payload = _tail_json(proc.stdout)
+        if not payload["findings"]:
+            print("FUZZ SMOKE FAILURE: seeded missed detection produced "
+                  "no finding")
+            return 1
+        with open(os.path.join(payload["findings"][0],
+                               "case.json")) as handle:
+            case = json.load(handle)
+        if (case["kind"] != "missed_detection"
+                or case["policy"] != "fuzz-bad"
+                or not case["reproduced"]
+                or case["minimized_lines"] >= case["original_lines"]):
+            print(f"FUZZ SMOKE FAILURE: finding not minimized as "
+                  f"expected: {case}")
+            return 1
+        print(f"  seeded bug found and minimized: {case['id']} "
+              f"({case['original_lines']} -> {case['minimized_lines']} "
+              f"lines)")
+    print("fuzz-smoke ok")
+    return 0
+
+
 def main(argv):
+    if "--fuzz-smoke" in argv:
+        return run_fuzz_smoke()
     if "--policy-smoke" in argv:
         return run_policy_smoke()
     if "--api-smoke" in argv:
@@ -330,7 +435,10 @@ def main(argv):
     code = run_api_smoke()
     if code != 0:
         return code
-    return run_policy_smoke()
+    code = run_policy_smoke()
+    if code != 0:
+        return code
+    return run_fuzz_smoke()
 
 
 if __name__ == "__main__":

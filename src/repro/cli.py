@@ -159,6 +159,10 @@ def build_parser():
     bench_parser.add_argument("--output", metavar="PATH", default=None,
                               help="also record the JSON report at PATH "
                                    "(e.g. BENCH_interp.json)")
+
+    from .fuzz.cli import add_fuzz_parser
+
+    add_fuzz_parser(sub)
     return parser
 
 
@@ -398,6 +402,10 @@ def main(argv=None, stdout=None, stderr=None):
         return _render_tables(args.name, stdout, jobs=args.jobs)
     if args.command == "bench":
         return _run_bench(args, stdout)
+    if args.command == "fuzz":
+        from .fuzz.cli import run_fuzz
+
+        return run_fuzz(args, stdout, stderr)
 
     sources = []
     for path in args.file:

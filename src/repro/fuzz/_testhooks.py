@@ -1,0 +1,54 @@
+"""Fault-injection hooks for exercising the robustness layer.
+
+These run *inside* pool workers (addressed by ``module:function`` task
+paths) and simulate the failure modes the campaign must survive: a hung
+task, a worker killed out from under the pool, and an infra flake that
+heals on retry.  Used by ``tests/fuzz`` and the chaos legs of
+``python -m repro fuzz run --chaos`` / ``scripts/ci.py --fuzz-smoke``.
+"""
+
+import os
+import signal
+import time
+
+
+def echo(value):
+    """Round-trip check."""
+    return value
+
+
+def hang(seconds=3600.0):
+    """Simulate a wedged task: sleep far past any sane deadline."""
+    time.sleep(seconds)
+    return "woke"
+
+
+def kill_self():
+    """Simulate a segfaulting/OOM-killed worker: die without a reply."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def kill_self_once(marker_path):
+    """Die the first time, succeed on the retry — the infra-flake shape
+    the requeue-once policy exists for."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "recovered"
+
+
+def flaky_once(marker_path):
+    """Raise in-band the first time, succeed on the retry."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write(str(os.getpid()))
+        raise RuntimeError("injected flake (first attempt)")
+    return "recovered"
+
+
+def write_pid(path):
+    """Report the worker's pid so a test can SIGKILL it externally."""
+    with open(path, "w") as handle:
+        handle.write(str(os.getpid()))
+    return os.getpid()

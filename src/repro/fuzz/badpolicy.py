@@ -1,0 +1,30 @@
+"""A deliberately broken checker policy for exercising the campaign.
+
+``fuzz-bad`` *declares* that it detects heap overflows but installs no
+instrumentation and no observers — the canonical "checker with a silent
+hole" the differential oracle exists to catch.  Loading it and fuzzing
+must produce ``missed_detection`` findings on every ``heap_overflow``
+seed, and the campaign must minimize one; ``scripts/ci.py --fuzz-smoke``
+asserts exactly that.
+
+Never list this module in a default environment: the conformance suite
+(rightly) fails any registered policy whose ``detects`` declaration is
+a lie.  It is loaded only on demand, via::
+
+    REPRO_PLUGINS=repro.fuzz.badpolicy python -m repro fuzz run ...
+"""
+
+from ..policy import CheckerPolicy, register_policy
+
+
+class FuzzBadPolicy(CheckerPolicy):
+    name = "fuzz-bad"
+    description = ("intentionally broken: declares heap_overflow "
+                   "detection, checks nothing (fuzz-smoke fixture)")
+    family = "plugin"
+    config = None
+    observer_factory = None
+    detects = frozenset({"heap_overflow"})
+
+
+register_policy(FuzzBadPolicy)

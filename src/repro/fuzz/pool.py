@@ -1,0 +1,309 @@
+"""Crash-isolated worker pool: the campaign's robustness layer.
+
+``ProcessPoolExecutor`` shares one result pipe across workers, which
+makes "this exact task hung/died" unattributable.  The fuzzing campaign
+needs that attribution — a generated program that wedges or kills its
+interpreter must become a per-task ``TIMEOUT``/``CRASH`` verdict, not a
+wedged campaign — so this pool runs one task at a time per worker over
+private pipes:
+
+* each worker is a ``python -m repro.fuzz.worker`` subprocess speaking
+  length-prefixed pickle frames on stdin/stdout (its own ``sys.stdout``
+  is re-routed to stderr so stray prints can never corrupt framing);
+* every task has a wallclock deadline; a worker that misses it is
+  SIGKILLed and the task records ``timeout`` (hung programs also burn
+  the VM instruction budget first, which is much cheaper — the
+  wallclock deadline is the backstop for hangs outside the VM);
+* a worker that dies mid-task (segfault, OOM kill, ``kill -9``) is
+  detected by pipe EOF; the task is requeued once with backoff (the
+  infra-flake heal) and records ``crash`` if it kills its worker again;
+* in-band worker exceptions (anything the task function did not catch)
+  are likewise retried once, then record ``error`` carrying the
+  exception.
+
+Workers are respawned on demand, so one poisonous task never takes the
+pool down; results are index-aligned with the submitted tasks.
+"""
+
+import os
+import pickle
+import select
+import struct
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+
+_HEADER = struct.Struct(">Q")
+
+#: Statuses a task outcome can carry.
+OK = "ok"
+TIMEOUT = "timeout"
+CRASH = "crash"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """One unit of isolated work: ``call`` is a ``module:function``
+    path resolved inside the worker; args/kwargs must be picklable."""
+
+    call: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    #: Per-task wallclock deadline override (seconds), else pool default.
+    timeout: float = None
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task, with the robustness verdicts
+    first-class: ``ok``/``timeout``/``crash``/``error``."""
+
+    status: str
+    value: object = None
+    #: The worker-side exception (or a string describing the failure).
+    error: object = None
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def ok(self):
+        return self.status == OK
+
+
+def write_frame(stream, payload):
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_HEADER.pack(len(blob)) + blob)
+    stream.flush()
+
+
+class _WorkerDied(Exception):
+    pass
+
+
+class _Deadline(Exception):
+    pass
+
+
+class _Worker:
+    """One subprocess + its read buffer.  Not thread-safe; owned by a
+    single pool thread."""
+
+    def __init__(self, cmd, env):
+        self.proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, env=env, close_fds=True)
+        self._buffer = bytearray()
+
+    @property
+    def alive(self):
+        return self.proc.poll() is None
+
+    def kill(self):
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        try:
+            self.proc.wait(timeout=5)
+        except Exception:
+            pass
+
+    def send(self, payload):
+        try:
+            write_frame(self.proc.stdin, payload)
+        except (BrokenPipeError, OSError):
+            raise _WorkerDied from None
+
+    def _read_exact(self, count, deadline):
+        fd = self.proc.stdout.fileno()
+        while len(self._buffer) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _Deadline
+            ready, _, _ = select.select([fd], [], [], remaining)
+            if not ready:
+                raise _Deadline
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                raise _WorkerDied
+            self._buffer += chunk
+        blob = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return blob
+
+    def receive(self, deadline):
+        (length,) = _HEADER.unpack(self._read_exact(_HEADER.size, deadline))
+        return pickle.loads(self._read_exact(length, deadline))
+
+
+def default_worker_command():
+    return [sys.executable, "-m", "repro.fuzz.worker"]
+
+
+class IsolatedPool:
+    """A fixed-size pool of crash-isolated workers.
+
+    ``run(tasks)`` executes :class:`PoolTask`\\ s (or bare
+    ``(call, args)`` tuples) and returns index-aligned
+    :class:`TaskOutcome`\\ s; the pool survives — and attributes —
+    hangs, worker deaths and worker exceptions.  Workers stay warm
+    across ``run`` calls; use as a context manager to close them.
+    """
+
+    def __init__(self, jobs=2, task_timeout=30.0, retries=1, backoff=0.1,
+                 worker_cmd=None, env=None):
+        self.jobs = max(int(jobs), 1)
+        self.task_timeout = task_timeout
+        self.retries = max(int(retries), 0)
+        self.backoff = backoff
+        self._cmd = list(worker_cmd) if worker_cmd else default_worker_command()
+        self._env = dict(env) if env is not None else self._default_env()
+        self._workers = [None] * self.jobs
+        self._closed = False
+
+    @staticmethod
+    def _default_env():
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        existing = env.get("PYTHONPATH")
+        if not existing:
+            env["PYTHONPATH"] = src_root
+        elif src_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = src_root + os.pathsep + existing
+        return env
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def close(self):
+        self._closed = True
+        for slot, worker in enumerate(self._workers):
+            if worker is not None:
+                worker.kill()
+                self._workers[slot] = None
+
+    # -- execution -----------------------------------------------------
+
+    @staticmethod
+    def _as_task(item):
+        if isinstance(item, PoolTask):
+            return item
+        if isinstance(item, dict):
+            return PoolTask(**item)
+        return PoolTask(*item)
+
+    def run(self, tasks):
+        """Execute ``tasks``; returns index-aligned
+        :class:`TaskOutcome`\\ s.  Never raises for task-level failures
+        — those are statuses."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        tasks = [self._as_task(item) for item in tasks]
+        outcomes = [None] * len(tasks)
+        if not tasks:
+            return outcomes
+        queue = Queue()
+        for index, task in enumerate(tasks):
+            queue.put((index, task, 0))
+        done = threading.Semaphore(0)
+        remaining = [len(tasks)]
+        lock = threading.Lock()
+
+        def finish(index, outcome):
+            outcomes[index] = outcome
+            with lock:
+                remaining[0] -= 1
+            done.release()
+
+        def requeue(index, task, attempt):
+            time.sleep(self.backoff * (attempt + 1))
+            queue.put((index, task, attempt + 1))
+
+        threads = [
+            threading.Thread(target=self._drain, name=f"fuzz-pool-{slot}",
+                             args=(slot, queue, finish, requeue),
+                             daemon=True)
+            for slot in range(min(self.jobs, len(tasks)))
+        ]
+        for thread in threads:
+            thread.start()
+        while remaining[0] > 0:
+            done.acquire()
+        # Unblock and retire the drain threads.
+        for _ in threads:
+            queue.put(None)
+        for thread in threads:
+            thread.join(timeout=5)
+        return outcomes
+
+    def _worker_for(self, slot):
+        worker = self._workers[slot]
+        if worker is None or not worker.alive:
+            worker = _Worker(self._cmd, self._env)
+            self._workers[slot] = worker
+        return worker
+
+    def _retire(self, slot):
+        worker = self._workers[slot]
+        if worker is not None:
+            worker.kill()
+        self._workers[slot] = None
+
+    def _drain(self, slot, queue, finish, requeue):
+        while True:
+            try:
+                item = queue.get(timeout=1.0)
+            except Empty:
+                continue
+            if item is None:
+                return
+            index, task, attempt = item
+            started = time.monotonic()
+            timeout = task.timeout if task.timeout is not None \
+                else self.task_timeout
+            deadline = started + timeout
+            try:
+                worker = self._worker_for(slot)
+                worker.send((index, task.call, task.args, task.kwargs))
+                reply_id, status, payload = worker.receive(deadline)
+                while reply_id != index:  # stale reply from a past task
+                    reply_id, status, payload = worker.receive(deadline)
+            except _Deadline:
+                self._retire(slot)
+                finish(index, TaskOutcome(
+                    TIMEOUT, error=f"no result within {timeout:.1f}s "
+                                   f"(worker killed)",
+                    attempts=attempt + 1,
+                    elapsed=time.monotonic() - started))
+                continue
+            except _WorkerDied:
+                self._retire(slot)
+                if attempt < self.retries:
+                    requeue(index, task, attempt)
+                else:
+                    finish(index, TaskOutcome(
+                        CRASH, error="worker process died",
+                        attempts=attempt + 1,
+                        elapsed=time.monotonic() - started))
+                continue
+            elapsed = time.monotonic() - started
+            if status == "ok":
+                finish(index, TaskOutcome(OK, value=payload,
+                                          attempts=attempt + 1,
+                                          elapsed=elapsed))
+            elif attempt < self.retries:
+                requeue(index, task, attempt)
+            else:
+                finish(index, TaskOutcome(ERROR, error=payload,
+                                          attempts=attempt + 1,
+                                          elapsed=elapsed))

@@ -1,0 +1,86 @@
+"""Worker-process entry point: ``python -m repro.fuzz.worker``.
+
+Speaks the :mod:`repro.fuzz.pool` frame protocol: reads
+``(task_id, call, args, kwargs)`` pickle frames from stdin, resolves
+``call`` (a ``module:function`` path), and writes
+``(task_id, "ok"|"error", payload)`` frames to the *original* stdout.
+``sys.stdout`` itself is re-routed onto stderr before any task runs, so
+nothing a task prints can corrupt the framing.
+
+Exceptions a task function lets escape are pickled and returned
+in-band; only process death (the parent sees pipe EOF) or a missed
+deadline (the parent kills us) are out-of-band failures.
+"""
+
+import importlib
+import os
+import pickle
+import struct
+import sys
+
+_HEADER = struct.Struct(">Q")
+
+
+def _resolve(path):
+    module_name, _, attr = path.partition(":")
+    if not attr:
+        raise ValueError(f"task call {path!r} is not 'module:function'")
+    obj = importlib.import_module(module_name)
+    for part in attr.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _read_exact(stream, count):
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = stream.read(count - len(chunks))
+        if not chunk:
+            return None
+        chunks += chunk
+    return bytes(chunks)
+
+
+def _picklable_error(error):
+    try:
+        pickle.dumps(error)
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+def main():
+    stdin = sys.stdin.buffer
+    # Claim the frame channel, then point fd 1 (and sys.stdout) at
+    # stderr so stray prints from task code go somewhere harmless.
+    frames = os.fdopen(os.dup(sys.stdout.fileno()), "wb")
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    sys.stdout = sys.stderr
+
+    while True:
+        header = _read_exact(stdin, _HEADER.size)
+        if header is None:
+            return 0
+        (length,) = _HEADER.unpack(header)
+        blob = _read_exact(stdin, length)
+        if blob is None:
+            return 0
+        task_id, call, args, kwargs = pickle.loads(blob)
+        try:
+            value = _resolve(call)(*args, **kwargs)
+            reply = (task_id, "ok", value)
+        except BaseException as error:  # noqa: BLE001 — isolation boundary
+            reply = (task_id, "error", _picklable_error(error))
+        try:
+            payload = pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:
+            payload = pickle.dumps(
+                (task_id, "error",
+                 RuntimeError(f"unpicklable task result: {error}")),
+                protocol=pickle.HIGHEST_PROTOCOL)
+        frames.write(_HEADER.pack(len(payload)) + payload)
+        frames.flush()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,9 +20,46 @@ run:
 
 Task kinds are dispatched by :func:`execute_task`; the table renderers'
 cache-seeding lives in :mod:`repro.harness.tables` (``prewarm``).
+
+Robustness: ``run_tasks`` used to inherit ``Executor.map``'s failure
+mode — a worker that hangs blocks forever, and a worker killed by the
+OS (OOM, ``kill -9``) poisons the whole pool.  It now waits on each
+task with a wallclock deadline, rebuilds the pool when a task times out
+or a worker dies, requeues the interrupted tasks (each task is charged
+at most ``retries`` extra attempts), and raises
+:class:`ParallelTaskError` naming the tasks that still failed instead
+of wedging or dying with a bare ``BrokenProcessPool``.
 """
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError
+from concurrent.futures.process import BrokenProcessPool
+
+#: Per-task wallclock deadline for pool fan-out; generous because
+#: matrix tasks compile + simulate whole benchmarks.  Override with
+#: ``REPRO_TASK_TIMEOUT`` (seconds) or the ``task_timeout`` argument.
+DEFAULT_TASK_TIMEOUT = 600.0
+
+
+class ParallelTaskError(RuntimeError):
+    """Raised when tasks still fail after the requeue budget.
+
+    ``failures`` is a list of ``(index, task, reason)`` tuples — the
+    position in the submitted task list, the task descriptor, and a
+    string (or exception) saying what happened on the final attempt.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        summary = "; ".join(
+            f"task[{index}] {task[0] if isinstance(task, tuple) else task}: "
+            f"{reason}" for index, task, reason in self.failures[:5])
+        extra = len(self.failures) - 5
+        if extra > 0:
+            summary += f"; (+{extra} more)"
+        super().__init__(
+            f"{len(self.failures)} parallel task(s) failed after "
+            f"retry: {summary}")
 
 
 def resolve_jobs(jobs=None):
@@ -51,6 +88,16 @@ def execute_task(task):
       :meth:`repro.api.Session.run_many` batch item)
     """
     kind = task[0]
+    if kind == "py":
+        # ("py", "module:attr", *args) — a generic picklable call, for
+        # tooling and the robustness tests (hooks must be importable).
+        import importlib
+
+        module_name, _, attr = task[1].partition(":")
+        target = importlib.import_module(module_name)
+        for part in attr.split("."):
+            target = getattr(target, part)
+        return target(*task[2:])
     if kind == "api_run":
         from ..api.session import execute_run_request
 
@@ -78,12 +125,101 @@ def execute_task(task):
     raise ValueError(f"unknown task kind {kind!r}")
 
 
-def run_tasks(tasks, jobs):
+def _kill_pool(pool):
+    """Tear a (possibly broken) executor down hard: SIGKILL any live
+    workers, drop queued work.  Gated — executor internals differ
+    across versions and a cleanup path must never raise."""
+    try:
+        for process in list((pool._processes or {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+    except Exception:
+        pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def run_tasks(tasks, jobs, task_timeout=None, retries=1):
     """Execute ``tasks``, fanning out over ``jobs`` processes; the
-    result list is index-aligned with ``tasks`` (deterministic order)."""
+    result list is index-aligned with ``tasks`` (deterministic order).
+
+    Each task is waited on with a wallclock deadline (``task_timeout``,
+    ``REPRO_TASK_TIMEOUT``, or :data:`DEFAULT_TASK_TIMEOUT`).  A task
+    that times out, crashes its worker, or raises is retried up to
+    ``retries`` times in a fresh pool (tasks merely interrupted by a
+    neighbour's failure are requeued without being charged); tasks
+    still failing raise :class:`ParallelTaskError` listing every
+    failure.  Serial execution (``jobs <= 1``) is untouched — failures
+    propagate raw, timeouts don't apply.
+    """
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
         return [execute_task(task) for task in tasks]
-    workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute_task, tasks))
+    if task_timeout is None:
+        task_timeout = float(os.environ.get("REPRO_TASK_TIMEOUT",
+                                            DEFAULT_TASK_TIMEOUT))
+    sentinel = object()
+    results = [sentinel] * len(tasks)
+    attempts = [0] * len(tasks)
+    failures = {}
+    pending = list(enumerate(tasks))
+    while pending:
+        workers = min(jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = [(index, task, pool.submit(execute_task, task))
+                   for index, task in pending]
+        pending = []
+        broken = False
+        for index, task, future in futures:
+            if broken:
+                # The pool is gone; everything not already finished
+                # goes back in the queue (uncharged unless it failed).
+                if (future.done() and not future.cancelled()
+                        and future.exception() is None):
+                    results[index] = future.result()
+                else:
+                    error = (future.exception()
+                             if future.done() and not future.cancelled()
+                             else None)
+                    if error is not None and not isinstance(
+                            error, BrokenProcessPool):
+                        _charge(index, task, error, attempts, retries,
+                                pending, failures)
+                    else:
+                        pending.append((index, task))
+                continue
+            try:
+                results[index] = future.result(timeout=task_timeout)
+            except TimeoutError:
+                broken = True
+                _kill_pool(pool)
+                _charge(index, task,
+                        f"no result within {task_timeout:.0f}s",
+                        attempts, retries, pending, failures)
+            except BrokenProcessPool:
+                broken = True
+                _kill_pool(pool)
+                _charge(index, task, "worker process died",
+                        attempts, retries, pending, failures)
+            except Exception as error:  # task-level failure, pool fine
+                _charge(index, task, error, attempts, retries,
+                        pending, failures)
+        if not broken:
+            pool.shutdown(wait=True)
+    if failures:
+        raise ParallelTaskError(sorted(failures.values()))
+    return results
+
+
+def _charge(index, task, reason, attempts, retries, pending, failures):
+    """One failed attempt for ``task``: requeue while budget remains,
+    else record the failure."""
+    attempts[index] += 1
+    if attempts[index] <= retries:
+        pending.append((index, task))
+    else:
+        failures[index] = (index, task, reason)

@@ -19,9 +19,28 @@ Every program accumulates its observable behaviour into a single
 checksum returned from ``main`` (masked to 0..199 so it never collides
 with trap-reporting exit conventions), so a single integer comparison
 witnesses semantic equality.
+
+Attack-seeded mutation
+----------------------
+
+:func:`generate_mutated` takes a clean program and injects exactly one
+*defect* — spatial (off-by-one index, sub-object overflow, wild
+pointer, heap off-by-one) or temporal (use-after-free, double free,
+dangling stack pointer) — recording the expected violation class so a
+differential oracle knows detection ground truth.  Each defect template
+mirrors the proven shapes of the policy-conformance representatives
+(``tests/policy/test_conformance.py``): the faulting access is a write
+that leaves its object (or, for sub-object overflows, its field),
+injected at the end of the statement list so it is the last allocation
+in ``main``'s frame — one-past lands in frame padding or the saved-FP
+slot, never inside a neighbouring live object, which keeps the
+object-granularity baselines' detection contract exact.  Defect-local
+names carry a ``fz`` prefix and are never folded into the checksum, so
+the surviving clean prefix stays transparent under every checker.
 """
 
 import random
+from collections import OrderedDict
 
 _CHECK_MASK = 200
 
@@ -40,20 +59,64 @@ class _Scope:
 
 
 class RandomProgram:
-    """One generated program: C ``source`` plus generation metadata."""
+    """One generated program: C ``source`` plus generation metadata.
 
-    def __init__(self, source, seed, statement_count):
+    ``helpers``/``body_lines``/``fold_lines`` are the assembly parts the
+    mutation layer splices defects into; ``source`` is always their
+    canonical assembly (byte-identical to the historical format).
+    """
+
+    def __init__(self, source, seed, statement_count, helpers=(),
+                 body_lines=(), fold_lines=()):
         self.source = source
         self.seed = seed
         self.statement_count = statement_count
+        self.helpers = tuple(helpers)
+        self.body_lines = tuple(body_lines)
+        self.fold_lines = tuple(fold_lines)
 
     def __repr__(self):
         return f"RandomProgram(seed={self.seed}, statements={self.statement_count})"
 
 
+class MutatedProgram(RandomProgram):
+    """A clean program with exactly one injected memory-safety defect.
+
+    ``expected_class`` is the violation class (the vocabulary of
+    ``CheckerPolicy.detects``) the defect is guaranteed to exercise —
+    the detection ground truth a differential oracle asserts against.
+    """
+
+    def __init__(self, source, seed, statement_count, defect,
+                 expected_class, description, base_source):
+        super().__init__(source, seed, statement_count)
+        self.defect = defect
+        self.expected_class = expected_class
+        self.description = description
+        self.base_source = base_source
+
+    def __repr__(self):
+        return (f"MutatedProgram(seed={self.seed}, defect={self.defect!r}, "
+                f"expects={self.expected_class!r})")
+
+
 def generate(seed, max_statements=14):
     """Generate a safe program from ``seed``.  Deterministic."""
     return _Builder(random.Random(seed), seed, max_statements).build()
+
+
+def _assemble(helpers, lines, extra_decls=()):
+    """Canonical program assembly shared by clean and mutated builds."""
+    helper_text = "\n\n".join(tuple(helpers) + tuple(extra_decls))
+    return (
+        "struct pair { int a; int b; int tail[4]; };\n\n"
+        + (helper_text + "\n\n" if helper_text else "")
+        + "int main(void) {\n"
+        + "    int check = 1;\n"
+        + "\n".join(lines) + "\n"
+        + f"    return check % {_CHECK_MASK};\n"
+        + "}\n"
+    )
 
 
 class _Builder:
@@ -266,6 +329,7 @@ class _Builder:
         for _ in range(count):
             rng.choice(population)()
             self.statements += 1
+        body_end = len(self.lines)
         # Fold every live value into the checksum so differences anywhere
         # in the program state become observable.
         for name in self.scope.ints:
@@ -277,15 +341,168 @@ class _Builder:
         for name in self.scope.structs:
             self._emit(f"check = (check + {name}.a + {name}.b + {name}.tail[3]) & 0xffff;")
 
-        body = "\n".join(self.lines)
-        helpers = "\n\n".join(self.helpers)
-        source = (
-            "struct pair { int a; int b; int tail[4]; };\n\n"
-            + (helpers + "\n\n" if helpers else "")
-            + "int main(void) {\n"
-            + "    int check = 1;\n"
-            + body + "\n"
-            + f"    return check % {_CHECK_MASK};\n"
-            + "}\n"
-        )
-        return RandomProgram(source, self.seed, self.statements)
+        source = _assemble(self.helpers, self.lines)
+        return RandomProgram(source, self.seed, self.statements,
+                             helpers=self.helpers,
+                             body_lines=self.lines[:body_end],
+                             fold_lines=self.lines[body_end:])
+
+
+# -- attack-seeded mutation --------------------------------------------------
+#
+# Each defect builder returns (lines, extra_decls, expected_class,
+# description).  The lines are injected between the clean statements and
+# the checksum folds; extra_decls (struct types, leaking helpers) join
+# the helper section.  Defect locals are declared *last* in main, so an
+# off-the-end write lands in frame padding or the saved-FP slot — never
+# inside another live object — keeping the object-granularity baselines'
+# detection behaviour identical to the conformance representatives.
+
+_I = "    "  # one indent level inside main
+
+
+def _defect_off_by_one_index(rng):
+    """Spatial: classic ``<=``-style one-past write on a stack array."""
+    length = rng.randint(2, 5)
+    lines = [f"{_I}int fzarr[{length}];"]
+    lines += [f"{_I}fzarr[{i}] = {rng.randint(0, 40)};" for i in range(length)]
+    lines.append(f"{_I}fzarr[{length}] = {rng.randint(1, 99)};")
+    return (lines, (), "stack_overflow",
+            f"off-by-one write at index {length} of a {length}-int "
+            f"stack array")
+
+
+def _defect_heap_off_by_one(rng):
+    """Spatial: loop walking one element past a heap allocation."""
+    length = rng.randint(2, 6)
+    lines = [
+        f"{_I}int *fzh = (int *)malloc({length} * sizeof(int));",
+        f"{_I}for (int fzi = 0; fzi <= {length}; fzi++) "
+        f"fzh[fzi] = fzi + {rng.randint(0, 30)};",
+    ]
+    return (lines, (), "heap_overflow",
+            f"<= loop writing one past a {length}-int heap block")
+
+
+def _defect_subobject_overflow(rng):
+    """Spatial: strcpy overrunning a struct field but staying inside
+    the object — visible only to sub-object-accurate bounds."""
+    text = "".join(rng.choice("abcdefgh") for _ in range(rng.randint(9, 11)))
+    decl = "struct fz_rec { char str[8]; long tail; };\nstruct fz_rec fz_node;"
+    lines = [
+        f"{_I}fz_node.tail = {rng.randint(1, 50)};",
+        f"{_I}char *fzp = fz_node.str;",
+        f'{_I}strcpy(fzp, "{text}");',
+    ]
+    return (lines, (decl,), "subobject_overflow",
+            f"{len(text) + 1}-byte strcpy into the 8-byte str field of "
+            f"a global struct (stays inside the object)")
+
+
+def _defect_wild_pointer(rng):
+    """Spatial: pointer marched far outside every mapped segment."""
+    stride = (1 << 18) + rng.randint(1, 512)
+    lines = [
+        f"{_I}int fzw0[2];",
+        f"{_I}fzw0[0] = {rng.randint(0, 9)};",
+        f"{_I}fzw0[1] = {rng.randint(0, 9)};",
+        f"{_I}int *fzw = fzw0 + 2 + {stride};",
+        f"{_I}fzw[0] = {rng.randint(1, 99)};",
+    ]
+    return (lines, (), "stack_overflow",
+            f"wild write {stride} ints past a stack array (leaves the "
+            f"stack segment entirely)")
+
+
+def _defect_use_after_free(rng):
+    """Temporal: write through a heap pointer after free (the range is
+    not reused, so quarantine/addressability checkers see it too)."""
+    length = rng.randint(4, 8)
+    lines = [
+        f"{_I}int *fzu = (int *)malloc({length} * sizeof(int));",
+        f"{_I}fzu[0] = {rng.randint(1, 50)};",
+        f"{_I}free(fzu);",
+        f"{_I}fzu[1] = {rng.randint(1, 50)};",
+    ]
+    return (lines, (), "use_after_free",
+            f"write through a freed {length}-int heap block")
+
+
+def _defect_double_free(rng):
+    """Temporal: the same heap block released twice."""
+    size = rng.choice((8, 16, 24, 32))
+    lines = [
+        f"{_I}char *fzd = (char *)malloc({size});",
+        f"{_I}free(fzd);",
+        f"{_I}free(fzd);",
+    ]
+    return (lines, (), "double_free", f"double free of a {size}-byte block")
+
+
+def _defect_dangling_stack(rng):
+    """Temporal: dereference a pointer into a torn-down stack frame."""
+    value = rng.randint(1, 60)
+    decl = (f"int *fz_leak(void) {{ int fzx = {value}; return &fzx; }}")
+    lines = [
+        f"{_I}int *fzs = fz_leak();",
+        f"{_I}check = (check + *fzs) & 0xffff;",
+    ]
+    return (lines, (decl,), "dangling_stack",
+            "read through a pointer into a returned function's frame")
+
+
+#: Defect name -> builder, grouped spatial-first (ordering is part of
+#: the deterministic mutation contract — do not reorder casually).
+DEFECTS = OrderedDict([
+    ("off_by_one_index", _defect_off_by_one_index),
+    ("heap_off_by_one", _defect_heap_off_by_one),
+    ("subobject_overflow", _defect_subobject_overflow),
+    ("wild_pointer", _defect_wild_pointer),
+    ("use_after_free", _defect_use_after_free),
+    ("double_free", _defect_double_free),
+    ("dangling_stack", _defect_dangling_stack),
+])
+
+SPATIAL_DEFECTS = ("off_by_one_index", "heap_off_by_one",
+                   "subobject_overflow", "wild_pointer")
+TEMPORAL_DEFECTS = ("use_after_free", "double_free", "dangling_stack")
+
+#: Multiplicative hash decorrelating the mutation stream from the
+#: generation stream (both are seeded by plain ints, never strings, so
+#: they are stable under PYTHONHASHSEED).
+_MUTATE_SALT = 0x9E3779B9
+
+
+def mutate(program, defect=None, rng=None):
+    """Inject one ``defect`` into a clean :class:`RandomProgram`.
+
+    ``defect`` defaults to an rng-driven choice over :data:`DEFECTS`;
+    ``rng`` defaults to a deterministic stream derived from the
+    program's seed.  Returns a :class:`MutatedProgram`.
+    """
+    if rng is None:
+        rng = random.Random(((program.seed * 2654435761) ^ _MUTATE_SALT)
+                            & 0xFFFFFFFF)
+    if defect is None:
+        defect = rng.choice(list(DEFECTS))
+    try:
+        builder = DEFECTS[defect]
+    except KeyError:
+        raise ValueError(f"unknown defect {defect!r}; known: "
+                         f"{', '.join(DEFECTS)}") from None
+    lines, extra_decls, expected_class, description = builder(rng)
+    source = _assemble(program.helpers,
+                       program.body_lines + tuple(lines) + program.fold_lines,
+                       extra_decls=extra_decls)
+    return MutatedProgram(source, program.seed,
+                          program.statement_count + len(lines),
+                          defect=defect, expected_class=expected_class,
+                          description=description,
+                          base_source=program.source)
+
+
+def generate_mutated(seed, defect=None, max_statements=14):
+    """Generate a clean program from ``seed`` and inject one defect
+    (chosen deterministically from the seed unless named).  The result
+    is byte-stable across processes for a fixed ``(seed, defect)``."""
+    return mutate(generate(seed, max_statements), defect=defect)

@@ -1,0 +1,204 @@
+"""The campaign end-to-end: fault injection, ``kill -9`` resume, and a
+seeded checker bug that must be found and minimized.
+
+These are the acceptance tests for the robustness headline: a campaign
+containing a hung task, a SIGKILLed worker and a deliberately broken
+policy completes with correct verdicts, survives being killed outright,
+resumes without re-judging, and emits a minimized reproducer.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fuzz import Campaign, CampaignConfig, ConfigMatrix, Corpus
+from repro.workloads.randprog import DEFECTS
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+HEAP_INDEX = list(DEFECTS).index("heap_off_by_one")
+
+
+def campaign_env(plugins=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
+                         + (os.pathsep + env["PYTHONPATH"]
+                            if env.get("PYTHONPATH") else ""))
+    env.pop("REPRO_PLUGINS", None)
+    if plugins:
+        env["REPRO_PLUGINS"] = plugins
+    return env
+
+
+def tail_json(text):
+    """The trailing JSON document of mixed log+JSON stdout."""
+    index = text.rfind("\n{")
+    return json.loads(text[index + 1:] if index >= 0 else text)
+
+
+def fuzz_cli(args, plugins=None, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "fuzz", *args],
+        cwd=REPO_ROOT, env=campaign_env(plugins), capture_output=True,
+        text=True, timeout=300, **kwargs)
+
+
+class TestChaosDrill:
+    def test_all_three_failure_modes_survived(self, tmp_path):
+        config = CampaignConfig(corpus=str(tmp_path / "corpus"), seeds=0,
+                                chaos=True, jobs=2, task_timeout=20.0)
+        result = Campaign(config).run()
+        assert result.chaos["failed"] == []
+        assert result.chaos["verdicts"] == ["timeout", "ok", "ok", "ok"]
+        assert result.chaos["attempts"] == [1, 2, 2, 1]
+        assert result.exit_code == 0
+
+    def test_chaos_failure_fails_the_campaign(self, tmp_path):
+        config = CampaignConfig(corpus=str(tmp_path / "corpus"), seeds=0)
+        result = Campaign(config).run()
+        result.chaos = {"failed": ["hung task"]}
+        assert result.exit_code == 1
+
+
+class TestSeededBugFoundAndMinimized:
+    @pytest.fixture(scope="class")
+    def bad_run(self, tmp_path_factory):
+        corpus = str(tmp_path_factory.mktemp("bad") / "corpus")
+        result = fuzz_cli(
+            ["run", "--corpus", corpus, "--seeds", "1",
+             "--start-seed", str(HEAP_INDEX), "--quick",
+             "--policies", "none,spatial,fuzz-bad", "--json"],
+            plugins="repro.fuzz.badpolicy")
+        return corpus, result
+
+    def test_exit_code_signals_findings(self, bad_run):
+        _, result = bad_run
+        assert result.returncode == 1, result.stderr
+
+    def test_missed_detection_judged(self, bad_run):
+        corpus, result = bad_run
+        payload = tail_json(result.stdout)
+        assert payload["discrepancy_seeds"] == 1
+        assert payload["clean"] == 1  # the clean sibling seed
+        checkpoint = json.load(open(os.path.join(corpus, "corpus.json")))
+        entry = checkpoint["judged"][f"heap_off_by_one:{HEAP_INDEX}"]
+        kinds = {d["kind"] for d in entry["discrepancies"]}
+        assert kinds == {"missed_detection"}
+        assert all(d["policy"] == "fuzz-bad"
+                   for d in entry["discrepancies"])
+
+    def test_reproducer_minimized_with_metadata(self, bad_run):
+        corpus, _ = bad_run
+        corpus_obj = Corpus(corpus)
+        (case,) = list(corpus_obj.iter_findings())
+        assert case["kind"] == "missed_detection"
+        assert case["policy"] == "fuzz-bad"
+        assert case["expected_class"] == "heap_overflow"
+        assert case["reference_policy"] == "spatial"
+        assert case["reproduced"] is True
+        assert case["minimized_lines"] < case["original_lines"]
+        case_dir = os.path.join(corpus, "findings", case["id"])
+        minimized = open(os.path.join(case_dir, "minimized.c")).read()
+        assert "malloc" in minimized  # the heap defect survived shrinking
+        assert minimized.count("\n") == case["minimized_lines"]
+
+    def test_minimize_command_reruns_archived_case(self, bad_run):
+        corpus, _ = bad_run
+        (case,) = list(Corpus(corpus).iter_findings())
+        case_dir = os.path.join(corpus, "findings", case["id"])
+        result = fuzz_cli(["minimize", case_dir],
+                          plugins="repro.fuzz.badpolicy")
+        assert result.returncode == 0, result.stderr
+        assert "minimized" in result.stdout
+
+    def test_corpus_command_lists_finding(self, bad_run):
+        corpus, _ = bad_run
+        result = fuzz_cli(["corpus", "--corpus", corpus])
+        assert result.returncode == 0
+        assert "missed_detection" in result.stdout
+        assert "1 finding(s)" in result.stdout
+
+
+class TestKillMinusNineResume:
+    def test_killed_campaign_resumes_without_rejudging(self, tmp_path):
+        corpus = str(tmp_path / "corpus")
+        checkpoint_path = os.path.join(corpus, "corpus.json")
+        args = [sys.executable, "-m", "repro", "fuzz", "run",
+                "--corpus", corpus, "--seeds", "4", "--quick",
+                "--policies", "none,spatial", "--resume"]
+        victim = subprocess.Popen(args, cwd=REPO_ROOT, env=campaign_env(),
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.DEVNULL)
+        try:
+            judged_before = self._wait_for_judged(checkpoint_path,
+                                                  minimum=1)
+        finally:
+            victim.kill()  # SIGKILL: no cleanup handlers run
+            victim.wait(timeout=30)
+
+        # The checkpoint survived the kill (atomic replace, per seed).
+        checkpoint = json.load(open(checkpoint_path))
+        assert len(checkpoint["judged"]) >= judged_before
+
+        resumed = fuzz_cli(["run", "--corpus", corpus, "--seeds", "4",
+                            "--quick", "--policies", "none,spatial",
+                            "--resume", "--json"])
+        assert resumed.returncode == 0, resumed.stderr
+        payload = tail_json(resumed.stdout)
+        assert payload["skipped"] >= judged_before
+        assert payload["skipped"] + payload["judged"] == 8  # 4 seeds × 2
+        final = json.load(open(checkpoint_path))
+        assert len(final["judged"]) == 8
+
+    @staticmethod
+    def _wait_for_judged(checkpoint_path, minimum, timeout=240):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                with open(checkpoint_path) as handle:
+                    judged = len(json.load(handle).get("judged", {}))
+                if judged >= minimum:
+                    return judged
+            except (OSError, ValueError):
+                pass  # not written yet; never torn (atomic replace)
+            time.sleep(0.2)
+        raise AssertionError("campaign never judged a seed")
+
+
+class TestCorpusRecovery:
+    def test_torn_checkpoint_degrades_to_empty(self, tmp_path):
+        root = tmp_path / "corpus"
+        first = Corpus(str(root))
+        with open(first.checkpoint_path, "w") as handle:
+            handle.write('{"schema": "fuzz-corpus-v1", "judged": {tr')
+        recovered = Corpus(str(root))
+        assert recovered.judged == {}
+        assert "recovered_from" in recovered.meta
+
+    def test_record_round_trips_between_instances(self, tmp_path):
+        from repro.fuzz.oracle import Discrepancy, SeedJudgment
+
+        root = str(tmp_path / "corpus")
+        first = Corpus(root)
+        judgment = SeedJudgment(verdict="discrepancy", discrepancies=[
+            Discrepancy("hang", "d", configs=("none/compiled/O1",))])
+        sha = first.add_program("int main(void) { return 0; }\n")
+        first.record("clean:3", judgment, sha)
+        second = Corpus(root)
+        assert second.is_judged("clean:3")
+        entry = second.judged["clean:3"]
+        assert entry["verdict"] == "discrepancy"
+        assert entry["discrepancies"][0]["kind"] == "hang"
+        assert os.path.exists(second.program_path(sha))
+
+
+@pytest.mark.parametrize("flag", ["--seeds", "--time-budget", "--resume"])
+def test_cli_advertises_flag(flag):
+    result = fuzz_cli(["run", "--help"])
+    assert flag in result.stdout

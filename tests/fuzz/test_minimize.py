@@ -1,0 +1,140 @@
+"""Delta-minimizer properties, against seeded synthetic oracles.
+
+The synthetic predicate ("reproduces iff these marker lines survive")
+lets the properties run thousands of steps without a single compile:
+
+* every accepted intermediate state reproduces;
+* size is monotonically non-increasing across accepted states;
+* the result is 1-minimal for independent markers (dropping any single
+  remaining line breaks reproduction).
+"""
+
+import random
+
+from repro.fuzz.minimize import (MinimizeResult, minimize,
+                                 parse_config_key, predicate_for)
+from repro.fuzz.oracle import Discrepancy
+
+
+def make_program(rng, lines=40, markers=("NEEDLE_A", "NEEDLE_B")):
+    body = [f"filler_{index} = {rng.randrange(100)}"
+            for index in range(lines)]
+    for marker in markers:
+        body.insert(rng.randrange(len(body) + 1), marker)
+    return "\n".join(body) + "\n", markers
+
+
+class RecordingOracle:
+    """Predicate: all markers present.  Records every accepted state so
+    the properties can audit the minimizer's path."""
+
+    def __init__(self, markers):
+        self.markers = markers
+        self.accepted = []
+        self.calls = 0
+
+    def __call__(self, source):
+        self.calls += 1
+        holds = all(marker in source for marker in self.markers)
+        if holds:
+            self.accepted.append(source)
+        return holds
+
+
+class TestProperties:
+    def test_every_accepted_step_reproduces_and_shrinks(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            source, markers = make_program(rng)
+            oracle = RecordingOracle(markers)
+            result = minimize(source, oracle)
+            assert result.reproduced
+            sizes = [state.count("\n") for state in oracle.accepted]
+            assert sizes == sorted(sizes, reverse=True), \
+                f"seed {seed}: sizes grew: {sizes}"
+            assert all(all(marker in state for marker in markers)
+                       for state in oracle.accepted)
+
+    def test_result_is_one_minimal(self):
+        for seed in range(10):
+            rng = random.Random(100 + seed)
+            source, markers = make_program(rng, lines=25)
+            result = minimize(source, RecordingOracle(markers))
+            final = result.source.splitlines()
+            assert sorted(final) == sorted(markers), \
+                f"seed {seed}: leftover lines {final}"
+
+    def test_non_reproducing_original_is_returned_unchanged(self):
+        result = minimize("a\nb\nc\n", lambda source: False)
+        assert not result.reproduced
+        assert result.source == "a\nb\nc\n"
+        assert result.tests == 1
+
+    def test_max_tests_bounds_predicate_calls(self):
+        oracle = RecordingOracle(("NEEDLE_A",))
+        source, _ = make_program(random.Random(7), lines=200,
+                                 markers=("NEEDLE_A",))
+        result = minimize(source, oracle, max_tests=30)
+        assert oracle.calls <= 30
+        assert "NEEDLE_A" in result.source
+
+    def test_breaking_removals_are_rejected(self):
+        # A predicate that (like a compiler) rejects structurally
+        # broken candidates: brace balance must hold AND marker must
+        # survive.  The minimizer never accepts a broken state.
+        source = "{\nNEEDLE\n}\nfiller\n"
+
+        def predicate(candidate):
+            balanced = candidate.count("{") == candidate.count("}")
+            return balanced and "NEEDLE" in candidate
+
+        result = minimize(source, predicate)
+        assert result.reproduced
+        lines = result.source.splitlines()
+        assert "NEEDLE" in lines
+        assert lines.count("{") == lines.count("}")
+        assert "filler" not in lines
+
+    def test_counters_are_consistent(self):
+        source, markers = make_program(random.Random(3))
+        oracle = RecordingOracle(markers)
+        result = minimize(source, oracle)
+        assert result.tests == oracle.calls
+        assert result.steps == len(oracle.accepted) - 1  # minus original
+        assert isinstance(result, MinimizeResult)
+        assert result.original_lines >= result.minimized_lines
+
+
+class TestPredicates:
+    def test_parse_config_key(self):
+        assert parse_config_key("spatial/interp/O0") == \
+            ("spatial", "interp", False)
+        assert parse_config_key("mscc/compiled/O1") == \
+            ("mscc", "compiled", True)
+
+    def test_unshrinkable_kinds_return_none(self):
+        assert predicate_for(Discrepancy("infra", "x")) is None
+        assert predicate_for(Discrepancy(
+            "parallel_divergence", "x", configs=("a/b/O1",))) is None
+        assert predicate_for(Discrepancy(
+            "crash", "x", configs=("none/compiled/O1",))) is None  # no pool
+
+    def test_missed_detection_predicate_end_to_end(self):
+        # Real (tiny) programs: the reference must still detect and the
+        # bad policy still miss, or the candidate is rejected.
+        discrepancy = Discrepancy(
+            "missed_detection", "d", configs=("none/compiled/O1",),
+            policy="none", expected_class="heap_overflow",
+            reference_policy="spatial")
+        predicate = predicate_for(discrepancy)
+        bad = ("int main(void) {\n"
+               "    int *p = (int *)malloc(2 * sizeof(int));\n"
+               "    p[2] = 1;\n"
+               "    return 0;\n"
+               "}\n")
+        safe = ("int main(void) {\n"
+                "    return 0;\n"
+                "}\n")
+        assert predicate(bad)       # spatial detects, none misses
+        assert not predicate(safe)  # nothing to detect: rejected
+        assert not predicate("int main(void) {\n")  # does not compile

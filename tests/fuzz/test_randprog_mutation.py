@@ -1,0 +1,105 @@
+"""Attack-seeded mutation and the generator determinism guard.
+
+The campaign's resume model keys the corpus by seed — which is only
+sound if ``generate``/``generate_mutated`` emit byte-identical source
+for a fixed seed in *any* interpreter, including ones with different
+``PYTHONHASHSEED`` (set-iteration and string-hash orders must never
+leak into the program text).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.policy import get_policy
+from repro.workloads import randprog
+
+CLASSES = {"stack_overflow", "heap_overflow", "subobject_overflow",
+           "use_after_free", "double_free", "dangling_stack"}
+
+
+class TestMutation:
+    def test_defect_table_covers_all_classes(self):
+        import random
+
+        classes = {randprog.DEFECTS[name](random.Random(1))[2]
+                   for name in randprog.DEFECTS}
+        assert classes == CLASSES
+
+    def test_mutated_program_carries_ground_truth(self):
+        program = randprog.generate_mutated(5, defect="double_free")
+        assert program.defect == "double_free"
+        assert program.expected_class == "double_free"
+        assert program.base_source == randprog.generate(5).source
+        assert program.source != program.base_source
+        assert "fz" in program.source  # the injected lines
+
+    def test_mutation_preserves_base_statements(self):
+        base = randprog.generate(9)
+        program = randprog.mutate(base, defect="use_after_free")
+        for line in base.body_lines:
+            assert line in program.source
+
+    def test_default_defect_choice_is_seed_deterministic(self):
+        first = randprog.generate_mutated(11)
+        second = randprog.generate_mutated(11)
+        assert first.defect == second.defect
+        assert first.source == second.source
+
+    def test_unknown_defect_rejected(self):
+        with pytest.raises(ValueError):
+            randprog.generate_mutated(1, defect="nonexistent")
+
+    @pytest.mark.parametrize("defect", sorted(randprog.DEFECTS))
+    def test_defect_matches_declared_class_under_reference_policies(
+            self, defect):
+        """Ground truth spot-check on the live checkers: ``temporal``
+        (declares every class) must detect each defect; ``none`` must
+        detect nothing."""
+        from repro.api import run_source
+
+        program = randprog.generate_mutated(2, defect=defect)
+        protected = run_source(program.source, profile="temporal",
+                               max_instructions=20_000_000)
+        assert protected.detected_violation, \
+            f"{defect}: temporal missed {program.expected_class}"
+        assert program.expected_class in get_policy("temporal").detects
+        unprotected = run_source(program.source, profile="none",
+                                 max_instructions=20_000_000)
+        assert not unprotected.detected_violation
+
+
+class TestDeterminism:
+    def _emit(self, hash_seed, code):
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": str(hash_seed),
+                 "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    CLEAN = ("import hashlib\n"
+             "from repro.workloads.randprog import generate\n"
+             "blob = ''.join(generate(seed).source "
+             "for seed in range(25))\n"
+             "print(hashlib.sha256(blob.encode()).hexdigest())\n")
+
+    MUTATED = ("import hashlib\n"
+               "from repro.workloads.randprog import generate_mutated\n"
+               "blob = ''.join(generate_mutated(seed).source "
+               "+ generate_mutated(seed).defect for seed in range(25))\n"
+               "print(hashlib.sha256(blob.encode()).hexdigest())\n")
+
+    def test_clean_source_identical_across_hash_seeds(self):
+        digests = {self._emit(hash_seed, self.CLEAN)
+                   for hash_seed in (0, 1, 4242)}
+        assert len(digests) == 1, \
+            "generate() output depends on PYTHONHASHSEED"
+
+    def test_mutated_source_identical_across_hash_seeds(self):
+        digests = {self._emit(hash_seed, self.MUTATED)
+                   for hash_seed in (0, 7, 31337)}
+        assert len(digests) == 1, \
+            "generate_mutated() output depends on PYTHONHASHSEED"
