@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke policy-smoke fuzz-smoke fuzz tables
+.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke policy-smoke fuzz-smoke store-smoke fuzz tables
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -25,7 +25,7 @@ bench-temporal:  ## temporal-checking overhead sweep; records BENCH_temporal.jso
 bench-diff:      ## compare the recorded BENCH_*.json reports (bench-v2 schema)
 	$(PYTHON) scripts/bench_diff.py BENCH_checkopt.json BENCH_temporal.json
 
-ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, temporal >5% fail) + api/policy/fuzz smoke legs
+ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, temporal >5% fail) + api/policy/fuzz/store smoke legs
 	$(PYTHON) scripts/ci.py
 
 api-smoke:       ## one workload through every protection profile via repro.api + all examples
@@ -36,6 +36,9 @@ policy-smoke:    ## checker-policy extension point: conformance suite + plugin d
 
 fuzz-smoke:      ## time-boxed differential fuzzing campaign + chaos drill + seeded-bug minimization
 	$(PYTHON) scripts/ci.py --fuzz-smoke
+
+store-smoke:     ## persistent artifact store: warm-start replay + torn-write/SIGKILL chaos drill + verify
+	$(PYTHON) scripts/ci.py --store-smoke
 
 fuzz:            ## open-ended differential fuzzing campaign (corpus in .fuzz-corpus/)
 	$(PYTHON) -m repro fuzz run --resume --chaos --seeds 200 --time-budget 600

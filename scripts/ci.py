@@ -35,6 +35,14 @@
    infra failure fails CI).  Then a campaign with the deliberately
    broken ``fuzz-bad`` policy loaded must exit 1, having found the
    seeded missed detection and emitted a *minimized* reproducer.
+8. Store-smoke leg: the persistent artifact store end to end — a cold
+   workload sweep through ``Session`` with ``REPRO_STORE`` set must
+   warm the store, a second fresh process must replay it entirely from
+   disk with *identical* reports and less wallclock (warm-start sanity),
+   a chaos drill with an injected torn write and a mid-write SIGKILL
+   must end in detection + quarantine + recompile (never a crash, never
+   a wrong program), and ``python -m repro cache verify`` must exit 0
+   on the surviving store.
 
 The wall-clock gate compares the speedup *ratio* — not absolute
 seconds — so it is stable across machines of different absolute speed;
@@ -44,6 +52,7 @@ Usage:  python scripts/ci.py [--skip-tests]
         python scripts/ci.py --api-smoke     # only the api-smoke leg
         python scripts/ci.py --policy-smoke  # only the policy-smoke leg
         python scripts/ci.py --fuzz-smoke    # only the fuzz-smoke leg
+        python scripts/ci.py --store-smoke   # only the store-smoke leg
 """
 
 import os
@@ -412,7 +421,221 @@ def run_fuzz_smoke():
     return 0
 
 
+#: Workload sweep the store-smoke leg pushes through the store (pointer
+#: and loop heavy, so cold compiles dominate and the warm-start speedup
+#: is unambiguous).
+STORE_SMOKE_PROGRAM = r'''
+long mix0(long *v, int n) {
+    long acc = 0;
+    int i;
+    for (i = 0; i < n; i++) acc += v[i] * 3 + (acc >> 2);
+    return acc;
+}
+long mix1(long *v, int n) {
+    long acc = 1;
+    int i;
+    for (i = 0; i < n; i++) { acc ^= v[i] + i; acc += acc % 7; }
+    return acc;
+}
+long mix2(long *v, int n) {
+    long acc = 0;
+    int i;
+    for (i = n - 1; i >= 0; i--) acc = acc * 2 + v[i] - (i & 3);
+    return acc;
+}
+long mix3(long *v, int n) {
+    long acc = 0;
+    int i;
+    for (i = 0; i < n; i++) if (v[i] % 2) acc += v[i]; else acc -= 1;
+    return acc;
+}
+long mix4(long *v, int n) {
+    long acc = 5;
+    int i;
+    for (i = 0; i < n; i++) { v[i] = v[i] + acc; acc = v[i] % 97; }
+    return acc;
+}
+int main(void) {
+    long a[8];
+    long acc = 0;
+    int i;
+    for (i = 0; i < 8; i++) a[i] = i * 11;
+    acc += mix0(a, 8);
+    acc += mix1(a, 8);
+    acc += mix2(a, 8);
+    acc += mix3(a, 8);
+    acc += mix4(a, 8);
+    long *h = (long *)malloc(4 * sizeof(long));
+    for (i = 0; i < 4; i++) h[i] = acc + i;
+    acc = h[3];
+    free(h);
+    printf("acc %ld\n", acc);
+    return (int)(acc % 100);
+}
+'''
+
+STORE_SMOKE_PROFILES = ("none", "spatial", "temporal", "full")
+
+#: The sweep snippet a store-smoke subprocess runs: every profile over
+#: the workload, reporting deterministic rows, cache origins and the
+#: compile+run wallclock.
+STORE_SMOKE_SWEEP = '''
+import json, time
+from repro.api import Session
+
+source = {source!r}
+session = Session()
+start = time.perf_counter()
+rows, origins = {{}}, []
+for profile in {profiles!r}:
+    report = session.run(source, profile=profile, name=profile)
+    row = report.to_json()
+    row.pop("wallclock_seconds"); row.pop("cache", None)
+    rows[profile] = row
+    origins.append(report.cache["origin"])
+elapsed = time.perf_counter() - start
+print(json.dumps({{"elapsed": elapsed, "origins": origins,
+                   "rows": rows}}))
+'''
+
+
+def run_store_smoke():
+    import json
+    import tempfile
+
+    print("\n== store-smoke (persistent artifact store) ==", flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + (":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""))
+    for var in ("REPRO_PLUGINS", "REPRO_STORE", "REPRO_STORE_FAULTS"):
+        env.pop(var, None)
+    sweep = STORE_SMOKE_SWEEP.format(source=STORE_SMOKE_PROGRAM,
+                                     profiles=STORE_SMOKE_PROFILES)
+
+    def run_sweep(store_dir, faults=None):
+        sweep_env = dict(env, REPRO_STORE=store_dir)
+        if faults:
+            sweep_env["REPRO_STORE_FAULTS"] = faults
+        return subprocess.run([sys.executable, "-c", sweep],
+                              cwd=REPO_ROOT, env=sweep_env,
+                              capture_output=True, text=True, timeout=600)
+
+    def cache_cli(store_dir, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "cache", *argv,
+             "--store", store_dir, "--json"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=600)
+
+    with tempfile.TemporaryDirectory(prefix="store-smoke-") as scratch:
+        store_dir = os.path.join(scratch, "store")
+
+        # 1. Warm-start sanity: a fresh process replays the whole sweep
+        # from disk, bit-identically, faster than the cold compile.
+        cold = run_sweep(store_dir)
+        if cold.returncode != 0:
+            print(cold.stdout[-2000:])
+            print(cold.stderr[-2000:])
+            print("STORE SMOKE FAILURE: cold sweep failed")
+            return 1
+        cold_payload = json.loads(cold.stdout)
+        if set(cold_payload["origins"]) != {"compile"}:
+            print(f"STORE SMOKE FAILURE: cold origins not all 'compile': "
+                  f"{cold_payload['origins']}")
+            return 1
+        warm = run_sweep(store_dir)
+        if warm.returncode != 0:
+            print(warm.stderr[-2000:])
+            print("STORE SMOKE FAILURE: warm sweep failed")
+            return 1
+        warm_payload = json.loads(warm.stdout)
+        if set(warm_payload["origins"]) != {"store"}:
+            print(f"STORE SMOKE FAILURE: warm origins not all 'store': "
+                  f"{warm_payload['origins']}")
+            return 1
+        if warm_payload["rows"] != cold_payload["rows"]:
+            print("STORE SMOKE FAILURE: warm replay diverged from the "
+                  "cold compile")
+            return 1
+        if warm_payload["elapsed"] >= cold_payload["elapsed"]:
+            print(f"STORE SMOKE FAILURE: no warm-start speedup "
+                  f"(cold {cold_payload['elapsed']:.3f}s, "
+                  f"warm {warm_payload['elapsed']:.3f}s)")
+            return 1
+        speedup = cold_payload["elapsed"] / max(warm_payload["elapsed"],
+                                                1e-9)
+        print(f"  warm start ok: {len(cold_payload['rows'])} profiles "
+              f"bit-identical from disk, {speedup:.1f}x faster "
+              f"(cold {cold_payload['elapsed']:.3f}s -> warm "
+              f"{warm_payload['elapsed']:.3f}s)")
+
+        # 2. Chaos drill, fault one: a torn write must be detected on
+        # the next read, quarantined, and transparently recompiled.
+        torn_dir = os.path.join(scratch, "torn")
+        torn = run_sweep(torn_dir, faults="torn_write:1")
+        if torn.returncode != 0:
+            print(torn.stderr[-2000:])
+            print("STORE SMOKE FAILURE: sweep with injected torn write "
+                  "did not exit clean")
+            return 1
+        healed = run_sweep(torn_dir)
+        if healed.returncode != 0:
+            print(healed.stderr[-2000:])
+            print("STORE SMOKE FAILURE: sweep over the torn store "
+                  "did not exit clean")
+            return 1
+        healed_payload = json.loads(healed.stdout)
+        if healed_payload["rows"] != cold_payload["rows"]:
+            print("STORE SMOKE FAILURE: torn-store replay diverged")
+            return 1
+        if "compile" not in healed_payload["origins"]:
+            print(f"STORE SMOKE FAILURE: torn entry was not recompiled: "
+                  f"{healed_payload['origins']}")
+            return 1
+        print(f"  torn-write drill ok: detected, quarantined, "
+              f"recompiled (origins {healed_payload['origins']})")
+
+        # 3. Chaos drill, fault two: SIGKILL between tmp write and
+        # atomic replace — the next process must find a loadable store.
+        kill_dir = os.path.join(scratch, "killed")
+        killed = run_sweep(kill_dir, faults="sigkill_replace:1")
+        if killed.returncode != -9:
+            print(f"STORE SMOKE FAILURE: SIGKILL drill exited "
+                  f"{killed.returncode}, expected -9")
+            return 1
+        survivor = run_sweep(kill_dir)
+        if survivor.returncode != 0:
+            print(survivor.stderr[-2000:])
+            print("STORE SMOKE FAILURE: sweep after mid-write SIGKILL "
+                  "did not exit clean")
+            return 1
+        if json.loads(survivor.stdout)["rows"] != cold_payload["rows"]:
+            print("STORE SMOKE FAILURE: post-SIGKILL replay diverged")
+            return 1
+        print("  mid-write SIGKILL drill ok: store stayed loadable")
+
+        # 4. The verifier signs off on every surviving store.
+        for name, directory in (("warm", store_dir), ("torn", torn_dir),
+                                ("killed", kill_dir)):
+            proc = cache_cli(directory, "verify")
+            if proc.returncode != 0:
+                print(proc.stdout[-2000:])
+                print(f"STORE SMOKE FAILURE: cache verify failed on the "
+                      f"{name} store (exit {proc.returncode})")
+                return 1
+        stats = json.loads(cache_cli(store_dir, "stats").stdout)
+        if stats["entries"] == 0:
+            print("STORE SMOKE FAILURE: warm store is empty")
+            return 1
+        print(f"  cache verify ok on all three stores "
+              f"({stats['entries']} entries in the warm store)")
+    print("store-smoke ok")
+    return 0
+
+
 def main(argv):
+    if "--store-smoke" in argv:
+        return run_store_smoke()
     if "--fuzz-smoke" in argv:
         return run_fuzz_smoke()
     if "--policy-smoke" in argv:
@@ -438,7 +661,10 @@ def main(argv):
     code = run_policy_smoke()
     if code != 0:
         return code
-    return run_fuzz_smoke()
+    code = run_fuzz_smoke()
+    if code != 0:
+        return code
+    return run_store_smoke()
 
 
 if __name__ == "__main__":

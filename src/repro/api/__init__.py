@@ -37,11 +37,13 @@ remain as byte-identical shims over this facade.
 from .env import (
     DEFAULT_ENGINE,
     DEFAULT_JOBS,
+    DEFAULT_STORE,
     ENGINES,
     ResolvedEnv,
     resolve_engine,
     resolve_env,
     resolve_jobs,
+    resolve_store,
 )
 from .profiles import (
     FULL_PROTECTION,
@@ -53,9 +55,11 @@ from .profiles import (
 )
 from .reports import BatchReport, RunReport, report_from_result
 from .session import (
+    DEFAULT_CACHE_ENTRIES,
     RunRequest,
     Session,
     execute_run_request,
+    open_store,
     run_compiled,
     run_source,
 )
@@ -70,8 +74,9 @@ from .toolchain import (
 
 __all__ = [
     # env
-    "DEFAULT_ENGINE", "DEFAULT_JOBS", "ENGINES", "ResolvedEnv",
-    "resolve_engine", "resolve_env", "resolve_jobs",
+    "DEFAULT_ENGINE", "DEFAULT_JOBS", "DEFAULT_STORE", "ENGINES",
+    "ResolvedEnv", "resolve_engine", "resolve_env", "resolve_jobs",
+    "resolve_store",
     # profiles
     "FULL_PROTECTION", "PROFILES", "ProtectionProfile", "UsageError",
     "all_profiles", "as_profile",
@@ -81,6 +86,6 @@ __all__ = [
     # reports
     "BatchReport", "RunReport", "report_from_result",
     # session
-    "RunRequest", "Session", "execute_run_request", "run_compiled",
-    "run_source",
+    "DEFAULT_CACHE_ENTRIES", "RunRequest", "Session",
+    "execute_run_request", "open_store", "run_compiled", "run_source",
 ]

@@ -16,6 +16,8 @@ ENGINES = ("compiled", "interp")
 
 DEFAULT_ENGINE = "compiled"
 DEFAULT_JOBS = 1
+#: The persistent artifact store is opt-in: no flag, no env → disabled.
+DEFAULT_STORE = None
 
 
 def resolve_engine(flag=None):
@@ -43,15 +45,31 @@ def resolve_jobs(flag=None):
     return value if value > 0 else DEFAULT_JOBS
 
 
+def resolve_store(flag=None):
+    """Effective artifact-store directory (:mod:`repro.store`), or
+    ``None`` for disabled.  An explicit ``flag`` path wins, then the
+    ``REPRO_STORE`` environment variable; an empty value from either
+    source means "disabled" — there is no default directory, because a
+    persistent cache silently appearing on disk would surprise users."""
+    if flag is not None:
+        return flag or DEFAULT_STORE
+    return os.environ.get("REPRO_STORE", "") or DEFAULT_STORE
+
+
 @dataclass(frozen=True)
 class ResolvedEnv:
     """The fully resolved execution environment for one entry point."""
 
     engine: str
     jobs: int
+    #: Artifact-store directory, or None when the store is disabled.
+    store: str = None
 
 
-def resolve_env(engine=None, jobs=None):
-    """Resolve both axes at once; see :func:`resolve_engine` and
-    :func:`resolve_jobs` for the per-axis precedence."""
-    return ResolvedEnv(engine=resolve_engine(engine), jobs=resolve_jobs(jobs))
+def resolve_env(engine=None, jobs=None, store=None):
+    """Resolve every axis at once; see :func:`resolve_engine`,
+    :func:`resolve_jobs` and :func:`resolve_store` for the per-axis
+    precedence."""
+    return ResolvedEnv(engine=resolve_engine(engine),
+                       jobs=resolve_jobs(jobs),
+                       store=resolve_store(store))

@@ -44,6 +44,12 @@ class RunReport:
     #: Host seconds spent inside ``machine.run()`` (excludes machine
     #: instantiation, matching the wall-clock benchmarking convention).
     wallclock_seconds: float = 0.0
+    #: Compile-cache provenance and counters, filled by cache-aware
+    #: entry points (:class:`~repro.api.session.Session`): ``origin``
+    #: ("memory" | "store" | "compile") plus the in-process LRU and
+    #: persistent-store hit/miss/corrupt/eviction counters.  ``None``
+    #: for sessionless one-shot runs.
+    cache: dict = None
 
     # -- outcome classification (mirrors ExecutionResult) --------------
 
@@ -89,7 +95,7 @@ class RunReport:
                 "address": self.trap.address,
                 "source": self.trap.source,
             }
-        return {
+        row = {
             "name": self.name,
             "profile": self.profile,
             "engine": self.engine,
@@ -103,6 +109,9 @@ class RunReport:
             "wallclock_seconds": round(self.wallclock_seconds, 6),
             "value": self.cost,
         }
+        if self.cache is not None:
+            row["cache"] = self.cache
+        return row
 
     def to_json_text(self, indent=2):
         return json.dumps(self.to_json(), indent=indent, sort_keys=True)

@@ -16,12 +16,31 @@ is handled elsewhere.
 """
 
 import time
+import warnings
 from dataclasses import dataclass, replace
 
-from .env import resolve_env
+from .env import resolve_env, resolve_store
 from .profiles import as_profile
 from .reports import BatchReport, report_from_result
 from .toolchain import Toolchain, compile_source
+
+#: Bound on the in-process compiled-program LRU (entries, not bytes:
+#: modules are small and the bound exists to stop unbounded growth in
+#: long-lived sessions like the serve daemon, not to meter memory).
+DEFAULT_CACHE_ENTRIES = 256
+
+
+def open_store(store_dir=None, **kwargs):
+    """Open the persistent artifact store the environment selects
+    (``store_dir`` flag > ``REPRO_STORE``), or return ``None`` when no
+    store is configured.  Extra kwargs reach
+    :class:`repro.store.ArtifactStore` (bounds, lock timeout)."""
+    resolved = resolve_store(store_dir)
+    if resolved is None:
+        return None
+    from ..store import ArtifactStore
+
+    return ArtifactStore(resolved, **kwargs)
 
 
 def run_compiled(compiled, profile=None, name="program", input_data=b"",
@@ -72,8 +91,11 @@ class RunRequest:
     optimize: bool = None
     verify: bool = None
     engine: str = None
+    #: Artifact-store directory batch workers consult/warm (None: no
+    #: store).  Filled from the session by ``resolved``.
+    store_dir: str = None
 
-    def resolved(self, optimize, verify, engine):
+    def resolved(self, optimize, verify, engine, store_dir=None):
         """Fill session-level defaults into unset fields."""
         request = self
         if request.engine is None:
@@ -82,18 +104,58 @@ class RunRequest:
             request = replace(request, optimize=optimize)
         if request.verify is None:
             request = replace(request, verify=verify)
+        if request.store_dir is None and store_dir is not None:
+            request = replace(request, store_dir=store_dir)
         return replace(request, profile=as_profile(request.profile))
+
+
+def _compile_through_store(source, profile, optimize, verify, store):
+    """Compile with the persistent store consulted first: a verified
+    disk hit skips the toolchain entirely; a miss (or quarantined
+    corruption) compiles and warms the store.  Returns
+    ``(compiled, origin)`` with origin ``"store"`` or ``"compile"``."""
+    if store is not None:
+        compiled = store.load(source, profile, optimize)
+        if compiled is not None:
+            return compiled, "store"
+    compiled = Toolchain(profile=profile, optimize=optimize,
+                         verify=verify).compile(source)
+    if store is not None:
+        store.save(source, profile, optimize, compiled)
+    return compiled, "compile"
 
 
 def execute_run_request(request):
     """Compile and run one :class:`RunRequest` (the worker-process entry
-    point for the ``api_run`` parallel task kind)."""
+    point for the ``api_run`` parallel task kind).  When the request
+    names a store directory the worker consults/warms it, so batch
+    workers share warm artifacts across processes; a store that cannot
+    even open degrades to a plain compile."""
     optimize = True if request.optimize is None else request.optimize
     verify = True if request.verify is None else request.verify
-    return run_source(request.source, profile=request.profile,
-                      name=request.name, input_data=request.input_data,
-                      entry=request.entry, optimize=optimize,
-                      verify=verify, engine=request.engine)
+    if not request.store_dir:
+        return run_source(request.source, profile=request.profile,
+                          name=request.name, input_data=request.input_data,
+                          entry=request.entry, optimize=optimize,
+                          verify=verify, engine=request.engine)
+    profile = as_profile(request.profile)
+    store = None
+    try:
+        from ..store import ArtifactStore
+
+        store = ArtifactStore(request.store_dir)
+    except OSError as error:
+        warnings.warn(f"artifact store {request.store_dir!r} unavailable "
+                      f"({error}); compiling without it", RuntimeWarning,
+                      stacklevel=2)
+    compiled, origin = _compile_through_store(
+        request.source, profile, optimize, verify, store)
+    report = run_compiled(compiled, profile=profile, name=request.name,
+                          input_data=request.input_data,
+                          entry=request.entry, engine=request.engine)
+    if store is not None:
+        report.cache = {"origin": origin, "store": store.stats.as_dict()}
+    return report
 
 
 def _as_request(item):
@@ -108,41 +170,80 @@ def _as_request(item):
 class Session:
     """A compiled-program cache plus batch execution.
 
-    ``engine``/``jobs`` follow the flag > environment > default
-    precedence of :func:`repro.api.resolve_env`; ``optimize``/``verify``
-    configure every toolchain the session builds.
+    ``engine``/``jobs``/``store_dir`` follow the flag > environment >
+    default precedence of :func:`repro.api.resolve_env` (``store_dir``
+    reads ``REPRO_STORE``); ``optimize``/``verify`` configure every
+    toolchain the session builds.
+
+    Caching is two-level: a size-bounded in-process LRU
+    (``cache_entries``) in front of the optional persistent
+    :class:`~repro.store.ArtifactStore` shared across processes and
+    restarts.  A store that cannot open (bad permissions, unwritable
+    path) degrades to in-process-only caching with a warning — the
+    session never fails because its cache does.
     """
 
-    def __init__(self, optimize=True, verify=True, engine=None, jobs=None):
-        self.env = resolve_env(engine=engine, jobs=jobs)
+    def __init__(self, optimize=True, verify=True, engine=None, jobs=None,
+                 store_dir=None, cache_entries=DEFAULT_CACHE_ENTRIES):
+        self.env = resolve_env(engine=engine, jobs=jobs, store=store_dir)
         self.optimize = optimize
         self.verify = verify
-        self._programs = {}
+        from ..store import LRUCache
+
+        self._programs = LRUCache(max_entries=cache_entries)
+        self.store = None
+        if self.env.store is not None:
+            try:
+                from ..store import ArtifactStore
+
+                self.store = ArtifactStore(self.env.store)
+            except OSError as error:
+                warnings.warn(
+                    f"artifact store {self.env.store!r} unavailable "
+                    f"({error}); falling back to the in-process cache",
+                    RuntimeWarning, stacklevel=2)
 
     # -- compile cache -------------------------------------------------
 
     def compile(self, source, profile=None, optimize=None, verify=None):
         """Compile (memoized on source, profile identity and opt level);
-        returns the cached :class:`CompiledProgram` on a repeat.
-        ``optimize``/``verify`` default to the session's settings.
-        (``verify`` is not part of the cache key: it only adds IR
-        consistency checks and never changes the compiled output.)"""
+        returns the cached :class:`CompiledProgram` on a repeat — from
+        the in-process LRU first, then the persistent store, then a
+        fresh toolchain run (which warms both).  ``optimize``/``verify``
+        default to the session's settings.  (``verify`` is not part of
+        the cache key: it only adds IR consistency checks and never
+        changes the compiled output.)"""
         profile = as_profile(profile)
         optimize = self.optimize if optimize is None else optimize
         verify = self.verify if verify is None else verify
         key = (source, profile.cache_key(), optimize)
         compiled = self._programs.get(key)
-        if compiled is None:
-            compiled = Toolchain(profile=profile, optimize=optimize,
-                                 verify=verify).compile(source)
-            self._programs[key] = compiled
+        if compiled is not None:
+            self._last_compile_origin = "memory"
+            return compiled
+        compiled, origin = _compile_through_store(
+            source, profile, optimize, verify, self.store)
+        self._programs.put(key, compiled)
+        self._last_compile_origin = origin
         return compiled
 
     @property
     def cached_programs(self):
         return len(self._programs)
 
+    def cache_counters(self):
+        """Hit/miss/eviction counters for both cache levels:
+        ``{"memory": {...}, "store": {...} or None}``."""
+        return {
+            "memory": self._programs.counters(),
+            "store": (self.store.stats.as_dict()
+                      if self.store is not None else None),
+        }
+
     def clear(self):
+        """Empty the in-process cache (the persistent store, being
+        shared state on disk, is managed via ``python -m repro cache``
+        rather than dropped as a side effect)."""
         self._programs.clear()
 
     # -- execution -----------------------------------------------------
@@ -154,10 +255,13 @@ class Session:
         session's resolved engine for this run."""
         profile = as_profile(profile)
         compiled = self.compile(source, profile)
-        return run_compiled(compiled, profile=profile, name=name,
-                            input_data=input_data, entry=entry,
-                            engine=engine if engine is not None
-                            else self.env.engine, **kwargs)
+        report = run_compiled(compiled, profile=profile, name=name,
+                              input_data=input_data, entry=entry,
+                              engine=engine if engine is not None
+                              else self.env.engine, **kwargs)
+        report.cache = dict(self.cache_counters(),
+                            origin=self._last_compile_origin)
+        return report
 
     def run_many(self, items, jobs=None, benchmark="session-batch",
                  metric="cost_units"):
@@ -171,7 +275,8 @@ class Session:
         cache is untouched.  Run names must be unique — they key the
         batch report."""
         requests = [_as_request(item).resolved(self.optimize, self.verify,
-                                               self.env.engine)
+                                               self.env.engine,
+                                               store_dir=self.env.store)
                     for item in items]
         seen = set()
         duplicates = []
@@ -187,15 +292,18 @@ class Session:
 
         if jobs <= 1:
             # In-process serial path rides the session's compile cache.
-            reports = [
-                run_compiled(self.compile(request.source, request.profile,
-                                          optimize=request.optimize,
-                                          verify=request.verify),
-                             profile=request.profile, name=request.name,
-                             input_data=request.input_data,
-                             entry=request.entry, engine=request.engine)
-                for request in requests
-            ]
+            reports = []
+            for request in requests:
+                report = run_compiled(
+                    self.compile(request.source, request.profile,
+                                 optimize=request.optimize,
+                                 verify=request.verify),
+                    profile=request.profile, name=request.name,
+                    input_data=request.input_data,
+                    entry=request.entry, engine=request.engine)
+                report.cache = dict(self.cache_counters(),
+                                    origin=self._last_compile_origin)
+                reports.append(report)
         else:
             tasks = [("api_run", request) for request in requests]
             reports = run_tasks(tasks, jobs)

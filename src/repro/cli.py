@@ -19,6 +19,10 @@ workloads
 bench
     Time the workload corpus under both VM engines (reference
     interpreter vs closure-compiled) and print/record the speedups.
+cache stats|verify|gc
+    Operate the persistent compiled-artifact store (``REPRO_STORE`` /
+    ``--store DIR``): show counters, re-validate + quarantine entries
+    (exit 1 when corruption was found), enforce the size bounds.
 
 Every command executes through the :mod:`repro.api` facade.
 
@@ -161,8 +165,10 @@ def build_parser():
                                    "(e.g. BENCH_interp.json)")
 
     from .fuzz.cli import add_fuzz_parser
+    from .store.cli import add_cache_parser
 
     add_fuzz_parser(sub)
+    add_cache_parser(sub)
     return parser
 
 
@@ -217,8 +223,25 @@ def _read_source(path, stderr):
         return None
 
 
+def _compile_cli(sources, profile, optimize):
+    """Compile the CLI's input, consulting the persistent artifact
+    store (``REPRO_STORE``) for single-file programs; multi-unit links
+    always compile directly.  Returns ``(compiled, origin)``."""
+    from .api import as_profile, compile_sources, open_store
+
+    if len(sources) == 1:
+        store = open_store()
+        if store is not None:
+            from .api.session import _compile_through_store
+
+            return _compile_through_store(sources[0], as_profile(profile),
+                                          optimize, True, store)
+    return compile_sources(sources, profile=profile,
+                           optimize=optimize), None
+
+
 def _execute(sources, profile, args, stdout, stderr, name="program"):
-    from .api import compile_sources, run_compiled
+    from .api import run_compiled
     from .frontend.errors import FrontendError
     from .harness.linker import LinkError
 
@@ -228,11 +251,12 @@ def _execute(sources, profile, args, stdout, stderr, name="program"):
             input_data = handle.read()
     optimize = not getattr(args, "no_optimize", False)
     try:
-        compiled = compile_sources(sources, profile=profile,
-                                   optimize=optimize)
+        compiled, origin = _compile_cli(sources, profile, optimize)
         report = run_compiled(compiled, profile=profile, name=name,
                               input_data=input_data,
                               engine=getattr(args, "engine", None))
+        if origin is not None:
+            report.cache = {"origin": origin}
     except FrontendError as error:
         print(f"compile error: {error}", file=stderr)
         return EX_COMPILE
@@ -406,6 +430,10 @@ def main(argv=None, stdout=None, stderr=None):
         from .fuzz.cli import run_fuzz
 
         return run_fuzz(args, stdout, stderr)
+    if args.command == "cache":
+        from .store.cli import run_cache
+
+        return run_cache(args, stdout, stderr)
 
     sources = []
     for path in args.file:

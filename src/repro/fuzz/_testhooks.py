@@ -1,54 +1,17 @@
-"""Fault-injection hooks for exercising the robustness layer.
+"""Compatibility alias for :mod:`repro.harness.faults`.
 
-These run *inside* pool workers (addressed by ``module:function`` task
-paths) and simulate the failure modes the campaign must survive: a hung
-task, a worker killed out from under the pool, and an infra flake that
-heals on retry.  Used by ``tests/fuzz`` and the chaos legs of
-``python -m repro fuzz run --chaos`` / ``scripts/ci.py --fuzz-smoke``.
+The fault-injection hooks the fuzz campaign drills with started life
+here; PR 7 moved them to :mod:`repro.harness.faults` so the fuzz pool
+and the artifact store share one chaos toolbox.  This module remains so
+``module:function`` task paths recorded in corpora, tests and docs
+(``repro.fuzz._testhooks:hang``) keep resolving.
 """
 
-import os
-import signal
-import time
-
-
-def echo(value):
-    """Round-trip check."""
-    return value
-
-
-def hang(seconds=3600.0):
-    """Simulate a wedged task: sleep far past any sane deadline."""
-    time.sleep(seconds)
-    return "woke"
-
-
-def kill_self():
-    """Simulate a segfaulting/OOM-killed worker: die without a reply."""
-    os.kill(os.getpid(), signal.SIGKILL)
-
-
-def kill_self_once(marker_path):
-    """Die the first time, succeed on the retry — the infra-flake shape
-    the requeue-once policy exists for."""
-    if not os.path.exists(marker_path):
-        with open(marker_path, "w") as handle:
-            handle.write(str(os.getpid()))
-        os.kill(os.getpid(), signal.SIGKILL)
-    return "recovered"
-
-
-def flaky_once(marker_path):
-    """Raise in-band the first time, succeed on the retry."""
-    if not os.path.exists(marker_path):
-        with open(marker_path, "w") as handle:
-            handle.write(str(os.getpid()))
-        raise RuntimeError("injected flake (first attempt)")
-    return "recovered"
-
-
-def write_pid(path):
-    """Report the worker's pid so a test can SIGKILL it externally."""
-    with open(path, "w") as handle:
-        handle.write(str(os.getpid()))
-    return os.getpid()
+from ..harness.faults import (  # noqa: F401
+    echo,
+    flaky_once,
+    hang,
+    kill_self,
+    kill_self_once,
+    write_pid,
+)

@@ -1,0 +1,85 @@
+"""Advisory file locking with a timeout → degrade contract.
+
+The store serializes writers with POSIX ``fcntl.flock`` advisory locks:
+per-entry locks so two processes compiling the same key don't redo each
+other's index bookkeeping, and one index lock guarding the LRU
+checkpoint.  Locks are *advisory by design* — a reader never takes one
+(atomic ``os.replace`` plus payload digests make reads safe lock-free),
+and a writer that cannot acquire one within its timeout **degrades**
+(skips the disk write, keeps the in-process result) instead of hanging.
+
+``flock`` locks die with their holder, so a lock-holder SIGKILL'd
+mid-write releases the lock automatically — the chaos drill pins that.
+On platforms without ``fcntl`` the lock is a no-op that always
+"acquires": single-process correctness is unaffected and the store
+still never corrupts (writes stay atomic), only cross-process LRU
+bookkeeping loses its serialization.
+"""
+
+import os
+import time
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: degrade to no inter-process locking
+    fcntl = None
+
+
+class FileLock:
+    """One advisory lock file, usable as a context manager.
+
+    ``acquire`` polls ``flock(LOCK_EX | LOCK_NB)`` until ``timeout``
+    elapses and returns whether the lock was obtained — it never raises
+    on contention and never blocks past the deadline.  The ``with``
+    form exposes the outcome as the context value::
+
+        with FileLock(path, timeout=2.0) as acquired:
+            if acquired: ...   # serialized
+            else: ...          # degrade
+    """
+
+    def __init__(self, path, timeout=5.0, poll_interval=0.02):
+        self.path = path
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self._handle = None
+
+    @property
+    def held(self):
+        return self._handle is not None
+
+    def acquire(self):
+        if self._handle is not None:
+            return True
+        handle = open(self.path, "a+b")
+        if fcntl is None:
+            self._handle = handle
+            return True
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._handle = handle
+                return True
+            except OSError:
+                if time.monotonic() >= deadline:
+                    handle.close()
+                    return False
+                time.sleep(self.poll_interval)
+
+    def release(self):
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc_info):
+        self.release()
+        return False

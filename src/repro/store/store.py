@@ -1,0 +1,515 @@
+"""The crash-safe persistent artifact store.
+
+Layout of a store directory::
+
+    index.json               LRU/size bookkeeping (atomically replaced)
+    objects/<key>.rpa        one self-verifying entry per cache key
+    corrupt/<name>           quarantined entries awaiting autopsy
+    locks/<...>.lock         advisory lock files (per entry + index)
+
+Robustness contract, in order of importance:
+
+1. **Never serve a corrupted artifact.**  Reads re-validate everything
+   (:mod:`repro.store.format`); any mismatch quarantines the entry into
+   ``corrupt/`` and reports a miss, so the caller recompiles.
+2. **Never tear an entry.**  Writes go tmp file → ``fsync`` → atomic
+   ``os.replace``; a crash at any instant leaves either the old state
+   or the new state, plus at most one orphan tmp file ``gc`` sweeps.
+3. **Never hang, never wedge.**  Writers take advisory ``flock`` locks
+   with a timeout; on contention past the deadline they *degrade* —
+   skip the disk write, keep the in-process result, count it — rather
+   than block.  Readers take no locks at all.
+4. **The index is bookkeeping, not truth.**  ``get`` goes straight to
+   the object file, so a lost index update (crash between object write
+   and checkpoint, or a degraded writer) costs recency accuracy, never
+   correctness; a torn/foreign ``index.json`` degrades to a
+   rebuild-from-scan.
+
+Fault points for the chaos drills (:mod:`repro.harness.faults`) are
+compiled in: payload mangling (torn write / bit flip), injected
+EPERM/ENOSPC on open, and SIGKILL at the two nastiest instants (holding
+the entry lock; between tmp write and replace).
+"""
+
+import json
+import os
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+
+from ..harness import faults
+from .format import (
+    StoreFormatError,
+    cache_key_text,
+    compute_key,
+    decode_entry,
+    dumps_program,
+    encode_entry,
+    loads_program,
+)
+from .locks import FileLock
+
+INDEX_SCHEMA = "store-index-v1"
+ENTRY_SUFFIX = ".rpa"
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_LOCK_TIMEOUT = 5.0
+
+#: Orphan tmp files older than this are swept by ``gc`` (a younger tmp
+#: may belong to an in-flight writer).
+TMP_SWEEP_AGE_SECONDS = 300.0
+
+
+class StoreWarning(RuntimeWarning):
+    """A store degradation the run survived (lock timeout, write
+    failure, recovered index) — surfaced, never fatal."""
+
+
+@dataclass
+class StoreStats:
+    """Per-process counters for one :class:`ArtifactStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    puts: int = 0
+    evictions: int = 0
+    lock_timeouts: int = 0
+    write_errors: int = 0
+    #: Degradations taken (lock timeout or write error): the entry kept
+    #: working from the in-process cache but the disk was skipped.
+    degraded: int = 0
+
+    def as_dict(self):
+        return asdict(self)
+
+
+@dataclass
+class VerifyReport:
+    """Result of a full-store integrity pass."""
+
+    checked: int = 0
+    ok: int = 0
+    #: ``(key, reason, detail)`` per quarantined entry.
+    corrupt: list = field(default_factory=list)
+
+    def as_dict(self):
+        return {"checked": self.checked, "ok": self.ok,
+                "corrupt": [list(item) for item in self.corrupt]}
+
+
+class ArtifactStore:
+    """A content-addressed, size-bounded compiled-program store.
+
+    ``max_bytes``/``max_entries`` bound the store (LRU eviction on
+    ``put``); ``lock_timeout`` is the degrade deadline for advisory
+    locks; ``log`` receives degradation messages (default: a
+    :class:`StoreWarning`).
+    """
+
+    def __init__(self, root, max_bytes=DEFAULT_MAX_BYTES,
+                 max_entries=DEFAULT_MAX_ENTRIES,
+                 lock_timeout=DEFAULT_LOCK_TIMEOUT, log=None):
+        self.root = os.path.abspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        self.corrupt_dir = os.path.join(self.root, "corrupt")
+        self.locks_dir = os.path.join(self.root, "locks")
+        for path in (self.objects_dir, self.corrupt_dir, self.locks_dir):
+            os.makedirs(path, exist_ok=True)
+        self.index_path = os.path.join(self.root, "index.json")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.lock_timeout = lock_timeout
+        self._log = log
+        self.stats = StoreStats()
+        self.recovered_index = False
+        self._clock = 0
+        self._index = {}
+        self._load_index()
+
+    # -- logging -------------------------------------------------------
+
+    def _warn(self, message):
+        if self._log is not None:
+            self._log(message)
+        else:
+            warnings.warn(message, StoreWarning, stacklevel=3)
+
+    # -- paths ---------------------------------------------------------
+
+    def entry_path(self, key):
+        return os.path.join(self.objects_dir, key + ENTRY_SUFFIX)
+
+    def _entry_lock(self, key):
+        return FileLock(os.path.join(self.locks_dir, key[:32] + ".lock"),
+                        timeout=self.lock_timeout)
+
+    def _index_lock(self):
+        return FileLock(os.path.join(self.locks_dir, "index.lock"),
+                        timeout=self.lock_timeout)
+
+    # -- index ---------------------------------------------------------
+
+    def _load_index(self):
+        try:
+            with open(self.index_path) as handle:
+                document = json.load(handle)
+            if document.get("schema") != INDEX_SCHEMA:
+                raise ValueError(
+                    f"unknown index schema {document.get('schema')!r}")
+            self._index = dict(document.get("entries", {}))
+            self._clock = int(document.get("clock", 0))
+        except FileNotFoundError:
+            self._index = {}
+            self._clock = 0
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            # A torn/foreign index must not wedge the store: rebuild
+            # the bookkeeping from the object files themselves.
+            self.recovered_index = True
+            self._warn(f"store index unreadable "
+                       f"({type(error).__name__}: {error}); rebuilding "
+                       f"from a directory scan")
+            self._index = self._scan_objects()
+            self._clock = len(self._index)
+
+    def _scan_objects(self):
+        entries = {}
+        clock = 0
+        try:
+            names = sorted(os.listdir(self.objects_dir))
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(ENTRY_SUFFIX):
+                continue
+            key = name[:-len(ENTRY_SUFFIX)]
+            try:
+                size = os.path.getsize(os.path.join(self.objects_dir, name))
+            except OSError:
+                continue
+            clock += 1
+            entries[key] = {"size": size, "used": clock, "label": "?"}
+        return entries
+
+    def _read_disk_index(self):
+        """The freshest on-disk index (other processes checkpoint too),
+        falling back to a scan when torn."""
+        try:
+            with open(self.index_path) as handle:
+                document = json.load(handle)
+            if document.get("schema") != INDEX_SCHEMA:
+                raise ValueError("schema mismatch")
+            return dict(document.get("entries", {})), \
+                int(document.get("clock", 0))
+        except FileNotFoundError:
+            return {}, 0
+        except (OSError, ValueError, KeyError, TypeError):
+            return self._scan_objects(), len(self._index)
+
+    def _checkpoint_index(self):
+        document = {"schema": INDEX_SCHEMA, "clock": self._clock,
+                    "entries": self._index}
+        tmp = f"{self.index_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.index_path)
+
+    def _merge_and_checkpoint(self, mutate):
+        """Under the index lock: re-read the disk index, merge our
+        recency knowledge, apply ``mutate``, evict to bounds, write the
+        checkpoint atomically.  On lock timeout: apply ``mutate`` to
+        the in-memory view only (degrade) and report ``False``."""
+        with self._index_lock() as acquired:
+            if not acquired:
+                self.stats.lock_timeouts += 1
+                self.stats.degraded += 1
+                self._warn(f"store index lock not acquired within "
+                           f"{self.lock_timeout:.1f}s; skipping index "
+                           f"checkpoint (bookkeeping degrades, entries "
+                           f"stay correct)")
+                mutate(self._index)
+                self._evict_to_bounds(persist=False)
+                return False
+            disk, disk_clock = self._read_disk_index()
+            for key, entry in self._index.items():
+                known = disk.get(key)
+                if known is None:
+                    if os.path.exists(self.entry_path(key)):
+                        disk[key] = entry
+                elif entry.get("used", 0) > known.get("used", 0):
+                    known["used"] = entry["used"]
+            self._clock = max(self._clock, disk_clock)
+            self._index = disk
+            mutate(self._index)
+            self._evict_to_bounds(persist=False)
+            self._checkpoint_index()
+            return True
+
+    def _evict_to_bounds(self, persist=True, max_bytes=None,
+                         max_entries=None):
+        """Drop least-recently-used entries until within bounds;
+        returns the evicted keys."""
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        max_entries = self.max_entries if max_entries is None else max_entries
+        evicted = []
+
+        def over_bounds():
+            if max_entries is not None and len(self._index) > max_entries:
+                return True
+            if max_bytes is not None:
+                total = sum(e.get("size", 0) for e in self._index.values())
+                return total > max_bytes
+            return False
+
+        while self._index and over_bounds():
+            key = min(self._index, key=lambda k: self._index[k].get("used", 0))
+            self._index.pop(key)
+            try:
+                os.remove(self.entry_path(key))
+            except OSError:
+                pass  # already gone / transient: gc re-syncs
+            self.stats.evictions += 1
+            evicted.append(key)
+        if evicted and persist:
+            self._checkpoint_index()
+        return evicted
+
+    # -- quarantine ----------------------------------------------------
+
+    def _quarantine(self, key, reason):
+        """Move a bad entry into ``corrupt/`` (atomic rename; never
+        raises — a quarantine failure still ends in a miss)."""
+        source = self.entry_path(key)
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        counter = 0
+        while True:
+            suffix = f".{counter}" if counter else ""
+            target = os.path.join(
+                self.corrupt_dir, f"{key}.{reason}.{stamp}{suffix}{ENTRY_SUFFIX}")
+            if not os.path.exists(target):
+                break
+            counter += 1
+        try:
+            os.replace(source, target)
+        except OSError:
+            try:
+                os.remove(source)
+            except OSError:
+                pass
+        self.stats.corrupt += 1
+        self._index.pop(key, None)
+        return target
+
+    def quarantined(self):
+        """Names of quarantined entries (autopsy queue)."""
+        try:
+            return sorted(name for name in os.listdir(self.corrupt_dir)
+                          if name.endswith(ENTRY_SUFFIX))
+        except OSError:
+            return []
+
+    # -- the core API --------------------------------------------------
+
+    def get(self, key, key_text=None):
+        """The stored :class:`CompiledProgram` for ``key``, or ``None``.
+
+        Lock-free: the entry file is atomic-replaced and self-verifying.
+        Every failure mode — missing, truncated, flipped, foreign,
+        version-skewed, unpicklable — is a miss; validation failures
+        additionally quarantine the file.
+        """
+        path = self.entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as error:
+            self.stats.misses += 1
+            self._warn(f"store entry {key[:12]} unreadable ({error}); "
+                       f"treating as a miss")
+            return None
+        try:
+            _, payload = decode_entry(blob, expected_key=key,
+                                      expected_key_text=key_text)
+            program = loads_program(payload)
+        except StoreFormatError as error:
+            target = self._quarantine(key, error.reason)
+            self._warn(f"store entry {key[:12]} failed verification "
+                       f"({error}); quarantined to {target} and "
+                       f"recompiling")
+            return None
+        self.stats.hits += 1
+        self._clock += 1
+        entry = self._index.get(key)
+        if entry is not None:
+            entry["used"] = self._clock
+        return program
+
+    def put(self, key, compiled, key_text="", label=""):
+        """Persist ``compiled`` under ``key``; returns True when the
+        entry landed on disk.  Any failure — unpicklable payload,
+        filesystem error, lock timeout — degrades (warn + False),
+        never raises."""
+        try:
+            payload = dumps_program(compiled)
+        except Exception as error:
+            self.stats.write_errors += 1
+            self.stats.degraded += 1
+            self._warn(f"store entry {key[:12]} not persisted: payload "
+                       f"does not pickle ({type(error).__name__}: {error})")
+            return False
+        blob = encode_entry(key, key_text, label, payload)
+        path = self.entry_path(key)
+        with self._entry_lock(key) as acquired:
+            if not acquired:
+                self.stats.lock_timeouts += 1
+                self.stats.degraded += 1
+                self._warn(f"store entry {key[:12]} lock not acquired "
+                           f"within {self.lock_timeout:.1f}s; keeping the "
+                           f"in-process copy only")
+                return False
+            faults.maybe_die("locked")
+            tmp = f"{path}.tmp.{os.getpid()}"
+            try:
+                faults.check_write_open()
+                with open(tmp, "wb") as handle:
+                    handle.write(faults.mangle_payload(blob))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                faults.maybe_die("replace")
+                os.replace(tmp, path)
+            except OSError as error:
+                self.stats.write_errors += 1
+                self.stats.degraded += 1
+                self._warn(f"store entry {key[:12]} not persisted "
+                           f"({type(error).__name__}: {error}); keeping "
+                           f"the in-process copy only")
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                return False
+        self.stats.puts += 1
+        self._clock += 1
+        size = len(blob)
+
+        def mutate(index):
+            index[key] = {"size": size, "used": self._clock,
+                          "label": label or "?"}
+
+        self._merge_and_checkpoint(mutate)
+        return True
+
+    # -- the compile-cache convenience layer ---------------------------
+
+    def load(self, source, profile, optimize=True):
+        """Look up the artifact for one (source, profile, optimize)
+        compile, verifying the key derivation matches this build."""
+        key_text = cache_key_text(profile, optimize)
+        return self.get(compute_key(source, profile, optimize),
+                        key_text=key_text)
+
+    def save(self, source, profile, optimize, compiled):
+        """Persist one compile under its content address."""
+        key_text = cache_key_text(profile, optimize)
+        return self.put(compute_key(source, profile, optimize), compiled,
+                        key_text=key_text, label=profile.label)
+
+    # -- maintenance ops ----------------------------------------------
+
+    def verify(self, deep=True):
+        """Validate every entry; quarantine the bad ones.  ``deep``
+        additionally unpickles each payload (catching entries whose
+        digest is fine but whose classes moved)."""
+        report = VerifyReport()
+        for name in sorted(os.listdir(self.objects_dir)):
+            if not name.endswith(ENTRY_SUFFIX):
+                continue
+            key = name[:-len(ENTRY_SUFFIX)]
+            report.checked += 1
+            try:
+                with open(os.path.join(self.objects_dir, name), "rb") as handle:
+                    blob = handle.read()
+                _, payload = decode_entry(blob, expected_key=key)
+                if deep:
+                    loads_program(payload)
+            except StoreFormatError as error:
+                self._quarantine(key, error.reason)
+                report.corrupt.append((key, error.reason, error.detail))
+                continue
+            except OSError as error:
+                report.corrupt.append((key, "io", str(error)))
+                continue
+            report.ok += 1
+        if report.corrupt:
+            self._merge_and_checkpoint(lambda index: None)
+        return report
+
+    def gc(self, max_bytes=None, max_entries=None, sweep_corrupt=False):
+        """Re-sync bookkeeping with the filesystem and enforce bounds:
+        sweep stale tmp files, index entries written by writers that
+        died before their checkpoint, drop records whose files are
+        gone, evict LRU past the (optionally overridden) bounds, and
+        optionally empty the quarantine."""
+        report = {"tmp_swept": 0, "adopted": 0, "dropped": 0,
+                  "evicted": 0, "corrupt_swept": 0}
+        now = time.time()
+        for name in sorted(os.listdir(self.objects_dir)):
+            path = os.path.join(self.objects_dir, name)
+            if ".tmp." in name:
+                try:
+                    if now - os.path.getmtime(path) > TMP_SWEEP_AGE_SECONDS:
+                        os.remove(path)
+                        report["tmp_swept"] += 1
+                except OSError:
+                    pass
+        if sweep_corrupt:
+            for name in self.quarantined():
+                try:
+                    os.remove(os.path.join(self.corrupt_dir, name))
+                    report["corrupt_swept"] += 1
+                except OSError:
+                    pass
+
+        def mutate(index):
+            on_disk = {name[:-len(ENTRY_SUFFIX)]
+                       for name in os.listdir(self.objects_dir)
+                       if name.endswith(ENTRY_SUFFIX)}
+            for key in on_disk - set(index):
+                self._clock += 1
+                try:
+                    size = os.path.getsize(self.entry_path(key))
+                except OSError:
+                    continue
+                index[key] = {"size": size, "used": self._clock,
+                              "label": "?"}
+                report["adopted"] += 1
+            for key in set(index) - on_disk:
+                del index[key]
+                report["dropped"] += 1
+
+        self._merge_and_checkpoint(mutate)
+        report["evicted"] = len(self._evict_to_bounds(
+            max_bytes=max_bytes, max_entries=max_entries))
+        return report
+
+    def stats_report(self):
+        """One JSON-able snapshot: contents, bounds, counters."""
+        entries = len(self._index)
+        total = sum(e.get("size", 0) for e in self._index.values())
+        return {
+            "root": self.root,
+            "entries": entries,
+            "total_bytes": total,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+            "quarantined": len(self.quarantined()),
+            "recovered_index": self.recovered_index,
+            "counters": self.stats.as_dict(),
+        }

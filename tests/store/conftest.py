@@ -1,0 +1,13 @@
+"""Shared fixtures for the artifact-store suite."""
+
+import pytest
+
+from repro.harness import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """Every test starts and ends with nothing armed."""
+    faults.clear()
+    yield
+    faults.clear()

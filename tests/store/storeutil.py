@@ -1,0 +1,54 @@
+"""Shared helpers for the artifact-store suite (imported by name from
+the test modules; the autouse fixtures live in ``conftest.py``)."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+#: A small but non-trivial program: pointer-heavy enough that every
+#: policy instruments something, printing so transparency is checkable.
+PROGRAM = r'''
+int main(void) {
+    int a[8];
+    int *p = a;
+    int i;
+    int sum = 0;
+    for (i = 0; i < 8; i++) p[i] = i * 3;
+    for (i = 0; i < 8; i++) sum += a[i];
+    long *h = (long *)malloc(16);
+    h[0] = sum;
+    printf("sum %ld\n", h[0]);
+    free(h);
+    return sum % 100;
+}
+'''
+
+
+def store_env(store=None, store_faults=None):
+    """Environment for subprocess drills: repo on PYTHONPATH, store and
+    fault arming via the real environment variables."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
+                         + (os.pathsep + env["PYTHONPATH"]
+                            if env.get("PYTHONPATH") else ""))
+    env.pop("REPRO_STORE", None)
+    env.pop("REPRO_STORE_FAULTS", None)
+    env.pop("REPRO_PLUGINS", None)
+    if store is not None:
+        env["REPRO_STORE"] = str(store)
+    if store_faults is not None:
+        env["REPRO_STORE_FAULTS"] = store_faults
+    return env
+
+
+def run_python(code, env, timeout=120, check=False):
+    proc = subprocess.run([sys.executable, "-c", code], cwd=REPO_ROOT,
+                          env=env, capture_output=True, text=True,
+                          timeout=timeout)
+    if check and proc.returncode != 0:
+        raise AssertionError(f"subprocess failed ({proc.returncode}):\n"
+                             f"{proc.stdout}\n{proc.stderr}")
+    return proc

@@ -1,0 +1,170 @@
+"""``python -m repro cache`` — the store operations CLI."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.api import Session
+from repro.cli import main
+from repro.store import ArtifactStore
+from repro.store.cli import EX_CORRUPT, EX_OK, EX_USAGE
+
+from storeutil import PROGRAM
+
+
+@pytest.fixture
+def capture():
+    return io.StringIO(), io.StringIO()
+
+
+@pytest.fixture
+def warm_store(tmp_path):
+    store_dir = str(tmp_path / "store")
+    Session(store_dir=store_dir).run(PROGRAM, profile="spatial")
+    return store_dir
+
+
+def corrupt_one(store_dir):
+    store = ArtifactStore(store_dir)
+    (name,) = os.listdir(store.objects_dir)
+    path = os.path.join(store.objects_dir, name)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+
+
+class TestUsage:
+    def test_no_store_anywhere_is_a_usage_error(self, capture,
+                                                monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        out, err = capture
+        assert main(["cache", "stats"], out, err) == EX_USAGE
+        assert "REPRO_STORE" in err.getvalue()
+
+    def test_env_var_selects_the_store(self, warm_store, capture,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", warm_store)
+        out, err = capture
+        assert main(["cache", "stats"], out, err) == EX_OK
+        assert warm_store in out.getvalue()
+
+
+class TestRunWiring:
+    def test_run_and_check_consult_the_store(self, tmp_path, capture,
+                                             monkeypatch):
+        """`python -m repro run` under REPRO_STORE warms the store on
+        the first invocation and replays from it on the second."""
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        prog = tmp_path / "p.c"
+        prog.write_text(PROGRAM)
+        argv = ["run", str(prog), "--profile", "spatial", "--json"]
+        out, err = capture
+        assert main(argv, out, err) == 84
+        assert json.loads(out.getvalue())["cache"]["origin"] == "compile"
+        replay_out = io.StringIO()
+        assert main(argv, replay_out, io.StringIO()) == 84
+        replay = json.loads(replay_out.getvalue())
+        assert replay["cache"]["origin"] == "store"
+        baseline = json.loads(out.getvalue())
+        for row in (baseline, replay):
+            row.pop("wallclock_seconds")
+            row.pop("cache")
+        assert replay == baseline
+
+    def test_run_without_store_has_no_cache_row(self, tmp_path, capture,
+                                                monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        prog = tmp_path / "p.c"
+        prog.write_text(PROGRAM)
+        out, err = capture
+        assert main(["run", str(prog), "--json"], out, err) == 84
+        assert "cache" not in json.loads(out.getvalue())
+
+
+class TestStats:
+    def test_human_readable(self, warm_store, capture):
+        out, err = capture
+        assert main(["cache", "stats", "--store", warm_store],
+                    out, err) == EX_OK
+        assert "1 entry" in out.getvalue()
+        assert "counters:" in out.getvalue()
+
+    def test_json(self, warm_store, capture):
+        out, err = capture
+        assert main(["cache", "stats", "--store", warm_store, "--json"],
+                    out, err) == EX_OK
+        report = json.loads(out.getvalue())
+        assert report["entries"] == 1
+        assert report["quarantined"] == 0
+        assert set(report["counters"]) >= {"hits", "misses", "corrupt",
+                                           "puts", "evictions"}
+
+
+class TestVerify:
+    def test_clean_store_exits_zero(self, warm_store, capture):
+        out, err = capture
+        assert main(["cache", "verify", "--store", warm_store],
+                    out, err) == EX_OK
+        assert "1 ok, 0 corrupt" in out.getvalue()
+
+    def test_corrupt_store_exits_one_and_quarantines(self, warm_store,
+                                                     capture):
+        corrupt_one(warm_store)
+        out, err = capture
+        assert main(["cache", "verify", "--store", warm_store],
+                    out, err) == EX_CORRUPT
+        assert "quarantined" in out.getvalue()
+        assert ArtifactStore(warm_store).quarantined()
+
+    def test_corrupt_json_report(self, warm_store, capture):
+        corrupt_one(warm_store)
+        out, err = capture
+        assert main(["cache", "verify", "--store", warm_store, "--json"],
+                    out, err) == EX_CORRUPT
+        report = json.loads(out.getvalue())
+        assert report["checked"] == 1 and report["ok"] == 0
+        assert report["corrupt"][0][1] in ("truncated", "digest")
+
+    def test_second_verify_after_quarantine_is_clean(self, warm_store,
+                                                     capture):
+        corrupt_one(warm_store)
+        main(["cache", "verify", "--store", warm_store],
+             io.StringIO(), io.StringIO())
+        out, err = capture
+        assert main(["cache", "verify", "--store", warm_store],
+                    out, err) == EX_OK
+
+    def test_shallow_skips_unpickling(self, warm_store, capture):
+        out, err = capture
+        assert main(["cache", "verify", "--store", warm_store,
+                     "--shallow"], out, err) == EX_OK
+
+
+class TestGc:
+    def test_gc_reports_and_exits_zero(self, warm_store, capture):
+        out, err = capture
+        assert main(["cache", "gc", "--store", warm_store],
+                    out, err) == EX_OK
+        assert "store now holds 1 entry" in out.getvalue()
+
+    def test_gc_enforces_cli_bounds(self, tmp_path, capture):
+        store_dir = str(tmp_path / "store")
+        session = Session(store_dir=store_dir)
+        for index in range(3):
+            session.run(f"int main(void) {{ return {index}; }}")
+        out, err = capture
+        assert main(["cache", "gc", "--store", store_dir,
+                     "--max-entries", "1", "--json"], out, err) == EX_OK
+        report = json.loads(out.getvalue())
+        assert report["gc"]["evicted"] == 2
+        assert report["stats"]["entries"] == 1
+
+    def test_gc_sweep_corrupt(self, warm_store, capture):
+        corrupt_one(warm_store)
+        main(["cache", "verify", "--store", warm_store],
+             io.StringIO(), io.StringIO())
+        out, err = capture
+        assert main(["cache", "gc", "--store", warm_store,
+                     "--sweep-corrupt"], out, err) == EX_OK
+        assert not ArtifactStore(warm_store).quarantined()

@@ -1,0 +1,140 @@
+"""Entry-format tests: every corruption class is *detected*, never
+silently served."""
+
+import pytest
+
+from repro.api import ProtectionProfile
+from repro.store import format as fmt
+
+
+def entry_blob(payload=b"payload-bytes", key="k" * 64):
+    return fmt.encode_entry(key, "keytext", "Label", payload)
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        blob = entry_blob(b"hello world")
+        header, payload = fmt.decode_entry(blob, expected_key="k" * 64,
+                                           expected_key_text="keytext")
+        assert payload == b"hello world"
+        assert header["label"] == "Label"
+        assert header["format"] == fmt.FORMAT_VERSION
+        assert header["payload_len"] == 11
+
+    def test_program_payload_round_trips(self):
+        from repro.api import compile_source
+
+        compiled = compile_source("int main(void) { return 41; }",
+                                  profile="spatial")
+        payload = fmt.dumps_program(compiled)
+        clone = fmt.loads_program(payload)
+        assert clone.run().exit_code == compiled.run().exit_code
+
+    def test_empty_payload_is_valid(self):
+        header, payload = fmt.decode_entry(entry_blob(b""))
+        assert payload == b""
+
+
+def reason_of(blob, **kwargs):
+    with pytest.raises(fmt.StoreFormatError) as excinfo:
+        fmt.decode_entry(blob, **kwargs)
+    return excinfo.value.reason
+
+
+class TestDetection:
+    def test_wrong_magic(self):
+        blob = b"XX" + entry_blob()[2:]
+        assert reason_of(blob) == "magic"
+
+    def test_foreign_file(self):
+        assert reason_of(b"#!/bin/sh\necho not an entry\n") == "magic"
+
+    def test_truncated_preamble(self):
+        assert reason_of(entry_blob()[:6]) == "truncated"
+
+    def test_truncated_header(self):
+        blob = entry_blob()
+        assert reason_of(blob[:len(fmt.MAGIC) + 4 + 3]) == "truncated"
+
+    def test_truncated_payload(self):
+        assert reason_of(entry_blob()[:-4]) == "truncated"
+
+    def test_every_prefix_is_rejected_never_crashes(self):
+        """Torn writes can stop at *any* byte: every strict prefix must
+        raise a typed format error (not an unhandled exception)."""
+        blob = entry_blob(b"some payload to tear")
+        for end in range(len(blob)):
+            with pytest.raises(fmt.StoreFormatError):
+                fmt.decode_entry(blob[:end])
+
+    def test_bit_flip_in_payload(self):
+        blob = bytearray(entry_blob(b"a" * 64))
+        blob[-10] ^= 0x01
+        assert reason_of(bytes(blob)) == "digest"
+
+    def test_bit_flip_in_header(self):
+        blob = bytearray(entry_blob())
+        blob[len(fmt.MAGIC) + 4 + 2] ^= 0xFF
+        assert reason_of(bytes(blob)) in ("header", "digest", "truncated")
+
+    def test_version_bump_rejected(self):
+        real = fmt.FORMAT_VERSION
+        try:
+            fmt.FORMAT_VERSION = real + 1
+            future = entry_blob()
+        finally:
+            fmt.FORMAT_VERSION = real
+        assert reason_of(future) == "version"
+
+    def test_header_length_bomb(self):
+        blob = fmt.MAGIC + (0x7FFFFFFF).to_bytes(4, "big") + b"x" * 32
+        assert reason_of(blob) == "header"
+
+    def test_key_mismatch(self):
+        assert reason_of(entry_blob(), expected_key="z" * 64) == "key"
+
+    def test_key_text_mismatch_flags_stale_derivation(self):
+        assert reason_of(entry_blob(), expected_key="k" * 64,
+                         expected_key_text="other-derivation") == "key"
+
+    def test_undecodable_pickle_payload(self):
+        with pytest.raises(fmt.StoreFormatError) as excinfo:
+            fmt.loads_program(b"\x80\x05not really a pickle")
+        assert excinfo.value.reason == "payload"
+
+
+class TestCacheKey:
+    def profiles(self):
+        return (ProtectionProfile.from_name("spatial"),
+                ProtectionProfile.from_name("temporal"),
+                ProtectionProfile.from_name("none"))
+
+    def test_key_is_stable(self):
+        spatial = ProtectionProfile.from_name("spatial")
+        assert fmt.compute_key("src", spatial, True) \
+            == fmt.compute_key("src", spatial, True)
+
+    def test_key_separates_every_axis(self):
+        spatial, temporal, none = self.profiles()
+        keys = {
+            fmt.compute_key("src", spatial, True),
+            fmt.compute_key("src", spatial, False),
+            fmt.compute_key("src", temporal, True),
+            fmt.compute_key("src", none, True),
+            fmt.compute_key("other src", spatial, True),
+        }
+        assert len(keys) == 5
+
+    def test_observer_profiles_share_the_uninstrumented_key(self):
+        """Observer-based baselines attach at run time; on disk they
+        share the plain build, mirroring the in-process cache."""
+        none = ProtectionProfile.from_name("none")
+        valgrind = ProtectionProfile.from_name("valgrind")
+        assert fmt.compute_key("src", none, True) \
+            == fmt.compute_key("src", valgrind, True)
+
+    def test_key_text_names_the_format_version(self):
+        spatial = ProtectionProfile.from_name("spatial")
+        text = fmt.cache_key_text(spatial, True)
+        assert f"format={fmt.FORMAT_VERSION}" in text
+        assert "optimize=True" in text
