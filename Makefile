@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke policy-smoke fuzz-smoke store-smoke fuzz tables
+.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke policy-smoke fuzz-smoke store-smoke obs-smoke fuzz tables profile
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,12 @@ fuzz-smoke:      ## time-boxed differential fuzzing campaign + chaos drill + see
 
 store-smoke:     ## persistent artifact store: warm-start replay + torn-write/SIGKILL chaos drill + verify
 	$(PYTHON) scripts/ci.py --store-smoke
+
+obs-smoke:       ## observability: trace schema, both-engine profiler stability, obs-disabled overhead gate
+	$(PYTHON) scripts/ci.py --obs-smoke
+
+profile:         ## check-site profile of a workload (W=name, default bisort)
+	$(PYTHON) -m repro profile $(or $(W),bisort)
 
 fuzz:            ## open-ended differential fuzzing campaign (corpus in .fuzz-corpus/)
 	$(PYTHON) -m repro fuzz run --resume --chaos --seeds 200 --time-budget 600

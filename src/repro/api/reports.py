@@ -50,6 +50,11 @@ class RunReport:
     #: persistent-store hit/miss/corrupt/eviction counters.  ``None``
     #: for sessionless one-shot runs.
     cache: dict = None
+    #: Observability block (metrics snapshot + trace summary), filled
+    #: only when observability is enabled (``REPRO_TRACE`` / ``--trace``
+    #: / ``REPRO_METRICS``); ``None`` — and absent from ``to_json`` —
+    #: otherwise, so recorded bench goldens stay byte-identical.
+    obs: dict = None
 
     # -- outcome classification (mirrors ExecutionResult) --------------
 
@@ -111,6 +116,8 @@ class RunReport:
         }
         if self.cache is not None:
             row["cache"] = self.cache
+        if self.obs is not None:
+            row["obs"] = self.obs
         return row
 
     def to_json_text(self, indent=2):

@@ -53,12 +53,29 @@ def run_compiled(compiled, profile=None, name="program", input_data=b"",
     machine = compiled.instantiate(input_data=input_data,
                                    observers=run_observers, engine=engine,
                                    **kwargs)
+    from ..obs import obs_block, obs_enabled
+    from ..obs.trace import tracer
+
+    span = tracer().start_span("vm.run", program=name, profile=profile.name,
+                               engine=machine.engine_name)
     start = time.perf_counter()
-    result = machine.run(entry=entry)
+    try:
+        result = machine.run(entry=entry)
+    except BaseException:
+        span.finish(error=True)
+        raise
     elapsed = time.perf_counter() - start
-    return report_from_result(result, name=name, profile=profile.name,
-                              engine=machine.engine_name, compiled=compiled,
-                              wallclock_seconds=elapsed)
+    stats = result.stats
+    if stats is not None:
+        span.set(instructions=stats.instructions, cost=stats.cost,
+                 exit_code=result.exit_code)
+    span.finish()
+    report = report_from_result(result, name=name, profile=profile.name,
+                                engine=machine.engine_name, compiled=compiled,
+                                wallclock_seconds=elapsed)
+    if obs_enabled():
+        report.obs = obs_block()
+    return report
 
 
 def run_source(source, profile=None, name="program", input_data=b"",
@@ -188,9 +205,17 @@ class Session:
         self.env = resolve_env(engine=engine, jobs=jobs, store=store_dir)
         self.optimize = optimize
         self.verify = verify
+        from ..obs.metrics import default_registry
         from ..store import LRUCache
 
         self._programs = LRUCache(max_entries=cache_entries)
+        # Publish the in-process cache counters as repro_session_cache_*
+        # series (weakref'd — dies with the session).
+        default_registry().register_source(
+            "repro_session_cache_", self._programs,
+            lambda cache: {name: value
+                           for name, value in cache.counters().items()
+                           if isinstance(value, (int, float))})
         self.store = None
         if self.env.store is not None:
             try:

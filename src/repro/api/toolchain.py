@@ -29,6 +29,7 @@ from ..frontend.parser import Parser
 from ..frontend.typecheck import check
 from ..ir.verifier import verify_module
 from ..lower.lowering import lower
+from ..obs.trace import StageTracer, tracing_enabled
 from ..opt.pipeline import optimize_after_instrumentation, optimize_module
 from ..vm.machine import Machine
 from .profiles import as_profile
@@ -111,6 +112,8 @@ class Toolchain:
         self.optimize = optimize
         self.verify = verify
         self.observers = list(observers)
+        if tracing_enabled():
+            self.observers.append(StageTracer())
         self.unit_mode = unit_mode
         #: Stage artifacts of the most recent compile ({stage: dict}).
         self.artifacts = {}

@@ -10,6 +10,10 @@ check FILE
     Shorthand for ``run FILE --profile spatial`` (``--temporal`` →
     ``--profile temporal``), exiting non-zero on a violation — the
     "drop-in checker" workflow.
+profile PROG
+    Check-site profiler: run a workload or C file and rank source
+    sites by executed sb_check / sb_temporal_check / sb_meta_load
+    counts (identical under both engines); ``--json`` for tooling.
 profiles
     List the registered protection profiles.
 tables [NAME]
@@ -24,7 +28,9 @@ cache stats|verify|gc
     ``--store DIR``): show counters, re-validate + quarantine entries
     (exit 1 when corruption was found), enforce the size bounds.
 
-Every command executes through the :mod:`repro.api` facade.
+Every command executes through the :mod:`repro.api` facade.  A global
+``--trace PATH`` (or ``REPRO_TRACE=PATH``) emits a JSON-lines span
+trace of whatever the command does; see ``docs/OBSERVABILITY.md``.
 
 Exit status is deterministic: the program's own exit code for clean
 runs; 2 when a spatial check stopped the program (including the
@@ -68,6 +74,10 @@ def build_parser():
         prog="python -m repro",
         description="SoftBound reproduction: compile, run and check C "
                     "programs on the simulated machine.")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="emit a JSON-lines span trace to PATH "
+                             "(equivalent to REPRO_TRACE=PATH; see "
+                             "docs/OBSERVABILITY.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="compile and execute a C file")
@@ -110,6 +120,9 @@ def build_parser():
                             default=None,
                             help="VM dispatch engine: closure-compiled "
                                  "(default) or the reference interpreter")
+    run_parser.add_argument("--trace", metavar="PATH",
+                            default=argparse.SUPPRESS,
+                            help="emit a JSON-lines span trace to PATH")
 
     check_parser = sub.add_parser(
         "check", help="run a file under full SoftBound checking")
@@ -125,6 +138,35 @@ def build_parser():
                               action="store_false")
     check_parser.add_argument("--engine", choices=("compiled", "interp"),
                               default=None)
+    check_parser.add_argument("--trace", metavar="PATH",
+                              default=argparse.SUPPRESS,
+                              help="emit a JSON-lines span trace to PATH")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="check-site profiler: run a workload or C file under a "
+             "protection profile and rank the source sites by executed "
+             "sb_check / sb_temporal_check / sb_meta_load counts")
+    profile_parser.add_argument(
+        "target",
+        help="a built-in workload name (see `python -m repro workloads`) "
+             "or a C source file")
+    profile_parser.add_argument(
+        "--profile", metavar="NAME", default="spatial",
+        help="protection profile to instrument under (default: spatial)")
+    profile_parser.add_argument("--engine", choices=("compiled", "interp"),
+                                default=None,
+                                help="VM dispatch engine (per-site counts "
+                                     "are identical under both)")
+    profile_parser.add_argument("--top", type=int, default=20, metavar="N",
+                                help="rows in the hot-site table "
+                                     "(default: 20)")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="emit the obs-profile-v1 report as "
+                                     "JSON instead of the table")
+    profile_parser.add_argument("--trace", metavar="PATH",
+                                default=argparse.SUPPRESS,
+                                help="emit a JSON-lines span trace to PATH")
 
     profiles_parser = sub.add_parser(
         "profiles",
@@ -409,6 +451,36 @@ def _list_workloads(stdout, group=None):
     return EX_OK
 
 
+def _run_site_profile(args, stdout, stderr):
+    """``python -m repro profile TARGET`` — the check-site profiler."""
+    from .frontend.errors import FrontendError
+    from .obs.profiler import profile_source, render_table
+    from .workloads.programs import WORKLOADS
+
+    target = args.target
+    if target in WORKLOADS:
+        source = WORKLOADS[target].source
+    else:
+        source = _read_source(target, stderr)
+        if source is None:
+            return EX_USAGE
+    try:
+        report = profile_source(source, profile=args.profile,
+                                engine=args.engine, program=target)
+    except FrontendError as error:
+        print(f"compile error: {error}", file=stderr)
+        return EX_COMPILE
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=stderr)
+        return EX_USAGE
+    if args.json:
+        json.dump(report.to_json(), stdout, indent=2, sort_keys=True)
+        stdout.write("\n")
+    else:
+        render_table(report, top=args.top, out=stdout)
+    return EX_OK
+
+
 def main(argv=None, stdout=None, stderr=None):
     stdout = stdout if stdout is not None else sys.stdout
     stderr = stderr if stderr is not None else sys.stderr
@@ -418,6 +490,13 @@ def main(argv=None, stdout=None, stderr=None):
     except SystemExit as exit_error:
         return EX_USAGE if exit_error.code not in (0, None) else EX_OK
 
+    if getattr(args, "trace", None):
+        from .obs import enable_tracing
+
+        enable_tracing(args.trace)
+
+    if args.command == "profile":
+        return _run_site_profile(args, stdout, stderr)
     if args.command == "profiles":
         return _list_profiles(stdout, as_json=getattr(args, "json", False))
     if args.command == "workloads":

@@ -20,6 +20,9 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from ..obs import obs_enabled
+from ..obs.metrics import default_registry
+from ..obs.trace import tracer
 from ..workloads import randprog
 from .corpus import Corpus
 from .minimize import minimize, predicate_for
@@ -53,6 +56,9 @@ class CampaignConfig:
 class CampaignResult:
     """What a campaign did, for reporting and exit codes."""
 
+    #: The count fields below are derived from the shared obs metrics
+    #: registry at the end of :meth:`Campaign.run` (the registry is the
+    #: source of truth); they are kept as compatibility aliases.
     judged: int = 0
     skipped: int = 0
     clean: int = 0
@@ -62,6 +68,9 @@ class CampaignResult:
     chaos: dict = field(default_factory=dict)
     stopped: str = "seeds_exhausted"               # or "time_budget"
     elapsed: float = 0.0
+    #: The repro_fuzz_* registry delta for this run (only populated —
+    #: and only emitted by to_json — when observability is enabled).
+    metrics: dict = None
 
     @property
     def exit_code(self):
@@ -69,7 +78,7 @@ class CampaignResult:
                      or self.chaos.get("failed")) else 0
 
     def to_json(self):
-        return {
+        row = {
             "judged": self.judged,
             "skipped": self.skipped,
             "clean": self.clean,
@@ -81,6 +90,9 @@ class CampaignResult:
             "elapsed": round(self.elapsed, 2),
             "exit_code": self.exit_code,
         }
+        if self.metrics is not None:
+            row["metrics"] = self.metrics
+        return row
 
 
 def seed_plan(config):
@@ -112,6 +124,11 @@ class Campaign:
         config = self.config
         result = CampaignResult()
         started = time.monotonic()
+        # The shared obs registry is the campaign's single source of
+        # truth for seed tallies; the CampaignResult count fields are
+        # derived from its delta at the end (compat aliases).
+        registry = default_registry()
+        before = self._fuzz_series(registry)
 
         def out_of_time():
             return (config.time_budget is not None
@@ -130,8 +147,9 @@ class Campaign:
                     result.stopped = "time_budget"
                     break
                 if config.resume and self.corpus.is_judged(seed_key):
-                    result.skipped += 1
+                    registry.counter("repro_fuzz_skipped_total").inc()
                     continue
+                span = tracer().start_span("fuzz.seed", seed=seed_key)
                 program = build()
                 sha = self.corpus.add_program(program.source)
                 is_clean = seed_key.startswith("clean:")
@@ -150,14 +168,13 @@ class Campaign:
                     "expected_class": getattr(program, "expected_class",
                                               None),
                 })
-                result.judged += 1
                 if judgment.verdict == "clean":
-                    result.clean += 1
+                    verdict = "clean"
                 elif judgment.verdict == "infra":
-                    result.infra_seeds += 1
+                    verdict = "infra"
                     self.log(f"{seed_key}: INFRA {judgment.infra}")
                 else:
-                    result.discrepancy_seeds += 1
+                    verdict = "discrepancy"
                     kinds = sorted({d.kind
                                     for d in judgment.discrepancies})
                     self.log(f"{seed_key}: DISCREPANCY {kinds} "
@@ -165,9 +182,34 @@ class Campaign:
                     if config.minimize:
                         self._minimize_findings(
                             pool, seed_key, program, judgment, result)
+                registry.counter("repro_fuzz_seeds_total",
+                                 {"verdict": verdict}).inc()
+                span.finish(verdict=verdict)
 
         result.elapsed = time.monotonic() - started
+        delta = {}
+        after = self._fuzz_series(registry)
+        for key, value in after.items():
+            grown = value - before.get(key, 0)
+            if grown:
+                delta[key] = grown
+        result.clean = delta.get(
+            "repro_fuzz_seeds_total{verdict=clean}", 0)
+        result.infra_seeds = delta.get(
+            "repro_fuzz_seeds_total{verdict=infra}", 0)
+        result.discrepancy_seeds = delta.get(
+            "repro_fuzz_seeds_total{verdict=discrepancy}", 0)
+        result.judged = (result.clean + result.infra_seeds
+                         + result.discrepancy_seeds)
+        result.skipped = delta.get("repro_fuzz_skipped_total", 0)
+        if obs_enabled():
+            result.metrics = delta
         return result
+
+    @staticmethod
+    def _fuzz_series(registry):
+        return {key: value for key, value in registry.snapshot().items()
+                if key.startswith("repro_fuzz_")}
 
     # -- minimization --------------------------------------------------
 
@@ -195,6 +237,7 @@ class Campaign:
                     "reproduced": shrunk.reproduced if shrunk else False,
                 })
             result.findings.append(case_dir)
+            default_registry().counter("repro_fuzz_findings_total").inc()
             lines = minimized.count("\n")
             self.log(f"  minimized -> {os.path.basename(case_dir)} "
                      f"({program.source.count(chr(10))} -> {lines} lines)")

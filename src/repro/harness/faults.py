@@ -171,6 +171,16 @@ def flaky_once(marker_path):
     return "recovered"
 
 
+def bump_metric(amount=1, name="repro_test_bump_total"):
+    """Bump a counter in the shared obs registry inside a worker — the
+    metrics-merge drills assert the parent sees exactly the sum of the
+    successful attempts' deltas."""
+    from ..obs.metrics import default_registry
+
+    default_registry().counter(name).inc(amount)
+    return amount
+
+
 def write_pid(path):
     """Report the worker's pid so a test can SIGKILL it externally."""
     with open(path, "w") as handle:

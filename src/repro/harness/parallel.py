@@ -35,6 +35,12 @@ import os
 from concurrent.futures import ProcessPoolExecutor, TimeoutError
 from concurrent.futures.process import BrokenProcessPool
 
+from ..obs.metrics import default_registry
+from ..obs.trace import tracer, tracing_enabled
+
+#: First element of the envelope observed workers wrap results in.
+_OBS_MARKER = "__repro_obs__"
+
 #: Per-task wallclock deadline for pool fan-out; generous because
 #: matrix tasks compile + simulate whole benchmarks.  Override with
 #: ``REPRO_TASK_TIMEOUT`` (seconds) or the ``task_timeout`` argument.
@@ -125,6 +131,51 @@ def execute_task(task):
     raise ValueError(f"unknown task kind {kind!r}")
 
 
+def _task_label(task):
+    return task[0] if isinstance(task, tuple) and task else str(task)
+
+
+def _traced_execute(task):
+    with tracer().span("task." + _task_label(task)):
+        return execute_task(task)
+
+
+def _snapshot_delta(before, after):
+    """What one task added to a worker's registry.  Workers are reused
+    across tasks, so returning a raw snapshot would re-report earlier
+    tasks' counts; the delta merges cleanly."""
+    delta = {}
+    for key, value in after.items():
+        if key.endswith("_min") or key.endswith("_max"):
+            delta[key] = value
+            continue
+        grown = value - before.get(key, 0)
+        if grown:
+            delta[key] = grown
+    return delta
+
+
+def _execute_task_observed(task):
+    """Pool-worker entry when the parent has observability on: run the
+    task inside a span and envelope the result with the metrics this
+    task added, for the parent to merge."""
+    registry = default_registry()
+    before = registry.snapshot()
+    with tracer().span("task." + _task_label(task)):
+        result = execute_task(task)
+    return (_OBS_MARKER, result, _snapshot_delta(before, registry.snapshot()))
+
+
+def _unwrap(value):
+    """Merge and strip an observed worker's envelope (pass every other
+    result through untouched)."""
+    if (isinstance(value, tuple) and len(value) == 3
+            and value[0] == _OBS_MARKER):
+        default_registry().merge(value[2])
+        return value[1]
+    return value
+
+
 def _kill_pool(pool):
     """Tear a (possibly broken) executor down hard: SIGKILL any live
     workers, drop queued work.  Gated — executor internals differ
@@ -157,59 +208,83 @@ def run_tasks(tasks, jobs, task_timeout=None, retries=1):
     propagate raw, timeouts don't apply.
     """
     tasks = list(tasks)
+    registry = default_registry()
+    registry.counter("repro_pool_tasks_total").inc(len(tasks))
     if jobs <= 1 or len(tasks) <= 1:
+        if tracing_enabled():
+            return [_traced_execute(task) for task in tasks]
         return [execute_task(task) for task in tasks]
     if task_timeout is None:
         task_timeout = float(os.environ.get("REPRO_TASK_TIMEOUT",
                                             DEFAULT_TASK_TIMEOUT))
+    from ..obs import obs_enabled
+
+    observed = obs_enabled()
+    # Workers inherit the trace sink through REPRO_TRACE (exported by
+    # enable_tracing); REPRO_METRICS rides along the same way so nested
+    # runs inside workers behave as they would in the parent.  Observed
+    # workers envelope each result with the metrics the task added and
+    # the parent merges them back in — pool runs report aggregate
+    # counters instead of dropping worker stats.
+    runner = _execute_task_observed if observed else execute_task
+    env_added = observed and not os.environ.get("REPRO_METRICS")
+    if env_added:
+        os.environ["REPRO_METRICS"] = "1"
     sentinel = object()
     results = [sentinel] * len(tasks)
     attempts = [0] * len(tasks)
     failures = {}
     pending = list(enumerate(tasks))
-    while pending:
-        workers = min(jobs, len(pending))
-        pool = ProcessPoolExecutor(max_workers=workers)
-        futures = [(index, task, pool.submit(execute_task, task))
-                   for index, task in pending]
-        pending = []
-        broken = False
-        for index, task, future in futures:
-            if broken:
-                # The pool is gone; everything not already finished
-                # goes back in the queue (uncharged unless it failed).
-                if (future.done() and not future.cancelled()
-                        and future.exception() is None):
-                    results[index] = future.result()
-                else:
-                    error = (future.exception()
-                             if future.done() and not future.cancelled()
-                             else None)
-                    if error is not None and not isinstance(
-                            error, BrokenProcessPool):
-                        _charge(index, task, error, attempts, retries,
-                                pending, failures)
+    try:
+        while pending:
+            workers = min(jobs, len(pending))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = [(index, task, pool.submit(runner, task))
+                       for index, task in pending]
+            pending = []
+            broken = False
+            for index, task, future in futures:
+                if broken:
+                    # The pool is gone; everything not already finished
+                    # goes back in the queue (uncharged unless it failed).
+                    if (future.done() and not future.cancelled()
+                            and future.exception() is None):
+                        results[index] = _unwrap(future.result())
                     else:
-                        pending.append((index, task))
-                continue
-            try:
-                results[index] = future.result(timeout=task_timeout)
-            except TimeoutError:
-                broken = True
-                _kill_pool(pool)
-                _charge(index, task,
-                        f"no result within {task_timeout:.0f}s",
-                        attempts, retries, pending, failures)
-            except BrokenProcessPool:
-                broken = True
-                _kill_pool(pool)
-                _charge(index, task, "worker process died",
-                        attempts, retries, pending, failures)
-            except Exception as error:  # task-level failure, pool fine
-                _charge(index, task, error, attempts, retries,
-                        pending, failures)
-        if not broken:
-            pool.shutdown(wait=True)
+                        error = (future.exception()
+                                 if future.done() and not future.cancelled()
+                                 else None)
+                        if error is not None and not isinstance(
+                                error, BrokenProcessPool):
+                            _charge(index, task, error, attempts, retries,
+                                    pending, failures)
+                        else:
+                            pending.append((index, task))
+                    continue
+                try:
+                    results[index] = _unwrap(
+                        future.result(timeout=task_timeout))
+                except TimeoutError:
+                    broken = True
+                    _kill_pool(pool)
+                    registry.counter("repro_pool_rebuilds_total").inc()
+                    _charge(index, task,
+                            f"no result within {task_timeout:.0f}s",
+                            attempts, retries, pending, failures)
+                except BrokenProcessPool:
+                    broken = True
+                    _kill_pool(pool)
+                    registry.counter("repro_pool_rebuilds_total").inc()
+                    _charge(index, task, "worker process died",
+                            attempts, retries, pending, failures)
+                except Exception as error:  # task-level failure, pool fine
+                    _charge(index, task, error, attempts, retries,
+                            pending, failures)
+            if not broken:
+                pool.shutdown(wait=True)
+    finally:
+        if env_added:
+            os.environ.pop("REPRO_METRICS", None)
     if failures:
         raise ParallelTaskError(sorted(failures.values()))
     return results
@@ -220,6 +295,8 @@ def _charge(index, task, reason, attempts, retries, pending, failures):
     else record the failure."""
     attempts[index] += 1
     if attempts[index] <= retries:
+        default_registry().counter("repro_pool_retries_total").inc()
         pending.append((index, task))
     else:
+        default_registry().counter("repro_pool_failures_total").inc()
         failures[index] = (index, task, reason)

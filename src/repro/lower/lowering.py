@@ -50,6 +50,9 @@ class Lowerer:
         self.continue_targets = []
         self.goto_blocks = {}
         self.static_count = 0
+        # Source line of the statement currently being lowered; _emit
+        # stamps it onto every instruction (obs profiler attribution).
+        self._cur_line = 0
 
     # -- top level -------------------------------------------------------
 
@@ -180,6 +183,7 @@ class Lowerer:
         self.module.add_function(irfunc)
         self.func = irfunc
         self.locals = [{}]
+        self._cur_line = getattr(funcdef, "line", 0)
         self.goto_blocks = {}
         self.block = irfunc.new_block("entry")
 
@@ -214,6 +218,8 @@ class Lowerer:
     # -- helpers -----------------------------------------------------------
 
     def _emit(self, instruction):
+        if self._cur_line:
+            instruction.src_line = self._cur_line
         self.block.append(instruction)
         return instruction
 
@@ -255,6 +261,8 @@ class Lowerer:
         self.locals.pop()
 
     def _lower_local_decl(self, decl):
+        if getattr(decl, "line", 0):
+            self._cur_line = decl.line
         if decl.storage == "static":
             # Function-scope statics become module globals with a
             # uniquified name.
@@ -316,6 +324,8 @@ class Lowerer:
         handler = getattr(self, "_stmt_" + type(stmt).__name__, None)
         if handler is None:
             raise LoweringError(f"unhandled statement {type(stmt).__name__}")
+        if getattr(stmt, "line", 0):
+            self._cur_line = stmt.line
         handler(stmt)
 
     def _stmt_Block(self, stmt):

@@ -27,8 +27,11 @@ across program stores at all.
 
 from dataclasses import dataclass
 
+from dataclasses import fields as _dataclass_fields
+
 from ..ir.module import invalidate_compiled
 from ..ir.verifier import verify_module
+from ..obs.metrics import default_registry
 from . import checkelim, checkwiden, constfold, copyprop, cse, dce, licm, mem2reg
 
 
@@ -47,6 +50,18 @@ class PassStats:
     hoisted_checks: int = 0
     widened_loops: int = 0
     widened_checks: int = 0
+
+
+def _publish(stats, phase):
+    """Fold one pipeline run's counters into the shared obs registry
+    (series ``repro_opt_<field>_total{phase=...}``) — the profiler's
+    elimination-attribution numbers aggregate here across compiles."""
+    registry = default_registry()
+    for f in _dataclass_fields(stats):
+        value = getattr(stats, f.name)
+        if value:
+            registry.counter("repro_opt_%s_total" % f.name,
+                             {"phase": phase}).inc(value)
 
 
 def _capabilities(config):
@@ -80,6 +95,7 @@ def optimize_module(module, verify=True):
     invalidate_compiled(module)
     if verify:
         verify_module(module)
+    _publish(stats, "initial")
     return stats
 
 
@@ -110,4 +126,5 @@ def optimize_after_instrumentation(module, verify=True, config=None):
     invalidate_compiled(module)
     if verify:
         verify_module(module)
+    _publish(stats, "post")
     return stats

@@ -59,6 +59,9 @@ _NULL_TMETA = (Const(0, I64), Const(0, I64))
 #: functions, and setbound-blessed pointers.
 _GLOBAL_TMETA = (Const(GLOBAL_KEY, I64), Const(GLOBAL_LOCK, I64))
 
+#: Opcodes the obs check-site profiler attributes to source sites.
+_PROFILED_OPS = frozenset(("sb_check", "sb_temporal_check", "sb_meta_load"))
+
 
 class SoftBoundTransform:
     def __init__(self, config, plan=None):
@@ -130,6 +133,9 @@ class _FunctionTransform:
         # (fatptr_*) observe every store and must re-read.
         self._meta_cache = {}
         self._meta_cache_enabled = parent.plan.disjoint_metadata
+        # Per-function emission sequence for obs_site stamps (keeps
+        # distinct checks on one source line apart in the profiler).
+        self._site_seq = 0
 
     # -- definition-count prepass --------------------------------------------
 
@@ -327,10 +333,22 @@ class _FunctionTransform:
 
     def _visit(self, instr):
         handler = getattr(self, "_visit_" + instr.opcode, None)
-        if handler is not None:
-            handler(instr)
-        else:
+        if handler is None:
             self.out.append(instr)
+            return
+        start = len(self.out)
+        handler(instr)
+        # Stamp every check/metadata-load this visit emitted with its
+        # site identity: (pre-rename function, source line of the
+        # guarded instruction, per-function sequence).  The obs
+        # profiler keys execution counts on these; copy-based cloning
+        # downstream (hoist/widen) preserves them.
+        line = getattr(instr, "src_line", None)
+        name = self.func.name
+        for emitted in self.out[start:]:
+            if emitted.opcode in _PROFILED_OPS and not hasattr(emitted, "obs_site"):
+                emitted.obs_site = (name, line, self._site_seq)
+                self._site_seq += 1
 
     # -- pointer-creating instructions -------------------------------------------------------
 

@@ -38,6 +38,8 @@ import warnings
 from dataclasses import asdict, dataclass, field
 
 from ..harness import faults
+from ..obs.metrics import default_registry
+from ..obs.trace import tracer
 from .format import (
     StoreFormatError,
     cache_key_text,
@@ -123,6 +125,10 @@ class ArtifactStore:
         self.lock_timeout = lock_timeout
         self._log = log
         self.stats = StoreStats()
+        # Publish the counters as repro_store_* series for as long as
+        # this store is alive; the obs registry holds only a weakref.
+        default_registry().register_source("repro_store_", self.stats,
+                                           StoreStats.as_dict)
         self.recovered_index = False
         self._clock = 0
         self._index = {}
@@ -283,6 +289,10 @@ class ArtifactStore:
     def _quarantine(self, key, reason):
         """Move a bad entry into ``corrupt/`` (atomic rename; never
         raises — a quarantine failure still ends in a miss)."""
+        with tracer().span("store.quarantine", key=key[:12], reason=reason):
+            return self._quarantine_entry(key, reason)
+
+    def _quarantine_entry(self, key, reason):
         source = self.entry_path(key)
         stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
         counter = 0
@@ -322,6 +332,12 @@ class ArtifactStore:
         version-skewed, unpicklable — is a miss; validation failures
         additionally quarantine the file.
         """
+        with tracer().span("store.get", key=key[:12]) as span:
+            program = self._get(key, key_text)
+            span.set(hit=program is not None)
+            return program
+
+    def _get(self, key, key_text):
         path = self.entry_path(key)
         try:
             with open(path, "rb") as handle:
@@ -356,6 +372,12 @@ class ArtifactStore:
         entry landed on disk.  Any failure — unpicklable payload,
         filesystem error, lock timeout — degrades (warn + False),
         never raises."""
+        with tracer().span("store.put", key=key[:12], label=label) as span:
+            landed = self._put(key, compiled, key_text, label)
+            span.set(landed=landed)
+            return landed
+
+    def _put(self, key, compiled, key_text, label):
         try:
             payload = dumps_program(compiled)
         except Exception as error:
@@ -500,9 +522,21 @@ class ArtifactStore:
         return report
 
     def stats_report(self):
-        """One JSON-able snapshot: contents, bounds, counters."""
+        """One JSON-able snapshot: contents, bounds, counters.
+
+        The counters are this instance's live :class:`StoreStats` (the
+        ``repro_store_*`` registry source) plus the ``repro_store_*``
+        deltas merged into the shared obs registry from worker
+        processes — the registry's merged side table only, so other
+        store instances alive in the process never leak in.
+        """
         entries = len(self._index)
         total = sum(e.get("size", 0) for e in self._index.values())
+        counters = self.stats.as_dict()
+        prefix = "repro_store_"
+        for name, value in default_registry().merged(prefix).items():
+            key = name[len(prefix):]
+            counters[key] = counters.get(key, 0) + value
         return {
             "root": self.root,
             "entries": entries,
@@ -511,5 +545,5 @@ class ArtifactStore:
             "max_entries": self.max_entries,
             "quarantined": len(self.quarantined()),
             "recovered_index": self.recovered_index,
-            "counters": self.stats.as_dict(),
+            "counters": counters,
         }

@@ -42,6 +42,7 @@ attack and bug corpora.
 """
 
 from ..ir.values import Const, Register, SymbolRef
+from ..obs.profiler import site_of
 from .costs import OP_COSTS
 from .errors import Trap, TrapKind
 from .memory import _F64, _SCALAR_CODECS
@@ -1744,8 +1745,39 @@ def _build_sb_check(instr, index, offsets, block):
         size_acc = engine.acc(instr.size)
         runtime = engine.machine.sb_runtime
         check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
+        # Profiling variants are specialized in only when a site profile
+        # is attached (the detached closures below are the unprofiled
+        # originals, byte for byte).  Recording sits after the budget
+        # check and before the trap test — the same program point the
+        # interpreter records at — so per-site counts match across
+        # engines even on trapping and limit-capped runs.
+        profile = engine.machine.site_profile
+        if profile is not None:
+            counts = profile.counts
+            pkey = ("sb_check",) + tuple(site_of(instr))
 
         if is_fnptr:
+            if profile is not None:
+
+                def op(frame, regs):
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    counts[pkey] = counts.get(pkey, 0) + 1
+                    ptr = ptr_acc(regs)
+                    base = base_acc(regs)
+                    bound = bound_acc(regs)
+                    size_acc(regs)
+                    st.checks += 1
+                    st.cost += _COST_FNPTR
+                    if not (ptr == base == bound) or ptr == 0:
+                        raise Trap(TrapKind.FUNCTION_POINTER_VIOLATION,
+                                   "indirect call through non-function pointer",
+                                   address=ptr, source="softbound")
+                    return nxt
+
+                return op
 
             def op(frame, regs):
                 n = st.instructions + 1
@@ -1762,6 +1794,30 @@ def _build_sb_check(instr, index, offsets, block):
                     raise Trap(TrapKind.FUNCTION_POINTER_VIOLATION,
                                "indirect call through non-function pointer",
                                address=ptr, source="softbound")
+                return nxt
+
+        elif profile is not None:
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[pkey] = counts.get(pkey, 0) + 1
+                ptr = ptr_acc(regs)
+                base = base_acc(regs)
+                bound = bound_acc(regs)
+                size = size_acc(regs)
+                st.checks += 1
+                st.cost += check_cost
+                if ptr < base or ptr + size > bound:
+                    raise Trap(
+                        TrapKind.SPATIAL_VIOLATION,
+                        f"{access_kind} of {size} bytes outside "
+                        f"[0x{base:x}, 0x{bound:x})",
+                        address=ptr,
+                        source="softbound",
+                    )
                 return nxt
 
         else:
@@ -1805,8 +1861,33 @@ def _build_sb_meta_load(instr, index, offsets, block):
         limit = engine.limit
         addr_acc = engine.acc(instr.addr)
         machine = engine.machine
+        profile = machine.site_profile
+        if profile is not None:
+            counts = profile.counts
+            pkey = ("sb_meta_load",) + tuple(site_of(instr))
 
         if temporal:
+            if profile is not None:
+
+                def op(frame, regs):
+                    n = st.instructions + 1
+                    st.instructions = n
+                    if n > limit:
+                        raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                    counts[pkey] = counts.get(pkey, 0) + 1
+                    addr = addr_acc(regs)
+                    facility = machine.sb_runtime.facility
+                    base, bound = facility.load(addr, st)
+                    regs[base_uid] = base
+                    regs[bound_uid] = bound
+                    key, lock = facility.load_temporal(addr, st)
+                    regs[key_uid] = key
+                    regs[lock_uid] = lock
+                    st.metadata_loads += 1
+                    return nxt
+
+                return op
+
             # Widened entry: both halves of the slot's metadata in one
             # dispatch (the facility charges each half's cost).
             def op(frame, regs):
@@ -1822,6 +1903,22 @@ def _build_sb_meta_load(instr, index, offsets, block):
                 key, lock = facility.load_temporal(addr, st)
                 regs[key_uid] = key
                 regs[lock_uid] = lock
+                st.metadata_loads += 1
+                return nxt
+
+            return op
+
+        if profile is not None:
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[pkey] = counts.get(pkey, 0) + 1
+                base, bound = machine.sb_runtime.facility.load(addr_acc(regs), st)
+                regs[base_uid] = base
+                regs[bound_uid] = bound
                 st.metadata_loads += 1
                 return nxt
 
@@ -1902,6 +1999,29 @@ def _build_sb_temporal_check(instr, index, offsets, block):
         # inlines to one dict probe plus a compare.
         slots = engine.machine.sb_runtime.lockspace.slots
         tcost = OP_COSTS["sb.temporal.check"]
+        profile = engine.machine.site_profile
+
+        if profile is not None:
+            counts = profile.counts
+            pkey = ("sb_temporal_check",) + tuple(site_of(instr))
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[pkey] = counts.get(pkey, 0) + 1
+                key = key_acc(regs)
+                st.temporal_checks += 1
+                st.cost += tcost
+                if key == 0 or slots.get(lock_acc(regs)) != key:
+                    from .errors import temporal_violation
+
+                    raise temporal_violation(access_kind, ptr_acc(regs), key,
+                                             lock_acc(regs))
+                return nxt
+
+            return op
 
         def op(frame, regs):
             n = st.instructions + 1
@@ -2214,6 +2334,41 @@ def _build_gep_check(gep_instr, check_instr, index):
         size_acc = engine.acc(check_instr.size)
         runtime = engine.machine.sb_runtime
         check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
+        profile = engine.machine.site_profile
+
+        if profile is not None:
+            counts = profile.counts
+            check_key = ("sb_check",) + tuple(site_of(check_instr))
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                addr = addr_of(regs)
+                regs[gep_uid] = addr
+                st.cost += _COST_GEP
+                n += 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[check_key] = counts.get(check_key, 0) + 1
+                base = base_acc(regs)
+                bound = bound_acc(regs)
+                size = size_acc(regs)
+                st.checks += 1
+                st.cost += check_cost
+                if addr < base or addr + size > bound:
+                    raise Trap(
+                        TrapKind.SPATIAL_VIOLATION,
+                        f"{access_kind} of {size} bytes outside "
+                        f"[0x{base:x}, 0x{bound:x})",
+                        address=addr,
+                        source="softbound",
+                    )
+                return nxt
+
+            return op
 
         def op(frame, regs):
             n = st.instructions + 1
@@ -2265,6 +2420,49 @@ def _build_meta_load_check(meta_instr, check_instr, index):
         machine = engine.machine
         runtime = machine.sb_runtime
         check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
+        profile = machine.site_profile
+
+        if profile is not None:
+            counts = profile.counts
+            meta_key = ("sb_meta_load",) + tuple(site_of(meta_instr))
+            check_key = ("sb_check",) + tuple(site_of(check_instr))
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[meta_key] = counts.get(meta_key, 0) + 1
+                facility = machine.sb_runtime.facility
+                addr = addr_acc(regs)
+                base, bound = facility.load(addr, st)
+                regs[base_uid] = base
+                regs[bound_uid] = bound
+                if temporal:
+                    tkey, tlock = facility.load_temporal(addr, st)
+                    regs[key_uid] = tkey
+                    regs[lock_uid] = tlock
+                st.metadata_loads += 1
+                n += 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[check_key] = counts.get(check_key, 0) + 1
+                ptr = ptr_acc(regs)
+                size = size_acc(regs)
+                st.checks += 1
+                st.cost += check_cost
+                if ptr < base or ptr + size > bound:
+                    raise Trap(
+                        TrapKind.SPATIAL_VIOLATION,
+                        f"{access_kind} of {size} bytes outside "
+                        f"[0x{base:x}, 0x{bound:x})",
+                        address=ptr,
+                        source="softbound",
+                    )
+                return nxt
+
+            return op
 
         def op(frame, regs):
             n = st.instructions + 1
@@ -2327,6 +2525,49 @@ def _build_check_temporal_check(check_instr, temporal_instr, index):
         check_cost = OP_COSTS[getattr(runtime, "check_cost_key", "sb.check")]
         tcost = OP_COSTS["sb.temporal.check"]
         slots = runtime.lockspace.slots if runtime.lockspace is not None else {}
+        profile = engine.machine.site_profile
+
+        if profile is not None:
+            counts = profile.counts
+            check_key = ("sb_check",) + tuple(site_of(check_instr))
+            temporal_key = ("sb_temporal_check",) + tuple(site_of(temporal_instr))
+
+            def op(frame, regs):
+                n = st.instructions + 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[check_key] = counts.get(check_key, 0) + 1
+                ptr = ptr_acc(regs)
+                base = base_acc(regs)
+                bound = bound_acc(regs)
+                size = size_acc(regs)
+                st.checks += 1
+                st.cost += check_cost
+                if ptr < base or ptr + size > bound:
+                    raise Trap(
+                        TrapKind.SPATIAL_VIOLATION,
+                        f"{access_kind} of {size} bytes outside "
+                        f"[0x{base:x}, 0x{bound:x})",
+                        address=ptr,
+                        source="softbound",
+                    )
+                n += 1
+                st.instructions = n
+                if n > limit:
+                    raise Trap(TrapKind.RESOURCE_LIMIT, _RESOURCE_MSG)
+                counts[temporal_key] = counts.get(temporal_key, 0) + 1
+                key = key_acc(regs)
+                st.temporal_checks += 1
+                st.cost += tcost
+                if key == 0 or slots.get(lock_acc(regs)) != key:
+                    from .errors import temporal_violation
+
+                    raise temporal_violation(t_access_kind, t_ptr_acc(regs), key,
+                                             lock_acc(regs))
+                return nxt
+
+            return op
 
         def op(frame, regs):
             n = st.instructions + 1

@@ -24,6 +24,7 @@ metadata facility when the module has been transformed.
 
 from ..ir.irtypes import F64, I64, PTR
 from ..ir.values import Const, Register, SymbolRef
+from ..obs.profiler import site_of
 from .costs import CostStats, OP_COSTS
 from .errors import ExecutionResult, Trap, TrapKind
 from .libc import Libc
@@ -165,6 +166,7 @@ class Machine:
         self.libc = Libc(self)
         self.observers = []
         self.sb_runtime = None  # set by the SoftBound runtime when active
+        self.site_profile = None  # set by attach_site_profile (obs profiler)
         self.input_data = input_data
         self.input_pos = 0
         self.output = []
@@ -242,6 +244,17 @@ class Machine:
         for name, gvar in self.module.globals.items():
             observer.on_global(self.symbol_addrs[name], max(gvar.size, 1), name, gvar.ctype)
         return observer
+
+    def attach_site_profile(self, profile):
+        """Attach an ``obs.profiler.SiteProfile``: every executed
+        sb_check / sb_temporal_check / sb_meta_load is counted against
+        its ``obs_site``.  The compiled engine regenerates its closures
+        with counting variants (specialized at make time, so detached
+        machines pay nothing)."""
+        self.site_profile = profile
+        if self._engine is not None:
+            self._engine.invalidate()
+        return profile
 
     def global_addr(self, name):
         return self.symbol_addrs[name]
@@ -797,6 +810,8 @@ class Machine:
     # -- SoftBound runtime instructions ------------------------------------------
 
     def _exec_sb_check(self, frame, instr):
+        if self.site_profile is not None:
+            self.site_profile.record("sb_check", site_of(instr))
         runtime = self.sb_runtime
         ptr = self._value(frame, instr.ptr)
         base = self._value(frame, instr.base)
@@ -820,6 +835,8 @@ class Machine:
             )
 
     def _exec_sb_meta_load(self, frame, instr):
+        if self.site_profile is not None:
+            self.site_profile.record("sb_meta_load", site_of(instr))
         addr = self._value(frame, instr.addr)
         base, bound = self.sb_runtime.facility.load(addr, self.stats)
         frame.regs[instr.dst_base.uid] = base
@@ -842,6 +859,8 @@ class Machine:
         self.stats.metadata_stores += 1
 
     def _exec_sb_temporal_check(self, frame, instr):
+        if self.site_profile is not None:
+            self.site_profile.record("sb_temporal_check", site_of(instr))
         ptr = self._value(frame, instr.ptr)
         key = self._value(frame, instr.key)
         lock = self._value(frame, instr.lock)

@@ -1,0 +1,19 @@
+"""Shared obs-test hygiene: every test starts and ends with
+observability switched off, so the suite's own obs tests can't leak
+tracing or forced metrics into unrelated tests (the golden-invariance
+tests depend on a genuinely disabled default state)."""
+
+import pytest
+
+from repro.obs import disable_metrics, disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _obs_off(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_METRICS", raising=False)
+    disable_tracing()
+    disable_metrics()
+    yield
+    disable_tracing()
+    disable_metrics()

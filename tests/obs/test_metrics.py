@@ -1,0 +1,151 @@
+"""Metrics registry semantics: series naming, instrument kinds,
+snapshots, weakref sources and associative merging."""
+
+import gc
+import pickle
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, default_registry, series_name
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSeriesNaming:
+    def test_bare_name(self):
+        assert series_name("repro_x_total") == "repro_x_total"
+
+    def test_labels_sorted(self):
+        assert (series_name("seeds", {"verdict": "clean", "a": 1})
+                == "seeds{a=1,verdict=clean}")
+
+    def test_empty_labels_is_bare(self):
+        assert series_name("x", {}) == "x"
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        counter = registry.counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot() == {"c_total": 5}
+
+    def test_negative_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_get_or_create_identity(self, registry):
+        first = registry.counter("c_total", {"k": "v"})
+        second = registry.counter("c_total", {"k": "v"})
+        assert first is second
+
+    def test_distinct_labels_distinct_series(self, registry):
+        registry.counter("c_total", {"k": "a"}).inc()
+        registry.counter("c_total", {"k": "b"}).inc(2)
+        assert registry.snapshot() == {"c_total{k=a}": 1, "c_total{k=b}": 2}
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("level")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert registry.snapshot()["level"] == 12
+
+
+class TestHistogram:
+    def test_cells(self, registry):
+        histogram = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            histogram.observe(value)
+        snap = registry.snapshot()
+        assert snap["lat_count"] == 3
+        assert snap["lat_sum"] == 22.5
+        assert snap["lat_min"] == 0.5
+        assert snap["lat_max"] == 20.0
+        # Buckets are cumulative, closed with le=inf.
+        assert snap["lat_bucket{le=1.0}"] == 1
+        assert snap["lat_bucket{le=10.0}"] == 2
+        assert snap["lat_bucket{le=inf}"] == 3
+
+    def test_empty_histogram_has_no_min_max(self, registry):
+        registry.histogram("lat")
+        snap = registry.snapshot()
+        assert snap["lat_count"] == 0
+        assert "lat_min" not in snap
+
+
+class TestSources:
+    def test_live_source_folded_into_snapshot(self, registry):
+        class Bag:
+            pass
+
+        bag = Bag()
+        bag.hits = 3
+        registry.register_source("repro_store_", bag,
+                                 lambda b: {"hits": b.hits})
+        assert registry.snapshot()["repro_store_hits"] == 3
+        bag.hits = 7
+        assert registry.snapshot()["repro_store_hits"] == 7
+
+    def test_dead_source_dropped(self, registry):
+        class Bag:
+            pass
+
+        bag = Bag()
+        registry.register_source("p_", bag, lambda b: {"x": 1})
+        assert registry.snapshot() == {"p_x": 1}
+        del bag
+        gc.collect()
+        assert registry.snapshot() == {}
+
+
+class TestMerge:
+    def test_snapshots_pickle(self, registry):
+        registry.counter("c").inc(2)
+        snap = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_additive(self, registry):
+        registry.counter("c").inc(1)
+        registry.merge({"c": 4, "other": 2})
+        snap = registry.snapshot()
+        assert snap["c"] == 5
+        assert snap["other"] == 2
+
+    def test_min_max_cells(self, registry):
+        registry.merge({"lat_min": 2.0, "lat_max": 5.0})
+        registry.merge({"lat_min": 1.0, "lat_max": 3.0})
+        snap = registry.snapshot()
+        assert snap["lat_min"] == 1.0
+        assert snap["lat_max"] == 5.0
+
+    def test_merge_order_independent(self):
+        deltas = [{"c": 1, "lat_min": 3.0}, {"c": 4, "lat_min": 2.0},
+                  {"c": 2}]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for delta in deltas:
+            forward.merge(delta)
+        for delta in reversed(deltas):
+            backward.merge(delta)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_reset(self, registry):
+        registry.counter("c").inc()
+        registry.merge({"m": 1})
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestDefaultRegistry:
+    def test_is_singleton(self):
+        assert default_registry() is default_registry()

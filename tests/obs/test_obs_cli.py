@@ -1,0 +1,101 @@
+"""The ``python -m repro profile`` subcommand and the global
+``--trace`` flag."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import EX_COMPILE, EX_USAGE, main
+
+GOOD = r"""
+int main(void) {
+    int a[8];
+    for (int i = 0; i < 8; i++) a[i] = i;
+    return a[7];
+}
+"""
+
+
+@pytest.fixture
+def capture():
+    return io.StringIO(), io.StringIO()
+
+
+def run_cli(argv, capture):
+    stdout, stderr = capture
+    code = main(argv, stdout=stdout, stderr=stderr)
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+class TestProfileCommand:
+    def test_workload_by_name_renders_table(self, capture):
+        code, out, _ = run_cli(["profile", "treeadd"], capture)
+        assert code == 0
+        assert "check-site profile: treeadd" in out
+        assert "attribution:" in out
+
+    def test_file_target(self, tmp_path, capture):
+        path = tmp_path / "prog.c"
+        path.write_text(GOOD)
+        code, out, _ = run_cli(["profile", str(path)], capture)
+        assert code == 0
+        assert "sb_check" in out
+
+    def test_json_schema(self, capture):
+        code, out, _ = run_cli(["profile", "treeadd", "--json"], capture)
+        assert code == 0
+        row = json.loads(out)
+        assert row["schema"] == "obs-profile-v1"
+        assert row["sites"]
+
+    def test_engines_agree_at_cli_level(self, capture):
+        _, interp_out, _ = run_cli(
+            ["profile", "treeadd", "--json", "--engine", "interp"], capture)
+        stdout, stderr = io.StringIO(), io.StringIO()
+        main(["profile", "treeadd", "--json", "--engine", "compiled"],
+             stdout=stdout, stderr=stderr)
+        interp_row = json.loads(interp_out)
+        compiled_row = json.loads(stdout.getvalue())
+        assert interp_row["sites"] == compiled_row["sites"]
+        assert interp_row["totals"] == compiled_row["totals"]
+
+    def test_missing_file_is_usage_error(self, capture):
+        code, _, err = run_cli(["profile", "/no/such/file.c"], capture)
+        assert code == EX_USAGE
+        assert err
+
+    def test_compile_error_exit_code(self, tmp_path, capture):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( {")
+        code, _, err = run_cli(["profile", str(path)], capture)
+        assert code == EX_COMPILE
+        assert "compile error" in err
+
+    def test_top_limits_table_rows(self, capture):
+        code, out, _ = run_cli(["profile", "treeadd", "--top", "1"], capture)
+        assert code == 0
+        assert "more sites" in out
+
+
+class TestTraceFlag:
+    def test_trace_flag_writes_spans(self, tmp_path, capture):
+        prog = tmp_path / "prog.c"
+        prog.write_text(GOOD)
+        sink = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(["--trace", str(sink), "run", str(prog)],
+                             capture)
+        assert code == 7  # the program's own exit code (a[7])
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        names = {line["name"] for line in lines}
+        assert "vm.run" in names
+        assert "stage.parse" in names
+
+    def test_trace_flag_after_subcommand(self, tmp_path, capture):
+        prog = tmp_path / "prog.c"
+        prog.write_text(GOOD)
+        sink = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(["run", str(prog), "--trace", str(sink)],
+                             capture)
+        assert code == 7
+        assert sink.read_text().strip()

@@ -1,0 +1,204 @@
+"""Check-site profiler: per-site counts must be bit-identical across
+the two VM engines — on clean workloads, trapping attacks and runs cut
+short by the instruction limit — and attributing them to source lines
+must cover the executed checks (the paper-facing acceptance bar is
+>=80% of executed ``sb_meta_load``)."""
+
+import pytest
+
+from repro.api import compile_source
+from repro.api.profiles import as_profile
+from repro.obs.profiler import (SITE_KINDS, SiteProfile, build_report,
+                                profile_source, render_table, site_of)
+from repro.vm.errors import TrapKind
+from repro.workloads.attacks import all_attacks
+from repro.workloads.programs import WORKLOADS
+from repro.workloads.temporal_attacks import all_temporal_attacks
+
+WORKLOAD_NAMES = ("treeadd", "bisort", "em3d")
+
+
+def profile_pair(source, profile="spatial", **kwargs):
+    interp = profile_source(source, profile=profile, engine="interp",
+                            **kwargs)
+    compiled = profile_source(source, profile=profile, engine="compiled",
+                              **kwargs)
+    return interp, compiled
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_spatial_site_counts_identical(self, name):
+        interp, compiled = profile_pair(WORKLOADS[name].source, program=name)
+        assert interp.sites == compiled.sites
+        assert interp.totals == compiled.totals
+        assert interp.exit_code == compiled.exit_code
+
+    def test_full_profile_counts_identical(self):
+        interp, compiled = profile_pair(WORKLOADS["treeadd"].source,
+                                        profile="full", program="treeadd")
+        assert interp.sites == compiled.sites
+        assert interp.totals["sb_temporal_check"] > 0
+
+    def test_trapping_attack_counts_identical(self):
+        attack = all_attacks()[0]
+        interp, compiled = profile_pair(attack.source, program=attack.name)
+        assert interp.trap == compiled.trap == TrapKind.SPATIAL_VIOLATION.name
+        assert interp.sites == compiled.sites
+
+    def test_temporal_attack_counts_identical(self):
+        attack = all_temporal_attacks()[0]
+        interp, compiled = profile_pair(attack.source, profile="full",
+                                        program=attack.name)
+        assert interp.sites == compiled.sites
+
+    def test_resource_limit_cut_counts_identical(self):
+        # The subtle edge: profiled compiled closures record *after* the
+        # per-instruction limit check, interp handlers record after the
+        # loop's limit check — so a run cut mid-flight by the budget
+        # still tallies identically on both engines.
+        interp, compiled = profile_pair(WORKLOADS["treeadd"].source,
+                                        program="treeadd",
+                                        max_instructions=5_000)
+        assert interp.trap == compiled.trap == TrapKind.RESOURCE_LIMIT.name
+        assert interp.sites == compiled.sites
+        assert interp.totals == compiled.totals
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_meta_loads_attributed_to_source_sites(self, name):
+        report = profile_source(WORKLOADS[name].source, engine="compiled",
+                                program=name)
+        assert report.attribution["sb_meta_load"] >= 0.80
+        for row in report.sites:
+            assert row["function"] != "?"
+            assert row["line"] is not None
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_profiler_totals_match_cost_model(self, name):
+        report = profile_source(WORKLOADS[name].source, engine="compiled",
+                                program=name)
+        assert report.totals == report.executed
+
+
+class TestProfilingIsObservationOnly:
+    @pytest.mark.parametrize("engine", ("interp", "compiled"))
+    def test_cost_stats_unchanged_by_profiling(self, engine):
+        profile = as_profile("spatial")
+        compiled = compile_source(WORKLOADS["treeadd"].source,
+                                  profile=profile)
+
+        def run(attach):
+            machine = compiled.instantiate(
+                observers=profile.make_observers(), engine=engine)
+            if attach:
+                machine.attach_site_profile(SiteProfile())
+            return machine.run()
+
+        plain, profiled = run(False), run(True)
+        assert plain.exit_code == profiled.exit_code
+        assert plain.stats == profiled.stats
+
+    def test_disabled_path_builds_no_profiling_closures(self):
+        # The counting closure variants close over the profile's
+        # ``counts`` dict; with no profile attached the compiled engine
+        # must build zero of them — the disabled path runs the exact
+        # pre-profiler closures, so its cost is unchanged by
+        # construction.
+        profile = as_profile("spatial")
+        compiled = compile_source(WORKLOADS["treeadd"].source,
+                                  profile=profile)
+
+        def profiling_closures(attach):
+            machine = compiled.instantiate(
+                observers=profile.make_observers(), engine="compiled")
+            if attach:
+                machine.attach_site_profile(SiteProfile())
+            machine.run()
+            return sum(
+                1
+                for ops in machine._engine._code.values()
+                for op in ops
+                if getattr(op, "__code__", None) is not None
+                and "counts" in op.__code__.co_freevars)
+
+        assert profiling_closures(False) == 0
+        assert profiling_closures(True) > 0
+
+
+class TestSiteProfile:
+    def test_record_and_totals(self):
+        profile = SiteProfile()
+        profile.record("sb_check", ("f", 3, 0))
+        profile.record("sb_check", ("f", 3, 0))
+        profile.record("sb_meta_load", ("f", 4, 1))
+        assert profile.total("sb_check") == 2
+        assert profile.attributed("sb_check") == 2
+
+    def test_unknown_sites_not_attributed(self):
+        profile = SiteProfile()
+        profile.record("sb_check", ("?", None, -1))
+        assert profile.total("sb_check") == 1
+        assert profile.attributed("sb_check") == 0
+
+    def test_merge_adds(self):
+        left, right = SiteProfile(), SiteProfile()
+        left.record("sb_check", ("f", 1, 0))
+        right.record("sb_check", ("f", 1, 0))
+        right.record("sb_meta_load", ("g", 2, 1))
+        left.merge(right)
+        assert left.counts[("sb_check", "f", 1, 0)] == 2
+        assert left.counts[("sb_meta_load", "g", 2, 1)] == 1
+
+    def test_site_of_fallbacks(self):
+        class Instr:
+            pass
+
+        instr = Instr()
+        assert site_of(instr) == ("?", None, -1)
+        instr.src_line = 9
+        assert site_of(instr) == ("?", 9, -1)
+        instr.obs_site = ("main", 9, 2)
+        assert site_of(instr) == ("main", 9, 2)
+
+
+class TestReport:
+    def test_json_schema(self):
+        report = profile_source(WORKLOADS["treeadd"].source,
+                                engine="compiled", program="treeadd")
+        row = report.to_json()
+        assert row["schema"] == "obs-profile-v1"
+        assert row["program"] == "treeadd"
+        assert set(SITE_KINDS) == set(row["totals"])
+        assert set(SITE_KINDS) == set(row["attribution"])
+        assert row["sites"] and row["sites"][0]["total"] >= \
+            row["sites"][-1]["total"]
+        assert "optimize" in row["eliminated"]
+
+    def test_top_truncates_ranked_sites(self):
+        full = profile_source(WORKLOADS["treeadd"].source,
+                              engine="compiled", program="treeadd")
+        cut = profile_source(WORKLOADS["treeadd"].source,
+                             engine="compiled", program="treeadd", top=2)
+        assert cut.sites == full.sites[:2]
+
+    def test_render_table_mentions_hot_site_and_attribution(self):
+        report = profile_source(WORKLOADS["treeadd"].source,
+                                engine="compiled", program="treeadd")
+        text = render_table(report)
+        hottest = report.sites[0]
+        assert "check-site profile: treeadd" in text
+        assert "%s#%d" % (hottest["function"], hottest["seq"]) in text
+        assert "attribution:" in text
+
+    def test_build_report_without_stats(self):
+        class Result:
+            stats = None
+            exit_code = 0
+            trap = None
+
+        report = build_report(SiteProfile(), Result(), program="p",
+                              profile_name="spatial", engine="interp")
+        assert report.executed == {}
+        assert report.instructions == 0

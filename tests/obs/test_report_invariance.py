@@ -1,0 +1,82 @@
+"""Golden invariance: with observability off, nothing observable leaks
+into any recorded output format — run-report JSON rows keep the exact
+key set of the recorded ``BENCH_*.json`` goldens, and the paper tables
+render byte-identically whether or not obs is switched on."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import run_source
+from repro.harness import tables
+from repro.obs import enable_metrics, enable_tracing
+from repro.workloads.programs import WORKLOADS
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+TINY = r"""
+int main(void) {
+    int a[4];
+    for (int i = 0; i < 4; i++) a[i] = i;
+    return a[3];
+}
+"""
+
+
+class TestRunReportRows:
+    def test_obs_off_emits_no_obs_key(self):
+        row = run_source(TINY, profile="spatial").to_json()
+        assert "obs" not in row
+
+    def test_obs_on_emits_metrics_block(self):
+        enable_metrics()
+        row = run_source(TINY, profile="spatial").to_json()
+        assert "metrics" in row["obs"]
+
+    def test_tracing_adds_trace_summary(self, tmp_path):
+        enable_tracing(str(tmp_path / "t.jsonl"))
+        report = run_source(TINY, profile="spatial")
+        assert "trace" in report.obs
+        assert report.obs["trace"]["vm.run"]["count"] == 1
+
+    def test_recorded_bench_goldens_carry_no_obs_series(self):
+        # The recorded BENCH_*.json documents predate obs and must stay
+        # that way: nothing in them mentions observability.
+        for name in ("BENCH_interp.json", "BENCH_checkopt.json",
+                     "BENCH_temporal.json"):
+            with open(os.path.join(REPO_ROOT, name)) as handle:
+                text = handle.read()
+            assert json.loads(text)["schema"] == "bench-v2"
+            assert "obs" not in json.loads(text)["workloads"] \
+                and "repro_" not in text
+
+    def test_batch_document_rows_have_no_obs_key(self):
+        from repro.api import Session
+
+        batch = Session().run_many([("tiny", TINY, "spatial")])
+        doc = batch.to_json()
+        assert doc["schema"] == "bench-v2"
+        assert all("obs" not in row for row in doc["workloads"].values())
+
+
+class TestTableInvariance:
+    @pytest.fixture(scope="class")
+    def rendered_off(self):
+        # Render all four tables with obs fully off, before the enabled
+        # renders warm anything differently.
+        return {
+            "table1": tables.render_table1(),
+            "table3": tables.render_table3(),
+            "table4": tables.render_table4(),
+            "figure1": tables.render_figure1(),
+        }
+
+    def test_tables_identical_with_obs_enabled(self, rendered_off,
+                                               tmp_path):
+        enable_metrics()
+        enable_tracing(str(tmp_path / "tables.jsonl"))
+        assert tables.render_table1() == rendered_off["table1"]
+        assert tables.render_table3() == rendered_off["table3"]
+        assert tables.render_table4() == rendered_off["table4"]
+        assert tables.render_figure1() == rendered_off["figure1"]

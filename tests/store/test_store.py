@@ -284,6 +284,31 @@ class TestMaintenance:
         assert report["counters"]["puts"] == 1
         json.dumps(report)  # JSON-able for the CLI
 
+    def test_stats_report_ignores_other_live_stores(self, tmp_path,
+                                                    compiled):
+        """Another store's traffic must not leak into this report —
+        the obs-registry overlay folds worker *deltas*, not every
+        repro_store_* source alive in the process."""
+        busy = ArtifactStore(tmp_path / "busy")
+        put_one(busy, compiled)
+        quiet = ArtifactStore(tmp_path / "quiet")
+        counters = quiet.stats_report()["counters"]
+        assert counters["puts"] == 0 and counters["hits"] == 0
+
+    def test_stats_report_folds_merged_worker_deltas(self, store,
+                                                     compiled):
+        from repro.obs.metrics import default_registry
+
+        put_one(store, compiled)
+        default_registry().merge({"repro_store_hits": 2,
+                                  "repro_other_total": 9})
+        try:
+            counters = store.stats_report()["counters"]
+            assert counters["hits"] == 2 and counters["puts"] == 1
+            assert "other_total" not in counters
+        finally:
+            default_registry().reset()
+
 
 class TestLockDegradation:
     def test_index_lock_timeout_degrades_not_hangs(self, tmp_path,
