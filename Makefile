@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-diff ci api-smoke policy-smoke fuzz-smoke store-smoke obs-smoke fuzz tables profile
+.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-serve bench-diff ci api-smoke policy-smoke fuzz-smoke store-smoke obs-smoke serve-smoke serve fuzz tables profile
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,9 @@ bench-checkopt:  ## loop-pass cost-model ablation; records BENCH_checkopt.json
 
 bench-temporal:  ## temporal-checking overhead sweep; records BENCH_temporal.json
 	$(PYTHON) benchmarks/bench_temporal_overhead.py
+
+bench-serve:     ## sustained-load benchmark of the serve daemon; records BENCH_serve.json
+	$(PYTHON) benchmarks/bench_serve.py
 
 bench-diff:      ## compare the recorded BENCH_*.json reports (bench-v2 schema)
 	$(PYTHON) scripts/bench_diff.py BENCH_checkopt.json BENCH_temporal.json
@@ -42,6 +45,12 @@ store-smoke:     ## persistent artifact store: warm-start replay + torn-write/SI
 
 obs-smoke:       ## observability: trace schema, both-engine profiler stability, obs-disabled overhead gate
 	$(PYTHON) scripts/ci.py --obs-smoke
+
+serve-smoke:     ## serve daemon: status mapping, CLI parity, 503/504 degradation, worker-kill recovery, SIGINT drain
+	$(PYTHON) scripts/ci.py --serve-smoke
+
+serve:           ## run the safety-as-a-service daemon (HOST/PORT/WORKERS env or flags; see docs/SERVE.md)
+	$(PYTHON) -m repro serve
 
 profile:         ## check-site profile of a workload (W=name, default bisort)
 	$(PYTHON) -m repro profile $(or $(W),bisort)

@@ -1,0 +1,193 @@
+"""Sustained-load benchmark for the ``repro serve`` daemon.
+
+Boots the daemon as a real subprocess (OS-assigned port, fresh
+artifact store), replays the deterministic loadgen mix — the paper's
+server workloads under escalating profiles, the attack suite, BugBench
+and malformed requests — once cold to warm every cache level, then
+measures a warm-cache replay and records ``BENCH_serve.json`` at the
+repo root in the bench-v2 schema (``value`` = requests/second per
+traffic class, with p50/p99 latency and the cache hit ratio
+alongside), diffable by ``scripts/bench_diff.py``.
+
+Run directly for the full measurement (records the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+or through pytest (small in-process mix, acceptance asserts only):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -s
+"""
+
+import json
+import math
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_serve.json"
+SRC_ROOT = str(REPO_ROOT / "src")
+
+if SRC_ROOT not in sys.path:
+    sys.path.insert(0, SRC_ROOT)
+
+from repro.serve.loadgen import build_mix, run_load  # noqa: E402
+
+WARM_REPEATS = 3
+CONCURRENCY = 8
+WORKERS = 4
+
+
+def _spawn_daemon(store_dir):
+    env = dict(os.environ, REPRO_STORE=store_dir,
+               PYTHONPATH=SRC_ROOT + os.pathsep
+               + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", str(WORKERS), "--queue", "64"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        text=True)
+    ready = proc.stdout.readline()
+    if "listening on" not in ready:
+        proc.kill()
+        raise RuntimeError(f"daemon failed to start: {ready!r}")
+    port = int(ready.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+    return proc, f"http://127.0.0.1:{port}"
+
+
+def _cache_hit_ratio(base_url):
+    with urllib.request.urlopen(base_url + "/metrics", timeout=10) as resp:
+        series = json.loads(resp.read())["series"]
+    origins = {}
+    for key, value in series.items():
+        if key.startswith("repro_serve_cache_origin_total{origin="):
+            origins[key.split("origin=", 1)[1][:-1]] = value
+    total = sum(origins.values())
+    hits = origins.get("memory", 0) + origins.get("store", 0)
+    return (hits / total if total else 0.0), origins
+
+
+def measure(store_dir):
+    proc, base_url = _spawn_daemon(store_dir)
+    try:
+        # Cold pass: compiles everything once, warming the shared store
+        # and each worker's in-process LRU.
+        warm = run_load(base_url, build_mix(repeats=1),
+                        concurrency=CONCURRENCY)
+        bad = [s for s in warm.errors]
+        if bad:
+            details = [(s.name, s.status, s.detail) for s in bad[:5]]
+            raise RuntimeError(f"cold pass had failures: {details}")
+        # Measured pass: warm-cache replay.
+        result = run_load(base_url, build_mix(repeats=WARM_REPEATS),
+                          concurrency=CONCURRENCY)
+        hit_ratio, origins = _cache_hit_ratio(base_url)
+        report = build_report(result, hit_ratio, origins)
+        # Graceful Ctrl-C drain is part of the contract: SIGINT → 130.
+        proc.send_signal(signal.SIGINT)
+        exit_code = proc.wait(timeout=30)
+        report["daemon_sigint_exit"] = exit_code
+        return report
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def build_report(result, hit_ratio, origins):
+    workloads = {}
+    for category, samples in sorted(result.by_category().items()):
+        count = len(samples)
+        errors = sum(1 for s in samples if not s.ok)
+        rps = (count / result.wall_seconds) if result.wall_seconds else 0.0
+        workloads[category] = {
+            "requests": count,
+            "errors": errors,
+            "p50_ms": round(result.percentile(0.50, category) * 1000, 3),
+            "p99_ms": round(result.percentile(0.99, category) * 1000, 3),
+            "value": round(rps, 3),
+        }
+    values = [max(row["value"], 0.001) for row in workloads.values()]
+    geomean = (math.exp(sum(map(math.log, values)) / len(values))
+               if values else 0.0)
+    return {
+        "schema": "bench-v2",
+        "benchmark": "serve-sustained-load",
+        "metric": "requests_per_second",
+        "config": f"workers={WORKERS},concurrency={CONCURRENCY},"
+                  f"warm-cache",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "requests": len(result.samples),
+        "wall_seconds": round(result.wall_seconds, 3),
+        "requests_per_second": round(result.requests_per_second, 3),
+        "p50_ms": round(result.percentile(0.50) * 1000, 3),
+        "p99_ms": round(result.percentile(0.99) * 1000, 3),
+        "errors": len(result.errors),
+        "cache_hit_ratio": round(hit_ratio, 4),
+        "cache_origins": origins,
+        "geomean": round(geomean, 3),
+        "workloads": workloads,
+    }
+
+
+def render(report):
+    lines = [
+        "serve sustained load (warm-cache replay)",
+        f"  requests:   {report['requests']} over "
+        f"{report['wall_seconds']}s  ->  "
+        f"{report['requests_per_second']} req/s",
+        f"  latency:    p50 {report['p50_ms']}ms   "
+        f"p99 {report['p99_ms']}ms",
+        f"  cache:      {report['cache_hit_ratio']:.1%} hit ratio "
+        f"{report['cache_origins']}",
+        f"  errors:     {report['errors']}",
+    ]
+    for name, row in report["workloads"].items():
+        lines.append(f"    {name:<10} {row['value']:>8} req/s   "
+                     f"p99 {row['p99_ms']}ms   "
+                     f"({row['requests']} requests, "
+                     f"{row['errors']} errors)")
+    return "\n".join(lines)
+
+
+def test_serve_sustained_load():
+    """Acceptance: a small warm-cache replay through a real daemon
+    completes with zero unexpected responses and a finite p99."""
+    with tempfile.TemporaryDirectory() as store:
+        proc, base_url = _spawn_daemon(store)
+        try:
+            mix = build_mix(attacks=2, bugs=2, repeats=1)
+            warm = run_load(base_url, mix, concurrency=4)
+            assert not warm.errors, \
+                [(s.name, s.status, s.detail) for s in warm.errors]
+            replay = run_load(base_url, mix, concurrency=4)
+            assert not replay.errors, \
+                [(s.name, s.status, s.detail) for s in replay.errors]
+            assert replay.requests_per_second > 0
+            assert replay.percentile(0.99) < 60.0
+            hit_ratio, _ = _cache_hit_ratio(base_url)
+            assert hit_ratio > 0.0
+        finally:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 130
+            if proc.poll() is None:
+                proc.kill()
+
+
+def main():
+    with tempfile.TemporaryDirectory() as store:
+        report = measure(store)
+    print(render(report))
+    BENCH_JSON.write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
+    print(f"\nrecorded {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

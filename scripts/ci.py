@@ -52,6 +52,17 @@
    the recorded engine-speedup baseline within 2% (tolerance widened
    to the measured sample spread on noisy hosts).
 
+10. Serve-smoke leg: the ``repro serve`` daemon end to end — boot it
+   as a subprocess (OS-assigned port, fresh store, chaos faults armed),
+   assert the deterministic HTTP status mapping over clean, attack,
+   malformed, compile-error and over-budget requests, check responses
+   are bit-identical to one-shot ``repro run --json`` for every
+   registered profile, shed load 503 at the admission bound, resolve a
+   deliberately hung request 504 by deadline-kill while concurrent
+   requests are answered, survive worker SIGKILL mid-run by
+   respawn+retry, scrape ``/metrics``, and drain on SIGINT with exit
+   130.
+
 The wall-clock gate compares the speedup *ratio* — not absolute
 seconds — so it is stable across machines of different absolute speed;
 the opt gate compares cost-model units, which are host-independent.
@@ -62,6 +73,7 @@ Usage:  python scripts/ci.py [--skip-tests]
         python scripts/ci.py --fuzz-smoke    # only the fuzz-smoke leg
         python scripts/ci.py --store-smoke   # only the store-smoke leg
         python scripts/ci.py --obs-smoke     # only the obs-smoke leg
+        python scripts/ci.py --serve-smoke   # only the serve-smoke leg
 """
 
 import os
@@ -799,7 +811,288 @@ def run_store_smoke():
     return 0
 
 
+#: Programs the serve-smoke leg drives through the daemon.
+SERVE_SMOKE_CLEAN = """\
+#include <stdio.h>
+int main(void) {
+    int a[8]; int i; int sum = 0;
+    for (i = 0; i < 8; i++) a[i] = i * 3;
+    for (i = 0; i < 8; i++) sum += a[i];
+    printf("sum=%d\\n", sum);
+    return 0;
+}
+"""
+SERVE_SMOKE_ATTACK = """\
+int main(void) { int a[4]; a[9] = 7; return 0; }
+"""
+SERVE_SMOKE_LOOP = """\
+int main(void) { int x = 0; while (1) { x = x + 1; } return x; }
+"""
+
+#: Row keys the serve response adds/varies vs one-shot CLI --json.
+SERVE_ROW_NOISE = ("wallclock_seconds", "cache", "obs", "output")
+
+
+def _serve_post(base_url, path, doc, timeout=90.0):
+    """POST a JSON document (or raw bytes); returns
+    ``(status, body_dict, headers)`` and never raises for HTTP
+    statuses."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    body = doc if isinstance(doc, (bytes, bytearray)) \
+        else json.dumps(doc).encode()
+    request = urllib.request.Request(base_url + path, data=bytes(body),
+                                     method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _serve_get(base_url, path):
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(base_url + path, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def run_serve_smoke():
+    import json
+    import signal
+    import tempfile
+    import threading
+    import time
+
+    print("\n== serve-smoke (daemon: status mapping, QoS degradation, "
+          "worker recovery) ==", flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + (":" + env["PYTHONPATH"]
+                            if env.get("PYTHONPATH") else ""))
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as scratch:
+        store_dir = os.path.join(scratch, "store")
+        env["REPRO_STORE"] = store_dir
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--queue", "1", "--deadline", "6",
+             "--allow-test-faults"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+            text=True, cwd=REPO_ROOT)
+        try:
+            ready = daemon.stdout.readline()
+            if "listening on" not in ready:
+                print(f"SERVE SMOKE FAILURE: daemon did not come up: "
+                      f"{ready!r}")
+                return 1
+            port = ready.split("http://", 1)[1].split()[0].rsplit(":", 1)[1]
+            base = f"http://127.0.0.1:{port}"
+            print(f"  daemon up on {base} (workers=2 queue=1 deadline=6s)")
+
+            # 1. The deterministic status mapping, one row per family.
+            drills = [
+                ("clean run", "/run",
+                 {"source": SERVE_SMOKE_CLEAN, "profile": "spatial"},
+                 200, "0"),
+                ("attack detected", "/run",
+                 {"source": SERVE_SMOKE_ATTACK, "profile": "spatial"},
+                 403, "2"),
+                ("check shorthand", "/check",
+                 {"source": SERVE_SMOKE_ATTACK}, 403, "2"),
+                ("compile error", "/run",
+                 {"source": "int main(void) { return", "profile": "none"},
+                 422, "4"),
+                ("over budget", "/run",
+                 {"source": SERVE_SMOKE_LOOP, "profile": "none",
+                  "budget": 100000}, 500, "5"),
+                ("malformed JSON", "/run", b"{definitely not json",
+                 400, None),
+                ("unknown field", "/run",
+                 {"source": SERVE_SMOKE_CLEAN, "profle": "spatial"},
+                 400, None),
+                ("unknown profile", "/run",
+                 {"source": SERVE_SMOKE_CLEAN, "profile": "nope"},
+                 400, None),
+                ("budget past ceiling", "/run",
+                 {"source": SERVE_SMOKE_CLEAN, "budget": 10 ** 12},
+                 400, None),
+            ]
+            for label, path, doc, want_status, want_exit in drills:
+                status, body, headers = _serve_post(base, path, doc)
+                if status != want_status:
+                    print(f"SERVE SMOKE FAILURE: {label} -> {status}, "
+                          f"expected {want_status} (body {body})")
+                    return 1
+                got_exit = headers.get("X-Repro-Exit-Code")
+                if want_exit is not None and got_exit != want_exit:
+                    print(f"SERVE SMOKE FAILURE: {label} exit-code header "
+                          f"{got_exit!r}, expected {want_exit!r}")
+                    return 1
+            status, body, _ = _serve_post(
+                base, "/run", {"source": SERVE_SMOKE_CLEAN,
+                               "profile": "spatial"})
+            if body.get("output") != "sum=84\n":
+                print(f"SERVE SMOKE FAILURE: clean output "
+                      f"{body.get('output')!r}")
+                return 1
+            print(f"  status mapping ok ({len(drills)} families)")
+
+            # 2. Responses bit-identical to one-shot CLI runs, for
+            # every registered policy.
+            profiles = [entry["name"] for entry in json.loads(
+                subprocess.run(
+                    [sys.executable, "-m", "repro", "profiles", "--json"],
+                    capture_output=True, text=True, env=env,
+                    cwd=REPO_ROOT).stdout)]
+            source_path = os.path.join(scratch, "parity.c")
+            with open(source_path, "w") as handle:
+                handle.write(SERVE_SMOKE_CLEAN)
+            for profile in profiles:
+                status, served, _ = _serve_post(
+                    base, "/run", {"source": SERVE_SMOKE_CLEAN,
+                                   "profile": profile,
+                                   "name": source_path})
+                cli = subprocess.run(
+                    [sys.executable, "-m", "repro", "run", source_path,
+                     "--profile", profile, "--json"],
+                    capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+                if cli.returncode != 0 or status != 200:
+                    print(f"SERVE SMOKE FAILURE: profile {profile} "
+                          f"(http {status}, cli exit {cli.returncode})")
+                    return 1
+                one_shot = json.loads(cli.stdout)
+                for row in (served, one_shot):
+                    for key in SERVE_ROW_NOISE:
+                        row.pop(key, None)
+                if served != one_shot:
+                    diff = {key for key in set(served) | set(one_shot)
+                            if served.get(key) != one_shot.get(key)}
+                    print(f"SERVE SMOKE FAILURE: profile {profile} "
+                          f"diverged from the CLI on {sorted(diff)}")
+                    return 1
+            print(f"  CLI parity ok: bit-identical reports across all "
+                  f"{len(profiles)} registered profiles")
+
+            # 3. QoS degradation: two hung requests pin both workers
+            # (each must resolve 504 via deadline kill + respawn); a
+            # third queues; with the queue bound at 1 a fourth must be
+            # shed 503; and a clean request after the storm is 200.
+            results = {}
+
+            def fire(tag, doc):
+                results[tag] = _serve_post(base, "/run", doc)
+
+            hangs = [threading.Thread(
+                target=fire, args=(f"hang{n}", {
+                    "source": SERVE_SMOKE_CLEAN, "profile": "none",
+                    "test_fault": "hang"})) for n in range(2)]
+            for thread in hangs:
+                thread.start()
+            time.sleep(1.0)  # both workers now wedged
+            queued = threading.Thread(target=fire, args=("queued", {
+                "source": SERVE_SMOKE_CLEAN, "profile": "spatial"}))
+            queued.start()
+            time.sleep(0.3)  # it is sitting in the admission queue
+            status, body, _ = _serve_post(
+                base, "/run",
+                {"source": SERVE_SMOKE_CLEAN, "profile": "spatial"})
+            if status != 503:
+                print(f"SERVE SMOKE FAILURE: burst past the queue bound "
+                      f"-> {status}, expected 503 shed")
+                return 1
+            for thread in hangs:
+                thread.join(timeout=60)
+            queued.join(timeout=60)
+            for tag in ("hang0", "hang1"):
+                if results[tag][0] != 504:
+                    print(f"SERVE SMOKE FAILURE: {tag} -> "
+                          f"{results[tag][0]}, expected 504 deadline kill")
+                    return 1
+            if results["queued"][0] != 200:
+                print(f"SERVE SMOKE FAILURE: queued request behind the "
+                      f"hang storm -> {results['queued'][0]}, expected "
+                      f"200 after worker respawn")
+                return 1
+            print("  QoS degradation ok: 2x504 deadline kills, 503 "
+                  "shed at the bound, queued request answered after "
+                  "respawn")
+
+            # 4. Worker SIGKILL mid-run: fire a request, kill every
+            # live worker while it is in flight; respawn + one retry
+            # must still answer it 200.
+            health = _serve_get(base, "/healthz")
+            if len(health["worker_pids"]) != 2:
+                print(f"SERVE SMOKE FAILURE: healthz reports "
+                      f"{health['worker_pids']} after respawns")
+                return 1
+            victim = threading.Thread(target=fire, args=("victim", {
+                "source": SERVE_SMOKE_CLEAN, "profile": "full"}))
+            victim.start()
+            time.sleep(0.05)
+            for pid in health["worker_pids"]:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+            victim.join(timeout=60)
+            if results["victim"][0] != 200:
+                print(f"SERVE SMOKE FAILURE: request in flight during "
+                      f"worker SIGKILL -> {results['victim'][0]}, "
+                      f"expected 200 via respawn+retry")
+                return 1
+            status, _, _ = _serve_post(
+                base, "/run",
+                {"source": SERVE_SMOKE_CLEAN, "profile": "spatial"})
+            if status != 200:
+                print(f"SERVE SMOKE FAILURE: first request after the "
+                      f"massacre -> {status}")
+                return 1
+            print("  worker SIGKILL drill ok: in-flight request "
+                  "answered via respawn+retry")
+
+            # 5. /metrics tells the same story.
+            series = _serve_get(base, "/metrics")["series"]
+            checks = (
+                ("repro_serve_requests_total{outcome=ok}", 17),
+                ("repro_serve_requests_total{outcome=spatial}", 2),
+                ("repro_serve_requests_total{outcome=compile_error}", 1),
+                ("repro_serve_requests_total{outcome=deadline}", 2),
+                ("repro_serve_worker_respawns_total", 2),
+                ("repro_serve_request_seconds_count", 10),
+            )
+            for name, floor in checks:
+                if series.get(name, 0) < floor:
+                    print(f"SERVE SMOKE FAILURE: metric {name} = "
+                          f"{series.get(name)} < {floor}")
+                    return 1
+            print(f"  metrics ok ({len(series)} series; "
+                  f"{series['repro_serve_requests_total{outcome=ok}']} ok "
+                  f"requests, "
+                  f"{series['repro_serve_worker_respawns_total']} "
+                  f"respawns)")
+
+            # 6. Graceful drain: SIGINT → exit 130.
+            daemon.send_signal(signal.SIGINT)
+            code = daemon.wait(timeout=30)
+            if code != 130:
+                print(f"SERVE SMOKE FAILURE: SIGINT drain exited {code}, "
+                      f"expected 130")
+                return 1
+            print("  SIGINT drain ok (exit 130)")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)
+    print("serve-smoke ok")
+    return 0
+
+
 def main(argv):
+    if "--serve-smoke" in argv:
+        return run_serve_smoke()
     if "--obs-smoke" in argv:
         return run_obs_smoke()
     if "--store-smoke" in argv:
@@ -835,7 +1128,10 @@ def main(argv):
     code = run_store_smoke()
     if code != 0:
         return code
-    return run_obs_smoke()
+    code = run_obs_smoke()
+    if code != 0:
+        return code
+    return run_serve_smoke()
 
 
 if __name__ == "__main__":

@@ -40,9 +40,11 @@ from .env import (
     DEFAULT_STORE,
     ENGINES,
     ResolvedEnv,
+    ResolvedServe,
     resolve_engine,
     resolve_env,
     resolve_jobs,
+    resolve_serve,
     resolve_store,
 )
 from .profiles import (
@@ -75,8 +77,8 @@ from .toolchain import (
 __all__ = [
     # env
     "DEFAULT_ENGINE", "DEFAULT_JOBS", "DEFAULT_STORE", "ENGINES",
-    "ResolvedEnv", "resolve_engine", "resolve_env", "resolve_jobs",
-    "resolve_store",
+    "ResolvedEnv", "ResolvedServe", "resolve_engine", "resolve_env",
+    "resolve_jobs", "resolve_serve", "resolve_store",
     # profiles
     "FULL_PROTECTION", "PROFILES", "ProtectionProfile", "UsageError",
     "all_profiles", "as_profile",

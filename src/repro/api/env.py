@@ -45,6 +45,19 @@ def resolve_jobs(flag=None):
     return value if value > 0 else DEFAULT_JOBS
 
 
+#: Serve-daemon defaults (:mod:`repro.serve`): loopback only — exposing
+#: an untrusted-C execution service beyond localhost is an explicit
+#: operator decision, never a default.
+DEFAULT_SERVE_HOST = "127.0.0.1"
+#: Port 0 asks the OS for a free port (the bound port is printed on the
+#: ready line), so tests and CI never collide.
+DEFAULT_SERVE_PORT = 0
+DEFAULT_SERVE_WORKERS = 2
+#: Bound on queued-but-not-running requests; past it the daemon sheds
+#: load with 503 instead of queueing unboundedly.
+DEFAULT_SERVE_QUEUE = 16
+
+
 def resolve_store(flag=None):
     """Effective artifact-store directory (:mod:`repro.store`), or
     ``None`` for disabled.  An explicit ``flag`` path wins, then the
@@ -54,6 +67,61 @@ def resolve_store(flag=None):
     if flag is not None:
         return flag or DEFAULT_STORE
     return os.environ.get("REPRO_STORE", "") or DEFAULT_STORE
+
+
+def _serve_int(flag, env_var, default, minimum, maximum, what):
+    """One serve axis: flag > environment > default, validated to an
+    integer in [minimum, maximum].  Unlike :func:`resolve_jobs`, bad
+    values are *usage errors* (exit 64), not silent fallbacks — a
+    daemon bound to the wrong port or sized to zero workers must never
+    start quietly misconfigured."""
+    from .profiles import UsageError
+
+    source, value = "flag", flag
+    if value is None:
+        raw = os.environ.get(env_var, "")
+        if raw == "":
+            return default
+        source, value = env_var, raw
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise UsageError(f"{what} must be an integer, got {value!r} "
+                         f"(from {source})") from None
+    if not minimum <= value <= maximum:
+        raise UsageError(f"{what} must be between {minimum} and {maximum}, "
+                         f"got {value} (from {source})")
+    return value
+
+
+@dataclass(frozen=True)
+class ResolvedServe:
+    """The fully resolved serve-daemon configuration."""
+
+    host: str
+    port: int
+    workers: int
+    queue: int
+
+
+def resolve_serve(host=None, port=None, workers=None, queue=None):
+    """Effective serve-daemon configuration (:mod:`repro.serve`), axis
+    by axis with the usual flag > environment > default precedence over
+    ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` / ``REPRO_SERVE_WORKERS``
+    / ``REPRO_SERVE_QUEUE``.  Invalid values raise
+    :class:`~repro.api.profiles.UsageError` (the CLI maps it to exit
+    status 64)."""
+    if host is None:
+        host = os.environ.get("REPRO_SERVE_HOST", "") or DEFAULT_SERVE_HOST
+    return ResolvedServe(
+        host=host,
+        port=_serve_int(port, "REPRO_SERVE_PORT", DEFAULT_SERVE_PORT,
+                        0, 65535, "serve port"),
+        workers=_serve_int(workers, "REPRO_SERVE_WORKERS",
+                           DEFAULT_SERVE_WORKERS, 1, 64, "serve workers"),
+        queue=_serve_int(queue, "REPRO_SERVE_QUEUE", DEFAULT_SERVE_QUEUE,
+                         1, 4096, "serve queue bound"),
+    )
 
 
 @dataclass(frozen=True)

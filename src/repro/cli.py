@@ -207,9 +207,11 @@ def build_parser():
                                    "(e.g. BENCH_interp.json)")
 
     from .fuzz.cli import add_fuzz_parser
+    from .serve.cli import add_serve_parser
     from .store.cli import add_cache_parser
 
     add_fuzz_parser(sub)
+    add_serve_parser(sub)
     add_cache_parser(sub)
     return parser
 
@@ -482,6 +484,18 @@ def _run_site_profile(args, stdout, stderr):
 
 
 def main(argv=None, stdout=None, stderr=None):
+    """Top-level entry: dispatch, with Ctrl-C mapped to the
+    conventional exit status 130 instead of a traceback (long-running
+    subcommands — serve, fuzz, tables — are interrupted routinely)."""
+    stderr = stderr if stderr is not None else sys.stderr
+    try:
+        return _dispatch(argv, stdout, stderr)
+    except KeyboardInterrupt:
+        print("interrupted", file=stderr)
+        return 130
+
+
+def _dispatch(argv=None, stdout=None, stderr=None):
     stdout = stdout if stdout is not None else sys.stdout
     stderr = stderr if stderr is not None else sys.stderr
     parser = build_parser()
@@ -509,6 +523,10 @@ def main(argv=None, stdout=None, stderr=None):
         from .fuzz.cli import run_fuzz
 
         return run_fuzz(args, stdout, stderr)
+    if args.command == "serve":
+        from .serve.cli import run_serve
+
+        return run_serve(args, stdout, stderr)
     if args.command == "cache":
         from .store.cli import run_cache
 

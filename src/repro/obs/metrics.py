@@ -248,6 +248,46 @@ class MetricsRegistry:
             self._merged.clear()
 
 
+def histogram_quantile(snapshot, name, quantile):
+    """Estimate a quantile from a histogram's cumulative bucket series
+    in a snapshot (``name_bucket{le=...}`` cells), the Prometheus
+    ``histogram_quantile`` discipline: find the first bucket whose
+    cumulative count covers ``quantile`` of the observations and
+    linearly interpolate within it.  Returns ``None`` when the
+    histogram is empty or absent; the top (``le=inf``) bucket reports
+    the largest finite bound (clamped by ``name_max`` when present)
+    rather than infinity."""
+    prefix = name + "_bucket{le="
+    cells = []
+    for key, value in snapshot.items():
+        if key.startswith(prefix):
+            bound = key[len(prefix):-1]
+            cells.append((float("inf") if bound == "inf" else float(bound),
+                          value))
+    if not cells:
+        return None
+    cells.sort()
+    total = cells[-1][1]
+    if total <= 0:
+        return None
+    rank = quantile * total
+    previous_bound, previous_count = 0.0, 0
+    for bound, cumulative in cells:
+        if cumulative >= rank:
+            if bound == float("inf"):
+                finite = [b for b, _ in cells if b != float("inf")]
+                bound = snapshot.get(name + "_max",
+                                     finite[-1] if finite else 0.0)
+                return max(bound, previous_bound)
+            span = cumulative - previous_count
+            if span <= 0:
+                return bound
+            fraction = (rank - previous_count) / span
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = bound, cumulative
+    return cells[-1][0]
+
+
 _default = MetricsRegistry()
 
 

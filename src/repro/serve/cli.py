@@ -1,0 +1,100 @@
+"""The ``serve`` subcommand: argument surface + daemon bootstrap.
+
+Kept separate from :mod:`repro.cli` (like ``fuzz`` and ``cache``) so
+``python -m repro --help`` stays fast: nothing here imports asyncio or
+the pool until the subcommand actually runs.
+"""
+
+import asyncio
+
+
+def add_serve_parser(sub):
+    parser = sub.add_parser(
+        "serve",
+        help="run the safety-as-a-service HTTP daemon: POST C programs "
+             "to /run, /check or /compile and get RunReport JSON back "
+             "from a warm worker pool (see docs/SERVE.md)")
+    parser.add_argument("--host", default=None,
+                        help="bind address (default: REPRO_SERVE_HOST or "
+                             "127.0.0.1 — loopback only by design)")
+    parser.add_argument("--port", default=None,
+                        help="TCP port; 0 asks the OS for a free one and "
+                             "prints it on the ready line (default: "
+                             "REPRO_SERVE_PORT or 0)")
+    parser.add_argument("--workers", default=None, metavar="N",
+                        help="warm worker processes (default: "
+                             "REPRO_SERVE_WORKERS or 2)")
+    parser.add_argument("--queue", default=None, metavar="N",
+                        help="admission queue bound; past it requests are "
+                             "shed with 503 (default: REPRO_SERVE_QUEUE "
+                             "or 16)")
+    parser.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="default per-request VM instruction budget "
+                             "(default: 50M)")
+    parser.add_argument("--max-budget", type=int, default=None, metavar="N",
+                        help="hard per-request instruction ceiling; "
+                             "requests asking past it are rejected 400 "
+                             "(default: 200M)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wallclock deadline per request; a worker "
+                             "past it is SIGKILLed and the request "
+                             "resolves 504 (default: 30)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent artifact store shared by all "
+                             "workers (default: REPRO_STORE, else no "
+                             "store)")
+    parser.add_argument("--engine", choices=("compiled", "interp"),
+                        default=None,
+                        help="default VM engine for requests that do not "
+                             "pick one")
+    parser.add_argument("--allow-test-faults", action="store_true",
+                        help="honor the 'test_fault' request field (hang/"
+                             "exit chaos drills); never enable in real "
+                             "deployments")
+    return parser
+
+
+def run_serve(args, stdout, stderr):
+    from ..api.env import resolve_serve
+    from ..api.profiles import UsageError
+    from .qos import (DEFAULT_BUDGET, DEFAULT_DEADLINE, MAX_BUDGET,
+                      QosPolicy)
+    from .server import ServeDaemon
+
+    try:
+        config = resolve_serve(host=args.host, port=args.port,
+                               workers=args.workers, queue=args.queue)
+        budget = DEFAULT_BUDGET if args.budget is None else args.budget
+        max_budget = MAX_BUDGET if args.max_budget is None \
+            else args.max_budget
+        if budget <= 0 or max_budget <= 0 or budget > max_budget:
+            raise UsageError(f"budgets must be positive with "
+                             f"--budget <= --max-budget "
+                             f"(got {budget} / {max_budget})")
+        deadline = DEFAULT_DEADLINE if args.deadline is None \
+            else args.deadline
+        if deadline <= 0:
+            raise UsageError(f"--deadline must be positive, got {deadline}")
+        qos = QosPolicy(default_budget=budget, max_budget=max_budget,
+                        deadline_seconds=deadline,
+                        queue_limit=config.queue)
+    except UsageError as error:
+        print(f"error: {error}", file=stderr)
+        from ..cli import EX_USAGE
+
+        return EX_USAGE
+    daemon = ServeDaemon(config=config, qos=qos, store_dir=args.store,
+                         engine=args.engine,
+                         allow_test_faults=args.allow_test_faults)
+    try:
+        asyncio.run(daemon.run(stdout=stdout))
+    except KeyboardInterrupt:
+        # asyncio.run already cancelled the main task, which ran
+        # aclose() in its finally: in-flight requests got one deadline
+        # to finish and the pool is down.  Report the drain and exit
+        # with the conventional SIGINT status.
+        print("serve: interrupted — drained in-flight requests and "
+              "stopped", file=stderr)
+        return 130
+    return 0

@@ -1,0 +1,22 @@
+"""Serve worker entry point: ``python -m repro.serve.worker``.
+
+A warm :mod:`repro.fuzz.worker`: same length-prefixed pickle frame
+protocol, same stdout re-routing, but the toolchain, the policy
+registry and the worker-side compiled-program cache are all imported
+and built *before* the first frame is read — so the first request a
+fresh (or respawned) worker serves pays no import cost.
+"""
+
+import sys
+
+from ..fuzz.worker import main as frame_loop
+from .workers import warmup
+
+
+def main():
+    warmup()
+    return frame_loop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

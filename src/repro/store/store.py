@@ -443,6 +443,25 @@ class ArtifactStore:
         return self.put(compute_key(source, profile, optimize), compiled,
                         key_text=key_text, label=profile.label)
 
+    def payload_sha256(self, key):
+        """The stored payload digest from the entry header, or ``None``.
+
+        This is the digest of the exact bytes ``get`` unpickles, so two
+        processes that loaded the same entry — or the process that wrote
+        it — can prove they hold bit-identical artifacts without
+        re-pickling (re-pickling a program that has since been
+        instantiated is neither possible nor canonical)."""
+        try:
+            with open(self.entry_path(key), "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            header, _ = decode_entry(blob, expected_key=key)
+        except StoreFormatError:
+            return None
+        return header.get("payload_sha256")
+
     # -- maintenance ops ----------------------------------------------
 
     def verify(self, deep=True):

@@ -149,3 +149,45 @@ class TestMerge:
 class TestDefaultRegistry:
     def test_is_singleton(self):
         assert default_registry() is default_registry()
+
+
+class TestHistogramQuantile:
+    """The serve daemon's /metrics quantile estimator."""
+
+    def _snapshot(self, registry, values, name="lat"):
+        histogram = registry.histogram(name, buckets=(0.01, 0.1, 1.0))
+        for value in values:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_empty_or_absent_is_none(self, registry):
+        from repro.obs.metrics import histogram_quantile
+
+        assert histogram_quantile({}, "lat", 0.5) is None
+        snap = self._snapshot(registry, [])
+        assert histogram_quantile(snap, "lat", 0.5) is None
+
+    def test_median_interpolates_within_bucket(self, registry):
+        from repro.obs.metrics import histogram_quantile
+
+        snap = self._snapshot(registry, [0.05] * 10)
+        # All mass in the (0.01, 0.1] bucket: the estimate must land
+        # inside it, never outside.
+        value = histogram_quantile(snap, "lat", 0.5)
+        assert 0.01 < value <= 0.1
+
+    def test_p99_tracks_the_tail(self, registry):
+        from repro.obs.metrics import histogram_quantile
+
+        snap = self._snapshot(registry, [0.005] * 9 + [0.5])
+        p50 = histogram_quantile(snap, "lat", 0.5)
+        p99 = histogram_quantile(snap, "lat", 0.99)
+        assert p50 <= 0.01
+        assert p99 > 0.1
+
+    def test_overflow_bucket_clamps_to_max(self, registry):
+        from repro.obs.metrics import histogram_quantile
+
+        snap = self._snapshot(registry, [5.0, 7.0])
+        value = histogram_quantile(snap, "lat", 0.99)
+        assert value == snap["lat_max"] == 7.0

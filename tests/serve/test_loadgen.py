@@ -1,0 +1,84 @@
+"""Load-mix construction and result math — no daemon required."""
+
+import pytest
+
+from repro.serve.loadgen import (
+    DEFAULT_SEED,
+    LoadResult,
+    RequestSample,
+    build_mix,
+)
+
+
+class TestBuildMix:
+    def test_deterministic_for_a_seed(self):
+        first = build_mix(seed=DEFAULT_SEED)
+        second = build_mix(seed=DEFAULT_SEED)
+        assert [item.name for item in first] == \
+            [item.name for item in second]
+
+    def test_seed_changes_order_not_membership(self):
+        first = build_mix(seed=1)
+        second = build_mix(seed=2)
+        assert [i.name for i in first] != [i.name for i in second]
+        assert sorted(i.name for i in first) == \
+            sorted(i.name for i in second)
+
+    def test_all_categories_present(self):
+        categories = {item.category for item in build_mix()}
+        assert {"server", "attack", "bugbench", "malformed"} <= categories
+
+    def test_repeats_multiply_the_mix(self):
+        base = build_mix(repeats=1)
+        doubled = build_mix(repeats=2)
+        assert len(doubled) == 2 * len(base)
+
+    def test_sections_can_be_disabled(self):
+        mix = build_mix(servers=False, attacks=0, bugs=0, malformed=True)
+        assert {item.category for item in mix} == {"malformed"}
+
+    def test_attack_items_expect_403(self):
+        for item in build_mix(servers=False, bugs=0, malformed=False):
+            assert item.expect_status == (403,)
+            assert item.route == "/run"
+
+
+class TestLoadResult:
+    def _result(self, latencies, category="server", ok=True):
+        samples = [RequestSample(name=f"s{n}", category=category,
+                                 status=200, seconds=sec, ok=ok,
+                                 detail="")
+                   for n, sec in enumerate(latencies)]
+        return LoadResult(samples=samples, wall_seconds=2.0)
+
+    def test_requests_per_second(self):
+        result = self._result([0.1] * 10)
+        assert result.requests_per_second == pytest.approx(5.0)
+
+    def test_percentile_nearest_rank(self):
+        result = self._result([0.01 * n for n in range(1, 101)])
+        assert result.percentile(0.5) == pytest.approx(0.5)
+        # The estimator rounds the rank up at the tail — a p99 that
+        # overstates latency is safe, one that understates is not.
+        assert result.percentile(0.99) >= 0.99
+        assert result.percentile(1.0) == pytest.approx(1.0)
+
+    def test_percentile_empty_category(self):
+        result = self._result([0.1], category="server")
+        assert result.percentile(0.5, category="attack") == 0.0
+
+    def test_errors_counted(self):
+        good = self._result([0.1] * 3)
+        bad = self._result([0.1] * 2, ok=False)
+        merged = LoadResult(samples=good.samples + bad.samples,
+                            wall_seconds=1.0)
+        assert len(merged.errors) == 2
+        assert all(not sample.ok for sample in merged.errors)
+
+    def test_by_category_partitions(self):
+        servers = self._result([0.1] * 3).samples
+        attacks = self._result([0.2] * 2, category="attack").samples
+        merged = LoadResult(samples=servers + attacks, wall_seconds=1.0)
+        grouped = merged.by_category()
+        assert len(grouped["server"]) == 3
+        assert len(grouped["attack"]) == 2

@@ -1,0 +1,57 @@
+"""QoS policy semantics: budgets resolve or reject, admission sheds."""
+
+import pytest
+
+from repro.api import UsageError
+from repro.serve.qos import (
+    DEFAULT_BUDGET,
+    MAX_BUDGET,
+    AdmissionError,
+    QosPolicy,
+)
+
+
+class TestBudgets:
+    def test_none_means_default(self):
+        assert QosPolicy().resolve_budget(None) == DEFAULT_BUDGET
+
+    def test_explicit_value_passes_through(self):
+        assert QosPolicy().resolve_budget(1234) == 1234
+
+    def test_ceiling_is_inclusive(self):
+        assert QosPolicy().resolve_budget(MAX_BUDGET) == MAX_BUDGET
+
+    def test_past_ceiling_is_rejected_not_clamped(self):
+        with pytest.raises(UsageError, match="ceiling"):
+            QosPolicy().resolve_budget(MAX_BUDGET + 1)
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(UsageError, match="positive"):
+            QosPolicy().resolve_budget(bad)
+
+    @pytest.mark.parametrize("bad", ["1000", 1.5, True])
+    def test_non_integer_rejected(self, bad):
+        with pytest.raises(UsageError, match="integer"):
+            QosPolicy().resolve_budget(bad)
+
+    def test_custom_policy_bounds(self):
+        policy = QosPolicy(default_budget=10, max_budget=20)
+        assert policy.resolve_budget(None) == 10
+        assert policy.resolve_budget(20) == 20
+        with pytest.raises(UsageError):
+            policy.resolve_budget(21)
+
+
+class TestAdmission:
+    def test_below_bound_admits(self):
+        QosPolicy(queue_limit=4).admit(3)  # no raise
+
+    def test_at_bound_sheds(self):
+        with pytest.raises(AdmissionError) as excinfo:
+            QosPolicy(queue_limit=4).admit(4)
+        assert (excinfo.value.depth, excinfo.value.limit) == (4, 4)
+
+    def test_policy_is_shareable_frozen_state(self):
+        with pytest.raises(Exception):
+            QosPolicy().queue_limit = 99

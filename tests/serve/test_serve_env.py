@@ -1,0 +1,83 @@
+"""resolve_serve: flag > environment > default, usage errors on junk."""
+
+import pytest
+
+from repro.api import ResolvedServe, UsageError, resolve_serve
+from repro.api.env import (
+    DEFAULT_SERVE_HOST,
+    DEFAULT_SERVE_PORT,
+    DEFAULT_SERVE_QUEUE,
+    DEFAULT_SERVE_WORKERS,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for var in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
+                "REPRO_SERVE_WORKERS", "REPRO_SERVE_QUEUE"):
+        monkeypatch.delenv(var, raising=False)
+
+
+class TestDefaults:
+    def test_all_defaults(self):
+        resolved = resolve_serve()
+        assert resolved == ResolvedServe(
+            host=DEFAULT_SERVE_HOST, port=DEFAULT_SERVE_PORT,
+            workers=DEFAULT_SERVE_WORKERS, queue=DEFAULT_SERVE_QUEUE)
+
+    def test_default_is_loopback(self):
+        # An untrusted-C execution service must never default to a
+        # routable bind address.
+        assert resolve_serve().host == "127.0.0.1"
+
+
+class TestPrecedence:
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_HOST", "0.0.0.0")
+        monkeypatch.setenv("REPRO_SERVE_PORT", "8080")
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "7")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE", "99")
+        assert resolve_serve() == ResolvedServe(
+            host="0.0.0.0", port=8080, workers=7, queue=99)
+
+    def test_flag_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "8080")
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "7")
+        resolved = resolve_serve(port="9090", workers=3)
+        assert (resolved.port, resolved.workers) == (9090, 3)
+
+    def test_empty_environment_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "")
+        assert resolve_serve().workers == DEFAULT_SERVE_WORKERS
+
+    def test_string_flags_accepted(self):
+        # argparse hands flags over as strings.
+        assert resolve_serve(port="0", workers="2", queue="16") \
+            == resolve_serve()
+
+
+class TestUsageErrors:
+    @pytest.mark.parametrize("field,value", [
+        ("port", "eighty"), ("workers", "many"), ("queue", "1.5"),
+    ])
+    def test_non_integer_is_usage_error(self, field, value):
+        with pytest.raises(UsageError, match="must be an integer"):
+            resolve_serve(**{field: value})
+
+    @pytest.mark.parametrize("field,value", [
+        ("port", -1), ("port", 65536),
+        ("workers", 0), ("workers", 65),
+        ("queue", 0), ("queue", 4097),
+    ])
+    def test_out_of_range_is_usage_error(self, field, value):
+        with pytest.raises(UsageError, match="must be between"):
+            resolve_serve(**{field: value})
+
+    def test_bad_environment_is_usage_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "http")
+        with pytest.raises(UsageError, match="REPRO_SERVE_PORT"):
+            resolve_serve()
+
+    def test_error_names_the_source(self):
+        with pytest.raises(UsageError, match="from flag"):
+            resolve_serve(workers="lots")

@@ -133,3 +133,55 @@ class TestConcurrentWriters:
         assert result["origin"] == "store"
         assert result["exit_code"] == 84
         assert result["output"] == "sum 84\n"
+
+
+def herd_snippet(tag):
+    """Code for a herd member: single-flight compile of PROGRAM through
+    the serve coalescing path, printing origin + artifact fingerprint."""
+    return (
+        "import json, os\n"
+        "from repro.api.profiles import as_profile\n"
+        "from repro.serve.workers import compile_coalesced\n"
+        "from repro.store import ArtifactStore\n"
+        f"source = {PROGRAM!r}\n"
+        "store = ArtifactStore(os.environ['REPRO_STORE'])\n"
+        "compiled, origin, fp = compile_coalesced(\n"
+        "    source, as_profile('spatial'), store=store)\n"
+        "print(json.dumps({'origin': origin, 'fp': fp,"
+        f" 'tag': {tag!r}}}))\n"
+    )
+
+
+class TestThunderingHerd:
+    """The two-process race, grown to serve-pool width: N workers all
+    ask for the same cold key through the single-flight coalescer."""
+
+    HERD = 6
+
+    def test_one_compile_everyone_bit_identical(self, tmp_path):
+        store_dir = tmp_path / "store"
+        env = store_env(store=store_dir)
+        herd = [subprocess.Popen(
+            [sys.executable, "-c", herd_snippet(f"worker{index}")],
+            cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+            for index in range(self.HERD)]
+        results = []
+        for member in herd:
+            out, err = member.communicate(timeout=300)
+            assert member.returncode == 0, err
+            results.append(json.loads(out.strip().splitlines()[-1]))
+
+        origins = sorted(r["origin"] for r in results)
+        # Exactly one process compiled; the herd loaded its bytes.
+        assert origins == ["compile"] + ["store"] * (self.HERD - 1), \
+            [(r["tag"], r["origin"]) for r in results]
+        # And every member holds the bit-identical artifact: all the
+        # fingerprints are the store entry's own payload digest.
+        assert len({r["fp"] for r in results}) == 1
+        assert len(results[0]["fp"]) == 64
+
+        store = ArtifactStore(store_dir)
+        assert store.stats_report()["entries"] == 1
+        report = store.verify()
+        assert (report.checked, report.ok) == (1, 1)
