@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-serve bench-diff ci api-smoke policy-smoke fuzz-smoke store-smoke obs-smoke serve-smoke serve fuzz tables profile
+.PHONY: test bench bench-quick bench-checkopt bench-temporal bench-prove bench-serve bench-diff ci api-smoke policy-smoke fuzz-smoke store-smoke obs-smoke prove-smoke serve-smoke serve fuzz tables profile
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -22,13 +22,16 @@ bench-checkopt:  ## loop-pass cost-model ablation; records BENCH_checkopt.json
 bench-temporal:  ## temporal-checking overhead sweep; records BENCH_temporal.json
 	$(PYTHON) benchmarks/bench_temporal_overhead.py
 
+bench-prove:     ## -O1 vs -O2 solver-backed check elimination; records BENCH_prove.json
+	$(PYTHON) benchmarks/bench_prove.py
+
 bench-serve:     ## sustained-load benchmark of the serve daemon; records BENCH_serve.json
 	$(PYTHON) benchmarks/bench_serve.py
 
 bench-diff:      ## compare the recorded BENCH_*.json reports (bench-v2 schema)
 	$(PYTHON) scripts/bench_diff.py BENCH_checkopt.json BENCH_temporal.json
 
-ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, temporal >5% fail) + api/policy/fuzz/store smoke legs
+ci:              ## tier-1 tests + perf gates (wall-clock >20%, opt >5%, temporal >5%, prove >5% fail) + api/policy/fuzz/store/obs/prove/serve smoke legs
 	$(PYTHON) scripts/ci.py
 
 api-smoke:       ## one workload through every protection profile via repro.api + all examples
@@ -45,6 +48,9 @@ store-smoke:     ## persistent artifact store: warm-start replay + torn-write/SI
 
 obs-smoke:       ## observability: trace schema, both-engine profiler stability, obs-disabled overhead gate
 	$(PYTHON) scripts/ci.py --obs-smoke
+
+prove-smoke:     ## -O2 prove pass: certificate replay, O-level x engine identity, overhead gate
+	$(PYTHON) scripts/ci.py --prove-smoke
 
 serve-smoke:     ## serve daemon: status mapping, CLI parity, 503/504 degradation, worker-kill recovery, SIGINT drain
 	$(PYTHON) scripts/ci.py --serve-smoke

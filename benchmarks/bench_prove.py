@@ -1,0 +1,57 @@
+"""-O2 solver-backed static check elimination: the recorded gains.
+
+Regenerates the simulated -O1 vs -O2 comparison under the full-shadow
+spatial profile and records the canonical ``BENCH_prove.json`` at the
+repo root — the baseline the CI prove-smoke leg (``scripts/ci.py
+--prove-smoke``) gates against.  The measurement itself asserts
+behavioural equivalence across opt levels and replays every deletion
+certificate against the formal semantics; cost-model units only, so the
+report is deterministic on every host.
+
+Run directly for the full corpus (records the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_prove.py
+
+or through pytest (loop-workload subset, with the acceptance floor):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_prove.py -s
+"""
+
+import pathlib
+import sys
+
+from conftest import save_artifact
+
+from repro.harness.checkopt import LOOP_WORKLOADS
+from repro.harness.prove import (
+    LOOP_DELETION_FLOOR_PCT,
+    render_prove,
+    run_prove,
+    write_report,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_prove.json"
+
+
+def test_prove_deletes_loop_checks():
+    """Acceptance floor: across the array/loop workloads, -O2 must
+    delete at least 15% of the dynamically executed sb_check instances
+    that survive -O1 — with equivalence and certificate replay asserted
+    inside the measurement."""
+    report = run_prove(LOOP_WORKLOADS)
+    save_artifact("prove_loop_subset.txt", render_prove(report))
+    assert (report["loop_checks_deleted_beyond_o1_pct"]
+            >= LOOP_DELETION_FLOOR_PCT), report
+
+
+def main(argv):
+    report = run_prove()
+    print(render_prove(report))
+    write_report(report, BENCH_JSON)
+    print(f"\nrecorded {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

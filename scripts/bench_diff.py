@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""Diff any BENCH_*.json reports through the shared bench-v2 schema.
+"""Diff benchmark reports (bench-v2) or check-site profiles
+(obs-profile-v1).
 
-Every recorded benchmark report carries the same top-level keys —
+Every recorded ``BENCH_*.json`` carries the same top-level keys —
 ``benchmark``, ``metric``, ``config``, ``geomean`` and a ``workloads``
 map whose rows carry a normalized ``value`` — so one script can compare
 any of them: two revisions of the same benchmark, or several
 benchmarks side by side over the common workload set.
 
+``python -m repro profile --json`` reports (schema ``obs-profile-v1``)
+are diffed *per site*, not per aggregate: one row per ``(function,
+line, seq)`` check site, one column per report with that site's
+executed-check total, plus a delta column for pairs.  A site that
+stopped executing because the ``-O2`` prove pass deleted it shows its
+``proved`` annotation instead of silently vanishing into a geomean.
+
 Usage:
     python scripts/bench_diff.py BENCH_a.json [BENCH_b.json ...]
-
-With one report: print its normalized view.  With several: one row per
-workload, one column per report, plus the geomean line; when exactly
-two reports share a metric, a delta column is added.
+    python scripts/bench_diff.py profile_O1.json profile_O2.json
 """
 
 import json
@@ -23,8 +28,11 @@ import sys
 def load(path):
     with open(path) as handle:
         report = json.load(handle)
+    if report.get("schema") == "obs-profile-v1":
+        return report
     if "workloads" not in report:
-        raise SystemExit(f"{path}: not a benchmark report (no workloads)")
+        raise SystemExit(f"{path}: neither a bench-v2 report (no "
+                         f"workloads) nor an obs-profile-v1 profile")
     return report
 
 
@@ -44,16 +52,98 @@ def normalized_values(report):
     return out
 
 
-def main(argv):
-    if not argv:
-        print(__doc__.strip())
-        return 64
-    reports = []
-    for arg in argv:
-        path = pathlib.Path(arg)
-        report = load(path)
-        reports.append((path.name, report, normalized_values(report)))
+# -- per-site profile diffing ------------------------------------------------
 
+
+def site_rows(report):
+    """{(function, line, seq): site row} for an obs-profile-v1 report."""
+    out = {}
+    for row in report.get("sites", ()):
+        out[(row["function"], row["line"], row["seq"])] = row
+    return out
+
+
+def _site_label(key):
+    function, line, seq = key
+    return f"{function}#{seq}@{line if line is not None else '?'}"
+
+
+def diff_profiles(reports):
+    """Per-site table across obs-profile-v1 reports (the profiler's
+    ``total`` per site), with a delta column for pairs and the
+    static/dynamic elimination summaries underneath."""
+    for name, report, _ in reports:
+        static = report.get("eliminated_static", {})
+        proof = static.get("by_proof", {})
+        print(f"{name}: program={report.get('program', '?')} "
+              f"profile={report.get('profile', '?')} "
+              f"engine={report.get('engine', '?')} "
+              f"static={static.get('sb_check', 0)}+"
+              f"{static.get('sb_temporal_check', 0)} "
+              f"(proved {proof.get('sb_check', 0)}+"
+              f"{proof.get('sb_temporal_check', 0)}, "
+              f"{report.get('certificates', 0)} certificates)")
+    print()
+
+    tables = [site_rows(report) for _, report, _ in reports]
+    keys = []
+    for table in tables:
+        for key in table:
+            if key not in keys:
+                keys.append(key)
+    # Hottest first, by the maximum total any report attributes.
+    keys.sort(key=lambda key: -max(
+        table.get(key, {}).get("total", 0) for table in tables))
+
+    headers = [name for name, _, _ in reports]
+    show_delta = len(reports) == 2
+    width = max([len(_site_label(key)) for key in keys] + [8])
+    cols = [max(len(h), 10) for h in headers]
+    line = f"{'site':<{width}}  " + "  ".join(
+        f"{h:>{c}}" for h, c in zip(headers, cols))
+    if show_delta:
+        line += f"  {'delta':>9}  note"
+    print(line)
+    print("-" * max(len(line), 40))
+    for key in keys:
+        cells = []
+        row_vals = []
+        proved = 0
+        for table in tables:
+            row = table.get(key)
+            value = row.get("total") if row is not None else None
+            proved = max(proved, (row or {}).get("proved", 0) or 0)
+            row_vals.append(value)
+            cells.append("-" if value is None else str(value))
+        out = f"{_site_label(key):<{width}}  " + "  ".join(
+            f"{cell:>{c}}" for cell, c in zip(cells, cols))
+        if show_delta:
+            left, right = row_vals
+            delta = ((right or 0) - (left or 0))
+            out += f"  {delta:>+9d}"
+            if proved:
+                out += f"  proved({proved})"
+            elif left is None:
+                out += "  new"
+            elif right is None:
+                out += "  gone"
+        print(out)
+
+    totals = []
+    for table in tables:
+        totals.append(sum(row.get("total", 0) for row in table.values()))
+    out = f"{'TOTAL':<{width}}  " + "  ".join(
+        f"{total:>{c}}" for total, c in zip(totals, cols))
+    if show_delta:
+        out += f"  {totals[1] - totals[0]:>+9d}"
+        if totals[0]:
+            pct = 100.0 * (totals[1] - totals[0]) / totals[0]
+            out += f"  ({pct:+.1f}%)"
+    print(out)
+    return 0
+
+
+def diff_benches(reports):
     headers = [f"{name} [{report.get('metric', '?')}]"
                for name, report, _ in reports]
     for name, report, _ in reports:
@@ -100,6 +190,28 @@ def main(argv):
         f"{cell:>{c}}" for cell, c in zip(geo_cells, cols))
     print(out)
     return 0
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip())
+        return 64
+    reports = []
+    for arg in argv:
+        path = pathlib.Path(arg)
+        report = load(path)
+        values = (None if report.get("schema") == "obs-profile-v1"
+                  else normalized_values(report))
+        reports.append((path.name, report, values))
+
+    profile_like = [r for r in reports
+                    if r[1].get("schema") == "obs-profile-v1"]
+    if profile_like and len(profile_like) != len(reports):
+        raise SystemExit("cannot mix bench-v2 and obs-profile-v1 "
+                         "reports in one diff")
+    if profile_like:
+        return diff_profiles(reports)
+    return diff_benches(reports)
 
 
 if __name__ == "__main__":

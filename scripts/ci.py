@@ -52,7 +52,16 @@
    the recorded engine-speedup baseline within 2% (tolerance widened
    to the measured sample spread on noisy hosts).
 
-10. Serve-smoke leg: the ``repro serve`` daemon end to end — boot it
+10. Prove-smoke leg: the ``-O2`` solver-backed check elimination end
+   to end — the loop-workload corpus re-measured with the prove pass
+   on (every deleted check must carry a certificate that replays
+   non-trapping against the formal semantics; a counterexample fails
+   the build), the temporal certificates replayed under the ``full``
+   profile too, the O0/O1/O2 x compiled/interp matrix byte-identical
+   per workload, and the optimized geomean overhead gated within
+   ``PROVE_TOLERANCE`` (5%) of the recorded ``BENCH_prove.json``.
+
+11. Serve-smoke leg: the ``repro serve`` daemon end to end — boot it
    as a subprocess (OS-assigned port, fresh store, chaos faults armed),
    assert the deterministic HTTP status mapping over clean, attack,
    malformed, compile-error and over-budget requests, check responses
@@ -73,6 +82,7 @@ Usage:  python scripts/ci.py [--skip-tests]
         python scripts/ci.py --fuzz-smoke    # only the fuzz-smoke leg
         python scripts/ci.py --store-smoke   # only the store-smoke leg
         python scripts/ci.py --obs-smoke     # only the obs-smoke leg
+        python scripts/ci.py --prove-smoke   # only the prove-smoke leg
         python scripts/ci.py --serve-smoke   # only the serve-smoke leg
 """
 
@@ -85,9 +95,11 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_interp.json"
 CHECKOPT_JSON = REPO_ROOT / "BENCH_checkopt.json"
 TEMPORAL_JSON = REPO_ROOT / "BENCH_temporal.json"
+PROVE_JSON = REPO_ROOT / "BENCH_prove.json"
 TOLERANCE = 0.20      # fail on >20% wall-clock regression
 OPT_TOLERANCE = 0.05  # fail on >5% instrumented-overhead regression
 TEMPORAL_TOLERANCE = 0.05  # fail on >5% temporal-overhead regression
+PROVE_TOLERANCE = 0.05  # fail on >5% -O2 overhead regression
 
 #: Representative subset the CI temporal-overhead gate re-measures
 #: (full-corpus numbers live in BENCH_temporal.json).
@@ -233,6 +245,101 @@ def run_temporal_gate():
               "the recorded baseline ceiling")
         return 1
     print("temporal gate ok")
+    return 0
+
+
+#: Workloads the prove-smoke matrix sweeps over every O-level x engine
+#: cell (loop-heavy, so -O2 actually deletes checks on them).
+PROVE_SMOKE_WORKLOADS = ("go", "lbm", "ijpeg")
+
+
+def run_prove_smoke():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.api import compile_source
+    from repro.fuzz.oracle import run_config
+    from repro.harness.checkopt import LOOP_WORKLOADS
+    from repro.harness.prove import load_report, render_prove, run_prove
+    from repro.prove import replay_certificate
+    from repro.workloads.programs import WORKLOADS
+
+    print("\n== prove-smoke (certificate replay, O-matrix identity, "
+          "overhead gate) ==", flush=True)
+
+    # 1. Spatial corpus under -O2: run_prove asserts, per workload,
+    # that O0/O1/O2 match the uninstrumented baseline, that every
+    # deleted check carries a certificate, and that every certificate
+    # replays non-trapping against the formal semantics.  Any
+    # counterexample surfaces as the AssertionError caught here.
+    try:
+        report = run_prove(LOOP_WORKLOADS)
+    except AssertionError as error:
+        print(f"PROVE SMOKE FAILURE: deleted-check counterexample — "
+              f"{error}")
+        return 1
+    print(render_prove(report))
+    print(f"  spatial corpus ok: {report['certificates']} certificates "
+          f"replayed against the formal semantics")
+
+    # 2. The temporal side: under the full (spatial+temporal) profile
+    # the prove pass also deletes sb_temporal_check sites; their
+    # immortal-lock certificates must replay too.
+    replayed = 0
+    for name in PROVE_SMOKE_WORKLOADS:
+        compiled = compile_source(WORKLOADS[name].source, profile="full",
+                                  optimize=2)
+        for cert in getattr(compiled, "prove_certificates", None) or ():
+            ok, reason = replay_certificate(cert)
+            if not ok:
+                print(f"PROVE SMOKE FAILURE: {name} certificate "
+                      f"{cert.kind} at {cert.function}:{cert.site} "
+                      f"does not replay — {reason}")
+                return 1
+            replayed += 1
+    if replayed == 0:
+        print("PROVE SMOKE FAILURE: full profile produced no "
+              "certificates on the loop subset")
+        return 1
+    print(f"  full-profile certificates ok: {replayed} replayed over "
+          f"{len(PROVE_SMOKE_WORKLOADS)} workloads")
+
+    # 3. Byte-identity: every (O-level, engine) cell must agree exactly
+    # on (status, exit, output, trap) — a wrong proof would diverge
+    # here even if it slipped past the replay.
+    for name in PROVE_SMOKE_WORKLOADS:
+        source = WORKLOADS[name].source
+        rows = {}
+        for engine in ("compiled", "interp"):
+            for level in (0, 1, 2):
+                value = run_config(source, "spatial", engine, level)
+                rows[(engine, level)] = (
+                    value.get("status"), value.get("exit_code"),
+                    value.get("output"), value.get("trap_kind"))
+        if len(set(rows.values())) != 1:
+            print(f"PROVE SMOKE FAILURE: {name} O-level x engine matrix "
+                  f"not byte-identical: {rows}")
+            return 1
+    print(f"  O-matrix identity ok ({len(PROVE_SMOKE_WORKLOADS)} "
+          f"workloads x 3 levels x 2 engines)")
+
+    # 4. Overhead gate: the re-measured loop-subset -O2 geomean must
+    # stay within PROVE_TOLERANCE of the recorded baseline.
+    current = report["loop_geomean_overhead_o2_pct"]
+    if not PROVE_JSON.exists():
+        print(f"\nno recorded baseline at {PROVE_JSON}; run "
+              f"`make bench-prove` to create one. Current -O2 geomean "
+              f"overhead: {current:.2f}%")
+        print("prove-smoke ok")
+        return 0
+    recorded = load_report(PROVE_JSON)["loop_geomean_overhead_o2_pct"]
+    ceiling = recorded * (1.0 + PROVE_TOLERANCE)
+    print(f"  recorded -O2 loop geomean overhead: {recorded:.2f}%   "
+          f"current: {current:.2f}%   ceiling (+{PROVE_TOLERANCE:.0%}): "
+          f"{ceiling:.2f}%")
+    if current > ceiling:
+        print("PROVE REGRESSION: -O2 instrumented overhead rose above "
+              "the recorded baseline ceiling")
+        return 1
+    print("prove-smoke ok")
     return 0
 
 
@@ -1093,6 +1200,8 @@ def run_serve_smoke():
 def main(argv):
     if "--serve-smoke" in argv:
         return run_serve_smoke()
+    if "--prove-smoke" in argv:
+        return run_prove_smoke()
     if "--obs-smoke" in argv:
         return run_obs_smoke()
     if "--store-smoke" in argv:
@@ -1114,6 +1223,9 @@ def main(argv):
     if code != 0:
         return code
     code = run_temporal_gate()
+    if code != 0:
+        return code
+    code = run_prove_smoke()
     if code != 0:
         return code
     code = run_api_smoke()

@@ -65,6 +65,11 @@ class CompiledProgram:
     #: unprotected builds or ``optimize_checks=False``); carries the
     #: loop-pass counters (hoisted/widened/deduped).
     check_opt_stats: object = None
+    #: Tuple of :class:`repro.prove.Certificate` for every check the
+    #: ``-O2`` prove pass deleted (None below level 2).  Read with
+    #: ``getattr(..., "prove_certificates", None)`` when the program may
+    #: predate this field (old pickled store artifacts).
+    prove_certificates: object = None
 
     @property
     def is_protected(self):
@@ -110,6 +115,13 @@ class Toolchain:
                  observers=(), unit_mode=False):
         self.profile = as_profile(profile)
         self.optimize = optimize
+        # Normalize the optimize spelling up front: levels 0/1/2, where
+        # 2 (or a ProveConfig) additionally runs the solver-backed
+        # static check elimination.  Raises UsageError on junk.
+        from ..prove import opt_level, prove_config_of
+
+        self.opt_level = opt_level(optimize)
+        self.prove_config = prove_config_of(optimize)
         self.verify = verify
         self.observers = list(observers)
         if tracing_enabled():
@@ -141,6 +153,25 @@ class Toolchain:
         if self.verify:
             verify_module(module, allow_unresolved=self.unit_mode)
 
+    def _require_provable(self):
+        """Gate ``-O2`` on the checker policy's ``provable`` capability
+        (refuse, never silently downgrade)."""
+        from ..prove import ProveNotSupportedError
+
+        policy = self.profile.policy
+        if policy is None and self.profile.config is not None:
+            from ..policy import policy_for_config
+
+            policy = policy_for_config(self.profile.config)
+        if policy is None or not getattr(policy, "provable", False):
+            name = policy.name if policy is not None else self.profile.name
+            raise ProveNotSupportedError(
+                f"policy {name!r} does not declare the 'provable' "
+                f"capability; -O2 static check elimination is only "
+                f"sound for policies whose (base, bound) / (key, lock) "
+                f"metadata discipline matches the solver's model. "
+                f"Use -O1 for this policy.")
+
     # -- the pipeline --------------------------------------------------
 
     def compile(self, source, name=None):
@@ -150,6 +181,8 @@ class Toolchain:
         self.artifacts = {}
         self.stage_seconds = {}
         config = self.profile.config
+        if self.opt_level >= 2:
+            self._require_provable()
 
         self._before("parse", source)
         parser = Parser(source)
@@ -169,7 +202,7 @@ class Toolchain:
         self._after("lower", {"module": module})
 
         pass_stats = None
-        if self.optimize:
+        if self.opt_level >= 1:
             self._before("optimize", module)
             if self.unit_mode:
                 # The linker's historical sequencing: optimize without
@@ -194,20 +227,24 @@ class Toolchain:
                 self._before("post-optimize", module)
                 if self.unit_mode:
                     check_opt_stats = optimize_after_instrumentation(
-                        module, verify=False, config=config)
+                        module, verify=False, config=config,
+                        prove=self.prove_config)
                     self._verify(module)
                 else:
                     check_opt_stats = optimize_after_instrumentation(
-                        module, verify=self.verify, config=config)
+                        module, verify=self.verify, config=config,
+                        prove=self.prove_config)
                 self._after("post-optimize",
                             {"check_opt_stats": check_opt_stats})
 
+        prove_certificates = getattr(module, "prove_certificates", None)
         if self.unit_mode:
             module.check_opt_stats = check_opt_stats
             return module
         return CompiledProgram(module=module, softbound_config=config,
                                pass_stats=pass_stats,
-                               check_opt_stats=check_opt_stats)
+                               check_opt_stats=check_opt_stats,
+                               prove_certificates=prove_certificates)
 
 
 def compile_source(source, profile=None, optimize=True, verify=True,

@@ -109,6 +109,12 @@ def build_parser():
                             help="disable sub-object bound shrinking")
     run_parser.add_argument("--no-optimize", action="store_true",
                             help="skip the optimizer pipelines")
+    run_parser.add_argument("-O", "--opt-level", type=int, default=None,
+                            choices=(0, 1, 2), metavar="N",
+                            help="optimization level: 0 none, 1 the "
+                                 "standard pipelines (default), 2 adds "
+                                 "solver-backed static check elimination "
+                                 "(policies must declare 'provable')")
     run_parser.add_argument("--stats", action="store_true",
                             help="print cost-model statistics after the run")
     run_parser.add_argument("--json", action="store_true",
@@ -161,6 +167,11 @@ def build_parser():
     profile_parser.add_argument("--top", type=int, default=20, metavar="N",
                                 help="rows in the hot-site table "
                                      "(default: 20)")
+    profile_parser.add_argument("-O", "--opt-level", type=int, default=1,
+                                choices=(0, 1, 2), metavar="N",
+                                help="optimization level to profile at "
+                                     "(default: 1; 2 shows which sites "
+                                     "were statically proved away)")
     profile_parser.add_argument("--json", action="store_true",
                                 help="emit the obs-profile-v1 report as "
                                      "JSON instead of the table")
@@ -285,7 +296,7 @@ def _compile_cli(sources, profile, optimize):
 
 
 def _execute(sources, profile, args, stdout, stderr, name="program"):
-    from .api import run_compiled
+    from .api import UsageError, run_compiled
     from .frontend.errors import FrontendError
     from .harness.linker import LinkError
 
@@ -294,6 +305,9 @@ def _execute(sources, profile, args, stdout, stderr, name="program"):
         with open(args.stdin_file, "rb") as handle:
             input_data = handle.read()
     optimize = not getattr(args, "no_optimize", False)
+    level = getattr(args, "opt_level", None)
+    if level is not None:
+        optimize = level
     try:
         compiled, origin = _compile_cli(sources, profile, optimize)
         report = run_compiled(compiled, profile=profile, name=name,
@@ -307,6 +321,10 @@ def _execute(sources, profile, args, stdout, stderr, name="program"):
     except LinkError as error:
         print(f"link error: {error}", file=stderr)
         return EX_COMPILE
+    except UsageError as error:
+        # e.g. ProveNotSupportedError: -O2 under a non-provable policy.
+        print(f"error: {error}", file=stderr)
+        return EX_USAGE
     if getattr(args, "json", False):
         json.dump(report.to_json(), stdout, indent=2, sort_keys=True)
         stdout.write("\n")
@@ -365,6 +383,7 @@ def _list_profiles(stdout, as_json=False):
                     "dedupable": policy.dedupable,
                     "hoistable": policy.hoistable,
                     "widenable": policy.widenable,
+                    "provable": getattr(policy, "provable", False),
                 },
             })
         json.dump(entries, stdout, indent=2, sort_keys=True)
@@ -468,7 +487,8 @@ def _run_site_profile(args, stdout, stderr):
             return EX_USAGE
     try:
         report = profile_source(source, profile=args.profile,
-                                engine=args.engine, program=target)
+                                engine=args.engine, program=target,
+                                optimize=getattr(args, "opt_level", 1))
     except FrontendError as error:
         print(f"compile error: {error}", file=stderr)
         return EX_COMPILE

@@ -98,9 +98,12 @@ def _join(lines):
 
 
 def parse_config_key(key):
-    """``"spatial/compiled/O1"`` -> ``("spatial", "compiled", True)``."""
+    """``"spatial/compiled/O1"`` -> ``("spatial", "compiled", 1)``.
+
+    The opt component comes back as the integer level (0, 1 or 2), which
+    every run entry point accepts directly."""
     policy, engine, opt = key.split("/")
-    return policy, engine, opt == "O1"
+    return policy, engine, int(opt[1:] or 0)
 
 
 def _make_runner(pool=None, max_instructions=MINIMIZE_MAX_INSTRUCTIONS,

@@ -2,8 +2,9 @@
 
 For one generated program the oracle runs every registered
 :class:`~repro.policy.CheckerPolicy` × both VM engines (the reference
-interpreter and the closure-compiled engine) × both optimization
-levels, then diffs:
+interpreter and the closure-compiled engine) × every optimization
+level — including ``-O2`` (solver-backed static check elimination) for
+policies declaring ``provable`` — then diffs:
 
 * **transparency** on clean programs — identical exit code and output
   everywhere, and no checker may claim a violation (the paper's
@@ -14,6 +15,11 @@ levels, then diffs:
   one policy must agree on the outcome;
 * **serial == parallel** — a sampled ``Session.run_many`` batch must be
   identical at ``jobs=1`` and ``jobs=2``.
+
+The ``-O2`` cells are the prove subsystem's adversary: a wrong proof
+deletes a check that should have fired, which surfaces here as a
+``missed_detection`` (mutated seed, O2 ran past the defect while O0/O1
+trapped) or a per-policy ``divergence`` finding — never silently.
 
 Execution happens inside :mod:`repro.fuzz.pool` workers under a VM
 instruction budget (the cost model's ``RESOURCE_LIMIT`` trap) plus the
@@ -42,14 +48,16 @@ class RunConfig:
 
     policy: str
     engine: str
-    optimize: bool
+    optimize: object  # an opt level: False/True/0/1/2 (see repro.prove)
     kind: str = "run"  # "run" | "parallel" | "chaos"
 
     @property
     def key(self):
         if self.kind != "run":
             return f"{self.kind}:{self.policy}"
-        return f"{self.policy}/{self.engine}/O{1 if self.optimize else 0}"
+        from ..prove import opt_level
+
+        return f"{self.policy}/{self.engine}/O{opt_level(self.optimize)}"
 
 
 @dataclass(frozen=True)
@@ -73,7 +81,9 @@ class ConfigMatrix:
 
     @classmethod
     def full(cls, policies=None, **kwargs):
-        """Every registered policy × both engines × both opt levels."""
+        """Every registered policy × both engines × every opt level
+        (O2 cells run only for policies declaring ``provable``)."""
+        kwargs.setdefault("opt_levels", (True, False, 2))
         return cls(policies=_policy_names(policies), **kwargs)
 
     @classmethod
@@ -87,14 +97,30 @@ class ConfigMatrix:
         return cls(policies=names, **kwargs)
 
     def configs(self):
+        from ..prove import opt_level
+
         for policy in self.policies:
+            provable = _policy_provable(policy)
             for engine in self.engines:
                 for optimize in self.opt_levels:
+                    if opt_level(optimize) >= 2 and not provable:
+                        # -O2 is a typed refusal for these policies (by
+                        # design); not a differential cell.
+                        continue
                     yield RunConfig(policy, engine, optimize)
 
     @property
     def baseline(self):
         return RunConfig("none", self.engines[0], self.opt_levels[0])
+
+
+def _policy_provable(name):
+    from ..policy import get_policy
+
+    try:
+        return bool(getattr(get_policy(name), "provable", False))
+    except KeyError:
+        return False
 
 
 def _policy_names(policies=None):

@@ -1,0 +1,184 @@
+"""Measurement harness for the ``-O2`` solver-backed check elimination.
+
+Compares, per workload, the ``-O1`` build (the loop-aware dynamic
+optimizer, PR 2's 42.5% loop-overhead reduction baseline) against the
+``-O2`` build (same pipeline plus the prove pass) under the full-shadow
+spatial profile.  Everything is simulated cost-model units, so the
+recorded ``BENCH_prove.json`` is deterministic and CI-gateable.
+
+Three properties are asserted *inside* the measurement, not just
+reported:
+
+* behavioural equivalence — ``-O0``/``-O1``/``-O2`` match the
+  uninstrumented baseline's (exit code, output) exactly;
+* certified deletion — every check ``-O2`` deleted carries a
+  certificate, and every certificate replays non-trapping against the
+  formal semantics (:func:`repro.prove.replay_certificate`);
+* the headline: across :data:`LOOP_WORKLOADS`, ``-O2`` must delete at
+  least :data:`LOOP_DELETION_FLOOR_PCT` percent of the dynamically
+  executed ``sb_check`` instances that survive ``-O1``.
+"""
+
+import json
+import math
+
+from ..api import as_profile, compile_source, run_compiled, run_source
+from .checkopt import LOOP_WORKLOADS
+from ..workloads.programs import WORKLOADS
+
+#: Acceptance floor: dynamic sb_check executions deleted beyond -O1,
+#: aggregated over the loop workloads.
+LOOP_DELETION_FLOOR_PCT = 15.0
+
+
+def _geomean_overhead_pct(overheads):
+    """Geometric mean over the *cost ratios* (1 + overhead), converted
+    back to a percentage.  Raw-percent geomeans blow up on genuine
+    zeros (a fully-proven workload has exactly 0% overhead); ratio
+    geomeans handle them exactly."""
+    if not overheads:
+        return 0.0
+    ratios = [1.0 + v / 100.0 for v in overheads]
+    return (math.exp(sum(map(math.log, ratios)) / len(ratios)) - 1.0) * 100.0
+
+
+def _measure_one(name, source, profile):
+    from ..prove import replay_certificate
+
+    base = run_source(source, name=name)
+    results = {}
+    compiled2 = None
+    for level in (0, 1, 2):
+        compiled = compile_source(source, profile=profile, optimize=level)
+        results[level] = run_compiled(compiled, profile=profile, name=name)
+        if level == 2:
+            compiled2 = compiled
+    for level, result in results.items():
+        if result.trap is not None or result.exit_code != base.exit_code \
+                or result.output != base.output:
+            raise AssertionError(
+                f"{name}: -O{level} diverged from the uninstrumented "
+                f"baseline ({result.trap})")
+    certificates = tuple(getattr(compiled2, "prove_certificates", None)
+                         or ())
+    for cert in certificates:
+        ok, reason = replay_certificate(cert)
+        if not ok:
+            raise AssertionError(
+                f"{name}: certificate replay counterexample at "
+                f"{cert.function}:{cert.site} — {reason}")
+    # Deleted checks must be accounted for: stats say how many sb_check
+    # instructions the prove pass removed; each removal needs a cert.
+    stats = getattr(compiled2, "check_opt_stats", None)
+    proved = ((getattr(stats, "proved_checks", 0) or 0)
+              + (getattr(stats, "proved_temporal_checks", 0) or 0))
+    if proved != len(certificates):
+        raise AssertionError(
+            f"{name}: {proved} checks deleted by proof but "
+            f"{len(certificates)} certificates recorded")
+    return base, results, certificates
+
+
+def run_prove(workload_names=None):
+    """Measure every workload; returns the report dict recorded in
+    ``BENCH_prove.json`` (bench-v2 schema)."""
+    names = list(workload_names or WORKLOADS)
+    profile = as_profile("spatial")
+    per_workload = {}
+    for name in names:
+        source = WORKLOADS[name].source
+        base, results, certificates = _measure_one(name, source, profile)
+        o1, o2 = results[1], results[2]
+        overhead_o1 = (o1.stats.cost / base.stats.cost - 1.0) * 100.0
+        overhead_o2 = (o2.stats.cost / base.stats.cost - 1.0) * 100.0
+        checks_o1 = o1.stats.checks
+        checks_o2 = o2.stats.checks
+        per_workload[name] = {
+            "overhead_o1_pct": round(overhead_o1, 3),
+            "overhead_o2_pct": round(overhead_o2, 3),
+            "checks_o1": checks_o1,
+            "checks_o2": checks_o2,
+            "checks_deleted_pct": round(
+                100.0 * (1.0 - checks_o2 / checks_o1), 2)
+                if checks_o1 else 0.0,
+            "certificates": len(certificates),
+            # The normalized per-workload headline (bench-v2 schema).
+            "value": round(overhead_o2, 3),
+        }
+
+    def geo(names_, key):
+        return _geomean_overhead_pct([per_workload[n][key] for n in names_
+                                      if n in per_workload])
+
+    loop_names = [n for n in LOOP_WORKLOADS if n in per_workload]
+    loop_checks_o1 = sum(per_workload[n]["checks_o1"] for n in loop_names)
+    loop_checks_o2 = sum(per_workload[n]["checks_o2"] for n in loop_names)
+    report = {
+        "schema": "bench-v2",
+        "benchmark": "prove",
+        "metric": "instrumented_overhead_pct",
+        "config": "ShadowSpace-Complete-O2",
+        "workloads": per_workload,
+        "geomean": round(geo(per_workload, "overhead_o2_pct"), 3),
+        "geomean_overhead_o1_pct": round(
+            geo(per_workload, "overhead_o1_pct"), 3),
+        "geomean_overhead_o2_pct": round(
+            geo(per_workload, "overhead_o2_pct"), 3),
+        "loop_workloads": loop_names,
+        "loop_geomean_overhead_o1_pct": round(
+            geo(loop_names, "overhead_o1_pct"), 3),
+        "loop_geomean_overhead_o2_pct": round(
+            geo(loop_names, "overhead_o2_pct"), 3),
+        "certificates": sum(r["certificates"]
+                            for r in per_workload.values()),
+    }
+    report["loop_checks_deleted_beyond_o1_pct"] = round(
+        100.0 * (1.0 - loop_checks_o2 / loop_checks_o1), 2) \
+        if loop_checks_o1 else 0.0
+    o1_g = report["loop_geomean_overhead_o1_pct"]
+    o2_g = report["loop_geomean_overhead_o2_pct"]
+    report["loop_overhead_reduction_beyond_o1_pct"] = round(
+        100.0 * (1.0 - o2_g / o1_g), 2) if o1_g else 0.0
+    return report
+
+
+def render_prove(report):
+    lines = ["Solver-backed static check elimination (-O2 vs -O1, "
+             "softbound Full-Shadow)",
+             ""]
+    header = (f"{'workload':12s} {'O1':>9s} {'O2':>9s} "
+              f"{'checks O1':>11s} {'checks O2':>11s} {'deleted':>8s} "
+              f"{'certs':>6s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in report["workloads"].items():
+        lines.append(
+            f"{name:12s} {row['overhead_o1_pct']:8.1f}% "
+            f"{row['overhead_o2_pct']:8.1f}% "
+            f"{row['checks_o1']:11d} {row['checks_o2']:11d} "
+            f"{row['checks_deleted_pct']:7.1f}% "
+            f"{row['certificates']:6d}")
+    lines.append("")
+    lines.append(f"geomean overhead (all {len(report['workloads'])}): "
+                 f"{report['geomean_overhead_o1_pct']:.1f}% -> "
+                 f"{report['geomean_overhead_o2_pct']:.1f}%")
+    lines.append(f"loop workloads ({', '.join(report['loop_workloads'])}): "
+                 f"overhead {report['loop_geomean_overhead_o1_pct']:.1f}% -> "
+                 f"{report['loop_geomean_overhead_o2_pct']:.1f}% "
+                 f"({report['loop_overhead_reduction_beyond_o1_pct']:.1f}% "
+                 f"beyond -O1); dynamic sb_check deleted "
+                 f"{report['loop_checks_deleted_beyond_o1_pct']:.1f}%")
+    lines.append(f"certificates recorded and replayed: "
+                 f"{report['certificates']}")
+    return "\n".join(lines)
+
+
+def write_report(report, path):
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path):
+    with open(path) as handle:
+        return json.load(handle)

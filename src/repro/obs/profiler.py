@@ -107,6 +107,16 @@ class ProfileReport:
     #: Post-instrumentation optimizer counters (what was eliminated
     #: before anything ran) — the other half of the cost story.
     eliminated: dict = None
+    #: Check instructions deleted at compile time, per kind — they never
+    #: execute at all (checkelim's dominated duplicates plus the -O2
+    #: prove pass's solver-deleted checks).
+    eliminated_static: dict = field(default_factory=dict)
+    #: Check instructions whose *executions* were reduced by runtime-path
+    #: optimizations, per kind — hoisted to preheaders or widened behind
+    #: a loop guard (the instruction still exists; it just runs less).
+    eliminated_dynamic: dict = field(default_factory=dict)
+    #: Number of -O2 deletion certificates the compile carries.
+    certificates: int = 0
     instructions: int = 0
     dynamic_cost: int = 0
 
@@ -124,6 +134,11 @@ class ProfileReport:
             "executed": self.executed,
             "attribution": {k: round(v, 4) for k, v in self.attribution.items()},
             "sites": self.sites,
+            # Always present (zeros when nothing was eliminated) so
+            # downstream diff tools never key-miss.
+            "eliminated_static": self.eliminated_static,
+            "eliminated_dynamic": self.eliminated_dynamic,
+            "certificates": self.certificates,
         }
         if self.eliminated is not None:
             row["eliminated"] = self.eliminated
@@ -138,14 +153,32 @@ def build_report(profile_obj, result, *, program, profile_name, engine,
     for (kind, func, line, seq), n in profile_obj.counts.items():
         row = per_site.setdefault((func, line, seq), dict.fromkeys(SITE_KINDS, 0))
         row[kind] += n
+    # Sites the -O2 prove pass deleted never execute, so they are
+    # invisible to the dynamic counts — surface them as zero-count rows
+    # annotated with the number of statically proved checks.
+    certificates = ()
+    if compiled is not None:
+        certificates = tuple(
+            getattr(compiled, "prove_certificates", None) or ())
+    proved_by_site = {}
+    for cert in certificates:
+        kind = ("sb_temporal_check" if cert.kind == "temporal"
+                else "sb_check")
+        row = proved_by_site.setdefault(tuple(cert.site),
+                                        dict.fromkeys(SITE_KINDS, 0))
+        row[kind] += 1
+    for key in proved_by_site:
+        per_site.setdefault(key, dict.fromkeys(SITE_KINDS, 0))
     sites = []
     for (func, line, seq), kinds in per_site.items():
+        proved = proved_by_site.get((func, line, seq))
         sites.append({
             "function": func,
             "line": line,
             "seq": seq,
             "counts": kinds,
             "total": sum(kinds.values()),
+            "proved": sum(proved.values()) if proved else 0,
         })
     sites.sort(key=lambda r: (-r["total"], r["function"],
                               r["line"] if r["line"] is not None else -1,
@@ -168,6 +201,7 @@ def build_report(profile_obj, result, *, program, profile_name, engine,
         attribution[kind] = (profile_obj.attributed(kind) / denom) if denom else 1.0
 
     eliminated = None
+    post = {}
     if compiled is not None:
         eliminated = {}
         for label, bag in (("optimize", getattr(compiled, "pass_stats", None)),
@@ -176,8 +210,24 @@ def build_report(profile_obj, result, *, program, profile_name, engine,
             as_dict = _stats_dict(bag)
             if as_dict:
                 eliminated[label] = as_dict
+        post = eliminated.get("post_optimize", {})
         if not eliminated:
             eliminated = None
+    eliminated_static = {
+        "sb_check": (post.get("removed_checks", 0)
+                     + post.get("proved_checks", 0)),
+        "sb_temporal_check": (post.get("removed_temporal_checks", 0)
+                              + post.get("proved_temporal_checks", 0)),
+        "by_proof": {
+            "sb_check": post.get("proved_checks", 0),
+            "sb_temporal_check": post.get("proved_temporal_checks", 0),
+        },
+    }
+    eliminated_dynamic = {
+        "hoisted_checks": post.get("hoisted_checks", 0),
+        "hoisted_meta_loads": post.get("hoisted_meta_loads", 0),
+        "widened_checks": post.get("widened_checks", 0),
+    }
 
     return ProfileReport(
         program=program,
@@ -190,20 +240,25 @@ def build_report(profile_obj, result, *, program, profile_name, engine,
         executed=executed,
         attribution=attribution,
         eliminated=eliminated,
+        eliminated_static=eliminated_static,
+        eliminated_dynamic=eliminated_dynamic,
+        certificates=len(certificates),
         instructions=stats.instructions if stats is not None else 0,
         dynamic_cost=stats.cost if stats is not None else 0,
     )
 
 
 def profile_source(source, profile="spatial", engine=None, input_data=b"",
-                   max_instructions=200_000_000, program="<source>", top=None):
-    """Compile ``source`` under ``profile``, run it once under
-    ``engine`` with a site profile attached, and report."""
+                   max_instructions=200_000_000, program="<source>", top=None,
+                   optimize=True):
+    """Compile ``source`` under ``profile`` at ``optimize`` (any level
+    the toolchain accepts, including 2 / a ProveConfig), run it once
+    under ``engine`` with a site profile attached, and report."""
     from ..api import as_profile, compile_source, resolve_engine
 
     prof = as_profile(profile)
     engine = resolve_engine(engine)
-    compiled = compile_source(source, profile=prof)
+    compiled = compile_source(source, profile=prof, optimize=optimize)
     machine = compiled.instantiate(
         input_data=input_data, max_instructions=max_instructions,
         observers=prof.make_observers(), engine=engine)
@@ -224,9 +279,9 @@ def render_table(report, top=20, out=None):
                  % (report.instructions, report.dynamic_cost,
                     report.exit_code,
                     " trap=%s" % report.trap if report.trap else ""))
-    header = ("%-4s %-28s %6s %12s %12s %12s %12s"
+    header = ("%-4s %-28s %6s %12s %12s %12s %12s %7s"
               % ("#", "site", "line", "sb_check", "temporal", "meta_load",
-                 "total"))
+                 "total", "proved"))
     lines.append(header)
     lines.append("-" * len(header))
     rows = report.sites[:top] if top is not None else report.sites
@@ -234,15 +289,32 @@ def render_table(report, top=20, out=None):
         line = row["line"] if row["line"] is not None else "?"
         site = "%s#%d" % (row["function"], row["seq"])
         counts = row["counts"]
-        lines.append("%-4d %-28s %6s %12d %12d %12d %12d"
+        proved = row.get("proved", 0)
+        lines.append("%-4d %-28s %6s %12d %12d %12d %12d %7s"
                      % (rank, site, line, counts["sb_check"],
                         counts["sb_temporal_check"], counts["sb_meta_load"],
-                        row["total"]))
+                        row["total"],
+                        ("%d" % proved) if proved else ""))
     if len(report.sites) > len(rows):
         lines.append("... %d more sites" % (len(report.sites) - len(rows)))
     lines.append("attribution: " + "  ".join(
         "%s=%.1f%%" % (kind, report.attribution.get(kind, 0.0) * 100)
         for kind in SITE_KINDS))
+    static = report.eliminated_static or {}
+    dynamic = report.eliminated_dynamic or {}
+    by_proof = static.get("by_proof", {})
+    lines.append(
+        "eliminated static: sb_check=%d sb_temporal_check=%d "
+        "(by proof: %d+%d, %d certificates)"
+        % (static.get("sb_check", 0), static.get("sb_temporal_check", 0),
+           by_proof.get("sb_check", 0), by_proof.get("sb_temporal_check", 0),
+           report.certificates))
+    lines.append(
+        "eliminated dynamic: hoisted_checks=%d hoisted_meta_loads=%d "
+        "widened_checks=%d"
+        % (dynamic.get("hoisted_checks", 0),
+           dynamic.get("hoisted_meta_loads", 0),
+           dynamic.get("widened_checks", 0)))
     if report.eliminated:
         for label, bag in report.eliminated.items():
             interesting = {k: v for k, v in bag.items() if v}

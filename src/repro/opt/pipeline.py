@@ -50,6 +50,10 @@ class PassStats:
     hoisted_checks: int = 0
     widened_loops: int = 0
     widened_checks: int = 0
+    # Solver-backed static elimination (-O2 only):
+    proved_checks: int = 0
+    proved_temporal_checks: int = 0
+    prove_obligations: int = 0
 
 
 def _publish(stats, phase):
@@ -99,12 +103,24 @@ def optimize_module(module, verify=True):
     return stats
 
 
-def optimize_after_instrumentation(module, verify=True, config=None):
+def optimize_after_instrumentation(module, verify=True, config=None,
+                                   prove=None):
     """The post-SoftBound cleanup pipeline (the paper re-runs the full
     LLVM suite here, Section 6.1):
-    copyprop → cse → checkelim → licm → checkwiden → constfold → dce."""
+    copyprop → cse → checkelim → [prove] → licm → checkwiden →
+    constfold → dce.
+
+    ``prove`` is a :class:`repro.prove.ProveConfig` (or None to skip):
+    at ``-O2`` the solver-backed pass deletes checks it can prove
+    non-trapping, *before* LICM/widening so fully-proven loops need no
+    hoisting or versioning, and before DCE so the orphaned metadata
+    movs get swept.  Each deletion's
+    :class:`~repro.prove.certificate.Certificate` is collected on
+    ``module.prove_certificates`` (not in the stats — the stats fields
+    feed metric counters)."""
     stats = PassStats()
     dedupable, hoistable, widenable = _capabilities(config)
+    certificates = []
     for func in module.functions.values():
         stats.propagated_copies += copyprop.run(func, module)
         stats.cse_replaced += cse.run(func, module)
@@ -113,6 +129,14 @@ def optimize_after_instrumentation(module, verify=True, config=None):
             stats.removed_checks += removed
             stats.deduped_meta_loads += deduped
             stats.removed_temporal_checks += removed_temporal
+        if prove is not None:
+            from ..prove import passes as prove_passes
+
+            proved = prove_passes.run(func, module, prove)
+            stats.proved_checks += proved.proved_checks
+            stats.proved_temporal_checks += proved.proved_temporal_checks
+            stats.prove_obligations += proved.obligations
+            certificates.extend(proved.certificates)
         if hoistable:
             hoisted_meta, hoisted_checks = licm.run(func, module)
             stats.hoisted_meta_loads += hoisted_meta
@@ -123,6 +147,8 @@ def optimize_after_instrumentation(module, verify=True, config=None):
             stats.widened_checks += widened_checks
         stats.folded += constfold.run(func, module)
         stats.removed_dead += dce.run(func, module)
+    if prove is not None:
+        module.prove_certificates = tuple(certificates)
     invalidate_compiled(module)
     if verify:
         verify_module(module)

@@ -29,10 +29,14 @@ this system, so a new checker is a *plugin* rather than core surgery:
   :data:`repro.vm.costs.OP_COSTS` at registration
   (:func:`repro.vm.costs.register_costs`).
 * **Optimizer capabilities** — ``dedupable`` / ``hoistable`` /
-  ``widenable``: whether the post-instrumentation pipeline may run
-  redundant-check elimination, LICM and check widening over code this
+  ``widenable`` / ``provable``: whether the post-instrumentation
+  pipeline may run redundant-check elimination, LICM, check widening,
+  and (at ``-O2``) solver-backed static check *deletion* over code this
   policy instrumented.  The pipeline queries these instead of
-  pattern-matching variant names.
+  pattern-matching variant names.  ``provable`` is opt-in: it asserts
+  the policy's check semantics are exactly the ``(base, bound)`` /
+  ``(key, lock)`` contract the prove subsystem (:mod:`repro.prove`)
+  models, so a proof of "never traps" transfers to the real runtime.
 * **Evaluation** — ``detects`` (violation classes the conformance suite
   asserts), :meth:`capability_row` (an extension row for the Table 1
   capability matrix) and :meth:`temporal_row` (an extension row for the
@@ -73,6 +77,11 @@ class CheckerPolicy:
     dedupable = True
     hoistable = False
     widenable = False
+    #: Whether -O2 solver-backed static check elimination is sound for
+    #: this policy.  Off by default: a proof is only as good as the
+    #: match between the solver's model and the policy's actual check
+    #: semantics, so every policy must opt in explicitly (after audit).
+    provable = False
 
     # -- costs ---------------------------------------------------------
     #: Cost keys this policy charges, merged into OP_COSTS at

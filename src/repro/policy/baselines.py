@@ -41,6 +41,11 @@ class MsccPolicy(CheckerPolicy):
     dedupable = True
     hoistable = False
     widenable = False
+    # provable audit: NOT provable — MSCC omits sub-object bounds, so
+    # its trap condition is coarser than the interval contract the
+    # prove solver models (a proof against (base, bound) would delete
+    # checks MSCC evaluates differently).
+    provable = False
     check_cost_key = "mscc.check"
     detects = frozenset({"stack_overflow", "heap_overflow"})
 
@@ -63,6 +68,11 @@ class FatptrNaivePolicy(CheckerPolicy):
     dedupable = True
     hoistable = False
     widenable = False
+    # provable audit: NOT provable — inline metadata is clobberable by
+    # program stores, so the companion (base, bound) the analyzer
+    # reasons about is not guaranteed to be the one the check reads.
+    # (Inherited by fatptr-wild.)
+    provable = False
     check_cost_key = "fatptr.check"
     detects = frozenset({"stack_overflow", "heap_overflow"})
 
@@ -86,6 +96,10 @@ class ValgrindPolicy(CheckerPolicy):
     description = "Valgrind-style heap addressability observer"
     family = "baseline"
     config = None
+    # provable audit (all three observer policies): NOT provable — the
+    # checking happens in a per-run VM observer, not in sb_check
+    # instructions, so there is nothing the prove pass could soundly
+    # delete; -O2 must be refused rather than silently mean -O1.
     observer_factory = ValgrindChecker
     #: Heap addressability also catches freed-block accesses until the
     #: allocator reuses the range (measured by the conformance suite).

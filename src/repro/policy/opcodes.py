@@ -24,6 +24,11 @@ This module is the open replacement.  Every check-like opcode declares
 * ``writes_metadata_table`` / ``releases_locks`` — whether executing
   the opcode can invalidate metadata-table reads or temporal liveness;
   these extend the core invalidation sets the passes consult.
+* ``provable`` — whether the ``-O2`` prove pass (:mod:`repro.prove`)
+  may statically *delete* an instance of this opcode when the solver
+  discharges its verification condition.  Requires the opcode's trap
+  condition to be exactly the modelled ``(base, bound)`` interval /
+  ``(key, lock)`` liveness contract.
 
 The core SoftBound opcodes are registered here (they are the reference
 instances of the protocol); policies register additional opcodes via
@@ -45,6 +50,7 @@ class OpcodeTraits:
     dedupable: bool = False
     hoistable: bool = False
     widenable: bool = False
+    provable: bool = False
     writes_metadata_table: bool = False
     releases_locks: bool = False
 
@@ -95,13 +101,16 @@ def lock_releaser_opcodes():
 
 register_opcode_traits(OpcodeTraits(
     opcode="sb_check", kind="check",
-    dedupable=True, hoistable=True, widenable=True))
+    # provable: the trap condition is exactly the modelled
+    # base <= ptr && ptr + size <= bound interval contract.
+    dedupable=True, hoistable=True, widenable=True, provable=True))
 register_opcode_traits(OpcodeTraits(
     opcode="sb_temporal_check", kind="check",
     # Dedupable and hoistable under the lock-invalidation discipline the
     # passes implement (kill at calls); never widened — widening removes
     # per-iteration evaluation, and liveness is genuinely per-access.
-    dedupable=True, hoistable=True, widenable=False))
+    # provable: the immortal-lock rule can discharge global accesses.
+    dedupable=True, hoistable=True, widenable=False, provable=True))
 register_opcode_traits(OpcodeTraits(
     opcode="sb_meta_load", kind="meta_load",
     dedupable=True, hoistable=True))

@@ -27,6 +27,9 @@ class NonePolicy(CheckerPolicy):
     family = "none"
     config = None
     detects = frozenset()
+    # provable (vacuously): no checks exist, so -O2 is a no-op rather
+    # than an error — keeps O-level sweeps uniform across policies.
+    provable = True
 
 
 class SpatialPolicy(CheckerPolicy):
@@ -41,6 +44,12 @@ class SpatialPolicy(CheckerPolicy):
     dedupable = True
     hoistable = True
     widenable = True
+    # provable audit: sb_check traps iff ptr < base or ptr+size > bound,
+    # which is exactly the interval contract the prove solver models,
+    # and the (base, bound) companions are immutable per allocation.
+    # Holds for every subclass (hash/store-only change *where* metadata
+    # lives and *which* accesses are checked, not the trap condition).
+    provable = True
     check_cost_key = "sb.check"
     detects = frozenset({"stack_overflow", "heap_overflow",
                          "subobject_overflow"})

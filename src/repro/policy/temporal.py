@@ -29,6 +29,11 @@ class TemporalPolicy(CheckerPolicy):
     dedupable = True
     hoistable = True
     widenable = True
+    # provable audit: spatial checks as in SpatialPolicy; temporal
+    # checks are only ever deleted under the immortal-lock rule
+    # ((key, lock) == (GLOBAL_KEY, GLOBAL_LOCK), which LockSpace pins
+    # forever).  Holds for temporal-hash and full too.
+    provable = True
     check_cost_key = "sb.check"
     detects = _SPATIAL_DETECTS | _TEMPORAL_DETECTS
 

@@ -1,0 +1,812 @@
+"""Intra-procedural value-range analysis over the instrumented IR.
+
+The abstract domain is *region-relative intervals*: an abstract value
+``AbsVal(region, iv)`` denotes ``addr(region) + o`` for some offset
+``o ∈ iv``, where a *region* is an allocation site the analysis can
+name statically — an ``alloca`` instruction (frame slots have a fixed
+layout per activation, :mod:`repro.vm.machine`) or a global symbol.
+``region=None`` means a plain integer whose value itself lies in the
+interval.  The representation is what makes a pointer comparable to its
+``(base, bound)`` companions: when all three share a region, the region
+cancels and the in-bounds obligation becomes a linear *difference*
+constraint over the offset intervals (:mod:`repro.prove.solver`).
+
+Loops are handled two ways:
+
+* plain widening at loop headers (after ``ProveConfig.widen_delay``
+  visits), with a short narrowing phase and per-edge branch refinement
+  to recover bounds the widening threw away;
+* a *counted-loop recurrence*: when a loop's header test bounds its
+  induction variable's trip count ``T`` (≤ ``case_split_limit``), every
+  register with a single in-loop ``r += c`` update gets the exact span
+  ``entry ⊕ [0, c·T]`` at the header instead of a widened join — the
+  latch contribution is ignored, justified by the induction
+  ``r_k = r_0 + k·c, k ≤ T``.  On the loop-entry edge the span tightens
+  to ``k ≤ T-1`` (the body only runs when the test passed, and every
+  candidate updates at most once per iteration, so its update count
+  never exceeds the IV's).
+
+Soundness against machine arithmetic: results of pure-integer binops
+are clamped to the destination type's value range (a possible wrap goes
+to TOP); region-carrying arithmetic is tracked as exact offsets, which
+compose as residues mod 2^64 — the solver's proof obligations pin the
+final checked value inside a genuine ``[base, bound)`` window, which
+rules the wrap out (the full argument is in ``docs/PROVE.md``).
+"""
+
+from dataclasses import dataclass, field
+
+from ..ir.cfg import CFG
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    CBr,
+    Cmp,
+    Gep,
+    Load,
+    Mov,
+    SbCheck,
+    SbMetaLoad,
+    SbTemporalCheck,
+)
+from ..ir.loops import find_loops
+from ..ir.values import Const, Register, SymbolRef
+from .intervals import NEG_INF, POS_INF, TOP, Interval
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """``addr(region) + o, o ∈ iv`` (or the plain integer ``o`` when
+    ``region`` is None).  ``recur`` marks values whose interval rests on
+    a counted-loop recurrence bound — it rides through arithmetic so
+    certificates can name their proof method."""
+
+    region: object
+    iv: Interval
+    recur: bool = False
+
+
+TOP_AV = AbsVal(None, TOP)
+
+#: Offset-magnitude gate for same-region comparison refinement: beyond
+#: this the "no wrap between the compared values" axiom is not obviously
+#: justified, so the refinement abstains (see docs/PROVE.md).
+_REFINE_CAP = 1 << 40
+
+_NEGATE = {"eq": "ne", "ne": "eq", "slt": "sge", "sle": "sgt",
+           "sgt": "sle", "sge": "slt", "ult": "uge", "ule": "ugt",
+           "ugt": "ule", "uge": "ult"}
+_SWAP = {"eq": "eq", "ne": "ne", "slt": "sgt", "sle": "sge",
+         "sgt": "slt", "sge": "sle", "ult": "ugt", "ule": "uge",
+         "ugt": "ult", "uge": "ule"}
+
+
+def _type_range(irtype):
+    bits = irtype.size * 8
+    if irtype.kind == "ptr":
+        return Interval(0, (1 << bits) - 1)
+    return Interval(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+
+
+def _clamp(av, irtype):
+    """Pure-integer results must fit the destination type or the wrap
+    makes the abstract value a lie; region offsets are exempt (residue
+    composition, module docstring)."""
+    if av.region is not None:
+        return av
+    if av.iv.issubset(_type_range(irtype)):
+        return av
+    return TOP_AV
+
+
+def _join_av(a, b):
+    if a.region != b.region:
+        return TOP_AV
+    return AbsVal(a.region, a.iv.join(b.iv), a.recur or b.recur)
+
+
+def _meet_av(a, b):
+    """Meet, or None for a contradiction (infeasible path)."""
+    if a.region != b.region:
+        # Incomparable claims; keep the first (sound: both over-approx).
+        return a
+    met = a.iv.meet(b.iv)
+    if met is None:
+        return None
+    return AbsVal(a.region, met, a.recur or b.recur)
+
+
+def _join_states(states):
+    """Pointwise join; a register missing from any input is TOP and
+    drops out.  ``states`` must be non-empty."""
+    first, rest = states[0], states[1:]
+    if not rest:
+        return dict(first)
+    out = {}
+    for uid, av in first.items():
+        for state in rest:
+            other = state.get(uid)
+            if other is None:
+                av = None
+                break
+            av = _join_av(av, other)
+            if av.region is None and av.iv.is_top:
+                av = None
+                break
+        if av is not None:
+            out[uid] = av
+    return out
+
+
+@dataclass
+class CheckEnv:
+    """One check instruction plus the abstract values of its operands at
+    that program point — what the VC generator consumes."""
+
+    instr: object
+    block: str
+    function: str
+    operands: dict = field(default_factory=dict)
+
+
+@dataclass
+class _LoopInfo:
+    loop: object
+    #: uid -> constant step of the single in-loop ``r += c`` update.
+    updates: dict = field(default_factory=dict)
+    #: (iv_uid, continue_pred, limit, body_label) for a header test
+    #: ``iv <pred> limit`` whose pass-direction stays in the loop.
+    header_test: object = None
+
+
+def _const_int(value):
+    if isinstance(value, Const) and isinstance(value.value, int):
+        return value.value
+    return None
+
+
+class Analyzer:
+    """Run the fixpoint over one function and record check environments.
+
+    ``analyzer.converged`` is False when the round budget ran out — the
+    caller must then prove nothing (environments may be unsound
+    mid-flight)."""
+
+    def __init__(self, func, config):
+        self.func = func
+        self.config = config
+        self.cfg = CFG(func)
+        self.loops = find_loops(self.cfg)
+        self.block_cmps = {b.label: self._collect_cmps(b)
+                           for b in func.blocks}
+        self.header_info = self._collect_loop_info()
+        #: (header_label, succ_label) -> {uid: AbsVal} recurrence
+        #: tightenings for the loop-entry edge (k ≤ T-1).
+        self._loop_edge_refine = {}
+        self.in_states = {}
+        self.visits = {}
+        self.converged = False
+        self.check_envs = []
+
+    # -- syntactic precomputation --------------------------------------
+
+    def _collect_cmps(self, block):
+        """uid -> Cmp whose result is still that Cmp's at block end
+        (operands and destination not redefined afterwards)."""
+        live = {}
+        for instr in block.instructions:
+            dst = getattr(instr, "dst", None)
+            if isinstance(dst, Register):
+                for uid, cmp_instr in list(live.items()):
+                    used = [cmp_instr.a, cmp_instr.b]
+                    if any(isinstance(v, Register) and v.uid == dst.uid
+                           for v in used):
+                        del live[uid]
+                live.pop(dst.uid, None)
+                if isinstance(instr, Cmp):
+                    live[dst.uid] = instr
+        return live
+
+    def _collect_loop_info(self):
+        infos = {}
+        for loop in self.loops:
+            if loop.header in infos:
+                # Two loops sharing a header: abstain from recurrences.
+                infos[loop.header] = _LoopInfo(loop)
+                continue
+            infos[loop.header] = self._loop_info(loop)
+        return infos
+
+    def _loop_info(self, loop):
+        info = _LoopInfo(loop)
+        child_blocks = set()
+        for child in loop.children:
+            child_blocks |= child.blocks
+        defs_in_loop = {}
+        def_sites = {}
+        all_defs = {}
+        for block in self.func.blocks:
+            for index, instr in enumerate(block.instructions):
+                for dst in self._dsts(instr):
+                    all_defs.setdefault(dst.uid, []).append(
+                        (block, index, instr))
+                    if block.label in loop.blocks:
+                        defs_in_loop[dst.uid] = \
+                            defs_in_loop.get(dst.uid, 0) + 1
+                        def_sites[dst.uid] = (block, index, instr)
+        for uid, count in defs_in_loop.items():
+            if count != 1:
+                continue
+            block, index, instr = def_sites[uid]
+            if block.label in child_blocks:
+                continue
+            step = self._update_step(instr, uid, block, index, all_defs,
+                                     loop)
+            if step is not None:
+                info.updates[uid] = step
+        info.header_test = self._header_test(loop, info)
+        return info
+
+    @staticmethod
+    def _dsts(instr):
+        out = []
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, Register):
+            out.append(dst)
+        if isinstance(instr, SbMetaLoad):
+            for reg in (instr.dst_base, instr.dst_bound, instr.dst_key,
+                        instr.dst_lock):
+                if isinstance(reg, Register):
+                    out.append(reg)
+        return out
+
+    def _update_step(self, instr, uid, block, index, all_defs, loop):
+        """The constant step when ``instr`` is ``r += c`` for r=uid
+        (directly, or through a one-hop copy of a single-def temp)."""
+        step = self._addsub_step(instr, uid)
+        if step is not None:
+            return step
+        if isinstance(instr, Mov) and isinstance(instr.src, Register):
+            temp_defs = all_defs.get(instr.src.uid, [])
+            if len(temp_defs) == 1:
+                def_block, def_index, def_instr = temp_defs[0]
+                if def_block is block and def_index < index:
+                    return self._addsub_step(def_instr, uid)
+        return None
+
+    @staticmethod
+    def _addsub_step(instr, uid):
+        if isinstance(instr, Gep):
+            if isinstance(instr.base, Register) and instr.base.uid == uid:
+                return _const_int(instr.offset)
+            return None
+        if not isinstance(instr, BinOp) or instr.op not in ("add", "sub"):
+            return None
+        a, b = instr.a, instr.b
+        if isinstance(a, Register) and a.uid == uid:
+            c = _const_int(b)
+            if c is not None:
+                return c if instr.op == "add" else -c
+        if instr.op == "add" and isinstance(b, Register) and b.uid == uid:
+            return _const_int(a)
+        return None
+
+    def _header_test(self, loop, info):
+        header = self.func.block_map[loop.header]
+        term = header.terminator
+        if not isinstance(term, CBr) or not isinstance(term.cond, Register):
+            return None
+        cmp_instr = self._resolve_cmp(header.label, term.cond.uid)
+        if cmp_instr is None:
+            return None
+        cmp_instr, polarity = cmp_instr
+        in_true = term.true_label in loop.blocks
+        in_false = term.false_label in loop.blocks
+        if in_true == in_false:
+            return None
+        body = term.true_label if in_true else term.false_label
+        pred = cmp_instr.pred
+        if pred not in _NEGATE:
+            return None
+        # Continue condition: the branch direction that stays in-loop.
+        if in_true != polarity:
+            pred = _NEGATE[pred]
+        a, b = cmp_instr.a, cmp_instr.b
+        limit = _const_int(b)
+        if limit is not None and isinstance(a, Register) \
+                and a.uid in info.updates:
+            return (a.uid, pred, limit, body)
+        limit = _const_int(a)
+        if limit is not None and isinstance(b, Register) \
+                and b.uid in info.updates:
+            return (b.uid, _SWAP[pred], limit, body)
+        return None
+
+    def _resolve_cmp(self, label, uid, depth=0):
+        """The Cmp governing register ``uid`` at the end of ``label``,
+        with one level of ``ne(x, 0)`` / ``eq(x, 0)`` unwrapping.
+        Returns ``(cmp, polarity)`` — polarity False means the governing
+        truth value is the cmp's negation."""
+        cmp_instr = self.block_cmps.get(label, {}).get(uid)
+        if cmp_instr is None:
+            return None
+        if depth < 1 and isinstance(cmp_instr.a, Register) \
+                and _const_int(cmp_instr.b) == 0 \
+                and cmp_instr.pred in ("ne", "eq"):
+            inner = self._resolve_cmp(label, cmp_instr.a.uid, depth + 1)
+            if inner is not None:
+                inner_cmp, inner_pol = inner
+                return (inner_cmp,
+                        inner_pol if cmp_instr.pred == "ne"
+                        else not inner_pol)
+        return (cmp_instr, True)
+
+    # -- evaluation ----------------------------------------------------
+
+    def _eval(self, state, value):
+        if isinstance(value, Const):
+            if isinstance(value.value, int) and not value.type.is_float:
+                return AbsVal(None, Interval.const(value.value))
+            return TOP_AV
+        if isinstance(value, SymbolRef):
+            return AbsVal(("sym", value.name), Interval.const(value.addend))
+        if isinstance(value, Register):
+            return state.get(value.uid, TOP_AV)
+        return TOP_AV
+
+    def _transfer(self, state, instr):
+        """Apply one instruction to ``state`` in place."""
+        if isinstance(instr, Alloca):
+            state[instr.dst.uid] = AbsVal(("alloca", instr.dst.uid),
+                                          Interval.const(0))
+            return
+        if isinstance(instr, Mov):
+            self._set(state, instr.dst, self._eval(state, instr.src))
+            return
+        if isinstance(instr, Gep):
+            base = self._eval(state, instr.base)
+            offset = self._eval(state, instr.offset)
+            if offset.region is None:
+                self._set(state, instr.dst,
+                          AbsVal(base.region, base.iv.add(offset.iv),
+                                 base.recur or offset.recur))
+            else:
+                self._set(state, instr.dst, TOP_AV)
+            return
+        if isinstance(instr, BinOp):
+            self._set(state, instr.dst, self._binop(state, instr))
+            return
+        if isinstance(instr, Cmp):
+            self._set(state, instr.dst, AbsVal(None, Interval(0, 1)))
+            return
+        if isinstance(instr, Cast):
+            self._set(state, instr.dst, self._cast(state, instr))
+            return
+        if isinstance(instr, SbMetaLoad):
+            for reg in (instr.dst_base, instr.dst_bound, instr.dst_key,
+                        instr.dst_lock):
+                if isinstance(reg, Register):
+                    state.pop(reg.uid, None)
+            return
+        if isinstance(instr, (SbCheck, SbTemporalCheck)):
+            return  # no register effects
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, Register):
+            # Load, Call, anything not modelled: unknown result.
+            state.pop(dst.uid, None)
+
+    @staticmethod
+    def _set(state, dst, av):
+        if av.region is None and av.iv.is_top:
+            state.pop(dst.uid, None)
+        else:
+            state[dst.uid] = av
+
+    def _binop(self, state, instr):
+        a = self._eval(state, instr.a)
+        b = self._eval(state, instr.b)
+        op = instr.op
+        dst_type = instr.dst.type
+        recur = a.recur or b.recur
+        if op == "add":
+            if a.region is not None and b.region is not None:
+                return TOP_AV
+            region = a.region or b.region
+            return _clamp(AbsVal(region, a.iv.add(b.iv), recur), dst_type)
+        if op == "sub":
+            if b.region is None:
+                return _clamp(AbsVal(a.region, a.iv.sub(b.iv), recur),
+                              dst_type)
+            if a.region is not None and a.region == b.region:
+                # Same-region difference: the regions cancel exactly.
+                return _clamp(AbsVal(None, a.iv.sub(b.iv), recur), dst_type)
+            return TOP_AV
+        if a.region is not None or b.region is not None:
+            return TOP_AV
+        if op == "mul":
+            return _clamp(AbsVal(None, a.iv.mul(b.iv), recur), dst_type)
+        if op == "and":
+            mask = _const_int(instr.b)
+            if mask is None:
+                mask = _const_int(instr.a)
+            if mask is not None and mask >= 0:
+                # x & m with m >= 0 lands in [0, m] on two's complement.
+                return _clamp(AbsVal(None, Interval(0, mask), recur),
+                              dst_type)
+            return TOP_AV
+        if op == "urem":
+            divisor = _const_int(instr.b)
+            if divisor is not None and divisor > 0:
+                return _clamp(AbsVal(None, Interval(0, divisor - 1), recur),
+                              dst_type)
+            return TOP_AV
+        if op == "shl":
+            shift = _const_int(instr.b)
+            if shift is not None and 0 <= shift <= 63:
+                scaled = a.iv.mul(Interval.const(1 << shift))
+                return _clamp(AbsVal(None, scaled, recur), dst_type)
+            return TOP_AV
+        if op in ("lshr", "ashr"):
+            shift = _const_int(instr.b)
+            if shift is not None and 0 <= shift <= 63 \
+                    and a.iv.issubset(Interval(0, POS_INF)):
+                lo = a.iv.lo >> shift
+                hi = a.iv.hi if a.iv.hi == POS_INF else a.iv.hi >> shift
+                return _clamp(AbsVal(None, Interval(lo, hi), recur),
+                              dst_type)
+            return TOP_AV
+        return TOP_AV
+
+    def _cast(self, state, instr):
+        src = self._eval(state, instr.src)
+        kind = instr.kind
+        dst_type = instr.dst.type
+        src_type = instr.src.type if isinstance(instr.src,
+                                                (Register, Const)) else None
+        if kind in ("bitcast", "ptrtoint", "inttoptr"):
+            if src.region is not None:
+                return src  # residues; address-space axiom
+            if src.iv.issubset(Interval(0, (1 << 63) - 1)):
+                return src  # signed and unsigned representations agree
+            if src.iv.issubset(_type_range(dst_type)) \
+                    and src_type is not None \
+                    and src.iv.issubset(_type_range(src_type)) \
+                    and src_type.kind != "ptr" and dst_type.kind != "ptr":
+                return src
+            return TOP_AV
+        if kind == "sext":
+            if src.region is None and src_type is not None \
+                    and dst_type.size >= src_type.size:
+                return src
+            return TOP_AV
+        if kind == "zext":
+            if src.region is not None or src_type is None:
+                return TOP_AV
+            if src.iv.issubset(Interval(0, (1 << (src_type.size * 8 - 1))
+                                        - 1)):
+                return src
+            if dst_type.size > src_type.size:
+                return AbsVal(None,
+                              Interval(0, (1 << (src_type.size * 8)) - 1),
+                              src.recur)
+            return TOP_AV
+        if kind == "trunc":
+            if src.region is None and src.iv.issubset(_type_range(dst_type)):
+                return src
+            return TOP_AV
+        return TOP_AV
+
+    # -- branch refinement ---------------------------------------------
+
+    def _edge_state(self, pred_block, succ_label, out_state):
+        """The out-state of ``pred_block`` restricted to the edge to
+        ``succ_label`` (branch + loop-entry refinement).  None means the
+        edge is infeasible."""
+        state = out_state
+        term = pred_block.terminator
+        if isinstance(term, CBr) and isinstance(term.cond, Register) \
+                and term.true_label != term.false_label:
+            resolved = self._resolve_cmp(pred_block.label, term.cond.uid)
+            if resolved is not None:
+                cmp_instr, polarity = resolved
+                taken_true = (succ_label == term.true_label)
+                state = self._refine(dict(state), cmp_instr,
+                                     taken_true == polarity)
+                if state is None:
+                    return None
+        tighten = self._loop_edge_refine.get((pred_block.label, succ_label))
+        if tighten:
+            state = dict(state)
+            for uid, av in tighten.items():
+                current = state.get(uid, TOP_AV)
+                met = _meet_av(current, av)
+                if met is None:
+                    return None
+                state[uid] = met
+        return state
+
+    def _refine(self, state, cmp_instr, truth):
+        pred = cmp_instr.pred if truth else _NEGATE.get(cmp_instr.pred)
+        if pred is None:
+            return state
+        a_av = self._eval(state, cmp_instr.a)
+        b_av = self._eval(state, cmp_instr.b)
+        if a_av.region != b_av.region:
+            return state
+        if pred in ("ult", "ule", "ugt", "uge"):
+            nonneg = Interval(0, POS_INF)
+            if not (a_av.iv.issubset(nonneg) and b_av.iv.issubset(nonneg)):
+                return state
+            pred = {"ult": "slt", "ule": "sle",
+                    "ugt": "sgt", "uge": "sge"}[pred]
+        if a_av.region is not None:
+            cap = Interval(-_REFINE_CAP, _REFINE_CAP)
+            if not (a_av.iv.issubset(cap) and b_av.iv.issubset(cap)):
+                return state
+        if pred in ("sgt", "sge"):
+            a_av, b_av = b_av, a_av
+            swap = True
+            pred = {"sgt": "slt", "sge": "sle"}[pred]
+        else:
+            swap = False
+        if pred == "slt":
+            new_a = a_av.iv.meet(Interval(NEG_INF, _dec(b_av.iv.hi)))
+            new_b = b_av.iv.meet(Interval(_inc(a_av.iv.lo), POS_INF))
+        elif pred == "sle":
+            new_a = a_av.iv.meet(Interval(NEG_INF, b_av.iv.hi))
+            new_b = b_av.iv.meet(Interval(a_av.iv.lo, POS_INF))
+        elif pred == "eq":
+            met = a_av.iv.meet(b_av.iv)
+            new_a = new_b = met
+        elif pred == "ne":
+            new_a = _exclude(a_av.iv, b_av.iv)
+            new_b = _exclude(b_av.iv, a_av.iv)
+        else:
+            return state
+        if new_a is None or new_b is None:
+            return None  # contradiction: edge infeasible
+        if swap:
+            a_av, b_av = b_av, a_av
+            new_a, new_b = new_b, new_a
+        for operand, iv, old in ((cmp_instr.a, new_a, a_av),
+                                 (cmp_instr.b, new_b, b_av)):
+            if isinstance(operand, Register):
+                state[operand.uid] = AbsVal(old.region, iv, old.recur)
+        return state
+
+    # -- counted-loop trip bounds --------------------------------------
+
+    def _trip_bound(self, entry_iv, step, pred, limit):
+        """Max number of body executions, or None when unbounded /
+        over the case-split ceiling."""
+        if step == 0:
+            return None
+        if step > 0:
+            start = entry_iv.lo
+            if start == NEG_INF:
+                return None
+            if pred == "slt" or (pred == "ult" and start >= 0
+                                 and limit >= 0):
+                trips = max(0, -((start - limit) // step))
+            elif pred == "sle" or (pred == "ule" and start >= 0
+                                   and limit >= 0):
+                trips = max(0, (limit - start) // step + 1)
+            elif pred == "ne":
+                if not entry_iv.is_const or start > limit \
+                        or (limit - start) % step != 0:
+                    return None
+                trips = (limit - start) // step
+            else:
+                return None
+        else:
+            start = entry_iv.hi
+            if start == POS_INF:
+                return None
+            if pred == "sgt" or (pred == "ugt" and limit >= 0
+                                 and entry_iv.lo >= 0):
+                trips = max(0, -((limit - start) // (-step)))
+            elif pred == "sge" or (pred == "uge" and limit >= 0
+                                   and entry_iv.lo >= 0):
+                trips = max(0, (start - limit) // (-step) + 1)
+            elif pred == "ne":
+                if not entry_iv.is_const or start < limit \
+                        or (start - limit) % (-step) != 0:
+                    return None
+                trips = (start - limit) // (-step)
+            else:
+                return None
+        if trips > self.config.case_split_limit:
+            return None
+        return trips
+
+    def _header_in(self, block, info, edge_states):
+        """Header in-state: recurrence-certified registers come from the
+        entry join ⊕ span; everything else joins every predecessor."""
+        latches = set(info.loop.latches)
+        entry_states = [state for label, state in edge_states
+                        if label not in latches]
+        all_states = [state for _, state in edge_states]
+        joined = _join_states(all_states)
+        if not entry_states or not info.updates:
+            return joined
+        entry = _join_states(entry_states)
+        trips = None
+        if info.header_test is not None:
+            iv_uid, pred, limit, body = info.header_test
+            iv_entry = entry.get(iv_uid, TOP_AV)
+            if iv_entry.region is None:
+                trips = self._trip_bound(iv_entry.iv,
+                                         info.updates[iv_uid], pred, limit)
+        if trips is None:
+            return joined
+        body_refine = {}
+        for uid, step in info.updates.items():
+            base = entry.get(uid, TOP_AV)
+            if base.region is None and base.iv.is_top:
+                joined.pop(uid, None)
+                continue
+            joined[uid] = AbsVal(base.region,
+                                 base.iv.shift_span(step, trips), True)
+            body_refine[uid] = AbsVal(
+                base.region, base.iv.shift_span(step, max(trips - 1, 0)),
+                True)
+        self._loop_edge_refine[(block.label, body)] = body_refine
+        return joined
+
+    # -- the fixpoint --------------------------------------------------
+
+    def run(self):
+        func = self.func
+        if len(func.blocks) > self.config.max_blocks:
+            return self
+        rpo = self.cfg.rpo
+        out_states = {}
+        self.in_states = {func.entry.label: {}}
+        for round_index in range(self.config.max_rounds):
+            changed = False
+            for block in rpo:
+                in_state = self._compute_in(block, out_states)
+                if in_state is None:
+                    continue
+                info = self.header_info.get(block.label)
+                if info is not None:
+                    visits = self.visits.get(block.label, 0) + 1
+                    self.visits[block.label] = visits
+                    previous = self.in_states.get(block.label)
+                    if previous is not None \
+                            and visits > self.config.widen_delay:
+                        in_state = self._widen(previous, in_state,
+                                               info)
+                if in_state != self.in_states.get(block.label):
+                    self.in_states[block.label] = in_state
+                    changed = True
+                out = dict(in_state)
+                for instr in block.instructions:
+                    self._transfer(out, instr)
+                if out != out_states.get(block.label):
+                    out_states[block.label] = out
+                    changed = True
+            if not changed:
+                self.converged = True
+                break
+        if not self.converged:
+            return self
+        # Narrowing: two decreasing sweeps recover post-loop precision
+        # (meet with the old state keeps every step above the fixpoint).
+        for _ in range(2):
+            for block in rpo:
+                fresh = self._compute_in(block, out_states)
+                if fresh is None:
+                    continue
+                old = self.in_states.get(block.label)
+                self.in_states[block.label] = \
+                    fresh if old is None else self._narrow(old, fresh)
+                out = dict(self.in_states[block.label])
+                for instr in block.instructions:
+                    self._transfer(out, instr)
+                out_states[block.label] = out
+        self._record_envs()
+        return self
+
+    def _compute_in(self, block, out_states):
+        if block is self.func.entry:
+            return dict(self.in_states.get(block.label, {}))
+        edge_states = []
+        for pred in self.cfg.preds.get(block.label, ()):
+            out = out_states.get(pred.label)
+            if out is None:
+                continue
+            state = self._edge_state(pred, block.label, out)
+            if state is not None:
+                edge_states.append((pred.label, state))
+        if not edge_states:
+            return None
+        info = self.header_info.get(block.label)
+        if info is not None:
+            return self._header_in(block, info, edge_states)
+        return _join_states([state for _, state in edge_states])
+
+    def _widen(self, previous, newer, info):
+        recur_uids = set(info.updates) if info is not None else set()
+        out = {}
+        for uid, new_av in newer.items():
+            if uid in recur_uids and new_av.recur:
+                out[uid] = new_av  # recurrence bound: no feedback loop
+                continue
+            old_av = previous.get(uid)
+            if old_av is None:
+                continue  # was TOP: stays TOP
+            if old_av.region != new_av.region:
+                continue
+            widened = old_av.iv.widen(new_av.iv)
+            if not (new_av.region is None and widened.is_top):
+                out[uid] = AbsVal(new_av.region, widened,
+                                  old_av.recur or new_av.recur)
+        return out
+
+    @staticmethod
+    def _narrow(old, fresh):
+        out = {}
+        for uid, old_av in old.items():
+            fresh_av = fresh.get(uid)
+            if fresh_av is None:
+                out[uid] = old_av
+                continue
+            met = _meet_av(old_av, fresh_av)
+            out[uid] = old_av if met is None else met
+        for uid, fresh_av in fresh.items():
+            out.setdefault(uid, fresh_av)
+        return out
+
+    def _record_envs(self):
+        for block in self.func.blocks:
+            in_state = self.in_states.get(block.label)
+            if in_state is None:
+                continue  # unreachable: its checks never execute
+            state = dict(in_state)
+            for instr in block.instructions:
+                if isinstance(instr, SbCheck):
+                    self.check_envs.append(CheckEnv(
+                        instr, block.label, self.func.name, {
+                            "ptr": self._eval(state, instr.ptr),
+                            "base": self._eval(state, instr.base),
+                            "bound": self._eval(state, instr.bound),
+                            "size": self._eval(state, instr.size),
+                        }))
+                elif isinstance(instr, SbTemporalCheck):
+                    self.check_envs.append(CheckEnv(
+                        instr, block.label, self.func.name, {
+                            "key": self._eval(state, instr.key),
+                            "lock": self._eval(state, instr.lock),
+                        }))
+                self._transfer(state, instr)
+
+
+def _dec(value):
+    return value if value in (NEG_INF, POS_INF) else value - 1
+
+
+def _inc(value):
+    return value if value in (NEG_INF, POS_INF) else value + 1
+
+
+def _exclude(iv, other):
+    """Refine ``iv`` by ``!= other`` when other is a singleton touching
+    an endpoint; None when the result is empty."""
+    if not other.is_const:
+        return iv
+    point = other.lo
+    if iv.is_const and iv.lo == point:
+        return None
+    if iv.lo == point:
+        return Interval(point + 1, iv.hi)
+    if iv.hi == point:
+        return Interval(iv.lo, point - 1)
+    return iv
+
+
+def analyze(func, config):
+    """Convenience wrapper: a finished :class:`Analyzer`."""
+    return Analyzer(func, config).run()

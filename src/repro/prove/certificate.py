@@ -1,0 +1,279 @@
+"""Deletion certificates and their replay against the formal semantics.
+
+Every check the prove pass deletes leaves a :class:`Certificate` on the
+compiled program: a self-contained, picklable record of *why* the check
+can never trap — the proof method, the interval endpoints the solver's
+inequalities rested on, and the inequalities themselves.
+
+:func:`replay_certificate` is the machine-checkable half.  It
+re-validates a certificate in two independent layers:
+
+1. **Arithmetic** — the difference constraints are re-evaluated from the
+   recorded endpoints (a tampered or miscopied certificate fails here).
+2. **Formal model** — the certified worst cases are executed under the
+   instrumented semantics of :mod:`repro.formal`: allocate an object of
+   the *minimum extent the certificate guarantees* (``bound.lo -
+   base.hi``), then dereference at the extreme offsets the pointer
+   interval admits (both ends of the access, both ends of the
+   interval).  Every dereference must evaluate to ``Outcome.OK``; an
+   ``ABORT`` is a counterexample — the deleted check could have fired.
+
+Extent scaling: the formal memory is small, so extents beyond
+``_MAX_REPLAY_EXTENT`` are replayed at a scaled extent that preserves
+each sampled offset's distance to whichever boundary it is nearest —
+the margins the proof is actually about.
+
+Temporal certificates replay the *immortal lock* claim: the runtime
+axiom is asserted directly against a fresh
+:class:`~repro.temporal.locks.LockSpace` (the global slot survives a
+release attempt), and the model side runs an allocate-dereference
+sequence under the temporal semantics — plus a built-in negative
+control (freeing must make the same dereference abort) so a vacuous
+harness cannot pass.
+"""
+
+from dataclasses import dataclass
+
+#: Extents above this replay at scaled geometry (the formal memory's
+#: default capacity is 4096 words).
+_MAX_REPLAY_EXTENT = 2048
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """One deleted check's non-trapping certificate (primitive fields
+    only: certificates ride in pickled artifacts and JSON reports)."""
+
+    kind: str            # "spatial" | "temporal"
+    function: str
+    block: str
+    site: tuple          # (function, line, seq) obs_site triple
+    access_kind: str
+    method: str          # solver proof method
+    region: str          # allocation-region label the offsets relate to
+    facts: tuple         # the discharged inequalities, human-readable
+    # Spatial endpoints (offsets relative to the region base):
+    size: int = 0
+    ptr_lo: int = 0
+    ptr_hi: int = 0
+    base_hi: int = 0
+    bound_lo: int = 0
+    # Temporal claim:
+    key: int = 0
+    lock: int = 0
+
+    def to_json(self):
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "block": self.block,
+            "site": list(self.site),
+            "access_kind": self.access_kind,
+            "method": self.method,
+            "region": self.region,
+            "facts": list(self.facts),
+            "size": self.size,
+            "ptr_lo": self.ptr_lo,
+            "ptr_hi": self.ptr_hi,
+            "base_hi": self.base_hi,
+            "bound_lo": self.bound_lo,
+            "key": self.key,
+            "lock": self.lock,
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        data = dict(data)
+        data["site"] = tuple(data.get("site") or ())
+        data["facts"] = tuple(data.get("facts") or ())
+        return cls(**data)
+
+
+def certificate_for(obligation, proof):
+    """Build the certificate for a discharged obligation."""
+    ops = obligation.operands
+    if obligation.kind == "spatial":
+        return Certificate(
+            kind="spatial",
+            function=obligation.function,
+            block=obligation.block,
+            site=obligation.site,
+            access_kind=obligation.instr.access_kind,
+            method=proof.method,
+            region=_region_label(ops["ptr"].region),
+            facts=proof.facts,
+            size=int(ops["size"].iv.hi),
+            ptr_lo=int(ops["ptr"].iv.lo),
+            ptr_hi=int(ops["ptr"].iv.hi),
+            base_hi=int(ops["base"].iv.hi),
+            bound_lo=int(ops["bound"].iv.lo),
+        )
+    return Certificate(
+        kind="temporal",
+        function=obligation.function,
+        block=obligation.block,
+        site=obligation.site,
+        access_kind=obligation.instr.access_kind,
+        method=proof.method,
+        region="lockspace",
+        facts=proof.facts,
+        key=int(ops["key"].iv.lo),
+        lock=int(ops["lock"].iv.lo),
+    )
+
+
+def _region_label(region):
+    if region is None:
+        return "absolute"
+    kind, name = region
+    return f"{kind}:{name}"
+
+
+# -- replay ------------------------------------------------------------------
+
+
+def replay_certificate(cert):
+    """Re-validate one certificate; returns ``(ok, reason)``.
+
+    ``reason`` names the failing layer ("arithmetic: ...",
+    "formal: ...") — a failure is a *counterexample to the deletion* and
+    must fail any build that carries the certificate.
+    """
+    if cert.kind == "spatial":
+        return _replay_spatial(cert)
+    if cert.kind == "temporal":
+        return _replay_temporal(cert)
+    return False, f"unknown certificate kind {cert.kind!r}"
+
+
+def _replay_spatial(cert):
+    # Layer 1: the difference constraints, from the recorded endpoints.
+    if cert.size < 1:
+        return False, f"arithmetic: access size {cert.size} < 1"
+    if cert.ptr_lo > cert.ptr_hi:
+        return False, "arithmetic: empty pointer interval"
+    if cert.ptr_lo - cert.base_hi < 0:
+        return False, (f"arithmetic: ptr.lo({cert.ptr_lo}) < "
+                       f"base.hi({cert.base_hi})")
+    if cert.bound_lo - cert.ptr_hi < cert.size:
+        return False, (f"arithmetic: bound.lo({cert.bound_lo}) - "
+                       f"ptr.hi({cert.ptr_hi}) < size({cert.size})")
+
+    # Layer 2: worst cases under the instrumented formal semantics.
+    extent = cert.bound_lo - cert.base_hi
+    low = cert.ptr_lo - cert.base_hi     # smallest admitted offset
+    high = cert.ptr_hi - cert.base_hi    # largest admitted offset
+    offsets = sorted({low, (low + high) // 2, high})
+    # Each access covers [o, o + size): sample its first and last word.
+    words = set()
+    for offset in offsets:
+        words.add(offset)
+        words.add(offset + cert.size - 1)
+    extent, words = _scale(extent, sorted(words))
+    outcome = _run_spatial_model(extent, words)
+    from ..formal.semantics import Outcome
+
+    if outcome != Outcome.OK:
+        return False, (f"formal: worst-case access replay returned "
+                       f"{outcome.name} (extent={extent}, "
+                       f"offsets={words})")
+    return True, "ok"
+
+
+def _scale(extent, words):
+    """Shrink a huge extent while preserving each sampled word's
+    distance to its nearest boundary (the proof's actual margins)."""
+    if extent <= _MAX_REPLAY_EXTENT:
+        return extent, words
+    scaled_extent = _MAX_REPLAY_EXTENT
+    half = scaled_extent // 2
+    scaled = []
+    for word in words:
+        if word <= half:
+            scaled.append(word)             # near base: keep offset
+        elif extent - word <= half:
+            scaled.append(scaled_extent - (extent - word))
+        else:
+            scaled.append(half)             # deep interior
+    return scaled_extent, scaled
+
+
+def _run_spatial_model(extent, words):
+    from ..formal import syntax as syn
+    from ..formal.semantics import Environment, Evaluator, Outcome
+
+    if extent < 1:
+        return Outcome.ABORT
+    int_ptr = syn.TPtr(syn.TInt())
+    env = Environment(capacity=extent + 64)
+    try:
+        env.declare("p", int_ptr)
+        env.declare("q", int_ptr)
+        env.declare("x", syn.TInt())
+    except Exception:  # noqa: BLE001 - out of formal memory
+        return Outcome.OUT_OF_MEM
+    steps = [syn.Assign(syn.Var("p"), syn.Malloc(syn.IntLit(extent)))]
+    for word in words:
+        steps.append(syn.Assign(
+            syn.Var("q"),
+            syn.CastTo(int_ptr, syn.Add(syn.Read(syn.Var("p")),
+                                        syn.IntLit(word)))))
+        # Write before read: formal memory is undefined until written.
+        steps.append(syn.Assign(syn.Deref(syn.Var("q")), syn.IntLit(1)))
+        steps.append(syn.Assign(syn.Var("x"),
+                                syn.Read(syn.Deref(syn.Var("q")))))
+    command = steps[0]
+    for step in steps[1:]:
+        command = syn.Seq(command, step)
+    fuel = 1000 + 20 * len(words)
+    return Evaluator(env, instrumented=True,
+                     fuel=fuel).run_command(command)
+
+
+def _replay_temporal(cert):
+    from ..temporal.locks import GLOBAL_KEY, GLOBAL_LOCK, LockSpace
+
+    # Layer 1: the claim must be the immortal pair.
+    if (cert.key, cert.lock) != (GLOBAL_KEY, GLOBAL_LOCK):
+        return False, (f"arithmetic: ({cert.key}, {cert.lock}) is not "
+                       f"the immortal (GLOBAL_KEY, GLOBAL_LOCK) pair")
+    # Runtime axiom: the global lock survives a release attempt.
+    space = LockSpace()
+    if not space.live(GLOBAL_KEY, GLOBAL_LOCK):
+        return False, "axiom: fresh lock space has a dead global lock"
+    space.release(GLOBAL_LOCK)
+    if not space.live(GLOBAL_KEY, GLOBAL_LOCK):
+        return False, "axiom: global lock did not survive release"
+
+    # Layer 2: live-allocation dereference is OK in the temporal model,
+    # and (negative control) dies after free — a harness that cannot
+    # distinguish the two proves nothing.
+    from ..formal import syntax as syn
+    from ..formal.semantics import Environment, Evaluator, Outcome
+
+    int_ptr = syn.TPtr(syn.TInt())
+
+    def run(with_free):
+        env = Environment(capacity=256)
+        env.declare("p", int_ptr)
+        env.declare("x", syn.TInt())
+        steps = [
+            syn.Assign(syn.Var("p"), syn.Malloc(syn.IntLit(4))),
+            syn.Assign(syn.Deref(syn.Var("p")), syn.IntLit(1)),
+        ]
+        if with_free:
+            steps.append(syn.Free(syn.Read(syn.Var("p"))))
+        steps.append(syn.Assign(syn.Var("x"),
+                                syn.Read(syn.Deref(syn.Var("p")))))
+        command = steps[0]
+        for step in steps[1:]:
+            command = syn.Seq(command, step)
+        return Evaluator(env, instrumented=True, temporal=True,
+                         fuel=1000).run_command(command)
+
+    if run(with_free=False) != Outcome.OK:
+        return False, "formal: live-lock dereference did not evaluate OK"
+    if run(with_free=True) == Outcome.OK:
+        return False, ("formal: negative control failed — the model "
+                       "accepted a use-after-free")
+    return True, "ok"

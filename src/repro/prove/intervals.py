@@ -1,0 +1,132 @@
+"""The interval half of the abstract domain: integer ranges with
+infinite endpoints.
+
+Endpoints are Python ints or ``float("±inf")``; arithmetic is exact
+(Python ints never overflow), so the only approximation the domain
+itself introduces is at joins and widenings.  Machine-level wrap-around
+is *not* modelled here — the transfer functions in
+:mod:`repro.prove.absint` clamp results to the destination type's value
+range (going to TOP when a wrap is possible), and pointer arithmetic is
+tracked as exact offsets whose mod-2^64 composition the solver's
+soundness argument discharges (see ``docs/PROVE.md``).
+"""
+
+from dataclasses import dataclass
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` (endpoints may be ±inf).
+
+    Invariant: ``lo <= hi`` — empty intervals are represented as
+    ``None`` at the call sites that can produce them (``meet``).
+    """
+
+    lo: object
+    hi: object
+
+    def __post_init__(self):
+        assert self.lo <= self.hi, f"bad interval [{self.lo}, {self.hi}]"
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def const(value):
+        value = int(value)
+        return Interval(value, value)
+
+    @staticmethod
+    def range(lo, hi):
+        return Interval(lo, hi)
+
+    # -- predicates ----------------------------------------------------
+
+    @property
+    def is_top(self):
+        return self.lo == NEG_INF and self.hi == POS_INF
+
+    @property
+    def is_const(self):
+        return self.lo == self.hi
+
+    @property
+    def is_finite(self):
+        return self.lo != NEG_INF and self.hi != POS_INF
+
+    def contains(self, value):
+        return self.lo <= value <= self.hi
+
+    def within(self, lo, hi):
+        return self.lo >= lo and self.hi <= hi
+
+    # -- lattice -------------------------------------------------------
+
+    def join(self, other):
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other):
+        """Intersection, or ``None`` when the intervals are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def widen(self, newer):
+        """Standard interval widening: an endpoint that moved outward
+        jumps to infinity, so ascending chains stabilize."""
+        lo = self.lo if newer.lo >= self.lo else NEG_INF
+        hi = self.hi if newer.hi <= self.hi else POS_INF
+        return Interval(lo, hi)
+
+    def issubset(self, other):
+        return self.lo >= other.lo and self.hi <= other.hi
+
+    # -- arithmetic ----------------------------------------------------
+
+    def add(self, other):
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def sub(self, other):
+        return Interval(_add(self.lo, -other.hi), _add(self.hi, -other.lo))
+
+    def neg(self):
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other):
+        products = [_mul(a, b) for a in (self.lo, self.hi)
+                    for b in (other.lo, other.hi)]
+        return Interval(min(products), max(products))
+
+    def shift_span(self, step, count):
+        """The interval this one covers after up to ``count``
+        applications of ``+= step`` (the counted-loop recurrence span):
+        ``self ⊕ [min(0, step*count), max(0, step*count)]``."""
+        total = step * count
+        return Interval(_add(self.lo, min(0, total)),
+                        _add(self.hi, max(0, total)))
+
+
+TOP = Interval(NEG_INF, POS_INF)
+
+
+def _add(a, b):
+    # inf + finite and inf + same-sign inf are fine; the opposite-sign
+    # case cannot arise (interval invariants keep lo <= hi and the
+    # callers pair lows with lows / highs with highs).
+    if a in (NEG_INF, POS_INF):
+        return a
+    if b in (NEG_INF, POS_INF):
+        return b
+    return a + b
+
+
+def _mul(a, b):
+    if a == 0 or b == 0:
+        return 0
+    if a in (NEG_INF, POS_INF) or b in (NEG_INF, POS_INF):
+        return POS_INF if (a > 0) == (b > 0) else NEG_INF
+    return a * b

@@ -1,0 +1,110 @@
+"""The built-in SMT-lite decision procedure.
+
+Obligations arrive as abstract operand environments
+(:class:`~repro.prove.absint.AbsVal`); the solver decides them over
+*linear integer difference constraints*: when the pointer and its
+``(base, bound)`` companions share an allocation region, the region
+address cancels and "in bounds for every admitted state" reduces to two
+inequalities over interval endpoints::
+
+    ptr.lo - base.hi  >= 0           (never below base)
+    bound.lo - ptr.hi >= size.hi     (never past bound)
+
+Intervals produced by the counted-loop recurrence (the analyzer's
+bounded case-split over the trip count) carry a ``recur`` mark; a proof
+resting on one is labelled ``counted-loop-recurrence``, otherwise
+``difference-interval``.  Temporal obligations are decided by the
+*immortal lock* rule: a ``(key, lock)`` pair that is literally the
+global allocation's ``(GLOBAL_KEY, GLOBAL_LOCK)`` can never die — the
+lock space pins slot ``GLOBAL_LOCK`` to ``GLOBAL_KEY`` and refuses to
+release it (:mod:`repro.temporal.locks`).
+
+Every positive answer returns a :class:`Proof` whose ``facts`` are the
+discharged inequalities; the certificate layer re-checks them and
+replays the worst cases against the formal semantics.
+"""
+
+from dataclasses import dataclass
+
+from ..temporal.locks import GLOBAL_KEY, GLOBAL_LOCK
+
+#: The lock slot a certificate's temporal claim is allowed to rest on.
+IMMORTAL = (GLOBAL_KEY, GLOBAL_LOCK)
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A discharged obligation: the method that closed it and the
+    concrete inequalities (over interval endpoints) that did the work."""
+
+    method: str       # "difference-interval" | "counted-loop-recurrence"
+                      # | "immortal-lock"
+    facts: tuple
+
+
+def _region_label(region):
+    if region is None:
+        return "absolute"
+    kind, name = region
+    return f"{kind}:{name}"
+
+
+def solve(obligation):
+    """Decide one obligation; returns a :class:`Proof` or None."""
+    if obligation.kind == "spatial":
+        return _solve_spatial(obligation)
+    if obligation.kind == "temporal":
+        return _solve_temporal(obligation)
+    return None
+
+
+def _solve_spatial(obligation):
+    ptr = obligation.operands["ptr"]
+    base = obligation.operands["base"]
+    bound = obligation.operands["bound"]
+    size = obligation.operands["size"]
+    if ptr.region != base.region or ptr.region != bound.region:
+        return None
+    if size.region is not None or size.iv.hi == float("inf"):
+        return None
+    size_hi = size.iv.hi
+    if size_hi <= 0:
+        return None  # a degenerate size never reaches the prover
+    low_slack = _finite(ptr.iv.lo) and _finite(base.iv.hi) \
+        and ptr.iv.lo - base.iv.hi >= 0
+    high_slack = _finite(bound.iv.lo) and _finite(ptr.iv.hi) \
+        and bound.iv.lo - ptr.iv.hi >= size_hi
+    if not (low_slack and high_slack):
+        return None
+    region = _region_label(ptr.region)
+    method = ("counted-loop-recurrence"
+              if (ptr.recur or base.recur or bound.recur)
+              else "difference-interval")
+    facts = (
+        f"region({region}): ptr.lo({ptr.iv.lo}) - base.hi({base.iv.hi})"
+        f" >= 0",
+        f"region({region}): bound.lo({bound.iv.lo}) - ptr.hi({ptr.iv.hi})"
+        f" >= size({size_hi})",
+    )
+    return Proof(method, facts)
+
+
+def _solve_temporal(obligation):
+    key = obligation.operands["key"]
+    lock = obligation.operands["lock"]
+    if key.region is not None or lock.region is not None:
+        return None
+    if not (key.iv.is_const and lock.iv.is_const):
+        return None
+    if (key.iv.lo, lock.iv.lo) != IMMORTAL:
+        return None
+    facts = (
+        f"key == GLOBAL_KEY({GLOBAL_KEY})",
+        f"lock == GLOBAL_LOCK({GLOBAL_LOCK}); "
+        f"the global lock slot is never released",
+    )
+    return Proof("immortal-lock", facts)
+
+
+def _finite(value):
+    return value not in (float("-inf"), float("inf"))

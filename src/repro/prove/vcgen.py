@@ -1,0 +1,49 @@
+"""Verification-condition generation: one obligation per check.
+
+Each ``sb_check`` reached by the analysis becomes a *spatial* obligation
+("for every concrete state the abstract environment admits, ``base <=
+ptr`` and ``ptr + size <= bound``"); each ``sb_temporal_check`` becomes
+a *temporal* one ("the (key, lock) pair is provably live").  The
+function-pointer encoding check (``is_fnptr_check``) is excluded: its
+contract is ``base == bound`` equality, not an interval fact, and it is
+cheap enough that deleting it buys nothing.
+
+Obligations are pure data — the solver (:mod:`repro.prove.solver`)
+decides them, and nothing here mutates the IR.
+"""
+
+from dataclasses import dataclass
+
+from ..ir.instructions import SbCheck, SbTemporalCheck
+from ..obs.profiler import site_of
+
+
+@dataclass
+class Obligation:
+    """One provability question about one check instruction."""
+
+    kind: str                 # "spatial" | "temporal"
+    instr: object
+    function: str
+    block: str
+    site: tuple               # the check's obs_site triple
+    operands: dict            # name -> AbsVal at the check
+
+
+def obligations(check_envs):
+    """Turn the analyzer's recorded check environments into obligations
+    (skipping the checks the subsystem does not model)."""
+    out = []
+    for env in check_envs:
+        instr = env.instr
+        if isinstance(instr, SbCheck):
+            if instr.is_fnptr_check:
+                continue
+            out.append(Obligation("spatial", instr, env.function,
+                                  env.block, tuple(site_of(instr)),
+                                  env.operands))
+        elif isinstance(instr, SbTemporalCheck):
+            out.append(Obligation("temporal", instr, env.function,
+                                  env.block, tuple(site_of(instr)),
+                                  env.operands))
+    return out

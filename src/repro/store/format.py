@@ -61,7 +61,17 @@ def cache_key_text(profile, optimize):
     entries wholesale.
     """
     return (f"format={FORMAT_VERSION}|config={profile.config!r}|"
-            f"optimize={bool(optimize)}")
+            f"optimize={_opt_token(optimize)}")
+
+
+def _opt_token(optimize):
+    """Key token for the optimize spelling.  The historical bool levels
+    keep their exact token (existing store entries stay addressable);
+    -O2 spellings (``2`` / a ``ProveConfig``) get a distinct token so a
+    proved build never aliases an -O1 artifact."""
+    if optimize in (True, False, None, 0, 1):
+        return str(bool(optimize))
+    return f"O2:{optimize!r}"
 
 
 def compute_key(source, profile, optimize):

@@ -18,14 +18,20 @@ the :class:`repro.policy.CheckerPolicy` interface makes:
 * **Cost accounting** — protected policies charge for their checking
   (cost strictly above baseline; transform-based ones count checks),
   the unprotected policy charges exactly baseline.
+* **Provable contract** — a policy that declares ``provable`` must stay
+  byte-identical on clean runs at ``-O2`` (against ``-O0`` and ``-O1``,
+  on both engines); one that does not must reject ``-O2`` with the
+  typed :class:`repro.prove.ProveNotSupportedError` — in both
+  directions, so a stale ``provable`` flag fails the sweep either way.
 """
 
 import pickle
 
 import pytest
 
-from repro.api import Session, as_profile
+from repro.api import Session, as_profile, run_source
 from repro.policy import all_policies, get_policy
+from repro.prove import ProveNotSupportedError
 
 CLEAN = r'''
 int main(void) {
@@ -148,6 +154,33 @@ class TestConformance:
             assert report.stats.checks + report.stats.temporal_checks > 0
         if policy.meta_arity > 2:
             assert report.stats.temporal_checks > 0
+
+    def test_provable_contract(self, policy):
+        provable = getattr(policy, "provable", False)
+        if not provable:
+            # Non-provable policies must refuse -O2 with the typed
+            # error, on either engine — never silently compile without
+            # the proof guarantee the flag withholds.
+            for engine in ("compiled", "interp"):
+                with pytest.raises(ProveNotSupportedError):
+                    run_source(CLEAN, profile=policy.name, engine=engine,
+                               optimize=2)
+            return
+        # Provable policies: the prove pass may delete checks but must
+        # never change observable behaviour — clean runs byte-identical
+        # across every opt level, on both engines.
+        rows = {}
+        for engine in ("compiled", "interp"):
+            for level in (0, 1, 2):
+                report = run_source(CLEAN, profile=policy.name,
+                                    engine=engine, optimize=level)
+                assert report.trap is None, \
+                    f"{policy.name} trapped clean code at -O{level} " \
+                    f"on {engine}: {report.trap}"
+                rows[(engine, level)] = (report.exit_code, report.output)
+        assert len(set(rows.values())) == 1, \
+            f"{policy.name} output diverged across the O-level x " \
+            f"engine matrix: {rows}"
 
 
 class TestSerialEqualsParallel:

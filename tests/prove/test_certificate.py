@@ -1,0 +1,100 @@
+"""Certificates: round-trip, replay, and the tamper counterexamples.
+
+``replay_certificate`` is the subsystem's trust anchor — a wrong proof
+must fail here, loudly.  Every negative test below is a forged or
+corrupted certificate that the two replay layers (arithmetic recheck,
+formal-model execution) must reject.
+"""
+
+import dataclasses
+
+from repro.prove import Certificate, replay_certificate
+from repro.temporal.locks import GLOBAL_KEY, GLOBAL_LOCK
+
+
+def spatial_cert(**overrides):
+    fields = dict(
+        kind="spatial", function="f", block="entry", site=("f", 3, 0),
+        access_kind="load", method="difference-interval",
+        region="alloca:1",
+        facts=("ptr.lo(0) - base.hi(0) >= 0",
+               "bound.lo(40) - ptr.hi(36) >= size(4)"),
+        size=4, ptr_lo=0, ptr_hi=36, base_hi=0, bound_lo=40)
+    fields.update(overrides)
+    return Certificate(**fields)
+
+
+def temporal_cert(**overrides):
+    fields = dict(
+        kind="temporal", function="f", block="entry", site=("f", 5, 0),
+        access_kind="load", method="immortal-lock", region="lockspace",
+        facts=("key == GLOBAL_KEY", "lock == GLOBAL_LOCK"),
+        key=GLOBAL_KEY, lock=GLOBAL_LOCK)
+    fields.update(overrides)
+    return Certificate(**fields)
+
+
+def test_json_round_trip_is_lossless():
+    for cert in (spatial_cert(), temporal_cert()):
+        clone = Certificate.from_json(cert.to_json())
+        assert clone == cert
+
+
+def test_valid_spatial_certificate_replays():
+    ok, reason = replay_certificate(spatial_cert())
+    assert ok, reason
+
+
+def test_valid_temporal_certificate_replays():
+    ok, reason = replay_certificate(temporal_cert())
+    assert ok, reason
+
+
+def test_tampered_underflow_margin_is_a_counterexample():
+    # ptr.lo below base.hi: the deleted check could have fired low.
+    ok, reason = replay_certificate(spatial_cert(ptr_lo=-1))
+    assert not ok and reason.startswith("arithmetic")
+
+
+def test_tampered_overflow_margin_is_a_counterexample():
+    # ptr.hi + size crosses bound.lo by one byte.
+    ok, reason = replay_certificate(spatial_cert(ptr_hi=37))
+    assert not ok and reason.startswith("arithmetic")
+
+
+def test_tampered_size_is_a_counterexample():
+    ok, reason = replay_certificate(spatial_cert(size=0))
+    assert not ok and reason.startswith("arithmetic")
+    ok, reason = replay_certificate(spatial_cert(size=5))
+    assert not ok
+
+
+def test_empty_pointer_interval_is_a_counterexample():
+    ok, reason = replay_certificate(spatial_cert(ptr_lo=8, ptr_hi=4))
+    assert not ok and "empty" in reason
+
+
+def test_huge_extent_replays_at_scaled_geometry():
+    # A megabyte-scale object exceeds the formal memory; the replay
+    # must scale while preserving the boundary margins.
+    big = spatial_cert(ptr_lo=0, ptr_hi=1_048_572, base_hi=0,
+                       bound_lo=1_048_576)
+    ok, reason = replay_certificate(big)
+    assert ok, reason
+    # and the scaled replay still catches a forged high margin
+    forged = spatial_cert(ptr_lo=0, ptr_hi=1_048_575, base_hi=0,
+                          bound_lo=1_048_576)
+    ok, _ = replay_certificate(forged)
+    assert not ok
+
+
+def test_non_immortal_lock_claim_is_a_counterexample():
+    ok, reason = replay_certificate(temporal_cert(key=GLOBAL_KEY + 1,
+                                                  lock=GLOBAL_LOCK + 1))
+    assert not ok and reason.startswith("arithmetic")
+
+
+def test_unknown_kind_is_rejected():
+    cert = dataclasses.replace(spatial_cert(), kind="mystery")
+    ok, reason = replay_certificate(cert)
+    assert not ok and "unknown" in reason

@@ -1,0 +1,75 @@
+"""Interval-lattice laws the abstract domain rests on."""
+
+from repro.prove.intervals import NEG_INF, POS_INF, TOP, Interval
+
+
+def test_constructors_and_predicates():
+    c = Interval.const(5)
+    assert c.is_const and c.is_finite and not c.is_top
+    assert c.contains(5) and not c.contains(6)
+    r = Interval.range(0, 9)
+    assert r.within(0, 9) and not r.within(1, 9)
+    assert TOP.is_top and not TOP.is_finite
+
+
+def test_join_is_least_upper_bound():
+    a, b = Interval(0, 4), Interval(2, 9)
+    j = a.join(b)
+    assert j == Interval(0, 9)
+    assert a.issubset(j) and b.issubset(j)
+    # commutative, idempotent, TOP absorbs
+    assert b.join(a) == j
+    assert a.join(a) == a
+    assert a.join(TOP) == TOP
+
+
+def test_meet_intersects_or_empties():
+    assert Interval(0, 4).meet(Interval(2, 9)) == Interval(2, 4)
+    assert Interval(0, 1).meet(Interval(5, 9)) is None
+    assert Interval(3, 3).meet(TOP) == Interval(3, 3)
+
+
+def test_widen_jumps_moving_endpoints_to_infinity():
+    old, new = Interval(0, 4), Interval(0, 7)
+    w = old.widen(new)
+    assert w == Interval(0, POS_INF)
+    new_lo = Interval(-2, 4)
+    assert old.widen(new_lo) == Interval(NEG_INF, 4)
+    # a stable chain stays put
+    assert old.widen(Interval(1, 3)) == old
+
+
+def test_widening_stabilizes_ascending_chains():
+    """The fixpoint argument: widen at most twice per endpoint and any
+    ascending chain is stationary."""
+    state = Interval(0, 0)
+    for step in range(1, 50):
+        state = state.widen(state.join(Interval(0, step)))
+    assert state == Interval(0, POS_INF)
+    assert state.widen(state.join(Interval(0, 10 ** 9))) == state
+
+
+def test_arithmetic_is_exact_on_finite_endpoints():
+    a, b = Interval(1, 3), Interval(10, 20)
+    assert a.add(b) == Interval(11, 23)
+    assert b.sub(a) == Interval(7, 19)
+    assert a.neg() == Interval(-3, -1)
+    assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+
+
+def test_arithmetic_with_infinite_endpoints():
+    half = Interval(0, POS_INF)
+    assert half.add(Interval.const(5)) == Interval(5, POS_INF)
+    assert half.neg() == Interval(NEG_INF, 0)
+    assert half.mul(Interval.const(-1)) == Interval(NEG_INF, 0)
+    assert TOP.mul(Interval.const(0)) == Interval(0, 0)
+
+
+def test_shift_span_covers_the_counted_loop_recurrence():
+    # i starts in [0, 0], loop does i += 4 at most 10 times.
+    start = Interval.const(0)
+    assert start.shift_span(4, 10) == Interval(0, 40)
+    # negative step spans downward
+    assert start.shift_span(-4, 10) == Interval(-40, 0)
+    # zero trips is the identity
+    assert start.shift_span(4, 0) == start

@@ -1,0 +1,93 @@
+"""The SMT-lite decision procedure, one inequality at a time."""
+
+from repro.prove.absint import AbsVal
+from repro.prove.intervals import Interval, TOP
+from repro.prove.solver import IMMORTAL, solve
+from repro.prove.vcgen import Obligation
+
+REGION = ("alloca", 7)
+
+
+def spatial(ptr, base, bound, size, region=REGION):
+    return Obligation(
+        "spatial", instr=None, function="f", block="entry",
+        site=("f", 1, 0),
+        operands={"ptr": ptr, "base": base, "bound": bound, "size": size})
+
+
+def temporal(key, lock):
+    return Obligation(
+        "temporal", instr=None, function="f", block="entry",
+        site=("f", 1, 0), operands={"key": key, "lock": lock})
+
+
+def av(lo, hi, region=REGION, recur=False):
+    return AbsVal(region, Interval(lo, hi), recur)
+
+
+def const(value, region=None):
+    return AbsVal(region, Interval.const(value))
+
+
+def test_in_bounds_access_is_discharged():
+    proof = solve(spatial(ptr=av(0, 36), base=av(0, 0), bound=av(40, 40),
+                          size=const(4)))
+    assert proof is not None
+    assert proof.method == "difference-interval"
+    assert len(proof.facts) == 2
+
+
+def test_recurrence_marked_operand_labels_the_method():
+    proof = solve(spatial(ptr=av(0, 36, recur=True), base=av(0, 0),
+                          bound=av(40, 40), size=const(4)))
+    assert proof is not None and proof.method == "counted-loop-recurrence"
+
+
+def test_one_byte_past_bound_is_refused():
+    # ptr may reach offset 37; 37 + 4 > 40.
+    assert solve(spatial(ptr=av(0, 37), base=av(0, 0), bound=av(40, 40),
+                         size=const(4))) is None
+
+
+def test_possible_underflow_is_refused():
+    assert solve(spatial(ptr=av(-1, 36), base=av(0, 0), bound=av(40, 40),
+                         size=const(4))) is None
+
+
+def test_cross_region_operands_are_refused():
+    other = ("alloca", 8)
+    assert solve(spatial(ptr=av(0, 0), base=av(0, 0, region=other),
+                         bound=av(40, 40), size=const(4))) is None
+
+
+def test_unbounded_endpoints_are_refused():
+    top_ptr = AbsVal(REGION, TOP)
+    assert solve(spatial(ptr=top_ptr, base=av(0, 0), bound=av(40, 40),
+                         size=const(4))) is None
+    # an unbounded size can never be proven to fit
+    assert solve(spatial(ptr=av(0, 0), base=av(0, 0), bound=av(40, 40),
+                         size=AbsVal(None, Interval(1, float("inf"))))) \
+        is None
+
+
+def test_degenerate_size_is_refused():
+    assert solve(spatial(ptr=av(0, 0), base=av(0, 0), bound=av(40, 40),
+                         size=const(0))) is None
+
+
+def test_immortal_lock_pair_is_discharged():
+    key, lock = IMMORTAL
+    proof = solve(temporal(key=const(key), lock=const(lock)))
+    assert proof is not None and proof.method == "immortal-lock"
+
+
+def test_heap_lock_pair_is_refused():
+    key, lock = IMMORTAL
+    # any non-global slot can die; the rule must not fire
+    assert solve(temporal(key=const(key + 1), lock=const(lock + 1))) is None
+    # a non-constant key admits dead states
+    assert solve(temporal(key=AbsVal(None, Interval(0, 5)),
+                          lock=const(lock))) is None
+    # region-tainted operands are not integers the rule understands
+    assert solve(temporal(key=const(key, region=REGION),
+                          lock=const(lock))) is None
